@@ -1,0 +1,117 @@
+// Ablation: which defenses actually stop the compound attacks (§7, §8, §9).
+//
+//   1. deferred (Linux default)                       -> attack succeeds
+//   2. strict invalidation                            -> still succeeds (type (c) alias)
+//   3. strict + page-aligned dedicated RX buffers     -> window closed, attack fails
+//   4. macOS-style callback blinding (XOR cookie)     -> stops single-step; falls once
+//      KASLR is broken and the two-value cookie is recovered (§7)
+
+#include <cstdio>
+
+#include "attack/attacks.h"
+#include "attack/mini_cpu.h"
+#include "attack/poison.h"
+#include "core/machine.h"
+#include "device/malicious_nic.h"
+#include "mem/kernel_symbols.h"
+
+using namespace spv;
+
+namespace {
+
+bool RunPoisonedTx(iommu::InvalidationMode mode, bool page_aligned_buffers,
+                   bool cet = false, bool damn = false, bool randstruct = false) {
+  core::MachineConfig config;
+  config.seed = randstruct ? 91 : 77;  // seed 91 shuffles the destructor slot
+  config.iommu.mode = mode;
+  config.randomize_struct_layout = randstruct;
+  core::Machine machine{config};
+  std::unique_ptr<slab::PageFragPool> damn_pool;
+  if (damn) {
+    damn_pool = std::make_unique<slab::PageFragPool>(
+        machine.page_db(), machine.page_alloc(), machine.layout(),
+        net::SkbAllocator::kDamnPoolCpu);
+    machine.skb_alloc().set_damn_pool(damn_pool.get());
+  }
+  net::NicDriver::Config driver_config;
+  driver_config.rx_ring_size = 32;
+  driver_config.rx_buf_len = page_aligned_buffers ? 3776 : 1728;  // truesize 4096 vs 2048
+  net::NicDriver& nic = machine.AddNicDriver(driver_config);
+  device::MaliciousNic device{device::DevicePort{machine.iommu(), nic.device_id()}};
+  device.set_warm_iotlb_on_post(true);
+  nic.AttachDevice(&device);
+  machine.stack().set_egress(&nic);
+  attack::MiniCpu cpu{machine.kmem(), machine.layout()};
+  cpu.set_cet_enabled(cet);
+  machine.stack().set_callback_invoker(&cpu);
+  (void)machine.stack().CreateSocket(7, true);
+  (void)nic.FillRxRing();
+  attack::AttackEnv env{machine, nic, device, cpu};
+  auto report = attack::PoisonedTxAttack::Run(env, {});
+  return report.ok() && report->success;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: defense effectiveness vs Poisoned TX ==\n\n");
+  std::printf("%-48s %s\n", "defense configuration", "attack outcome");
+  std::printf("%-48s %s\n", "deferred invalidation (Linux default)",
+              RunPoisonedTx(iommu::InvalidationMode::kDeferred, false) ? "ESCALATED"
+                                                                       : "blocked");
+  std::printf("%-48s %s\n", "strict invalidation",
+              RunPoisonedTx(iommu::InvalidationMode::kStrict, false) ? "ESCALATED"
+                                                                     : "blocked");
+  std::printf("%-48s %s\n", "strict + page-aligned dedicated RX buffers",
+              RunPoisonedTx(iommu::InvalidationMode::kStrict, true) ? "ESCALATED"
+                                                                    : "blocked");
+  std::printf("%-48s %s\n", "deferred + Intel CET (shadow stack + ENDBR)",
+              RunPoisonedTx(iommu::InvalidationMode::kDeferred, false, /*cet=*/true)
+                  ? "ESCALATED"
+                  : "blocked");
+  std::printf("%-48s %s\n", "deferred + DAMN segregated network allocator",
+              RunPoisonedTx(iommu::InvalidationMode::kDeferred, false, false, /*damn=*/true)
+                  ? "ESCALATED"
+                  : "blocked (KASLR bootstrap starved)");
+  std::printf("%-48s %s\n", "deferred + __randomize_layout on shared_info",
+              RunPoisonedTx(iommu::InvalidationMode::kDeferred, false, false, false,
+                            /*randstruct=*/true)
+                  ? "ESCALATED"
+                  : "blocked vs fixed offset (slot-spray defeats it)");
+
+  // ---- Callback blinding (macOS-style, §7) ------------------------------------
+  core::MachineConfig config;
+  config.seed = 88;
+  core::Machine machine{config};
+  attack::MiniCpu cpu{machine.kmem(), machine.layout()};
+  Xoshiro256 cookie_rng{config.seed};
+  const uint64_t cookie = cookie_rng.Next();
+
+  Kva poison = *machine.slab().Kmalloc(attack::PoisonLayout::kImageBytes, "poison");
+  attack::KaslrKnowledge knowledge;
+  knowledge.text_base = machine.layout().text_base();
+  auto image = *attack::BuildPoisonImage(knowledge, poison.value);
+  (void)machine.kmem().Write(poison, image);
+  const Kva pivot = Kva{machine.layout().text_base() + mem::kSymJopStackPivot};
+
+  // Without the cookie: the kernel un-blinds (XORs) whatever the attacker
+  // wrote, so the decoded target is garbage -> NX/wild jump.
+  const Kva decoded_blind = Kva{pivot.value ^ cookie};
+  Status blind = cpu.InvokeCallback(decoded_blind, poison);
+  std::printf("%-48s %s\n", "callback blinding, cookie unknown",
+              blind.ok() && cpu.privilege_escalated() ? "ESCALATED" : "blocked");
+
+  // With the cookie recovered (ext_free takes one of two values, so a single
+  // leaked blinded pointer + broken KASLR reveals it, §7): the attacker
+  // pre-XORs and the kernel decodes straight into the pivot.
+  cpu.ResetForNextRun();
+  const Kva pre_blinded = Kva{(pivot.value ^ cookie) ^ cookie};
+  Status unblind = cpu.InvokeCallback(pre_blinded, poison);
+  std::printf("%-48s %s\n", "callback blinding, cookie recovered",
+              unblind.ok() && cpu.privilege_escalated() ? "ESCALATED" : "blocked");
+
+  std::printf("\nshape check vs paper: localized fixes (strict mode, blinding) do not\n"
+              "hold; only removing co-location (dedicated page-aligned I/O memory,\n"
+              "bounce buffers / DAMN) closes the window — at the §8-discussed cost.\n");
+  return 0;
+}

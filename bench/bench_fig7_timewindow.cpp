@@ -1,0 +1,124 @@
+// Figure 7: the three paths to a destructor_arg write window, measured as
+// success rates across driver orderings and IOMMU modes.
+//
+//   (i)   wrong unmap order (i40e-like): write during CompleteRx, pre-unmap;
+//   (ii)  deferred IOTLB: write via the dead IOVA after unmap;
+//   (iii) type (c) neighbour IOVA: write via a co-located buffer's mapping.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "attack/attacks.h"
+#include "core/machine.h"
+#include "device/malicious_nic.h"
+#include "net/layouts.h"
+
+using namespace spv;
+
+namespace {
+
+struct TrialResult {
+  bool path_i = false;
+  bool path_ii = false;
+  bool path_iii = false;
+  bool ground_truth = false;  // the skb's shared_info was really modified
+};
+
+TrialResult RunTrial(uint64_t seed, bool wrong_order, iommu::InvalidationMode mode) {
+  TrialResult result;
+  core::MachineConfig config;
+  config.seed = seed;
+  config.iommu.mode = mode;
+  core::Machine machine{config};
+  net::NicDriver::Config driver_config;
+  driver_config.rx_ring_size = 16;
+  driver_config.rx_buf_len = 1728;
+  driver_config.unmap_before_build = !wrong_order;
+  net::NicDriver& nic = machine.AddNicDriver(driver_config);
+  device::MaliciousNic device{device::DevicePort{machine.iommu(), nic.device_id()}};
+  device.set_warm_iotlb_on_post(true);
+  nic.AttachDevice(&device);
+  if (!nic.FillRxRing().ok()) {
+    return result;
+  }
+
+  const net::RxPostedDescriptor consumed = device.rx_posted().front();
+  const uint32_t truesize = nic.rx_buffer_bytes();
+  const uint64_t kMagic = 0x7e57c0de;
+
+  // Path (i): device writes inside the driver's build-then-unmap window.
+  device.set_rx_completing_hook([&](uint32_t) {
+    uint8_t bytes[8];
+    std::memcpy(bytes, &kMagic, 8);
+    result.path_i =
+        device.port()
+            .Write(consumed.iova + attack::DestructorArgOffset(truesize), bytes)
+            .ok();
+  });
+
+  net::PacketHeader header{.dst_ip = 1, .dst_port = 9, .proto = net::kProtoUdp};
+  std::vector<uint8_t> payload(32, 1);
+  auto index = device.InjectRx(header, payload);
+  if (!index.ok()) {
+    return result;
+  }
+  auto skb = nic.CompleteRx(*index, net::PacketHeader::kSize + 32);
+  if (!skb.ok()) {
+    return result;
+  }
+
+  // Paths (ii)+(iii), post-completion.
+  attack::PokeOptions own_only{.try_own_iova = true, .try_neighbor = false};
+  attack::PokeOptions neighbor_only{.try_own_iova = false, .try_neighbor = true};
+  result.path_ii =
+      attack::TryPokeDestructorArg(device, consumed, truesize, kMagic, own_only).success &&
+      mode == iommu::InvalidationMode::kDeferred;  // own-IOVA success in strict = recycled IOVA
+  result.path_iii =
+      attack::TryPokeDestructorArg(device, consumed, truesize, kMagic, neighbor_only).success;
+
+  net::SharedInfoView shinfo{machine.kmem(), (*skb)->shared_info()};
+  result.ground_truth = shinfo.destructor_arg().value_or(0) == kMagic;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 7: write-window paths to skb_shared_info ==\n\n");
+  constexpr int kTrials = 20;
+  struct Config {
+    const char* name;
+    bool wrong_order;
+    iommu::InvalidationMode mode;
+  };
+  const Config configs[] = {
+      {"i40e-like order, deferred", true, iommu::InvalidationMode::kDeferred},
+      {"i40e-like order, strict  ", true, iommu::InvalidationMode::kStrict},
+      {"correct order,  deferred", false, iommu::InvalidationMode::kDeferred},
+      {"correct order,  strict  ", false, iommu::InvalidationMode::kStrict},
+  };
+  std::printf("%-28s %-10s %-12s %-14s %-12s\n", "configuration", "(i) race",
+              "(ii) stale", "(iii) alias", "hijacked");
+  for (const Config& config : configs) {
+    int path_i = 0;
+    int path_ii = 0;
+    int path_iii = 0;
+    int hijacked = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      TrialResult result =
+          RunTrial(1000 + static_cast<uint64_t>(t), config.wrong_order, config.mode);
+      path_i += result.path_i ? 1 : 0;
+      path_ii += result.path_ii ? 1 : 0;
+      path_iii += result.path_iii ? 1 : 0;
+      hijacked += result.ground_truth ? 1 : 0;
+    }
+    std::printf("%-28s %3d/%-6d %3d/%-8d %3d/%-10d %3d/%d\n", config.name, path_i, kTrials,
+                path_ii, kTrials, path_iii, kTrials, hijacked, kTrials);
+  }
+  std::printf("\nshape check vs paper: the hijack succeeds in EVERY configuration —\n"
+              "wrong ordering gives a direct race; deferred mode gives the stale-IOTLB\n"
+              "window even for correct drivers; and strict mode is defeated by the\n"
+              "type (c) neighbour alias from page_frag RX allocation (§5.2.2).\n");
+  return 0;
+}

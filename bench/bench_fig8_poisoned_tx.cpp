@@ -1,0 +1,78 @@
+// Figure 8 / §5.4: Poisoned TX — success rate and attribute acquisition
+// across IOMMU modes and echo payload sizes.
+
+#include <cstdio>
+
+#include "attack/attacks.h"
+#include "attack/mini_cpu.h"
+#include "core/machine.h"
+#include "device/malicious_nic.h"
+
+using namespace spv;
+
+namespace {
+
+bool RunOnce(uint64_t seed, iommu::InvalidationMode mode, uint32_t payload_bytes,
+             std::string* window) {
+  core::MachineConfig config;
+  config.seed = seed;
+  config.iommu.mode = mode;
+  core::Machine machine{config};
+  net::NicDriver::Config driver_config;
+  driver_config.rx_ring_size = 32;
+  driver_config.rx_buf_len = 1728;
+  net::NicDriver& nic = machine.AddNicDriver(driver_config);
+  device::MaliciousNic device{device::DevicePort{machine.iommu(), nic.device_id()}};
+  device.set_warm_iotlb_on_post(true);
+  nic.AttachDevice(&device);
+  machine.stack().set_egress(&nic);
+  attack::MiniCpu cpu{machine.kmem(), machine.layout()};
+  machine.stack().set_callback_invoker(&cpu);
+  if (!machine.stack().CreateSocket(7, true).ok() || !nic.FillRxRing().ok()) {
+    return false;
+  }
+  attack::AttackEnv env{machine, nic, device, cpu};
+  attack::PoisonedTxAttack::Options options;
+  options.poison_payload_bytes = payload_bytes;
+  auto report = attack::PoisonedTxAttack::Run(env, options);
+  if (!report.ok()) {
+    return false;
+  }
+  if (window != nullptr) {
+    *window = report->window_path;
+  }
+  return report->success;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 8 / §5.4: Poisoned TX compound attack ==\n\n");
+  constexpr int kTrials = 10;
+  struct Config {
+    const char* name;
+    iommu::InvalidationMode mode;
+    uint32_t payload;
+  };
+  const Config configs[] = {
+      {"deferred, 1 KiB echo (frags) ", iommu::InvalidationMode::kDeferred, 1024},
+      {"deferred, 1500 B echo (frags)", iommu::InvalidationMode::kDeferred, 1500},
+      {"strict,   1 KiB echo (frags) ", iommu::InvalidationMode::kStrict, 1024},
+      {"strict,   1500 B echo (frags)", iommu::InvalidationMode::kStrict, 1500},
+  };
+  std::printf("%-32s %-10s %s\n", "configuration", "success", "window path (last run)");
+  for (const Config& config : configs) {
+    int wins = 0;
+    std::string window;
+    for (int t = 0; t < kTrials; ++t) {
+      wins += RunOnce(7000 + static_cast<uint64_t>(t), config.mode, config.payload, &window)
+                  ? 1
+                  : 0;
+    }
+    std::printf("%-32s %3d/%-6d %s\n", config.name, wins, kTrials, window.c_str());
+  }
+  std::printf("\nshape check vs paper: the echoed buffer provides the KVA (frags leak\n"
+              "struct page pointers), so no physical-setup knowledge is needed; strict\n"
+              "mode falls to the neighbour-IOVA window.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// §2.4: KASLR subversion from leaked pointers — probability of recovering
+// each randomized base as a function of how many TX-readable pages the
+// device harvests.
+
+#include <cstdio>
+
+#include "attack/kaslr_break.h"
+#include "core/machine.h"
+#include "device/malicious_nic.h"
+#include "net/layouts.h"
+
+using namespace spv;
+
+namespace {
+
+struct Recovered {
+  bool text = false;
+  bool direct_map = false;
+  bool vmemmap = false;
+};
+
+Recovered RunOnce(uint64_t seed, int echoes) {
+  core::MachineConfig config;
+  config.seed = seed;
+  config.iommu.mode = iommu::InvalidationMode::kDeferred;
+  core::Machine machine{config};
+  net::NicDriver::Config driver_config;
+  driver_config.rx_ring_size = 32;
+  driver_config.rx_buf_len = 1728;
+  net::NicDriver& nic = machine.AddNicDriver(driver_config);
+  device::MaliciousNic device{device::DevicePort{machine.iommu(), nic.device_id()}};
+  nic.AttachDevice(&device);
+  machine.stack().set_egress(&nic);
+  (void)machine.stack().CreateSocket(7, true);
+  (void)nic.FillRxRing();
+
+  attack::KaslrBreaker breaker;
+  for (int e = 0; e < echoes; ++e) {
+    net::PacketHeader header{.src_ip = 0x0afe0001,
+                             .dst_ip = machine.stack().config().local_ip,
+                             .src_port = static_cast<uint16_t>(40000 + e),
+                             .dst_port = 7,
+                             .proto = net::kProtoUdp};
+    // Alternate payload sizes: small -> linear TX (socket-page leak),
+    // large -> frag TX (struct-page leak).
+    std::vector<uint8_t> payload(e % 2 == 0 ? 300 : 1024, 0x41);
+    auto index = device.InjectRx(header, payload);
+    if (!index.ok()) {
+      break;
+    }
+    auto skb = nic.CompleteRx(
+        *index, static_cast<uint32_t>(net::PacketHeader::kSize + payload.size()));
+    if (!skb.ok()) {
+      continue;
+    }
+    (void)machine.stack().NapiGroReceive(std::move(*skb));
+    auto harvest = device.HarvestReadableQwords();
+    if (harvest.ok()) {
+      breaker.Consume(*harvest);
+    }
+  }
+  Recovered recovered;
+  recovered.text = breaker.knowledge().text_base.has_value() &&
+                   *breaker.knowledge().text_base == machine.layout().text_base();
+  recovered.direct_map =
+      breaker.knowledge().page_offset_base.has_value() &&
+      *breaker.knowledge().page_offset_base == machine.layout().page_offset_base();
+  recovered.vmemmap = breaker.knowledge().vmemmap_base.has_value() &&
+                      *breaker.knowledge().vmemmap_base == machine.layout().vmemmap_base();
+  return recovered;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== §2.4: KASLR subversion via leaked pointers ==\n\n");
+  constexpr int kBoots = 16;
+  std::printf("%-10s %-18s %-22s %-14s\n", "echoes", "text (init_net)", "direct map "
+              "(list ptr)", "vmemmap (frags)");
+  for (int echoes : {1, 2, 4, 8}) {
+    int text = 0;
+    int direct_map = 0;
+    int vmemmap = 0;
+    for (int boot = 0; boot < kBoots; ++boot) {
+      Recovered recovered = RunOnce(3000 + static_cast<uint64_t>(boot), echoes);
+      text += recovered.text ? 1 : 0;
+      direct_map += recovered.direct_map ? 1 : 0;
+      vmemmap += recovered.vmemmap ? 1 : 0;
+    }
+    std::printf("%-10d %3d/%-14d %3d/%-18d %3d/%d\n", echoes, text, kBoots, direct_map,
+                kBoots, vmemmap, kBoots);
+  }
+  std::printf("\nevery recovered base is bit-exact: the 2 MiB / 1 GiB alignment\n"
+              "guarantees mean a single correctly-classified pointer defeats KASLR.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// §7: applicability to other OSs — the same sub-page exposure through each
+// OS's network-buffer layout, demonstrated in the simulator:
+//
+//   Windows  — NdisAllocateNetBufferMdlAndData puts the NET_BUFFER struct
+//              (with its MDL chain pointers) in the same allocation as the
+//              packet data: single-step exposure (Thunderclap's finding).
+//   FreeBSD  — mbuf's ext_free callback pointer sits in the mapped cluster:
+//              single-step code injection.
+//   macOS    — same mbuf shape but ext_free is blinded (XOR cookie): safe
+//              against single-step, broken once KASLR + the two-value cookie
+//              are recovered (compound).
+//   Linux    — skb_shared_info: the subject of the rest of the paper.
+
+#include <cstdio>
+#include <vector>
+
+#include "attack/kaslr_break.h"
+#include "attack/mini_cpu.h"
+#include "attack/poison.h"
+#include "core/machine.h"
+#include "device/device_port.h"
+#include "mem/kernel_symbols.h"
+
+using namespace spv;
+
+namespace {
+
+struct Outcome {
+  bool exposed = false;      // callback pointer device-writable
+  bool single_step = false;  // naive overwrite escalates
+  bool compound = false;     // escalates with KASLR + cookie knowledge
+};
+
+// Common scaffold: a 2 KiB network buffer mapped WRITE whose tail holds a
+// callback pointer at `cb_offset`, invoked on "buffer free" the way each OS
+// would. `blind_cookie` models macOS ext_free blinding (0 = none).
+Outcome RunOsModel(uint64_t cb_offset, uint64_t blind_cookie) {
+  Outcome outcome;
+  core::MachineConfig config;
+  config.seed = 777;
+  core::Machine machine{config};
+  const DeviceId nic{1};
+  machine.iommu().AttachDevice(nic);
+  device::DevicePort port{machine.iommu(), nic};
+  attack::MiniCpu cpu{machine.kmem(), machine.layout()};
+
+  Kva buffer = *machine.slab().Kmalloc(2048, "os_netbuf");
+  Iova iova = *machine.dma().MapSingle(nic, buffer, 2048,
+                                       dma::DmaDirection::kBidirectional, "os_map");
+
+  // The device writes its poison + overwrites the in-buffer callback.
+  attack::KaslrKnowledge knowledge;
+  knowledge.text_base = machine.layout().text_base();  // compound-stage knowledge
+  const uint64_t poison_off = 256;
+  auto image = *attack::BuildPoisonImage(knowledge, (buffer + poison_off).value);
+  (void)port.Write(iova + poison_off, image);
+
+  const uint64_t pivot = machine.layout().text_base() + mem::kSymJopStackPivot;
+
+  auto fire = [&](uint64_t written_value) {
+    // OS frees the buffer: reads the callback field, un-blinds, calls it with
+    // the buffer (ubuf/mbuf/NET_BUFFER) pointer as the argument.
+    std::vector<uint8_t> bytes(8);
+    std::memcpy(bytes.data(), &written_value, 8);
+    (void)port.Write(iova + cb_offset, bytes);
+    uint64_t stored = machine.kmem().ReadU64(buffer + cb_offset).value_or(0);
+    const uint64_t decoded = stored ^ blind_cookie;
+    cpu.ResetForNextRun();
+    (void)cpu.InvokeCallback(Kva{decoded}, buffer + poison_off);
+    return cpu.privilege_escalated();
+  };
+
+  // Exposure: can the device write the callback field at all?
+  std::vector<uint8_t> probe(8, 0xaa);
+  outcome.exposed = port.Write(iova + cb_offset, probe).ok();
+
+  // Single-step: the attacker writes the pivot address directly (no cookie
+  // knowledge).
+  outcome.single_step = fire(pivot);
+
+  // Compound: the attacker recovered the cookie (§7: ext_free takes one of
+  // two values, so KASLR + one leaked blinded pointer reveal it).
+  outcome.compound = fire(pivot ^ blind_cookie);
+  return outcome;
+}
+
+void Print(const char* os, const char* layout, const Outcome& outcome) {
+  std::printf("%-9s %-34s %-9s %-13s %s\n", os, layout,
+              outcome.exposed ? "yes" : "no", outcome.single_step ? "ESCALATED" : "blocked",
+              outcome.compound ? "ESCALATED" : "blocked");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== §7: the same exposure across OS network stacks ==\n\n");
+  std::printf("%-9s %-34s %-9s %-13s %s\n", "OS", "in-buffer metadata", "exposed",
+              "single-step", "compound");
+
+  Xoshiro256 cookie_rng{0x05eccee};
+  const uint64_t cookie = cookie_rng.Next();
+
+  Print("Windows", "NET_BUFFER (Ndis..MdlAndData)", RunOsModel(1792, 0));
+  Print("FreeBSD", "mbuf ext_free", RunOsModel(1920, 0));
+  Print("macOS", "mbuf ext_free ^ secret cookie", RunOsModel(1920, cookie));
+  Print("Linux", "skb_shared_info destructor_arg", RunOsModel(1760, 0));
+
+  std::printf("\nshape check vs paper: every OS ships callback-bearing metadata inside\n"
+              "mapped buffers; only macOS's blinding resists the single-step attack,\n"
+              "and it falls to the compound cookie-recovery step (§7).\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// §5.3: RingFlood boot-determinism experiment.
+//
+// 256 simulated reboots for two victim profiles:
+//   * "kernel 5.0"  — 2 KiB RX entries (64 MiB/port scale-down: small ring);
+//   * "kernel 4.15" — HW-LRO 64 KiB RX entries (2 GiB/port scale-down: the
+//     same ring size but 32x the memory footprint).
+// Reports the PFN repeat-rate distribution (paper: many PFNs repeat in >50%
+// of boots on 5.0 and >95% on 4.15) and the end-to-end attack success rate
+// against unprofiled victim boots.
+
+#include <cstdio>
+#include <vector>
+
+#include "attack/attacks.h"
+#include "attack/mini_cpu.h"
+#include "core/machine.h"
+#include "device/malicious_nic.h"
+
+using namespace spv;
+using attack::RingFloodAttack;
+
+namespace {
+
+core::MachineConfig BaseMachine() {
+  core::MachineConfig config;
+  config.seed = 0;
+  config.phys_pages = 16384;
+  config.iommu.mode = iommu::InvalidationMode::kDeferred;
+  return config;
+}
+
+net::NicDriver::Config Kernel50Driver() {
+  net::NicDriver::Config config;
+  config.name = "mlx5_k50";
+  config.rx_ring_size = 32;
+  config.rx_buf_len = 1728;  // 2 KiB entries
+  return config;
+}
+
+net::NicDriver::Config Kernel415Driver() {
+  net::NicDriver::Config config;
+  config.name = "mlx5_k415";
+  config.rx_ring_size = 32;
+  config.hw_lro = true;  // 64 KiB entries
+  return config;
+}
+
+void Report(const char* name, const std::map<uint64_t, int>& histogram, int boots) {
+  int over50 = 0;
+  int over95 = 0;
+  for (const auto& [pfn, count] : histogram) {
+    const double rate = static_cast<double>(count) / boots;
+    over50 += rate > 0.5 ? 1 : 0;
+    over95 += rate > 0.95 ? 1 : 0;
+  }
+  const uint64_t best = RingFloodAttack::MostCommonPfn(histogram);
+  std::printf("%-14s distinct RX PFNs: %5zu | repeat>50%%: %4d | repeat>95%%: %4d | "
+              "best pfn seen in %d/%d boots\n",
+              name, histogram.size(), over50, over95,
+              histogram.empty() ? 0 : histogram.at(best), boots);
+}
+
+
+}  // namespace
+
+int main() {
+  std::printf("== §5.3: RingFlood — boot determinism of RX-ring PFNs ==\n\n");
+  constexpr int kBoots = 256;
+
+  RingFloodAttack::ProfileOptions k50;
+  k50.machine = BaseMachine();
+  k50.driver = Kernel50Driver();
+  k50.boots = kBoots;
+  auto hist50 = RingFloodAttack::ProfileRxPfns(k50);
+
+  RingFloodAttack::ProfileOptions k415 = k50;
+  k415.driver = Kernel415Driver();
+  auto hist415 = RingFloodAttack::ProfileRxPfns(k415);
+
+  std::printf("%d reboots each:\n", kBoots);
+  Report("kernel 5.0 :", hist50, kBoots);
+  Report("kernel 4.15:", hist415, kBoots);
+  std::printf("\nfootprint: 5.0 ring = %u KiB/port, 4.15 (HW LRO) ring = %u KiB/port "
+              "(paper: 64 MiB vs 2 GiB at testbed scale)\n\n",
+              32u * 2048u / 1024u, 32u * 64u);
+
+  // ---- End-to-end attack success against unprofiled boots ----------------------
+  constexpr int kVictims = 10;
+  int wins = 0;
+  const uint64_t guess = RingFloodAttack::MostCommonPfn(hist50);
+  for (int v = 0; v < kVictims; ++v) {
+    core::MachineConfig victim_config = k50.machine;
+    victim_config.seed = k50.base_seed + 10000 + static_cast<uint64_t>(v);
+    core::Machine machine{victim_config};
+    RingFloodAttack::ReplayBootNoise(machine, victim_config.seed, k50.boot_noise_allocs);
+    net::NicDriver& nic = machine.AddNicDriver(k50.driver);
+    device::MaliciousNic device{device::DevicePort{machine.iommu(), nic.device_id()}};
+    device.set_warm_iotlb_on_post(true);
+    nic.AttachDevice(&device);
+    machine.stack().set_egress(&nic);
+    attack::MiniCpu cpu{machine.kmem(), machine.layout()};
+    machine.stack().set_callback_invoker(&cpu);
+    if (!nic.FillRxRing().ok()) {
+      continue;
+    }
+    attack::AttackEnv env{machine, nic, device, cpu};
+    RingFloodAttack::Options options;
+    options.pfn_guess = guess;
+    auto report = RingFloodAttack::Run(env, options);
+    wins += report.ok() && report->success ? 1 : 0;
+  }
+  std::printf("end-to-end RingFlood vs %d unprofiled victim boots (kernel-5.0 profile, "
+              "pfn guess %llu): %d/%d escalations\n",
+              kVictims, static_cast<unsigned long long>(guess), wins, kVictims);
+
+  // ---- Footprint sweep: "chances of success increase with the memory
+  // footprint of the device driver" (§5.3) -------------------------------------
+  std::printf("\nfootprint sweep (32 profiling boots each):\n");
+  std::printf("%-22s %-14s %-18s\n", "ring size (buffers)", "RX pages", "best-PFN repeat");
+  for (uint32_t ring : {8u, 32u, 128u, 512u}) {
+    RingFloodAttack::ProfileOptions sweep = k50;
+    sweep.driver.rx_ring_size = ring;
+    sweep.boots = 32;
+    auto histogram = RingFloodAttack::ProfileRxPfns(sweep);
+    const uint64_t best = RingFloodAttack::MostCommonPfn(histogram);
+    std::printf("%-22u %-14zu %d/%d boots\n", ring, histogram.size(),
+                histogram.empty() ? 0 : histogram.at(best), sweep.boots);
+  }
+
+  // ---- Core-count sweep: one RX ring per CPU (§5.3: "higher chance of
+  // success on larger machines") --------------------------------------------
+  std::printf("\ncore-count sweep (32-entry rings, 32 profiling boots each):\n");
+  std::printf("%-22s %-14s %-18s\n", "CPUs (= RX rings)", "RX pages", "best-PFN repeat");
+  for (int cpus : {1, 2, 4, 8}) {
+    RingFloodAttack::ProfileOptions sweep = k50;
+    sweep.num_rings = cpus;
+    sweep.boots = 32;
+    auto histogram = RingFloodAttack::ProfileRxPfns(sweep);
+    const uint64_t best = RingFloodAttack::MostCommonPfn(histogram);
+    std::printf("%-22d %-14zu %d/%d boots\n", cpus, histogram.size(),
+                histogram.empty() ? 0 : histogram.at(best), sweep.boots);
+  }
+  std::printf("\nshape check vs paper: PFNs repeat across boots; the larger 4.15/LRO\n"
+              "footprint repeats far more reliably (>95%% vs >50%%), and a single good\n"
+              "guess suffices for code injection.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Table 1: Linux kernel memory layout — fixed ranges, randomized bases.
+// Prints the architectural table and then the KASLR-randomized bases over
+// several boots, verifying the alignment guarantees §2.4 exploits.
+
+#include <cstdio>
+
+#include "base/rng.h"
+#include "mem/kernel_layout.h"
+
+using namespace spv;
+using mem::KernelLayout;
+using mem::LayoutRanges;
+
+int main() {
+  std::printf("== Table 1: Linux kernel memory layout (x86-64) ==\n\n");
+  std::printf("%-18s %-10s %-18s %-9s %s\n", "Start Addr", "Offset", "End Addr", "Size",
+              "VM area description");
+  struct Row {
+    uint64_t start;
+    const char* offset;
+    uint64_t end;
+    const char* size;
+    const char* what;
+  };
+  const Row rows[] = {
+      {LayoutRanges::kDirectMapStart, "-119.5 TB", LayoutRanges::kDirectMapEnd - 1, "64 TB",
+       "direct map of phys memory (page_offset_base)"},
+      {LayoutRanges::kVmallocStart, "-55 TB", LayoutRanges::kVmallocEnd - 1, "32 TB",
+       "vmalloc/ioremap space (vmalloc_base)"},
+      {LayoutRanges::kVmemmapStart, "-22 TB", LayoutRanges::kVmemmapEnd - 1, "1 TB",
+       "virtual memory map (vmemmap_base)"},
+      {LayoutRanges::kTextStart, "-2 GB", LayoutRanges::kTextEnd - 1, "512 MB",
+       "kernel text mapping (physical address 0)"},
+      {LayoutRanges::kModulesStart, "-1536 MB", LayoutRanges::kModulesEnd - 1, "1520 MB",
+       "module mapping space"},
+  };
+  for (const Row& row : rows) {
+    std::printf("%016llx   %-10s %016llx   %-9s %s\n",
+                static_cast<unsigned long long>(row.start), row.offset,
+                static_cast<unsigned long long>(row.end), row.size, row.what);
+  }
+
+  std::printf("\nKASLR-randomized bases over 8 boots (alignment: text 2 MiB, others 1 GiB):\n");
+  std::printf("%-6s %-18s %-18s %-18s\n", "boot", "page_offset_base", "vmemmap_base",
+              "text_base");
+  for (uint64_t boot = 0; boot < 8; ++boot) {
+    Xoshiro256 rng{1000 + boot};
+    KernelLayout layout = KernelLayout::Create(16384, /*kaslr=*/true, rng);
+    std::printf("%-6llu 0x%016llx 0x%016llx 0x%016llx\n",
+                static_cast<unsigned long long>(boot),
+                static_cast<unsigned long long>(layout.page_offset_base()),
+                static_cast<unsigned long long>(layout.vmemmap_base()),
+                static_cast<unsigned long long>(layout.text_base()));
+  }
+  std::printf("\ninvariant: low 21 bits of text_base and low 30 bits of the region bases\n"
+              "never change — one leaked pointer pins each region (§2.4).\n");
+  return 0;
+}

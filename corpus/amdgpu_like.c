@@ -1,0 +1,52 @@
+/*
+ * GPU driver: fence structures with interrupt callbacks embedded next to
+ * command-submission indirect buffers (type (a)), and a GART-backed heap
+ * path that stays clean.
+ */
+
+struct gpu_fence_ops {
+    void (*fence_signaled)(struct gpu_fence *fence);
+    void (*fence_timeout)(struct gpu_fence *fence);
+};
+
+struct gpu_fence {
+    u64 seq;
+    u32 ring_idx;
+    struct gpu_fence_ops *ops;
+};
+
+struct gpu_ib {
+    u8 packets[240];
+    struct gpu_fence fence;
+};
+
+struct gpu_device {
+    struct device *dev;
+};
+
+static int gpu_ib_schedule(struct gpu_device *adev, struct gpu_ib *ib)
+{
+    dma_addr_t gpu_addr;
+
+    gpu_addr = dma_map_single(adev->dev, &ib->packets, 240, DMA_TO_DEVICE);
+    if (!gpu_addr) {
+        return -1;
+    }
+    return 0;
+}
+
+static int gpu_gart_bind(struct gpu_device *adev, u32 num_pages)
+{
+    void *pages;
+    dma_addr_t addr;
+
+    pages = kcalloc(num_pages, 4096, GFP_KERNEL);
+    if (!pages) {
+        return -1;
+    }
+    addr = dma_map_single(adev->dev, pages, num_pages * 4096, DMA_BIDIRECTIONAL);
+    if (!addr) {
+        return -1;
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+/*
+ * Wireless driver mapping a command descriptor embedded next to firmware
+ * event callbacks, plus a heap-backed scatter path.
+ */
+
+struct ath_fw_ops {
+    void (*fw_event)(struct ath_ce_pipe *pipe, void *event);
+    void (*fw_crash)(struct ath_ce_pipe *pipe);
+    void (*fw_log)(struct ath_ce_pipe *pipe, void *buf, u32 len);
+};
+
+struct ath_ce_desc {
+    u64 addr;
+    u16 nbytes;
+    u16 flags;
+};
+
+struct ath_ce_pipe {
+    struct device *dev;
+    struct ath_ce_desc desc;
+    struct ath_fw_ops *ops;
+    u32 pipe_id;
+};
+
+static int ath_ce_send(struct ath_ce_pipe *pipe)
+{
+    dma_addr_t desc_dma;
+
+    desc_dma = dma_map_single(pipe->dev, &pipe->desc,
+                              sizeof(struct ath_ce_desc), DMA_TO_DEVICE);
+    if (!desc_dma) {
+        return -1;
+    }
+    return 0;
+}
+
+static int ath_htt_rx_ring_fill(struct ath_ce_pipe *pipe, u32 num)
+{
+    void *vaddr;
+    dma_addr_t paddr;
+
+    while (num) {
+        vaddr = kzalloc(2048, GFP_ATOMIC);
+        if (!vaddr) {
+            return -1;
+        }
+        paddr = dma_map_single(pipe->dev, vaddr, 2048, DMA_FROM_DEVICE);
+        if (!paddr) {
+            return -1;
+        }
+        num = num - 1;
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+/*
+ * bnx2-style driver: correct unmap ordering (invisible to static analysis)
+ * but still exposed through the OS design — page_frag RX buffers wrapped by
+ * build_skb (§9: "even well-written drivers can be subverted by the OS").
+ */
+
+struct bnx2_rx_ring_info {
+    struct device *dev;
+    u32 rx_buf_use_size;
+    u32 rx_ring_size;
+};
+
+static int bnx2_alloc_rx_data(struct bnx2_rx_ring_info *rxr)
+{
+    void *data;
+    dma_addr_t mapping;
+
+    data = napi_alloc_frag(rxr->rx_buf_use_size);
+    if (!data) {
+        return -1;
+    }
+    mapping = dma_map_single(rxr->dev, data, rxr->rx_buf_use_size,
+                             DMA_FROM_DEVICE);
+    if (!mapping) {
+        return -1;
+    }
+    return 0;
+}
+
+static struct sk_buff *bnx2_rx_skb(struct bnx2_rx_ring_info *rxr, void *data,
+                                   u32 len)
+{
+    struct sk_buff *skb;
+
+    skb = build_skb(data, rxr->rx_buf_use_size);
+    return skb;
+}
+
+static int bnx2_start_xmit(struct bnx2_rx_ring_info *txr, struct sk_buff *skb)
+{
+    dma_addr_t mapping;
+
+    mapping = dma_map_single(txr->dev, skb->data, skb->len, DMA_TO_DEVICE);
+    if (!mapping) {
+        return -1;
+    }
+    return 0;
+}

@@ -1,0 +1,40 @@
+/*
+ * Clean driver #2: AHCI-style command tables in dedicated heap pages.
+ */
+
+struct ahci_port {
+    struct device *dev;
+    u32 port_no;
+};
+
+static int ahci_port_start(struct ahci_port *port)
+{
+    void *cmd_table;
+    dma_addr_t cmd_dma;
+
+    cmd_table = kzalloc(4096, GFP_KERNEL);
+    if (!cmd_table) {
+        return -1;
+    }
+    cmd_dma = dma_map_single(port->dev, cmd_table, 4096, DMA_BIDIRECTIONAL);
+    if (!cmd_dma) {
+        return -1;
+    }
+    return 0;
+}
+
+static int ahci_fill_rx(struct ahci_port *port, u32 len)
+{
+    void *rx_fis;
+    dma_addr_t fis_dma;
+
+    rx_fis = kmalloc(len, GFP_KERNEL);
+    if (!rx_fis) {
+        return -1;
+    }
+    fis_dma = dma_map_single(port->dev, rx_fis, len, DMA_FROM_DEVICE);
+    if (!fis_dma) {
+        return -1;
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+/*
+ * Clean driver #1: PRP lists and data buffers are dedicated kmalloc
+ * allocations; nothing sensitive is knowingly co-located (the residual
+ * type (d) risk is dynamic and invisible to static analysis — D-KASAN's
+ * territory).
+ */
+
+struct nvme_pci_queue {
+    struct device *dev;
+    u32 depth;
+    u32 qid;
+};
+
+static int nvme_pci_setup_prps(struct nvme_pci_queue *nvmeq, u32 size)
+{
+    void *prp_list;
+    dma_addr_t prp_dma;
+
+    prp_list = kmalloc(4096, GFP_KERNEL);
+    if (!prp_list) {
+        return -1;
+    }
+    prp_dma = dma_map_single(nvmeq->dev, prp_list, 4096, DMA_TO_DEVICE);
+    if (!prp_dma) {
+        return -1;
+    }
+    return 0;
+}
+
+static int nvme_pci_map_data(struct nvme_pci_queue *nvmeq, u32 len)
+{
+    void *data;
+    dma_addr_t data_dma;
+
+    data = kzalloc(len, GFP_KERNEL);
+    if (!data) {
+        return -1;
+    }
+    data_dma = dma_map_single(nvmeq->dev, data, len, DMA_BIDIRECTIONAL);
+    if (!data_dma) {
+        return -1;
+    }
+    return 0;
+}

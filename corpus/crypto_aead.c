@@ -1,0 +1,35 @@
+/*
+ * Crypto accelerator driver: maps the request context obtained from
+ * aead_request_ctx — private data co-resident with other request state.
+ */
+
+struct accel_dev {
+    struct device *dev;
+    u32 ring_id;
+};
+
+static int accel_aead_encrypt(struct accel_dev *accel, struct aead_request *req)
+{
+    void *ctx;
+    dma_addr_t ctx_dma;
+
+    ctx = aead_request_ctx(req);
+    ctx_dma = dma_map_single(accel->dev, ctx, 256, DMA_BIDIRECTIONAL);
+    if (!ctx_dma) {
+        return -1;
+    }
+    return 0;
+}
+
+static int accel_skcipher(struct accel_dev *accel, struct skcipher_request *req)
+{
+    void *ctx;
+    dma_addr_t ctx_dma;
+
+    ctx = skcipher_request_ctx(req);
+    ctx_dma = dma_map_single(accel->dev, ctx, 128, DMA_TO_DEVICE);
+    if (!ctx_dma) {
+        return -1;
+    }
+    return 0;
+}

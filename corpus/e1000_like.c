@@ -1,0 +1,51 @@
+/*
+ * e1000-style 1GbE driver: the classic netdev_alloc_skb + map-skb->data RX
+ * scheme. The skb data comes from the page_frag allocator (type (c)) and
+ * always carries skb_shared_info at its tail (type (b)).
+ */
+
+struct e1000_buffer {
+    struct sk_buff *skb;
+    dma_addr_t dma;
+    u32 length;
+};
+
+struct e1000_rx_ring {
+    struct device *dev;
+    struct net_device *netdev;
+    struct e1000_buffer *buffer_info;
+    u32 count;
+    u32 rx_buffer_len;
+};
+
+static int e1000_alloc_rx_buffers(struct e1000_rx_ring *rx_ring, int cleaned_count)
+{
+    struct sk_buff *skb;
+    struct e1000_buffer *buffer_info;
+    dma_addr_t dma;
+
+    while (cleaned_count) {
+        skb = netdev_alloc_skb(rx_ring->netdev, rx_ring->rx_buffer_len);
+        if (!skb) {
+            return -1;
+        }
+        dma = dma_map_single(rx_ring->dev, skb->data, rx_ring->rx_buffer_len,
+                             DMA_FROM_DEVICE);
+        if (!dma) {
+            return -1;
+        }
+        cleaned_count = cleaned_count - 1;
+    }
+    return 0;
+}
+
+static int e1000_xmit_frame(struct e1000_rx_ring *tx_ring, struct sk_buff *skb)
+{
+    dma_addr_t dma;
+
+    dma = dma_map_single(tx_ring->dev, skb->data, skb->len, DMA_TO_DEVICE);
+    if (!dma) {
+        return -1;
+    }
+    return 0;
+}

@@ -1,0 +1,51 @@
+/*
+ * FireWire OHCI controller: descriptor metadata (with completion callbacks)
+ * embedded next to DMA-visible descriptor buffers (type (a)) — the driver
+ * family Kupfer's single-step attacks exploited.
+ */
+
+struct fw_descriptor {
+    u16 req_count;
+    u16 control;
+    u32 data_address;
+    u32 branch_address;
+    u16 res_count;
+    u16 transfer_status;
+};
+
+struct ar_context {
+    struct device *dev;
+    struct fw_descriptor descriptor;
+    void (*callback)(struct ar_context *ctx, int status);
+    u32 regs;
+    void *pointer;
+};
+
+static int ar_context_init(struct ar_context *ctx)
+{
+    dma_addr_t descriptor_bus;
+
+    descriptor_bus = dma_map_single(ctx->dev, &ctx->descriptor,
+                                    sizeof(struct fw_descriptor),
+                                    DMA_BIDIRECTIONAL);
+    if (!descriptor_bus) {
+        return -1;
+    }
+    return 0;
+}
+
+static int ohci_enable(struct ar_context *ctx)
+{
+    void *config_rom;
+    dma_addr_t config_rom_bus;
+
+    config_rom = kmalloc(1024, GFP_KERNEL);
+    if (!config_rom) {
+        return -1;
+    }
+    config_rom_bus = dma_map_single(ctx->dev, config_rom, 1024, DMA_TO_DEVICE);
+    if (!config_rom_bus) {
+        return -1;
+    }
+    return 0;
+}

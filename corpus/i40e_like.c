@@ -1,0 +1,72 @@
+/*
+ * i40e-style 40GbE Ethernet driver RX path.
+ *
+ * RX buffers are carved from per-CPU page_frags (type (c)) and wrapped with
+ * build_skb (type (b)); the driver also exhibits the §5.2.2 path-(i) ordering
+ * (sk_buff built before dma_unmap), though SPADE only sees the mapping shape.
+ */
+
+struct i40e_rx_buffer {
+    dma_addr_t dma;
+    void *data;
+    u32 page_offset;
+    u16 pagecnt_bias;
+};
+
+struct i40e_ring {
+    struct device *dev;
+    struct i40e_rx_buffer *rx_bi;
+    u16 count;
+    u16 next_to_use;
+    u16 next_to_clean;
+    u16 rx_buf_len;
+};
+
+static int i40e_alloc_rx_buffers(struct i40e_ring *rx_ring, u16 cleaned_count)
+{
+    u16 ntu;
+    struct i40e_rx_buffer *bi;
+    void *data;
+    dma_addr_t dma;
+
+    ntu = rx_ring->next_to_use;
+    while (cleaned_count) {
+        data = netdev_alloc_frag(rx_ring->rx_buf_len);
+        if (!data) {
+            return -1;
+        }
+        dma = dma_map_single(rx_ring->dev, data, rx_ring->rx_buf_len,
+                             DMA_FROM_DEVICE);
+        if (!dma) {
+            return -1;
+        }
+        cleaned_count = cleaned_count - 1;
+    }
+    rx_ring->next_to_use = ntu;
+    return 0;
+}
+
+static struct sk_buff *i40e_build_skb(struct i40e_ring *rx_ring,
+                                      struct i40e_rx_buffer *rx_buffer,
+                                      u32 size)
+{
+    struct sk_buff *skb;
+    void *va;
+
+    va = rx_buffer->data;
+    skb = build_skb(va, rx_ring->rx_buf_len);
+    return skb;
+}
+
+static int i40e_xmit_frame(struct i40e_ring *tx_ring, struct sk_buff *skb)
+{
+    dma_addr_t dma;
+    u32 len;
+
+    len = skb->len;
+    dma = dma_map_single(tx_ring->dev, skb->data, len, DMA_TO_DEVICE);
+    if (!dma) {
+        return -1;
+    }
+    return 0;
+}

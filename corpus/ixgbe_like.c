@@ -1,0 +1,54 @@
+/*
+ * ixgbe-style driver using dma_map_page on half pages plus a TX path mapping
+ * skb->data: the common "page reuse" RX scheme.
+ */
+
+struct ixgbe_ring {
+    struct device *dev;
+    struct net_device *netdev;
+    u16 count;
+    u16 rx_buf_len;
+};
+
+static int ixgbe_alloc_mapped_page(struct ixgbe_ring *rx_ring)
+{
+    struct page *page;
+    dma_addr_t dma;
+
+    page = dev_alloc_pages(0);
+    if (!page) {
+        return -1;
+    }
+    dma = dma_map_page(rx_ring->dev, page, 0, 4096, DMA_FROM_DEVICE);
+    if (!dma) {
+        return -1;
+    }
+    return 0;
+}
+
+static int ixgbe_rx_skb(struct ixgbe_ring *rx_ring, u32 size)
+{
+    struct sk_buff *skb;
+    dma_addr_t dma;
+
+    skb = napi_alloc_skb(rx_ring->netdev, size);
+    if (!skb) {
+        return -1;
+    }
+    dma = dma_map_single(rx_ring->dev, skb->data, size, DMA_FROM_DEVICE);
+    if (!dma) {
+        return -1;
+    }
+    return 0;
+}
+
+static int ixgbe_xmit(struct ixgbe_ring *tx_ring, struct sk_buff *skb)
+{
+    dma_addr_t dma;
+
+    dma = dma_map_single(tx_ring->dev, skb->data, skb->len, DMA_TO_DEVICE);
+    if (!dma) {
+        return -1;
+    }
+    return 0;
+}

@@ -1,0 +1,33 @@
+/*
+ * FC HBA driver with a page-spanning command context: the mapped IU sits in
+ * a struct larger than 4 KiB, so SPADE's flag may be a false positive — the
+ * callbacks could live on a page the device never sees (§4.3).
+ */
+
+struct lpfc_sge_array {
+    u64 addr[256];
+    u32 len[256];
+    u32 flags[256];
+};
+
+struct lpfc_big_ctx {
+    u8 rsp_iu[256];
+    struct lpfc_sge_array sges;
+    u32 state;
+    void (*cmpl)(struct lpfc_big_ctx *ctx, int status);
+};
+
+struct lpfc_hba {
+    struct device *dev;
+};
+
+static int lpfc_map_rsp(struct lpfc_hba *hba, struct lpfc_big_ctx *ctx)
+{
+    dma_addr_t rsp_dma;
+
+    rsp_dma = dma_map_single(hba->dev, &ctx->rsp_iu, 256, DMA_FROM_DEVICE);
+    if (!rsp_dma) {
+        return -1;
+    }
+    return 0;
+}

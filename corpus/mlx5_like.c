@@ -1,0 +1,60 @@
+/*
+ * mlx5-style driver: napi_alloc_skb RX (type (b)+(c)), plus a completion
+ * queue descriptor array mapped wholesale — exposing the CQ metadata struct
+ * with its completion callbacks (type (a)).
+ */
+
+struct mlx5_cqe {
+    u32 byte_cnt;
+    u32 sop_drop_qpn;
+    u16 wqe_counter;
+    u8 signature;
+    u8 op_own;
+};
+
+struct mlx5_core_cq {
+    u32 cqn;
+    int cqe_sz;
+    struct mlx5_cqe buf[8];
+    void (*comp)(struct mlx5_core_cq *cq);
+    void (*event)(struct mlx5_core_cq *cq, int event);
+    u32 cons_index;
+    u16 irqn;
+};
+
+struct mlx5e_rq {
+    struct device *dev;
+    struct napi_struct *napi;
+    struct mlx5_core_cq cq;
+    u32 wqe_sz;
+};
+
+static int mlx5e_post_rx_wqes(struct mlx5e_rq *rq)
+{
+    struct sk_buff *skb;
+    dma_addr_t addr;
+
+    skb = napi_alloc_skb(rq->napi, rq->wqe_sz);
+    if (!skb) {
+        return -1;
+    }
+    addr = dma_map_single(rq->dev, skb->data, rq->wqe_sz, DMA_FROM_DEVICE);
+    if (!addr) {
+        return -1;
+    }
+    return 0;
+}
+
+static int mlx5e_map_cq(struct mlx5e_rq *rq)
+{
+    dma_addr_t addr;
+
+    /* Maps the CQE array embedded in the CQ struct: comp/event callbacks
+     * share the page. */
+    addr = dma_map_single(rq->dev, &rq->cq.buf, sizeof(struct mlx5_cqe) * 8,
+                          DMA_BIDIRECTIONAL);
+    if (!addr) {
+        return -1;
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+/*
+ * SD/MMC host driver using the scatter/gather idiom: the command's response
+ * area is attached to a scatterlist and mapped with dma_map_sg — SPADE must
+ * chase sg_init_one to find the exposed command struct.
+ */
+
+struct sdhci_cmd_ops {
+    void (*cmd_done)(struct sdhci_cmd *cmd);
+    void (*data_done)(struct sdhci_cmd *cmd, int err);
+};
+
+struct sdhci_cmd {
+    u8 resp[64];
+    u32 opcode;
+    u32 flags;
+    struct sdhci_cmd_ops *ops;
+};
+
+struct sdhci_host {
+    struct device *dev;
+    u32 quirks;
+};
+
+static int sdhci_prepare_cmd(struct sdhci_host *host, struct sdhci_cmd *cmd)
+{
+    struct scatterlist sg;
+    int nents;
+
+    sg_init_one(&sg, &cmd->resp, 64);
+    nents = dma_map_sg(host->dev, &sg, 1, DMA_FROM_DEVICE);
+    if (!nents) {
+        return -1;
+    }
+    return 0;
+}
+
+static int sdhci_map_bounce(struct sdhci_host *host, u32 len)
+{
+    struct scatterlist sg;
+    void *bounce;
+    int nents;
+
+    bounce = kmalloc(len, GFP_KERNEL);
+    if (!bounce) {
+        return -1;
+    }
+    sg_init_one(&sg, bounce, len);
+    nents = dma_map_sg(host->dev, &sg, 1, DMA_BIDIRECTIONAL);
+    if (!nents) {
+        return -1;
+    }
+    return 0;
+}

@@ -1,0 +1,113 @@
+/*
+ * nvme_fc-style host driver: the Figure-2 anchor case.
+ *
+ * The response IU buffer is embedded in struct nvme_fc_fcp_op, so mapping
+ * &op->rsp_iu exposes the whole operation struct — including the completion
+ * callback fcp_req.done and the ctrl pointer whose ops tables can be spoofed.
+ */
+
+struct nvme_fc_cmd_iu {
+    u32 format_id;
+    u32 fc_id;
+    u16 iu_len;
+    u16 flags;
+    u64 connection_id;
+    u32 csn;
+    u32 data_len;
+    u8 rsvd[16];
+};
+
+struct nvme_fc_ersp_iu {
+    u32 status_code;
+    u16 iu_len;
+    u16 rsn;
+    u32 xfrd_len;
+    u32 rsvd12;
+    u8 cqe[64];
+};
+
+struct nvmefc_fcp_req {
+    void *cmdaddr;
+    void *rspaddr;
+    u32 cmdlen;
+    u32 rsplen;
+    u32 payload_length;
+    struct scatterlist *sg_table;
+    int sg_cnt;
+    u8 op;
+    u16 sqid;
+    void (*done)(struct nvmefc_fcp_req *req);
+    void *private;
+    u32 transferred_length;
+    u16 rcv_rsplen;
+    u32 status;
+};
+
+struct nvme_fc_ops_table {
+    void (*create_queue)(struct nvme_fc_ctrl *ctrl, int qsize);
+    void (*delete_queue)(struct nvme_fc_ctrl *ctrl, int qidx);
+    void (*poll_queue)(struct nvme_fc_ctrl *ctrl, int qidx);
+    void (*ls_req)(struct nvme_fc_ctrl *ctrl, void *ls);
+    void (*fcp_io)(struct nvme_fc_ctrl *ctrl, struct nvmefc_fcp_req *req);
+    void (*ls_abort)(struct nvme_fc_ctrl *ctrl, void *ls);
+    void (*fcp_abort)(struct nvme_fc_ctrl *ctrl, struct nvmefc_fcp_req *req);
+    void (*remoteport_delete)(struct nvme_fc_ctrl *ctrl);
+    void (*localport_delete)(struct nvme_fc_ctrl *ctrl);
+    void (*map_queues)(struct nvme_fc_ctrl *ctrl);
+};
+
+struct nvme_admin_ops {
+    void (*submit_async_event)(struct nvme_fc_ctrl *ctrl);
+    void (*delete_ctrl)(struct nvme_fc_ctrl *ctrl);
+    void (*free_ctrl)(struct nvme_fc_ctrl *ctrl);
+    void (*reset_work)(struct nvme_fc_ctrl *ctrl);
+    void (*connect_work)(struct nvme_fc_ctrl *ctrl);
+    void (*ioerr_work)(struct nvme_fc_ctrl *ctrl);
+};
+
+struct nvme_fc_ctrl {
+    struct device *dev;
+    struct nvme_fc_ops_table *lport_ops;
+    struct nvme_fc_ops_table *rport_ops;
+    struct nvme_admin_ops *admin_ops;
+    u32 cnum;
+    u32 iocnt;
+    int ioq_live;
+};
+
+struct nvme_fc_fcp_op {
+    struct nvmefc_fcp_req fcp_req;
+    struct nvme_fc_ctrl *ctrl;
+    struct nvme_fc_queue *queue;
+    struct request *rq;
+    atomic_t state;
+    u32 rqno;
+    u32 nents;
+    struct nvme_fc_cmd_iu cmd_iu;
+    struct nvme_fc_ersp_iu rsp_iu;
+};
+
+static int nvme_fc_map_op(struct nvme_fc_ctrl *ctrl, struct nvme_fc_fcp_op *op)
+{
+    dma_addr_t rsp_dma;
+    dma_addr_t cmd_dma;
+
+    /* Maps the response IU: the rest of nvme_fc_fcp_op rides along. */
+    rsp_dma = dma_map_single(ctrl->dev, &op->rsp_iu,
+                             sizeof(struct nvme_fc_ersp_iu), DMA_FROM_DEVICE);
+    if (!rsp_dma) {
+        return -1;
+    }
+    cmd_dma = dma_map_single(ctrl->dev, &op->cmd_iu,
+                             sizeof(struct nvme_fc_cmd_iu), DMA_TO_DEVICE);
+    if (!cmd_dma) {
+        return -1;
+    }
+    return 0;
+}
+
+static int nvme_fc_init_request(struct nvme_fc_ctrl *ctrl, struct nvme_fc_fcp_op *op)
+{
+    op->ctrl = ctrl;
+    return nvme_fc_map_op(ctrl, op);
+}

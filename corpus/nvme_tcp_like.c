@@ -1,0 +1,37 @@
+/*
+ * NVMe-over-TCP-style host: kmalloc'd PDUs (clean heap path) interleaved
+ * with an sk_buff TX path — a file where clean and vulnerable sites coexist.
+ */
+
+struct nvme_tcp_queue {
+    struct device *dev;
+    struct net_device *netdev;
+    u32 pdu_len;
+};
+
+static int nvme_tcp_alloc_pdu(struct nvme_tcp_queue *queue)
+{
+    void *pdu;
+    dma_addr_t dma;
+
+    pdu = kzalloc(queue->pdu_len, GFP_KERNEL);
+    if (!pdu) {
+        return -1;
+    }
+    dma = dma_map_single(queue->dev, pdu, queue->pdu_len, DMA_TO_DEVICE);
+    if (!dma) {
+        return -1;
+    }
+    return 0;
+}
+
+static int nvme_tcp_try_send(struct nvme_tcp_queue *queue, struct sk_buff *skb)
+{
+    dma_addr_t dma;
+
+    dma = dma_map_single(queue->dev, skb->data, skb->len, DMA_TO_DEVICE);
+    if (!dma) {
+        return -1;
+    }
+    return 0;
+}

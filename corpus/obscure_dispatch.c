@@ -1,0 +1,31 @@
+/*
+ * Driver that maps a buffer produced by an indirect call through an ops
+ * table. SPADE cannot follow function pointers (§4.3) — a deliberate
+ * false-negative case.
+ */
+
+struct obscure_alloc_ops {
+    void *(*get_buffer)(u32 len);
+    void (*put_buffer)(void *buf);
+};
+
+struct obscure_dev {
+    struct device *dev;
+    struct obscure_alloc_ops *alloc_ops;
+};
+
+static int obscure_prepare_io(struct obscure_dev *od, u32 len)
+{
+    void *buf;
+    dma_addr_t dma;
+
+    buf = od->alloc_ops->get_buffer(len);
+    if (!buf) {
+        return -1;
+    }
+    dma = dma_map_single(od->dev, buf, len, DMA_FROM_DEVICE);
+    if (!dma) {
+        return -1;
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+/*
+ * Realtek-style driver with a switch-driven descriptor path and a do-while
+ * refill loop — exercises control-flow constructs around the map sites.
+ */
+
+struct rtl_ring {
+    struct device *dev;
+    struct net_device *netdev;
+    u32 rx_buf_sz;
+    u32 cur_rx;
+};
+
+static int rtl_rx_fill(struct rtl_ring *ring, int budget)
+{
+    struct sk_buff *skb;
+    dma_addr_t mapping;
+    int done;
+
+    done = 0;
+    do {
+        skb = netdev_alloc_skb(ring->netdev, ring->rx_buf_sz);
+        if (!skb) {
+            return done;
+        }
+        mapping = dma_map_single(ring->dev, skb->data, ring->rx_buf_sz,
+                                 DMA_FROM_DEVICE);
+        if (!mapping) {
+            return done;
+        }
+        done = done + 1;
+    } while (done < budget);
+    return done;
+}
+
+static int rtl_handle_event(struct rtl_ring *ring, int event, struct sk_buff *skb)
+{
+    dma_addr_t mapping;
+
+    switch (event) {
+    case 1:
+        mapping = dma_map_single(ring->dev, skb->data, skb->len, DMA_TO_DEVICE);
+        if (!mapping) {
+            return -1;
+        }
+        break;
+    case 2:
+        ring->cur_rx = 0;
+        break;
+    default:
+        return -1;
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/*
+ * SCSI HBA driver: sense buffer embedded in the command struct (type (a))
+ * and per-command private data obtained via scsi_cmd_priv mapped for DMA.
+ */
+
+struct hba_io_ops {
+    void (*io_done)(struct hba_cmd_priv *priv);
+    void (*io_error)(struct hba_cmd_priv *priv, int code);
+    void (*io_retry)(struct hba_cmd_priv *priv);
+    void (*io_timeout)(struct hba_cmd_priv *priv);
+};
+
+struct hba_cmd_priv {
+    u64 tag;
+    u32 flags;
+    struct hba_io_ops *ops;
+    u8 sense_buffer[96];
+    void (*scsi_done)(struct scsi_cmnd *cmd);
+};
+
+struct hba_adapter {
+    struct device *dev;
+    u32 host_no;
+};
+
+static int hba_map_sense(struct hba_adapter *hba, struct hba_cmd_priv *priv)
+{
+    dma_addr_t sense_dma;
+
+    sense_dma = dma_map_single(hba->dev, &priv->sense_buffer, 96,
+                               DMA_FROM_DEVICE);
+    if (!sense_dma) {
+        return -1;
+    }
+    return 0;
+}
+
+static int hba_queuecommand(struct hba_adapter *hba, struct scsi_cmnd *cmd)
+{
+    struct hba_cmd_priv *priv;
+    dma_addr_t data_dma;
+
+    priv = scsi_cmd_priv(cmd);
+    data_dma = dma_map_single(hba->dev, priv, sizeof(struct hba_cmd_priv),
+                              DMA_BIDIRECTIONAL);
+    if (!data_dma) {
+        return -1;
+    }
+    return hba_map_sense(hba, priv);
+}

@@ -1,0 +1,44 @@
+/*
+ * USB host controller driver: maps a setup packet that lives on the kernel
+ * stack — one of the three stack-mapped cases SPADE found in Linux 5.0.
+ */
+
+struct usb_ctrlrequest {
+    u8 bRequestType;
+    u8 bRequest;
+    u16 wValue;
+    u16 wIndex;
+    u16 wLength;
+};
+
+struct hcd_dev {
+    struct device *dev;
+    u32 bus_no;
+};
+
+static int hcd_submit_control(struct hcd_dev *hcd)
+{
+    struct usb_ctrlrequest setup;
+    dma_addr_t setup_dma;
+
+    setup.bRequestType = 128;
+    setup.bRequest = 6;
+    setup_dma = dma_map_single(hcd->dev, &setup, sizeof(struct usb_ctrlrequest),
+                               DMA_TO_DEVICE);
+    if (!setup_dma) {
+        return -1;
+    }
+    return 0;
+}
+
+static int hcd_poll_status(struct hcd_dev *hcd)
+{
+    u8 status_buf[8];
+    dma_addr_t status_dma;
+
+    status_dma = dma_map_single(hcd->dev, &status_buf[0], 8, DMA_FROM_DEVICE);
+    if (!status_dma) {
+        return -1;
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/*
+ * virtio-net-style driver: page_frag RX buffers, build_skb on the receive
+ * path, skb->data mapping on transmit.
+ */
+
+struct virtnet_rq {
+    struct device *dev;
+    struct napi_struct *napi;
+    u32 buf_len;
+};
+
+static int virtnet_add_recvbuf(struct virtnet_rq *rq)
+{
+    void *buf;
+    dma_addr_t addr;
+
+    buf = napi_alloc_frag(rq->buf_len);
+    if (!buf) {
+        return -1;
+    }
+    addr = dma_map_single(rq->dev, buf, rq->buf_len, DMA_FROM_DEVICE);
+    if (!addr) {
+        return -1;
+    }
+    return 0;
+}
+
+static struct sk_buff *virtnet_receive_buf(struct virtnet_rq *rq, void *buf)
+{
+    struct sk_buff *skb;
+
+    skb = build_skb(buf, rq->buf_len);
+    return skb;
+}
+
+static int virtnet_xmit(struct virtnet_rq *sq, struct sk_buff *skb)
+{
+    dma_addr_t addr;
+
+    addr = dma_map_single(sq->dev, skb->data, skb->len, DMA_TO_DEVICE);
+    if (!addr) {
+        return -1;
+    }
+    return 0;
+}

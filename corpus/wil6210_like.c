@@ -1,0 +1,42 @@
+/*
+ * Wireless driver with a helper-function mapping path: the buffer is mapped
+ * inside a helper that receives it as a parameter, so SPADE must trace the
+ * callers to find the exposed struct (recursive backtracking, §4.1.1).
+ */
+
+struct wil_ctx_ops {
+    void (*tx_done)(struct wil_tx_ctx *ctx);
+    void (*tx_timeout)(struct wil_tx_ctx *ctx);
+    void (*ring_reset)(struct wil_tx_ctx *ctx);
+};
+
+struct wil_tx_ctx {
+    u32 nr_frags;
+    struct wil_ctx_ops *ops;
+    u8 hdr[64];
+    u32 flags;
+};
+
+struct wil_dev {
+    struct device *dev;
+    u32 ring_size;
+};
+
+static dma_addr_t wil_map_buf(struct wil_dev *wil, void *buf, u32 len)
+{
+    dma_addr_t pa;
+
+    pa = dma_map_single(wil->dev, buf, len, DMA_TO_DEVICE);
+    return pa;
+}
+
+static int wil_tx_desc_map(struct wil_dev *wil, struct wil_tx_ctx *ctx)
+{
+    dma_addr_t pa;
+
+    pa = wil_map_buf(wil, &ctx->hdr, 64);
+    if (!pa) {
+        return -1;
+    }
+    return 0;
+}

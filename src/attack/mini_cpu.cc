@@ -1,0 +1,125 @@
+#include "attack/mini_cpu.h"
+
+#include <sstream>
+
+namespace spv::attack {
+
+Status MiniCpu::InvokeCallback(Kva function, Kva arg) {
+  rdi_ = arg.value;  // x86-64 SysV: first argument in %rdi
+  chain_active_ = false;
+  steps_ = 0;
+  return Step(function);
+}
+
+Result<uint64_t> MiniCpu::Pop() {
+  Result<uint64_t> value = kmem_.ReadU64(Kva{rsp_});
+  if (!value.ok()) {
+    return value.status();
+  }
+  rsp_ += 8;
+  return value;
+}
+
+Status MiniCpu::Step(Kva pc) {
+  while (true) {
+    if (++steps_ > kMaxSteps) {
+      return Internal("ROP chain exceeded step budget");
+    }
+    if (pc.is_null()) {
+      if (chain_active_) {
+        return OkStatus();  // chain terminator qword
+      }
+      // Direct call through a NULL pointer: kernel oops.
+      ++wild_jumps_;
+      trace_.push_back({pc, "NULL callback -> oops"});
+      return Internal("call through NULL function pointer");
+    }
+    if (!IsExecutable(pc)) {
+      ++nx_faults_;
+      trace_.push_back({pc, "NX fault: fetch from non-executable page"});
+      return PermissionDenied("NX: attempted execution from data page");
+    }
+    const uint64_t offset = pc.value - layout_.text_base();
+    const std::optional<GadgetKind> gadget = catalog_.Find(offset);
+    if (!gadget.has_value()) {
+      ++wild_jumps_;
+      trace_.push_back({pc, "wild jump into text (no gadget) -> oops"});
+      return Internal("jump to unrecognized text address");
+    }
+
+    if (cet_enabled_) {
+      if (chain_active_) {
+        // A `ret` whose target is not on the shadow stack: #CP fault.
+        ++cet_violations_;
+        trace_.push_back({pc, "CET: return target not on shadow stack -> #CP"});
+        return PermissionDenied("CET shadow-stack violation");
+      }
+      const bool endbr_marked = *gadget == GadgetKind::kPrepareKernelCred ||
+                                *gadget == GadgetKind::kCommitCreds ||
+                                *gadget == GadgetKind::kBenignDestructor;
+      if (!endbr_marked) {
+        // Indirect call into an instruction fragment (no ENDBR): #CP fault.
+        ++cet_violations_;
+        trace_.push_back({pc, "CET: indirect branch to non-ENDBR target -> #CP"});
+        return PermissionDenied("CET indirect-branch violation");
+      }
+    }
+
+    trace_.push_back({pc, GadgetKindName(*gadget)});
+
+    switch (*gadget) {
+      case GadgetKind::kJopStackPivot: {
+        // %rsp = %rdi + const; jmp — switches the stack to attacker data and
+        // starts returning through it.
+        rsp_ = rdi_ + mem::kSymJopPivotConst;
+        chain_active_ = true;
+        break;
+      }
+      case GadgetKind::kPopRdi: {
+        Result<uint64_t> value = Pop();
+        if (!value.ok()) {
+          return value.status();
+        }
+        rdi_ = *value;
+        break;
+      }
+      case GadgetKind::kPopRsi: {
+        Result<uint64_t> value = Pop();
+        if (!value.ok()) {
+          return value.status();
+        }
+        rsi_ = *value;
+        break;
+      }
+      case GadgetKind::kMovRaxRdi:
+        rdi_ = rax_;
+        break;
+      case GadgetKind::kRet:
+        break;
+      case GadgetKind::kPrepareKernelCred:
+        rax_ = kCredToken;
+        break;
+      case GadgetKind::kCommitCreds:
+        if (rdi_ == kCredToken) {
+          escalated_ = true;
+          trace_.push_back({pc, "*** commit_creds(root) — privilege escalated ***"});
+        }
+        break;
+      case GadgetKind::kBenignDestructor:
+        ++benign_callbacks_;
+        return OkStatus();  // normal callback: runs and returns to the kernel
+    }
+
+    if (!chain_active_) {
+      return OkStatus();  // plain call, no pivot: returns to the kernel
+    }
+    // ret: next pc from the (attacker-controlled) stack.
+    Result<uint64_t> next = Pop();
+    if (!next.ok()) {
+      return next.status();
+    }
+    pc = Kva{*next};
+  }
+}
+
+}  // namespace spv::attack

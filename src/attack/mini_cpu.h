@@ -1,0 +1,102 @@
+// MiniCpu: an NX-aware CPU model that executes kernel callbacks.
+//
+// Plugged into the network stack as the CallbackInvoker. When the kernel
+// calls through a function pointer:
+//   * a target outside the kernel-text mapping raises an NX fault (W^X/DEP,
+//     §2.4) — naive "point the callback at my shellcode" injection fails;
+//   * a target inside text executes the catalogued gadget semantics. The
+//     JOP stack-pivot gadget switches %rsp to attacker data, after which the
+//     CPU pops "return addresses" from simulated memory and executes them as
+//     a ROP chain (§2.4, §6).
+//
+// Privilege escalation is modelled as prepare_kernel_cred -> commit_creds
+// with a matching cred token; `privilege_escalated()` is the attack's
+// success bit.
+
+#ifndef SPV_ATTACK_MINI_CPU_H_
+#define SPV_ATTACK_MINI_CPU_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/gadgets.h"
+#include "base/status.h"
+#include "base/types.h"
+#include "dma/kernel_memory.h"
+#include "mem/kernel_layout.h"
+#include "net/skbuff.h"
+
+namespace spv::attack {
+
+class MiniCpu : public net::CallbackInvoker {
+ public:
+  struct TraceEntry {
+    Kva pc;
+    std::string what;
+  };
+
+  MiniCpu(dma::KernelMemory& kmem, const mem::KernelLayout& layout,
+          GadgetCatalog catalog = GadgetCatalog::Default())
+      : kmem_(kmem), layout_(layout), catalog_(std::move(catalog)) {}
+
+  // Intel CET model (§8): a shadow stack the attacker cannot write. With CET
+  // on, every `ret` target is checked against the shadow stack, and indirect
+  // jump/call targets must be ENDBR-marked (we mark whole-function gadgets —
+  // prepare_kernel_cred, commit_creds, the benign destructor — but not
+  // instruction-fragment gadgets). ROP/JOP chains die on the first gadget.
+  void set_cet_enabled(bool enabled) { cet_enabled_ = enabled; }
+  uint64_t cet_violations() const { return cet_violations_; }
+
+  // net::CallbackInvoker — entry point for kernel indirect calls.
+  Status InvokeCallback(Kva function, Kva arg) override;
+
+  bool privilege_escalated() const { return escalated_; }
+  uint64_t nx_faults() const { return nx_faults_; }
+  uint64_t wild_jumps() const { return wild_jumps_; }  // text KVA with no gadget
+  uint64_t benign_callbacks() const { return benign_callbacks_; }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+
+  void ResetForNextRun() {
+    escalated_ = false;
+    trace_.clear();
+  }
+
+  // The kernel-image span treated as executable. 512 MiB window like Table 1.
+  static constexpr uint64_t kTextBytes = 512ull << 20;
+
+ private:
+  static constexpr int kMaxSteps = 64;
+  static constexpr uint64_t kCredToken = 0x637265645f746f6bULL;  // "cred_tok"
+
+  bool IsExecutable(Kva kva) const {
+    return kva.value >= layout_.text_base() && kva.value < layout_.text_base() + kTextBytes;
+  }
+
+  Status Step(Kva pc);   // execute one gadget, possibly continuing the chain
+  Result<uint64_t> Pop();
+
+  dma::KernelMemory& kmem_;
+  const mem::KernelLayout& layout_;
+  GadgetCatalog catalog_;
+
+  // Register file (the subset the gadgets touch).
+  uint64_t rax_ = 0;
+  uint64_t rdi_ = 0;
+  uint64_t rsi_ = 0;
+  uint64_t rsp_ = 0;
+  bool chain_active_ = false;
+  int steps_ = 0;
+
+  bool escalated_ = false;
+  bool cet_enabled_ = false;
+  uint64_t cet_violations_ = 0;
+  uint64_t nx_faults_ = 0;
+  uint64_t wild_jumps_ = 0;
+  uint64_t benign_callbacks_ = 0;
+  std::vector<TraceEntry> trace_;
+};
+
+}  // namespace spv::attack
+
+#endif  // SPV_ATTACK_MINI_CPU_H_

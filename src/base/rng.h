@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generators.
+//
+// All simulator randomness (KASLR offsets, boot-schedule jitter, workload
+// arrival processes) flows from explicitly seeded generators so that every
+// test and benchmark run is reproducible. We deliberately avoid <random>'s
+// distribution objects in hot paths; the helpers below are branch-light and
+// well-defined across platforms.
+
+#ifndef SPV_BASE_RNG_H_
+#define SPV_BASE_RNG_H_
+
+#include <array>
+#include <cstdint>
+
+namespace spv {
+
+// SplitMix64: used for seeding and cheap one-shot mixing.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  constexpr uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256**: main generator. Fast, high quality, tiny state.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    SplitMix64 sm{seed};
+    for (auto& s : state_) {
+      s = sm.Next();
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Lemire's multiply-shift rejection method.
+  uint64_t NextBelow(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    unsigned __int128 m = static_cast<unsigned __int128>(Next()) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(Next()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) { return lo + NextBelow(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<uint64_t, 4> state_{};
+};
+
+}  // namespace spv
+
+#endif  // SPV_BASE_RNG_H_

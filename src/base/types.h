@@ -1,0 +1,125 @@
+// Core strong types shared by every spv module.
+//
+// The simulator juggles three distinct address spaces (§2.4 of the paper):
+//   * physical addresses / page frame numbers (PFN),
+//   * kernel virtual addresses (KVA) within the randomized kernel layout,
+//   * I/O virtual addresses (IOVA) as seen by DMA devices through the IOMMU.
+// Mixing them up is exactly the class of bug the paper exploits, so each gets
+// a distinct wrapper type with no implicit conversions between them.
+
+#ifndef SPV_BASE_TYPES_H_
+#define SPV_BASE_TYPES_H_
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace spv {
+
+inline constexpr uint64_t kPageShift = 12;
+inline constexpr uint64_t kPageSize = uint64_t{1} << kPageShift;  // 4 KiB
+inline constexpr uint64_t kPageMask = kPageSize - 1;
+
+// Page frame number: index of a 4 KiB physical page.
+struct Pfn {
+  uint64_t value = 0;
+
+  constexpr Pfn() = default;
+  constexpr explicit Pfn(uint64_t v) : value(v) {}
+
+  constexpr uint64_t PhysBase() const { return value << kPageShift; }
+  constexpr auto operator<=>(const Pfn&) const = default;
+};
+
+// Physical address: byte address into simulated physical memory.
+struct PhysAddr {
+  uint64_t value = 0;
+
+  constexpr PhysAddr() = default;
+  constexpr explicit PhysAddr(uint64_t v) : value(v) {}
+  constexpr static PhysAddr FromPfn(Pfn pfn, uint64_t offset = 0) {
+    return PhysAddr{(pfn.value << kPageShift) | (offset & kPageMask)};
+  }
+
+  constexpr Pfn pfn() const { return Pfn{value >> kPageShift}; }
+  constexpr uint64_t page_offset() const { return value & kPageMask; }
+  constexpr auto operator<=>(const PhysAddr&) const = default;
+};
+
+// Kernel virtual address. Only meaningful relative to a KernelLayout.
+struct Kva {
+  uint64_t value = 0;
+
+  constexpr Kva() = default;
+  constexpr explicit Kva(uint64_t v) : value(v) {}
+
+  constexpr bool is_null() const { return value == 0; }
+  constexpr uint64_t page_offset() const { return value & kPageMask; }
+  constexpr Kva PageBase() const { return Kva{value & ~kPageMask}; }
+  constexpr auto operator<=>(const Kva&) const = default;
+};
+
+// I/O virtual address handed to a device by the DMA API.
+struct Iova {
+  uint64_t value = 0;
+
+  constexpr Iova() = default;
+  constexpr explicit Iova(uint64_t v) : value(v) {}
+
+  constexpr bool is_null() const { return value == 0; }
+  constexpr uint64_t page_offset() const { return value & kPageMask; }
+  constexpr Iova PageBase() const { return Iova{value & ~kPageMask}; }
+  constexpr auto operator<=>(const Iova&) const = default;
+};
+
+constexpr Kva operator+(Kva a, uint64_t off) { return Kva{a.value + off}; }
+constexpr Kva operator-(Kva a, uint64_t off) { return Kva{a.value - off}; }
+constexpr uint64_t operator-(Kva a, Kva b) { return a.value - b.value; }
+constexpr Iova operator+(Iova a, uint64_t off) { return Iova{a.value + off}; }
+constexpr Iova operator-(Iova a, uint64_t off) { return Iova{a.value - off}; }
+constexpr uint64_t operator-(Iova a, Iova b) { return a.value - b.value; }
+constexpr PhysAddr operator+(PhysAddr a, uint64_t off) { return PhysAddr{a.value + off}; }
+
+// Identifies a DMA-capable device attached to the simulated machine. The
+// IOMMU keeps one I/O page table per DeviceId (as Intel VT-d does per
+// requester-id).
+struct DeviceId {
+  uint32_t value = 0;
+
+  constexpr DeviceId() = default;
+  constexpr explicit DeviceId(uint32_t v) : value(v) {}
+  constexpr auto operator<=>(const DeviceId&) const = default;
+};
+
+// Simulated CPU identifier; page_frag pools and RX rings are per-CPU (§5.2.2).
+struct CpuId {
+  uint32_t value = 0;
+
+  constexpr CpuId() = default;
+  constexpr explicit CpuId(uint32_t v) : value(v) {}
+  constexpr auto operator<=>(const CpuId&) const = default;
+};
+
+}  // namespace spv
+
+template <>
+struct std::hash<spv::Pfn> {
+  size_t operator()(const spv::Pfn& p) const noexcept { return std::hash<uint64_t>{}(p.value); }
+};
+template <>
+struct std::hash<spv::Kva> {
+  size_t operator()(const spv::Kva& k) const noexcept { return std::hash<uint64_t>{}(k.value); }
+};
+template <>
+struct std::hash<spv::Iova> {
+  size_t operator()(const spv::Iova& i) const noexcept { return std::hash<uint64_t>{}(i.value); }
+};
+template <>
+struct std::hash<spv::DeviceId> {
+  size_t operator()(const spv::DeviceId& d) const noexcept {
+    return std::hash<uint32_t>{}(d.value);
+  }
+};
+
+#endif  // SPV_BASE_TYPES_H_

@@ -1,0 +1,63 @@
+#include "core/machine.h"
+
+#include <cassert>
+
+namespace spv::core {
+
+namespace {
+
+mem::KernelLayout MakeLayout(const MachineConfig& config, Xoshiro256& rng) {
+  return mem::KernelLayout::Create(config.phys_pages, config.kaslr, rng);
+}
+
+}  // namespace
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      pm_(config.phys_pages),
+      page_db_(config.phys_pages),
+      layout_(MakeLayout(config, rng_)) {
+  assert(config.kernel_image_pages < config.phys_pages);
+  if (config.randomize_struct_layout) {
+    // Shuffle destructor_arg among the unused pointer-sized slots (8: the
+    // frag_list slot, 16: hwtstamps, 32: the compile-time position). Slot 24
+    // is excluded: tskey/dataref live there.
+    const uint64_t candidates[] = {8, 16, 32};
+    layout_.set_shinfo_destructor_offset(candidates[rng_.NextBelow(3)]);
+  }
+  // Reserve the kernel image at the bottom of RAM.
+  for (uint64_t pfn = 0; pfn < config.kernel_image_pages; ++pfn) {
+    page_db_.Get(Pfn{pfn}).owner = mem::PageOwner::kKernelImage;
+  }
+  page_alloc_ = std::make_unique<mem::PageAllocator>(
+      page_db_, Pfn{config.kernel_image_pages},
+      config.phys_pages - config.kernel_image_pages);
+  iommu_ = std::make_unique<iommu::Iommu>(pm_, clock_, config.iommu);
+  dma_ = std::make_unique<dma::DmaApi>(*iommu_, layout_);
+  kmem_ = std::make_unique<dma::KernelMemory>(pm_, layout_, *dma_);
+  slab_ = std::make_unique<slab::SlabAllocator>(pm_, page_db_, *page_alloc_, layout_);
+  skb_alloc_ = std::make_unique<net::SkbAllocator>(*kmem_, *slab_);
+  stack_ = std::make_unique<net::NetworkStack>(*kmem_, *slab_, *skb_alloc_, config.net);
+}
+
+slab::PageFragPool& Machine::frag_pool(CpuId cpu) {
+  while (frag_pools_.size() <= cpu.value) {
+    const CpuId new_cpu{static_cast<uint32_t>(frag_pools_.size())};
+    frag_pools_.push_back(
+        std::make_unique<slab::PageFragPool>(page_db_, *page_alloc_, layout_, new_cpu));
+    skb_alloc_->RegisterFragPool(new_cpu, frag_pools_.back().get());
+  }
+  return *frag_pools_[cpu.value];
+}
+
+net::NicDriver& Machine::AddNicDriver(const net::NicDriver::Config& config) {
+  const DeviceId device{next_device_id_++};
+  iommu_->AttachDevice(device);
+  frag_pool(config.cpu);  // ensure the per-CPU pool exists and is registered
+  drivers_.push_back(std::make_unique<net::NicDriver>(device, *dma_, *kmem_, *skb_alloc_,
+                                                      clock_, config));
+  return *drivers_.back();
+}
+
+}  // namespace spv::core

@@ -1,0 +1,98 @@
+// Machine: the facade wiring every substrate into one simulated host.
+//
+// Construction order mirrors a boot: physical memory, kernel layout (KASLR),
+// page allocator (with the kernel image reserved), IOMMU, DMA API, slab,
+// network stack. NIC drivers (and their per-CPU page_frag pools) are added
+// like module loads. This is the public entry point of the library — see
+// examples/quickstart.cc.
+
+#ifndef SPV_CORE_MACHINE_H_
+#define SPV_CORE_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/types.h"
+#include "dma/dma_api.h"
+#include "dma/kernel_memory.h"
+#include "iommu/iommu.h"
+#include "mem/kernel_layout.h"
+#include "mem/page_allocator.h"
+#include "mem/page_db.h"
+#include "mem/phys_memory.h"
+#include "net/nic_driver.h"
+#include "net/skbuff.h"
+#include "net/stack.h"
+#include "slab/page_frag.h"
+#include "slab/slab_allocator.h"
+
+namespace spv::core {
+
+struct MachineConfig {
+  uint64_t phys_pages = 16384;  // 64 MiB of simulated RAM
+  uint64_t kernel_image_pages = 1024;  // reserved at the bottom of RAM
+  bool kaslr = true;
+  // CONFIG_GCC_PLUGIN_RANDSTRUCT-style structure layout randomization
+  // (paper footnote 2): shuffles skb_shared_info's destructor_arg slot.
+  bool randomize_struct_layout = false;
+  uint64_t seed = 1;
+  iommu::Iommu::Config iommu;          // deferred mode by default, like Linux
+  net::NetworkStack::Config net;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // Adds a NIC driver instance; attaches its device to the IOMMU and creates
+  // the per-CPU page_frag pool backing its RX ring (§5.2.2).
+  net::NicDriver& AddNicDriver(const net::NicDriver::Config& config);
+
+  // ---- Component access ------------------------------------------------------
+
+  SimClock& clock() { return clock_; }
+  Xoshiro256& rng() { return rng_; }
+  mem::PhysicalMemory& pm() { return pm_; }
+  mem::PageDb& page_db() { return page_db_; }
+  mem::PageAllocator& page_alloc() { return *page_alloc_; }
+  const mem::KernelLayout& layout() const { return layout_; }
+  iommu::Iommu& iommu() { return *iommu_; }
+  dma::DmaApi& dma() { return *dma_; }
+  dma::KernelMemory& kmem() { return *kmem_; }
+  slab::SlabAllocator& slab() { return *slab_; }
+  net::SkbAllocator& skb_alloc() { return *skb_alloc_; }
+  net::NetworkStack& stack() { return *stack_; }
+  slab::PageFragPool& frag_pool(CpuId cpu);
+
+  const MachineConfig& config() const { return config_; }
+  DeviceId next_device_id() const { return DeviceId{next_device_id_}; }
+
+ private:
+  MachineConfig config_;
+  SimClock clock_;
+  Xoshiro256 rng_;
+  mem::PhysicalMemory pm_;
+  mem::PageDb page_db_;
+  mem::KernelLayout layout_;
+  std::unique_ptr<mem::PageAllocator> page_alloc_;
+  std::unique_ptr<iommu::Iommu> iommu_;
+  std::unique_ptr<dma::DmaApi> dma_;
+  std::unique_ptr<dma::KernelMemory> kmem_;
+  std::unique_ptr<slab::SlabAllocator> slab_;
+  std::unique_ptr<net::SkbAllocator> skb_alloc_;
+  std::unique_ptr<net::NetworkStack> stack_;
+  std::vector<std::unique_ptr<slab::PageFragPool>> frag_pools_;
+  std::vector<std::unique_ptr<net::NicDriver>> drivers_;
+  uint32_t next_device_id_ = 1;
+};
+
+}  // namespace spv::core
+
+#endif  // SPV_CORE_MACHINE_H_

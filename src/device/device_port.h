@@ -1,0 +1,72 @@
+// DevicePort: the only path a device has into host memory.
+//
+// Threat-model enforcement (§3.1): a device object holds a DevicePort and
+// nothing else. Every access goes through Iommu::DeviceRead/DeviceWrite —
+// translated, permission-checked, fault-logged. No PFNs, no KVAs, no host
+// pointers. Everything the attack "knows" it must have observed through
+// this port or through descriptor notifications.
+
+#ifndef SPV_DEVICE_DEVICE_PORT_H_
+#define SPV_DEVICE_DEVICE_PORT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "iommu/iommu.h"
+
+namespace spv::device {
+
+class DevicePort {
+ public:
+  DevicePort(iommu::Iommu& iommu, DeviceId id) : iommu_(iommu), id_(id) {}
+
+  DeviceId id() const { return id_; }
+
+  Status Write(Iova iova, std::span<const uint8_t> data) {
+    return iommu_.DeviceWrite(id_, iova, data);
+  }
+  Status Read(Iova iova, std::span<uint8_t> out) { return iommu_.DeviceRead(id_, iova, out); }
+
+  Status WriteU64(Iova iova, uint64_t value) {
+    uint8_t buf[8];
+    std::memcpy(buf, &value, 8);
+    return Write(iova, buf);
+  }
+
+  Result<uint64_t> ReadU64(Iova iova) {
+    uint8_t buf[8];
+    SPV_RETURN_IF_ERROR(Read(iova, buf));
+    uint64_t value;
+    std::memcpy(&value, buf, 8);
+    return value;
+  }
+
+  Result<std::vector<uint8_t>> ReadBlock(Iova iova, uint64_t len) {
+    std::vector<uint8_t> out(len);
+    SPV_RETURN_IF_ERROR(Read(iova, std::span<uint8_t>(out)));
+    return out;
+  }
+
+  // Reads the full page containing `iova` as 512 qwords (the scanning
+  // primitive behind §2.4's leaked-pointer search).
+  Result<std::vector<uint64_t>> ReadPageQwords(Iova iova) {
+    Result<std::vector<uint8_t>> bytes = ReadBlock(iova.PageBase(), kPageSize);
+    if (!bytes.ok()) {
+      return bytes.status();
+    }
+    std::vector<uint64_t> qwords(kPageSize / 8);
+    std::memcpy(qwords.data(), bytes->data(), kPageSize);
+    return qwords;
+  }
+
+ private:
+  iommu::Iommu& iommu_;
+  DeviceId id_;
+};
+
+}  // namespace spv::device
+
+#endif  // SPV_DEVICE_DEVICE_PORT_H_

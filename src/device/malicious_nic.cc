@@ -1,0 +1,52 @@
+#include "device/malicious_nic.h"
+
+#include <cstring>
+
+namespace spv::device {
+
+Status MaliciousNic::WriteWirePacket(Iova iova, const net::PacketHeader& header,
+                                     std::span<const uint8_t> payload) {
+  std::vector<uint8_t> wire(net::PacketHeader::kSize + payload.size());
+  auto put32 = [&](uint64_t at, uint32_t v) { std::memcpy(wire.data() + at, &v, 4); };
+  auto put16 = [&](uint64_t at, uint16_t v) { std::memcpy(wire.data() + at, &v, 2); };
+  put32(net::PacketHeader::kSrcIp, header.src_ip);
+  put32(net::PacketHeader::kDstIp, header.dst_ip);
+  put16(net::PacketHeader::kSrcPort, header.src_port);
+  put16(net::PacketHeader::kDstPort, header.dst_port);
+  wire[net::PacketHeader::kProto] = header.proto;
+  wire[net::PacketHeader::kFlags] = header.flags;
+  put16(net::PacketHeader::kLen, static_cast<uint16_t>(payload.size()));
+  put32(net::PacketHeader::kSeq, header.seq);
+  std::copy(payload.begin(), payload.end(), wire.begin() + net::PacketHeader::kSize);
+  return port_.Write(iova, wire);
+}
+
+Result<uint32_t> MaliciousNic::InjectRx(const net::PacketHeader& header,
+                                        std::span<const uint8_t> payload) {
+  if (rx_posted_.empty()) {
+    return Unavailable("no posted RX descriptors");
+  }
+  const net::RxPostedDescriptor descriptor = rx_posted_.front();
+  rx_posted_.pop_front();
+  SPV_RETURN_IF_ERROR(WriteWirePacket(descriptor.iova, header, payload));
+  return descriptor.index;
+}
+
+Result<std::vector<uint64_t>> MaliciousNic::HarvestReadableQwords() {
+  std::vector<uint64_t> harvest;
+  for (const net::TxPostedDescriptor& descriptor : tx_posted_) {
+    Result<std::vector<uint64_t>> page = port_.ReadPageQwords(descriptor.linear_iova);
+    if (page.ok()) {
+      harvest.insert(harvest.end(), page->begin(), page->end());
+    }
+    for (const Iova frag_iova : descriptor.frag_iovas) {
+      Result<std::vector<uint64_t>> frag_page = port_.ReadPageQwords(frag_iova);
+      if (frag_page.ok()) {
+        harvest.insert(harvest.end(), frag_page->begin(), frag_page->end());
+      }
+    }
+  }
+  return harvest;
+}
+
+}  // namespace spv::device

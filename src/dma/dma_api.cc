@@ -1,0 +1,171 @@
+#include "dma/dma_api.h"
+
+#include <algorithm>
+
+namespace spv::dma {
+
+iommu::AccessRights RightsFor(DmaDirection dir) {
+  switch (dir) {
+    case DmaDirection::kToDevice:
+      return iommu::AccessRights::kRead;
+    case DmaDirection::kFromDevice:
+      return iommu::AccessRights::kWrite;
+    case DmaDirection::kBidirectional:
+      return iommu::AccessRights::kBidirectional;
+  }
+  return iommu::AccessRights::kNone;
+}
+
+std::string DmaDirectionName(DmaDirection dir) {
+  switch (dir) {
+    case DmaDirection::kToDevice:
+      return "DMA_TO_DEVICE";
+    case DmaDirection::kFromDevice:
+      return "DMA_FROM_DEVICE";
+    case DmaDirection::kBidirectional:
+      return "DMA_BIDIRECTIONAL";
+  }
+  return "?";
+}
+
+DmaApi::DmaApi(iommu::Iommu& iommu, const mem::KernelLayout& layout)
+    : iommu_(iommu), layout_(layout) {}
+
+Result<Iova> DmaApi::MapSingle(DeviceId device, Kva kva, uint64_t len, DmaDirection dir,
+                               std::string_view site) {
+  if (len == 0) {
+    return InvalidArgument("dma_map_single with zero length");
+  }
+  Result<PhysAddr> phys = layout_.DirectMapKvaToPhys(kva);
+  if (!phys.ok()) {
+    return InvalidArgument("dma_map_single of non-direct-map KVA");
+  }
+  // The mapping covers *every page the buffer touches*, not just the bytes.
+  const uint64_t pages = (kva.page_offset() + len + kPageSize - 1) >> kPageShift;
+  std::vector<Pfn> pfns;
+  pfns.reserve(pages);
+  for (uint64_t i = 0; i < pages; ++i) {
+    pfns.push_back(Pfn{phys->pfn().value + i});
+  }
+  Result<Iova> base = iommu_.MapRange(device, pfns, RightsFor(dir));
+  if (!base.ok()) {
+    return base.status();
+  }
+  const Iova iova = *base + kva.page_offset();
+  DmaMapping mapping{device, iova, kva, len, dir, std::string(site)};
+  by_iova_[IovaKey{device.value, base->value >> kPageShift}] = mapping;
+  Notify(mapping, /*map=*/true);
+  return iova;
+}
+
+Status DmaApi::UnmapSingle(DeviceId device, Iova iova, uint64_t len, DmaDirection dir) {
+  const IovaKey key{device.value, iova.PageBase().value >> kPageShift};
+  auto it = by_iova_.find(key);
+  if (it == by_iova_.end()) {
+    return FailedPrecondition("dma_unmap_single of unmapped IOVA");
+  }
+  const DmaMapping mapping = it->second;
+  if (mapping.len != len || mapping.dir != dir) {
+    return InvalidArgument("dma_unmap_single with mismatched length or direction");
+  }
+  by_iova_.erase(it);
+  SPV_RETURN_IF_ERROR(iommu_.UnmapRange(device, iova.PageBase(), mapping.pages()));
+  Notify(mapping, /*map=*/false);
+  return OkStatus();
+}
+
+Status DmaApi::SyncSingleForCpu(DeviceId device, Iova iova, uint64_t len, DmaDirection dir) {
+  std::optional<DmaMapping> mapping = FindMapping(device, iova);
+  if (!mapping.has_value() || mapping->dir != dir || mapping->len < len) {
+    return FailedPrecondition("dma_sync_single_for_cpu on invalid mapping");
+  }
+  // CPU takes ownership of the bytes; the translation stays live.
+  NotifyCpuAccess(mapping->kva, len, /*is_write=*/false);
+  return OkStatus();
+}
+
+Status DmaApi::SyncSingleForDevice(DeviceId device, Iova iova, uint64_t len,
+                                   DmaDirection dir) {
+  std::optional<DmaMapping> mapping = FindMapping(device, iova);
+  if (!mapping.has_value() || mapping->dir != dir || mapping->len < len) {
+    return FailedPrecondition("dma_sync_single_for_device on invalid mapping");
+  }
+  return OkStatus();
+}
+
+Result<std::vector<Iova>> DmaApi::MapSg(DeviceId device, std::span<const SgEntry> entries,
+                                        DmaDirection dir, std::string_view site) {
+  std::vector<Iova> iovas;
+  iovas.reserve(entries.size());
+  for (const SgEntry& entry : entries) {
+    Result<Iova> iova = MapSingle(device, entry.kva, entry.len, dir, site);
+    if (!iova.ok()) {
+      // Roll back the partial list.
+      for (size_t i = 0; i < iovas.size(); ++i) {
+        (void)UnmapSingle(device, iovas[i], entries[i].len, dir);
+      }
+      return iova.status();
+    }
+    iovas.push_back(*iova);
+  }
+  return iovas;
+}
+
+Status DmaApi::UnmapSg(DeviceId device, std::span<const Iova> iovas,
+                       std::span<const SgEntry> entries, DmaDirection dir) {
+  if (iovas.size() != entries.size()) {
+    return InvalidArgument("dma_unmap_sg with mismatched list sizes");
+  }
+  for (size_t i = 0; i < iovas.size(); ++i) {
+    SPV_RETURN_IF_ERROR(UnmapSingle(device, iovas[i], entries[i].len, dir));
+  }
+  return OkStatus();
+}
+
+std::vector<DmaMapping> DmaApi::MappingsForPfn(Pfn pfn) const {
+  std::vector<DmaMapping> out;
+  for (const auto& [key, mapping] : by_iova_) {
+    auto phys = layout_.DirectMapKvaToPhys(mapping.kva);
+    if (!phys.ok()) {
+      continue;
+    }
+    const uint64_t first = phys->pfn().value;
+    const uint64_t last = first + mapping.pages() - 1;
+    if (pfn.value >= first && pfn.value <= last) {
+      out.push_back(mapping);
+    }
+  }
+  return out;
+}
+
+std::optional<DmaMapping> DmaApi::FindMapping(DeviceId device, Iova iova) const {
+  auto it = by_iova_.find(IovaKey{device.value, iova.PageBase().value >> kPageShift});
+  if (it == by_iova_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void DmaApi::RemoveObserver(DmaObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+void DmaApi::NotifyCpuAccess(Kva kva, uint64_t len, bool is_write) {
+  for (DmaObserver* obs : observers_) {
+    obs->OnCpuAccess(kva, len, is_write);
+  }
+}
+
+void DmaApi::Notify(const DmaMapping& mapping, bool map) {
+  for (DmaObserver* obs : observers_) {
+    if (map) {
+      obs->OnMap(mapping.device, mapping.kva, mapping.len, mapping.iova, RightsFor(mapping.dir),
+                 mapping.site);
+    } else {
+      obs->OnUnmap(mapping.device, mapping.kva, mapping.len);
+    }
+  }
+}
+
+}  // namespace spv::dma

@@ -1,0 +1,129 @@
+// The Linux DMA API (§2.3, §9.1), faithfully including its footguns.
+//
+// * MapSingle(kva, len) maps every page the buffer touches. The API
+//   "insinuates that only the mapped bytes are exposed, when, in fact, the
+//   whole page is accessible" — the insinuation is the signature; the
+//   exposure is what this layer actually does.
+// * UnmapSingle "insinuates that the buffer is not accessible to the device
+//   after the call", which is false under deferred invalidation (and under
+//   type (c) aliasing); this layer simply forwards to the IOMMU's configured
+//   policy.
+//
+// Ownership semantics: a mapped buffer belongs to the device until unmapped.
+// The tracker records every live mapping so D-KASAN and the ground-truth
+// analyses can ask "which mappings cover this page?".
+
+#ifndef SPV_DMA_DMA_API_H_
+#define SPV_DMA_DMA_API_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "dma/observer.h"
+#include "iommu/iommu.h"
+#include "mem/kernel_layout.h"
+
+namespace spv::dma {
+
+// Matches enum dma_data_direction.
+enum class DmaDirection : uint8_t {
+  kToDevice,       // TX: device reads -> IOMMU READ
+  kFromDevice,     // RX: device writes -> IOMMU WRITE
+  kBidirectional,  // e.g. XDP -> IOMMU READ|WRITE
+};
+
+iommu::AccessRights RightsFor(DmaDirection dir);
+std::string DmaDirectionName(DmaDirection dir);
+
+struct DmaMapping {
+  DeviceId device;
+  Iova iova;       // of the buffer start (page base + sub-page offset)
+  Kva kva;         // buffer start
+  uint64_t len;    // requested length, NOT the exposed length
+  DmaDirection dir;
+  std::string site;
+
+  uint64_t pages() const { return ((kva.page_offset() + len + kPageSize - 1) >> kPageShift); }
+  uint64_t exposed_bytes() const { return pages() << kPageShift; }
+};
+
+struct SgEntry {
+  Kva kva;
+  uint64_t len;
+};
+
+class DmaApi {
+ public:
+  DmaApi(iommu::Iommu& iommu, const mem::KernelLayout& layout);
+  virtual ~DmaApi() = default;
+
+  DmaApi(const DmaApi&) = delete;
+  DmaApi& operator=(const DmaApi&) = delete;
+
+  // dma_map_single: maps [kva, kva+len) for `device`; returns the IOVA
+  // corresponding to `kva` (same sub-page offset). Virtual so alternative
+  // backends (bounce buffers, §8 [47]) can replace the zero-copy path.
+  virtual Result<Iova> MapSingle(DeviceId device, Kva kva, uint64_t len, DmaDirection dir,
+                                 std::string_view site = "dma_map_single");
+
+  // dma_unmap_single: releases the mapping created for this IOVA.
+  virtual Status UnmapSingle(DeviceId device, Iova iova, uint64_t len, DmaDirection dir);
+
+  // dma_sync_single_for_cpu / _for_device: ownership handoff without
+  // unmapping. Drivers with persistent RX mappings (real i40e page reuse)
+  // call these instead of unmap — which means the device NEVER loses access
+  // to the page, in any IOMMU mode. Functionally a no-op in our coherent
+  // simulation, but it validates the mapping and feeds the sanitizer.
+  Status SyncSingleForCpu(DeviceId device, Iova iova, uint64_t len, DmaDirection dir);
+  Status SyncSingleForDevice(DeviceId device, Iova iova, uint64_t len, DmaDirection dir);
+
+  // dma_map_sg / dma_unmap_sg: each entry mapped independently (we model the
+  // common non-IOVA-merging path).
+  Result<std::vector<Iova>> MapSg(DeviceId device, std::span<const SgEntry> entries,
+                                  DmaDirection dir, std::string_view site = "dma_map_sg");
+  Status UnmapSg(DeviceId device, std::span<const Iova> iovas,
+                 std::span<const SgEntry> entries, DmaDirection dir);
+
+  // ---- Introspection ---------------------------------------------------------
+
+  // Live mappings (by any device) that cover physical page `pfn`.
+  std::vector<DmaMapping> MappingsForPfn(Pfn pfn) const;
+  std::optional<DmaMapping> FindMapping(DeviceId device, Iova iova) const;
+  uint64_t live_mappings() const { return by_iova_.size(); }
+
+  void AddObserver(DmaObserver* observer) { observers_.push_back(observer); }
+  void RemoveObserver(DmaObserver* observer);
+
+  // Fired by KernelMemory on every CPU access (KASAN-instrumentation model).
+  void NotifyCpuAccess(Kva kva, uint64_t len, bool is_write);
+
+  const mem::KernelLayout& layout() const { return layout_; }
+  iommu::Iommu& iommu() { return iommu_; }
+
+ private:
+  struct IovaKey {
+    uint32_t device;
+    uint64_t iova_page;
+    bool operator<(const IovaKey& other) const {
+      return std::tie(device, iova_page) < std::tie(other.device, other.iova_page);
+    }
+  };
+
+  void Notify(const DmaMapping& mapping, bool map);
+
+  iommu::Iommu& iommu_;
+  const mem::KernelLayout& layout_;
+  std::map<IovaKey, DmaMapping> by_iova_;
+  std::vector<DmaObserver*> observers_;
+};
+
+}  // namespace spv::dma
+
+#endif  // SPV_DMA_DMA_API_H_

@@ -1,0 +1,112 @@
+#include "dma/kernel_memory.h"
+
+#include <vector>
+
+namespace spv::dma {
+
+Result<PhysAddr> KernelMemory::Translate(Kva kva, uint64_t len, bool is_write) const {
+  Result<PhysAddr> phys = layout_.DirectMapKvaToPhys(kva);
+  if (!phys.ok()) {
+    return phys.status();
+  }
+  // const_cast-free design would thread mutability; the hook is logically
+  // non-mutating from the caller's perspective.
+  const_cast<DmaApi&>(dma_).NotifyCpuAccess(kva, len, is_write);
+  return phys;
+}
+
+Result<uint64_t> KernelMemory::ReadU64(Kva kva) const {
+  Result<PhysAddr> phys = Translate(kva, 8, false);
+  if (!phys.ok()) {
+    return phys.status();
+  }
+  return pm_.ReadU64(*phys);
+}
+
+Result<uint32_t> KernelMemory::ReadU32(Kva kva) const {
+  Result<PhysAddr> phys = Translate(kva, 4, false);
+  if (!phys.ok()) {
+    return phys.status();
+  }
+  return pm_.ReadU32(*phys);
+}
+
+Result<uint16_t> KernelMemory::ReadU16(Kva kva) const {
+  Result<PhysAddr> phys = Translate(kva, 2, false);
+  if (!phys.ok()) {
+    return phys.status();
+  }
+  return pm_.ReadU16(*phys);
+}
+
+Result<uint8_t> KernelMemory::ReadU8(Kva kva) const {
+  Result<PhysAddr> phys = Translate(kva, 1, false);
+  if (!phys.ok()) {
+    return phys.status();
+  }
+  return pm_.ReadU8(*phys);
+}
+
+Status KernelMemory::WriteU64(Kva kva, uint64_t value) {
+  Result<PhysAddr> phys = Translate(kva, 8, true);
+  if (!phys.ok()) {
+    return phys.status();
+  }
+  return pm_.WriteU64(*phys, value);
+}
+
+Status KernelMemory::WriteU32(Kva kva, uint32_t value) {
+  Result<PhysAddr> phys = Translate(kva, 4, true);
+  if (!phys.ok()) {
+    return phys.status();
+  }
+  return pm_.WriteU32(*phys, value);
+}
+
+Status KernelMemory::WriteU16(Kva kva, uint16_t value) {
+  Result<PhysAddr> phys = Translate(kva, 2, true);
+  if (!phys.ok()) {
+    return phys.status();
+  }
+  return pm_.WriteU16(*phys, value);
+}
+
+Status KernelMemory::WriteU8(Kva kva, uint8_t value) {
+  Result<PhysAddr> phys = Translate(kva, 1, true);
+  if (!phys.ok()) {
+    return phys.status();
+  }
+  return pm_.WriteU8(*phys, value);
+}
+
+Status KernelMemory::Read(Kva kva, std::span<uint8_t> out) const {
+  Result<PhysAddr> phys = Translate(kva, out.size(), false);
+  if (!phys.ok()) {
+    return phys.status();
+  }
+  return pm_.Read(*phys, out);
+}
+
+Status KernelMemory::Write(Kva kva, std::span<const uint8_t> data) {
+  Result<PhysAddr> phys = Translate(kva, data.size(), true);
+  if (!phys.ok()) {
+    return phys.status();
+  }
+  return pm_.Write(*phys, data);
+}
+
+Status KernelMemory::Fill(Kva kva, uint64_t len, uint8_t byte) {
+  Result<PhysAddr> phys = Translate(kva, len, true);
+  if (!phys.ok()) {
+    return phys.status();
+  }
+  return pm_.Fill(*phys, len, byte);
+}
+
+Status KernelMemory::Copy(Kva dst, Kva src, uint64_t len) {
+  std::vector<uint8_t> buf(len);
+  SPV_RETURN_IF_ERROR(Read(src, std::span<uint8_t>(buf)));
+  return Write(dst, std::span<const uint8_t>(buf));
+}
+
+}  // namespace spv::dma

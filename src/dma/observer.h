@@ -1,0 +1,31 @@
+// Observer hooks for DMA-map and CPU-access events.
+//
+// D-KASAN registers one of these to see every dma_map/dma_unmap with its call
+// site plus every CPU access to kernel memory — the event stream from which
+// its four report classes (§4.2) are derived.
+
+#ifndef SPV_DMA_OBSERVER_H_
+#define SPV_DMA_OBSERVER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "base/types.h"
+#include "iommu/access_rights.h"
+
+namespace spv::dma {
+
+class DmaObserver {
+ public:
+  virtual ~DmaObserver() = default;
+
+  virtual void OnMap(DeviceId device, Kva kva, uint64_t len, Iova iova,
+                     iommu::AccessRights rights, std::string_view site) = 0;
+  virtual void OnUnmap(DeviceId device, Kva kva, uint64_t len) = 0;
+  // CPU touching kernel memory (KASAN-style instrumented access).
+  virtual void OnCpuAccess(Kva kva, uint64_t len, bool is_write) = 0;
+};
+
+}  // namespace spv::dma
+
+#endif  // SPV_DMA_OBSERVER_H_

@@ -1,0 +1,103 @@
+#include "iommu/io_page_table.h"
+
+namespace spv::iommu {
+
+Status IoPageTable::Map(Iova iova, Pfn pfn, AccessRights rights) {
+  if (rights == AccessRights::kNone) {
+    return InvalidArgument("mapping with no access rights");
+  }
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+  }
+  Node* node = root_.get();
+  for (int level = kLevels - 1; level >= 1; --level) {
+    const uint64_t index = IndexAt(iova, level);
+    if (!node->children[index]) {
+      node->children[index] = std::make_unique<Node>();
+    }
+    node = node->children[index].get();
+  }
+  const uint64_t index = IndexAt(iova, 0);
+  if (node->entries[index].has_value()) {
+    return AlreadyExists("IOVA page already mapped");
+  }
+  node->entries[index] = PteEntry{pfn, rights};
+  ++mapped_pages_;
+  return OkStatus();
+}
+
+Result<PteEntry> IoPageTable::Unmap(Iova iova) {
+  if (!root_) {
+    return NotFound("IOVA page not mapped");
+  }
+  Node* node = root_.get();
+  for (int level = kLevels - 1; level >= 1; --level) {
+    const uint64_t index = IndexAt(iova, level);
+    if (!node->children[index]) {
+      return NotFound("IOVA page not mapped");
+    }
+    node = node->children[index].get();
+  }
+  const uint64_t index = IndexAt(iova, 0);
+  if (!node->entries[index].has_value()) {
+    return NotFound("IOVA page not mapped");
+  }
+  PteEntry entry = *node->entries[index];
+  node->entries[index].reset();
+  --mapped_pages_;
+  return entry;
+}
+
+std::optional<PteEntry> IoPageTable::Lookup(Iova iova, int* walk_levels) const {
+  int levels = 0;
+  if (!root_) {
+    if (walk_levels != nullptr) {
+      *walk_levels = levels;
+    }
+    return std::nullopt;
+  }
+  const Node* node = root_.get();
+  for (int level = kLevels - 1; level >= 1; --level) {
+    ++levels;
+    const uint64_t index = IndexAt(iova, level);
+    if (!node->children[index]) {
+      if (walk_levels != nullptr) {
+        *walk_levels = levels;
+      }
+      return std::nullopt;
+    }
+    node = node->children[index].get();
+  }
+  ++levels;
+  if (walk_levels != nullptr) {
+    *walk_levels = levels;
+  }
+  return node->entries[IndexAt(iova, 0)];
+}
+
+std::vector<Iova> IoPageTable::FindIovasForPfn(Pfn pfn) const {
+  std::vector<Iova> out;
+  if (root_) {
+    Collect(*root_, kLevels - 1, 0, pfn, out);
+  }
+  return out;
+}
+
+void IoPageTable::Collect(const Node& node, int level, uint64_t prefix, Pfn pfn,
+                          std::vector<Iova>& out) const {
+  if (level == 0) {
+    for (uint64_t i = 0; i < kEntriesPerNode; ++i) {
+      if (node.entries[i].has_value() && node.entries[i]->pfn == pfn) {
+        out.push_back(Iova{(prefix | i) << kPageShift});
+      }
+    }
+    return;
+  }
+  for (uint64_t i = 0; i < kEntriesPerNode; ++i) {
+    if (node.children[i]) {
+      Collect(*node.children[i], level - 1, (prefix | i) << kBitsPerLevel, pfn, out);
+    }
+  }
+}
+
+}  // namespace spv::iommu

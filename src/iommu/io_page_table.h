@@ -1,0 +1,70 @@
+// Four-level I/O page table (VT-d second-level translation style).
+//
+// A genuine radix table rather than a flat map: the page-walk cost model and
+// the "one PTE per 4 KiB page" granularity — the root cause of sub-page
+// vulnerabilities — fall out of the structure itself.
+
+#ifndef SPV_IOMMU_IO_PAGE_TABLE_H_
+#define SPV_IOMMU_IO_PAGE_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "iommu/access_rights.h"
+
+namespace spv::iommu {
+
+struct PteEntry {
+  Pfn pfn;
+  AccessRights rights = AccessRights::kNone;
+};
+
+class IoPageTable {
+ public:
+  static constexpr int kLevels = 4;
+  static constexpr int kBitsPerLevel = 9;
+  static constexpr uint64_t kEntriesPerNode = uint64_t{1} << kBitsPerLevel;  // 512
+
+  IoPageTable() = default;
+
+  // Installs a translation for the 4 KiB page containing `iova`. Fails if a
+  // translation is already present (the DMA layer never remaps silently).
+  Status Map(Iova iova, Pfn pfn, AccessRights rights);
+
+  // Removes the translation; returns the entry that was present.
+  Result<PteEntry> Unmap(Iova iova);
+
+  // Page walk. Returns nullopt when not-present. `walk_levels` (if given)
+  // receives the number of levels touched, for cycle accounting.
+  std::optional<PteEntry> Lookup(Iova iova, int* walk_levels = nullptr) const;
+
+  uint64_t mapped_pages() const { return mapped_pages_; }
+
+  // All currently mapped IOVA pages translating to `pfn` (type (c) probe).
+  std::vector<Iova> FindIovasForPfn(Pfn pfn) const;
+
+ private:
+  struct Node {
+    std::array<std::unique_ptr<Node>, kEntriesPerNode> children;  // levels 3..1
+    std::array<std::optional<PteEntry>, kEntriesPerNode> entries;  // level 0 only
+  };
+
+  static uint64_t IndexAt(Iova iova, int level) {
+    return (iova.value >> (kPageShift + kBitsPerLevel * level)) & (kEntriesPerNode - 1);
+  }
+
+  void Collect(const Node& node, int level, uint64_t prefix, Pfn pfn,
+               std::vector<Iova>& out) const;
+
+  std::unique_ptr<Node> root_;
+  uint64_t mapped_pages_ = 0;
+};
+
+}  // namespace spv::iommu
+
+#endif  // SPV_IOMMU_IO_PAGE_TABLE_H_

@@ -1,0 +1,268 @@
+#include "iommu/iommu.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace spv::iommu {
+
+Iommu::Iommu(mem::PhysicalMemory& pm, SimClock& clock, Config config)
+    : pm_(pm), clock_(clock), config_(config), iotlb_(config.iotlb_capacity) {}
+
+void Iommu::AttachDevice(DeviceId device) {
+  if (device_domain_.contains(device.value)) {
+    return;
+  }
+  auto domain = std::make_shared<Domain>();
+  domain->id = next_domain_id_++;
+  device_domain_[device.value] = std::move(domain);
+}
+
+Status Iommu::AttachDeviceToDomainOf(DeviceId device, DeviceId domain_owner) {
+  auto owner_it = device_domain_.find(domain_owner.value);
+  if (owner_it == device_domain_.end()) {
+    return NotFound("domain owner not attached");
+  }
+  if (device_domain_.contains(device.value)) {
+    return AlreadyExists("device already attached");
+  }
+  device_domain_[device.value] = owner_it->second;
+  return OkStatus();
+}
+
+bool Iommu::SameDomain(DeviceId a, DeviceId b) const {
+  auto ia = device_domain_.find(a.value);
+  auto ib = device_domain_.find(b.value);
+  return ia != device_domain_.end() && ib != device_domain_.end() &&
+         ia->second == ib->second;
+}
+
+Iommu::Domain* Iommu::FindDevice(DeviceId device) {
+  auto it = device_domain_.find(device.value);
+  return it == device_domain_.end() ? nullptr : it->second.get();
+}
+
+const Iommu::Domain* Iommu::FindDevice(DeviceId device) const {
+  auto it = device_domain_.find(device.value);
+  return it == device_domain_.end() ? nullptr : it->second.get();
+}
+
+Result<Iova> Iommu::MapPage(DeviceId device, Pfn pfn, AccessRights rights) {
+  const Pfn pfns[] = {pfn};
+  return MapRange(device, pfns, rights);
+}
+
+Result<Iova> Iommu::MapRange(DeviceId device, std::span<const Pfn> pfns, AccessRights rights) {
+  ProcessDeferredTimer();
+  Domain* state = FindDevice(device);
+  if (state == nullptr) {
+    return InvalidArgument("device not attached to IOMMU");
+  }
+  if (pfns.empty()) {
+    return InvalidArgument("empty pfn list");
+  }
+  if (!config_.enabled) {
+    // Bypass: dma_addr == physical address. Scatter lists must be contiguous
+    // (a real no-IOMMU dma_map_sg would yield one segment per entry; our
+    // callers map entries separately anyway).
+    for (size_t i = 1; i < pfns.size(); ++i) {
+      if (pfns[i].value != pfns[0].value + i) {
+        return InvalidArgument("bypass mode requires contiguous pfns");
+      }
+    }
+    stats_.maps += pfns.size();
+    return Iova{pfns[0].PhysBase()};
+  }
+  Result<Iova> base = state->iova_alloc.Alloc(pfns.size());
+  if (!base.ok()) {
+    return base.status();
+  }
+  for (size_t i = 0; i < pfns.size(); ++i) {
+    Status s = state->table.Map(*base + (i << kPageShift), pfns[i], rights);
+    if (!s.ok()) {
+      // Roll back partial mappings.
+      for (size_t j = 0; j < i; ++j) {
+        (void)state->table.Unmap(*base + (j << kPageShift));
+      }
+      (void)state->iova_alloc.Free(*base, pfns.size());
+      return s;
+    }
+  }
+  clock_.Advance(kMapPteCycles * pfns.size());
+  stats_.maps += pfns.size();
+  return *base;
+}
+
+Status Iommu::UnmapPage(DeviceId device, Iova iova) { return UnmapRange(device, iova, 1); }
+
+Status Iommu::UnmapRange(DeviceId device, Iova base, uint64_t pages) {
+  ProcessDeferredTimer();
+  Domain* state = FindDevice(device);
+  if (state == nullptr) {
+    return InvalidArgument("device not attached to IOMMU");
+  }
+  if (!config_.enabled) {
+    stats_.unmaps += pages;  // nothing to revoke: the device never lost access
+    return OkStatus();
+  }
+  for (uint64_t i = 0; i < pages; ++i) {
+    Result<PteEntry> old = state->table.Unmap(base + (i << kPageShift));
+    if (!old.ok()) {
+      return old.status();
+    }
+  }
+  stats_.unmaps += pages;
+
+  if (config_.mode == InvalidationMode::kStrict) {
+    // Synchronous per-page invalidation, then the IOVA is immediately
+    // reusable. This is the expensive-but-safe path.
+    for (uint64_t i = 0; i < pages; ++i) {
+      iotlb_.InvalidatePage(DeviceId{state->id}, base + (i << kPageShift));
+      clock_.Advance(kIotlbInvalidationCycles);
+      stats_.invalidation_cycles += kIotlbInvalidationCycles;
+      ++stats_.targeted_invalidations;
+    }
+    return state->iova_alloc.Free(base, pages);
+  }
+
+  // Deferred: PTE is gone but the IOTLB may still translate. The IOVA is
+  // parked until the flush so it cannot be handed out while stale.
+  EnqueueInvalidation(device, base, pages);
+  return OkStatus();
+}
+
+void Iommu::EnqueueInvalidation(DeviceId device, Iova base, uint64_t pages) {
+  if (flush_queue_.empty()) {
+    flush_deadline_ = clock_.now() + config_.flush_interval_cycles;
+  }
+  flush_queue_.push_back(PendingInvalidation{device, base, pages});
+  if (flush_queue_.size() >= config_.flush_queue_capacity) {
+    FlushNow();
+  }
+}
+
+void Iommu::FlushNow() {
+  if (flush_queue_.empty()) {
+    return;
+  }
+  // One global invalidation amortizes the whole queue — this is why deferred
+  // mode wins on throughput (§5.2.1).
+  iotlb_.InvalidateAll();
+  clock_.Advance(kIotlbInvalidationCycles);
+  stats_.invalidation_cycles += kIotlbInvalidationCycles;
+  ++stats_.flushes;
+  for (const PendingInvalidation& pending : flush_queue_) {
+    Domain* state = FindDevice(pending.device);
+    if (state != nullptr) {
+      (void)state->iova_alloc.Free(pending.base, pending.pages);
+    }
+  }
+  flush_queue_.clear();
+}
+
+void Iommu::ProcessDeferredTimer() {
+  if (!flush_queue_.empty() && clock_.now() >= flush_deadline_) {
+    FlushNow();
+  }
+}
+
+Status Iommu::DeviceRead(DeviceId device, Iova iova, std::span<uint8_t> out) {
+  return Access(device, iova, AccessOp::kRead, out, {});
+}
+
+Status Iommu::DeviceWrite(DeviceId device, Iova iova, std::span<const uint8_t> data) {
+  return Access(device, iova, AccessOp::kWrite, {}, data);
+}
+
+Status Iommu::Access(DeviceId device, Iova iova, AccessOp op, std::span<uint8_t> read_out,
+                     std::span<const uint8_t> write_data) {
+  ProcessDeferredTimer();
+  Domain* state = FindDevice(device);
+  if (state == nullptr) {
+    return InvalidArgument("device not attached to IOMMU");
+  }
+  ++stats_.device_accesses;
+
+  if (!config_.enabled) {
+    // No translation, no checks: the device masters the bus directly.
+    const PhysAddr phys{iova.value};
+    return op == AccessOp::kRead ? pm_.Read(phys, read_out) : pm_.Write(phys, write_data);
+  }
+
+  const uint64_t total = op == AccessOp::kRead ? read_out.size() : write_data.size();
+  uint64_t done = 0;
+  while (done < total) {
+    const Iova cursor = iova + done;
+    const uint64_t in_page = std::min(total - done, kPageSize - cursor.page_offset());
+    Result<PteEntry> entry = TranslateForDevice(device, *state, cursor.PageBase(), op);
+    if (!entry.ok()) {
+      return entry.status();
+    }
+    const PhysAddr phys = PhysAddr::FromPfn(entry->pfn, cursor.page_offset());
+    if (op == AccessOp::kRead) {
+      SPV_RETURN_IF_ERROR(pm_.Read(phys, read_out.subspan(done, in_page)));
+    } else {
+      SPV_RETURN_IF_ERROR(pm_.Write(phys, write_data.subspan(done, in_page)));
+    }
+    done += in_page;
+  }
+  return OkStatus();
+}
+
+Result<PteEntry> Iommu::TranslateForDevice(DeviceId device, Domain& state, Iova page_iova,
+                                           AccessOp op) {
+  // IOTLB first. A hit is authoritative even if the PTE has since been
+  // cleared — the hardware does not re-walk on hits. This single line is the
+  // deferred-invalidation vulnerability.
+  std::optional<PteEntry> cached = iotlb_.Lookup(DeviceId{state.id}, page_iova);
+  if (cached.has_value()) {
+    clock_.Advance(kIotlbHitCycles);
+    if (!Permits(cached->rights, op)) {
+      Fault(device, page_iova, op, "access rights violation (cached translation)");
+      return PermissionDenied("IOMMU fault: rights violation");
+    }
+    if (!state.table.Lookup(page_iova).has_value()) {
+      ++stats_.stale_iotlb_accesses;  // translated with no live PTE
+    }
+    return *cached;
+  }
+
+  int walk_levels = 0;
+  std::optional<PteEntry> pte = state.table.Lookup(page_iova, &walk_levels);
+  clock_.Advance(kPageWalkCyclesPerLevel * static_cast<uint64_t>(std::max(walk_levels, 1)));
+  if (!pte.has_value()) {
+    Fault(device, page_iova, op, "translation not present");
+    return PermissionDenied("IOMMU fault: not present");
+  }
+  iotlb_.Insert(DeviceId{state.id}, page_iova, *pte);
+  if (!Permits(pte->rights, op)) {
+    Fault(device, page_iova, op, "access rights violation");
+    return PermissionDenied("IOMMU fault: rights violation");
+  }
+  return *pte;
+}
+
+void Iommu::Fault(DeviceId device, Iova iova, AccessOp op, std::string reason) {
+  // Bound the fault log; a scanning attacker can generate millions.
+  constexpr size_t kMaxFaults = 4096;
+  if (faults_.size() < kMaxFaults) {
+    faults_.push_back(IommuFault{device, iova, op, clock_.now(), std::move(reason)});
+  }
+}
+
+std::vector<Iova> Iommu::IovasForPfn(DeviceId device, Pfn pfn) const {
+  const Domain* state = FindDevice(device);
+  if (state == nullptr) {
+    return {};
+  }
+  return state->table.FindIovasForPfn(pfn);
+}
+
+std::optional<PteEntry> Iommu::Peek(DeviceId device, Iova iova) const {
+  const Domain* state = FindDevice(device);
+  if (state == nullptr) {
+    return std::nullopt;
+  }
+  return state->table.Lookup(iova.PageBase());
+}
+
+}  // namespace spv::iommu

@@ -1,0 +1,184 @@
+// The IOMMU: per-device I/O page tables + shared IOTLB + invalidation policy.
+//
+// This is the security boundary the whole paper is about. Two properties are
+// modelled exactly:
+//
+//  1. Page granularity. A mapping covers a whole 4 KiB page, so mapping any
+//     buffer exposes every byte that shares its page (sub-page vulnerability,
+//     §3.2).
+//  2. IOTLB (in)coherence. In *strict* mode each unmap invalidates the IOTLB
+//     entry synchronously (≈2000 cycles, §5.2.1). In *deferred* mode — the
+//     Linux default — unmaps only clear the PTE and queue the invalidation;
+//     the queue is flushed when full or after a 10 ms deadline, leaving a
+//     window in which a device can keep using the stale translation (Fig 6).
+
+#ifndef SPV_IOMMU_IOMMU_H_
+#define SPV_IOMMU_IOMMU_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/status.h"
+#include "base/types.h"
+#include "iommu/access_rights.h"
+#include "iommu/io_page_table.h"
+#include "iommu/iotlb.h"
+#include "iommu/iova_allocator.h"
+#include "mem/phys_memory.h"
+
+namespace spv::iommu {
+
+enum class InvalidationMode { kStrict, kDeferred };
+
+inline std::string InvalidationModeName(InvalidationMode mode) {
+  return mode == InvalidationMode::kStrict ? "strict" : "deferred";
+}
+
+// Cycle cost model (§5.2.1 and [2], [29]).
+inline constexpr uint64_t kIotlbInvalidationCycles = 2000;
+inline constexpr uint64_t kCpuTlbInvalidationCycles = 100;  // for comparison benches
+inline constexpr uint64_t kPageWalkCyclesPerLevel = 50;
+inline constexpr uint64_t kIotlbHitCycles = 1;
+inline constexpr uint64_t kMapPteCycles = 150;
+
+struct IommuFault {
+  DeviceId device;
+  Iova iova;
+  AccessOp op;
+  uint64_t cycle;
+  std::string reason;
+};
+
+class Iommu {
+ public:
+  struct Config {
+    // enabled=false models the pre-IOMMU world (§2.1): DMA addresses are
+    // physical addresses, no translation, no permission checks — the classic
+    // FireWire/Inception memory-dump scenario.
+    bool enabled = true;
+    InvalidationMode mode = InvalidationMode::kDeferred;
+    size_t iotlb_capacity = 256;
+    size_t flush_queue_capacity = 256;
+    uint64_t flush_interval_cycles = SimClock::MsToCycles(10);
+  };
+
+  struct Stats {
+    uint64_t maps = 0;
+    uint64_t unmaps = 0;
+    uint64_t flushes = 0;                  // global flushes (deferred mode)
+    uint64_t targeted_invalidations = 0;   // per-page (strict mode)
+    uint64_t invalidation_cycles = 0;      // total cycles spent invalidating
+    uint64_t device_accesses = 0;
+    uint64_t stale_iotlb_accesses = 0;     // accesses served with no live PTE
+  };
+
+  Iommu(mem::PhysicalMemory& pm, SimClock& clock, Config config);
+
+  Iommu(const Iommu&) = delete;
+  Iommu& operator=(const Iommu&) = delete;
+  Iommu(Iommu&&) = default;
+
+  // Attaches a device in its own translation domain (the secure default:
+  // one I/O page table per requester id, like Windows Kernel DMA Protection).
+  void AttachDevice(DeviceId device);
+
+  // Attaches `device` to the domain of `domain_owner` — both devices then
+  // share one I/O page table and IOVA space. This is how Linux groups
+  // devices behind a non-isolating bridge, and exactly the §6 experimental
+  // setup: "we created an IOVA page table that is shared between the
+  // FireWire and the actual NIC", letting a programmable FireWire accessory
+  // emulate a malicious NIC.
+  Status AttachDeviceToDomainOf(DeviceId device, DeviceId domain_owner);
+
+  bool IsAttached(DeviceId device) const { return device_domain_.contains(device.value); }
+
+  // True if the two devices translate through the same page table.
+  bool SameDomain(DeviceId a, DeviceId b) const;
+
+  // ---- OS side -------------------------------------------------------------
+
+  // Maps one physical page; returns the IOVA of its page base.
+  Result<Iova> MapPage(DeviceId device, Pfn pfn, AccessRights rights);
+
+  // Maps `pfns` into one contiguous IOVA range (scatter/gather support).
+  Result<Iova> MapRange(DeviceId device, std::span<const Pfn> pfns, AccessRights rights);
+
+  Status UnmapPage(DeviceId device, Iova iova);
+  Status UnmapRange(DeviceId device, Iova base, uint64_t pages);
+
+  // Forces the deferred queue out now (the 10 ms timer firing, or an admin
+  // `iommu=strict`-style flush).
+  void FlushNow();
+
+  // Models timer processing: call after advancing the clock to let an expired
+  // deadline trigger the periodic flush.
+  void ProcessDeferredTimer();
+
+  // ---- Device side -----------------------------------------------------------
+
+  // DMA through the translation path. May cross page boundaries as long as
+  // the whole IOVA range translates with sufficient rights.
+  Status DeviceRead(DeviceId device, Iova iova, std::span<uint8_t> out);
+  Status DeviceWrite(DeviceId device, Iova iova, std::span<const uint8_t> data);
+
+  // ---- Introspection -----------------------------------------------------------
+
+  InvalidationMode mode() const { return config_.mode; }
+  const Stats& stats() const { return stats_; }
+  const std::vector<IommuFault>& faults() const { return faults_; }
+  const Iotlb& iotlb() const { return iotlb_; }
+  uint64_t pending_invalidation_count() const { return flush_queue_.size(); }
+
+  // Live PTEs translating to `pfn` for this device (type (c) probe).
+  std::vector<Iova> IovasForPfn(DeviceId device, Pfn pfn) const;
+
+  // Translates without side effects (no IOTLB fill, no fault log); used by
+  // ground-truth analyses, not by devices.
+  std::optional<PteEntry> Peek(DeviceId device, Iova iova) const;
+
+ private:
+  // A translation domain: one page table + IOVA space, shared by all member
+  // devices. IOTLB entries are tagged by domain id (as on VT-d), so domain
+  // members also share cached translations.
+  struct Domain {
+    uint32_t id = 0;
+    IoPageTable table;
+    IovaAllocator iova_alloc;
+  };
+  struct PendingInvalidation {
+    DeviceId device;
+    Iova base;
+    uint64_t pages;
+  };
+
+  Domain* FindDevice(DeviceId device);
+  const Domain* FindDevice(DeviceId device) const;
+  Status Access(DeviceId device, Iova iova, AccessOp op, std::span<uint8_t> read_out,
+                std::span<const uint8_t> write_data);
+  void Fault(DeviceId device, Iova iova, AccessOp op, std::string reason);
+  void EnqueueInvalidation(DeviceId device, Iova base, uint64_t pages);
+
+  Result<PteEntry> TranslateForDevice(DeviceId device, Domain& domain, Iova page_iova,
+                                      AccessOp op);
+
+  mem::PhysicalMemory& pm_;
+  SimClock& clock_;
+  Config config_;
+  Iotlb iotlb_;
+  std::unordered_map<uint32_t, std::shared_ptr<Domain>> device_domain_;  // device -> domain
+  uint32_t next_domain_id_ = 1;
+  std::deque<PendingInvalidation> flush_queue_;
+  uint64_t flush_deadline_ = 0;  // valid when flush_queue_ nonempty
+  Stats stats_;
+  std::vector<IommuFault> faults_;
+};
+
+}  // namespace spv::iommu
+
+#endif  // SPV_IOMMU_IOMMU_H_

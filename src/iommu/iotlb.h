@@ -1,0 +1,68 @@
+// IOTLB: translation cache keyed by (device, IOVA page).
+//
+// The IOMMU does not keep the IOTLB coherent with the page tables (§5.2.1);
+// the OS must invalidate explicitly. A stale entry after a deferred unmap is
+// the paper's Figure-6 time window. LRU replacement; bounded capacity.
+
+#ifndef SPV_IOMMU_IOTLB_H_
+#define SPV_IOMMU_IOTLB_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "base/types.h"
+#include "iommu/access_rights.h"
+#include "iommu/io_page_table.h"
+
+namespace spv::iommu {
+
+class Iotlb {
+ public:
+  explicit Iotlb(size_t capacity = 256) : capacity_(capacity) {}
+
+  std::optional<PteEntry> Lookup(DeviceId device, Iova iova_page);
+  void Insert(DeviceId device, Iova iova_page, PteEntry entry);
+
+  // Targeted invalidation (strict mode, one per unmap).
+  void InvalidatePage(DeviceId device, Iova iova_page);
+  // Device-scope invalidation.
+  void InvalidateDevice(DeviceId device);
+  // Global invalidation (deferred mode periodic flush).
+  void InvalidateAll();
+
+  size_t size() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  struct Key {
+    uint32_t device;
+    uint64_t iova_page;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>{}(k.iova_page * 0x9e3779b97f4a7c15ULL ^ k.device);
+    }
+  };
+  struct Slot {
+    PteEntry entry;
+    std::list<Key>::iterator lru_it;
+  };
+
+  void Touch(const Key& key, Slot& slot);
+
+  size_t capacity_;
+  std::unordered_map<Key, Slot, KeyHash> map_;
+  std::list<Key> lru_;  // front = most recent
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace spv::iommu
+
+#endif  // SPV_IOMMU_IOTLB_H_

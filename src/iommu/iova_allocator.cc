@@ -1,0 +1,53 @@
+#include "iommu/iova_allocator.h"
+
+#include <cassert>
+
+namespace spv::iommu {
+
+IovaAllocator::IovaAllocator(uint64_t window_start, uint64_t window_end)
+    : window_start_(window_start >> kPageShift),
+      window_end_(window_end >> kPageShift),
+      next_top_(window_end >> kPageShift) {
+  assert(window_start_ < window_end_);
+}
+
+Result<Iova> IovaAllocator::Alloc(uint64_t pages) {
+  if (pages == 0) {
+    return InvalidArgument("IOVA alloc of zero pages");
+  }
+  // Exact-fit reuse from the free cache first (LIFO-ish via highest base, the
+  // most recently freed in the common top-down pattern).
+  for (auto it = free_ranges_.rbegin(); it != free_ranges_.rend(); ++it) {
+    if (it->second == pages) {
+      const uint64_t base = it->first;
+      free_ranges_.erase(std::next(it).base());
+      allocated_pages_ += pages;
+      return Iova{base << kPageShift};
+    }
+  }
+  if (next_top_ - window_start_ < pages) {
+    return ResourceExhausted("IOVA window exhausted");
+  }
+  next_top_ -= pages;
+  allocated_pages_ += pages;
+  return Iova{next_top_ << kPageShift};
+}
+
+Status IovaAllocator::Free(Iova base, uint64_t pages) {
+  if (pages == 0 || base.page_offset() != 0) {
+    return InvalidArgument("IOVA free: bad base or count");
+  }
+  const uint64_t base_page = base.value >> kPageShift;
+  if (base_page < window_start_ || base_page + pages > window_end_) {
+    return InvalidArgument("IOVA free outside window");
+  }
+  auto [it, inserted] = free_ranges_.emplace(base_page, pages);
+  if (!inserted) {
+    return FailedPrecondition("IOVA double free");
+  }
+  assert(allocated_pages_ >= pages);
+  allocated_pages_ -= pages;
+  return OkStatus();
+}
+
+}  // namespace spv::iommu

@@ -1,0 +1,45 @@
+// Per-device IOVA space allocator.
+//
+// Mirrors Linux's behaviour of allocating IOVAs top-down from the end of the
+// 32-bit DMA window, with freed ranges cached for reuse. Two different Map
+// calls targeting the same PFN receive two different IOVAs — the substrate of
+// the paper's type (c) "page mapped by multiple IOVA" vulnerability.
+
+#ifndef SPV_IOMMU_IOVA_ALLOCATOR_H_
+#define SPV_IOMMU_IOVA_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+
+namespace spv::iommu {
+
+class IovaAllocator {
+ public:
+  // Default window: [1 MiB, 4 GiB) like a 32-bit DMA mask with the low
+  // megabyte avoided.
+  explicit IovaAllocator(uint64_t window_start = 1ull << 20,
+                         uint64_t window_end = 1ull << 32);
+
+  // Allocates `pages` contiguous IOVA pages; returns the base IOVA.
+  Result<Iova> Alloc(uint64_t pages);
+
+  // Releases a range previously returned by Alloc.
+  Status Free(Iova base, uint64_t pages);
+
+  uint64_t allocated_pages() const { return allocated_pages_; }
+
+ private:
+  uint64_t window_start_;
+  uint64_t window_end_;
+  uint64_t next_top_;  // grows downward
+  std::map<uint64_t, uint64_t> free_ranges_;  // base page -> page count (reuse cache)
+  uint64_t allocated_pages_ = 0;
+};
+
+}  // namespace spv::iommu
+
+#endif  // SPV_IOMMU_IOVA_ALLOCATOR_H_

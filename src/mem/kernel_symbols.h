@@ -1,0 +1,37 @@
+// Well-known kernel-image symbol offsets.
+//
+// KASLR randomizes only the image *base*; per-symbol offsets are fixed by the
+// build and are public knowledge for distro kernels (§2.4). An attacker who
+// sees one pointer to a known symbol learns the base: the slide is 2 MiB
+// aligned, so the low 21 bits of every symbol's address never change across
+// boots ("knowing even a single address of a known element is sufficient").
+//
+// Offsets below are representative values within the 512 MiB image window;
+// what matters is that they are (a) fixed, (b) distinct in their low 21 bits
+// where the detection heuristics rely on it.
+
+#ifndef SPV_MEM_KERNEL_SYMBOLS_H_
+#define SPV_MEM_KERNEL_SYMBOLS_H_
+
+#include <cstdint>
+
+namespace spv::mem {
+
+// Data symbols.
+inline constexpr uint64_t kSymInitNet = 0x01451280;  // struct net init_net (§2.4)
+
+// Privilege-escalation targets (what a kernel ROP chain calls).
+inline constexpr uint64_t kSymPrepareKernelCred = 0x000c8d20;
+inline constexpr uint64_t kSymCommitCreds = 0x000c8a40;
+
+// Gadgets (found in a real kernel with ROPgadget [61]; §6).
+inline constexpr uint64_t kSymJopStackPivot = 0x003d77a1;  // %rsp = %rdi + const; jmp
+inline constexpr uint64_t kSymJopPivotConst = 0x40;        // the pivot's displacement
+inline constexpr uint64_t kSymGadgetPopRdi = 0x002a3b15;   // pop %rdi; ret
+inline constexpr uint64_t kSymGadgetPopRsi = 0x002a4c21;   // pop %rsi; ret
+inline constexpr uint64_t kSymGadgetMovRdiRax = 0x0031d402;  // mov %rdi, %rax; ret
+inline constexpr uint64_t kSymGadgetRet = 0x00001016;      // ret
+
+}  // namespace spv::mem
+
+#endif  // SPV_MEM_KERNEL_SYMBOLS_H_

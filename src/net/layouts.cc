@@ -1,0 +1,68 @@
+#include "net/layouts.h"
+
+namespace spv::net {
+
+Status SharedInfoView::Initialize() {
+  SPV_RETURN_IF_ERROR(kmem_.Fill(base_, SharedInfoLayout::kSize, 0));
+  return set_dataref(1);
+}
+
+Result<FragRef> SharedInfoView::frag(uint8_t index) const {
+  if (index >= kMaxSkbFrags) {
+    return InvalidArgument("frag index out of range");
+  }
+  const Kva at = base_ + SharedInfoLayout::kFrags + index * SharedInfoLayout::kFragStride;
+  Result<uint64_t> page = kmem_.ReadU64(at + SharedInfoLayout::kFragPage);
+  if (!page.ok()) {
+    return page.status();
+  }
+  Result<uint32_t> offset = kmem_.ReadU32(at + SharedInfoLayout::kFragPageOffset);
+  if (!offset.ok()) {
+    return offset.status();
+  }
+  Result<uint32_t> size = kmem_.ReadU32(at + SharedInfoLayout::kFragSize);
+  if (!size.ok()) {
+    return size.status();
+  }
+  return FragRef{Kva{*page}, *offset, *size};
+}
+
+Status SharedInfoView::set_frag(uint8_t index, const FragRef& frag) {
+  if (index >= kMaxSkbFrags) {
+    return InvalidArgument("frag index out of range");
+  }
+  const Kva at = base_ + SharedInfoLayout::kFrags + index * SharedInfoLayout::kFragStride;
+  SPV_RETURN_IF_ERROR(kmem_.WriteU64(at + SharedInfoLayout::kFragPage, frag.struct_page.value));
+  SPV_RETURN_IF_ERROR(kmem_.WriteU32(at + SharedInfoLayout::kFragPageOffset, frag.page_offset));
+  return kmem_.WriteU32(at + SharedInfoLayout::kFragSize, frag.size);
+}
+
+Status WritePacketHeader(dma::KernelMemory& kmem, Kva at, const PacketHeader& header) {
+  SPV_RETURN_IF_ERROR(kmem.WriteU32(at + PacketHeader::kSrcIp, header.src_ip));
+  SPV_RETURN_IF_ERROR(kmem.WriteU32(at + PacketHeader::kDstIp, header.dst_ip));
+  SPV_RETURN_IF_ERROR(kmem.WriteU16(at + PacketHeader::kSrcPort, header.src_port));
+  SPV_RETURN_IF_ERROR(kmem.WriteU16(at + PacketHeader::kDstPort, header.dst_port));
+  SPV_RETURN_IF_ERROR(kmem.WriteU8(at + PacketHeader::kProto, header.proto));
+  SPV_RETURN_IF_ERROR(kmem.WriteU8(at + PacketHeader::kFlags, header.flags));
+  SPV_RETURN_IF_ERROR(kmem.WriteU16(at + PacketHeader::kLen, header.payload_len));
+  return kmem.WriteU32(at + PacketHeader::kSeq, header.seq);
+}
+
+Result<PacketHeader> ReadPacketHeader(dma::KernelMemory& kmem, Kva at) {
+  PacketHeader header;
+  auto src_ip = kmem.ReadU32(at + PacketHeader::kSrcIp);
+  if (!src_ip.ok()) {
+    return src_ip.status();
+  }
+  header.src_ip = *src_ip;
+  header.dst_ip = *kmem.ReadU32(at + PacketHeader::kDstIp);
+  header.src_port = *kmem.ReadU16(at + PacketHeader::kSrcPort);
+  header.dst_port = *kmem.ReadU16(at + PacketHeader::kDstPort);
+  header.proto = *kmem.ReadU8(at + PacketHeader::kProto);
+  header.flags = *kmem.ReadU8(at + PacketHeader::kFlags);
+  header.payload_len = *kmem.ReadU16(at + PacketHeader::kLen);
+  header.seq = *kmem.ReadU32(at + PacketHeader::kSeq);
+  return header;
+}
+
+}  // namespace spv::net

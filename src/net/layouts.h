@@ -1,0 +1,175 @@
+// Byte-exact in-memory layouts for the network-stack structures that live
+// *inside DMA-visible buffers* (§5.1, Figure 4).
+//
+// Linux separates sk_buff metadata (never mapped) from the data buffer — but
+// skb_shared_info is always allocated at the tail of the data buffer, so it
+// is always mapped with the packet's permissions. We therefore serialize
+// skb_shared_info (and the ubuf_info it points to) into simulated physical
+// memory at fixed offsets, where a device can corrupt them byte by byte.
+//
+// Layout (64-bit little-endian, mirrors Linux 5.0 field order):
+//
+//   struct skb_shared_info {
+//     offset  0: u8 nr_frags; u8 tx_flags; u16 gso_size; u16 gso_segs; u16 gso_type;
+//     offset  8: u64 frag_list;        // sk_buff* (we store an skb id or 0)
+//     offset 16: u64 hwtstamps;
+//     offset 24: u32 tskey; u32 dataref;
+//     offset 32: u64 destructor_arg;   // struct ubuf_info*  <-- THE callback path
+//     offset 40: skb_frag_t frags[17]; // 16 bytes each
+//   };                                  // total 40 + 17*16 = 312 bytes
+//
+//   struct skb_frag_t { u64 page;  // struct page* (vmemmap KVA)
+//                       u32 page_offset; u32 size; };
+//
+//   struct ubuf_info { u64 callback;   // void (*)(ubuf_info*, bool)
+//                      u64 ctx; u64 desc; u64 refcnt; };   // 32 bytes
+
+#ifndef SPV_NET_LAYOUTS_H_
+#define SPV_NET_LAYOUTS_H_
+
+#include <cstdint>
+
+#include "base/align.h"
+#include "base/status.h"
+#include "base/types.h"
+#include "dma/kernel_memory.h"
+
+namespace spv::net {
+
+inline constexpr uint64_t kMaxSkbFrags = 17;
+inline constexpr uint64_t kSmpCacheBytes = 64;
+inline constexpr uint64_t kNetSkbPad = 64;  // NET_SKB_PAD
+
+// SKB_DATA_ALIGN
+constexpr uint64_t SkbDataAlign(uint64_t size) { return AlignUp(size, kSmpCacheBytes); }
+
+struct SharedInfoLayout {
+  static constexpr uint64_t kNrFrags = 0;        // u8
+  static constexpr uint64_t kTxFlags = 1;        // u8
+  static constexpr uint64_t kGsoSize = 2;        // u16
+  static constexpr uint64_t kGsoSegs = 4;        // u16
+  static constexpr uint64_t kGsoType = 6;        // u16
+  static constexpr uint64_t kFragList = 8;       // u64
+  static constexpr uint64_t kHwtstamps = 16;     // u64
+  static constexpr uint64_t kTskey = 24;         // u32
+  static constexpr uint64_t kDataref = 28;       // u32
+  static constexpr uint64_t kDestructorArg = 32; // u64
+  static constexpr uint64_t kFrags = 40;         // skb_frag_t[17]
+  static constexpr uint64_t kFragStride = 16;
+  static constexpr uint64_t kFragPage = 0;       // u64 within a frag
+  static constexpr uint64_t kFragPageOffset = 8; // u32
+  static constexpr uint64_t kFragSize = 12;      // u32
+  static constexpr uint64_t kSize = kFrags + kMaxSkbFrags * kFragStride;  // 312
+};
+
+struct UbufInfoLayout {
+  static constexpr uint64_t kCallback = 0;  // u64 function pointer
+  static constexpr uint64_t kCtx = 8;       // u64
+  static constexpr uint64_t kDesc = 16;     // u64
+  static constexpr uint64_t kRefcnt = 24;   // u64
+  static constexpr uint64_t kSize = 32;
+};
+
+struct FragRef {
+  Kva struct_page;      // vmemmap KVA of the page's struct page
+  uint32_t page_offset;
+  uint32_t size;
+};
+
+// Typed accessor over a skb_shared_info that lives at `base` in simulated
+// memory. All accesses flow through KernelMemory, so they fire the CPU-access
+// hooks like real instrumented kernel code.
+class SharedInfoView {
+ public:
+  SharedInfoView(dma::KernelMemory& kmem, Kva base) : kmem_(kmem), base_(base) {}
+
+  Kva base() const { return base_; }
+
+  Status Initialize();  // zero the structure (as __build_skb_around does)
+
+  Result<uint8_t> nr_frags() const { return kmem_.ReadU8(base_ + SharedInfoLayout::kNrFrags); }
+  Status set_nr_frags(uint8_t value) {
+    return kmem_.WriteU8(base_ + SharedInfoLayout::kNrFrags, value);
+  }
+
+  // destructor_arg's offset is per-boot when struct-layout randomization is
+  // on (paper footnote 2); the kernel-side accessor always knows it.
+  uint64_t destructor_arg_offset() const {
+    return kmem_.layout().shinfo_destructor_offset();
+  }
+  Result<uint64_t> destructor_arg() const {
+    return kmem_.ReadU64(base_ + destructor_arg_offset());
+  }
+  Status set_destructor_arg(Kva value) {
+    return kmem_.WriteU64(base_ + destructor_arg_offset(), value.value);
+  }
+
+  Result<uint32_t> dataref() const { return kmem_.ReadU32(base_ + SharedInfoLayout::kDataref); }
+  Status set_dataref(uint32_t value) {
+    return kmem_.WriteU32(base_ + SharedInfoLayout::kDataref, value);
+  }
+
+  Result<FragRef> frag(uint8_t index) const;
+  Status set_frag(uint8_t index, const FragRef& frag);
+
+  Result<uint16_t> gso_size() const { return kmem_.ReadU16(base_ + SharedInfoLayout::kGsoSize); }
+  Status set_gso_size(uint16_t value) {
+    return kmem_.WriteU16(base_ + SharedInfoLayout::kGsoSize, value);
+  }
+
+ private:
+  dma::KernelMemory& kmem_;
+  Kva base_;
+};
+
+// Typed accessor over a ubuf_info at `base`.
+class UbufInfoView {
+ public:
+  UbufInfoView(dma::KernelMemory& kmem, Kva base) : kmem_(kmem), base_(base) {}
+
+  Kva base() const { return base_; }
+
+  Result<uint64_t> callback() const { return kmem_.ReadU64(base_ + UbufInfoLayout::kCallback); }
+  Status set_callback(Kva value) {
+    return kmem_.WriteU64(base_ + UbufInfoLayout::kCallback, value.value);
+  }
+  Result<uint64_t> ctx() const { return kmem_.ReadU64(base_ + UbufInfoLayout::kCtx); }
+  Status set_ctx(uint64_t value) { return kmem_.WriteU64(base_ + UbufInfoLayout::kCtx, value); }
+
+ private:
+  dma::KernelMemory& kmem_;
+  Kva base_;
+};
+
+// On-wire packet header our simulated stack parses (stands in for
+// Ethernet+IP+TCP/UDP; 24 bytes at the start of the linear data).
+struct PacketHeader {
+  static constexpr uint64_t kSrcIp = 0;    // u32
+  static constexpr uint64_t kDstIp = 4;    // u32
+  static constexpr uint64_t kSrcPort = 8;  // u16
+  static constexpr uint64_t kDstPort = 10; // u16
+  static constexpr uint64_t kProto = 12;   // u8 (6=TCP, 17=UDP)
+  static constexpr uint64_t kFlags = 13;   // u8
+  static constexpr uint64_t kLen = 14;     // u16 payload length
+  static constexpr uint64_t kSeq = 16;     // u32
+  static constexpr uint64_t kSize = 24;
+
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t proto = 0;
+  uint8_t flags = 0;
+  uint16_t payload_len = 0;
+  uint32_t seq = 0;
+};
+
+inline constexpr uint8_t kProtoTcp = 6;
+inline constexpr uint8_t kProtoUdp = 17;
+
+Status WritePacketHeader(dma::KernelMemory& kmem, Kva at, const PacketHeader& header);
+Result<PacketHeader> ReadPacketHeader(dma::KernelMemory& kmem, Kva at);
+
+}  // namespace spv::net
+
+#endif  // SPV_NET_LAYOUTS_H_

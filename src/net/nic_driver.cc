@@ -1,0 +1,304 @@
+#include "net/nic_driver.h"
+
+#include <cassert>
+
+namespace spv::net {
+
+NicDriver::NicDriver(DeviceId device_id, dma::DmaApi& dma, dma::KernelMemory& kmem,
+                     SkbAllocator& skb_alloc, SimClock& clock, Config config)
+    : device_id_(device_id),
+      dma_(dma),
+      kmem_(kmem),
+      skb_alloc_(skb_alloc),
+      clock_(clock),
+      config_(std::move(config)) {
+  rx_ring_.resize(config_.rx_ring_size);
+  tx_ring_.resize(config_.tx_ring_size);
+}
+
+uint32_t NicDriver::rx_buffer_bytes() const {
+  if (config_.hw_lro) {
+    return kLroBufBytes;
+  }
+  return static_cast<uint32_t>(SkbDataAlign(config_.rx_buf_len) +
+                               SkbDataAlign(SharedInfoLayout::kSize));
+}
+
+Status NicDriver::FillRxRing() {
+  for (uint32_t i = 0; i < config_.rx_ring_size; ++i) {
+    if (!rx_ring_[i].posted) {
+      SPV_RETURN_IF_ERROR(RefillSlot(i));
+    }
+  }
+  return OkStatus();
+}
+
+Status NicDriver::RefillSlot(uint32_t index) {
+  slab::PageFragPool* pool = skb_alloc_.frag_pool(config_.cpu);
+  if (pool == nullptr) {
+    return FailedPrecondition("no page_frag pool for driver cpu");
+  }
+  Result<Kva> head =
+      pool->Alloc(rx_buffer_bytes(), kSmpCacheBytes, config_.name + "_alloc_rx_buf");
+  if (!head.ok()) {
+    return head.status();
+  }
+  // XDP programs may rewrite and retransmit the buffer, so XDP-enabled
+  // drivers map RX buffers BIDIRECTIONAL — handing the device READ access to
+  // the whole page on top of the usual WRITE (§5.1).
+  const dma::DmaDirection rx_dir =
+      config_.xdp ? dma::DmaDirection::kBidirectional : dma::DmaDirection::kFromDevice;
+  Result<Iova> iova = dma_.MapSingle(device_id_, *head, rx_buffer_bytes(), rx_dir,
+                                     config_.name + "_map_rx");
+  if (!iova.ok()) {
+    (void)pool->Free(*head);
+    return iova.status();
+  }
+  rx_ring_[index] = RxSlot{true, *head, *iova};
+  if (device_ != nullptr) {
+    device_->OnRxPosted(RxPostedDescriptor{index, *iova, rx_buffer_bytes()});
+  }
+  return OkStatus();
+}
+
+Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
+  if (index >= rx_ring_.size() || !rx_ring_[index].posted) {
+    return FailedPrecondition("RX completion on empty slot");
+  }
+  const uint32_t usable =
+      rx_buffer_bytes() - static_cast<uint32_t>(SkbDataAlign(SharedInfoLayout::kSize));
+  if (pkt_len < PacketHeader::kSize || pkt_len > usable) {
+    return InvalidArgument("RX packet length out of bounds");
+  }
+  RxSlot slot = rx_ring_[index];
+  rx_ring_[index].posted = false;
+
+  auto build = [&]() -> Result<SkBuffPtr> {
+    Result<SkBuffPtr> skb = skb_alloc_.BuildSkb(
+        slot.head, rx_buffer_bytes(),
+        OwnedBuffer{slot.head, BufSource::kPageFrag, config_.cpu});
+    if (!skb.ok()) {
+      return skb.status();
+    }
+    (*skb)->len = pkt_len;
+    Result<PacketHeader> header = ReadPacketHeader(kmem_, (*skb)->data);
+    if (header.ok()) {
+      (*skb)->header = *header;
+      (*skb)->header_parsed = true;
+    }
+    return skb;
+  };
+
+  const dma::DmaDirection rx_dir =
+      config_.xdp ? dma::DmaDirection::kBidirectional : dma::DmaDirection::kFromDevice;
+
+  // XDP runs on the raw buffer while it is still mapped BIDIRECTIONAL — the
+  // program may rewrite the packet in place (§5.1's zero-copy case).
+  if (config_.xdp && xdp_program_ != nullptr) {
+    const XdpVerdict verdict = xdp_program_->Run(kmem_, slot.head, pkt_len);
+    if (verdict != XdpVerdict::kPass) {
+      SPV_RETURN_IF_ERROR(
+          dma_.UnmapSingle(device_id_, slot.iova, rx_buffer_bytes(), rx_dir));
+      if (verdict == XdpVerdict::kDrop) {
+        ++xdp_drops_;
+        slab::PageFragPool* pool = skb_alloc_.frag_pool(config_.cpu);
+        if (pool != nullptr) {
+          SPV_RETURN_IF_ERROR(pool->Free(slot.head));
+        }
+        SPV_RETURN_IF_ERROR(RefillSlot(index));
+        return SkBuffPtr{};
+      }
+      // XDP_TX: bounce the (possibly rewritten) packet straight back out.
+      Result<SkBuffPtr> bounce = skb_alloc_.BuildSkb(
+          slot.head, rx_buffer_bytes(),
+          OwnedBuffer{slot.head, BufSource::kPageFrag, config_.cpu});
+      if (!bounce.ok()) {
+        return bounce.status();
+      }
+      (*bounce)->len = pkt_len;
+      Result<uint32_t> tx = PostTx(std::move(*bounce));
+      if (!tx.ok()) {
+        return tx.status();
+      }
+      ++xdp_tx_;
+      SPV_RETURN_IF_ERROR(RefillSlot(index));
+      return SkBuffPtr{};
+    }
+  }
+
+  Result<SkBuffPtr> skb = InvalidArgument("unreachable");
+  if (config_.sync_only_rx) {
+    // Page-reuse drivers never unmap: ownership comes back via dma_sync, the
+    // translation stays installed, and the device keeps WRITE access to the
+    // skb's page forever (§9: "the whole page is accessible").
+    SPV_RETURN_IF_ERROR(
+        dma_.SyncSingleForCpu(device_id_, slot.iova, rx_buffer_bytes(), rx_dir));
+    skb = build();
+  } else if (config_.unmap_before_build) {
+    // Correct DMA API usage: revoke first, then let the CPU initialize
+    // skb_shared_info (Fig 7 path (ii)/(iii) — still attackable, but not via
+    // a live mapping of this buffer).
+    SPV_RETURN_IF_ERROR(
+        dma_.UnmapSingle(device_id_, slot.iova, rx_buffer_bytes(), rx_dir));
+    skb = build();
+  } else {
+    // i40e-like ordering (Fig 7 path (i)): sk_buff is built — including the
+    // CPU's "legitimate" shared_info initialization — while the device still
+    // has WRITE access. The device gets its race window, then we unmap.
+    skb = build();
+    if (device_ != nullptr) {
+      device_->OnRxCompleting(index);
+    }
+    SPV_RETURN_IF_ERROR(
+        dma_.UnmapSingle(device_id_, slot.iova, rx_buffer_bytes(), rx_dir));
+  }
+  if (!skb.ok()) {
+    return skb.status();
+  }
+  ++rx_packets_;
+  // Linux refills opportunistically; we refill immediately to keep the ring
+  // full (this is what makes consecutive ring buffers page-neighbours).
+  SPV_RETURN_IF_ERROR(RefillSlot(index));
+  return skb;
+}
+
+Result<uint32_t> NicDriver::PostTx(SkBuffPtr skb) {
+  uint32_t index = 0;
+  for (; index < tx_ring_.size(); ++index) {
+    if (!tx_ring_[index].busy) {
+      break;
+    }
+  }
+  if (index == tx_ring_.size()) {
+    return ResourceExhausted("TX ring full");
+  }
+  TxSlot& slot = tx_ring_[index];
+  slot.busy = true;
+  slot.linear_len = skb->linear_len();
+  slot.post_cycle = clock_.now();
+
+  Result<Iova> linear = dma_.MapSingle(device_id_, skb->data, slot.linear_len,
+                                       dma::DmaDirection::kToDevice,
+                                       config_.name + "_xmit_linear");
+  if (!linear.ok()) {
+    slot = TxSlot{};
+    return linear.status();
+  }
+  slot.linear_iova = *linear;
+
+  // Map each fragment. The frag descriptors are read from the shared_info in
+  // DEVICE-VISIBLE memory: whatever struct page pointers sit there — GRO's,
+  // the TCP stack's, or an attacker's — get mapped for device READ.
+  SharedInfoView shinfo{kmem_, skb->shared_info()};
+  auto fail = [&](Status status) -> Result<uint32_t> {
+    (void)UnmapTxSlot(slot);
+    slot = TxSlot{};
+    return status;
+  };
+  Result<uint8_t> nr_frags = shinfo.nr_frags();
+  if (!nr_frags.ok()) {
+    return fail(nr_frags.status());
+  }
+  for (uint8_t i = 0; i < *nr_frags; ++i) {
+    Result<FragRef> frag = shinfo.frag(i);
+    if (!frag.ok()) {
+      return fail(frag.status());
+    }
+    Result<Pfn> pfn = kmem_.layout().StructPageKvaToPfn(frag->struct_page);
+    if (!pfn.ok()) {
+      // A corrupt frag page pointer would oops the real kernel; we surface it.
+      return fail(InvalidArgument("TX frag with non-vmemmap struct page pointer"));
+    }
+    const Kva frag_kva =
+        kmem_.layout().PhysToDirectMapKva(PhysAddr::FromPfn(*pfn, frag->page_offset));
+    Result<Iova> frag_iova = dma_.MapSingle(device_id_, frag_kva, frag->size,
+                                            dma::DmaDirection::kToDevice,
+                                            config_.name + "_xmit_frag");
+    if (!frag_iova.ok()) {
+      return fail(frag_iova.status());
+    }
+    slot.frags.push_back(TxFragMapping{*frag_iova, frag_kva, frag->size});
+  }
+
+  TxPostedDescriptor descriptor;
+  descriptor.index = index;
+  descriptor.linear_iova = slot.linear_iova;
+  descriptor.linear_len = slot.linear_len;
+  for (const TxFragMapping& frag : slot.frags) {
+    descriptor.frag_iovas.push_back(frag.iova);
+    descriptor.frag_lens.push_back(frag.len);
+  }
+  slot.skb = std::move(skb);
+  ++tx_packets_;
+  if (device_ != nullptr) {
+    device_->OnTxPosted(descriptor);
+  }
+  return index;
+}
+
+Status NicDriver::UnmapTxSlot(TxSlot& slot) {
+  SPV_RETURN_IF_ERROR(dma_.UnmapSingle(device_id_, slot.linear_iova, slot.linear_len,
+                                       dma::DmaDirection::kToDevice));
+  for (const TxFragMapping& frag : slot.frags) {
+    SPV_RETURN_IF_ERROR(
+        dma_.UnmapSingle(device_id_, frag.iova, frag.len, dma::DmaDirection::kToDevice));
+  }
+  return OkStatus();
+}
+
+Result<SkBuffPtr> NicDriver::CompleteTx(uint32_t index) {
+  if (index >= tx_ring_.size() || !tx_ring_[index].busy) {
+    return FailedPrecondition("TX completion on empty slot");
+  }
+  TxSlot& slot = tx_ring_[index];
+  SPV_RETURN_IF_ERROR(UnmapTxSlot(slot));
+  SkBuffPtr skb = std::move(slot.skb);
+  slot = TxSlot{};
+  return skb;
+}
+
+uint32_t NicDriver::CheckTxTimeout() {
+  uint32_t timed_out = 0;
+  for (TxSlot& slot : tx_ring_) {
+    if (slot.busy && clock_.now() - slot.post_cycle > config_.tx_timeout_cycles) {
+      ++timed_out;
+    }
+  }
+  if (timed_out > 0) {
+    // Driver reset: flush every pending TX buffer.
+    for (TxSlot& slot : tx_ring_) {
+      if (slot.busy) {
+        (void)UnmapTxSlot(slot);
+        slot = TxSlot{};
+      }
+    }
+    ++tx_resets_;
+  }
+  return timed_out;
+}
+
+std::optional<Kva> NicDriver::RxSlotKva(uint32_t index) const {
+  if (index >= rx_ring_.size() || !rx_ring_[index].posted) {
+    return std::nullopt;
+  }
+  return rx_ring_[index].head;
+}
+
+std::optional<Iova> NicDriver::RxSlotIova(uint32_t index) const {
+  if (index >= rx_ring_.size() || !rx_ring_[index].posted) {
+    return std::nullopt;
+  }
+  return rx_ring_[index].iova;
+}
+
+uint32_t NicDriver::pending_tx() const {
+  uint32_t count = 0;
+  for (const TxSlot& slot : tx_ring_) {
+    if (slot.busy) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace spv::net

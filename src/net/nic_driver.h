@@ -1,0 +1,165 @@
+// NIC driver model: RX/TX rings over the DMA API.
+//
+// Configurable to reproduce the driver behaviours the paper measures:
+//   * unmap_before_build=false — the prevalent i40e-like ordering that builds
+//     the sk_buff (initializing skb_shared_info) while the page is still
+//     mapped, handing the device a legitimate overwrite window (Fig 7 (i));
+//   * unmap_before_build=true  — the correct order, which is still defeated
+//     by deferred IOTLB invalidation (Fig 7 (ii)) and by type (c) neighbour
+//     IOVAs from the page_frag RX allocation scheme (Fig 7 (iii));
+//   * hw_lro — 64 KiB RX buffers (mlx5/bnx2x style), inflating the driver's
+//     memory footprint, which is what makes RingFlood PFN-guessing easy on
+//     kernel 4.15 (§5.3).
+
+#ifndef SPV_NET_NIC_DRIVER_H_
+#define SPV_NET_NIC_DRIVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/status.h"
+#include "base/types.h"
+#include "dma/dma_api.h"
+#include "dma/kernel_memory.h"
+#include "net/nic_device_model.h"
+#include "net/skbuff.h"
+
+namespace spv::net {
+
+// Verdict of an attached XDP program (§5.1's zero-copy BIDIRECTIONAL case).
+enum class XdpVerdict : uint8_t {
+  kPass,  // continue up the stack
+  kDrop,  // count and free
+  kTx,    // bounce back out of the same NIC (packet rewritten in place)
+};
+
+// An XDP program: runs on the raw buffer *while it is still DMA-mapped
+// BIDIRECTIONAL*, which is precisely why XDP drivers map RX that way.
+class XdpProgram {
+ public:
+  virtual ~XdpProgram() = default;
+  virtual XdpVerdict Run(dma::KernelMemory& kmem, Kva data, uint32_t len) = 0;
+};
+
+class NicDriver {
+ public:
+  struct Config {
+    std::string name = "nic0";
+    CpuId cpu{0};
+    uint32_t rx_ring_size = 64;
+    uint32_t tx_ring_size = 64;
+    uint32_t rx_buf_len = 2048;   // data capacity per RX buffer
+    bool unmap_before_build = true;
+    bool hw_lro = false;          // allocate 64 KiB per RX entry regardless of MTU
+    bool xdp = false;             // XDP attached: RX buffers mapped BIDIRECTIONAL (§5.1)
+    // Real i40e-style page reuse: RX completions call dma_sync_single_for_cpu
+    // instead of dma_unmap — the mapping (and the device's write access)
+    // persists for the life of the ring, in ANY IOMMU mode.
+    bool sync_only_rx = false;
+    uint64_t tx_timeout_cycles = SimClock::MsToCycles(5000);
+  };
+
+  static constexpr uint32_t kLroBufBytes = 64 * 1024;
+
+  NicDriver(DeviceId device_id, dma::DmaApi& dma, dma::KernelMemory& kmem,
+            SkbAllocator& skb_alloc, SimClock& clock, Config config);
+
+  NicDriver(const NicDriver&) = delete;
+  NicDriver& operator=(const NicDriver&) = delete;
+
+  void AttachDevice(NicDeviceModel* device) { device_ = device; }
+
+  // Attaches an XDP program; only meaningful with config.xdp = true (the
+  // driver maps RX buffers BIDIRECTIONAL for in-place rewrites).
+  void AttachXdp(XdpProgram* program) { xdp_program_ = program; }
+  uint64_t xdp_drops() const { return xdp_drops_; }
+  uint64_t xdp_tx() const { return xdp_tx_; }
+
+  // ---- RX -------------------------------------------------------------------
+
+  // Allocates + maps a buffer for every empty RX slot and posts descriptors.
+  Status FillRxRing();
+
+  // Driver-side completion after the device wrote `pkt_len` bytes into slot
+  // `index`: builds the sk_buff (per the configured ordering), refills the
+  // slot, returns the packet.
+  Result<SkBuffPtr> CompleteRx(uint32_t index, uint32_t pkt_len);
+
+  // ---- TX -------------------------------------------------------------------
+
+  // Maps the skb (linear TO_DEVICE + every frag page TO_DEVICE) and posts a
+  // TX descriptor. The driver trusts the frags[] in the DEVICE-VISIBLE
+  // shared_info — faithfully reproducing the Forward-Thinking hole (§5.5).
+  Result<uint32_t> PostTx(SkBuffPtr skb);
+
+  // Device signalled completion: unmap everything and hand the skb back for
+  // release.
+  Result<SkBuffPtr> CompleteTx(uint32_t index);
+
+  // TX watchdog: slots pending longer than tx_timeout_cycles are flushed; the
+  // count of resets is reported (a failed-to-appear completion "triggers a TX
+  // T/O error that flushes all buffers and resets the driver", §5.4).
+  uint32_t CheckTxTimeout();
+
+  // ---- Introspection -----------------------------------------------------------
+
+  DeviceId device_id() const { return device_id_; }
+  const Config& config() const { return config_; }
+  uint32_t rx_buffer_bytes() const;  // truesize of one RX buffer
+  uint64_t rx_ring_memory_bytes() const {
+    return uint64_t{config_.rx_ring_size} * rx_buffer_bytes();
+  }
+  std::optional<Kva> RxSlotKva(uint32_t index) const;
+  std::optional<Iova> RxSlotIova(uint32_t index) const;
+  uint32_t pending_tx() const;
+  uint64_t rx_packets() const { return rx_packets_; }
+  uint64_t tx_packets() const { return tx_packets_; }
+  uint32_t tx_resets() const { return tx_resets_; }
+
+ private:
+  struct RxSlot {
+    bool posted = false;
+    Kva head;
+    Iova iova;  // of head
+  };
+  struct TxFragMapping {
+    Iova iova;
+    Kva kva;
+    uint32_t len;
+  };
+  struct TxSlot {
+    bool busy = false;
+    SkBuffPtr skb;
+    Iova linear_iova;
+    uint32_t linear_len = 0;
+    std::vector<TxFragMapping> frags;
+    uint64_t post_cycle = 0;
+  };
+
+  Status RefillSlot(uint32_t index);
+  Status UnmapTxSlot(TxSlot& slot);
+
+  DeviceId device_id_;
+  dma::DmaApi& dma_;
+  dma::KernelMemory& kmem_;
+  SkbAllocator& skb_alloc_;
+  SimClock& clock_;
+  Config config_;
+  NicDeviceModel* device_ = nullptr;
+
+  std::vector<RxSlot> rx_ring_;
+  std::vector<TxSlot> tx_ring_;
+  XdpProgram* xdp_program_ = nullptr;
+  uint64_t rx_packets_ = 0;
+  uint64_t tx_packets_ = 0;
+  uint64_t xdp_drops_ = 0;
+  uint64_t xdp_tx_ = 0;
+  uint32_t tx_resets_ = 0;
+};
+
+}  // namespace spv::net
+
+#endif  // SPV_NET_NIC_DRIVER_H_

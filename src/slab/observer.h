@@ -1,0 +1,30 @@
+// Observer hooks for allocator events.
+//
+// This is the simulator's stand-in for KASAN's compile-time instrumentation:
+// D-KASAN registers an observer here and at the DMA API to see every
+// (allocate, free) event with its call site, exactly the information the real
+// tool gets from __kasan_kmalloc hooks.
+
+#ifndef SPV_SLAB_OBSERVER_H_
+#define SPV_SLAB_OBSERVER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "base/types.h"
+
+namespace spv::slab {
+
+class SlabObserver {
+ public:
+  virtual ~SlabObserver() = default;
+
+  // `site` is the allocating location (function+offset), as KASAN would
+  // recover from the return address.
+  virtual void OnAlloc(Kva kva, uint64_t size, std::string_view site) = 0;
+  virtual void OnFree(Kva kva, uint64_t size) = 0;
+};
+
+}  // namespace spv::slab
+
+#endif  // SPV_SLAB_OBSERVER_H_

@@ -1,0 +1,115 @@
+// AST for the C subset SPADE analyzes.
+//
+// Deliberately scoped to what the §4.1 analysis consumes: struct definitions
+// (for the pahole-style layout database), function definitions, declarations,
+// assignments, and call expressions — all with source line numbers so traces
+// read like Figure 2.
+
+#ifndef SPV_SPADE_AST_H_
+#define SPV_SPADE_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spv::spade {
+
+struct TypeRef {
+  std::string base;          // "void", "int", "u32", or the struct tag
+  bool is_struct = false;
+  int pointer_depth = 0;
+  bool is_func_ptr = false;  // field/variable holding a function pointer
+  uint64_t array_len = 0;    // 0 = scalar
+
+  bool IsPointer() const { return pointer_depth > 0 || is_func_ptr; }
+  std::string ToString() const;
+};
+
+struct FieldDecl {
+  TypeRef type;
+  std::string name;
+  int line = 0;
+};
+
+struct StructDef {
+  std::string name;
+  std::vector<FieldDecl> fields;
+  int line = 0;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    kIdent,    // text = name
+    kNumber,   // text = literal
+    kString,
+    kMember,   // lhs . / -> text ; arrow flag in text? use `arrow`
+    kAddrOf,   // &lhs
+    kDeref,    // *lhs
+    kNeg,      // unary -, !, ~ (collapsed)
+    kCall,     // lhs = callee expr (usually kIdent), args
+    kCast,     // cast_type, lhs
+    kBinary,   // text = operator, lhs, rhs
+    kAssign,   // lhs = rhs (text = "=", "+=", ...)
+    kIndex,    // lhs [ rhs ]
+    kSizeof,   // cast_type or lhs
+  };
+
+  Kind kind;
+  int line = 0;
+  std::string text;
+  bool arrow = false;  // for kMember: true for '->'
+  ExprPtr lhs;
+  ExprPtr rhs;
+  std::vector<ExprPtr> args;
+  TypeRef cast_type;
+
+  // Callee name for simple `f(...)` calls; empty otherwise.
+  std::string CalleeName() const {
+    if (kind == Kind::kCall && lhs != nullptr && lhs->kind == Kind::kIdent) {
+      return lhs->text;
+    }
+    return "";
+  }
+};
+
+struct Stmt {
+  enum class Kind { kDecl, kExpr, kReturn, kIf, kLoop, kBlock };
+
+  Kind kind = Kind::kExpr;
+  int line = 0;
+  // kDecl:
+  TypeRef decl_type;
+  std::string decl_name;
+  ExprPtr init;  // may be null
+  // kExpr / kReturn / condition of kIf / kLoop:
+  ExprPtr expr;  // may be null (bare return)
+  std::vector<Stmt> body;       // kIf then / kLoop body / kBlock
+  std::vector<Stmt> else_body;  // kIf else
+};
+
+struct ParamDecl {
+  TypeRef type;
+  std::string name;
+};
+
+struct FuncDef {
+  TypeRef return_type;
+  std::string name;
+  std::vector<ParamDecl> params;
+  std::vector<Stmt> body;
+  int line = 0;
+};
+
+struct SourceFile {
+  std::string path;
+  std::vector<StructDef> structs;
+  std::vector<FuncDef> functions;
+};
+
+}  // namespace spv::spade
+
+#endif  // SPV_SPADE_AST_H_

@@ -1,0 +1,58 @@
+#include "spade/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "spade/parser.h"
+
+namespace spv::spade {
+
+std::string DefaultCorpusDir() {
+#ifdef SPV_CORPUS_DIR
+  return SPV_CORPUS_DIR;
+#else
+  return "corpus";
+#endif
+}
+
+Result<CorpusLoadStats> LoadCorpusDirectory(SpadeAnalyzer& analyzer,
+                                            const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    return NotFound("corpus directory not found: " + directory);
+  }
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(directory)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".c") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  CorpusLoadStats stats;
+  for (const fs::path& path : paths) {
+    std::ifstream in{path};
+    if (!in) {
+      ++stats.files_failed;
+      stats.failures.push_back(path.string() + ": unreadable");
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Result<SourceFile> parsed =
+        ParseSource(fs::relative(path, directory).string(), buf.str());
+    if (!parsed.ok()) {
+      ++stats.files_failed;
+      stats.failures.push_back(parsed.status().ToString());
+      continue;
+    }
+    analyzer.AddFile(std::move(*parsed));
+    ++stats.files_parsed;
+  }
+  return stats;
+}
+
+}  // namespace spv::spade

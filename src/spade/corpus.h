@@ -1,0 +1,30 @@
+// Corpus loading: reads every .c file under a directory into the analyzer.
+
+#ifndef SPV_SPADE_CORPUS_H_
+#define SPV_SPADE_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "spade/analyzer.h"
+
+namespace spv::spade {
+
+struct CorpusLoadStats {
+  size_t files_parsed = 0;
+  size_t files_failed = 0;           // SPADE's parse-limitation false negatives
+  std::vector<std::string> failures;
+};
+
+// Loads all `.c` files under `directory` (sorted for determinism) into the
+// analyzer. Parse failures are recorded, not fatal (§4.3).
+Result<CorpusLoadStats> LoadCorpusDirectory(SpadeAnalyzer& analyzer,
+                                            const std::string& directory);
+
+// Convenience: the repo corpus directory baked in at build time.
+std::string DefaultCorpusDir();
+
+}  // namespace spv::spade
+
+#endif  // SPV_SPADE_CORPUS_H_

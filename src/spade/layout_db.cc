@@ -1,0 +1,198 @@
+#include "spade/layout_db.h"
+
+#include <functional>
+
+#include "base/align.h"
+
+namespace spv::spade {
+
+namespace {
+constexpr uint64_t kOpaqueStructSize = 64;
+}
+
+uint64_t LayoutDb::ScalarSize(const TypeRef& type) {
+  if (type.IsPointer()) {
+    return 8;
+  }
+  const std::string& b = type.base;
+  if (b == "char" || b == "u8" || b == "s8" || b == "__u8" || b == "uint8_t" || b == "bool" ||
+      b == "signed char" || b == "unsigned char") {
+    return 1;
+  }
+  if (b == "short" || b == "u16" || b == "s16" || b == "__u16" || b == "uint16_t" ||
+      b == "unsigned short") {
+    return 2;
+  }
+  if (b == "long" || b == "u64" || b == "s64" || b == "__u64" || b == "uint64_t" ||
+      b == "size_t" || b == "ssize_t" || b == "dma_addr_t" || b == "unsigned long" ||
+      b == "long long" || b == "unsigned long long" || b == "double") {
+    return 8;
+  }
+  // int, u32, unsigned, enums, gfp_t, atomic_t, spinlock_t (simplified), ...
+  return 4;
+}
+
+uint64_t LayoutDb::ScalarAlign(const TypeRef& type) { return ScalarSize(type); }
+
+void LayoutDb::AddStruct(const StructDef& def) { defs_[def.name] = def; }
+
+const StructLayout* LayoutDb::Find(const std::string& name) const {
+  auto it = layouts_.find(name);
+  return it == layouts_.end() ? nullptr : &it->second;
+}
+
+Status LayoutDb::Finalize() {
+  for (const auto& [name, def] : defs_) {
+    std::set<std::string> in_progress;
+    Result<StructLayout*> layout = Compute(name, in_progress);
+    if (!layout.ok()) {
+      return layout.status();
+    }
+  }
+  // Spoofable counts need the full graph, so run after all layouts exist.
+  // A pointer field anywhere in the *mapped bytes* — including inside
+  // embedded structs — can be redirected to an attacker instance.
+  std::function<uint32_t(const std::string&, std::set<std::string>&)> spoofable_for =
+      [&](const std::string& name, std::set<std::string>& embedding) -> uint32_t {
+    auto it = defs_.find(name);
+    if (it == defs_.end() || embedding.contains(name)) {
+      return 0;
+    }
+    embedding.insert(name);
+    uint32_t spoofable = 0;
+    for (const FieldDecl& field : it->second.fields) {
+      const uint32_t count = static_cast<uint32_t>(
+          field.type.array_len > 0 ? field.type.array_len : 1);
+      if (field.type.is_struct && field.type.pointer_depth > 0) {
+        std::set<std::string> visited;
+        spoofable += count * CountReachableCallbacks(field.type.base, visited);
+      } else if (field.type.is_struct && field.type.pointer_depth == 0) {
+        spoofable += count * spoofable_for(field.type.base, embedding);
+      }
+    }
+    embedding.erase(name);
+    return spoofable;
+  };
+  for (auto& [name, layout] : layouts_) {
+    std::set<std::string> embedding;
+    layout.spoofable_callbacks = spoofable_for(name, embedding);
+  }
+  finalized_ = true;
+  return OkStatus();
+}
+
+Result<StructLayout*> LayoutDb::Compute(const std::string& name,
+                                        std::set<std::string>& in_progress) {
+  if (auto it = layouts_.find(name); it != layouts_.end()) {
+    return &it->second;
+  }
+  auto def_it = defs_.find(name);
+  if (def_it == defs_.end()) {
+    // Opaque external struct.
+    StructLayout opaque;
+    opaque.name = name;
+    opaque.size = kOpaqueStructSize;
+    opaque.alignment = 8;
+    auto [it, inserted] = layouts_.emplace(name, std::move(opaque));
+    (void)inserted;
+    return &it->second;
+  }
+  if (in_progress.contains(name)) {
+    return InvalidArgument("recursive by-value struct embedding: " + name);
+  }
+  in_progress.insert(name);
+
+  const StructDef& def = def_it->second;
+  StructLayout layout;
+  layout.name = name;
+  uint64_t offset = 0;
+  for (const FieldDecl& field : def.fields) {
+    uint64_t size;
+    uint64_t align;
+    uint32_t callbacks_here = 0;
+    if (field.type.is_struct && field.type.pointer_depth == 0) {
+      Result<StructLayout*> inner = Compute(field.type.base, in_progress);
+      if (!inner.ok()) {
+        return inner.status();
+      }
+      size = (*inner)->size;
+      align = (*inner)->alignment;
+      callbacks_here = (*inner)->direct_callbacks;
+    } else {
+      size = ScalarSize(field.type);
+      align = ScalarAlign(field.type);
+      if (field.type.is_func_ptr) {
+        callbacks_here = 1;
+      }
+    }
+    const uint64_t count = field.type.array_len > 0 ? field.type.array_len : 1;
+    offset = AlignUp(offset, align);
+    FieldLayout fl;
+    fl.name = field.name;
+    fl.offset = offset;
+    fl.size = size * count;
+    fl.type = field.type;
+    fl.is_callback = field.type.is_func_ptr;
+    layout.fields.push_back(fl);
+    layout.direct_callbacks += callbacks_here * static_cast<uint32_t>(count);
+    layout.alignment = std::max(layout.alignment, align);
+    offset += size * count;
+  }
+  layout.size = AlignUp(std::max<uint64_t>(offset, 1), layout.alignment);
+  in_progress.erase(name);
+  auto [it, inserted] = layouts_.emplace(name, std::move(layout));
+  (void)inserted;
+  return &it->second;
+}
+
+std::vector<std::string> LayoutDb::CallbackFieldPaths(const std::string& name) const {
+  std::vector<std::string> paths;
+  std::set<std::string> visiting;
+  std::function<void(const std::string&, const std::string&)> walk =
+      [&](const std::string& type_name, const std::string& prefix) {
+        if (visiting.contains(type_name)) {
+          return;
+        }
+        visiting.insert(type_name);
+        auto it = defs_.find(type_name);
+        if (it != defs_.end()) {
+          for (const FieldDecl& field : it->second.fields) {
+            const std::string path = prefix.empty() ? field.name : prefix + "." + field.name;
+            if (field.type.is_func_ptr) {
+              paths.push_back(path);
+            } else if (field.type.is_struct && field.type.pointer_depth == 0) {
+              walk(field.type.base, path);
+            }
+          }
+        }
+        visiting.erase(type_name);
+      };
+  walk(name, "");
+  return paths;
+}
+
+uint32_t LayoutDb::CountReachableCallbacks(const std::string& name,
+                                           std::set<std::string>& visited) {
+  if (visited.contains(name)) {
+    return 0;
+  }
+  visited.insert(name);
+  auto def_it = defs_.find(name);
+  if (def_it == defs_.end()) {
+    return 0;  // opaque: unknown contents
+  }
+  uint32_t count = 0;
+  for (const FieldDecl& field : def_it->second.fields) {
+    const uint64_t n = field.type.array_len > 0 ? field.type.array_len : 1;
+    if (field.type.is_func_ptr) {
+      count += static_cast<uint32_t>(n);
+      continue;
+    }
+    if (field.type.is_struct) {
+      count += static_cast<uint32_t>(n) * CountReachableCallbacks(field.type.base, visited);
+    }
+  }
+  return count;
+}
+
+}  // namespace spv::spade

@@ -1,0 +1,173 @@
+#include "spade/lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace spv::spade {
+
+namespace {
+
+constexpr std::array kKeywords = {
+    "struct",   "union",  "enum",     "static", "const",  "volatile", "unsigned",
+    "signed",   "void",   "int",      "char",   "short",  "long",     "float",
+    "double",   "return", "if",       "else",   "for",    "while",    "do",
+    "break",    "continue", "goto",   "sizeof", "switch", "case",     "default",
+    "typedef",  "extern", "inline",   "bool",
+};
+
+constexpr std::array kTypeWords = {
+    "void", "int",  "char", "short", "long",  "float",    "double", "bool",
+    "u8",   "u16",  "u32",  "u64",   "s8",    "s16",      "s32",    "s64",
+    "__u8", "__u16", "__u32", "__u64", "size_t", "ssize_t", "dma_addr_t",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t", "netdev_tx_t", "irqreturn_t",
+    "gfp_t", "atomic_t", "spinlock_t", "wait_queue_head_t",
+};
+
+bool IsKeywordWord(std::string_view word) {
+  for (const char* k : kKeywords) {
+    if (word == k) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Multi-char punctuators, longest first.
+constexpr std::array kPuncts = {
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+};
+
+}  // namespace
+
+bool IsTypeKeyword(std::string_view word) {
+  for (const char* t : kTypeWords) {
+    if (word == t) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Lex(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = source.size();
+
+  auto peek = [&](size_t k = 0) -> char { return i + k < n ? source[i + k] : '\0'; };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && source[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i < n && !(source[i] == '*' && peek(1) == '/')) {
+        if (source[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      if (i >= n) {
+        return InvalidArgument("unterminated block comment at line " + std::to_string(line));
+      }
+      i += 2;
+      continue;
+    }
+    // Preprocessor lines: skip to end of (possibly continued) line.
+    if (c == '#') {
+      while (i < n && source[i] != '\n') {
+        if (source[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          ++i;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) != 0 ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      std::string word{source.substr(start, i - start)};
+      tokens.push_back(Token{IsKeywordWord(word) ? TokenKind::kKeyword : TokenKind::kIdentifier,
+                             std::move(word), line});
+      continue;
+    }
+    // Numbers (decimal / hex / suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) != 0 ||
+                       source[i] == '.' || source[i] == 'x' || source[i] == 'X')) {
+        ++i;
+      }
+      tokens.push_back(Token{TokenKind::kNumber, std::string{source.substr(start, i - start)},
+                             line});
+      continue;
+    }
+    // Strings / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t start = i++;
+      while (i < n && source[i] != quote) {
+        if (source[i] == '\\') {
+          ++i;
+        }
+        if (source[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      if (i >= n) {
+        return InvalidArgument("unterminated literal at line " + std::to_string(line));
+      }
+      ++i;
+      tokens.push_back(Token{quote == '"' ? TokenKind::kString : TokenKind::kCharLit,
+                             std::string{source.substr(start, i - start)}, line});
+      continue;
+    }
+    // Punctuators.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::string_view sv{p};
+      if (source.substr(i, sv.size()) == sv) {
+        tokens.push_back(Token{TokenKind::kPunct, std::string{sv}, line});
+        i += sv.size();
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      continue;
+    }
+    if (std::string_view{"()[]{};,.&*=<>+-/%!|^~?:"}.find(c) != std::string_view::npos) {
+      tokens.push_back(Token{TokenKind::kPunct, std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    return InvalidArgument("unexpected character '" + std::string(1, c) + "' at line " +
+                           std::to_string(line));
+  }
+  tokens.push_back(Token{TokenKind::kEof, "", line});
+  return tokens;
+}
+
+}  // namespace spv::spade

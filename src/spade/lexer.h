@@ -1,0 +1,49 @@
+// Lexer for the C subset SPADE analyzes.
+//
+// SPADE (§4.1) needs real source navigation — declarations, assignments,
+// struct layouts, call sites with line numbers — so the pipeline starts from
+// an honest tokenizer rather than regexes. Comments and preprocessor lines
+// are skipped (the corpus is post-preprocessor style, as Cscope effectively
+// sees it).
+
+#ifndef SPV_SPADE_LEXER_H_
+#define SPV_SPADE_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace spv::spade {
+
+enum class TokenKind {
+  kIdentifier,
+  kKeyword,      // struct, static, const, return, if, else, for, while, sizeof...
+  kNumber,
+  kString,
+  kCharLit,
+  kPunct,        // ( ) { } [ ] ; , . -> & * = == != < > <= >= + - / % ! | ^ ~ ...
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int line = 0;
+
+  bool Is(TokenKind k, std::string_view t) const { return kind == k && text == t; }
+  bool IsPunct(std::string_view t) const { return Is(TokenKind::kPunct, t); }
+  bool IsKeyword(std::string_view t) const { return Is(TokenKind::kKeyword, t); }
+  bool IsIdent() const { return kind == TokenKind::kIdentifier; }
+};
+
+// Tokenizes `source`; returns an error with the offending line on failure.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+bool IsTypeKeyword(std::string_view word);
+
+}  // namespace spv::spade
+
+#endif  // SPV_SPADE_LEXER_H_

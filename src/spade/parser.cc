@@ -1,0 +1,886 @@
+#include "spade/parser.h"
+
+#include <cassert>
+
+namespace spv::spade {
+
+std::string TypeRef::ToString() const {
+  std::string out = is_struct ? "struct " + base : base;
+  for (int i = 0; i < pointer_depth; ++i) {
+    out += "*";
+  }
+  if (is_func_ptr) {
+    out += " (*)()";
+  }
+  if (array_len > 0) {
+    out += "[" + std::to_string(array_len) + "]";
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string path, std::vector<Token> tokens)
+      : path_(std::move(path)), tokens_(std::move(tokens)) {}
+
+  Result<SourceFile> Parse() {
+    SourceFile file;
+    file.path = path_;
+    while (!At(TokenKind::kEof)) {
+      // Skip storage-class noise at top level.
+      while (Cur().IsKeyword("static") || Cur().IsKeyword("extern") ||
+             Cur().IsKeyword("inline") || Cur().IsKeyword("const") ||
+             Cur().IsKeyword("volatile")) {
+        Advance();
+      }
+      if (Cur().IsKeyword("struct") && Peek(1).IsIdent() && Peek(2).IsPunct("{")) {
+        Result<StructDef> def = ParseStructDef();
+        if (!def.ok()) {
+          return def.status();
+        }
+        file.structs.push_back(std::move(*def));
+        continue;
+      }
+      if (Cur().IsKeyword("typedef")) {
+        // Skip typedefs wholesale (to the terminating semicolon).
+        SkipToSemicolon();
+        continue;
+      }
+      SPV_RETURN_IF_ERROR(ParseFuncOrGlobal(file));
+      continue;
+    }
+    return file;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(size_t k) const {
+    return tokens_[std::min(pos_ + k, tokens_.size() - 1)];
+  }
+  bool At(TokenKind kind) const { return Cur().kind == kind; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) {
+      ++pos_;
+    }
+  }
+
+  Status Err(const std::string& what) const {
+    return InvalidArgument(path_ + ":" + std::to_string(Cur().line) + ": " + what +
+                           " (near '" + Cur().text + "')");
+  }
+
+  Status Expect(std::string_view punct) {
+    if (!Cur().IsPunct(punct)) {
+      return Err("expected '" + std::string(punct) + "'");
+    }
+    Advance();
+    return OkStatus();
+  }
+
+  void SkipToSemicolon() {
+    int depth = 0;
+    while (!At(TokenKind::kEof)) {
+      if (Cur().IsPunct("{")) {
+        ++depth;
+      } else if (Cur().IsPunct("}")) {
+        --depth;
+      } else if (Cur().IsPunct(";") && depth <= 0) {
+        Advance();
+        return;
+      }
+      Advance();
+    }
+  }
+
+  bool AtTypeStart() const {
+    if (Cur().IsKeyword("struct") || Cur().IsKeyword("const") || Cur().IsKeyword("unsigned") ||
+        Cur().IsKeyword("signed") || Cur().IsKeyword("volatile")) {
+      return true;
+    }
+    if (Cur().kind == TokenKind::kKeyword &&
+        (Cur().text == "void" || Cur().text == "int" || Cur().text == "char" ||
+         Cur().text == "short" || Cur().text == "long" || Cur().text == "bool" ||
+         Cur().text == "float" || Cur().text == "double")) {
+      return true;
+    }
+    return Cur().IsIdent() && IsTypeKeyword(Cur().text);
+  }
+
+  // Parses a type specifier (without declarator pointers).
+  Result<TypeRef> ParseTypeSpec() {
+    TypeRef type;
+    while (Cur().IsKeyword("const") || Cur().IsKeyword("volatile") ||
+           Cur().IsKeyword("unsigned") || Cur().IsKeyword("signed") ||
+           Cur().IsKeyword("static")) {
+      if (Cur().IsKeyword("unsigned") || Cur().IsKeyword("signed")) {
+        type.base = Cur().text;
+      }
+      Advance();
+    }
+    if (Cur().IsKeyword("struct") || Cur().IsKeyword("union") || Cur().IsKeyword("enum")) {
+      const bool is_struct = Cur().IsKeyword("struct");
+      Advance();
+      if (!Cur().IsIdent()) {
+        return Err("expected struct tag");
+      }
+      type.base = Cur().text;
+      type.is_struct = is_struct;
+      Advance();
+      return type;
+    }
+    if (Cur().kind == TokenKind::kKeyword || Cur().IsIdent()) {
+      // Builtin or typedef name. "unsigned" alone is also legal.
+      if (type.base.empty() || Cur().kind == TokenKind::kKeyword || IsTypeKeyword(Cur().text)) {
+        if (Cur().kind == TokenKind::kKeyword || IsTypeKeyword(Cur().text)) {
+          std::string base = Cur().text;
+          Advance();
+          // "long long", "unsigned long", etc.
+          while (Cur().IsKeyword("long") || Cur().IsKeyword("int") || Cur().IsKeyword("char") ||
+                 Cur().IsKeyword("short")) {
+            base += " " + Cur().text;
+            Advance();
+          }
+          type.base = type.base.empty() ? base : type.base + " " + base;
+        }
+      }
+      if (type.base.empty()) {
+        return Err("expected type name");
+      }
+      return type;
+    }
+    return Err("expected type");
+  }
+
+  // Parses "* * name [N]" or "(*name)(params)" declarators after a type spec.
+  struct Declarator {
+    std::string name;
+    int pointer_depth = 0;
+    bool is_func_ptr = false;
+    uint64_t array_len = 0;
+    int line = 0;
+  };
+
+  Result<Declarator> ParseDeclarator() {
+    Declarator decl;
+    decl.line = Cur().line;
+    while (Cur().IsPunct("*")) {
+      ++decl.pointer_depth;
+      Advance();
+    }
+    if (Cur().IsPunct("(")) {
+      // Function pointer: ( * name ) ( params )
+      Advance();
+      if (!Cur().IsPunct("*")) {
+        return Err("expected '*' in function-pointer declarator");
+      }
+      Advance();
+      if (!Cur().IsIdent()) {
+        return Err("expected function-pointer name");
+      }
+      decl.name = Cur().text;
+      decl.is_func_ptr = true;
+      Advance();
+      SPV_RETURN_IF_ERROR(Expect(")"));
+      SPV_RETURN_IF_ERROR(Expect("("));
+      int depth = 1;
+      while (depth > 0 && !At(TokenKind::kEof)) {
+        if (Cur().IsPunct("(")) {
+          ++depth;
+        } else if (Cur().IsPunct(")")) {
+          --depth;
+        }
+        Advance();
+      }
+      return decl;
+    }
+    if (!Cur().IsIdent()) {
+      return Err("expected declarator name");
+    }
+    decl.name = Cur().text;
+    Advance();
+    if (Cur().IsPunct("[")) {
+      Advance();
+      if (Cur().kind == TokenKind::kNumber) {
+        decl.array_len = std::strtoull(Cur().text.c_str(), nullptr, 0);
+        Advance();
+      } else if (Cur().IsIdent()) {
+        decl.array_len = 1;  // symbolic size; layout treats as 1 elem
+        Advance();
+      }
+      SPV_RETURN_IF_ERROR(Expect("]"));
+    }
+    return decl;
+  }
+
+  Result<StructDef> ParseStructDef() {
+    StructDef def;
+    def.line = Cur().line;
+    Advance();  // struct
+    def.name = Cur().text;
+    Advance();
+    SPV_RETURN_IF_ERROR(Expect("{"));
+    while (!Cur().IsPunct("}")) {
+      if (At(TokenKind::kEof)) {
+        return Err("unterminated struct");
+      }
+      Result<TypeRef> type = ParseTypeSpec();
+      if (!type.ok()) {
+        return type.status();
+      }
+      // One or more declarators.
+      while (true) {
+        Result<Declarator> decl = ParseDeclarator();
+        if (!decl.ok()) {
+          return decl.status();
+        }
+        FieldDecl field;
+        field.type = *type;
+        field.type.pointer_depth = decl->pointer_depth;
+        field.type.is_func_ptr = decl->is_func_ptr;
+        field.type.array_len = decl->array_len;
+        field.name = decl->name;
+        field.line = decl->line;
+        def.fields.push_back(field);
+        if (Cur().IsPunct(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      SPV_RETURN_IF_ERROR(Expect(";"));
+    }
+    Advance();  // }
+    SPV_RETURN_IF_ERROR(Expect(";"));
+    return def;
+  }
+
+  Status ParseFuncOrGlobal(SourceFile& file) {
+    Result<TypeRef> type = ParseTypeSpec();
+    if (!type.ok()) {
+      return type.status();
+    }
+    Result<Declarator> decl = ParseDeclarator();
+    if (!decl.ok()) {
+      return decl.status();
+    }
+    if (Cur().IsPunct("(")) {
+      FuncDef func;
+      func.return_type = *type;
+      func.return_type.pointer_depth = decl->pointer_depth;
+      func.name = decl->name;
+      func.line = decl->line;
+      Advance();
+      if (!Cur().IsPunct(")")) {
+        while (true) {
+          if (Cur().IsKeyword("void") && Peek(1).IsPunct(")")) {
+            Advance();
+            break;
+          }
+          Result<TypeRef> ptype = ParseTypeSpec();
+          if (!ptype.ok()) {
+            return ptype.status();
+          }
+          Result<Declarator> pdecl = ParseDeclarator();
+          if (!pdecl.ok()) {
+            return pdecl.status();
+          }
+          ParamDecl param;
+          param.type = *ptype;
+          param.type.pointer_depth = pdecl->pointer_depth;
+          param.type.is_func_ptr = pdecl->is_func_ptr;
+          param.name = pdecl->name;
+          func.params.push_back(param);
+          if (Cur().IsPunct(",")) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      SPV_RETURN_IF_ERROR(Expect(")"));
+      if (Cur().IsPunct(";")) {
+        Advance();  // prototype: record nothing
+        return OkStatus();
+      }
+      Result<std::vector<Stmt>> body = ParseBlock();
+      if (!body.ok()) {
+        return body.status();
+      }
+      func.body = std::move(*body);
+      file.functions.push_back(std::move(func));
+      return OkStatus();
+    }
+    // Global variable: skip initializer.
+    SkipToSemicolon();
+    return OkStatus();
+  }
+
+  Result<std::vector<Stmt>> ParseBlock() {
+    SPV_RETURN_IF_ERROR(Expect("{"));
+    std::vector<Stmt> stmts;
+    while (!Cur().IsPunct("}")) {
+      if (At(TokenKind::kEof)) {
+        return Err("unterminated block");
+      }
+      Result<Stmt> stmt = ParseStmt();
+      if (!stmt.ok()) {
+        return stmt.status();
+      }
+      stmts.push_back(std::move(*stmt));
+    }
+    Advance();
+    return stmts;
+  }
+
+  Result<Stmt> ParseStmt() {
+    Stmt stmt;
+    stmt.line = Cur().line;
+    if (Cur().IsPunct("{")) {
+      stmt.kind = Stmt::Kind::kBlock;
+      Result<std::vector<Stmt>> body = ParseBlock();
+      if (!body.ok()) {
+        return body.status();
+      }
+      stmt.body = std::move(*body);
+      return stmt;
+    }
+    if (Cur().IsKeyword("return")) {
+      stmt.kind = Stmt::Kind::kReturn;
+      Advance();
+      if (!Cur().IsPunct(";")) {
+        Result<ExprPtr> expr = ParseExpr();
+        if (!expr.ok()) {
+          return expr.status();
+        }
+        stmt.expr = std::move(*expr);
+      }
+      SPV_RETURN_IF_ERROR(Expect(";"));
+      return stmt;
+    }
+    if (Cur().IsKeyword("if")) {
+      stmt.kind = Stmt::Kind::kIf;
+      Advance();
+      SPV_RETURN_IF_ERROR(Expect("("));
+      Result<ExprPtr> cond = ParseExpr();
+      if (!cond.ok()) {
+        return cond.status();
+      }
+      stmt.expr = std::move(*cond);
+      SPV_RETURN_IF_ERROR(Expect(")"));
+      Result<Stmt> then_stmt = ParseStmt();
+      if (!then_stmt.ok()) {
+        return then_stmt.status();
+      }
+      stmt.body.push_back(std::move(*then_stmt));
+      if (Cur().IsKeyword("else")) {
+        Advance();
+        Result<Stmt> else_stmt = ParseStmt();
+        if (!else_stmt.ok()) {
+          return else_stmt.status();
+        }
+        stmt.else_body.push_back(std::move(*else_stmt));
+      }
+      return stmt;
+    }
+    if (Cur().IsKeyword("while") || Cur().IsKeyword("for")) {
+      stmt.kind = Stmt::Kind::kLoop;
+      const bool is_for = Cur().IsKeyword("for");
+      Advance();
+      SPV_RETURN_IF_ERROR(Expect("("));
+      if (is_for) {
+        // for(init; cond; step) — parse init as a statement-ish, keep it.
+        if (!Cur().IsPunct(";")) {
+          Result<Stmt> init = ParseSimpleStmt();
+          if (!init.ok()) {
+            return init.status();
+          }
+          stmt.body.push_back(std::move(*init));
+        } else {
+          Advance();
+        }
+        if (!Cur().IsPunct(";")) {
+          Result<ExprPtr> cond = ParseExpr();
+          if (!cond.ok()) {
+            return cond.status();
+          }
+          stmt.expr = std::move(*cond);
+        }
+        SPV_RETURN_IF_ERROR(Expect(";"));
+        if (!Cur().IsPunct(")")) {
+          Result<ExprPtr> step = ParseExpr();
+          if (!step.ok()) {
+            return step.status();
+          }
+          Stmt step_stmt;
+          step_stmt.kind = Stmt::Kind::kExpr;
+          step_stmt.line = Cur().line;
+          step_stmt.expr = std::move(*step);
+          stmt.body.push_back(std::move(step_stmt));
+        }
+      } else {
+        Result<ExprPtr> cond = ParseExpr();
+        if (!cond.ok()) {
+          return cond.status();
+        }
+        stmt.expr = std::move(*cond);
+      }
+      SPV_RETURN_IF_ERROR(Expect(")"));
+      Result<Stmt> body = ParseStmt();
+      if (!body.ok()) {
+        return body.status();
+      }
+      stmt.body.push_back(std::move(*body));
+      return stmt;
+    }
+    if (Cur().IsKeyword("switch")) {
+      // switch (expr) { case ...: stmts } — modelled as a loop-shaped node.
+      stmt.kind = Stmt::Kind::kLoop;
+      Advance();
+      SPV_RETURN_IF_ERROR(Expect("("));
+      Result<ExprPtr> cond = ParseExpr();
+      if (!cond.ok()) {
+        return cond.status();
+      }
+      stmt.expr = std::move(*cond);
+      SPV_RETURN_IF_ERROR(Expect(")"));
+      Result<Stmt> body = ParseStmt();
+      if (!body.ok()) {
+        return body.status();
+      }
+      stmt.body.push_back(std::move(*body));
+      return stmt;
+    }
+    if (Cur().IsKeyword("case")) {
+      Advance();
+      while (!Cur().IsPunct(":") && !At(TokenKind::kEof)) {
+        Advance();  // constant expression label
+      }
+      SPV_RETURN_IF_ERROR(Expect(":"));
+      return ParseStmt();
+    }
+    if (Cur().IsKeyword("default") && Peek(1).IsPunct(":")) {
+      Advance();
+      Advance();
+      return ParseStmt();
+    }
+    if (Cur().IsKeyword("do")) {
+      // do { ... } while (expr);
+      stmt.kind = Stmt::Kind::kLoop;
+      Advance();
+      Result<Stmt> body = ParseStmt();
+      if (!body.ok()) {
+        return body.status();
+      }
+      stmt.body.push_back(std::move(*body));
+      if (!Cur().IsKeyword("while")) {
+        return Err("expected 'while' after do-body");
+      }
+      Advance();
+      SPV_RETURN_IF_ERROR(Expect("("));
+      Result<ExprPtr> cond = ParseExpr();
+      if (!cond.ok()) {
+        return cond.status();
+      }
+      stmt.expr = std::move(*cond);
+      SPV_RETURN_IF_ERROR(Expect(")"));
+      SPV_RETURN_IF_ERROR(Expect(";"));
+      return stmt;
+    }
+    if (Cur().IsKeyword("break") || Cur().IsKeyword("continue") || Cur().IsKeyword("goto")) {
+      SkipToSemicolon();
+      stmt.kind = Stmt::Kind::kExpr;
+      return stmt;
+    }
+    // Plain goto label "name:" — skip the label, parse the labelled statement.
+    if (Cur().IsIdent() && Peek(1).IsPunct(":") && !IsTypeKeyword(Cur().text)) {
+      Advance();
+      Advance();
+      return ParseStmt();
+    }
+    return ParseSimpleStmt();
+  }
+
+  // Declaration or expression statement, consuming the semicolon.
+  Result<Stmt> ParseSimpleStmt() {
+    Stmt stmt;
+    stmt.line = Cur().line;
+    if (AtDeclStart()) {
+      stmt.kind = Stmt::Kind::kDecl;
+      Result<TypeRef> type = ParseTypeSpec();
+      if (!type.ok()) {
+        return type.status();
+      }
+      Result<Declarator> decl = ParseDeclarator();
+      if (!decl.ok()) {
+        return decl.status();
+      }
+      stmt.decl_type = *type;
+      stmt.decl_type.pointer_depth = decl->pointer_depth;
+      stmt.decl_type.is_func_ptr = decl->is_func_ptr;
+      stmt.decl_type.array_len = decl->array_len;
+      stmt.decl_name = decl->name;
+      if (Cur().IsPunct("=")) {
+        Advance();
+        Result<ExprPtr> init = ParseExpr();
+        if (!init.ok()) {
+          return init.status();
+        }
+        stmt.init = std::move(*init);
+      }
+      SPV_RETURN_IF_ERROR(Expect(";"));
+      return stmt;
+    }
+    stmt.kind = Stmt::Kind::kExpr;
+    Result<ExprPtr> expr = ParseExpr();
+    if (!expr.ok()) {
+      return expr.status();
+    }
+    stmt.expr = std::move(*expr);
+    SPV_RETURN_IF_ERROR(Expect(";"));
+    return stmt;
+  }
+
+  bool AtDeclStart() const {
+    if (Cur().IsKeyword("struct")) {
+      return true;
+    }
+    if (AtTypeStart()) {
+      // "u32 x", "int *p", "size_t n = ..." — identifier types only count if
+      // followed by a declarator shape.
+      if (Cur().kind == TokenKind::kKeyword) {
+        return true;
+      }
+      size_t k = 1;
+      while (Peek(k).IsPunct("*")) {
+        ++k;
+      }
+      return Peek(k).IsIdent();
+    }
+    return false;
+  }
+
+  // ---- Expressions (precedence climbing) -------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseAssign(); }
+
+  Result<ExprPtr> ParseAssign() {
+    Result<ExprPtr> lhs = ParseBinary(0);
+    if (!lhs.ok()) {
+      return lhs.status();
+    }
+    static const char* kAssignOps[] = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="};
+    for (const char* op : kAssignOps) {
+      if (Cur().IsPunct(op)) {
+        auto node = std::make_unique<Expr>();
+        node->kind = Expr::Kind::kAssign;
+        node->line = Cur().line;
+        node->text = op;
+        Advance();
+        Result<ExprPtr> rhs = ParseAssign();
+        if (!rhs.ok()) {
+          return rhs.status();
+        }
+        node->lhs = std::move(*lhs);
+        node->rhs = std::move(*rhs);
+        return node;
+      }
+    }
+    // Ternary (rare in corpus): cond ? a : b — fold to binary-ish.
+    if (Cur().IsPunct("?")) {
+      Advance();
+      Result<ExprPtr> a = ParseAssign();
+      if (!a.ok()) {
+        return a.status();
+      }
+      SPV_RETURN_IF_ERROR(Expect(":"));
+      Result<ExprPtr> b = ParseAssign();
+      if (!b.ok()) {
+        return b.status();
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->text = "?:";
+      node->lhs = std::move(*a);
+      node->rhs = std::move(*b);
+      return node;
+    }
+    return lhs;
+  }
+
+  static int Precedence(const std::string& op) {
+    if (op == "||") return 1;
+    if (op == "&&") return 2;
+    if (op == "|") return 3;
+    if (op == "^") return 4;
+    if (op == "&") return 5;
+    if (op == "==" || op == "!=") return 6;
+    if (op == "<" || op == ">" || op == "<=" || op == ">=") return 7;
+    if (op == "<<" || op == ">>") return 8;
+    if (op == "+" || op == "-") return 9;
+    if (op == "*" || op == "/" || op == "%") return 10;
+    return -1;
+  }
+
+  Result<ExprPtr> ParseBinary(int min_prec) {
+    Result<ExprPtr> lhs = ParseUnary();
+    if (!lhs.ok()) {
+      return lhs.status();
+    }
+    ExprPtr left = std::move(*lhs);
+    while (Cur().kind == TokenKind::kPunct) {
+      const int prec = Precedence(Cur().text);
+      if (prec < 0 || prec < min_prec) {
+        break;
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->line = Cur().line;
+      node->text = Cur().text;
+      Advance();
+      Result<ExprPtr> rhs = ParseBinary(prec + 1);
+      if (!rhs.ok()) {
+        return rhs.status();
+      }
+      node->lhs = std::move(left);
+      node->rhs = std::move(*rhs);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  bool AtCastParen() const {
+    if (!Cur().IsPunct("(")) {
+      return false;
+    }
+    const Token& next = Peek(1);
+    if (next.IsKeyword("struct") || next.IsKeyword("const") || next.IsKeyword("unsigned") ||
+        next.IsKeyword("void") || next.IsKeyword("int") || next.IsKeyword("char") ||
+        next.IsKeyword("long") || next.IsKeyword("short")) {
+      return true;
+    }
+    return next.IsIdent() && IsTypeKeyword(next.text) &&
+           (Peek(2).IsPunct("*") || Peek(2).IsPunct(")"));
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    const int line = Cur().line;
+    if (Cur().IsPunct("&")) {
+      Advance();
+      Result<ExprPtr> operand = ParseUnary();
+      if (!operand.ok()) {
+        return operand.status();
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kAddrOf;
+      node->line = line;
+      node->lhs = std::move(*operand);
+      return node;
+    }
+    if (Cur().IsPunct("*")) {
+      Advance();
+      Result<ExprPtr> operand = ParseUnary();
+      if (!operand.ok()) {
+        return operand.status();
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kDeref;
+      node->line = line;
+      node->lhs = std::move(*operand);
+      return node;
+    }
+    if (Cur().IsPunct("!") || Cur().IsPunct("-") || Cur().IsPunct("~") || Cur().IsPunct("+") ||
+        Cur().IsPunct("++") || Cur().IsPunct("--")) {
+      const std::string op = Cur().text;
+      Advance();
+      Result<ExprPtr> operand = ParseUnary();
+      if (!operand.ok()) {
+        return operand.status();
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNeg;
+      node->line = line;
+      node->text = op;
+      node->lhs = std::move(*operand);
+      return node;
+    }
+    if (Cur().IsKeyword("sizeof")) {
+      Advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kSizeof;
+      node->line = line;
+      if (Cur().IsPunct("(")) {
+        Advance();
+        if (Cur().IsKeyword("struct") || (Cur().IsIdent() && IsTypeKeyword(Cur().text)) ||
+            Cur().kind == TokenKind::kKeyword) {
+          Result<TypeRef> type = ParseTypeSpec();
+          if (!type.ok()) {
+            return type.status();
+          }
+          while (Cur().IsPunct("*")) {
+            ++type->pointer_depth;
+            Advance();
+          }
+          node->cast_type = *type;
+        } else {
+          Result<ExprPtr> inner = ParseExpr();
+          if (!inner.ok()) {
+            return inner.status();
+          }
+          node->lhs = std::move(*inner);
+        }
+        SPV_RETURN_IF_ERROR(Expect(")"));
+      }
+      return node;
+    }
+    if (AtCastParen()) {
+      Advance();  // (
+      Result<TypeRef> type = ParseTypeSpec();
+      if (!type.ok()) {
+        return type.status();
+      }
+      while (Cur().IsPunct("*")) {
+        ++type->pointer_depth;
+        Advance();
+      }
+      SPV_RETURN_IF_ERROR(Expect(")"));
+      Result<ExprPtr> operand = ParseUnary();
+      if (!operand.ok()) {
+        return operand.status();
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kCast;
+      node->line = line;
+      node->cast_type = *type;
+      node->lhs = std::move(*operand);
+      return node;
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    Result<ExprPtr> primary = ParsePrimary();
+    if (!primary.ok()) {
+      return primary.status();
+    }
+    ExprPtr node = std::move(*primary);
+    while (true) {
+      if (Cur().IsPunct("(")) {
+        auto call = std::make_unique<Expr>();
+        call->kind = Expr::Kind::kCall;
+        call->line = Cur().line;
+        call->lhs = std::move(node);
+        Advance();
+        if (!Cur().IsPunct(")")) {
+          while (true) {
+            Result<ExprPtr> arg = ParseAssign();
+            if (!arg.ok()) {
+              return arg.status();
+            }
+            call->args.push_back(std::move(*arg));
+            if (Cur().IsPunct(",")) {
+              Advance();
+              continue;
+            }
+            break;
+          }
+        }
+        SPV_RETURN_IF_ERROR(Expect(")"));
+        node = std::move(call);
+        continue;
+      }
+      if (Cur().IsPunct(".") || Cur().IsPunct("->")) {
+        auto member = std::make_unique<Expr>();
+        member->kind = Expr::Kind::kMember;
+        member->line = Cur().line;
+        member->arrow = Cur().IsPunct("->");
+        Advance();
+        if (!Cur().IsIdent()) {
+          return Err("expected member name");
+        }
+        member->text = Cur().text;
+        Advance();
+        member->lhs = std::move(node);
+        node = std::move(member);
+        continue;
+      }
+      if (Cur().IsPunct("[")) {
+        auto index = std::make_unique<Expr>();
+        index->kind = Expr::Kind::kIndex;
+        index->line = Cur().line;
+        Advance();
+        Result<ExprPtr> idx = ParseExpr();
+        if (!idx.ok()) {
+          return idx.status();
+        }
+        SPV_RETURN_IF_ERROR(Expect("]"));
+        index->lhs = std::move(node);
+        index->rhs = std::move(*idx);
+        node = std::move(index);
+        continue;
+      }
+      if (Cur().IsPunct("++") || Cur().IsPunct("--")) {
+        Advance();  // post-inc/dec: analysis-neutral
+        continue;
+      }
+      break;
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const int line = Cur().line;
+    if (Cur().IsPunct("(")) {
+      Advance();
+      Result<ExprPtr> inner = ParseExpr();
+      if (!inner.ok()) {
+        return inner.status();
+      }
+      SPV_RETURN_IF_ERROR(Expect(")"));
+      return inner;
+    }
+    if (Cur().IsIdent()) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kIdent;
+      node->line = line;
+      node->text = Cur().text;
+      Advance();
+      return node;
+    }
+    if (Cur().kind == TokenKind::kNumber) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNumber;
+      node->line = line;
+      node->text = Cur().text;
+      Advance();
+      return node;
+    }
+    if (Cur().kind == TokenKind::kString || Cur().kind == TokenKind::kCharLit) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kString;
+      node->line = line;
+      node->text = Cur().text;
+      Advance();
+      return node;
+    }
+    return Err("expected expression");
+  }
+
+  std::string path_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SourceFile> ParseSource(std::string path, std::string_view source) {
+  Result<std::vector<Token>> tokens = Lex(source);
+  if (!tokens.ok()) {
+    return tokens.status();
+  }
+  Parser parser{std::move(path), std::move(*tokens)};
+  return parser.Parse();
+}
+
+}  // namespace spv::spade

@@ -1,0 +1,22 @@
+// Recursive-descent parser for the SPADE C subset.
+
+#ifndef SPV_SPADE_PARSER_H_
+#define SPV_SPADE_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "spade/ast.h"
+#include "spade/lexer.h"
+
+namespace spv::spade {
+
+// Parses a whole translation unit. Unsupported constructs fail with a line
+// number — SPADE's false-negative-on-complex-code limitation (§4.3) shows up
+// as files the parser (or analyzer) cannot follow.
+Result<SourceFile> ParseSource(std::string path, std::string_view source);
+
+}  // namespace spv::spade
+
+#endif  // SPV_SPADE_PARSER_H_

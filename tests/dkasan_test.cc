@@ -1,0 +1,261 @@
+// Tests for D-KASAN: the four report classes (§4.2), event plumbing from the
+// allocators and DMA API, and the Figure-3 workload.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/machine.h"
+#include "device/malicious_nic.h"
+#include "dkasan/dkasan.h"
+#include "dkasan/workload.h"
+#include "net/nic_driver.h"
+
+namespace spv::dkasan {
+namespace {
+
+class DkasanFixture : public ::testing::Test {
+ protected:
+  DkasanFixture() : machine_(MakeConfig()), dkasan_(machine_.layout()) {
+    dkasan_.Attach(machine_.slab());
+    dkasan_.Attach(machine_.dma());
+    dkasan_.set_dedup(false);
+  }
+
+  static core::MachineConfig MakeConfig() {
+    core::MachineConfig config;
+    config.seed = 99;
+    config.iommu.mode = iommu::InvalidationMode::kStrict;
+    return config;
+  }
+
+  DeviceId AttachDevice() {
+    const DeviceId device{42};
+    machine_.iommu().AttachDevice(device);
+    return device;
+  }
+
+  core::Machine machine_;
+  DKasan dkasan_;
+};
+
+TEST_F(DkasanFixture, CleanAllocationsProduceNoReports) {
+  auto a = machine_.slab().Kmalloc(512, "clean_a");
+  auto b = machine_.slab().Kmalloc(512, "clean_b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(machine_.slab().Kfree(*a).ok());
+  ASSERT_TRUE(machine_.slab().Kfree(*b).ok());
+  EXPECT_TRUE(dkasan_.reports().empty());
+}
+
+TEST_F(DkasanFixture, MapAfterAllocDetected) {
+  // An I/O buffer and an unrelated object share a page; mapping the I/O
+  // buffer exposes the object.
+  const DeviceId device = AttachDevice();
+  auto io_buf = machine_.slab().Kmalloc(512, "driver_io_buf");
+  auto secret = machine_.slab().Kmalloc(512, "sock_alloc_inode+0x4f/0x120");
+  ASSERT_TRUE(io_buf.ok());
+  ASSERT_TRUE(secret.ok());
+  auto iova = machine_.dma().MapSingle(device, *io_buf, 512,
+                                       dma::DmaDirection::kFromDevice, "drv_map");
+  ASSERT_TRUE(iova.ok());
+
+  auto reports = dkasan_.ReportsOfKind(ReportKind::kMapAfterAlloc);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kva, *secret);
+  EXPECT_EQ(reports[0].site, "sock_alloc_inode+0x4f/0x120");
+  EXPECT_EQ(reports[0].rights, iommu::AccessRights::kWrite);
+}
+
+TEST_F(DkasanFixture, AllocAfterMapDetected) {
+  const DeviceId device = AttachDevice();
+  auto io_buf = machine_.slab().Kmalloc(1024, "driver_io_buf");
+  ASSERT_TRUE(io_buf.ok());
+  auto iova = machine_.dma().MapSingle(device, *io_buf, 1024,
+                                       dma::DmaDirection::kBidirectional, "drv_map");
+  ASSERT_TRUE(iova.ok());
+  // New object lands on the same (mapped) page: same size class.
+  auto late = machine_.slab().Kmalloc(1024, "assoc_array_insert+0xa9/0x7e0");
+  ASSERT_TRUE(late.ok());
+
+  auto reports = dkasan_.ReportsOfKind(ReportKind::kAllocAfterMap);
+  ASSERT_GE(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kva, *late);
+  EXPECT_EQ(reports[0].rights, iommu::AccessRights::kBidirectional);
+}
+
+TEST_F(DkasanFixture, AccessAfterMapDetected) {
+  const DeviceId device = AttachDevice();
+  auto io_buf = machine_.slab().Kmalloc(2048, "driver_io_buf");
+  ASSERT_TRUE(io_buf.ok());
+  auto iova = machine_.dma().MapSingle(device, *io_buf, 2048,
+                                       dma::DmaDirection::kFromDevice, "drv_map");
+  ASSERT_TRUE(iova.ok());
+  ASSERT_TRUE(machine_.kmem().WriteU64(*io_buf, 1).ok());
+
+  auto reports = dkasan_.ReportsOfKind(ReportKind::kAccessAfterMap);
+  ASSERT_GE(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kva, *io_buf);
+}
+
+TEST_F(DkasanFixture, MultipleMapDetected) {
+  // Figure 3 line 1: a buffer mapped twice — READ and WRITE — merges to
+  // [READ, WRITE].
+  const DeviceId device = AttachDevice();
+  auto buf = machine_.slab().Kmalloc(2048, "__alloc_skb+0xe0/0x3f0");
+  ASSERT_TRUE(buf.ok());
+  auto a = machine_.dma().MapSingle(device, *buf, 512, dma::DmaDirection::kFromDevice,
+                                    "rx_map");
+  auto b = machine_.dma().MapSingle(device, *buf + 512, 512, dma::DmaDirection::kToDevice,
+                                    "tx_map");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  auto reports = dkasan_.ReportsOfKind(ReportKind::kMultipleMap);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].rights, iommu::AccessRights::kBidirectional);
+}
+
+TEST_F(DkasanFixture, UnmapClearsShadow) {
+  const DeviceId device = AttachDevice();
+  auto buf = machine_.slab().Kmalloc(4096, "driver_io_buf");
+  ASSERT_TRUE(buf.ok());
+  auto iova = machine_.dma().MapSingle(device, *buf, 4096,
+                                       dma::DmaDirection::kFromDevice, "drv_map");
+  ASSERT_TRUE(iova.ok());
+  ASSERT_TRUE(machine_.dma()
+                  .UnmapSingle(device, *iova, 4096, dma::DmaDirection::kFromDevice)
+                  .ok());
+  dkasan_.ClearReports();
+  ASSERT_TRUE(machine_.kmem().WriteU64(*buf, 1).ok());
+  auto late = machine_.slab().Kmalloc(4096, "late");
+  ASSERT_TRUE(late.ok());
+  EXPECT_TRUE(dkasan_.reports().empty());
+}
+
+TEST_F(DkasanFixture, ReportLineMatchesFigure3Format) {
+  Report report;
+  report.kind = ReportKind::kAllocAfterMap;
+  report.size = 512;
+  report.rights = iommu::AccessRights::kBidirectional;
+  report.site = "__alloc_skb+0xe0/0x3f0";
+  EXPECT_EQ(report.ToLine(1).substr(0, 45),
+            "[1] size 512 [READ, WRITE] __alloc_skb+0xe0/0");
+}
+
+TEST_F(DkasanFixture, DedupSuppressesRepeats) {
+  dkasan_.set_dedup(true);
+  const DeviceId device = AttachDevice();
+  for (int i = 0; i < 5; ++i) {
+    auto buf = machine_.slab().Kmalloc(2048, "dup_site");
+    ASSERT_TRUE(buf.ok());
+    auto a = machine_.dma().MapSingle(device, *buf, 256, dma::DmaDirection::kFromDevice,
+                                      "map_site");
+    auto b = machine_.dma().MapSingle(device, *buf + 1024, 256,
+                                      dma::DmaDirection::kFromDevice, "map_site");
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+  }
+  EXPECT_EQ(dkasan_.count(ReportKind::kMultipleMap), 1u);
+}
+
+TEST(DkasanWorkloadTest, RouterWorkloadSurfacesForwardingExposures) {
+  core::MachineConfig config;
+  config.seed = 17;
+  config.net.forwarding_enabled = true;
+  core::Machine machine{config};
+  DKasan dkasan{machine.layout()};
+  dkasan.Attach(machine.slab());
+  dkasan.Attach(machine.dma());
+  net::NicDriver::Config driver_config;
+  driver_config.rx_ring_size = 16;
+  driver_config.rx_buf_len = 1728;
+  net::NicDriver& nic = machine.AddNicDriver(driver_config);
+  device::MaliciousNic device{device::DevicePort{machine.iommu(), nic.device_id()}};
+  nic.AttachDevice(&device);
+  dkasan.Attach(machine.frag_pool(CpuId{0}));
+
+  auto stats = RunRouterWorkload(machine, nic, device, {.iterations = 200});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->rx_packets, 100u);
+  EXPECT_GT(stats->tx_packets, 50u);
+  // Forwarded frags re-map RX pages for TX: multiple-map findings.
+  EXPECT_GT(dkasan.count(ReportKind::kMultipleMap), 0u);
+}
+
+TEST(DkasanWorkloadTest, RouterWorkloadRequiresForwarding) {
+  core::MachineConfig config;
+  config.seed = 18;
+  core::Machine machine{config};
+  net::NicDriver& nic = machine.AddNicDriver({});
+  device::MaliciousNic device{device::DevicePort{machine.iommu(), nic.device_id()}};
+  EXPECT_FALSE(RunRouterWorkload(machine, nic, device, {}).ok());
+}
+
+TEST(DkasanWorkloadTest, StorageWorkloadSurfacesTypeDExposures) {
+  core::MachineConfig config;
+  config.seed = 19;
+  core::Machine machine{config};
+  DKasan dkasan{machine.layout()};
+  dkasan.Attach(machine.slab());
+  dkasan.Attach(machine.dma());
+
+  auto stats = RunStorageWorkload(machine, DeviceId{30}, {.iterations = 300});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->rx_packets, 100u);  // I/Os submitted
+  // Filesystem metadata co-located with BIDIRECTIONAL I/O buffers.
+  const uint64_t exposures = dkasan.count(ReportKind::kMapAfterAlloc) +
+                             dkasan.count(ReportKind::kAllocAfterMap);
+  EXPECT_GT(exposures, 0u);
+  // The exposed sites include real filesystem metadata.
+  bool fs_site = false;
+  for (const Report& report : dkasan.reports()) {
+    if (report.site.find("inode") != std::string::npos ||
+        report.site.find("jbd2") != std::string::npos ||
+        report.site.find("d_alloc") != std::string::npos ||
+        report.site.find("ext4") != std::string::npos) {
+      fs_site = true;
+    }
+  }
+  EXPECT_TRUE(fs_site) << dkasan.FormatReport();
+}
+
+TEST(DkasanWorkloadTest, BuildAndPingWorkloadReproducesFigure3) {
+  core::MachineConfig config;
+  config.seed = 7;
+  config.iommu.mode = iommu::InvalidationMode::kDeferred;  // Linux default
+  core::Machine machine{config};
+  DKasan dkasan{machine.layout()};
+  dkasan.Attach(machine.slab());
+  dkasan.Attach(machine.dma());
+
+  net::NicDriver::Config driver_config;
+  driver_config.rx_ring_size = 16;
+  driver_config.rx_buf_len = 1728;
+  net::NicDriver& nic = machine.AddNicDriver(driver_config);
+  device::MaliciousNic device{device::DevicePort{machine.iommu(), nic.device_id()}};
+  nic.AttachDevice(&device);
+  dkasan.Attach(machine.frag_pool(CpuId{0}));
+
+  auto stats = RunBuildAndPingWorkload(machine, nic, device, {});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->allocs, 100u);
+  EXPECT_GT(stats->rx_packets, 10u);
+  EXPECT_GT(stats->tx_packets, 5u);
+
+  // The workload must surface random exposures: at minimum access-after-map
+  // (drivers parse mapped RX pages) and multiple-map (page_frag co-location).
+  EXPECT_GT(dkasan.count(ReportKind::kAccessAfterMap), 0u);
+  EXPECT_GT(dkasan.count(ReportKind::kMultipleMap), 0u);
+  EXPECT_GT(dkasan.count(ReportKind::kMapAfterAlloc) +
+                dkasan.count(ReportKind::kAllocAfterMap),
+            0u);
+
+  const std::string text = dkasan.FormatReport();
+  EXPECT_NE(text.find("D-KASAN report"), std::string::npos);
+  EXPECT_NE(text.find("size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spv::dkasan

@@ -1,0 +1,261 @@
+// Edge-case coverage across modules: boundary inputs, error paths, and
+// invariants that the main suites do not reach.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "attack/gadgets.h"
+#include "attack/poison.h"
+#include "core/machine.h"
+#include "device/malicious_nic.h"
+#include "dkasan/dkasan.h"
+#include "iommu/io_page_table.h"
+#include "iommu/iova_allocator.h"
+#include "net/layouts.h"
+#include "spade/layout_db.h"
+#include "spade/parser.h"
+
+namespace spv {
+namespace {
+
+// ---- IoPageTable ---------------------------------------------------------------
+
+TEST(IoPageTableEdgeTest, FullLeafNodeFillAndDrain) {
+  iommu::IoPageTable table;
+  // Fill an entire 512-entry leaf.
+  for (uint64_t i = 0; i < 512; ++i) {
+    ASSERT_TRUE(table.Map(Iova{i << kPageShift}, Pfn{i + 1},
+                          iommu::AccessRights::kRead).ok());
+  }
+  EXPECT_EQ(table.mapped_pages(), 512u);
+  // Unmap the odd entries; even entries survive.
+  for (uint64_t i = 1; i < 512; i += 2) {
+    ASSERT_TRUE(table.Unmap(Iova{i << kPageShift}).ok());
+  }
+  for (uint64_t i = 0; i < 512; ++i) {
+    EXPECT_EQ(table.Lookup(Iova{i << kPageShift}).has_value(), i % 2 == 0) << i;
+  }
+  EXPECT_EQ(table.mapped_pages(), 256u);
+}
+
+TEST(IoPageTableEdgeTest, IovaZeroAndHighCanonical) {
+  iommu::IoPageTable table;
+  ASSERT_TRUE(table.Map(Iova{0}, Pfn{1}, iommu::AccessRights::kWrite).ok());
+  const Iova high{(1ull << 48) - kPageSize};  // top of the 4-level space
+  ASSERT_TRUE(table.Map(high, Pfn{2}, iommu::AccessRights::kWrite).ok());
+  EXPECT_EQ(table.Lookup(Iova{0})->pfn.value, 1u);
+  EXPECT_EQ(table.Lookup(high)->pfn.value, 2u);
+}
+
+// ---- IovaAllocator ----------------------------------------------------------------
+
+TEST(IovaAllocatorEdgeTest, ReuseRequiresExactFit) {
+  iommu::IovaAllocator alloc;
+  auto a = alloc.Alloc(4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(alloc.Free(*a, 4).ok());
+  // A 2-page request does not carve the cached 4-page range; fresh range.
+  auto b = alloc.Alloc(2);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(b->value, a->value);
+  // A 4-page request reuses it exactly.
+  auto c = alloc.Alloc(4);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->value, a->value);
+}
+
+TEST(IovaAllocatorEdgeTest, FreeValidation) {
+  iommu::IovaAllocator alloc;
+  EXPECT_FALSE(alloc.Free(Iova{0x123}, 1).ok());           // unaligned
+  EXPECT_FALSE(alloc.Free(Iova{1ull << 40}, 1).ok());      // outside window
+}
+
+// ---- PageAllocator -----------------------------------------------------------------
+
+TEST(PageAllocatorEdgeTest, InvalidFreesRejected) {
+  mem::PageDb db{256};
+  mem::PageAllocator alloc{db, Pfn{16}, 240};
+  EXPECT_FALSE(alloc.FreePages(Pfn{0}).ok());      // below range
+  EXPECT_FALSE(alloc.FreePages(Pfn{1000}).ok());   // above range
+  EXPECT_FALSE(alloc.AllocPages(11, mem::PageOwner::kAnon).ok());  // order > max
+}
+
+// ---- LayoutDb ----------------------------------------------------------------------
+
+TEST(LayoutDbEdgeTest, ArrayOfFunctionPointers) {
+  spade::LayoutDb db;
+  auto file = spade::ParseSource("t.c", R"(
+struct vtable {
+    void (*slots[16])(void *p);
+};
+)");
+  // Note: C declarator arrays-of-fn-ptrs are beyond the subset; the parser
+  // rejects them cleanly rather than mis-parsing.
+  EXPECT_FALSE(file.ok());
+}
+
+TEST(LayoutDbEdgeTest, SelfRecursiveViaPointerTerminates) {
+  spade::LayoutDb db;
+  auto file = spade::ParseSource("t.c", R"(
+struct node {
+    struct node *next;
+    void (*visit)(struct node *n);
+};
+)");
+  ASSERT_TRUE(file.ok());
+  db.AddStruct(file->structs[0]);
+  ASSERT_TRUE(db.Finalize().ok());
+  const spade::StructLayout* node = db.Find("node");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->size, 16u);
+  EXPECT_EQ(node->direct_callbacks, 1u);
+  EXPECT_EQ(node->spoofable_callbacks, 1u);  // next -> one visit, cycle stops
+}
+
+TEST(LayoutDbEdgeTest, RecursiveEmbeddingIsAnError) {
+  spade::LayoutDb db;
+  auto file = spade::ParseSource("t.c", R"(
+struct a {
+    struct b inner;
+};
+struct b {
+    struct a inner;
+};
+)");
+  ASSERT_TRUE(file.ok());
+  for (const auto& def : file->structs) {
+    db.AddStruct(def);
+  }
+  EXPECT_FALSE(db.Finalize().ok());
+}
+
+// ---- KernelMemory / machine edges -----------------------------------------------------
+
+class MachineEdgeTest : public ::testing::Test {
+ protected:
+  MachineEdgeTest() : machine_(MakeConfig()) {}
+  static core::MachineConfig MakeConfig() {
+    core::MachineConfig config;
+    config.seed = 606;
+    return config;
+  }
+  core::Machine machine_;
+};
+
+TEST_F(MachineEdgeTest, PageCrossingKernelAccess) {
+  Kva big = *machine_.slab().Kmalloc(8192, "two_pages");
+  const Kva split = big + (kPageSize - 4);
+  ASSERT_TRUE(machine_.kmem().WriteU64(split, 0x1122334455667788ULL).ok());
+  EXPECT_EQ(*machine_.kmem().ReadU64(split), 0x1122334455667788ULL);
+  std::vector<uint8_t> buf(256);
+  ASSERT_TRUE(machine_.kmem().Read(big + kPageSize - 128, std::span<uint8_t>(buf)).ok());
+}
+
+TEST_F(MachineEdgeTest, SkbWithoutFragPoolFails) {
+  EXPECT_FALSE(machine_.skb_alloc().NetdevAllocSkb(CpuId{9}, 1500, "no_pool").ok());
+}
+
+TEST_F(MachineEdgeTest, TruesizeForMatchesLinuxFormula) {
+  EXPECT_EQ(net::SkbAllocator::TruesizeFor(0),
+            net::SkbDataAlign(net::kNetSkbPad) + net::SkbDataAlign(net::SharedInfoLayout::kSize));
+  EXPECT_EQ(net::SkbAllocator::TruesizeFor(1500),
+            net::SkbDataAlign(64 + 1500) + 320);
+  // The driver build_skb path (no NET_SKB_PAD headroom) is what packs two
+  // 1728-byte buffers per page; the netdev_alloc_skb path adds the pad.
+  EXPECT_EQ(net::SkbAllocator::TruesizeFor(1728), 2112u);
+  EXPECT_EQ(net::SkbDataAlign(1728) + net::SkbDataAlign(net::SharedInfoLayout::kSize), 2048u);
+}
+
+TEST_F(MachineEdgeTest, FreeSkbNullIsNoop) {
+  EXPECT_TRUE(machine_.skb_alloc().FreeSkb(net::SkBuffPtr{}, nullptr).ok());
+}
+
+TEST_F(MachineEdgeTest, SendPacketWithoutEgressFails) {
+  net::PacketHeader header{.proto = net::kProtoUdp};
+  std::vector<uint8_t> payload(16, 1);
+  EXPECT_FALSE(machine_.stack().SendPacket(header, payload).ok());
+  EXPECT_FALSE(machine_.stack().OnTxCompleted(0).ok());
+}
+
+TEST_F(MachineEdgeTest, MappingsForPfnCoversMultiPageBuffers) {
+  const DeviceId dev{1};
+  machine_.iommu().AttachDevice(dev);
+  Kva big = *machine_.slab().Kmalloc(3 * kPageSize, "big_io");
+  auto iova = machine_.dma().MapSingle(dev, big, 3 * kPageSize,
+                                       dma::DmaDirection::kToDevice, "big_map");
+  ASSERT_TRUE(iova.ok());
+  const Pfn first = machine_.layout().DirectMapKvaToPhys(big)->pfn();
+  for (uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(machine_.dma().MappingsForPfn(Pfn{first.value + i}).size(), 1u) << i;
+  }
+  EXPECT_TRUE(machine_.dma().MappingsForPfn(Pfn{first.value + 3}).empty());
+}
+
+// ---- Device model edges -----------------------------------------------------------------
+
+TEST_F(MachineEdgeTest, MaliciousNicWithNoTrafficIsHarmless) {
+  const DeviceId dev{1};
+  machine_.iommu().AttachDevice(dev);
+  device::MaliciousNic nic{device::DevicePort{machine_.iommu(), dev}};
+  net::PacketHeader header{};
+  std::vector<uint8_t> payload(8, 0);
+  EXPECT_FALSE(nic.InjectRx(header, payload).ok());  // no posted descriptors
+  auto harvest = nic.HarvestReadableQwords();
+  ASSERT_TRUE(harvest.ok());
+  EXPECT_TRUE(harvest->empty());  // nothing mapped for READ
+}
+
+// ---- Poison / gadget edges ----------------------------------------------------------------
+
+TEST(PoisonEdgeTest, MarkerImageHasNoCallback) {
+  auto image = attack::BuildMarkerImage();
+  ASSERT_EQ(image.size(), attack::PoisonLayout::kImageBytes);
+  uint64_t callback;
+  std::memcpy(&callback, image.data(), 8);
+  EXPECT_EQ(callback, 0u);
+  uint64_t marker;
+  std::memcpy(&marker, image.data() + attack::PoisonLayout::kMarkerOffset, 8);
+  EXPECT_EQ(marker, attack::PoisonLayout::kMarker);
+}
+
+TEST(GadgetEdgeTest, DefaultCatalogComplete) {
+  attack::GadgetCatalog catalog = attack::GadgetCatalog::Default();
+  EXPECT_EQ(catalog.size(), 8u);
+  EXPECT_TRUE(catalog.Find(mem::kSymJopStackPivot).has_value());
+  EXPECT_FALSE(catalog.Find(0xdeadbeef).has_value());
+  for (auto kind : {attack::GadgetKind::kJopStackPivot, attack::GadgetKind::kCommitCreds,
+                    attack::GadgetKind::kBenignDestructor}) {
+    EXPECT_FALSE(attack::GadgetKindName(kind).empty());
+  }
+}
+
+// ---- D-KASAN: page recycled while still mapped ----------------------------------------------
+
+TEST_F(MachineEdgeTest, DkasanFlagsPageRecycledWhileMapped) {
+  // §5.2.1 point 2: a freed page is immediately reused ("hot" pages) while a
+  // mapping — or a stale IOTLB entry — still covers it. The reuse shows up
+  // as alloc-after-map.
+  dkasan::DKasan sanitizer{machine_.layout()};
+  sanitizer.Attach(machine_.slab());
+  sanitizer.Attach(machine_.dma());
+  const DeviceId dev{1};
+  machine_.iommu().AttachDevice(dev);
+
+  Kva buf = *machine_.slab().Kmalloc(4096, "driver_leaky_map");
+  auto iova = machine_.dma().MapSingle(dev, buf, 4096, dma::DmaDirection::kFromDevice,
+                                       "leaky_map");
+  ASSERT_TRUE(iova.ok());
+  // Driver bug: buffer freed without unmapping.
+  ASSERT_TRUE(machine_.slab().Kfree(buf).ok());
+  // Hot-page reuse hands the same page to an unrelated allocation.
+  Kva reused = *machine_.slab().Kmalloc(4096, "crypto_tfm_ctx");
+  EXPECT_EQ(reused.PageBase(), buf.PageBase());
+  auto reports = sanitizer.ReportsOfKind(dkasan::ReportKind::kAllocAfterMap);
+  ASSERT_GE(reports.size(), 1u);
+  EXPECT_EQ(reports.back().site, "crypto_tfm_ctx");
+}
+
+}  // namespace
+}  // namespace spv

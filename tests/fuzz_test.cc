@@ -1,0 +1,271 @@
+// Randomized property tests across module boundaries: allocator disjointness
+// under mixed churn, parser robustness on generated and corrupted inputs,
+// MiniCpu safety under random chains, and network-stack resource balance
+// under packet storms.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "attack/mini_cpu.h"
+#include "core/machine.h"
+#include "net/layouts.h"
+#include "spade/parser.h"
+#include "test_device.h"
+
+namespace spv {
+namespace {
+
+using spv::testing::TestNicDevice;
+
+// ---- Mixed slab + page_frag churn: all live extents disjoint ---------------------
+
+TEST(AllocatorFuzzTest, MixedChurnKeepsExtentsDisjoint) {
+  core::MachineConfig config;
+  config.seed = 31337;
+  core::Machine machine{config};
+  auto& pool = machine.frag_pool(CpuId{0});
+  Xoshiro256 rng{4242};
+
+  struct Extent {
+    uint64_t start;
+    uint64_t len;
+    bool is_frag;
+  };
+  std::map<uint64_t, Extent> live;  // start -> extent
+
+  auto check_disjoint = [&](uint64_t start, uint64_t len) {
+    auto it = live.upper_bound(start);
+    if (it != live.end()) {
+      ASSERT_GE(it->first, start + len) << "overlap with next extent";
+    }
+    if (it != live.begin()) {
+      --it;
+      ASSERT_LE(it->second.start + it->second.len, start) << "overlap with prev extent";
+    }
+  };
+
+  for (int step = 0; step < 5000; ++step) {
+    const uint64_t dice = rng.NextBelow(10);
+    if (dice < 3) {
+      const uint64_t size = 1 + rng.NextBelow(8192);
+      auto kva = machine.slab().Kmalloc(size, "fuzz_slab");
+      if (kva.ok()) {
+        check_disjoint(kva->value, size);
+        live[kva->value] = Extent{kva->value, size, false};
+      }
+    } else if (dice < 6) {
+      const uint64_t size = 1 + rng.NextBelow(4096);
+      auto kva = pool.Alloc(size, 64, "fuzz_frag");
+      if (kva.ok()) {
+        check_disjoint(kva->value, size);
+        live[kva->value] = Extent{kva->value, size, true};
+      }
+    } else if (!live.empty()) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(live.size())));
+      const Extent extent = it->second;
+      live.erase(it);
+      if (extent.is_frag) {
+        ASSERT_TRUE(pool.Free(Kva{extent.start}).ok());
+      } else {
+        ASSERT_TRUE(machine.slab().Kfree(Kva{extent.start}).ok());
+      }
+    }
+  }
+  // Drain and verify the world unwinds cleanly.
+  for (const auto& [start, extent] : live) {
+    if (extent.is_frag) {
+      ASSERT_TRUE(pool.Free(Kva{start}).ok());
+    } else {
+      ASSERT_TRUE(machine.slab().Kfree(Kva{start}).ok());
+    }
+  }
+  EXPECT_EQ(machine.slab().live_objects(), 0u);
+  EXPECT_EQ(pool.live_frags(), 0u);
+}
+
+// ---- Parser: generated programs always parse; corrupted ones never crash ----------
+
+std::string GenerateProgram(uint64_t seed) {
+  Xoshiro256 rng{seed};
+  std::ostringstream out;
+  const int structs = 1 + static_cast<int>(rng.NextBelow(4));
+  for (int s = 0; s < structs; ++s) {
+    out << "struct s" << seed << "_" << s << " {\n";
+    const int fields = 1 + static_cast<int>(rng.NextBelow(6));
+    for (int f = 0; f < fields; ++f) {
+      switch (rng.NextBelow(5)) {
+        case 0:
+          out << "    u32 f" << f << ";\n";
+          break;
+        case 1:
+          out << "    u8 buf" << f << "[" << (8 << rng.NextBelow(5)) << "];\n";
+          break;
+        case 2:
+          out << "    void (*cb" << f << ")(void *p, int n);\n";
+          break;
+        case 3:
+          out << "    struct dev *ptr" << f << ";\n";
+          break;
+        default:
+          out << "    u64 q" << f << ";\n";
+      }
+    }
+    out << "};\n";
+  }
+  const int funcs = 1 + static_cast<int>(rng.NextBelow(3));
+  for (int fn = 0; fn < funcs; ++fn) {
+    out << "static int fn" << seed << "_" << fn << "(struct dev *d, u32 len)\n{\n";
+    out << "    void *buf;\n    dma_addr_t dma;\n    u32 i;\n";
+    if (rng.NextBool(0.5)) {
+      out << "    buf = kmalloc(len, GFP_KERNEL);\n";
+    } else {
+      out << "    buf = napi_alloc_frag(len);\n";
+    }
+    out << "    for (i = 0; i < len; i = i + 1) {\n";
+    out << "        if (i == 7) { continue; }\n";
+    out << "    }\n";
+    out << "    dma = dma_map_single(d, buf, len, DMA_TO_DEVICE);\n";
+    out << "    if (!dma) { return -1; }\n";
+    out << "    return 0;\n}\n";
+  }
+  return out.str();
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, GeneratedProgramsParseAndAnalyze) {
+  const std::string source = GenerateProgram(GetParam());
+  auto file = spade::ParseSource("gen.c", source);
+  ASSERT_TRUE(file.ok()) << file.status().ToString() << "\n" << source;
+  EXPECT_FALSE(file->functions.empty());
+}
+
+TEST_P(ParserFuzzTest, CorruptedProgramsNeverCrash) {
+  std::string source = GenerateProgram(GetParam());
+  Xoshiro256 rng{GetParam() * 31 + 7};
+  // Flip random characters; the parser must return cleanly either way.
+  for (int round = 0; round < 20; ++round) {
+    std::string mutated = source;
+    const int mutations = 1 + static_cast<int>(rng.NextBelow(6));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = rng.NextBelow(mutated.size());
+      const char replacement = "{}();*&123abc \n"[rng.NextBelow(15)];
+      mutated[pos] = replacement;
+    }
+    auto file = spade::ParseSource("mut.c", mutated);
+    (void)file;  // ok() either way; the property is "no crash, no hang"
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+// ---- MiniCpu: random chains never escalate --------------------------------------
+
+TEST(MiniCpuFuzzTest, RandomChainsNeverEscalate) {
+  core::MachineConfig config;
+  config.seed = 9;
+  core::Machine machine{config};
+  attack::MiniCpu cpu{machine.kmem(), machine.layout()};
+  Xoshiro256 rng{777};
+
+  for (int run = 0; run < 200; ++run) {
+    auto buf = machine.slab().Kmalloc(256, "chain");
+    ASSERT_TRUE(buf.ok());
+    // Random qwords: mixture of garbage, text-range addresses, zeros.
+    for (uint64_t off = 64; off < 256; off += 8) {
+      uint64_t value;
+      switch (rng.NextBelow(3)) {
+        case 0:
+          value = rng.Next();
+          break;
+        case 1:
+          value = machine.layout().text_base() + rng.NextBelow(512ull << 20);
+          break;
+        default:
+          value = 0;
+      }
+      ASSERT_TRUE(machine.kmem().WriteU64(*buf + off, value).ok());
+    }
+    const Kva pivot = Kva{machine.layout().text_base() + mem::kSymJopStackPivot};
+    (void)cpu.InvokeCallback(pivot, *buf);
+    ASSERT_TRUE(machine.slab().Kfree(*buf).ok());
+  }
+  // commit_creds requires the prepare->mov chain; random bytes can't forge
+  // the cred token.
+  EXPECT_FALSE(cpu.privilege_escalated());
+}
+
+// ---- Network stack: packet storm keeps resources balanced --------------------------
+
+TEST(NetStormFuzzTest, RandomTrafficBalancesResources) {
+  core::MachineConfig config;
+  config.seed = 313;
+  config.iommu.mode = iommu::InvalidationMode::kDeferred;
+  config.net.forwarding_enabled = true;
+  core::Machine machine{config};
+  net::NicDriver::Config driver_config;
+  driver_config.rx_ring_size = 16;
+  driver_config.rx_buf_len = 1728;
+  net::NicDriver& nic = machine.AddNicDriver(driver_config);
+  TestNicDevice device{nic.device_id(), machine.iommu()};
+  nic.AttachDevice(&device);
+  machine.stack().set_egress(&nic);
+  ASSERT_TRUE(machine.stack().CreateSocket(7, true).ok());
+  ASSERT_TRUE(machine.stack().CreateSocket(80, false).ok());
+  ASSERT_TRUE(nic.FillRxRing().ok());
+  Xoshiro256 rng{99};
+
+  const uint64_t skbs_before = machine.skb_alloc().skbs_allocated();
+  for (int i = 0; i < 400; ++i) {
+    net::PacketHeader header;
+    header.src_ip = 0x0a000002 + static_cast<uint32_t>(rng.NextBelow(4));
+    header.dst_ip = rng.NextBool(0.7) ? machine.stack().config().local_ip
+                                      : 0x0a0000f0 + static_cast<uint32_t>(rng.NextBelow(4));
+    header.src_port = static_cast<uint16_t>(1024 + rng.NextBelow(60000));
+    header.dst_port =
+        rng.NextBool(0.3) ? 7 : (rng.NextBool(0.3) ? 80 : static_cast<uint16_t>(9999));
+    header.proto = rng.NextBool(0.5) ? net::kProtoTcp : net::kProtoUdp;
+    header.seq = static_cast<uint32_t>(i);
+    std::vector<uint8_t> payload(1 + rng.NextBelow(1200),
+                                 static_cast<uint8_t>(rng.NextBelow(256)));
+    auto index = device.InjectRx(machine.kmem(), header, payload);
+    if (!index.ok()) {
+      break;
+    }
+    auto skb = nic.CompleteRx(
+        *index, static_cast<uint32_t>(net::PacketHeader::kSize + payload.size()));
+    ASSERT_TRUE(skb.ok()) << skb.status().ToString();
+    ASSERT_TRUE(machine.stack().NapiGroReceive(std::move(*skb)).ok());
+    // Periodically flush GRO + complete TX so rings drain.
+    if (i % 16 == 15) {
+      ASSERT_TRUE(machine.stack().NapiComplete().ok());
+      for (const auto& descriptor : device.tx_posted()) {
+        ASSERT_TRUE(machine.stack().OnTxCompleted(descriptor.index).ok());
+      }
+      device.tx_posted().clear();
+    }
+  }
+  ASSERT_TRUE(machine.stack().NapiComplete().ok());
+  for (const auto& descriptor : device.tx_posted()) {
+    ASSERT_TRUE(machine.stack().OnTxCompleted(descriptor.index).ok());
+  }
+  device.tx_posted().clear();
+
+  const auto& stats = machine.stack().stats();
+  EXPECT_GT(stats.rx_delivered + stats.rx_forwarded + stats.rx_dropped, 100u);
+  // Every skb the storm created has been freed except the 16 live RX ring
+  // buffers (which are raw frags, not skbs) — i.e. skb churn is balanced.
+  EXPECT_EQ(machine.skb_alloc().skbs_allocated() - skbs_before,
+            machine.skb_alloc().skbs_freed());
+  EXPECT_EQ(nic.pending_tx(), 0u);
+  EXPECT_TRUE(machine.iommu().faults().empty());
+}
+
+}  // namespace
+}  // namespace spv

@@ -1,0 +1,646 @@
+// Tests for the IOMMU module: page tables, IOTLB, IOVA allocation, and the
+// strict/deferred invalidation semantics at the heart of §5.2.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/rng.h"
+#include "iommu/access_rights.h"
+#include "iommu/io_page_table.h"
+#include "iommu/iommu.h"
+#include "iommu/iotlb.h"
+#include "iommu/iova_allocator.h"
+#include "mem/phys_memory.h"
+
+namespace spv::iommu {
+namespace {
+
+constexpr DeviceId kNic{1};
+constexpr DeviceId kFirewire{2};
+
+// ---- AccessRights -------------------------------------------------------------
+
+TEST(AccessRightsTest, WriteDoesNotImplyRead) {
+  EXPECT_TRUE(Permits(AccessRights::kWrite, AccessOp::kWrite));
+  EXPECT_FALSE(Permits(AccessRights::kWrite, AccessOp::kRead));
+  EXPECT_TRUE(Permits(AccessRights::kRead, AccessOp::kRead));
+  EXPECT_FALSE(Permits(AccessRights::kRead, AccessOp::kWrite));
+  EXPECT_TRUE(Permits(AccessRights::kBidirectional, AccessOp::kRead));
+  EXPECT_TRUE(Permits(AccessRights::kBidirectional, AccessOp::kWrite));
+  EXPECT_FALSE(Permits(AccessRights::kNone, AccessOp::kRead));
+}
+
+TEST(AccessRightsTest, OrComposes) {
+  EXPECT_EQ(AccessRights::kRead | AccessRights::kWrite, AccessRights::kBidirectional);
+}
+
+// ---- IoPageTable ----------------------------------------------------------------
+
+TEST(IoPageTableTest, MapLookupUnmap) {
+  IoPageTable table;
+  Iova iova{0xfffff000};
+  ASSERT_TRUE(table.Map(iova, Pfn{42}, AccessRights::kRead).ok());
+  auto entry = table.Lookup(iova);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->pfn.value, 42u);
+  EXPECT_EQ(entry->rights, AccessRights::kRead);
+  auto removed = table.Unmap(iova);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed->pfn.value, 42u);
+  EXPECT_FALSE(table.Lookup(iova).has_value());
+}
+
+TEST(IoPageTableTest, DoubleMapRejected) {
+  IoPageTable table;
+  Iova iova{0x1000};
+  ASSERT_TRUE(table.Map(iova, Pfn{1}, AccessRights::kWrite).ok());
+  EXPECT_EQ(table.Map(iova, Pfn{2}, AccessRights::kWrite).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(IoPageTableTest, UnmapOfUnmappedRejected) {
+  IoPageTable table;
+  EXPECT_FALSE(table.Unmap(Iova{0x1000}).ok());
+  ASSERT_TRUE(table.Map(Iova{0x1000}, Pfn{1}, AccessRights::kRead).ok());
+  EXPECT_FALSE(table.Unmap(Iova{0x2000}).ok());
+}
+
+TEST(IoPageTableTest, MapWithNoRightsRejected) {
+  IoPageTable table;
+  EXPECT_FALSE(table.Map(Iova{0x1000}, Pfn{1}, AccessRights::kNone).ok());
+}
+
+TEST(IoPageTableTest, DistantIovasDoNotCollide) {
+  IoPageTable table;
+  // Same level-0 index, different upper levels.
+  Iova a{0x1000};
+  Iova b{0x1000 + (1ull << 21)};
+  Iova c{0x1000 + (1ull << 30)};
+  Iova d{0x1000 + (1ull << 39)};
+  for (auto [iova, pfn] : {std::pair{a, 1ull}, {b, 2ull}, {c, 3ull}, {d, 4ull}}) {
+    ASSERT_TRUE(table.Map(iova, Pfn{pfn}, AccessRights::kRead).ok());
+  }
+  EXPECT_EQ(table.Lookup(a)->pfn.value, 1u);
+  EXPECT_EQ(table.Lookup(b)->pfn.value, 2u);
+  EXPECT_EQ(table.Lookup(c)->pfn.value, 3u);
+  EXPECT_EQ(table.Lookup(d)->pfn.value, 4u);
+  EXPECT_EQ(table.mapped_pages(), 4u);
+}
+
+TEST(IoPageTableTest, FindIovasForPfnFindsAllAliases) {
+  IoPageTable table;
+  ASSERT_TRUE(table.Map(Iova{0x10000}, Pfn{7}, AccessRights::kRead).ok());
+  ASSERT_TRUE(table.Map(Iova{0x20000}, Pfn{7}, AccessRights::kWrite).ok());
+  ASSERT_TRUE(table.Map(Iova{0x30000}, Pfn{8}, AccessRights::kRead).ok());
+  auto aliases = table.FindIovasForPfn(Pfn{7});
+  std::set<uint64_t> values;
+  for (Iova iova : aliases) {
+    values.insert(iova.value);
+  }
+  EXPECT_EQ(values, (std::set<uint64_t>{0x10000, 0x20000}));
+}
+
+TEST(IoPageTableTest, LookupReportsWalkDepth) {
+  IoPageTable table;
+  ASSERT_TRUE(table.Map(Iova{0x5000}, Pfn{1}, AccessRights::kRead).ok());
+  int levels = 0;
+  ASSERT_TRUE(table.Lookup(Iova{0x5000}, &levels).has_value());
+  EXPECT_EQ(levels, IoPageTable::kLevels);
+}
+
+// ---- Iotlb -----------------------------------------------------------------------
+
+TEST(IotlbTest, InsertLookupInvalidate) {
+  Iotlb tlb{16};
+  EXPECT_FALSE(tlb.Lookup(kNic, Iova{0x1000}).has_value());
+  tlb.Insert(kNic, Iova{0x1000}, PteEntry{Pfn{5}, AccessRights::kWrite});
+  auto hit = tlb.Lookup(kNic, Iova{0x1000});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->pfn.value, 5u);
+  tlb.InvalidatePage(kNic, Iova{0x1000});
+  EXPECT_FALSE(tlb.Lookup(kNic, Iova{0x1000}).has_value());
+}
+
+TEST(IotlbTest, EntriesAreDeviceScoped) {
+  Iotlb tlb{16};
+  tlb.Insert(kNic, Iova{0x1000}, PteEntry{Pfn{5}, AccessRights::kWrite});
+  EXPECT_FALSE(tlb.Lookup(kFirewire, Iova{0x1000}).has_value());
+}
+
+TEST(IotlbTest, SubPageOffsetsShareEntry) {
+  Iotlb tlb{16};
+  tlb.Insert(kNic, Iova{0x1000}, PteEntry{Pfn{5}, AccessRights::kRead});
+  EXPECT_TRUE(tlb.Lookup(kNic, Iova{0x1abc}).has_value());
+}
+
+TEST(IotlbTest, LruEvictionAtCapacity) {
+  Iotlb tlb{4};
+  for (uint64_t i = 0; i < 4; ++i) {
+    tlb.Insert(kNic, Iova{i << kPageShift}, PteEntry{Pfn{i}, AccessRights::kRead});
+  }
+  // Touch entry 0 so entry 1 is the LRU victim.
+  EXPECT_TRUE(tlb.Lookup(kNic, Iova{0}).has_value());
+  tlb.Insert(kNic, Iova{4ull << kPageShift}, PteEntry{Pfn{4}, AccessRights::kRead});
+  EXPECT_TRUE(tlb.Lookup(kNic, Iova{0}).has_value());
+  EXPECT_FALSE(tlb.Lookup(kNic, Iova{1ull << kPageShift}).has_value());
+  EXPECT_EQ(tlb.size(), 4u);
+}
+
+TEST(IotlbTest, InvalidateDeviceLeavesOthers) {
+  Iotlb tlb{16};
+  tlb.Insert(kNic, Iova{0x1000}, PteEntry{Pfn{1}, AccessRights::kRead});
+  tlb.Insert(kFirewire, Iova{0x2000}, PteEntry{Pfn{2}, AccessRights::kRead});
+  tlb.InvalidateDevice(kNic);
+  EXPECT_FALSE(tlb.Lookup(kNic, Iova{0x1000}).has_value());
+  EXPECT_TRUE(tlb.Lookup(kFirewire, Iova{0x2000}).has_value());
+}
+
+TEST(IotlbTest, InvalidateAllEmptiesCache) {
+  Iotlb tlb{16};
+  tlb.Insert(kNic, Iova{0x1000}, PteEntry{Pfn{1}, AccessRights::kRead});
+  tlb.Insert(kFirewire, Iova{0x2000}, PteEntry{Pfn{2}, AccessRights::kRead});
+  tlb.InvalidateAll();
+  EXPECT_EQ(tlb.size(), 0u);
+}
+
+TEST(IotlbTest, StatsTrackHitsAndMisses) {
+  Iotlb tlb{16};
+  (void)tlb.Lookup(kNic, Iova{0x1000});
+  tlb.Insert(kNic, Iova{0x1000}, PteEntry{Pfn{1}, AccessRights::kRead});
+  (void)tlb.Lookup(kNic, Iova{0x1000});
+  EXPECT_EQ(tlb.hits(), 1u);
+  EXPECT_EQ(tlb.misses(), 1u);
+}
+
+// ---- IovaAllocator ------------------------------------------------------------------
+
+TEST(IovaAllocatorTest, AllocatesTopDownPageAligned) {
+  IovaAllocator alloc;
+  auto a = alloc.Alloc(1);
+  auto b = alloc.Alloc(1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->page_offset(), 0u);
+  EXPECT_LT(b->value, a->value);
+  EXPECT_EQ(*a - *b, kPageSize);
+}
+
+TEST(IovaAllocatorTest, RangesAreContiguousAndDisjoint) {
+  IovaAllocator alloc;
+  auto a = alloc.Alloc(4);
+  auto b = alloc.Alloc(4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a - *b, 4 * kPageSize);
+}
+
+TEST(IovaAllocatorTest, FreedRangeIsReused) {
+  IovaAllocator alloc;
+  auto a = alloc.Alloc(2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(alloc.Free(*a, 2).ok());
+  auto b = alloc.Alloc(2);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->value, a->value);
+}
+
+TEST(IovaAllocatorTest, DoubleFreeRejected) {
+  IovaAllocator alloc;
+  auto a = alloc.Alloc(1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(alloc.Free(*a, 1).ok());
+  EXPECT_FALSE(alloc.Free(*a, 1).ok());
+}
+
+TEST(IovaAllocatorTest, ExhaustionReported) {
+  IovaAllocator alloc{0, 4 * kPageSize};
+  ASSERT_TRUE(alloc.Alloc(4).ok());
+  EXPECT_EQ(alloc.Alloc(1).status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(IovaAllocatorTest, ZeroPagesRejected) {
+  IovaAllocator alloc;
+  EXPECT_FALSE(alloc.Alloc(0).ok());
+  EXPECT_FALSE(alloc.Free(Iova{0x100000}, 0).ok());
+}
+
+// ---- Iommu end-to-end -----------------------------------------------------------------
+
+class IommuTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kPages = 256;
+
+  IommuTest() : pm_(kPages) {}
+
+  Iommu MakeIommu(InvalidationMode mode, Iommu::Config extra = {}) {
+    Iommu::Config config = extra;
+    config.mode = mode;
+    Iommu iommu{pm_, clock_, config};
+    iommu.AttachDevice(kNic);
+    iommu.AttachDevice(kFirewire);
+    return iommu;
+  }
+
+  std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> list) { return {list}; }
+
+  mem::PhysicalMemory pm_;
+  SimClock clock_;
+};
+
+TEST_F(IommuTest, MappedPageIsAccessible) {
+  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  auto iova = iommu.MapPage(kNic, Pfn{10}, AccessRights::kBidirectional);
+  ASSERT_TRUE(iova.ok());
+  std::vector<uint8_t> data{1, 2, 3, 4};
+  ASSERT_TRUE(iommu.DeviceWrite(kNic, *iova + 100, data).ok());
+  std::vector<uint8_t> back(4);
+  ASSERT_TRUE(iommu.DeviceRead(kNic, *iova + 100, std::span<uint8_t>(back)).ok());
+  EXPECT_EQ(back, data);
+  // The bytes really landed in simulated physical memory.
+  EXPECT_EQ(*pm_.ReadU8(PhysAddr::FromPfn(Pfn{10}, 100)), 1);
+}
+
+TEST_F(IommuTest, UnmappedIovaFaults) {
+  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  std::vector<uint8_t> buf(8);
+  Status s = iommu.DeviceRead(kNic, Iova{0x7000}, std::span<uint8_t>(buf));
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+  ASSERT_EQ(iommu.faults().size(), 1u);
+  EXPECT_EQ(iommu.faults()[0].reason, "translation not present");
+}
+
+TEST_F(IommuTest, RightsEnforced) {
+  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  auto ro = iommu.MapPage(kNic, Pfn{11}, AccessRights::kRead);
+  auto wo = iommu.MapPage(kNic, Pfn{12}, AccessRights::kWrite);
+  ASSERT_TRUE(ro.ok());
+  ASSERT_TRUE(wo.ok());
+  std::vector<uint8_t> buf(4);
+  EXPECT_TRUE(iommu.DeviceRead(kNic, *ro, std::span<uint8_t>(buf)).ok());
+  EXPECT_FALSE(iommu.DeviceWrite(kNic, *ro, buf).ok());
+  EXPECT_TRUE(iommu.DeviceWrite(kNic, *wo, buf).ok());
+  EXPECT_FALSE(iommu.DeviceRead(kNic, *wo, std::span<uint8_t>(buf)).ok());
+}
+
+TEST_F(IommuTest, SubPageExposure) {
+  // The defining flaw: mapping a 100-byte buffer exposes the whole page.
+  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  ASSERT_TRUE(pm_.WriteU64(PhysAddr::FromPfn(Pfn{13}, 3000), 0xfeedface).ok());
+  auto iova = iommu.MapPage(kNic, Pfn{13}, AccessRights::kBidirectional);
+  ASSERT_TRUE(iova.ok());
+  std::vector<uint8_t> buf(8);
+  ASSERT_TRUE(iommu.DeviceRead(kNic, *iova + 3000, std::span<uint8_t>(buf)).ok());
+  uint64_t leaked;
+  std::memcpy(&leaked, buf.data(), 8);
+  EXPECT_EQ(leaked, 0xfeedfaceu);
+}
+
+TEST_F(IommuTest, DevicesAreIsolated) {
+  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  auto iova = iommu.MapPage(kNic, Pfn{14}, AccessRights::kBidirectional);
+  ASSERT_TRUE(iova.ok());
+  std::vector<uint8_t> buf(4);
+  EXPECT_FALSE(iommu.DeviceRead(kFirewire, *iova, std::span<uint8_t>(buf)).ok());
+}
+
+TEST_F(IommuTest, UnattachedDeviceRejected) {
+  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  EXPECT_FALSE(iommu.MapPage(DeviceId{99}, Pfn{1}, AccessRights::kRead).ok());
+}
+
+TEST_F(IommuTest, MultiPageAccessCrossesBoundaries) {
+  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  const Pfn pfns[] = {Pfn{20}, Pfn{30}};  // discontiguous physical pages
+  auto iova = iommu.MapRange(kNic, pfns, AccessRights::kBidirectional);
+  ASSERT_TRUE(iova.ok());
+  std::vector<uint8_t> data(100, 0x5a);
+  ASSERT_TRUE(iommu.DeviceWrite(kNic, *iova + kPageSize - 50, data).ok());
+  EXPECT_EQ(*pm_.ReadU8(PhysAddr::FromPfn(Pfn{20}, kPageSize - 1)), 0x5a);
+  EXPECT_EQ(*pm_.ReadU8(PhysAddr::FromPfn(Pfn{30}, 49)), 0x5a);
+  EXPECT_EQ(*pm_.ReadU8(PhysAddr::FromPfn(Pfn{30}, 50)), 0x00);
+}
+
+TEST_F(IommuTest, StrictUnmapRevokesImmediately) {
+  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  auto iova = iommu.MapPage(kNic, Pfn{15}, AccessRights::kBidirectional);
+  ASSERT_TRUE(iova.ok());
+  std::vector<uint8_t> buf(4);
+  ASSERT_TRUE(iommu.DeviceRead(kNic, *iova, std::span<uint8_t>(buf)).ok());  // warm the IOTLB
+  ASSERT_TRUE(iommu.UnmapPage(kNic, *iova).ok());
+  EXPECT_FALSE(iommu.DeviceRead(kNic, *iova, std::span<uint8_t>(buf)).ok());
+  EXPECT_EQ(iommu.stats().stale_iotlb_accesses, 0u);
+}
+
+TEST_F(IommuTest, DeferredUnmapLeavesStaleWindow) {
+  // Figure 6: after a deferred unmap, a device with a warm IOTLB entry keeps
+  // access until the periodic flush.
+  Iommu iommu = MakeIommu(InvalidationMode::kDeferred);
+  auto iova = iommu.MapPage(kNic, Pfn{16}, AccessRights::kBidirectional);
+  ASSERT_TRUE(iova.ok());
+  std::vector<uint8_t> buf(4, 0xaa);
+  ASSERT_TRUE(iommu.DeviceWrite(kNic, *iova, buf).ok());  // warm the IOTLB
+  ASSERT_TRUE(iommu.UnmapPage(kNic, *iova).ok());
+
+  // PTE is gone...
+  EXPECT_FALSE(iommu.Peek(kNic, *iova).has_value());
+  // ...but the device can still write through the stale IOTLB entry.
+  EXPECT_TRUE(iommu.DeviceWrite(kNic, *iova, buf).ok());
+  EXPECT_GE(iommu.stats().stale_iotlb_accesses, 1u);
+
+  // After the 10 ms deadline passes, the flush closes the window.
+  clock_.AdvanceUs(10 * 1000 + 1);
+  iommu.ProcessDeferredTimer();
+  EXPECT_FALSE(iommu.DeviceWrite(kNic, *iova, buf).ok());
+}
+
+TEST_F(IommuTest, DeferredWindowClosedForColdIotlb) {
+  // No stale entry -> no window: a device that never touched the buffer
+  // cannot exploit deferral.
+  Iommu iommu = MakeIommu(InvalidationMode::kDeferred);
+  auto iova = iommu.MapPage(kNic, Pfn{17}, AccessRights::kBidirectional);
+  ASSERT_TRUE(iova.ok());
+  ASSERT_TRUE(iommu.UnmapPage(kNic, *iova).ok());
+  std::vector<uint8_t> buf(4);
+  EXPECT_FALSE(iommu.DeviceRead(kNic, *iova, std::span<uint8_t>(buf)).ok());
+}
+
+TEST_F(IommuTest, FlushQueueCapacityForcesFlush) {
+  Iommu::Config config;
+  config.flush_queue_capacity = 4;
+  Iommu iommu = MakeIommu(InvalidationMode::kDeferred, config);
+  std::vector<Iova> iovas;
+  std::vector<uint8_t> buf(1);
+  for (int i = 0; i < 4; ++i) {
+    auto iova = iommu.MapPage(kNic, Pfn{static_cast<uint64_t>(40 + i)},
+                              AccessRights::kBidirectional);
+    ASSERT_TRUE(iova.ok());
+    ASSERT_TRUE(iommu.DeviceRead(kNic, *iova, std::span<uint8_t>(buf)).ok());
+    iovas.push_back(*iova);
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(iommu.UnmapPage(kNic, iovas[i]).ok());
+  }
+  // Window still open on the third unmapped page.
+  EXPECT_TRUE(iommu.DeviceRead(kNic, iovas[2], std::span<uint8_t>(buf)).ok());
+  // Fourth unmap fills the queue -> global flush -> all windows closed.
+  ASSERT_TRUE(iommu.UnmapPage(kNic, iovas[3]).ok());
+  EXPECT_EQ(iommu.pending_invalidation_count(), 0u);
+  for (const Iova iova : iovas) {
+    EXPECT_FALSE(iommu.DeviceRead(kNic, iova, std::span<uint8_t>(buf)).ok());
+  }
+  EXPECT_EQ(iommu.stats().flushes, 1u);
+}
+
+TEST_F(IommuTest, StrictCostsMoreInvalidationCyclesPerUnmap) {
+  Iommu strict = MakeIommu(InvalidationMode::kStrict);
+  Iommu deferred = MakeIommu(InvalidationMode::kDeferred);
+  constexpr int kOps = 100;
+  for (auto* iommu : {&strict, &deferred}) {
+    for (int i = 0; i < kOps; ++i) {
+      auto iova = iommu->MapPage(kNic, Pfn{static_cast<uint64_t>(i % 64)},
+                                 AccessRights::kRead);
+      ASSERT_TRUE(iova.ok());
+      ASSERT_TRUE(iommu->UnmapPage(kNic, *iova).ok());
+    }
+  }
+  EXPECT_EQ(strict.stats().invalidation_cycles,
+            kOps * kIotlbInvalidationCycles);
+  // Deferred amortizes: nothing flushed yet within the window.
+  EXPECT_LT(deferred.stats().invalidation_cycles, strict.stats().invalidation_cycles / 10);
+}
+
+TEST_F(IommuTest, DeferredIovaNotReusedBeforeFlush) {
+  // The parked IOVA must not be handed to a new mapping while a stale IOTLB
+  // entry could still translate it.
+  Iommu iommu = MakeIommu(InvalidationMode::kDeferred);
+  auto a = iommu.MapPage(kNic, Pfn{50}, AccessRights::kRead);
+  ASSERT_TRUE(a.ok());
+  std::vector<uint8_t> buf(1);
+  ASSERT_TRUE(iommu.DeviceRead(kNic, *a, std::span<uint8_t>(buf)).ok());
+  ASSERT_TRUE(iommu.UnmapPage(kNic, *a).ok());
+  auto b = iommu.MapPage(kNic, Pfn{51}, AccessRights::kRead);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(b->value, a->value);
+  // After the flush the IOVA may be recycled.
+  iommu.FlushNow();
+  auto c = iommu.MapPage(kNic, Pfn{52}, AccessRights::kRead);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->value, a->value);
+}
+
+TEST_F(IommuTest, TypeCAliasProbe) {
+  // Two mappings of the same PFN -> two live IOVAs (type (c)); unmapping one
+  // leaves the device full access through the other.
+  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  auto a = iommu.MapPage(kNic, Pfn{60}, AccessRights::kWrite);
+  auto b = iommu.MapPage(kNic, Pfn{60}, AccessRights::kWrite);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(iommu.IovasForPfn(kNic, Pfn{60}).size(), 2u);
+  ASSERT_TRUE(iommu.UnmapPage(kNic, *a).ok());
+  std::vector<uint8_t> buf(4, 0x42);
+  EXPECT_FALSE(iommu.DeviceWrite(kNic, *a, buf).ok());
+  EXPECT_TRUE(iommu.DeviceWrite(kNic, *b, buf).ok());  // alias still valid (strict mode!)
+  EXPECT_EQ(iommu.IovasForPfn(kNic, Pfn{60}).size(), 1u);
+}
+
+TEST_F(IommuTest, PeekHasNoSideEffects) {
+  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  auto iova = iommu.MapPage(kNic, Pfn{61}, AccessRights::kRead);
+  ASSERT_TRUE(iova.ok());
+  const uint64_t misses_before = iommu.iotlb().misses();
+  auto pte = iommu.Peek(kNic, *iova);
+  ASSERT_TRUE(pte.has_value());
+  EXPECT_EQ(pte->pfn.value, 61u);
+  EXPECT_EQ(iommu.iotlb().misses(), misses_before);
+  EXPECT_TRUE(iommu.faults().empty());
+}
+
+// Parameterized: the stale window exists in deferred mode and not in strict
+// mode, across a sweep of flush intervals.
+struct WindowParam {
+  InvalidationMode mode;
+  uint64_t interval_ms;
+  bool expect_window;
+};
+
+class StaleWindowTest : public ::testing::TestWithParam<WindowParam> {};
+
+TEST_P(StaleWindowTest, WindowMatchesMode) {
+  const WindowParam param = GetParam();
+  mem::PhysicalMemory pm{64};
+  SimClock clock;
+  Iommu::Config config;
+  config.mode = param.mode;
+  config.flush_interval_cycles = SimClock::MsToCycles(param.interval_ms);
+  Iommu iommu{pm, clock, config};
+  iommu.AttachDevice(kNic);
+
+  auto iova = iommu.MapPage(kNic, Pfn{5}, AccessRights::kBidirectional);
+  ASSERT_TRUE(iova.ok());
+  std::vector<uint8_t> buf(4);
+  ASSERT_TRUE(iommu.DeviceRead(kNic, *iova, std::span<uint8_t>(buf)).ok());
+  ASSERT_TRUE(iommu.UnmapPage(kNic, *iova).ok());
+
+  const bool window_open = iommu.DeviceRead(kNic, *iova, std::span<uint8_t>(buf)).ok();
+  EXPECT_EQ(window_open, param.expect_window);
+
+  if (param.expect_window) {
+    clock.AdvanceUs(param.interval_ms * 1000 + 1);
+    iommu.ProcessDeferredTimer();
+    EXPECT_FALSE(iommu.DeviceRead(kNic, *iova, std::span<uint8_t>(buf)).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndIntervals, StaleWindowTest,
+    ::testing::Values(WindowParam{InvalidationMode::kStrict, 10, false},
+                      WindowParam{InvalidationMode::kDeferred, 1, true},
+                      WindowParam{InvalidationMode::kDeferred, 10, true},
+                      WindowParam{InvalidationMode::kDeferred, 100, true}));
+
+// ---- IOMMU domains: the §6 shared-page-table testbed ----------------------------
+
+TEST_F(IommuTest, SharedDomainGrantsCrossDeviceAccess) {
+  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  ASSERT_TRUE(iommu.AttachDeviceToDomainOf(kFirewire, kNic).code() ==
+              StatusCode::kAlreadyExists);  // kFirewire already has its own domain
+  const DeviceId firewire2{7};
+  ASSERT_TRUE(iommu.AttachDeviceToDomainOf(firewire2, kNic).ok());
+  EXPECT_TRUE(iommu.SameDomain(firewire2, kNic));
+  EXPECT_FALSE(iommu.SameDomain(kFirewire, kNic));
+
+  // A mapping created for the NIC is usable by its domain-mate...
+  auto iova = iommu.MapPage(kNic, Pfn{21}, AccessRights::kBidirectional);
+  ASSERT_TRUE(iova.ok());
+  std::vector<uint8_t> data(8, 0x42);
+  EXPECT_TRUE(iommu.DeviceWrite(firewire2, *iova, data).ok());
+  // ...but not by a device in a different domain.
+  EXPECT_FALSE(iommu.DeviceWrite(kFirewire, *iova, data).ok());
+}
+
+TEST_F(IommuTest, SharedDomainSharesStaleIotlbWindow) {
+  // Deferred mode: the NIC warms the translation; after unmap, the FireWire
+  // device in the same domain rides the same stale entry (domain-tagged
+  // IOTLB, as on VT-d).
+  Iommu iommu = MakeIommu(InvalidationMode::kDeferred);
+  const DeviceId firewire2{7};
+  ASSERT_TRUE(iommu.AttachDeviceToDomainOf(firewire2, kNic).ok());
+  auto iova = iommu.MapPage(kNic, Pfn{22}, AccessRights::kBidirectional);
+  ASSERT_TRUE(iova.ok());
+  std::vector<uint8_t> data(8, 1);
+  ASSERT_TRUE(iommu.DeviceWrite(kNic, *iova, data).ok());  // NIC warms the IOTLB
+  ASSERT_TRUE(iommu.UnmapPage(kNic, *iova).ok());
+  EXPECT_TRUE(iommu.DeviceWrite(firewire2, *iova, data).ok());  // FW uses the window
+}
+
+TEST_F(IommuTest, UnattachedDomainOwnerRejected) {
+  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  EXPECT_FALSE(iommu.AttachDeviceToDomainOf(DeviceId{50}, DeviceId{51}).ok());
+}
+
+// ---- Bypass (no-IOMMU) mode: the §2.1 classic-DMA-attack baseline --------------
+
+class BypassTest : public ::testing::Test {
+ protected:
+  BypassTest() : pm_(64), iommu_(pm_, clock_, {.enabled = false}) {
+    iommu_.AttachDevice(kNic);
+  }
+  mem::PhysicalMemory pm_;
+  SimClock clock_;
+  Iommu iommu_;
+};
+
+TEST_F(BypassTest, MapReturnsPhysicalAddressIdentity) {
+  auto iova = iommu_.MapPage(kNic, Pfn{7}, AccessRights::kRead);
+  ASSERT_TRUE(iova.ok());
+  EXPECT_EQ(iova->value, 7ull << kPageShift);
+}
+
+TEST_F(BypassTest, DeviceReadsArbitraryPhysicalMemory) {
+  // The Inception/FinFireWire scenario: no mapping exists, yet the device
+  // dumps any page it names.
+  ASSERT_TRUE(pm_.WriteU64(PhysAddr::FromPfn(Pfn{3}, 0x10), 0x5ec2e7).ok());
+  std::vector<uint8_t> buf(8);
+  ASSERT_TRUE(iommu_.DeviceRead(kNic, Iova{(3ull << kPageShift) + 0x10},
+                                std::span<uint8_t>(buf))
+                  .ok());
+  uint64_t value;
+  std::memcpy(&value, buf.data(), 8);
+  EXPECT_EQ(value, 0x5ec2e7u);
+  EXPECT_TRUE(iommu_.faults().empty());
+}
+
+TEST_F(BypassTest, DeviceWritesKernelMemoryUnchecked) {
+  std::vector<uint8_t> patch(8, 0x90);  // "patch the OS code" (§2.1)
+  EXPECT_TRUE(iommu_.DeviceWrite(kNic, Iova{0x1000}, patch).ok());
+  EXPECT_EQ(*pm_.ReadU8(PhysAddr{0x1000}), 0x90);
+}
+
+TEST_F(BypassTest, UnmapIsANoop) {
+  auto iova = iommu_.MapPage(kNic, Pfn{5}, AccessRights::kWrite);
+  ASSERT_TRUE(iova.ok());
+  ASSERT_TRUE(iommu_.UnmapPage(kNic, *iova).ok());
+  std::vector<uint8_t> buf(4, 1);
+  EXPECT_TRUE(iommu_.DeviceWrite(kNic, *iova, buf).ok());  // access never revoked
+}
+
+// ---- Randomized differential test vs a trivial reference model -------------------
+
+TEST(IommuFuzzTest, MatchesReferenceModelUnderRandomOps) {
+  mem::PhysicalMemory pm{512};
+  SimClock clock;
+  Iommu iommu{pm, clock, {.mode = InvalidationMode::kStrict}};
+  iommu.AttachDevice(kNic);
+  Xoshiro256 rng{20210426};
+
+  struct Ref {
+    Pfn pfn;
+    AccessRights rights;
+  };
+  std::map<uint64_t, Ref> reference;  // iova page -> entry
+  std::vector<Iova> live;
+
+  for (int step = 0; step < 3000; ++step) {
+    const uint64_t dice = rng.NextBelow(10);
+    if (dice < 4) {  // map
+      const Pfn pfn{rng.NextBelow(512)};
+      const AccessRights rights = static_cast<AccessRights>(1 + rng.NextBelow(3));
+      auto iova = iommu.MapPage(kNic, pfn, rights);
+      ASSERT_TRUE(iova.ok());
+      reference[iova->PageBase().value] = Ref{pfn, rights};
+      live.push_back(*iova);
+    } else if (dice < 7 && !live.empty()) {  // unmap
+      const size_t victim = rng.NextBelow(live.size());
+      ASSERT_TRUE(iommu.UnmapPage(kNic, live[victim]).ok());
+      reference.erase(live[victim].PageBase().value);
+      live[victim] = live.back();
+      live.pop_back();
+    } else {  // random access, compare against the model
+      uint64_t raw;
+      if (live.empty()) {
+        raw = rng.Next() % (1ull << 32);
+      } else {
+        raw = (live[rng.NextBelow(live.size())] + rng.NextBelow(kPageSize - 8)).value;
+      }
+      const Iova iova{raw};
+      const bool want_write = rng.NextBool(0.5);
+      std::vector<uint8_t> buf(8, 0x7f);
+      const Status status = want_write
+                                ? iommu.DeviceWrite(kNic, iova, buf)
+                                : iommu.DeviceRead(kNic, iova, std::span<uint8_t>(buf));
+      auto it = reference.find(iova.PageBase().value);
+      const bool model_ok =
+          it != reference.end() &&
+          Permits(it->second.rights, want_write ? AccessOp::kWrite : AccessOp::kRead) &&
+          iova.page_offset() + 8 <= kPageSize;
+      ASSERT_EQ(status.ok(), model_ok)
+          << "step " << step << " iova 0x" << std::hex << iova.value;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spv::iommu

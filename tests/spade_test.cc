@@ -1,0 +1,678 @@
+// Tests for SPADE: lexer, parser, layout database, and the sub-page exposure
+// analysis (§4.1), including the shipped driver corpus.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "spade/analyzer.h"
+#include "spade/corpus.h"
+#include "spade/layout_db.h"
+#include "spade/lexer.h"
+#include "spade/parser.h"
+
+namespace spv::spade {
+namespace {
+
+// ---- Lexer ---------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesBasics) {
+  auto tokens = Lex("struct foo { int x; };");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 8u);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("struct"));
+  EXPECT_TRUE((*tokens)[1].IsIdent());
+  EXPECT_TRUE((*tokens)[2].IsPunct("{"));
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto tokens = Lex("int a;\nint b;\n\nint c;");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<int> ident_lines;
+  for (const Token& t : *tokens) {
+    if (t.IsIdent()) {
+      ident_lines.push_back(t.line);
+    }
+  }
+  EXPECT_EQ(ident_lines, (std::vector<int>{1, 2, 4}));
+}
+
+TEST(LexerTest, SkipsCommentsAndPreprocessor) {
+  auto tokens = Lex("// line\n/* block\nspanning */ #define FOO 1\nint x;");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("int"));
+}
+
+TEST(LexerTest, MultiCharPunctuators) {
+  auto tokens = Lex("a->b != c && d <<= 2");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::string> puncts;
+  for (const Token& t : *tokens) {
+    if (t.kind == TokenKind::kPunct) {
+      puncts.push_back(t.text);
+    }
+  }
+  EXPECT_EQ(puncts, (std::vector<std::string>{"->", "!=", "&&", "<<="}));
+}
+
+TEST(LexerTest, RejectsUnterminatedComment) {
+  EXPECT_FALSE(Lex("int x; /* never closed").ok());
+}
+
+TEST(LexerTest, StringsAndChars) {
+  auto tokens = Lex("f(\"hello \\\" world\", 'x');");
+  ASSERT_TRUE(tokens.ok());
+  int strings = 0;
+  for (const Token& t : *tokens) {
+    strings += t.kind == TokenKind::kString || t.kind == TokenKind::kCharLit ? 1 : 0;
+  }
+  EXPECT_EQ(strings, 2);
+}
+
+// ---- Parser --------------------------------------------------------------------
+
+TEST(ParserTest, ParsesStructWithFunctionPointer) {
+  auto file = ParseSource("t.c", R"(
+struct req_ops {
+    void (*done)(struct req *r, int status);
+    u32 flags;
+    struct other *next;
+};
+)");
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_EQ(file->structs.size(), 1u);
+  const StructDef& def = file->structs[0];
+  EXPECT_EQ(def.name, "req_ops");
+  ASSERT_EQ(def.fields.size(), 3u);
+  EXPECT_TRUE(def.fields[0].type.is_func_ptr);
+  EXPECT_EQ(def.fields[0].name, "done");
+  EXPECT_EQ(def.fields[2].type.pointer_depth, 1);
+  EXPECT_TRUE(def.fields[2].type.is_struct);
+}
+
+TEST(ParserTest, ParsesFunctionWithLocalsAndCalls) {
+  auto file = ParseSource("t.c", R"(
+static int foo(struct dev *d, u32 len)
+{
+    void *buf;
+    dma_addr_t dma;
+    buf = kmalloc(len, GFP_KERNEL);
+    dma = dma_map_single(d, buf, len, DMA_TO_DEVICE);
+    return 0;
+}
+)");
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_EQ(file->functions.size(), 1u);
+  const FuncDef& func = file->functions[0];
+  EXPECT_EQ(func.name, "foo");
+  ASSERT_EQ(func.params.size(), 2u);
+  EXPECT_EQ(func.params[0].type.base, "dev");
+  EXPECT_EQ(func.body.size(), 5u);
+  EXPECT_EQ(func.body[0].kind, Stmt::Kind::kDecl);
+  EXPECT_EQ(func.body[4].kind, Stmt::Kind::kReturn);
+}
+
+TEST(ParserTest, ParsesControlFlow) {
+  auto file = ParseSource("t.c", R"(
+int f(int n)
+{
+    int acc;
+    acc = 0;
+    for (n = 0; n < 10; n = n + 1) {
+        if (n == 5) {
+            acc = acc + n;
+        } else {
+            acc = acc - 1;
+        }
+    }
+    while (acc > 0) {
+        acc = acc - 2;
+    }
+    return acc;
+}
+)");
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_EQ(file->functions.size(), 1u);
+}
+
+TEST(ParserTest, ParsesAddressOfMemberArg) {
+  auto file = ParseSource("t.c", R"(
+int f(struct op *op, struct dev *d)
+{
+    dma_addr_t a;
+    a = dma_map_single(d, &op->rsp_iu, sizeof(struct ersp), DMA_FROM_DEVICE);
+    return 0;
+}
+)");
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  const Stmt& stmt = file->functions[0].body[1];
+  ASSERT_EQ(stmt.kind, Stmt::Kind::kExpr);
+  const Expr& assign = *stmt.expr;
+  ASSERT_EQ(assign.kind, Expr::Kind::kAssign);
+  const Expr& call = *assign.rhs;
+  ASSERT_EQ(call.kind, Expr::Kind::kCall);
+  EXPECT_EQ(call.CalleeName(), "dma_map_single");
+  ASSERT_EQ(call.args.size(), 4u);
+  EXPECT_EQ(call.args[1]->kind, Expr::Kind::kAddrOf);
+  EXPECT_EQ(call.args[2]->kind, Expr::Kind::kSizeof);
+}
+
+TEST(ParserTest, ParsesSwitchDoWhileAndLabels) {
+  auto file = ParseSource("t.c", R"(
+int f(struct dev *d, int event, u32 len)
+{
+    void *buf;
+    dma_addr_t a;
+    int n;
+    n = 0;
+    do {
+        n = n + 1;
+    } while (n < 4);
+    switch (event) {
+    case 1:
+        buf = kmalloc(len, GFP_KERNEL);
+        a = dma_map_single(d, buf, len, DMA_TO_DEVICE);
+        break;
+    case 2:
+    default:
+        n = 0;
+        break;
+    }
+    if (n == 0) {
+        goto out;
+    }
+out:
+    return n;
+}
+)");
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_EQ(file->functions.size(), 1u);
+}
+
+TEST(ParserTest, ReportsErrorsWithLine) {
+  auto file = ParseSource("bad.c", "struct x { int };");
+  ASSERT_FALSE(file.ok());
+  EXPECT_NE(file.status().message().find("bad.c:1"), std::string::npos);
+}
+
+// ---- LayoutDb ------------------------------------------------------------------
+
+class LayoutTest : public ::testing::Test {
+ protected:
+  void Load(std::string_view source) {
+    auto file = ParseSource("layout.c", source);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    for (const StructDef& def : file->structs) {
+      db_.AddStruct(def);
+    }
+    ASSERT_TRUE(db_.Finalize().ok());
+  }
+  LayoutDb db_;
+};
+
+TEST_F(LayoutTest, ComputesOffsetsWithAlignment) {
+  Load(R"(
+struct s {
+    u8 a;
+    u32 b;
+    u8 c;
+    u64 d;
+    u16 e;
+};
+)");
+  const StructLayout* layout = db_.Find("s");
+  ASSERT_NE(layout, nullptr);
+  EXPECT_EQ(layout->fields[0].offset, 0u);   // a
+  EXPECT_EQ(layout->fields[1].offset, 4u);   // b (aligned 4)
+  EXPECT_EQ(layout->fields[2].offset, 8u);   // c
+  EXPECT_EQ(layout->fields[3].offset, 16u);  // d (aligned 8)
+  EXPECT_EQ(layout->fields[4].offset, 24u);  // e
+  EXPECT_EQ(layout->size, 32u);              // padded to 8
+  EXPECT_EQ(layout->alignment, 8u);
+}
+
+TEST_F(LayoutTest, ArraysAndEmbeddedStructs) {
+  Load(R"(
+struct inner {
+    u64 x;
+    void (*cb)(void *p);
+};
+struct outer {
+    u8 pad[3];
+    struct inner in;
+    struct inner arr[2];
+};
+)");
+  const StructLayout* inner = db_.Find("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->size, 16u);
+  EXPECT_EQ(inner->direct_callbacks, 1u);
+  const StructLayout* outer = db_.Find("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->fields[1].offset, 8u);  // inner aligned to 8
+  EXPECT_EQ(outer->size, 8u + 16u + 32u);
+  EXPECT_EQ(outer->direct_callbacks, 3u);  // 1 embedded + 2 in array
+}
+
+TEST_F(LayoutTest, SpoofableCallbacksThroughPointers) {
+  Load(R"(
+struct ops {
+    void (*open)(void *p);
+    void (*close)(void *p);
+    void (*ioctl)(void *p, int c);
+};
+struct nested_ops {
+    struct ops *inner_ops;
+    void (*extra)(void *p);
+};
+struct obj {
+    u32 id;
+    struct ops *ops;
+    struct nested_ops *more;
+    void (*direct_cb)(void *p);
+};
+)");
+  const StructLayout* obj = db_.Find("obj");
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->direct_callbacks, 1u);
+  // Via ops: 3. Via more: 1 (extra) + 3 (inner_ops -> ops) = 4. Total 7.
+  EXPECT_EQ(obj->spoofable_callbacks, 7u);
+}
+
+TEST_F(LayoutTest, UndefinedStructIsOpaque) {
+  Load(R"(
+struct holder {
+    struct mystery m;
+    struct mystery *p;
+};
+)");
+  const StructLayout* holder = db_.Find("holder");
+  ASSERT_NE(holder, nullptr);
+  EXPECT_EQ(holder->size, 64u + 8u);  // opaque 64 + pointer
+  EXPECT_EQ(holder->direct_callbacks, 0u);
+  EXPECT_EQ(holder->spoofable_callbacks, 0u);
+}
+
+TEST_F(LayoutTest, CallbackFieldPathsRecurseIntoEmbeddedStructs) {
+  Load(R"(
+struct req {
+    u32 tag;
+    void (*done)(void *p);
+};
+struct op {
+    struct req fcp_req;
+    u8 iu[64];
+    void (*abort)(void *p);
+};
+)");
+  auto paths = db_.CallbackFieldPaths("op");
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "fcp_req.done");
+  EXPECT_EQ(paths[1], "abort");
+  EXPECT_TRUE(db_.CallbackFieldPaths("no_such_struct").empty());
+}
+
+TEST_F(LayoutTest, PointerFieldsAreEightBytes) {
+  TypeRef ptr;
+  ptr.base = "void";
+  ptr.pointer_depth = 1;
+  EXPECT_EQ(LayoutDb::ScalarSize(ptr), 8u);
+  TypeRef fn;
+  fn.base = "void";
+  fn.is_func_ptr = true;
+  EXPECT_EQ(LayoutDb::ScalarSize(fn), 8u);
+}
+
+// ---- Analyzer on inline sources ---------------------------------------------------
+
+std::vector<SiteFinding> AnalyzeSource(std::string_view source) {
+  SpadeAnalyzer analyzer;
+  auto file = ParseSource("inline.c", source);
+  EXPECT_TRUE(file.ok()) << file.status().ToString();
+  analyzer.AddFile(std::move(*file));
+  auto findings = analyzer.Analyze();
+  EXPECT_TRUE(findings.ok());
+  return std::move(*findings);
+}
+
+TEST(AnalyzerTest, TypeAStructFieldExposure) {
+  auto findings = AnalyzeSource(R"(
+struct my_op {
+    u8 buf[64];
+    void (*done)(struct my_op *op);
+};
+int f(struct dev *d, struct my_op *op)
+{
+    dma_addr_t a;
+    a = dma_map_single(d, &op->buf, 64, DMA_FROM_DEVICE);
+    return 0;
+}
+)");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].exposes_struct);
+  EXPECT_EQ(findings[0].exposed_struct, "my_op");
+  EXPECT_TRUE(findings[0].callbacks_exposed);
+  EXPECT_EQ(findings[0].direct_callbacks, 1u);
+  EXPECT_FALSE(findings[0].stack_mapped);
+}
+
+TEST(AnalyzerTest, SkbDataMapsSharedInfo) {
+  auto findings = AnalyzeSource(R"(
+int xmit(struct dev *d, struct sk_buff *skb)
+{
+    dma_addr_t a;
+    a = dma_map_single(d, skb->data, skb->len, DMA_TO_DEVICE);
+    return 0;
+}
+)");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].shared_info_mapped);
+  EXPECT_FALSE(findings[0].type_c);
+}
+
+TEST(AnalyzerTest, NetdevAllocSkbDataIsTypeBAndC) {
+  auto findings = AnalyzeSource(R"(
+int rx_alloc(struct dev *d, struct net_device *nd, u32 len)
+{
+    struct sk_buff *skb;
+    dma_addr_t a;
+    skb = netdev_alloc_skb(nd, len);
+    a = dma_map_single(d, skb->data, len, DMA_FROM_DEVICE);
+    return 0;
+}
+)");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].shared_info_mapped);
+  EXPECT_TRUE(findings[0].type_c);
+}
+
+TEST(AnalyzerTest, BuildSkbFromFragIsTypeBAndC) {
+  auto findings = AnalyzeSource(R"(
+int rx(struct dev *d, u32 len)
+{
+    void *buf;
+    dma_addr_t a;
+    buf = napi_alloc_frag(len);
+    a = dma_map_single(d, buf, len, DMA_FROM_DEVICE);
+    return 0;
+}
+)");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].type_c);
+}
+
+TEST(AnalyzerTest, StackBufferFlagged) {
+  auto findings = AnalyzeSource(R"(
+struct setup_pkt {
+    u8 request;
+    u16 value;
+};
+int ctrl(struct dev *d)
+{
+    struct setup_pkt pkt;
+    dma_addr_t a;
+    a = dma_map_single(d, &pkt, sizeof(struct setup_pkt), DMA_TO_DEVICE);
+    return 0;
+}
+)");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].stack_mapped);
+}
+
+TEST(AnalyzerTest, PrivateDataApiFlagged) {
+  auto findings = AnalyzeSource(R"(
+int q(struct dev *d, struct scsi_cmnd *cmd)
+{
+    void *priv;
+    dma_addr_t a;
+    priv = scsi_cmd_priv(cmd);
+    a = dma_map_single(d, priv, 128, DMA_BIDIRECTIONAL);
+    return 0;
+}
+)");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].private_data);
+}
+
+TEST(AnalyzerTest, HeapBufferIsNotStaticallyVulnerable) {
+  auto findings = AnalyzeSource(R"(
+int io(struct dev *d, u32 len)
+{
+    void *buf;
+    dma_addr_t a;
+    buf = kmalloc(len, GFP_KERNEL);
+    a = dma_map_single(d, buf, len, DMA_TO_DEVICE);
+    return 0;
+}
+)");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_FALSE(findings[0].callbacks_exposed);
+  EXPECT_FALSE(findings[0].shared_info_mapped);
+  EXPECT_FALSE(findings[0].type_c);
+  EXPECT_FALSE(findings[0].unresolved);
+}
+
+TEST(AnalyzerTest, InterproceduralBacktracking) {
+  auto findings = AnalyzeSource(R"(
+struct ctx {
+    u8 hdr[32];
+    void (*done)(struct ctx *c);
+};
+dma_addr_t helper_map(struct dev *d, void *buf, u32 len)
+{
+    dma_addr_t a;
+    a = dma_map_single(d, buf, len, DMA_TO_DEVICE);
+    return a;
+}
+int top(struct dev *d, struct ctx *c)
+{
+    dma_addr_t a;
+    a = helper_map(d, &c->hdr, 32);
+    return 0;
+}
+)");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].exposes_struct) << findings[0].trace.back();
+  EXPECT_EQ(findings[0].exposed_struct, "ctx");
+  EXPECT_TRUE(findings[0].callbacks_exposed);
+}
+
+TEST(AnalyzerTest, IndirectAllocationIsUnresolved) {
+  auto findings = AnalyzeSource(R"(
+struct aops {
+    void *(*get)(u32 len);
+};
+int io(struct dev *d, struct aops *ops, u32 len)
+{
+    void *buf;
+    dma_addr_t a;
+    buf = ops->get(len);
+    a = dma_map_single(d, buf, len, DMA_FROM_DEVICE);
+    return 0;
+}
+)");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].unresolved);  // §4.3 false negative, reported as such
+}
+
+TEST(AnalyzerTest, TracesCarryFileAndLine) {
+  auto findings = AnalyzeSource(R"(
+struct op {
+    u8 b[8];
+    void (*cb)(void *p);
+};
+int f(struct dev *d, struct op *op)
+{
+    dma_addr_t a;
+    a = dma_map_single(d, &op->b, 8, DMA_TO_DEVICE);
+    return 0;
+}
+)");
+  ASSERT_EQ(findings.size(), 1u);
+  ASSERT_GE(findings[0].trace.size(), 3u);
+  EXPECT_NE(findings[0].trace[0].find("inline.c:9"), std::string::npos);
+  bool has_struct_line = false;
+  for (const std::string& t : findings[0].trace) {
+    if (t.find("struct op") != std::string::npos) {
+      has_struct_line = true;
+    }
+  }
+  EXPECT_TRUE(has_struct_line);
+}
+
+// ---- Corpus ------------------------------------------------------------------------
+
+class CorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto stats = LoadCorpusDirectory(analyzer_, DefaultCorpusDir());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    stats_ = *stats;
+    auto findings = analyzer_.Analyze();
+    ASSERT_TRUE(findings.ok());
+    findings_ = std::move(*findings);
+  }
+
+  const SiteFinding* FindSite(const std::string& file, const std::string& function) {
+    for (const SiteFinding& f : findings_) {
+      if (f.file == file && f.function == function) {
+        return &f;
+      }
+    }
+    return nullptr;
+  }
+
+  SpadeAnalyzer analyzer_;
+  CorpusLoadStats stats_;
+  std::vector<SiteFinding> findings_;
+};
+
+TEST_F(CorpusTest, AllAnchorFilesParse) {
+  EXPECT_EQ(stats_.files_failed, 0u)
+      << (stats_.failures.empty() ? "" : stats_.failures[0]);
+  EXPECT_GE(stats_.files_parsed, 12u);
+}
+
+TEST_F(CorpusTest, NvmeFcMatchesFigure2Shape) {
+  const SiteFinding* site = FindSite("nvme_fc.c", "nvme_fc_map_op");
+  ASSERT_NE(site, nullptr);
+  EXPECT_TRUE(site->exposes_struct);
+  EXPECT_EQ(site->exposed_struct, "nvme_fc_fcp_op");
+  EXPECT_EQ(site->direct_callbacks, 1u);  // fcp_req.done, as in Fig 2
+  EXPECT_GT(site->spoofable_callbacks, 10u);
+}
+
+TEST_F(CorpusTest, StackMappedFoundInUsbHcd) {
+  const SiteFinding* site = FindSite("usb_hcd.c", "hcd_submit_control");
+  ASSERT_NE(site, nullptr);
+  EXPECT_TRUE(site->stack_mapped);
+}
+
+TEST_F(CorpusTest, PrivateDataFoundInCryptoAndScsi) {
+  const SiteFinding* aead = FindSite("crypto_aead.c", "accel_aead_encrypt");
+  ASSERT_NE(aead, nullptr);
+  EXPECT_TRUE(aead->private_data);
+  const SiteFinding* scsi = FindSite("scsi_hba.c", "hba_queuecommand");
+  ASSERT_NE(scsi, nullptr);
+  EXPECT_TRUE(scsi->private_data);
+}
+
+TEST_F(CorpusTest, InterproceduralCaseResolved) {
+  const SiteFinding* site = FindSite("wil6210_like.c", "wil_map_buf");
+  ASSERT_NE(site, nullptr);
+  EXPECT_TRUE(site->exposes_struct);
+  EXPECT_EQ(site->exposed_struct, "wil_tx_ctx");
+  EXPECT_TRUE(site->callbacks_exposed);
+}
+
+TEST_F(CorpusTest, IndirectDispatchUnresolved) {
+  const SiteFinding* site = FindSite("obscure_dispatch.c", "obscure_prepare_io");
+  ASSERT_NE(site, nullptr);
+  EXPECT_TRUE(site->unresolved);
+}
+
+TEST_F(CorpusTest, PageSpanningStructFlaggedAsPossibleFalsePositive) {
+  // §4.3: the lpfc-like context is > 4 KiB; its callback may live on a page
+  // the mapping does not cover.
+  const SiteFinding* site = FindSite("lpfc_like.c", "lpfc_map_rsp");
+  ASSERT_NE(site, nullptr);
+  EXPECT_TRUE(site->callbacks_exposed);
+  EXPECT_TRUE(site->possible_false_positive);
+  // Ordinary sub-page structs are NOT flagged.
+  const SiteFinding* nvme = FindSite("nvme_fc.c", "nvme_fc_map_op");
+  ASSERT_NE(nvme, nullptr);
+  EXPECT_FALSE(nvme->possible_false_positive);
+}
+
+TEST_F(CorpusTest, DmaMapPageThroughOpaqueHelperIsUnresolved) {
+  const SiteFinding* site = FindSite("ixgbe_like.c", "ixgbe_alloc_mapped_page");
+  ASSERT_NE(site, nullptr);
+  EXPECT_TRUE(site->unresolved);  // dev_alloc_pages is opaque to SPADE
+}
+
+TEST_F(CorpusTest, ScatterlistIdiomResolvedThroughSgInitOne) {
+  // dma_map_sg(&sg) where sg_init_one attached &cmd->resp: the cmd struct's
+  // callbacks are the exposure, not the on-stack scatterlist.
+  const SiteFinding* site = FindSite("mmc_sdhci_like.c", "sdhci_prepare_cmd");
+  ASSERT_NE(site, nullptr);
+  EXPECT_TRUE(site->exposes_struct) << site->trace.back();
+  EXPECT_EQ(site->exposed_struct, "sdhci_cmd");
+  EXPECT_TRUE(site->callbacks_exposed);
+  EXPECT_FALSE(site->stack_mapped);
+  // And the heap-backed sg path stays clean.
+  const SiteFinding* bounce = FindSite("mmc_sdhci_like.c", "sdhci_map_bounce");
+  ASSERT_NE(bounce, nullptr);
+  EXPECT_FALSE(bounce->callbacks_exposed);
+  EXPECT_FALSE(bounce->unresolved);
+}
+
+TEST_F(CorpusTest, EmbeddedStructPointerFieldsAreSpoofable) {
+  // amdgpu-like: the fence embedded in the mapped IB carries an ops pointer;
+  // redirecting it spoofs the fence callbacks.
+  const SiteFinding* site = FindSite("amdgpu_like.c", "gpu_ib_schedule");
+  ASSERT_NE(site, nullptr);
+  EXPECT_TRUE(site->callbacks_exposed);
+  EXPECT_EQ(site->direct_callbacks, 0u);      // no fn-ptr directly in gpu_ib
+  EXPECT_EQ(site->spoofable_callbacks, 2u);   // fence.ops -> 2 callbacks
+}
+
+TEST_F(CorpusTest, XhciRingExposesDirectAndSpoofable) {
+  const SiteFinding* site = FindSite("xhci_like.c", "xhci_ring_alloc");
+  ASSERT_NE(site, nullptr);
+  EXPECT_TRUE(site->callbacks_exposed);
+  EXPECT_EQ(site->direct_callbacks, 1u);     // doorbell
+  EXPECT_EQ(site->spoofable_callbacks, 3u);  // ops -> complete/stall/reset
+  const SiteFinding* stack = FindSite("xhci_like.c", "xhci_control_transfer");
+  ASSERT_NE(stack, nullptr);
+  EXPECT_TRUE(stack->stack_mapped);
+}
+
+TEST_F(CorpusTest, ExposedStructIndexListsRealStructsOnly) {
+  Summary summary = analyzer_.Summarize(findings_);
+  EXPECT_GE(summary.exposed_structs.size(), 8u);
+  EXPECT_TRUE(summary.exposed_structs.contains("nvme_fc_fcp_op"));
+  EXPECT_FALSE(summary.exposed_structs.contains("u8"));
+  EXPECT_NE(summary.ToString().find("Distinct exposed data structures"), std::string::npos);
+}
+
+TEST_F(CorpusTest, SummaryHasTable2Shape) {
+  Summary summary = analyzer_.Summarize(findings_);
+  EXPECT_GT(summary.total_calls, 15u);
+  EXPECT_GT(summary.callbacks_exposed.calls, 0u);
+  EXPECT_GT(summary.shared_info_mapped.calls, 0u);
+  EXPECT_GT(summary.type_c.calls, 0u);
+  EXPECT_GT(summary.build_skb_used.calls, 0u);
+  EXPECT_GT(summary.stack_mapped.calls, 0u);
+  EXPECT_GT(summary.private_data_mapped.calls, 0u);
+  // The headline: a large majority of dma-map call sites are potentially
+  // vulnerable (72.8% in the paper).
+  EXPECT_GT(summary.vulnerable_calls * 100, summary.total_calls * 50);
+  // Clean drivers keep it below 100%.
+  EXPECT_LT(summary.vulnerable_calls, summary.total_calls);
+  // Printable.
+  EXPECT_NE(summary.ToString().find("Total dma-map calls"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spv::spade
