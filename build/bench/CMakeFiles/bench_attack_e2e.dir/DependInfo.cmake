@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_attack_e2e.cpp" "bench/CMakeFiles/bench_attack_e2e.dir/bench_attack_e2e.cpp.o" "gcc" "bench/CMakeFiles/bench_attack_e2e.dir/bench_attack_e2e.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/spv_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/dkasan/CMakeFiles/spv_dkasan.dir/DependInfo.cmake"
+  "/root/repo/build/src/spade/CMakeFiles/spv_spade.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/spv_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/spv_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/spv_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/slab/CMakeFiles/spv_slab.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/spv_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/spv_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

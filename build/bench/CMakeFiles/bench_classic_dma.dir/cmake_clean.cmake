@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_classic_dma.dir/bench_classic_dma.cpp.o"
+  "CMakeFiles/bench_classic_dma.dir/bench_classic_dma.cpp.o.d"
+  "bench_classic_dma"
+  "bench_classic_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classic_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

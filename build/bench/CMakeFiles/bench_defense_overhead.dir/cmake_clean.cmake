@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_defense_overhead.dir/bench_defense_overhead.cpp.o"
+  "CMakeFiles/bench_defense_overhead.dir/bench_defense_overhead.cpp.o.d"
+  "bench_defense_overhead"
+  "bench_defense_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_defense_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_dkasan.dir/bench_fig3_dkasan.cpp.o"
+  "CMakeFiles/bench_fig3_dkasan.dir/bench_fig3_dkasan.cpp.o.d"
+  "bench_fig3_dkasan"
+  "bench_fig3_dkasan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dkasan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sharedinfo.dir/bench_fig4_sharedinfo.cpp.o"
+  "CMakeFiles/bench_fig4_sharedinfo.dir/bench_fig4_sharedinfo.cpp.o.d"
+  "bench_fig4_sharedinfo"
+  "bench_fig4_sharedinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sharedinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

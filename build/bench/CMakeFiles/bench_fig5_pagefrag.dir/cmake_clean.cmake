@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_pagefrag.dir/bench_fig5_pagefrag.cpp.o"
+  "CMakeFiles/bench_fig5_pagefrag.dir/bench_fig5_pagefrag.cpp.o.d"
+  "bench_fig5_pagefrag"
+  "bench_fig5_pagefrag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pagefrag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

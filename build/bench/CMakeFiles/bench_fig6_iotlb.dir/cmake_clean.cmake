@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_iotlb.dir/bench_fig6_iotlb.cpp.o"
+  "CMakeFiles/bench_fig6_iotlb.dir/bench_fig6_iotlb.cpp.o.d"
+  "bench_fig6_iotlb"
+  "bench_fig6_iotlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_iotlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

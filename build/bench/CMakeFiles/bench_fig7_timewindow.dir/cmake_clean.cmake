@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_timewindow.dir/bench_fig7_timewindow.cpp.o"
+  "CMakeFiles/bench_fig7_timewindow.dir/bench_fig7_timewindow.cpp.o.d"
+  "bench_fig7_timewindow"
+  "bench_fig7_timewindow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_timewindow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_forward.dir/bench_fig9_forward.cpp.o"
+  "CMakeFiles/bench_fig9_forward.dir/bench_fig9_forward.cpp.o.d"
+  "bench_fig9_forward"
+  "bench_fig9_forward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

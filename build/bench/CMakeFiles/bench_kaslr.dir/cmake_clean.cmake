@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kaslr.dir/bench_kaslr.cpp.o"
+  "CMakeFiles/bench_kaslr.dir/bench_kaslr.cpp.o.d"
+  "bench_kaslr"
+  "bench_kaslr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kaslr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ringflood.dir/bench_ringflood.cpp.o"
+  "CMakeFiles/bench_ringflood.dir/bench_ringflood.cpp.o.d"
+  "bench_ringflood"
+  "bench_ringflood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ringflood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

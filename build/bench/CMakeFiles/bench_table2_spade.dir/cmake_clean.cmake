@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_spade.dir/bench_table2_spade.cpp.o"
+  "CMakeFiles/bench_table2_spade.dir/bench_table2_spade.cpp.o.d"
+  "bench_table2_spade"
+  "bench_table2_spade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_spade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkasan_demo.dir/dkasan_demo.cpp.o"
+  "CMakeFiles/dkasan_demo.dir/dkasan_demo.cpp.o.d"
+  "dkasan_demo"
+  "dkasan_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkasan_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewire_testbed.dir/firewire_testbed.cpp.o"
+  "CMakeFiles/firewire_testbed.dir/firewire_testbed.cpp.o.d"
+  "firewire_testbed"
+  "firewire_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewire_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

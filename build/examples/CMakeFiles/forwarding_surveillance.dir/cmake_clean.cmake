@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forwarding_surveillance.dir/forwarding_surveillance.cpp.o"
+  "CMakeFiles/forwarding_surveillance.dir/forwarding_surveillance.cpp.o.d"
+  "forwarding_surveillance"
+  "forwarding_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forwarding_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

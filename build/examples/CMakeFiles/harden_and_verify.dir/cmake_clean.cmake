@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harden_and_verify.dir/harden_and_verify.cpp.o"
+  "CMakeFiles/harden_and_verify.dir/harden_and_verify.cpp.o.d"
+  "harden_and_verify"
+  "harden_and_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harden_and_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisoned_tx_attack.dir/poisoned_tx_attack.cpp.o"
+  "CMakeFiles/poisoned_tx_attack.dir/poisoned_tx_attack.cpp.o.d"
+  "poisoned_tx_attack"
+  "poisoned_tx_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisoned_tx_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

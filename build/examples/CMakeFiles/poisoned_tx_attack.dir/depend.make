@@ -1,0 +1,2 @@
+# Empty dependencies file for poisoned_tx_attack.
+# This may be replaced when dependencies are built.

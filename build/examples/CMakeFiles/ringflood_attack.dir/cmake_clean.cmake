@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringflood_attack.dir/ringflood_attack.cpp.o"
+  "CMakeFiles/ringflood_attack.dir/ringflood_attack.cpp.o.d"
+  "ringflood_attack"
+  "ringflood_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringflood_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

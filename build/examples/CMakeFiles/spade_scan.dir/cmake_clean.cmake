@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spade_scan.dir/spade_scan.cpp.o"
+  "CMakeFiles/spade_scan.dir/spade_scan.cpp.o.d"
+  "spade_scan"
+  "spade_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spade_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("mem")
+subdirs("slab")
+subdirs("iommu")
+subdirs("dma")
+subdirs("net")
+subdirs("device")
+subdirs("attack")
+subdirs("spade")
+subdirs("dkasan")
+subdirs("core")

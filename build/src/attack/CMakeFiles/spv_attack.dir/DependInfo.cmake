@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attacks.cc" "src/attack/CMakeFiles/spv_attack.dir/attacks.cc.o" "gcc" "src/attack/CMakeFiles/spv_attack.dir/attacks.cc.o.d"
+  "/root/repo/src/attack/gadgets.cc" "src/attack/CMakeFiles/spv_attack.dir/gadgets.cc.o" "gcc" "src/attack/CMakeFiles/spv_attack.dir/gadgets.cc.o.d"
+  "/root/repo/src/attack/kaslr_break.cc" "src/attack/CMakeFiles/spv_attack.dir/kaslr_break.cc.o" "gcc" "src/attack/CMakeFiles/spv_attack.dir/kaslr_break.cc.o.d"
+  "/root/repo/src/attack/mini_cpu.cc" "src/attack/CMakeFiles/spv_attack.dir/mini_cpu.cc.o" "gcc" "src/attack/CMakeFiles/spv_attack.dir/mini_cpu.cc.o.d"
+  "/root/repo/src/attack/poison.cc" "src/attack/CMakeFiles/spv_attack.dir/poison.cc.o" "gcc" "src/attack/CMakeFiles/spv_attack.dir/poison.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/spv_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/spv_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/spv_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/spv_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/slab/CMakeFiles/spv_slab.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/spv_iommu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

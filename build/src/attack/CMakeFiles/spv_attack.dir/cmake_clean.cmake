@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spv_attack.dir/attacks.cc.o"
+  "CMakeFiles/spv_attack.dir/attacks.cc.o.d"
+  "CMakeFiles/spv_attack.dir/gadgets.cc.o"
+  "CMakeFiles/spv_attack.dir/gadgets.cc.o.d"
+  "CMakeFiles/spv_attack.dir/kaslr_break.cc.o"
+  "CMakeFiles/spv_attack.dir/kaslr_break.cc.o.d"
+  "CMakeFiles/spv_attack.dir/mini_cpu.cc.o"
+  "CMakeFiles/spv_attack.dir/mini_cpu.cc.o.d"
+  "CMakeFiles/spv_attack.dir/poison.cc.o"
+  "CMakeFiles/spv_attack.dir/poison.cc.o.d"
+  "libspv_attack.a"
+  "libspv_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spv_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spv_base.dir/log.cc.o"
+  "CMakeFiles/spv_base.dir/log.cc.o.d"
+  "CMakeFiles/spv_base.dir/status.cc.o"
+  "CMakeFiles/spv_base.dir/status.cc.o.d"
+  "libspv_base.a"
+  "libspv_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spv_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

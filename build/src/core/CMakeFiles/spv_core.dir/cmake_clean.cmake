@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spv_core.dir/machine.cc.o"
+  "CMakeFiles/spv_core.dir/machine.cc.o.d"
+  "libspv_core.a"
+  "libspv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spv_device.dir/malicious_nic.cc.o"
+  "CMakeFiles/spv_device.dir/malicious_nic.cc.o.d"
+  "libspv_device.a"
+  "libspv_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spv_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

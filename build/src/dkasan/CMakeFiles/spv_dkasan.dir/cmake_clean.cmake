@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spv_dkasan.dir/dkasan.cc.o"
+  "CMakeFiles/spv_dkasan.dir/dkasan.cc.o.d"
+  "CMakeFiles/spv_dkasan.dir/workload.cc.o"
+  "CMakeFiles/spv_dkasan.dir/workload.cc.o.d"
+  "libspv_dkasan.a"
+  "libspv_dkasan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spv_dkasan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

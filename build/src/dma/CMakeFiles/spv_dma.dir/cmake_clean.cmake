@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spv_dma.dir/bounce.cc.o"
+  "CMakeFiles/spv_dma.dir/bounce.cc.o.d"
+  "CMakeFiles/spv_dma.dir/dma_api.cc.o"
+  "CMakeFiles/spv_dma.dir/dma_api.cc.o.d"
+  "CMakeFiles/spv_dma.dir/kernel_memory.cc.o"
+  "CMakeFiles/spv_dma.dir/kernel_memory.cc.o.d"
+  "libspv_dma.a"
+  "libspv_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spv_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

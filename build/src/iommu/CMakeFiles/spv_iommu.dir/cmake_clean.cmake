@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spv_iommu.dir/io_page_table.cc.o"
+  "CMakeFiles/spv_iommu.dir/io_page_table.cc.o.d"
+  "CMakeFiles/spv_iommu.dir/iommu.cc.o"
+  "CMakeFiles/spv_iommu.dir/iommu.cc.o.d"
+  "CMakeFiles/spv_iommu.dir/iotlb.cc.o"
+  "CMakeFiles/spv_iommu.dir/iotlb.cc.o.d"
+  "CMakeFiles/spv_iommu.dir/iova_allocator.cc.o"
+  "CMakeFiles/spv_iommu.dir/iova_allocator.cc.o.d"
+  "libspv_iommu.a"
+  "libspv_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spv_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

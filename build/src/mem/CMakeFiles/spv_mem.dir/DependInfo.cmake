@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/kernel_layout.cc" "src/mem/CMakeFiles/spv_mem.dir/kernel_layout.cc.o" "gcc" "src/mem/CMakeFiles/spv_mem.dir/kernel_layout.cc.o.d"
+  "/root/repo/src/mem/page_allocator.cc" "src/mem/CMakeFiles/spv_mem.dir/page_allocator.cc.o" "gcc" "src/mem/CMakeFiles/spv_mem.dir/page_allocator.cc.o.d"
+  "/root/repo/src/mem/page_db.cc" "src/mem/CMakeFiles/spv_mem.dir/page_db.cc.o" "gcc" "src/mem/CMakeFiles/spv_mem.dir/page_db.cc.o.d"
+  "/root/repo/src/mem/phys_memory.cc" "src/mem/CMakeFiles/spv_mem.dir/phys_memory.cc.o" "gcc" "src/mem/CMakeFiles/spv_mem.dir/phys_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/spv_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spv_mem.dir/kernel_layout.cc.o"
+  "CMakeFiles/spv_mem.dir/kernel_layout.cc.o.d"
+  "CMakeFiles/spv_mem.dir/page_allocator.cc.o"
+  "CMakeFiles/spv_mem.dir/page_allocator.cc.o.d"
+  "CMakeFiles/spv_mem.dir/page_db.cc.o"
+  "CMakeFiles/spv_mem.dir/page_db.cc.o.d"
+  "CMakeFiles/spv_mem.dir/phys_memory.cc.o"
+  "CMakeFiles/spv_mem.dir/phys_memory.cc.o.d"
+  "libspv_mem.a"
+  "libspv_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spv_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spv_net.dir/gro.cc.o"
+  "CMakeFiles/spv_net.dir/gro.cc.o.d"
+  "CMakeFiles/spv_net.dir/layouts.cc.o"
+  "CMakeFiles/spv_net.dir/layouts.cc.o.d"
+  "CMakeFiles/spv_net.dir/nic_driver.cc.o"
+  "CMakeFiles/spv_net.dir/nic_driver.cc.o.d"
+  "CMakeFiles/spv_net.dir/skbuff.cc.o"
+  "CMakeFiles/spv_net.dir/skbuff.cc.o.d"
+  "CMakeFiles/spv_net.dir/stack.cc.o"
+  "CMakeFiles/spv_net.dir/stack.cc.o.d"
+  "libspv_net.a"
+  "libspv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

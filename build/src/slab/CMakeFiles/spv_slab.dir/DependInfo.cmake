@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slab/page_frag.cc" "src/slab/CMakeFiles/spv_slab.dir/page_frag.cc.o" "gcc" "src/slab/CMakeFiles/spv_slab.dir/page_frag.cc.o.d"
+  "/root/repo/src/slab/slab_allocator.cc" "src/slab/CMakeFiles/spv_slab.dir/slab_allocator.cc.o" "gcc" "src/slab/CMakeFiles/spv_slab.dir/slab_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/spv_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/spv_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

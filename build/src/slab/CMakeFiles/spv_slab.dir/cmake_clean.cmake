@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spv_slab.dir/page_frag.cc.o"
+  "CMakeFiles/spv_slab.dir/page_frag.cc.o.d"
+  "CMakeFiles/spv_slab.dir/slab_allocator.cc.o"
+  "CMakeFiles/spv_slab.dir/slab_allocator.cc.o.d"
+  "libspv_slab.a"
+  "libspv_slab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spv_slab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spade/analyzer.cc" "src/spade/CMakeFiles/spv_spade.dir/analyzer.cc.o" "gcc" "src/spade/CMakeFiles/spv_spade.dir/analyzer.cc.o.d"
+  "/root/repo/src/spade/corpus.cc" "src/spade/CMakeFiles/spv_spade.dir/corpus.cc.o" "gcc" "src/spade/CMakeFiles/spv_spade.dir/corpus.cc.o.d"
+  "/root/repo/src/spade/layout_db.cc" "src/spade/CMakeFiles/spv_spade.dir/layout_db.cc.o" "gcc" "src/spade/CMakeFiles/spv_spade.dir/layout_db.cc.o.d"
+  "/root/repo/src/spade/lexer.cc" "src/spade/CMakeFiles/spv_spade.dir/lexer.cc.o" "gcc" "src/spade/CMakeFiles/spv_spade.dir/lexer.cc.o.d"
+  "/root/repo/src/spade/parser.cc" "src/spade/CMakeFiles/spv_spade.dir/parser.cc.o" "gcc" "src/spade/CMakeFiles/spv_spade.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/spv_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spv_spade.dir/analyzer.cc.o"
+  "CMakeFiles/spv_spade.dir/analyzer.cc.o.d"
+  "CMakeFiles/spv_spade.dir/corpus.cc.o"
+  "CMakeFiles/spv_spade.dir/corpus.cc.o.d"
+  "CMakeFiles/spv_spade.dir/layout_db.cc.o"
+  "CMakeFiles/spv_spade.dir/layout_db.cc.o.d"
+  "CMakeFiles/spv_spade.dir/lexer.cc.o"
+  "CMakeFiles/spv_spade.dir/lexer.cc.o.d"
+  "CMakeFiles/spv_spade.dir/parser.cc.o"
+  "CMakeFiles/spv_spade.dir/parser.cc.o.d"
+  "libspv_spade.a"
+  "libspv_spade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spv_spade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

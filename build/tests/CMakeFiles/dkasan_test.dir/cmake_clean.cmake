@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkasan_test.dir/dkasan_test.cc.o"
+  "CMakeFiles/dkasan_test.dir/dkasan_test.cc.o.d"
+  "dkasan_test"
+  "dkasan_test.pdb"
+  "dkasan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkasan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slab_test.dir/slab_test.cc.o"
+  "CMakeFiles/slab_test.dir/slab_test.cc.o.d"
+  "slab_test"
+  "slab_test.pdb"
+  "slab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

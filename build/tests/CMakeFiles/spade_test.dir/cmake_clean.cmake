@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spade_test.dir/spade_test.cc.o"
+  "CMakeFiles/spade_test.dir/spade_test.cc.o.d"
+  "spade_test"
+  "spade_test.pdb"
+  "spade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

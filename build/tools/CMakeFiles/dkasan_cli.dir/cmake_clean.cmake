@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkasan_cli.dir/dkasan_cli.cpp.o"
+  "CMakeFiles/dkasan_cli.dir/dkasan_cli.cpp.o.d"
+  "dkasan"
+  "dkasan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkasan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spade_cli.dir/spade_cli.cpp.o"
+  "CMakeFiles/spade_cli.dir/spade_cli.cpp.o.d"
+  "spade"
+  "spade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spade_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
