@@ -22,6 +22,8 @@ core::MachineConfig MakeConfig(iommu::InvalidationMode mode) {
   config.seed = 6;
   config.phys_pages = 8192;
   config.iommu.mode = mode;
+  // Reported counters come off the telemetry bus, not ad-hoc stats.
+  config.telemetry.enabled = true;
   return config;
 }
 
@@ -42,11 +44,16 @@ void RunMapUnmap(benchmark::State& state, iommu::InvalidationMode mode) {
     (void)machine.dma().UnmapSingle(dev, *iova, 2048, dma::DmaDirection::kFromDevice);
     ++ops;
   }
-  const auto& stats = machine.iommu().stats();
+  telemetry::Hub& hub = machine.telemetry();
   state.counters["sim_inval_cycles_per_op"] =
-      ops ? static_cast<double>(stats.invalidation_cycles) / static_cast<double>(ops) : 0;
-  state.counters["flushes"] = static_cast<double>(stats.flushes);
-  state.counters["targeted_invalidations"] = static_cast<double>(stats.targeted_invalidations);
+      ops ? static_cast<double>(hub.counter_value("iommu.invalidation_cycles")) /
+                static_cast<double>(ops)
+          : 0;
+  state.counters["flushes"] = static_cast<double>(hub.counter_value("iommu.flushes"));
+  state.counters["targeted_invalidations"] =
+      static_cast<double>(hub.counter_value("iommu.targeted_invalidations"));
+  state.counters["iotlb_hits"] = static_cast<double>(hub.counter_value("iotlb.hits"));
+  state.counters["iotlb_misses"] = static_cast<double>(hub.counter_value("iotlb.misses"));
 }
 
 void BM_MapUnmap_Strict(benchmark::State& state) {

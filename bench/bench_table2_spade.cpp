@@ -7,6 +7,7 @@
 // map private data or the stack, the rest map dedicated heap buffers), runs
 // the real analyzer over it, and prints the Table-2 rows next to the paper's.
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -14,6 +15,7 @@
 
 #include "spade/analyzer.h"
 #include "spade/corpus.h"
+#include "telemetry/telemetry.h"
 
 using namespace spv;
 namespace fs = std::filesystem;
@@ -243,15 +245,22 @@ void Generate(const fs::path& dir) {
   }
 }
 
-void PrintRow(const char* name, const spade::SummaryRow& row, uint64_t total_calls,
-              uint64_t total_files, const char* paper) {
+// Rows are read back from the telemetry export, not the Summary struct: the
+// analyzer publishes Table-2 counters onto the bus and this harness consumes
+// them the way any external tool consuming ExportJson/ExportCountersCsv would.
+void PrintRow(const telemetry::Hub& hub, const char* name, const std::string& counter,
+              const char* paper) {
+  const uint64_t calls = hub.counter_value("spade." + counter + ".calls");
+  const uint64_t files = hub.counter_value("spade." + counter + ".files");
+  const uint64_t total_calls = hub.counter_value("spade.total_calls");
+  const uint64_t total_files = hub.counter_value("spade.total_files");
   std::printf("  %-30s %5llu calls (%4.1f%%) / %3llu files (%4.1f%%)   paper: %s\n", name,
-              static_cast<unsigned long long>(row.calls),
-              total_calls ? 100.0 * static_cast<double>(row.calls) /
+              static_cast<unsigned long long>(calls),
+              total_calls ? 100.0 * static_cast<double>(calls) /
                                 static_cast<double>(total_calls)
                           : 0.0,
-              static_cast<unsigned long long>(row.files),
-              total_files ? 100.0 * static_cast<double>(row.files) /
+              static_cast<unsigned long long>(files),
+              total_files ? 100.0 * static_cast<double>(files) /
                                 static_cast<double>(total_files)
                           : 0.0,
               paper);
@@ -267,7 +276,12 @@ int main() {
   fs::remove_all(dir, ec);
   Generate(dir);
 
+  telemetry::Hub::Config hub_config;
+  hub_config.enabled = true;
+  telemetry::Hub hub{hub_config};
+
   spade::SpadeAnalyzer analyzer;
+  analyzer.set_telemetry(&hub);
   // Anchor corpus (hand-written driver models) + generated scale corpus.
   auto anchor = spade::LoadCorpusDirectory(analyzer, spade::DefaultCorpusDir());
   auto scale = spade::LoadCorpusDirectory(analyzer, dir.string());
@@ -284,32 +298,33 @@ int main() {
     std::printf("analysis error: %s\n", findings.status().ToString().c_str());
     return 1;
   }
-  const spade::Summary summary = analyzer.Summarize(*findings);
+  (void)analyzer.Summarize(*findings);  // publishes the Table-2 counters
 
   std::printf("Stat                                 measured                              "
               "(Linux 5.0)\n");
-  PrintRow("1. Callbacks exposed", summary.callbacks_exposed, summary.total_calls,
-           summary.total_files, "156 (15.3%) / 57 (12.8%)");
-  PrintRow("2. skb_shared_info mapped", summary.shared_info_mapped, summary.total_calls,
-           summary.total_files, "464 (45.5%) / 232 (51.9%)");
-  PrintRow("3. Callbacks exposed directly", summary.callbacks_exposed_directly,
-           summary.total_calls, summary.total_files, "54 / 28");
-  PrintRow("4. Private data mapped", summary.private_data_mapped, summary.total_calls,
-           summary.total_files, "19 / 7");
-  PrintRow("5. Stack mapped", summary.stack_mapped, summary.total_calls, summary.total_files,
-           "3 / 3");
-  PrintRow("6. Type C vulnerability", summary.type_c, summary.total_calls,
-           summary.total_files, "344 / 227");
-  PrintRow("7. build_skb used", summary.build_skb_used, summary.total_calls,
-           summary.total_files, "46 / 40");
+  PrintRow(hub, "1. Callbacks exposed", "callbacks_exposed", "156 (15.3%) / 57 (12.8%)");
+  PrintRow(hub, "2. skb_shared_info mapped", "shared_info_mapped",
+           "464 (45.5%) / 232 (51.9%)");
+  PrintRow(hub, "3. Callbacks exposed directly", "callbacks_exposed_directly", "54 / 28");
+  PrintRow(hub, "4. Private data mapped", "private_data_mapped", "19 / 7");
+  PrintRow(hub, "5. Stack mapped", "stack_mapped", "3 / 3");
+  PrintRow(hub, "6. Type C vulnerability", "type_c", "344 / 227");
+  PrintRow(hub, "7. build_skb used", "build_skb_used", "46 / 40");
+  const uint64_t total_calls = hub.counter_value("spade.total_calls");
+  const uint64_t vulnerable = hub.counter_value("spade.vulnerable_calls");
   std::printf("  %-30s %5llu calls / %3llu files                paper: 1019 / 447\n",
-              "Total dma-map calls", static_cast<unsigned long long>(summary.total_calls),
-              static_cast<unsigned long long>(summary.total_files));
+              "Total dma-map calls", static_cast<unsigned long long>(total_calls),
+              static_cast<unsigned long long>(hub.counter_value("spade.total_files")));
   std::printf("  %-30s %5llu (%4.1f%%)                          paper: 742 (72.8%%)\n",
-              "Potentially vulnerable", static_cast<unsigned long long>(summary.vulnerable_calls),
-              summary.total_calls ? 100.0 * static_cast<double>(summary.vulnerable_calls) /
-                                        static_cast<double>(summary.total_calls)
-                                  : 0.0);
+              "Potentially vulnerable", static_cast<unsigned long long>(vulnerable),
+              total_calls ? 100.0 * static_cast<double>(vulnerable) /
+                                static_cast<double>(total_calls)
+                          : 0.0);
+  std::printf("\n%llu vulnerable sites published to the trace ring (%llu recorded, "
+              "%llu dropped)\n",
+              static_cast<unsigned long long>(hub.counter_value("spade.vulnerable_sites")),
+              static_cast<unsigned long long>(hub.ring().recorded()),
+              static_cast<unsigned long long>(hub.ring().dropped()));
   fs::remove_all(dir, ec);
   return 0;
 }

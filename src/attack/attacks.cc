@@ -42,6 +42,25 @@ std::vector<ParsedFrag> ScanForFragEntries(const std::vector<uint64_t>& qwords) 
   return frags;
 }
 
+// Publishes one attack-stage transition onto the machine's bus. The trace
+// ring ends up holding the same narrative as AttackReport::steps, interleaved
+// with the DMA/IOMMU events each stage caused.
+void EmitStage(core::Machine& machine, std::string_view attack, const std::string& text) {
+  telemetry::Hub& hub = machine.telemetry();
+  if (!hub.active()) {
+    return;
+  }
+  telemetry::Event event;
+  event.kind = telemetry::EventKind::kAttackStage;
+  event.severity = telemetry::Severity::kWarn;
+  event.origin = &machine;
+  event.site = std::string(attack) + ": " + text;
+  hub.Publish(std::move(event));
+  if (hub.enabled()) {
+    hub.counter("attack.stages").Add();
+  }
+}
+
 // Searches a byte block for the poison marker; returns the image start.
 std::optional<uint64_t> FindPoisonImage(const std::vector<uint8_t>& block) {
   if (block.size() < PoisonLayout::kImageBytes) {
@@ -241,7 +260,10 @@ uint64_t RingFloodAttack::MostCommonPfn(const std::map<uint64_t, int>& histogram
 
 Result<AttackReport> RingFloodAttack::Run(const AttackEnv& env, const Options& options) {
   AttackReport report;
-  auto step = [&](std::string text) { report.steps.push_back(std::move(text)); };
+  auto step = [&](std::string text) {
+    EmitStage(env.machine, "ring_flood", text);
+    report.steps.push_back(std::move(text));
+  };
 
   // -- Bootstrap KASLR from the victim's own outbound traffic ----------------
   auto socket = env.machine.stack().CreateSocket(options.heartbeat_port, false);
@@ -348,7 +370,10 @@ Result<AttackReport> RingFloodAttack::Run(const AttackEnv& env, const Options& o
 
 Result<AttackReport> PoisonedTxAttack::Run(const AttackEnv& env, const Options& options) {
   AttackReport report;
-  auto step = [&](std::string text) { report.steps.push_back(std::move(text)); };
+  auto step = [&](std::string text) {
+    EmitStage(env.machine, "poisoned_tx", text);
+    report.steps.push_back(std::move(text));
+  };
   net::NetworkStack& stack = env.machine.stack();
   KaslrBreaker breaker;
 
@@ -496,7 +521,10 @@ Result<AttackReport> PoisonedTxAttack::Run(const AttackEnv& env, const Options& 
 
 Result<AttackReport> ForwardThinkingAttack::Run(const AttackEnv& env, const Options& options) {
   AttackReport report;
-  auto step = [&](std::string text) { report.steps.push_back(std::move(text)); };
+  auto step = [&](std::string text) {
+    EmitStage(env.machine, "forward_thinking", text);
+    report.steps.push_back(std::move(text));
+  };
   net::NetworkStack& stack = env.machine.stack();
   if (!stack.config().forwarding_enabled) {
     return FailedPrecondition("forwarding disabled on the victim");

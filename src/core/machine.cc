@@ -14,11 +14,13 @@ mem::KernelLayout MakeLayout(const MachineConfig& config, Xoshiro256& rng) {
 
 Machine::Machine(const MachineConfig& config)
     : config_(config),
+      hub_(config.telemetry),
       rng_(config.seed),
       pm_(config.phys_pages),
       page_db_(config.phys_pages),
       layout_(MakeLayout(config, rng_)) {
   assert(config.kernel_image_pages < config.phys_pages);
+  hub_.BindClock(&clock_);
   if (config.randomize_struct_layout) {
     // Shuffle destructor_arg among the unused pointer-sized slots (8: the
     // frag_list slot, 16: hwtstamps, 32: the compile-time position). Slot 24
@@ -34,9 +36,10 @@ Machine::Machine(const MachineConfig& config)
       page_db_, Pfn{config.kernel_image_pages},
       config.phys_pages - config.kernel_image_pages);
   iommu_ = std::make_unique<iommu::Iommu>(pm_, clock_, config.iommu);
-  dma_ = std::make_unique<dma::DmaApi>(*iommu_, layout_);
+  iommu_->set_telemetry(&hub_);
+  dma_ = std::make_unique<dma::DmaApi>(*iommu_, layout_, &hub_);
   kmem_ = std::make_unique<dma::KernelMemory>(pm_, layout_, *dma_);
-  slab_ = std::make_unique<slab::SlabAllocator>(pm_, page_db_, *page_alloc_, layout_);
+  slab_ = std::make_unique<slab::SlabAllocator>(pm_, page_db_, *page_alloc_, layout_, &hub_);
   skb_alloc_ = std::make_unique<net::SkbAllocator>(*kmem_, *slab_);
   stack_ = std::make_unique<net::NetworkStack>(*kmem_, *slab_, *skb_alloc_, config.net);
 }
@@ -44,8 +47,9 @@ Machine::Machine(const MachineConfig& config)
 slab::PageFragPool& Machine::frag_pool(CpuId cpu) {
   while (frag_pools_.size() <= cpu.value) {
     const CpuId new_cpu{static_cast<uint32_t>(frag_pools_.size())};
-    frag_pools_.push_back(
-        std::make_unique<slab::PageFragPool>(page_db_, *page_alloc_, layout_, new_cpu));
+    frag_pools_.push_back(std::make_unique<slab::PageFragPool>(
+        page_db_, *page_alloc_, layout_, new_cpu, slab::PageFragPool::kDefaultRegionBytes,
+        &hub_));
     skb_alloc_->RegisterFragPool(new_cpu, frag_pools_.back().get());
   }
   return *frag_pools_[cpu.value];

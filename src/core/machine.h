@@ -29,6 +29,7 @@
 #include "net/stack.h"
 #include "slab/page_frag.h"
 #include "slab/slab_allocator.h"
+#include "telemetry/telemetry.h"
 
 namespace spv::core {
 
@@ -42,6 +43,9 @@ struct MachineConfig {
   uint64_t seed = 1;
   iommu::Iommu::Config iommu;          // deferred mode by default, like Linux
   net::NetworkStack::Config net;
+  // Recording is off by default; flip `telemetry.enabled` to collect counters
+  // and a trace ring for the whole machine.
+  telemetry::Hub::Config telemetry;
 };
 
 class Machine {
@@ -70,6 +74,8 @@ class Machine {
   net::SkbAllocator& skb_alloc() { return *skb_alloc_; }
   net::NetworkStack& stack() { return *stack_; }
   slab::PageFragPool& frag_pool(CpuId cpu);
+  // The machine-wide event bus; every component publishes here.
+  telemetry::Hub& telemetry() { return hub_; }
 
   const MachineConfig& config() const { return config_; }
   DeviceId next_device_id() const { return DeviceId{next_device_id_}; }
@@ -77,6 +83,7 @@ class Machine {
  private:
   MachineConfig config_;
   SimClock clock_;
+  telemetry::Hub hub_;  // before any component that publishes into it
   Xoshiro256 rng_;
   mem::PhysicalMemory pm_;
   mem::PageDb page_db_;

@@ -46,6 +46,21 @@ void DKasan::AddReport(Report report) {
     }
     seen_[key] = true;
   }
+  if (hub_ != nullptr && hub_->active()) {
+    telemetry::Event event;
+    event.kind = telemetry::EventKind::kDkasanReport;
+    event.severity = telemetry::Severity::kCritical;
+    event.addr = report.kva.value;
+    event.len = report.size;
+    event.aux = static_cast<uint64_t>(report.kind);
+    event.origin = this;
+    event.site = ReportKindName(report.kind) + ": " + report.site;
+    hub_->Publish(std::move(event));
+    if (hub_->enabled()) {
+      hub_->counter("dkasan.reports").Add();
+      hub_->counter("dkasan.reports." + ReportKindName(report.kind)).Add();
+    }
+  }
   reports_.push_back(std::move(report));
 }
 

@@ -61,6 +61,10 @@ class DKasan : public slab::SlabObserver, public dma::DmaObserver {
  public:
   explicit DKasan(const mem::KernelLayout& layout) : layout_(layout) {}
 
+  // Publishes every report as a kDkasanReport event (critical severity) on
+  // top of the local report list. Pass nullptr to detach.
+  void set_telemetry(telemetry::Hub* hub) { hub_ = hub; }
+
   // Attach to the event sources. (Call once each; detach by destroying the
   // sources first or removing observers.)
   void Attach(slab::SlabAllocator& slab) { slab.AddObserver(this); }
@@ -114,6 +118,7 @@ class DKasan : public slab::SlabObserver, public dma::DmaObserver {
   std::vector<Report> reports_;
   std::map<std::pair<uint8_t, std::string>, bool> seen_;  // dedup key
   bool dedup_ = true;
+  telemetry::Hub* hub_ = nullptr;
 };
 
 }  // namespace spv::dkasan

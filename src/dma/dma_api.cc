@@ -28,8 +28,16 @@ std::string DmaDirectionName(DmaDirection dir) {
   return "?";
 }
 
-DmaApi::DmaApi(iommu::Iommu& iommu, const mem::KernelLayout& layout)
-    : iommu_(iommu), layout_(layout) {}
+DmaApi::DmaApi(iommu::Iommu& iommu, const mem::KernelLayout& layout, telemetry::Hub* hub)
+    : iommu_(iommu), layout_(layout), hub_(hub) {}
+
+telemetry::Hub& DmaApi::telemetry() {
+  if (hub_ == nullptr) {
+    owned_hub_ = std::make_unique<telemetry::Hub>();
+    hub_ = owned_hub_.get();
+  }
+  return *hub_;
+}
 
 Result<Iova> DmaApi::MapSingle(DeviceId device, Kva kva, uint64_t len, DmaDirection dir,
                                std::string_view site) {
@@ -80,6 +88,22 @@ Status DmaApi::SyncSingleForCpu(DeviceId device, Iova iova, uint64_t len, DmaDir
     return FailedPrecondition("dma_sync_single_for_cpu on invalid mapping");
   }
   // CPU takes ownership of the bytes; the translation stays live.
+  telemetry::Hub& hub = telemetry();
+  if (hub.active()) {
+    telemetry::Event event;
+    event.kind = telemetry::EventKind::kDmaSync;
+    event.severity = telemetry::Severity::kTrace;
+    event.device = device.value;
+    event.addr = mapping->kva.value;
+    event.addr2 = iova.value;
+    event.len = len;
+    event.origin = this;
+    event.site = "dma_sync_single_for_cpu";
+    hub.Publish(std::move(event));
+    if (hub.enabled()) {
+      hub.counter("dma.syncs").Add();
+    }
+  }
   NotifyCpuAccess(mapping->kva, len, /*is_write=*/false);
   return OkStatus();
 }
@@ -146,24 +170,65 @@ std::optional<DmaMapping> DmaApi::FindMapping(DeviceId device, Iova iova) const 
   return it->second;
 }
 
+void DmaApi::AddObserver(DmaObserver* observer) {
+  observer_sinks_.push_back(std::make_unique<DmaObserverSink>(this, observer));
+  telemetry().AddSink(observer_sinks_.back().get());
+}
+
 void DmaApi::RemoveObserver(DmaObserver* observer) {
-  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
-                   observers_.end());
+  for (auto it = observer_sinks_.begin(); it != observer_sinks_.end();) {
+    if ((*it)->observer() == observer) {
+      telemetry().RemoveSink(it->get());
+      it = observer_sinks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void DmaApi::NotifyCpuAccess(Kva kva, uint64_t len, bool is_write) {
-  for (DmaObserver* obs : observers_) {
-    obs->OnCpuAccess(kva, len, is_write);
+  telemetry::Hub& hub = telemetry();
+  if (!hub.active()) {
+    return;
+  }
+  telemetry::Event event;
+  event.kind = telemetry::EventKind::kCpuAccess;
+  event.severity = telemetry::Severity::kTrace;
+  event.addr = kva.value;
+  event.len = len;
+  event.flag = is_write;
+  event.origin = this;
+  hub.Publish(std::move(event));
+  if (hub.enabled()) {
+    hub.counter("dma.cpu_accesses").Add();
   }
 }
 
 void DmaApi::Notify(const DmaMapping& mapping, bool map) {
-  for (DmaObserver* obs : observers_) {
+  telemetry::Hub& hub = telemetry();
+  if (!hub.active()) {
+    return;
+  }
+  telemetry::Event event;
+  event.kind = map ? telemetry::EventKind::kDmaMap : telemetry::EventKind::kDmaUnmap;
+  event.severity = telemetry::Severity::kInfo;
+  event.device = mapping.device.value;
+  event.addr = mapping.kva.value;
+  event.addr2 = mapping.iova.value;
+  event.len = mapping.len;
+  event.aux = static_cast<uint64_t>(RightsFor(mapping.dir));
+  event.origin = this;
+  event.site = mapping.site;
+  hub.Publish(std::move(event));
+  if (hub.enabled()) {
+    hub.counter(map ? "dma.maps" : "dma.unmaps").Add();
+    // Per-device map/unmap accounting (Table-1 style breakdowns).
+    std::string per_device = map ? "dma.maps.dev" : "dma.unmaps.dev";
+    per_device += std::to_string(mapping.device.value);
+    hub.counter(per_device).Add();
     if (map) {
-      obs->OnMap(mapping.device, mapping.kva, mapping.len, mapping.iova, RightsFor(mapping.dir),
-                 mapping.site);
-    } else {
-      obs->OnUnmap(mapping.device, mapping.kva, mapping.len);
+      hub.histogram("dma.map_bytes").Record(mapping.len);
+      hub.histogram("dma.exposed_bytes").Record(mapping.exposed_bytes());
     }
   }
 }

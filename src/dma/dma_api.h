@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -29,6 +30,7 @@
 #include "dma/observer.h"
 #include "iommu/iommu.h"
 #include "mem/kernel_layout.h"
+#include "telemetry/telemetry.h"
 
 namespace spv::dma {
 
@@ -61,7 +63,11 @@ struct SgEntry {
 
 class DmaApi {
  public:
-  DmaApi(iommu::Iommu& iommu, const mem::KernelLayout& layout);
+  // When `hub` is null the DmaApi lazily owns a private (disabled) Hub so
+  // observer dispatch always flows through one bus; core::Machine passes its
+  // machine-wide Hub here instead.
+  DmaApi(iommu::Iommu& iommu, const mem::KernelLayout& layout,
+         telemetry::Hub* hub = nullptr);
   virtual ~DmaApi() = default;
 
   DmaApi(const DmaApi&) = delete;
@@ -98,11 +104,16 @@ class DmaApi {
   std::optional<DmaMapping> FindMapping(DeviceId device, Iova iova) const;
   uint64_t live_mappings() const { return by_iova_.size(); }
 
-  void AddObserver(DmaObserver* observer) { observers_.push_back(observer); }
+  // Observers are bridged onto the telemetry bus (one DmaObserverSink each);
+  // the interface is unchanged for callers.
+  void AddObserver(DmaObserver* observer);
   void RemoveObserver(DmaObserver* observer);
 
   // Fired by KernelMemory on every CPU access (KASAN-instrumentation model).
   void NotifyCpuAccess(Kva kva, uint64_t len, bool is_write);
+
+  // The bus every dma event is published to.
+  telemetry::Hub& telemetry();
 
   const mem::KernelLayout& layout() const { return layout_; }
   iommu::Iommu& iommu() { return iommu_; }
@@ -121,7 +132,9 @@ class DmaApi {
   iommu::Iommu& iommu_;
   const mem::KernelLayout& layout_;
   std::map<IovaKey, DmaMapping> by_iova_;
-  std::vector<DmaObserver*> observers_;
+  telemetry::Hub* hub_;
+  std::unique_ptr<telemetry::Hub> owned_hub_;  // fallback when none injected
+  std::vector<std::unique_ptr<DmaObserverSink>> observer_sinks_;
 };
 
 }  // namespace spv::dma

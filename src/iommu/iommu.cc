@@ -8,6 +8,11 @@ namespace spv::iommu {
 Iommu::Iommu(mem::PhysicalMemory& pm, SimClock& clock, Config config)
     : pm_(pm), clock_(clock), config_(config), iotlb_(config.iotlb_capacity) {}
 
+void Iommu::set_telemetry(telemetry::Hub* hub) {
+  hub_ = hub;
+  iotlb_.set_telemetry(hub);
+}
+
 void Iommu::AttachDevice(DeviceId device) {
   if (device_domain_.contains(device.value)) {
     return;
@@ -89,6 +94,9 @@ Result<Iova> Iommu::MapRange(DeviceId device, std::span<const Pfn> pfns, AccessR
   }
   clock_.Advance(kMapPteCycles * pfns.size());
   stats_.maps += pfns.size();
+  if (hub_ != nullptr && hub_->enabled()) {
+    hub_->counter("iommu.maps").Add(pfns.size());
+  }
   return *base;
 }
 
@@ -111,6 +119,9 @@ Status Iommu::UnmapRange(DeviceId device, Iova base, uint64_t pages) {
     }
   }
   stats_.unmaps += pages;
+  if (hub_ != nullptr && hub_->enabled()) {
+    hub_->counter("iommu.unmaps").Add(pages);
+  }
 
   if (config_.mode == InvalidationMode::kStrict) {
     // Synchronous per-page invalidation, then the IOVA is immediately
@@ -120,6 +131,22 @@ Status Iommu::UnmapRange(DeviceId device, Iova base, uint64_t pages) {
       clock_.Advance(kIotlbInvalidationCycles);
       stats_.invalidation_cycles += kIotlbInvalidationCycles;
       ++stats_.targeted_invalidations;
+      if (hub_ != nullptr && hub_->active()) {
+        telemetry::Event event;
+        event.kind = telemetry::EventKind::kIotlbInvalidate;
+        event.severity = telemetry::Severity::kTrace;
+        event.device = device.value;
+        event.addr2 = (base + (i << kPageShift)).value;
+        event.len = kPageSize;
+        event.aux = kIotlbInvalidationCycles;
+        event.origin = this;
+        event.site = "unmap_strict";
+        hub_->Publish(std::move(event));
+        if (hub_->enabled()) {
+          hub_->counter("iommu.targeted_invalidations").Add();
+          hub_->counter("iommu.invalidation_cycles").Add(kIotlbInvalidationCycles);
+        }
+      }
     }
     return state->iova_alloc.Free(base, pages);
   }
@@ -146,10 +173,25 @@ void Iommu::FlushNow() {
   }
   // One global invalidation amortizes the whole queue — this is why deferred
   // mode wins on throughput (§5.2.1).
+  const uint64_t amortized = flush_queue_.size();
   iotlb_.InvalidateAll();
   clock_.Advance(kIotlbInvalidationCycles);
   stats_.invalidation_cycles += kIotlbInvalidationCycles;
   ++stats_.flushes;
+  if (hub_ != nullptr && hub_->active()) {
+    telemetry::Event event;
+    event.kind = telemetry::EventKind::kIommuFlush;
+    event.severity = telemetry::Severity::kInfo;
+    event.aux = amortized;  // queued unmaps retired by this one invalidation
+    event.origin = this;
+    event.site = "flush_now";
+    hub_->Publish(std::move(event));
+    if (hub_->enabled()) {
+      hub_->counter("iommu.flushes").Add();
+      hub_->counter("iommu.invalidation_cycles").Add(kIotlbInvalidationCycles);
+      hub_->histogram("iommu.flush_batch").Record(amortized);
+    }
+  }
   for (const PendingInvalidation& pending : flush_queue_) {
     Domain* state = FindDevice(pending.device);
     if (state != nullptr) {
@@ -181,6 +223,9 @@ Status Iommu::Access(DeviceId device, Iova iova, AccessOp op, std::span<uint8_t>
     return InvalidArgument("device not attached to IOMMU");
   }
   ++stats_.device_accesses;
+  if (hub_ != nullptr && hub_->enabled()) {
+    hub_->counter("iommu.device_accesses").Add();
+  }
 
   if (!config_.enabled) {
     // No translation, no checks: the device masters the bus directly.
@@ -222,6 +267,21 @@ Result<PteEntry> Iommu::TranslateForDevice(DeviceId device, Domain& state, Iova 
     }
     if (!state.table.Lookup(page_iova).has_value()) {
       ++stats_.stale_iotlb_accesses;  // translated with no live PTE
+      if (hub_ != nullptr && hub_->active()) {
+        telemetry::Event event;
+        event.kind = telemetry::EventKind::kStaleIotlbHit;
+        event.severity = telemetry::Severity::kCritical;
+        event.device = device.value;
+        event.addr2 = page_iova.value;
+        event.len = kPageSize;
+        event.flag = op == AccessOp::kWrite;
+        event.origin = this;
+        event.site = "stale translation served from IOTLB";
+        hub_->Publish(std::move(event));
+        if (hub_->enabled()) {
+          hub_->counter("iommu.stale_iotlb_accesses").Add();
+        }
+      }
     }
     return *cached;
   }
@@ -242,6 +302,20 @@ Result<PteEntry> Iommu::TranslateForDevice(DeviceId device, Domain& state, Iova 
 }
 
 void Iommu::Fault(DeviceId device, Iova iova, AccessOp op, std::string reason) {
+  if (hub_ != nullptr && hub_->active()) {
+    telemetry::Event event;
+    event.kind = telemetry::EventKind::kIommuFault;
+    event.severity = telemetry::Severity::kWarn;
+    event.device = device.value;
+    event.addr2 = iova.value;
+    event.flag = op == AccessOp::kWrite;
+    event.origin = this;
+    event.site = reason;
+    hub_->Publish(std::move(event));
+    if (hub_->enabled()) {
+      hub_->counter("iommu.faults").Add();
+    }
+  }
   // Bound the fault log; a scanning attacker can generate millions.
   constexpr size_t kMaxFaults = 4096;
   if (faults_.size() < kMaxFaults) {

@@ -84,6 +84,10 @@ class Iommu {
   Iommu& operator=(const Iommu&) = delete;
   Iommu(Iommu&&) = default;
 
+  // Routes IOMMU/IOTLB counters and events (flushes, faults, stale hits)
+  // through `hub`; forwards to the embedded IOTLB. Pass nullptr to detach.
+  void set_telemetry(telemetry::Hub* hub);
+
   // Attaches a device in its own translation domain (the secure default:
   // one I/O page table per requester id, like Windows Kernel DMA Protection).
   void AttachDevice(DeviceId device);
@@ -177,6 +181,7 @@ class Iommu {
   uint64_t flush_deadline_ = 0;  // valid when flush_queue_ nonempty
   Stats stats_;
   std::vector<IommuFault> faults_;
+  telemetry::Hub* hub_ = nullptr;
 };
 
 }  // namespace spv::iommu

@@ -2,14 +2,33 @@
 
 namespace spv::iommu {
 
+void Iotlb::set_telemetry(telemetry::Hub* hub) {
+  hub_ = hub;
+  if (hub_ == nullptr) {
+    c_hits_ = c_misses_ = c_inserts_ = c_evictions_ = c_invalidations_ = nullptr;
+    return;
+  }
+  c_hits_ = &hub_->counter("iotlb.hits");
+  c_misses_ = &hub_->counter("iotlb.misses");
+  c_inserts_ = &hub_->counter("iotlb.inserts");
+  c_evictions_ = &hub_->counter("iotlb.evictions");
+  c_invalidations_ = &hub_->counter("iotlb.invalidations");
+}
+
 std::optional<PteEntry> Iotlb::Lookup(DeviceId device, Iova iova_page) {
   const Key key{device.value, iova_page.PageBase().value};
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
+    if (hub_ != nullptr && hub_->enabled()) {
+      c_misses_->Add();
+    }
     return std::nullopt;
   }
   ++hits_;
+  if (hub_ != nullptr && hub_->enabled()) {
+    c_hits_->Add();
+  }
   Touch(key, it->second);
   return it->second.entry;
 }
@@ -26,9 +45,15 @@ void Iotlb::Insert(DeviceId device, Iova iova_page, PteEntry entry) {
     const Key victim = lru_.back();
     lru_.pop_back();
     map_.erase(victim);
+    if (hub_ != nullptr && hub_->enabled()) {
+      c_evictions_->Add();
+    }
   }
   lru_.push_front(key);
   map_.emplace(key, Slot{entry, lru_.begin()});
+  if (hub_ != nullptr && hub_->enabled()) {
+    c_inserts_->Add();
+  }
 }
 
 void Iotlb::InvalidatePage(DeviceId device, Iova iova_page) {
@@ -39,6 +64,9 @@ void Iotlb::InvalidatePage(DeviceId device, Iova iova_page) {
     map_.erase(it);
   }
   ++invalidations_;
+  if (hub_ != nullptr && hub_->enabled()) {
+    c_invalidations_->Add();
+  }
 }
 
 void Iotlb::InvalidateDevice(DeviceId device) {
@@ -51,12 +79,18 @@ void Iotlb::InvalidateDevice(DeviceId device) {
     }
   }
   ++invalidations_;
+  if (hub_ != nullptr && hub_->enabled()) {
+    c_invalidations_->Add();
+  }
 }
 
 void Iotlb::InvalidateAll() {
   map_.clear();
   lru_.clear();
   ++invalidations_;
+  if (hub_ != nullptr && hub_->enabled()) {
+    c_invalidations_->Add();
+  }
 }
 
 void Iotlb::Touch(const Key& key, Slot& slot) {

@@ -15,12 +15,18 @@
 #include "base/types.h"
 #include "iommu/access_rights.h"
 #include "iommu/io_page_table.h"
+#include "telemetry/telemetry.h"
 
 namespace spv::iommu {
 
 class Iotlb {
  public:
   explicit Iotlb(size_t capacity = 256) : capacity_(capacity) {}
+
+  // Publishes hit/miss/insert/eviction/invalidation counters to `hub`
+  // (pass nullptr to detach). Counter references are resolved once here so
+  // the hot lookup path pays a pointer test plus an increment.
+  void set_telemetry(telemetry::Hub* hub);
 
   std::optional<PteEntry> Lookup(DeviceId device, Iova iova_page);
   void Insert(DeviceId device, Iova iova_page, PteEntry entry);
@@ -61,6 +67,13 @@ class Iotlb {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t invalidations_ = 0;
+
+  telemetry::Hub* hub_ = nullptr;
+  telemetry::Counter* c_hits_ = nullptr;
+  telemetry::Counter* c_misses_ = nullptr;
+  telemetry::Counter* c_inserts_ = nullptr;
+  telemetry::Counter* c_evictions_ = nullptr;
+  telemetry::Counter* c_invalidations_ = nullptr;
 };
 
 }  // namespace spv::iommu

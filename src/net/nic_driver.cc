@@ -4,6 +4,28 @@
 
 namespace spv::net {
 
+namespace {
+
+// One helper for every driver emit point: packet milestones share the shape
+// (device + length + site), only kind/severity vary.
+void EmitNicEvent(telemetry::Hub& hub, telemetry::EventKind kind,
+                  telemetry::Severity severity, DeviceId device, uint64_t len,
+                  const void* origin, std::string site) {
+  if (!hub.active()) {
+    return;
+  }
+  telemetry::Event event;
+  event.kind = kind;
+  event.severity = severity;
+  event.device = device.value;
+  event.len = len;
+  event.origin = origin;
+  event.site = std::move(site);
+  hub.Publish(std::move(event));
+}
+
+}  // namespace
+
 NicDriver::NicDriver(DeviceId device_id, dma::DmaApi& dma, dma::KernelMemory& kmem,
                      SkbAllocator& skb_alloc, SimClock& clock, Config config)
     : device_id_(device_id),
@@ -101,6 +123,12 @@ Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
           dma_.UnmapSingle(device_id_, slot.iova, rx_buffer_bytes(), rx_dir));
       if (verdict == XdpVerdict::kDrop) {
         ++xdp_drops_;
+        EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kXdpDrop,
+                     telemetry::Severity::kInfo, device_id_, pkt_len, this,
+                     config_.name + "_xdp_drop");
+        if (dma_.telemetry().enabled()) {
+          dma_.telemetry().counter("nic.xdp_drops").Add();
+        }
         slab::PageFragPool* pool = skb_alloc_.frag_pool(config_.cpu);
         if (pool != nullptr) {
           SPV_RETURN_IF_ERROR(pool->Free(slot.head));
@@ -121,6 +149,12 @@ Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
         return tx.status();
       }
       ++xdp_tx_;
+      EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kXdpTx,
+                   telemetry::Severity::kInfo, device_id_, pkt_len, this,
+                   config_.name + "_xdp_tx");
+      if (dma_.telemetry().enabled()) {
+        dma_.telemetry().counter("nic.xdp_tx").Add();
+      }
       SPV_RETURN_IF_ERROR(RefillSlot(index));
       return SkBuffPtr{};
     }
@@ -156,6 +190,12 @@ Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
     return skb.status();
   }
   ++rx_packets_;
+  EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kNicRx,
+               telemetry::Severity::kInfo, device_id_, pkt_len, this,
+               config_.name + "_rx");
+  if (dma_.telemetry().enabled()) {
+    dma_.telemetry().counter("nic.rx_packets").Add();
+  }
   // Linux refills opportunistically; we refill immediately to keep the ring
   // full (this is what makes consecutive ring buffers page-neighbours).
   SPV_RETURN_IF_ERROR(RefillSlot(index));
@@ -230,6 +270,12 @@ Result<uint32_t> NicDriver::PostTx(SkBuffPtr skb) {
   }
   slot.skb = std::move(skb);
   ++tx_packets_;
+  EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kNicTx,
+               telemetry::Severity::kInfo, device_id_, slot.linear_len, this,
+               config_.name + "_tx");
+  if (dma_.telemetry().enabled()) {
+    dma_.telemetry().counter("nic.tx_packets").Add();
+  }
   if (device_ != nullptr) {
     device_->OnTxPosted(descriptor);
   }
@@ -273,6 +319,12 @@ uint32_t NicDriver::CheckTxTimeout() {
       }
     }
     ++tx_resets_;
+    EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kNicTxReset,
+                 telemetry::Severity::kWarn, device_id_, timed_out, this,
+                 config_.name + "_tx_timeout_reset");
+    if (dma_.telemetry().enabled()) {
+      dma_.telemetry().counter("nic.tx_resets").Add();
+    }
   }
   return timed_out;
 }

@@ -10,6 +10,22 @@ namespace {
 // I/O pages (type (d)).
 constexpr uint64_t kSockObjectBytes = 680;
 constexpr uint64_t kSkNetOffset = 8;  // sk->sk_net position within the object
+
+// Stack milestones share one shape: a kind + packet length + free-form site.
+void EmitStackEvent(telemetry::Hub& hub, telemetry::EventKind kind, uint64_t len,
+                    const void* origin, std::string site) {
+  if (!hub.active()) {
+    return;
+  }
+  telemetry::Event event;
+  event.kind = kind;
+  event.severity = telemetry::Severity::kInfo;
+  event.len = len;
+  event.origin = origin;
+  event.site = std::move(site);
+  hub.Publish(std::move(event));
+}
+
 }  // namespace
 
 NetworkStack::NetworkStack(dma::KernelMemory& kmem, slab::SlabAllocator& slab,
@@ -57,20 +73,32 @@ Status NetworkStack::NapiComplete() {
 }
 
 Status NetworkStack::Deliver(SkBuffPtr skb) {
+  telemetry::Hub& hub = slab_.telemetry();
   if (!skb->header_parsed) {
     ++stats_.rx_dropped;
+    Drop(hub, skb->len, "unparseable header");
     return FreeSkb(std::move(skb));
   }
   if (skb->header.dst_ip == config_.local_ip) {
     auto it = sockets_.find(skb->header.dst_port);
     if (it == sockets_.end()) {
       ++stats_.rx_dropped;
+      Drop(hub, skb->len, "no socket bound");
       return FreeSkb(std::move(skb));
     }
     ++stats_.rx_delivered;
+    EmitStackEvent(hub, telemetry::EventKind::kStackDeliver, skb->len, this,
+                   "local delivery");
+    if (hub.enabled()) {
+      hub.counter("stack.rx_delivered").Add();
+    }
     if (it->second.echo) {
       SPV_RETURN_IF_ERROR(Echo(*skb));
       ++stats_.echoed;
+      EmitStackEvent(hub, telemetry::EventKind::kStackEcho, skb->len, this, "echo service");
+      if (hub.enabled()) {
+        hub.counter("stack.echoed").Add();
+      }
     }
     return FreeSkb(std::move(skb));
   }
@@ -78,7 +106,15 @@ Status NetworkStack::Deliver(SkBuffPtr skb) {
     return Forward(std::move(skb));
   }
   ++stats_.rx_dropped;
+  Drop(hub, skb->len, "not local, forwarding off");
   return FreeSkb(std::move(skb));
+}
+
+void NetworkStack::Drop(telemetry::Hub& hub, uint64_t len, std::string reason) {
+  EmitStackEvent(hub, telemetry::EventKind::kStackDrop, len, this, std::move(reason));
+  if (hub.enabled()) {
+    hub.counter("stack.rx_dropped").Add();
+  }
 }
 
 Status NetworkStack::Forward(SkBuffPtr skb) {
@@ -90,6 +126,11 @@ Status NetworkStack::Forward(SkBuffPtr skb) {
     return index.status();
   }
   ++stats_.rx_forwarded;
+  telemetry::Hub& hub = slab_.telemetry();
+  EmitStackEvent(hub, telemetry::EventKind::kStackForward, 0, this, "ip_forward");
+  if (hub.enabled()) {
+    hub.counter("stack.rx_forwarded").Add();
+  }
   return OkStatus();
 }
 
@@ -194,6 +235,12 @@ Status NetworkStack::SendPacket(const PacketHeader& header, std::span<const uint
     return index.status();
   }
   ++stats_.tx_sent;
+  telemetry::Hub& hub = slab_.telemetry();
+  EmitStackEvent(hub, telemetry::EventKind::kStackSend, payload.size(), this,
+                 use_frags ? "sendmsg (frags)" : "sendmsg (linear)");
+  if (hub.enabled()) {
+    hub.counter("stack.tx_sent").Add();
+  }
   return OkStatus();
 }
 

@@ -92,6 +92,7 @@ class NetworkStack {
   Status Deliver(SkBuffPtr skb);
   Status Forward(SkBuffPtr skb);
   Status Echo(const SkBuff& skb);
+  void Drop(telemetry::Hub& hub, uint64_t len, std::string reason);
 
   dma::KernelMemory& kmem_;
   slab::SlabAllocator& slab_;

@@ -8,13 +8,39 @@
 namespace spv::slab {
 
 PageFragPool::PageFragPool(mem::PageDb& page_db, mem::PageAllocator& page_alloc,
-                           const mem::KernelLayout& layout, CpuId cpu, uint64_t region_bytes)
+                           const mem::KernelLayout& layout, CpuId cpu, uint64_t region_bytes,
+                           telemetry::Hub* hub)
     : page_db_(page_db),
       page_alloc_(page_alloc),
       layout_(layout),
       cpu_(cpu),
-      region_bytes_(AlignUp(region_bytes, kPageSize)) {
+      region_bytes_(AlignUp(region_bytes, kPageSize)),
+      hub_(hub) {
   assert(region_bytes_ >= kPageSize);
+}
+
+telemetry::Hub& PageFragPool::telemetry() {
+  if (hub_ == nullptr) {
+    owned_hub_ = std::make_unique<telemetry::Hub>();
+    hub_ = owned_hub_.get();
+  }
+  return *hub_;
+}
+
+void PageFragPool::AddObserver(SlabObserver* observer) {
+  observer_sinks_.push_back(std::make_unique<SlabObserverSink>(this, observer));
+  telemetry().AddSink(observer_sinks_.back().get());
+}
+
+void PageFragPool::RemoveObserver(SlabObserver* observer) {
+  for (auto it = observer_sinks_.begin(); it != observer_sinks_.end();) {
+    if ((*it)->observer() == observer) {
+      telemetry().RemoveSink(it->get());
+      it = observer_sinks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 Result<PageFragPool::Region*> PageFragPool::RefillRegion(uint64_t bytes) {
@@ -31,6 +57,9 @@ Result<PageFragPool::Region*> PageFragPool::RefillRegion(uint64_t bytes) {
   region.offset = region.bytes;  // offset starts at the region end (Fig 5)
   region.current = true;
   ++regions_allocated_;
+  if (hub_ != nullptr && hub_->enabled()) {
+    hub_->counter("frag.regions").Add();
+  }
   auto [it, inserted] = regions_.emplace(head->value, region);
   assert(inserted);
   return &it->second;
@@ -140,11 +169,23 @@ std::vector<FragInfo> PageFragPool::LiveFragsOnPage(Pfn pfn) const {
 }
 
 void PageFragPool::Notify(bool alloc, Kva kva, uint64_t size, std::string_view site) {
-  for (SlabObserver* obs : observers_) {
+  telemetry::Hub& hub = telemetry();
+  if (!hub.active()) {
+    return;
+  }
+  telemetry::Event event;
+  event.kind = alloc ? telemetry::EventKind::kFragAlloc : telemetry::EventKind::kFragFree;
+  event.severity = telemetry::Severity::kTrace;
+  event.device = cpu_.value;  // frag pools are per-CPU; reuse the id column
+  event.addr = kva.value;
+  event.len = size;
+  event.origin = this;
+  event.site = std::string(site);
+  hub.Publish(std::move(event));
+  if (hub.enabled()) {
+    hub.counter(alloc ? "frag.allocs" : "frag.frees").Add();
     if (alloc) {
-      obs->OnAlloc(kva, size, site);
-    } else {
-      obs->OnFree(kva, size);
+      hub.histogram("frag.alloc_bytes").Record(size);
     }
   }
 }

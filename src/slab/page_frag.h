@@ -13,6 +13,7 @@
 #define SPV_SLAB_PAGE_FRAG_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -24,6 +25,7 @@
 #include "mem/page_allocator.h"
 #include "mem/page_db.h"
 #include "slab/observer.h"
+#include "telemetry/telemetry.h"
 
 namespace spv::slab {
 
@@ -37,9 +39,11 @@ class PageFragPool {
  public:
   static constexpr uint64_t kDefaultRegionBytes = 32 * 1024;
 
+  // `hub` optional as in SlabAllocator: null means a lazily-owned private bus.
   PageFragPool(mem::PageDb& page_db, mem::PageAllocator& page_alloc,
                const mem::KernelLayout& layout, CpuId cpu,
-               uint64_t region_bytes = kDefaultRegionBytes);
+               uint64_t region_bytes = kDefaultRegionBytes,
+               telemetry::Hub* hub = nullptr);
 
   PageFragPool(const PageFragPool&) = delete;
   PageFragPool& operator=(const PageFragPool&) = delete;
@@ -64,7 +68,12 @@ class PageFragPool {
   uint64_t regions_allocated() const { return regions_allocated_; }
   uint64_t live_frags() const { return frags_.size(); }
 
-  void AddObserver(SlabObserver* observer) { observers_.push_back(observer); }
+  // Observers are bridged onto the telemetry bus (origin = this pool).
+  void AddObserver(SlabObserver* observer);
+  void RemoveObserver(SlabObserver* observer);
+
+  // The bus every frag event is published to.
+  telemetry::Hub& telemetry();
 
  private:
   struct Region {
@@ -95,7 +104,9 @@ class PageFragPool {
   uint64_t current_region_ = UINT64_MAX;                // head pfn of active region
   std::unordered_map<uint64_t, Region> regions_;        // head pfn -> region
   std::unordered_map<uint64_t, Frag> frags_;            // frag kva -> record
-  std::vector<SlabObserver*> observers_;
+  telemetry::Hub* hub_;
+  std::unique_ptr<telemetry::Hub> owned_hub_;  // fallback when none injected
+  std::vector<std::unique_ptr<SlabObserverSink>> observer_sinks_;
   uint64_t regions_allocated_ = 0;
 };
 

@@ -12,8 +12,9 @@ constexpr uint16_t kLargeCacheId = 0xffff;
 }  // namespace
 
 SlabAllocator::SlabAllocator(mem::PhysicalMemory& pm, mem::PageDb& page_db,
-                             mem::PageAllocator& page_alloc, const mem::KernelLayout& layout)
-    : pm_(pm), page_db_(page_db), page_alloc_(page_alloc), layout_(layout) {
+                             mem::PageAllocator& page_alloc, const mem::KernelLayout& layout,
+                             telemetry::Hub* hub)
+    : pm_(pm), page_db_(page_db), page_alloc_(page_alloc), layout_(layout), hub_(hub) {
   for (size_t i = 0; i < kKmallocSizeClasses.size(); ++i) {
     caches_[i].id = static_cast<uint16_t>(i);
     caches_[i].object_size = kKmallocSizeClasses[i];
@@ -76,6 +77,11 @@ Result<Kva> SlabAllocator::Kmalloc(uint64_t size, std::string_view site) {
   (void)zero;
 
   ++live_objects_;
+  if (hub_ != nullptr && hub_->enabled()) {
+    // Objects co-resident on this 4 KiB page after the allocation — the raw
+    // material of the paper's type (b)/(d) sub-page exposure.
+    hub_->histogram("slab.co_residency").Record(page.used);
+  }
   Notify(/*alloc=*/true, kva, cache.object_size, site);
   return kva;
 }
@@ -235,17 +241,47 @@ std::vector<ObjectInfo> SlabAllocator::ObjectsOnPage(Pfn pfn) const {
   return out;
 }
 
+telemetry::Hub& SlabAllocator::telemetry() {
+  if (hub_ == nullptr) {
+    owned_hub_ = std::make_unique<telemetry::Hub>();
+    hub_ = owned_hub_.get();
+  }
+  return *hub_;
+}
+
+void SlabAllocator::AddObserver(SlabObserver* observer) {
+  observer_sinks_.push_back(std::make_unique<SlabObserverSink>(this, observer));
+  telemetry().AddSink(observer_sinks_.back().get());
+}
+
 void SlabAllocator::RemoveObserver(SlabObserver* observer) {
-  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
-                   observers_.end());
+  for (auto it = observer_sinks_.begin(); it != observer_sinks_.end();) {
+    if ((*it)->observer() == observer) {
+      telemetry().RemoveSink(it->get());
+      it = observer_sinks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void SlabAllocator::Notify(bool alloc, Kva kva, uint64_t size, std::string_view site) {
-  for (SlabObserver* obs : observers_) {
+  telemetry::Hub& hub = telemetry();
+  if (!hub.active()) {
+    return;
+  }
+  telemetry::Event event;
+  event.kind = alloc ? telemetry::EventKind::kSlabAlloc : telemetry::EventKind::kSlabFree;
+  event.severity = telemetry::Severity::kTrace;
+  event.addr = kva.value;
+  event.len = size;
+  event.origin = this;
+  event.site = std::string(site);
+  hub.Publish(std::move(event));
+  if (hub.enabled()) {
+    hub.counter(alloc ? "slab.allocs" : "slab.frees").Add();
     if (alloc) {
-      obs->OnAlloc(kva, size, site);
-    } else {
-      obs->OnFree(kva, size);
+      hub.histogram("slab.alloc_bytes").Record(size);
     }
   }
 }

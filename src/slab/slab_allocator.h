@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -27,6 +28,7 @@
 #include "mem/page_db.h"
 #include "mem/phys_memory.h"
 #include "slab/observer.h"
+#include "telemetry/telemetry.h"
 
 namespace spv::slab {
 
@@ -43,8 +45,10 @@ struct ObjectInfo {
 
 class SlabAllocator {
  public:
+  // When `hub` is null a private (disabled) Hub is lazily owned so observer
+  // dispatch always rides one bus; core::Machine injects its shared Hub.
   SlabAllocator(mem::PhysicalMemory& pm, mem::PageDb& page_db, mem::PageAllocator& page_alloc,
-                const mem::KernelLayout& layout);
+                const mem::KernelLayout& layout, telemetry::Hub* hub = nullptr);
 
   SlabAllocator(const SlabAllocator&) = delete;
   SlabAllocator& operator=(const SlabAllocator&) = delete;
@@ -64,8 +68,13 @@ class SlabAllocator {
   // a DMA mapping actually exposes.
   std::vector<ObjectInfo> ObjectsOnPage(Pfn pfn) const;
 
-  void AddObserver(SlabObserver* observer) { observers_.push_back(observer); }
+  // Observers are bridged onto the telemetry bus (one SlabObserverSink each);
+  // the interface is unchanged for callers.
+  void AddObserver(SlabObserver* observer);
   void RemoveObserver(SlabObserver* observer);
+
+  // The bus every slab event is published to.
+  telemetry::Hub& telemetry();
 
   // The size class an allocation of `size` lands in, or nullopt if large.
   static std::optional<uint16_t> SizeClassIndex(uint64_t size);
@@ -111,7 +120,9 @@ class SlabAllocator {
   std::array<Cache, kKmallocSizeClasses.size()> caches_;
   std::unordered_map<uint64_t, SlabPage> slab_pages_;   // pfn -> slab page
   std::unordered_map<uint64_t, LargeAlloc> large_;      // head pfn -> large alloc
-  std::vector<SlabObserver*> observers_;
+  telemetry::Hub* hub_;
+  std::unique_ptr<telemetry::Hub> owned_hub_;  // fallback when none injected
+  std::vector<std::unique_ptr<SlabObserverSink>> observer_sinks_;
   uint64_t live_objects_ = 0;
 };
 

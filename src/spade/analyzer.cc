@@ -55,6 +55,35 @@ Result<std::vector<SiteFinding>> SpadeAnalyzer::Analyze() {
       AnalyzeFunction(file, func, findings);
     }
   }
+  if (hub_ != nullptr && hub_->active()) {
+    for (const SiteFinding& finding : findings) {
+      const bool vulnerable = finding.callbacks_exposed || finding.shared_info_mapped ||
+                              finding.type_c || finding.private_data ||
+                              finding.stack_mapped || finding.via_build_skb;
+      if (!vulnerable) {
+        continue;
+      }
+      telemetry::Event event;
+      event.kind = telemetry::EventKind::kSpadeFinding;
+      event.severity = telemetry::Severity::kWarn;
+      event.len = static_cast<uint64_t>(finding.line);
+      // Pack the classification flags so exports stay grep-able without the
+      // SiteFinding struct: bit 0 = callbacks, 1 = shared_info, 2 = type (c),
+      // 3 = private data, 4 = stack, 5 = build_skb.
+      event.aux = (finding.callbacks_exposed ? 1u : 0u) |
+                  (finding.shared_info_mapped ? 2u : 0u) | (finding.type_c ? 4u : 0u) |
+                  (finding.private_data ? 8u : 0u) | (finding.stack_mapped ? 16u : 0u) |
+                  (finding.via_build_skb ? 32u : 0u);
+      event.flag = finding.possible_false_positive;
+      event.origin = this;
+      event.site = finding.file + ":" + std::to_string(finding.line) + " " +
+                   finding.function + " -> " + finding.callee;
+      hub_->Publish(std::move(event));
+      if (hub_->enabled()) {
+        hub_->counter("spade.vulnerable_sites").Add();
+      }
+    }
+  }
   return findings;
 }
 
@@ -634,6 +663,30 @@ Summary SpadeAnalyzer::Summarize(const std::vector<SiteFinding>& findings) const
   summary.stack_mapped.files = f_stack.size();
   summary.type_c.files = f_typec.size();
   summary.build_skb_used.files = f_build.size();
+  if (hub_ != nullptr && hub_->enabled()) {
+    // Table-2 rows as counters, so benches read the aggregation straight off
+    // the bus export instead of the Summary struct.
+    hub_->counter("spade.total_calls").Set(summary.total_calls);
+    hub_->counter("spade.total_files").Set(summary.total_files);
+    hub_->counter("spade.vulnerable_calls").Set(summary.vulnerable_calls);
+    hub_->counter("spade.exposed_structs").Set(summary.exposed_structs.size());
+    hub_->counter("spade.callbacks_exposed.calls").Set(summary.callbacks_exposed.calls);
+    hub_->counter("spade.callbacks_exposed.files").Set(summary.callbacks_exposed.files);
+    hub_->counter("spade.shared_info_mapped.calls").Set(summary.shared_info_mapped.calls);
+    hub_->counter("spade.shared_info_mapped.files").Set(summary.shared_info_mapped.files);
+    hub_->counter("spade.callbacks_exposed_directly.calls")
+        .Set(summary.callbacks_exposed_directly.calls);
+    hub_->counter("spade.callbacks_exposed_directly.files")
+        .Set(summary.callbacks_exposed_directly.files);
+    hub_->counter("spade.private_data_mapped.calls").Set(summary.private_data_mapped.calls);
+    hub_->counter("spade.private_data_mapped.files").Set(summary.private_data_mapped.files);
+    hub_->counter("spade.stack_mapped.calls").Set(summary.stack_mapped.calls);
+    hub_->counter("spade.stack_mapped.files").Set(summary.stack_mapped.files);
+    hub_->counter("spade.type_c.calls").Set(summary.type_c.calls);
+    hub_->counter("spade.type_c.files").Set(summary.type_c.files);
+    hub_->counter("spade.build_skb_used.calls").Set(summary.build_skb_used.calls);
+    hub_->counter("spade.build_skb_used.files").Set(summary.build_skb_used.files);
+  }
   return summary;
 }
 

@@ -32,6 +32,7 @@
 #include "base/status.h"
 #include "spade/ast.h"
 #include "spade/layout_db.h"
+#include "telemetry/telemetry.h"
 
 namespace spv::spade {
 
@@ -104,6 +105,10 @@ struct ApiUse {
 
 class SpadeAnalyzer {
  public:
+  // Publishes one kSpadeFinding event per vulnerable map site during
+  // Analyze() and Table-2 counters during Summarize(). Pass nullptr to detach.
+  void set_telemetry(telemetry::Hub* hub) { hub_ = hub; }
+
   // Adds a parsed translation unit. Layouts from every file are pooled (the
   // kernel shares headers).
   void AddFile(SourceFile file);
@@ -169,6 +174,7 @@ class SpadeAnalyzer {
   LayoutDb layout_db_;
   std::vector<ApiUse> api_uses_;
   bool finalized_ = false;
+  telemetry::Hub* hub_ = nullptr;
 };
 
 }  // namespace spv::spade

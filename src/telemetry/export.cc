@@ -1,0 +1,143 @@
+// Deterministic exporters for the telemetry Hub.
+//
+// Determinism contract: registry maps iterate in sorted name order, events in
+// seq order, every number is an integer (no locale / float formatting), and
+// nothing derived from wall-clock time or pointers is emitted. Two identical
+// simulations therefore export byte-identical documents — the property the
+// bench harness and the regression tests rely on.
+
+#include <sstream>
+
+#include "telemetry/telemetry.h"
+
+namespace spv::telemetry {
+
+std::string CsvEscape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') {
+      out.push_back('"');
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xf]);
+          out.push_back(kHex[c & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendEventJson(std::ostringstream& out, const Event& event) {
+  out << "{\"seq\":" << event.seq << ",\"cycle\":" << event.cycle << ",\"kind\":\""
+      << EventKindName(event.kind) << "\",\"severity\":\"" << SeverityName(event.severity)
+      << "\",\"device\":" << event.device << ",\"addr\":" << event.addr
+      << ",\"addr2\":" << event.addr2 << ",\"len\":" << event.len << ",\"aux\":" << event.aux
+      << ",\"flag\":" << (event.flag ? 1 : 0) << ",\"site\":\"" << JsonEscape(event.site)
+      << "\"}";
+}
+
+}  // namespace
+
+std::string Hub::ExportJson(size_t max_trace_events) const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+        << "\": " << counter.value();
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+        << "\": {\"count\":" << histogram.count() << ",\"sum\":" << histogram.sum()
+        << ",\"min\":" << histogram.min() << ",\"max\":" << histogram.max() << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (const Histogram::Bucket& bucket : histogram.NonZeroBuckets()) {
+      out << (first_bucket ? "" : ",") << "[" << bucket.upper_bound << "," << bucket.count
+          << "]";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"trace\": {\"recorded\":" << ring_.recorded()
+      << ",\"dropped\":" << ring_.dropped() << ",\"filtered\":" << ring_.filtered()
+      << ",\"events\":[";
+  const std::vector<Event> events = ring_.Snapshot();
+  size_t emitted = 0;
+  for (const Event& event : events) {
+    if (emitted >= max_trace_events) {
+      break;
+    }
+    out << (emitted == 0 ? "\n    " : ",\n    ");
+    AppendEventJson(out, event);
+    ++emitted;
+  }
+  out << (emitted == 0 ? "]" : "\n  ]") << "}\n}\n";
+  return out.str();
+}
+
+std::string Hub::ExportCountersCsv() const {
+  std::ostringstream out;
+  out << "name,value\n";
+  for (const auto& [name, counter] : counters_) {
+    out << CsvEscape(name) << "," << counter.value() << "\n";
+  }
+  return out.str();
+}
+
+std::string Hub::ExportTraceCsv() const {
+  std::ostringstream out;
+  out << "seq,cycle,kind,severity,device,addr,addr2,len,aux,flag,site\n";
+  for (const Event& event : ring_.Snapshot()) {
+    out << event.seq << "," << event.cycle << "," << EventKindName(event.kind) << ","
+        << SeverityName(event.severity) << "," << event.device << "," << event.addr << ","
+        << event.addr2 << "," << event.len << "," << event.aux << "," << (event.flag ? 1 : 0)
+        << "," << CsvEscape(event.site) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace spv::telemetry

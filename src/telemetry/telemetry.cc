@@ -1,0 +1,214 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace spv::telemetry {
+
+namespace {
+
+struct KindName {
+  EventKind kind;
+  std::string_view name;
+};
+
+// Kept in declaration order; names are the stable export vocabulary.
+constexpr KindName kKindNames[] = {
+    {EventKind::kDmaMap, "dma_map"},
+    {EventKind::kDmaUnmap, "dma_unmap"},
+    {EventKind::kDmaSync, "dma_sync"},
+    {EventKind::kCpuAccess, "cpu_access"},
+    {EventKind::kIotlbInvalidate, "iotlb_invalidate"},
+    {EventKind::kIommuFlush, "iommu_flush"},
+    {EventKind::kIommuFault, "iommu_fault"},
+    {EventKind::kStaleIotlbHit, "stale_iotlb_hit"},
+    {EventKind::kSlabAlloc, "slab_alloc"},
+    {EventKind::kSlabFree, "slab_free"},
+    {EventKind::kFragAlloc, "frag_alloc"},
+    {EventKind::kFragFree, "frag_free"},
+    {EventKind::kNicRx, "nic_rx"},
+    {EventKind::kNicTx, "nic_tx"},
+    {EventKind::kNicTxReset, "nic_tx_reset"},
+    {EventKind::kXdpDrop, "xdp_drop"},
+    {EventKind::kXdpTx, "xdp_tx"},
+    {EventKind::kStackDeliver, "stack_deliver"},
+    {EventKind::kStackForward, "stack_forward"},
+    {EventKind::kStackDrop, "stack_drop"},
+    {EventKind::kStackSend, "stack_send"},
+    {EventKind::kStackEcho, "stack_echo"},
+    {EventKind::kAttackStage, "attack_stage"},
+    {EventKind::kDkasanReport, "dkasan_report"},
+    {EventKind::kSpadeFinding, "spade_finding"},
+};
+
+constexpr std::string_view kSeverityNames[] = {"trace", "info", "warn", "critical"};
+
+}  // namespace
+
+std::string_view SeverityName(Severity severity) {
+  const auto index = static_cast<size_t>(severity);
+  return index < std::size(kSeverityNames) ? kSeverityNames[index] : "?";
+}
+
+std::optional<Severity> SeverityFromName(std::string_view name) {
+  for (size_t i = 0; i < std::size(kSeverityNames); ++i) {
+    if (kSeverityNames[i] == name) {
+      return static_cast<Severity>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string_view EventKindName(EventKind kind) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.kind == kind) {
+      return entry.name;
+    }
+  }
+  return "?";
+}
+
+std::optional<EventKind> EventKindFromName(std::string_view name) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.name == name) {
+      return entry.kind;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- Histogram -----------------------------------------------------------------
+
+void Histogram::Record(uint64_t v) {
+  ++buckets_[static_cast<size_t>(std::bit_width(v))];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::PercentileUpperBound(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the percentile sample (1-based, ceiling — the "nearest rank"
+  // definition, deterministic for integer counts).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>((p / 100.0) * static_cast<double>(count_) + 0.9999999));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return i == 0 ? 0 : (i >= 64 ? UINT64_MAX : (uint64_t{1} << i) - 1);
+    }
+  }
+  return max_;
+}
+
+std::vector<Histogram::Bucket> Histogram::NonZeroBuckets() const {
+  std::vector<Bucket> out;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) {
+      const uint64_t upper = i == 0 ? 0 : (i >= 64 ? UINT64_MAX : (uint64_t{1} << i) - 1);
+      out.push_back(Bucket{upper, buckets_[i]});
+    }
+  }
+  return out;
+}
+
+// ---- TraceRing -----------------------------------------------------------------
+
+TraceRing::TraceRing(size_t capacity) : capacity_(std::max<size_t>(capacity, 1)) {
+  slots_.resize(capacity_);
+}
+
+bool TraceRing::Push(Event event) {
+  if (event.severity < min_severity_) {
+    ++filtered_;
+    return false;
+  }
+  event.seq = next_seq_;
+  slots_[next_seq_ % capacity_] = std::move(event);
+  ++next_seq_;
+  return true;
+}
+
+size_t TraceRing::size() const {
+  return next_seq_ < capacity_ ? static_cast<size_t>(next_seq_) : capacity_;
+}
+
+std::vector<Event> TraceRing::Snapshot() const {
+  std::vector<Event> out;
+  out.reserve(size());
+  const uint64_t first = next_seq_ > capacity_ ? next_seq_ - capacity_ : 0;
+  for (uint64_t seq = first; seq < next_seq_; ++seq) {
+    out.push_back(slots_[seq % capacity_]);
+  }
+  return out;
+}
+
+void TraceRing::Clear() {
+  for (Event& slot : slots_) {
+    slot = Event{};
+  }
+  next_seq_ = 0;
+  filtered_ = 0;
+}
+
+// ---- Hub -----------------------------------------------------------------------
+
+Hub::Hub() : Hub(Config{}) {}
+
+Hub::Hub(Config config) : enabled_(config.enabled), ring_(config.ring_capacity) {
+  ring_.set_min_severity(config.min_severity);
+}
+
+void Hub::Publish(Event event) {
+  if (clock_ != nullptr && event.cycle == 0) {
+    event.cycle = clock_->now();
+  }
+  if (enabled_) {
+    ring_.Push(event);  // Push copies seq into its slot; sinks see seq 0
+  }
+  for (EventSink* sink : sinks_) {
+    sink->OnEvent(event);
+  }
+}
+
+void Hub::AddSink(EventSink* sink) {
+  assert(sink != nullptr);
+  sinks_.push_back(sink);
+}
+
+void Hub::RemoveSink(EventSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+Counter& Hub::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Histogram& Hub::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+uint64_t Hub::counter_value(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+}  // namespace spv::telemetry

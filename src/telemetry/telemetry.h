@@ -1,0 +1,265 @@
+// spv::telemetry — the one instrumentation spine of the simulated host.
+//
+// Every layer (IOMMU, IOTLB, DMA API, slab, page_frag, NIC driver, network
+// stack, attacks, D-KASAN, SPADE) publishes events through a single Hub
+// instead of keeping private tallies. The Hub provides:
+//
+//   * typed Counters and log2-bucketed Histograms, registered by name in a
+//     deterministic (sorted) registry;
+//   * a fixed-capacity single-writer trace ring of timestamped Events with
+//     severity filtering and drop accounting — overwritten slots are counted,
+//     never silently lost;
+//   * deterministic JSON / CSV exporters (sorted names, fixed field order, no
+//     wall-clock time) that benches consume instead of ad-hoc tallies, and
+//     that tools/trace_cli replays as a timeline.
+//
+// The Hub is also the fan-out path for functional observers: the classic
+// DmaObserver / SlabObserver interfaces are bridged onto EventSinks (see
+// dma/observer.h, slab/observer.h), so D-KASAN and telemetry ride the same
+// dispatch. Sinks always receive events; *recording* (ring + counters) is
+// gated by `enabled` so a disabled Hub with no sinks costs one branch per
+// emit site (components guard with `active()` before building an Event).
+
+#ifndef SPV_TELEMETRY_TELEMETRY_H_
+#define SPV_TELEMETRY_TELEMETRY_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/clock.h"
+
+namespace spv::telemetry {
+
+// ---- Events --------------------------------------------------------------------
+
+enum class Severity : uint8_t {
+  kTrace = 0,     // high-frequency plumbing (CPU accesses, slab traffic)
+  kInfo = 1,      // normal operation milestones (maps, packets, flushes)
+  kWarn = 2,      // suspicious (IOMMU faults, TX resets, attack stages)
+  kCritical = 3,  // security findings (stale IOTLB hits, D-KASAN reports)
+};
+
+std::string_view SeverityName(Severity severity);
+std::optional<Severity> SeverityFromName(std::string_view name);
+
+enum class EventKind : uint8_t {
+  // DMA API layer.
+  kDmaMap,
+  kDmaUnmap,
+  kDmaSync,
+  kCpuAccess,
+  // IOMMU / IOTLB.
+  kIotlbInvalidate,
+  kIommuFlush,
+  kIommuFault,
+  kStaleIotlbHit,
+  // Allocators.
+  kSlabAlloc,
+  kSlabFree,
+  kFragAlloc,
+  kFragFree,
+  // NIC driver / network stack.
+  kNicRx,
+  kNicTx,
+  kNicTxReset,
+  kXdpDrop,
+  kXdpTx,
+  kStackDeliver,
+  kStackForward,
+  kStackDrop,
+  kStackSend,
+  kStackEcho,
+  // Analyses and attack harnesses.
+  kAttackStage,
+  kDkasanReport,
+  kSpadeFinding,
+};
+
+std::string_view EventKindName(EventKind kind);
+std::optional<EventKind> EventKindFromName(std::string_view name);
+
+// One timestamped record. Field meaning is kind-specific but consistent:
+// `addr` is the primary (kernel-virtual) address, `addr2` the secondary
+// address (usually the IOVA), `aux` carries rights / kinds / counts and
+// `flag` a kind-specific boolean (is_write, success, ...).
+struct Event {
+  uint64_t seq = 0;    // stamped by the trace ring; monotonic, never reset
+  uint64_t cycle = 0;  // SimClock time, stamped by the Hub when bound
+  EventKind kind = EventKind::kDmaMap;
+  Severity severity = Severity::kInfo;
+  uint32_t device = 0;
+  uint64_t addr = 0;
+  uint64_t addr2 = 0;
+  uint64_t len = 0;
+  uint64_t aux = 0;
+  bool flag = false;
+  // The emitting component, for observer bridging (never exported). Lets one
+  // Hub serve several DmaApis / pools without cross-talk between bridges.
+  const void* origin = nullptr;
+  std::string site;  // call site or free-form detail
+};
+
+// A consumer on the bus. Sinks see every published Event regardless of the
+// Hub's enabled flag — functional consumers (D-KASAN) must not go blind when
+// recording is off.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void OnEvent(const Event& event) = 0;
+};
+
+// ---- Metrics -------------------------------------------------------------------
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  void Set(uint64_t v) { value_ = v; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// log2-bucketed histogram: bucket i counts samples whose bit width is i
+// (bucket 0 holds v == 0). Upper bound of bucket i>0 is 2^i - 1.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;
+
+  void Record(uint64_t v);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  // Upper bound of the bucket containing the p-th percentile (p in [0,100]).
+  uint64_t PercentileUpperBound(double p) const;
+
+  struct Bucket {
+    uint64_t upper_bound;
+    uint64_t count;
+  };
+  std::vector<Bucket> NonZeroBuckets() const;
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+// ---- Trace ring ----------------------------------------------------------------
+
+// Fixed-capacity single-writer ring. No allocation or rebalancing on the push
+// path (slot index is seq % capacity); the oldest record is overwritten when
+// full and accounted as dropped. A severity floor filters before recording.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity);
+
+  void set_min_severity(Severity severity) { min_severity_ = severity; }
+  Severity min_severity() const { return min_severity_; }
+
+  // Returns true if the event was recorded (not severity-filtered).
+  bool Push(Event event);
+
+  // Live records, oldest first.
+  std::vector<Event> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  uint64_t recorded() const { return next_seq_; }
+  uint64_t dropped() const { return next_seq_ > capacity_ ? next_seq_ - capacity_ : 0; }
+  uint64_t filtered() const { return filtered_; }
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::vector<Event> slots_;
+  uint64_t next_seq_ = 0;  // count of accepted events; next slot = seq % capacity
+  uint64_t filtered_ = 0;
+  Severity min_severity_ = Severity::kTrace;
+};
+
+// ---- Hub -----------------------------------------------------------------------
+
+class Hub {
+ public:
+  struct Config {
+    bool enabled = false;  // recording off by default: zero-cost instrumentation
+    size_t ring_capacity = 4096;
+    Severity min_severity = Severity::kTrace;
+  };
+
+  Hub();  // all-default Config
+  explicit Hub(Config config);
+
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  // Events are stamped with clock->now() once a clock is bound.
+  void BindClock(const SimClock* clock) { clock_ = clock; }
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // True if Publish would do any work — emit sites guard Event construction
+  // with this so a disabled Hub with no sinks costs one branch.
+  bool active() const { return enabled_ || !sinks_.empty(); }
+
+  // Records (when enabled), then fans out to every sink (always).
+  void Publish(Event event);
+
+  void AddSink(EventSink* sink);
+  void RemoveSink(EventSink* sink);
+  size_t sink_count() const { return sinks_.size(); }
+
+  // Named metrics. References are stable for the Hub's lifetime.
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+  // Value of a counter, or 0 when it was never touched (read-only lookup).
+  uint64_t counter_value(std::string_view name) const;
+
+  const std::map<std::string, Counter, std::less<>>& counters() const { return counters_; }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+  TraceRing& ring() { return ring_; }
+  const TraceRing& ring() const { return ring_; }
+
+  // ---- Deterministic exporters -------------------------------------------------
+  // Sorted names, fixed field order, simulated time only: identical runs
+  // produce byte-identical output.
+
+  // Counters + histograms + trace (events included up to `max_trace_events`).
+  std::string ExportJson(size_t max_trace_events = SIZE_MAX) const;
+  // "name,value" per counter.
+  std::string ExportCountersCsv() const;
+  // One CSV row per ring event; consumed by tools/trace_cli.
+  std::string ExportTraceCsv() const;
+
+ private:
+  bool enabled_;
+  const SimClock* clock_ = nullptr;
+  TraceRing ring_;
+  std::vector<EventSink*> sinks_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+// CSV-escapes `field` (quotes it when it contains a comma, quote or newline).
+std::string CsvEscape(std::string_view field);
+// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace spv::telemetry
+
+#endif  // SPV_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,318 @@
+// Tests for spv::telemetry: counter/histogram math, trace-ring wraparound and
+// drop accounting, severity filtering, sink dispatch semantics, exporter
+// escaping and determinism, observer-bridge origin filtering, and one
+// end-to-end attack run traced on the machine bus.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "attack/attacks.h"
+#include "attack/mini_cpu.h"
+#include "core/machine.h"
+#include "device/malicious_nic.h"
+#include "slab/observer.h"
+#include "telemetry/telemetry.h"
+
+namespace spv::telemetry {
+namespace {
+
+// ---- Counters and histograms ----------------------------------------------------
+
+TEST(CounterTest, AddAndSet) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Set(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(HistogramTest, Log2BucketPlacement) {
+  Histogram h;
+  h.Record(0);     // bucket 0
+  h.Record(1);     // bucket 1 (upper bound 1)
+  h.Record(2);     // bucket 2 (upper bound 3)
+  h.Record(3);     // bucket 2
+  h.Record(4096);  // bucket 13 (upper bound 8191)
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 4102u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 4096u);
+  const auto buckets = h.NonZeroBuckets();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0].upper_bound, 0u);
+  EXPECT_EQ(buckets[0].count, 1u);
+  EXPECT_EQ(buckets[1].upper_bound, 1u);
+  EXPECT_EQ(buckets[2].upper_bound, 3u);
+  EXPECT_EQ(buckets[2].count, 2u);
+  EXPECT_EQ(buckets[3].upper_bound, 8191u);
+}
+
+TEST(HistogramTest, MeanAndPercentiles) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) {
+    h.Record(1);
+  }
+  h.Record(1u << 20);
+  EXPECT_DOUBLE_EQ(h.Mean(), (99.0 + (1u << 20)) / 100.0);
+  // p50 and p99 land in the bucket of the 1s; p100 in the outlier's bucket.
+  EXPECT_EQ(h.PercentileUpperBound(50), 1u);
+  EXPECT_EQ(h.PercentileUpperBound(99), 1u);
+  EXPECT_EQ(h.PercentileUpperBound(100), (1u << 21) - 1);
+  Histogram empty;
+  EXPECT_EQ(empty.PercentileUpperBound(50), 0u);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 0.0);
+}
+
+// ---- Trace ring -----------------------------------------------------------------
+
+Event MakeEvent(EventKind kind, Severity severity) {
+  Event event;
+  event.kind = kind;
+  event.severity = severity;
+  return event;
+}
+
+TEST(TraceRingTest, WraparoundKeepsNewestAndCountsDrops) {
+  TraceRing ring{4};
+  for (int i = 0; i < 10; ++i) {
+    Event event = MakeEvent(EventKind::kDmaMap, Severity::kInfo);
+    event.len = static_cast<uint64_t>(i);
+    EXPECT_TRUE(ring.Push(event));
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  EXPECT_EQ(ring.size(), 4u);
+  const auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i);  // oldest surviving seq is 6
+    EXPECT_EQ(events[i].len, 6 + i);
+  }
+}
+
+TEST(TraceRingTest, SeverityFloorFiltersBeforeRecording) {
+  TraceRing ring{8};
+  ring.set_min_severity(Severity::kWarn);
+  EXPECT_FALSE(ring.Push(MakeEvent(EventKind::kCpuAccess, Severity::kTrace)));
+  EXPECT_FALSE(ring.Push(MakeEvent(EventKind::kDmaMap, Severity::kInfo)));
+  EXPECT_TRUE(ring.Push(MakeEvent(EventKind::kIommuFault, Severity::kWarn)));
+  EXPECT_TRUE(ring.Push(MakeEvent(EventKind::kStaleIotlbHit, Severity::kCritical)));
+  EXPECT_EQ(ring.recorded(), 2u);
+  EXPECT_EQ(ring.filtered(), 2u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRingTest, ClearResetsSequenceAndFilterCount) {
+  TraceRing ring{2};
+  ring.Push(MakeEvent(EventKind::kDmaMap, Severity::kInfo));
+  ring.Push(MakeEvent(EventKind::kDmaMap, Severity::kInfo));
+  ring.Push(MakeEvent(EventKind::kDmaMap, Severity::kInfo));
+  ring.Clear();
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+// ---- Hub dispatch ---------------------------------------------------------------
+
+struct RecordingSink : EventSink {
+  std::vector<Event> seen;
+  void OnEvent(const Event& event) override { seen.push_back(event); }
+};
+
+TEST(HubTest, SinksReceiveEventsEvenWhenRecordingDisabled) {
+  Hub hub;  // recording off by default
+  RecordingSink sink;
+  hub.AddSink(&sink);
+  EXPECT_TRUE(hub.active());  // a sink keeps the bus live
+  hub.Publish(MakeEvent(EventKind::kDmaUnmap, Severity::kInfo));
+  EXPECT_EQ(sink.seen.size(), 1u);
+  EXPECT_EQ(hub.ring().recorded(), 0u);  // nothing recorded while disabled
+  hub.RemoveSink(&sink);
+  EXPECT_FALSE(hub.active());
+}
+
+TEST(HubTest, ClockStampsCycles) {
+  SimClock clock;
+  clock.AdvanceUs(3);
+  Hub::Config config;
+  config.enabled = true;
+  Hub hub{config};
+  hub.BindClock(&clock);
+  hub.Publish(MakeEvent(EventKind::kNicRx, Severity::kInfo));
+  const auto events = hub.ring().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].cycle, clock.now());
+}
+
+TEST(HubTest, CounterValueIsZeroForUnknownNames) {
+  Hub hub;
+  EXPECT_EQ(hub.counter_value("never.touched"), 0u);
+  hub.counter("touched").Add(3);
+  EXPECT_EQ(hub.counter_value("touched"), 3u);
+}
+
+// ---- Exporters ------------------------------------------------------------------
+
+TEST(ExportTest, CsvEscaping) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(ExportTest, JsonEscaping) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(ExportTest, TraceCsvRoundTripsNames) {
+  Hub::Config config;
+  config.enabled = true;
+  Hub hub{config};
+  Event event = MakeEvent(EventKind::kStaleIotlbHit, Severity::kCritical);
+  event.site = "unmap, then access";
+  hub.Publish(event);
+  const std::string csv = hub.ExportTraceCsv();
+  EXPECT_NE(csv.find("stale_iotlb_hit"), std::string::npos);
+  EXPECT_NE(csv.find("critical"), std::string::npos);
+  EXPECT_NE(csv.find("\"unmap, then access\""), std::string::npos);
+}
+
+// Runs the same short workload the trace CLI demo uses. Everything in the
+// simulation is seeded, so two runs must export byte-identical documents.
+std::string RunSeededWorkload(uint64_t seed) {
+  core::MachineConfig config;
+  config.seed = seed;
+  config.phys_pages = 4096;
+  config.telemetry.enabled = true;
+  core::Machine machine{config};
+  const DeviceId dev{1};
+  machine.iommu().AttachDevice(dev);
+  Kva buf = *machine.slab().Kmalloc(2048, "export_test");
+  std::vector<uint8_t> payload(64, 0x5a);
+  for (int i = 0; i < 3; ++i) {
+    auto iova = machine.dma().MapSingle(dev, buf, 2048, dma::DmaDirection::kFromDevice,
+                                        "export_map");
+    (void)machine.iommu().DeviceWrite(dev, *iova, payload);
+    (void)machine.dma().UnmapSingle(dev, *iova, 2048, dma::DmaDirection::kFromDevice);
+    // Deferred mode: this lands in the stale-IOTLB window after the unmap.
+    (void)machine.iommu().DeviceWrite(dev, *iova, payload);
+  }
+  machine.clock().AdvanceUs(10001);
+  machine.iommu().ProcessDeferredTimer();
+  (void)machine.slab().Kfree(buf);
+  return machine.telemetry().ExportJson();
+}
+
+TEST(ExportTest, JsonExportIsDeterministicUnderFixedSeed) {
+  const std::string first = RunSeededWorkload(99);
+  const std::string second = RunSeededWorkload(99);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"iommu.maps\""), std::string::npos);
+  EXPECT_NE(first.find("\"dma.map_bytes\""), std::string::npos);
+  EXPECT_NE(first.find("stale_iotlb_hit"), std::string::npos);
+}
+
+// ---- Observer bridge origin filtering -------------------------------------------
+
+struct AllocLog : slab::SlabObserver {
+  std::vector<std::string> allocs;
+  void OnAlloc(Kva, uint64_t, std::string_view site) override {
+    allocs.emplace_back(site);
+  }
+  void OnFree(Kva, uint64_t) override {}
+};
+
+TEST(ObserverBridgeTest, SlabObserverIgnoresFragTrafficOnSharedHub) {
+  core::MachineConfig config;
+  config.telemetry.enabled = true;
+  core::Machine machine{config};
+  AllocLog slab_log;
+  AllocLog frag_log;
+  machine.slab().AddObserver(&slab_log);
+  machine.frag_pool(CpuId{0}).AddObserver(&frag_log);
+
+  Kva kva = *machine.slab().Kmalloc(128, "from_slab");
+  Kva frag = *machine.frag_pool(CpuId{0}).Alloc(512, 1, "from_frag");
+
+  // Both allocators publish on the one machine Hub, but each bridge only
+  // decodes events from its own origin.
+  ASSERT_EQ(slab_log.allocs.size(), 1u);
+  EXPECT_EQ(slab_log.allocs[0], "from_slab");
+  ASSERT_EQ(frag_log.allocs.size(), 1u);
+  EXPECT_EQ(frag_log.allocs[0], "from_frag");
+
+  machine.slab().RemoveObserver(&slab_log);
+  (void)machine.slab().Kfree(kva);
+  (void)machine.frag_pool(CpuId{0}).Free(frag);
+  EXPECT_EQ(slab_log.allocs.size(), 1u);  // removed: no further deliveries
+}
+
+// ---- End-to-end: attack run on the machine bus ----------------------------------
+
+// Same rig as tests/attack_test.cc, with telemetry recording turned on and the
+// ring floored at kWarn so the attack narrative is what gets recorded.
+TEST(TelemetryIntegrationTest, PoisonedTxStagesAppearInOrderOnTheBus) {
+  core::MachineConfig config;
+  config.seed = 41;
+  config.iommu.mode = iommu::InvalidationMode::kDeferred;
+  config.net.forwarding_enabled = false;
+  config.telemetry.enabled = true;
+  config.telemetry.min_severity = Severity::kWarn;
+
+  net::NicDriver::Config driver_config;
+  driver_config.name = "victim_nic";
+  driver_config.rx_ring_size = 32;
+  driver_config.rx_buf_len = 1728;  // i40e-style half-page buffers
+
+  core::Machine machine{config};
+  net::NicDriver& nic = machine.AddNicDriver(driver_config);
+  device::MaliciousNic device{device::DevicePort{machine.iommu(), nic.device_id()}};
+  device.set_warm_iotlb_on_post(true);
+  nic.AttachDevice(&device);
+  machine.stack().set_egress(&nic);
+  attack::MiniCpu cpu{machine.kmem(), machine.layout()};
+  machine.stack().set_callback_invoker(&cpu);
+
+  ASSERT_TRUE(machine.stack().CreateSocket(7, /*echo=*/true).ok());
+  ASSERT_TRUE(nic.FillRxRing().ok());
+
+  auto report = attack::PoisonedTxAttack::Run(
+      attack::AttackEnv{machine, nic, device, cpu}, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->success);
+
+  // Every narrative step was published as a kWarn attack_stage event, in
+  // order, prefixed with the attack name.
+  std::vector<std::string> staged;
+  for (const Event& event : machine.telemetry().ring().Snapshot()) {
+    if (event.kind == EventKind::kAttackStage) {
+      EXPECT_EQ(event.severity, Severity::kWarn);
+      staged.push_back(event.site);
+    }
+  }
+  ASSERT_EQ(staged.size(), report->steps.size());
+  for (size_t i = 0; i < staged.size(); ++i) {
+    EXPECT_EQ(staged[i], "poisoned_tx: " + report->steps[i]);
+  }
+  EXPECT_EQ(machine.telemetry().counter_value("attack.stages"), staged.size());
+
+  // The kTrace/kInfo plumbing was filtered by the severity floor, not dropped.
+  EXPECT_EQ(machine.telemetry().ring().dropped(), 0u);
+  EXPECT_GT(machine.telemetry().ring().filtered(), 0u);
+
+  // The run necessarily exercised the stale-IOTLB window; Critical events
+  // passed the floor too.
+  EXPECT_GT(machine.telemetry().counter_value("iommu.stale_iotlb_accesses"), 0u);
+}
+
+}  // namespace
+}  // namespace spv::telemetry
