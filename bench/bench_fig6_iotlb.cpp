@@ -54,6 +54,13 @@ void RunMapUnmap(benchmark::State& state, iommu::InvalidationMode mode) {
       static_cast<double>(hub.counter_value("iommu.targeted_invalidations"));
   state.counters["iotlb_hits"] = static_cast<double>(hub.counter_value("iotlb.hits"));
   state.counters["iotlb_misses"] = static_cast<double>(hub.counter_value("iotlb.misses"));
+  // Why the deferred queue drained: full queue vs 10 ms deadline. Strict mode
+  // reports zeros (it never queues); deferred at this op rate drains almost
+  // exclusively on capacity.
+  state.counters["drain_capacity"] =
+      static_cast<double>(hub.counter_value("iommu.flush_drain.capacity"));
+  state.counters["drain_deadline"] =
+      static_cast<double>(hub.counter_value("iommu.flush_drain.deadline"));
 }
 
 void BM_MapUnmap_Strict(benchmark::State& state) {

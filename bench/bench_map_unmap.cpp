@@ -1,0 +1,311 @@
+// Map/unmap fast-path throughput: the PR-2 rebuild measured end to end.
+//
+// One binary runs every cell of {workload} x {strict,deferred} x {1,2,4 CPUs}
+// x {fast path on,off} and emits BENCH_map_unmap.json. "Fast path off" means
+// FastPathConfig with rcache, hash index and walk cache all disabled — the
+// pre-rebuild behaviour (linear free-range scan, std::map mapping tracker,
+// full radix walks) — so the speedup column is apples-to-apples within one
+// build.
+//
+// Workloads:
+//   steady_single  map+unmap one page, tiny live set. The rcache steady
+//                  state: after warm-up every alloc is a magazine pop.
+//   churn_frag     map+unmap a two-page buffer against a fragmented IOVA
+//                  space: thousands of live single-page mappings interleaved
+//                  with single-page holes (setup is untimed). The holes can
+//                  never coalesce, so the legacy path's first-fit scan walks
+//                  past every too-small hole on every alloc — O(live set) per
+//                  op, the pathology that motivated Linux's rcache. Magazines
+//                  serve the two-page class without touching the range tree.
+//   sg4            dma_map_sg/dma_unmap_sg with 4 entries per call.
+//
+// Wall-clock timing, telemetry disabled (the hub allocates per event);
+// rcache hit rates come from IovaAllocator::Stats instead.
+//
+// Usage: bench_map_unmap [--quick] [--out FILE]
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+
+using namespace spv;
+
+namespace {
+
+struct CaseConfig {
+  std::string workload;
+  iommu::InvalidationMode mode = iommu::InvalidationMode::kDeferred;
+  uint32_t cpus = 1;
+  bool fast = true;
+  uint64_t ops = 0;
+};
+
+struct CaseResult {
+  CaseConfig config;
+  double maps_per_sec = 0;
+  double rcache_hit_rate = 0;
+  uint64_t depot_refills = 0;
+  uint64_t walk_cache_hits = 0;
+  uint64_t capacity_drains = 0;
+  uint64_t deadline_drains = 0;
+};
+
+core::Machine MakeMachine(const CaseConfig& config) {
+  core::MachineConfig mc;
+  mc.seed = 2;
+  mc.phys_pages = 32768;
+  mc.iommu.mode = config.mode;
+  mc.iommu.fast_path.num_cpus = config.cpus;
+  if (!config.fast) {
+    mc.iommu.fast_path.rcache_enabled = false;
+    mc.iommu.fast_path.hash_index_enabled = false;
+    mc.iommu.fast_path.walk_cache_enabled = false;
+  }
+  return core::Machine{mc};
+}
+
+// Per-case workload state built before the timer starts.
+struct WorkloadState {
+  Kva buf;                        // the buffer the timed loop maps
+  uint64_t buf_len = 2048;
+  std::vector<Iova> pinned;       // live mappings that outlast the timed loop
+  std::vector<dma::SgEntry> sg;   // sg4 only
+};
+
+// Untimed: build the IOVA-space shape the timed loop runs against.
+WorkloadState Prepare(core::Machine& machine, DeviceId dev, const CaseConfig& config) {
+  WorkloadState state;
+  state.buf = *machine.slab().Kmalloc(2048, "bench_buf");
+
+  if (config.workload == "churn_frag") {
+    // Interleave live single-page mappings with single-page holes. The live
+    // mappings pin the holes apart so coalescing can never merge them; the
+    // timed loop then churns a two-page buffer that fits in none of them.
+    constexpr size_t kFragPairs = 2048;
+    std::vector<Iova> all;
+    all.reserve(kFragPairs * 2);
+    for (size_t i = 0; i < kFragPairs * 2; ++i) {
+      machine.set_current_cpu(CpuId{static_cast<uint32_t>(i % config.cpus)});
+      auto iova = machine.dma().MapSingle(dev, state.buf, 2048,
+                                          dma::DmaDirection::kFromDevice, "bench_pin");
+      if (!iova.ok()) std::abort();
+      all.push_back(*iova);
+    }
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (i % 2 == 0) {
+        state.pinned.push_back(all[i]);
+        continue;
+      }
+      machine.set_current_cpu(CpuId{static_cast<uint32_t>(i % config.cpus)});
+      if (!machine.dma()
+               .UnmapSingle(dev, all[i], 2048, dma::DmaDirection::kFromDevice)
+               .ok()) {
+        std::abort();
+      }
+    }
+    machine.iommu().FlushNow();  // drain parked holes into tree / magazines
+    state.buf = *machine.slab().Kmalloc(8192, "bench_churn");  // spans 2 pages
+    state.buf_len = 8192;
+  } else if (config.workload == "sg4") {
+    for (int i = 0; i < 4; ++i) {
+      state.sg.push_back({*machine.slab().Kmalloc(1024, "bench_sg"), 1024});
+    }
+  }
+  return state;
+}
+
+// Timed: returns the number of MapSingle-equivalent operations performed.
+uint64_t RunWorkload(core::Machine& machine, DeviceId dev, const CaseConfig& config,
+                     WorkloadState& state) {
+  uint64_t maps = 0;
+  if (config.workload == "sg4") {
+    for (uint64_t op = 0; op < config.ops; ++op) {
+      machine.set_current_cpu(CpuId{static_cast<uint32_t>(op % config.cpus)});
+      auto iovas =
+          machine.dma().MapSg(dev, state.sg, dma::DmaDirection::kToDevice, "bench_sg");
+      if (!iovas.ok()) std::abort();
+      if (!machine.dma()
+               .UnmapSg(dev, *iovas, state.sg, dma::DmaDirection::kToDevice)
+               .ok()) {
+        std::abort();
+      }
+      maps += state.sg.size();
+    }
+    return maps;
+  }
+  // steady_single and churn_frag share the map+unmap loop; they differ only
+  // in the buffer size and the IOVA-space shape Prepare left behind.
+  for (uint64_t op = 0; op < config.ops; ++op) {
+    machine.set_current_cpu(CpuId{static_cast<uint32_t>(op % config.cpus)});
+    auto iova = machine.dma().MapSingle(dev, state.buf, state.buf_len,
+                                        dma::DmaDirection::kFromDevice, "bench_loop");
+    if (!iova.ok()) std::abort();
+    if (!machine.dma()
+             .UnmapSingle(dev, *iova, state.buf_len, dma::DmaDirection::kFromDevice)
+             .ok()) {
+      std::abort();
+    }
+    ++maps;
+    // Let the deferred deadline timer fire occasionally, like a real host.
+    if ((op & 0xfff) == 0) {
+      machine.clock().AdvanceUs(100);
+      machine.iommu().ProcessDeferredTimer();
+    }
+  }
+  return maps;
+}
+
+CaseResult RunCase(const CaseConfig& config) {
+  core::Machine machine = MakeMachine(config);
+  const DeviceId dev{1};
+  machine.iommu().AttachDevice(dev);
+  WorkloadState state = Prepare(machine, dev, config);
+
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t maps = RunWorkload(machine, dev, config, state);
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(end - start).count();
+
+  for (Iova iova : state.pinned) {
+    (void)machine.dma().UnmapSingle(dev, iova, 2048, dma::DmaDirection::kFromDevice);
+  }
+
+  CaseResult result;
+  result.config = config;
+  result.maps_per_sec = seconds > 0 ? static_cast<double>(maps) / seconds : 0;
+  const iommu::IovaAllocator* alloc = machine.iommu().iova_allocator(dev);
+  if (alloc != nullptr) {
+    const auto& stats = alloc->stats();
+    const uint64_t lookups = stats.rcache_hits + stats.rcache_misses;
+    result.rcache_hit_rate =
+        lookups > 0 ? static_cast<double>(stats.rcache_hits) / static_cast<double>(lookups)
+                    : 0;
+    result.depot_refills = stats.depot_refills;
+  }
+  const iommu::IoPageTable* table = machine.iommu().page_table(dev);
+  if (table != nullptr) {
+    result.walk_cache_hits = table->walk_cache_stats().hits;
+  }
+  result.capacity_drains = machine.iommu().stats().flush_capacity_drains;
+  result.deadline_drains = machine.iommu().stats().flush_deadline_drains;
+  return result;
+}
+
+std::string Json(const CaseResult& r) {
+  std::ostringstream out;
+  out << "    {\"workload\": \"" << r.config.workload << "\", \"mode\": \""
+      << iommu::InvalidationModeName(r.config.mode) << "\", \"cpus\": " << r.config.cpus
+      << ", \"fast_path\": " << (r.config.fast ? "true" : "false")
+      << ", \"ops\": " << r.config.ops << ", \"maps_per_sec\": " << r.maps_per_sec
+      << ", \"rcache_hit_rate\": " << r.rcache_hit_rate
+      << ", \"depot_refills\": " << r.depot_refills
+      << ", \"walk_cache_hits\": " << r.walk_cache_hits
+      << ", \"drain_capacity\": " << r.capacity_drains
+      << ", \"drain_deadline\": " << r.deadline_drains << "}";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_map_unmap.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_map_unmap [--quick] [--out FILE]\n";
+      return 2;
+    }
+  }
+  // The slow-path churn workload is quadratic-ish; keep its op count lower so
+  // the full matrix finishes in seconds either way.
+  const uint64_t steady_ops = quick ? 20000 : 400000;
+  const uint64_t churn_ops = quick ? 2000 : 20000;
+  const uint64_t sg_ops = quick ? 5000 : 100000;
+
+  std::vector<CaseResult> results;
+  for (const std::string workload : {"steady_single", "churn_frag", "sg4"}) {
+    const uint64_t ops = workload == "steady_single" ? steady_ops
+                         : workload == "churn_frag" ? churn_ops
+                                                    : sg_ops;
+    for (const auto mode :
+         {iommu::InvalidationMode::kStrict, iommu::InvalidationMode::kDeferred}) {
+      for (const uint32_t cpus : {1u, 2u, 4u}) {
+        for (const bool fast : {true, false}) {
+          CaseConfig config;
+          config.workload = workload;
+          config.mode = mode;
+          config.cpus = cpus;
+          config.fast = fast;
+          config.ops = ops;
+          results.push_back(RunCase(config));
+          const CaseResult& r = results.back();
+          std::cout << workload << " " << iommu::InvalidationModeName(mode) << " cpus="
+                    << cpus << (fast ? " fast" : " slow") << ": "
+                    << static_cast<uint64_t>(r.maps_per_sec) << " maps/s"
+                    << " (rcache " << static_cast<int>(r.rcache_hit_rate * 100) << "%)\n";
+        }
+      }
+    }
+  }
+
+  // Per-cell speedups: fast vs slow with everything else equal.
+  std::ostringstream speedups;
+  double headline = 0;
+  std::string headline_cell;
+  bool first = true;
+  for (size_t i = 0; i + 1 < results.size(); i += 2) {
+    const CaseResult& fast = results[i];
+    const CaseResult& slow = results[i + 1];
+    const double speedup =
+        slow.maps_per_sec > 0 ? fast.maps_per_sec / slow.maps_per_sec : 0;
+    std::ostringstream cell;
+    cell << fast.config.workload << "/"
+         << iommu::InvalidationModeName(fast.config.mode) << "/cpus"
+         << fast.config.cpus;
+    if (!first) speedups << ",\n";
+    first = false;
+    speedups << "    {\"cell\": \"" << cell.str() << "\", \"speedup\": " << speedup << "}";
+    if (speedup > headline) {
+      headline = speedup;
+      headline_cell = cell.str();
+    }
+    std::cout << "  speedup " << cell.str() << ": " << speedup << "x\n";
+  }
+
+  // Acceptance: steady-state single-page hit rate on the default config.
+  double steady_hit_rate = 0;
+  for (const CaseResult& r : results) {
+    if (r.config.workload == "steady_single" && r.config.fast &&
+        r.config.mode == iommu::InvalidationMode::kDeferred && r.config.cpus == 1) {
+      steady_hit_rate = r.rcache_hit_rate;
+    }
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n  \"benchmark\": \"map_unmap_fast_path\",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"headline_speedup\": " << headline << ",\n"
+      << "  \"headline_cell\": \"" << headline_cell << "\",\n"
+      << "  \"steady_state_rcache_hit_rate\": " << steady_hit_rate << ",\n"
+      << "  \"speedups\": [\n"
+      << speedups.str() << "\n  ],\n  \"cases\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    out << Json(results[i]) << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::cout << "headline speedup: " << headline << "x (" << headline_cell << ")\n"
+            << "steady-state rcache hit rate: " << steady_hit_rate * 100 << "%\n"
+            << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -59,6 +59,13 @@ class Machine {
   // the per-CPU page_frag pool backing its RX ring (§5.2.2).
   net::NicDriver& AddNicDriver(const net::NicDriver::Config& config);
 
+  // Switches the CPU the simulated kernel executes on (bounded by
+  // config.iommu.fast_path.num_cpus). DMA map/unmap traffic issued after
+  // this lands in that CPU's IOVA magazine caches; NIC drivers pin
+  // themselves to their configured CPU on each ring operation.
+  void set_current_cpu(CpuId cpu) { dma_->set_current_cpu(cpu); }
+  CpuId current_cpu() const { return iommu_->current_cpu(); }
+
   // ---- Component access ------------------------------------------------------
 
   SimClock& clock() { return clock_; }

@@ -29,7 +29,34 @@ std::string DmaDirectionName(DmaDirection dir) {
 }
 
 DmaApi::DmaApi(iommu::Iommu& iommu, const mem::KernelLayout& layout, telemetry::Hub* hub)
-    : iommu_(iommu), layout_(layout), hub_(hub) {}
+    : iommu_(iommu),
+      layout_(layout),
+      use_hash_index_(iommu.fast_path().hash_index_enabled),
+      hub_(hub) {}
+
+void DmaApi::TrackMapping(const IovaKey& key, const DmaMapping& mapping) {
+  if (use_hash_index_) {
+    index_.InsertOrAssign(key.device, key.iova_page, mapping);
+  } else {
+    by_iova_[key] = mapping;
+  }
+}
+
+const DmaMapping* DmaApi::LookupMapping(const IovaKey& key) const {
+  if (use_hash_index_) {
+    return index_.Find(key.device, key.iova_page);
+  }
+  auto it = by_iova_.find(key);
+  return it == by_iova_.end() ? nullptr : &it->second;
+}
+
+void DmaApi::ForgetMapping(const IovaKey& key) {
+  if (use_hash_index_) {
+    index_.Erase(key.device, key.iova_page);
+  } else {
+    by_iova_.erase(key);
+  }
+}
 
 telemetry::Hub& DmaApi::telemetry() {
   if (hub_ == nullptr) {
@@ -61,22 +88,22 @@ Result<Iova> DmaApi::MapSingle(DeviceId device, Kva kva, uint64_t len, DmaDirect
   }
   const Iova iova = *base + kva.page_offset();
   DmaMapping mapping{device, iova, kva, len, dir, std::string(site)};
-  by_iova_[IovaKey{device.value, base->value >> kPageShift}] = mapping;
+  TrackMapping(IovaKey{device.value, base->value >> kPageShift}, mapping);
   Notify(mapping, /*map=*/true);
   return iova;
 }
 
 Status DmaApi::UnmapSingle(DeviceId device, Iova iova, uint64_t len, DmaDirection dir) {
   const IovaKey key{device.value, iova.PageBase().value >> kPageShift};
-  auto it = by_iova_.find(key);
-  if (it == by_iova_.end()) {
+  const DmaMapping* found = LookupMapping(key);
+  if (found == nullptr) {
     return FailedPrecondition("dma_unmap_single of unmapped IOVA");
   }
-  const DmaMapping mapping = it->second;
+  const DmaMapping mapping = *found;
   if (mapping.len != len || mapping.dir != dir) {
     return InvalidArgument("dma_unmap_single with mismatched length or direction");
   }
-  by_iova_.erase(it);
+  ForgetMapping(key);
   SPV_RETURN_IF_ERROR(iommu_.UnmapRange(device, iova.PageBase(), mapping.pages()));
   Notify(mapping, /*map=*/false);
   return OkStatus();
@@ -148,26 +175,39 @@ Status DmaApi::UnmapSg(DeviceId device, std::span<const Iova> iovas,
 
 std::vector<DmaMapping> DmaApi::MappingsForPfn(Pfn pfn) const {
   std::vector<DmaMapping> out;
-  for (const auto& [key, mapping] : by_iova_) {
+  const auto collect = [&](const DmaMapping& mapping) {
     auto phys = layout_.DirectMapKvaToPhys(mapping.kva);
     if (!phys.ok()) {
-      continue;
+      return;
     }
     const uint64_t first = phys->pfn().value;
     const uint64_t last = first + mapping.pages() - 1;
     if (pfn.value >= first && pfn.value <= last) {
       out.push_back(mapping);
     }
+  };
+  if (use_hash_index_) {
+    index_.ForEach(collect);
+    // The flat table iterates in probe order; sort to match the std::map
+    // path so consumers see a deterministic result either way.
+    std::sort(out.begin(), out.end(), [](const DmaMapping& a, const DmaMapping& b) {
+      return std::tie(a.device.value, a.iova.value) < std::tie(b.device.value, b.iova.value);
+    });
+  } else {
+    for (const auto& [key, mapping] : by_iova_) {
+      collect(mapping);
+    }
   }
   return out;
 }
 
 std::optional<DmaMapping> DmaApi::FindMapping(DeviceId device, Iova iova) const {
-  auto it = by_iova_.find(IovaKey{device.value, iova.PageBase().value >> kPageShift});
-  if (it == by_iova_.end()) {
+  const DmaMapping* found =
+      LookupMapping(IovaKey{device.value, iova.PageBase().value >> kPageShift});
+  if (found == nullptr) {
     return std::nullopt;
   }
-  return it->second;
+  return *found;
 }
 
 void DmaApi::AddObserver(DmaObserver* observer) {

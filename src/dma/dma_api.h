@@ -5,9 +5,14 @@
 //   whole page is accessible" — the insinuation is the signature; the
 //   exposure is what this layer actually does.
 // * UnmapSingle "insinuates that the buffer is not accessible to the device
-//   after the call", which is false under deferred invalidation (and under
-//   type (c) aliasing); this layer simply forwards to the IOMMU's configured
-//   policy.
+//   after the call" — false in the configuration that actually ships.
+//   Under the default deferred-invalidation policy the PTE is cleared but
+//   the invalidation is only *queued*: the IOTLB keeps translating until the
+//   flush queue drains (at capacity, after the 10 ms deadline, or manually),
+//   so a device with a warm IOTLB entry retains access for the whole window
+//   (Fig 6). The IOVA is parked until that drain, then recycled through the
+//   per-CPU rcache. Only strict mode revokes access before returning. It is
+//   also false under type (c) aliasing, in any mode.
 //
 // Ownership semantics: a mapped buffer belongs to the device until unmapped.
 // The tracker records every live mapping so D-KASAN and the ground-truth
@@ -27,6 +32,7 @@
 
 #include "base/status.h"
 #include "base/types.h"
+#include "dma/mapping_index.h"
 #include "dma/observer.h"
 #include "iommu/iommu.h"
 #include "mem/kernel_layout.h"
@@ -102,7 +108,14 @@ class DmaApi {
   // Live mappings (by any device) that cover physical page `pfn`.
   std::vector<DmaMapping> MappingsForPfn(Pfn pfn) const;
   std::optional<DmaMapping> FindMapping(DeviceId device, Iova iova) const;
-  uint64_t live_mappings() const { return by_iova_.size(); }
+  uint64_t live_mappings() const {
+    return use_hash_index_ ? index_.size() : by_iova_.size();
+  }
+
+  // The CPU the simulated kernel runs map/unmap calls on; forwarded to the
+  // IOMMU so IOVA magazine traffic lands in that CPU's caches.
+  void set_current_cpu(CpuId cpu) { iommu_.set_current_cpu(cpu); }
+  CpuId current_cpu() const { return iommu_.current_cpu(); }
 
   // Observers are bridged onto the telemetry bus (one DmaObserverSink each);
   // the interface is unchanged for callers.
@@ -129,9 +142,18 @@ class DmaApi {
 
   void Notify(const DmaMapping& mapping, bool map);
 
+  // The mapping tracker behind MapSingle/UnmapSingle/FindMapping. Which
+  // store is live is fixed at construction from the IOMMU's FastPathConfig;
+  // both have identical observable semantics.
+  void TrackMapping(const IovaKey& key, const DmaMapping& mapping);
+  const DmaMapping* LookupMapping(const IovaKey& key) const;
+  void ForgetMapping(const IovaKey& key);
+
   iommu::Iommu& iommu_;
   const mem::KernelLayout& layout_;
-  std::map<IovaKey, DmaMapping> by_iova_;
+  bool use_hash_index_;
+  MappingIndex<DmaMapping> index_;          // fast path: open-addressed, O(1)
+  std::map<IovaKey, DmaMapping> by_iova_;   // slow path (hash_index_enabled=false)
   telemetry::Hub* hub_;
   std::unique_ptr<telemetry::Hub> owned_hub_;  // fallback when none injected
   std::vector<std::unique_ptr<DmaObserverSink>> observer_sinks_;

@@ -1,0 +1,155 @@
+// Open-addressed index of live DMA mappings, keyed by (device, IOVA page).
+//
+// Replaces the std::map on the dma_map/dma_unmap hot path: find/insert/erase
+// are O(1) — one multiplicative hash, a short linear probe over a flat slot
+// array — instead of a pointer-chasing red-black tree descent per call.
+// Deletion uses tombstones; the table rehashes when full + dead slots exceed
+// the load limit, so probe chains stay short under unmap churn.
+
+#ifndef SPV_DMA_MAPPING_INDEX_H_
+#define SPV_DMA_MAPPING_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace spv::dma {
+
+template <typename Value>
+class MappingIndex {
+ public:
+  explicit MappingIndex(size_t initial_capacity = 64) {
+    capacity_ = NextPow2(initial_capacity < 16 ? 16 : initial_capacity);
+    slots_.resize(capacity_);
+  }
+
+  size_t size() const { return size_; }
+
+  // Inserts or overwrites (matching the std::map operator[] semantics the
+  // slow path keeps).
+  void InsertOrAssign(uint32_t device, uint64_t iova_page, Value value) {
+    MaybeGrow();
+    Slot* tombstone = nullptr;
+    size_t index = HashOf(device, iova_page) & (capacity_ - 1);
+    for (;;) {
+      Slot& slot = slots_[index];
+      if (slot.state == State::kEmpty) {
+        Slot& target = tombstone != nullptr ? *tombstone : slot;
+        if (target.state == State::kTombstone) {
+          --tombstones_;
+        }
+        target.device = device;
+        target.iova_page = iova_page;
+        target.value = std::move(value);
+        target.state = State::kFull;
+        ++size_;
+        return;
+      }
+      if (slot.state == State::kFull && slot.device == device &&
+          slot.iova_page == iova_page) {
+        slot.value = std::move(value);
+        return;
+      }
+      if (slot.state == State::kTombstone && tombstone == nullptr) {
+        tombstone = &slot;
+      }
+      index = (index + 1) & (capacity_ - 1);
+    }
+  }
+
+  Value* Find(uint32_t device, uint64_t iova_page) {
+    Slot* slot = FindSlot(device, iova_page);
+    return slot == nullptr ? nullptr : &slot->value;
+  }
+  const Value* Find(uint32_t device, uint64_t iova_page) const {
+    const Slot* slot = const_cast<MappingIndex*>(this)->FindSlot(device, iova_page);
+    return slot == nullptr ? nullptr : &slot->value;
+  }
+
+  bool Erase(uint32_t device, uint64_t iova_page) {
+    Slot* slot = FindSlot(device, iova_page);
+    if (slot == nullptr) {
+      return false;
+    }
+    slot->state = State::kTombstone;
+    slot->value = Value{};
+    --size_;
+    ++tombstones_;
+    return true;
+  }
+
+  // Visits every live entry; ordering is unspecified.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.state == State::kFull) {
+        fn(slot.value);
+      }
+    }
+  }
+
+ private:
+  enum class State : uint8_t { kEmpty, kFull, kTombstone };
+  struct Slot {
+    uint64_t iova_page = 0;
+    uint32_t device = 0;
+    State state = State::kEmpty;
+    Value value{};
+  };
+
+  static size_t NextPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  static size_t HashOf(uint32_t device, uint64_t iova_page) {
+    const uint64_t mixed = (iova_page ^ (uint64_t{device} << 32)) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(mixed >> 17);
+  }
+
+  Slot* FindSlot(uint32_t device, uint64_t iova_page) {
+    size_t index = HashOf(device, iova_page) & (capacity_ - 1);
+    for (;;) {
+      Slot& slot = slots_[index];
+      if (slot.state == State::kEmpty) {
+        return nullptr;
+      }
+      if (slot.state == State::kFull && slot.device == device &&
+          slot.iova_page == iova_page) {
+        return &slot;
+      }
+      index = (index + 1) & (capacity_ - 1);
+    }
+  }
+
+  void MaybeGrow() {
+    // Keep live + dead slots under 70% so probes terminate quickly.
+    if ((size_ + tombstones_ + 1) * 10 < capacity_ * 7) {
+      return;
+    }
+    const size_t new_capacity = size_ * 2 >= capacity_ ? capacity_ * 2 : capacity_;
+    std::vector<Slot> old = std::move(slots_);
+    capacity_ = new_capacity;
+    slots_.assign(capacity_, Slot{});
+    size_ = 0;
+    tombstones_ = 0;
+    for (Slot& slot : old) {
+      if (slot.state == State::kFull) {
+        InsertOrAssign(slot.device, slot.iova_page, std::move(slot.value));
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+  size_t tombstones_ = 0;
+};
+
+}  // namespace spv::dma
+
+#endif  // SPV_DMA_MAPPING_INDEX_H_

@@ -2,6 +2,16 @@
 
 namespace spv::iommu {
 
+void IoPageTable::set_telemetry(telemetry::Hub* hub) {
+  hub_ = hub;
+  if (hub_ == nullptr) {
+    c_hits_ = c_misses_ = nullptr;
+    return;
+  }
+  c_hits_ = &hub_->counter("iommu.walk_cache.hits");
+  c_misses_ = &hub_->counter("iommu.walk_cache.misses");
+}
+
 Status IoPageTable::Map(Iova iova, Pfn pfn, AccessRights rights) {
   if (rights == AccessRights::kNone) {
     return InvalidArgument("mapping with no access rights");
@@ -45,34 +55,88 @@ Result<PteEntry> IoPageTable::Unmap(Iova iova) {
   PteEntry entry = *node->entries[index];
   node->entries[index].reset();
   --mapped_pages_;
+  if (walk_cache_enabled_) {
+    const uint64_t region = RegionOf(iova);
+    WalkCacheEntry& slot = walk_cache_[region % kWalkCacheSlots];
+    if (slot.region == region) {
+      slot = WalkCacheEntry{};
+      ++walk_cache_stats_.invalidations;
+    }
+  }
   return entry;
 }
 
-std::optional<PteEntry> IoPageTable::Lookup(Iova iova, int* walk_levels) const {
-  int levels = 0;
+const IoPageTable::Node* IoPageTable::WalkToLeaf(Iova iova, int* levels) const {
+  *levels = 0;
   if (!root_) {
-    if (walk_levels != nullptr) {
-      *walk_levels = levels;
-    }
-    return std::nullopt;
+    return nullptr;
   }
   const Node* node = root_.get();
   for (int level = kLevels - 1; level >= 1; --level) {
-    ++levels;
+    ++*levels;
     const uint64_t index = IndexAt(iova, level);
     if (!node->children[index]) {
-      if (walk_levels != nullptr) {
-        *walk_levels = levels;
-      }
-      return std::nullopt;
+      return nullptr;
     }
     node = node->children[index].get();
   }
-  ++levels;
+  ++*levels;
+  return node;
+}
+
+std::optional<PteEntry> IoPageTable::Lookup(Iova iova, int* walk_levels) const {
+  if (walk_cache_enabled_) {
+    const uint64_t region = RegionOf(iova);
+    const WalkCacheEntry& slot = walk_cache_[region % kWalkCacheSlots];
+    if (slot.region == region) {
+      ++walk_cache_stats_.hits;
+      if (hub_ != nullptr && hub_->enabled()) {
+        c_hits_->Add();
+      }
+      if (walk_levels != nullptr) {
+        *walk_levels = 1;
+      }
+      return slot.leaf->entries[IndexAt(iova, 0)];
+    }
+    ++walk_cache_stats_.misses;
+    if (hub_ != nullptr && hub_->enabled()) {
+      c_misses_->Add();
+    }
+  }
+  int levels = 0;
+  const Node* leaf = WalkToLeaf(iova, &levels);
   if (walk_levels != nullptr) {
     *walk_levels = levels;
   }
-  return node->entries[IndexAt(iova, 0)];
+  if (leaf == nullptr) {
+    return std::nullopt;
+  }
+  if (walk_cache_enabled_) {
+    const uint64_t region = RegionOf(iova);
+    walk_cache_[region % kWalkCacheSlots] = WalkCacheEntry{region, leaf};
+  }
+  return leaf->entries[IndexAt(iova, 0)];
+}
+
+std::optional<PteEntry> IoPageTable::PeekTranslation(Iova iova) const {
+  int levels = 0;
+  const Node* leaf = WalkToLeaf(iova, &levels);
+  if (leaf == nullptr) {
+    return std::nullopt;
+  }
+  return leaf->entries[IndexAt(iova, 0)];
+}
+
+void IoPageTable::InvalidateWalkCache() {
+  if (!walk_cache_enabled_) {
+    return;
+  }
+  for (WalkCacheEntry& slot : walk_cache_) {
+    if (slot.leaf != nullptr) {
+      ++walk_cache_stats_.invalidations;
+    }
+    slot = WalkCacheEntry{};
+  }
 }
 
 std::vector<Iova> IoPageTable::FindIovasForPfn(Pfn pfn) const {

@@ -16,6 +16,7 @@
 #include "base/status.h"
 #include "base/types.h"
 #include "iommu/access_rights.h"
+#include "telemetry/telemetry.h"
 
 namespace spv::iommu {
 
@@ -30,20 +31,46 @@ class IoPageTable {
   static constexpr int kBitsPerLevel = 9;
   static constexpr uint64_t kEntriesPerNode = uint64_t{1} << kBitsPerLevel;  // 512
 
-  IoPageTable() = default;
+  // Direct-mapped last-level walk cache: tags a 2 MiB region (one leaf node)
+  // per slot, so repeated translations of hot regions touch one level.
+  static constexpr size_t kWalkCacheSlots = 64;
+
+  struct WalkCacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+  };
+
+  explicit IoPageTable(bool walk_cache_enabled = true)
+      : walk_cache_enabled_(walk_cache_enabled) {}
 
   // Installs a translation for the 4 KiB page containing `iova`. Fails if a
   // translation is already present (the DMA layer never remaps silently).
   Status Map(Iova iova, Pfn pfn, AccessRights rights);
 
-  // Removes the translation; returns the entry that was present.
+  // Removes the translation; returns the entry that was present. The walk
+  // cache entry covering `iova` is dropped, like hardware invalidating its
+  // intermediate-structure caches on IOTLB invalidation — a *stale
+  // translation* can only ever come from the IOTLB, never from here.
   Result<PteEntry> Unmap(Iova iova);
 
   // Page walk. Returns nullopt when not-present. `walk_levels` (if given)
-  // receives the number of levels touched, for cycle accounting.
+  // receives the number of levels touched, for cycle accounting; a walk-cache
+  // hit reports a single level.
   std::optional<PteEntry> Lookup(Iova iova, int* walk_levels = nullptr) const;
 
+  // Walk without side effects: no walk-cache fill, no stats. For
+  // ground-truth analyses (Iommu::Peek), not the translation path.
+  std::optional<PteEntry> PeekTranslation(Iova iova) const;
+
+  // Drops every walk cache entry (global IOTLB flush side effect).
+  void InvalidateWalkCache();
+
   uint64_t mapped_pages() const { return mapped_pages_; }
+  const WalkCacheStats& walk_cache_stats() const { return walk_cache_stats_; }
+
+  // Publishes walk-cache hit/miss counters to `hub` (nullptr detaches).
+  void set_telemetry(telemetry::Hub* hub);
 
   // All currently mapped IOVA pages translating to `pfn` (type (c) probe).
   std::vector<Iova> FindIovasForPfn(Pfn pfn) const;
@@ -61,8 +88,32 @@ class IoPageTable {
   void Collect(const Node& node, int level, uint64_t prefix, Pfn pfn,
                std::vector<Iova>& out) const;
 
+  // 2 MiB region number of `iova` (the span one leaf node covers).
+  static uint64_t RegionOf(Iova iova) {
+    return iova.value >> (kPageShift + kBitsPerLevel);
+  }
+
+  // Walks to the leaf node covering `iova` without touching the cache;
+  // returns nullptr when an intermediate node is missing. `levels` counts the
+  // nodes visited.
+  const Node* WalkToLeaf(Iova iova, int* levels) const;
+
+  struct WalkCacheEntry {
+    uint64_t region = UINT64_MAX;
+    const Node* leaf = nullptr;
+  };
+
   std::unique_ptr<Node> root_;
   uint64_t mapped_pages_ = 0;
+  bool walk_cache_enabled_;
+  // Leaf nodes are never destroyed while the table lives (Unmap only clears
+  // entries), so a cached pointer can never dangle; invalidation models the
+  // hardware behaviour rather than guarding memory safety.
+  mutable std::array<WalkCacheEntry, kWalkCacheSlots> walk_cache_{};
+  mutable WalkCacheStats walk_cache_stats_;
+  telemetry::Hub* hub_ = nullptr;
+  telemetry::Counter* c_hits_ = nullptr;
+  telemetry::Counter* c_misses_ = nullptr;
 };
 
 }  // namespace spv::iommu

@@ -5,20 +5,38 @@
 
 namespace spv::iommu {
 
+std::string_view FlushReasonName(FlushReason reason) {
+  switch (reason) {
+    case FlushReason::kManual:
+      return "manual";
+    case FlushReason::kCapacity:
+      return "capacity";
+    case FlushReason::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
 Iommu::Iommu(mem::PhysicalMemory& pm, SimClock& clock, Config config)
     : pm_(pm), clock_(clock), config_(config), iotlb_(config.iotlb_capacity) {}
 
 void Iommu::set_telemetry(telemetry::Hub* hub) {
   hub_ = hub;
   iotlb_.set_telemetry(hub);
+  for (auto& [id, domain] : device_domain_) {
+    domain->iova_alloc.set_telemetry(hub);
+    domain->table.set_telemetry(hub);
+  }
 }
 
 void Iommu::AttachDevice(DeviceId device) {
   if (device_domain_.contains(device.value)) {
     return;
   }
-  auto domain = std::make_shared<Domain>();
+  auto domain = std::make_shared<Domain>(config_.fast_path);
   domain->id = next_domain_id_++;
+  domain->iova_alloc.set_telemetry(hub_);
+  domain->table.set_telemetry(hub_);
   device_domain_[device.value] = std::move(domain);
 }
 
@@ -77,7 +95,7 @@ Result<Iova> Iommu::MapRange(DeviceId device, std::span<const Pfn> pfns, AccessR
     stats_.maps += pfns.size();
     return Iova{pfns[0].PhysBase()};
   }
-  Result<Iova> base = state->iova_alloc.Alloc(pfns.size());
+  Result<Iova> base = state->iova_alloc.Alloc(pfns.size(), current_cpu_);
   if (!base.ok()) {
     return base.status();
   }
@@ -88,7 +106,7 @@ Result<Iova> Iommu::MapRange(DeviceId device, std::span<const Pfn> pfns, AccessR
       for (size_t j = 0; j < i; ++j) {
         (void)state->table.Unmap(*base + (j << kPageShift));
       }
-      (void)state->iova_alloc.Free(*base, pfns.size());
+      (void)state->iova_alloc.Free(*base, pfns.size(), current_cpu_);
       return s;
     }
   }
@@ -148,7 +166,7 @@ Status Iommu::UnmapRange(DeviceId device, Iova base, uint64_t pages) {
         }
       }
     }
-    return state->iova_alloc.Free(base, pages);
+    return state->iova_alloc.Free(base, pages, current_cpu_);
   }
 
   // Deferred: PTE is gone but the IOTLB may still translate. The IOVA is
@@ -161,13 +179,13 @@ void Iommu::EnqueueInvalidation(DeviceId device, Iova base, uint64_t pages) {
   if (flush_queue_.empty()) {
     flush_deadline_ = clock_.now() + config_.flush_interval_cycles;
   }
-  flush_queue_.push_back(PendingInvalidation{device, base, pages});
+  flush_queue_.push_back(PendingInvalidation{device, base, pages, current_cpu_});
   if (flush_queue_.size() >= config_.flush_queue_capacity) {
-    FlushNow();
+    FlushNow(FlushReason::kCapacity);
   }
 }
 
-void Iommu::FlushNow() {
+void Iommu::FlushNow(FlushReason reason) {
   if (flush_queue_.empty()) {
     return;
   }
@@ -175,19 +193,38 @@ void Iommu::FlushNow() {
   // mode wins on throughput (§5.2.1).
   const uint64_t amortized = flush_queue_.size();
   iotlb_.InvalidateAll();
+  // A global IOTLB invalidation also drops the intermediate-structure
+  // caches, so the page-table walk caches start cold.
+  for (auto& [id, domain] : device_domain_) {
+    domain->table.InvalidateWalkCache();
+  }
   clock_.Advance(kIotlbInvalidationCycles);
   stats_.invalidation_cycles += kIotlbInvalidationCycles;
   ++stats_.flushes;
+  switch (reason) {
+    case FlushReason::kManual:
+      ++stats_.flush_manual_drains;
+      break;
+    case FlushReason::kCapacity:
+      ++stats_.flush_capacity_drains;
+      break;
+    case FlushReason::kDeadline:
+      ++stats_.flush_deadline_drains;
+      break;
+  }
   if (hub_ != nullptr && hub_->active()) {
     telemetry::Event event;
     event.kind = telemetry::EventKind::kIommuFlush;
     event.severity = telemetry::Severity::kInfo;
     event.aux = amortized;  // queued unmaps retired by this one invalidation
     event.origin = this;
-    event.site = "flush_now";
+    event.site = std::string("flush_now:") + std::string(FlushReasonName(reason));
     hub_->Publish(std::move(event));
     if (hub_->enabled()) {
       hub_->counter("iommu.flushes").Add();
+      hub_->counter(std::string("iommu.flush_drain.") +
+                    std::string(FlushReasonName(reason)))
+          .Add();
       hub_->counter("iommu.invalidation_cycles").Add(kIotlbInvalidationCycles);
       hub_->histogram("iommu.flush_batch").Record(amortized);
     }
@@ -195,7 +232,7 @@ void Iommu::FlushNow() {
   for (const PendingInvalidation& pending : flush_queue_) {
     Domain* state = FindDevice(pending.device);
     if (state != nullptr) {
-      (void)state->iova_alloc.Free(pending.base, pending.pages);
+      (void)state->iova_alloc.Free(pending.base, pending.pages, pending.cpu);
     }
   }
   flush_queue_.clear();
@@ -203,7 +240,7 @@ void Iommu::FlushNow() {
 
 void Iommu::ProcessDeferredTimer() {
   if (!flush_queue_.empty() && clock_.now() >= flush_deadline_) {
-    FlushNow();
+    FlushNow(FlushReason::kDeadline);
   }
 }
 
@@ -336,7 +373,17 @@ std::optional<PteEntry> Iommu::Peek(DeviceId device, Iova iova) const {
   if (state == nullptr) {
     return std::nullopt;
   }
-  return state->table.Lookup(iova.PageBase());
+  return state->table.PeekTranslation(iova.PageBase());
+}
+
+const IovaAllocator* Iommu::iova_allocator(DeviceId device) const {
+  const Domain* state = FindDevice(device);
+  return state == nullptr ? nullptr : &state->iova_alloc;
+}
+
+const IoPageTable* Iommu::page_table(DeviceId device) const {
+  const Domain* state = FindDevice(device);
+  return state == nullptr ? nullptr : &state->table;
 }
 
 }  // namespace spv::iommu

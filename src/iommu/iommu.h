@@ -27,6 +27,7 @@
 #include "base/status.h"
 #include "base/types.h"
 #include "iommu/access_rights.h"
+#include "iommu/fast_path.h"
 #include "iommu/io_page_table.h"
 #include "iommu/iotlb.h"
 #include "iommu/iova_allocator.h"
@@ -39,6 +40,16 @@ enum class InvalidationMode { kStrict, kDeferred };
 inline std::string InvalidationModeName(InvalidationMode mode) {
   return mode == InvalidationMode::kStrict ? "strict" : "deferred";
 }
+
+// What emptied the deferred flush queue (telemetry: the drain-reason mix
+// distinguishes throughput-bound workloads from idle ones).
+enum class FlushReason : uint8_t {
+  kManual,    // explicit FlushNow() by the OS / a bench
+  kCapacity,  // queue reached flush_queue_capacity
+  kDeadline,  // the 10 ms timer fired
+};
+
+std::string_view FlushReasonName(FlushReason reason);
 
 // Cycle cost model (§5.2.1 and [2], [29]).
 inline constexpr uint64_t kIotlbInvalidationCycles = 2000;
@@ -66,6 +77,8 @@ class Iommu {
     size_t iotlb_capacity = 256;
     size_t flush_queue_capacity = 256;
     uint64_t flush_interval_cycles = SimClock::MsToCycles(10);
+    // Map/unmap fast-path data structures (rcache, hash index, walk cache).
+    FastPathConfig fast_path = {};
   };
 
   struct Stats {
@@ -76,6 +89,10 @@ class Iommu {
     uint64_t invalidation_cycles = 0;      // total cycles spent invalidating
     uint64_t device_accesses = 0;
     uint64_t stale_iotlb_accesses = 0;     // accesses served with no live PTE
+    // Flush-queue drain reasons (sum == flushes).
+    uint64_t flush_capacity_drains = 0;
+    uint64_t flush_deadline_drains = 0;
+    uint64_t flush_manual_drains = 0;
   };
 
   Iommu(mem::PhysicalMemory& pm, SimClock& clock, Config config);
@@ -118,7 +135,13 @@ class Iommu {
 
   // Forces the deferred queue out now (the 10 ms timer firing, or an admin
   // `iommu=strict`-style flush).
-  void FlushNow();
+  void FlushNow(FlushReason reason = FlushReason::kManual);
+
+  // The CPU the simulated kernel is currently executing on; IOVA magazine
+  // allocs/frees go to this CPU's caches. Ambient (like preemption context)
+  // rather than a parameter so device models need no plumbing.
+  void set_current_cpu(CpuId cpu) { current_cpu_ = cpu; }
+  CpuId current_cpu() const { return current_cpu_; }
 
   // Models timer processing: call after advancing the clock to let an expired
   // deadline trigger the periodic flush.
@@ -134,10 +157,16 @@ class Iommu {
   // ---- Introspection -----------------------------------------------------------
 
   InvalidationMode mode() const { return config_.mode; }
+  const FastPathConfig& fast_path() const { return config_.fast_path; }
   const Stats& stats() const { return stats_; }
   const std::vector<IommuFault>& faults() const { return faults_; }
   const Iotlb& iotlb() const { return iotlb_; }
   uint64_t pending_invalidation_count() const { return flush_queue_.size(); }
+
+  // Fast-path introspection for benches and tests (nullptr when the device
+  // is not attached).
+  const IovaAllocator* iova_allocator(DeviceId device) const;
+  const IoPageTable* page_table(DeviceId device) const;
 
   // Live PTEs translating to `pfn` for this device (type (c) probe).
   std::vector<Iova> IovasForPfn(DeviceId device, Pfn pfn) const;
@@ -151,6 +180,10 @@ class Iommu {
   // devices. IOTLB entries are tagged by domain id (as on VT-d), so domain
   // members also share cached translations.
   struct Domain {
+    explicit Domain(const FastPathConfig& fast_path)
+        : table(fast_path.walk_cache_enabled),
+          iova_alloc(IovaAllocator::kDefaultWindowStart, IovaAllocator::kDefaultWindowEnd,
+                     fast_path) {}
     uint32_t id = 0;
     IoPageTable table;
     IovaAllocator iova_alloc;
@@ -159,6 +192,10 @@ class Iommu {
     DeviceId device;
     Iova base;
     uint64_t pages;
+    // The CPU that issued the unmap. Mirrors Linux's per-CPU flush queues:
+    // at drain time the parked IOVA returns to *this* CPU's magazines, so
+    // deferred mode keeps rcache locality even when unmaps round-robin.
+    CpuId cpu{0};
   };
 
   Domain* FindDevice(DeviceId device);
@@ -179,6 +216,7 @@ class Iommu {
   uint32_t next_domain_id_ = 1;
   std::deque<PendingInvalidation> flush_queue_;
   uint64_t flush_deadline_ = 0;  // valid when flush_queue_ nonempty
+  CpuId current_cpu_{0};
   Stats stats_;
   std::vector<IommuFault> faults_;
   telemetry::Hub* hub_ = nullptr;

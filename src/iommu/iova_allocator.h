@@ -1,19 +1,33 @@
-// Per-device IOVA space allocator.
+// Per-domain IOVA space allocator with a Linux-style rcache fast path.
 //
-// Mirrors Linux's behaviour of allocating IOVAs top-down from the end of the
-// 32-bit DMA window, with freed ranges cached for reuse. Two different Map
-// calls targeting the same PFN receive two different IOVAs — the substrate of
-// the paper's type (c) "page mapped by multiple IOVA" vulnerability.
+// Two layers, mirroring the kernel's iova.c:
+//
+//  * Fast path: per-size-class magazine caches. Each simulated CPU keeps a
+//    `loaded` and a `prev` magazine per size class; exhausted CPUs refill
+//    from a shared depot of full magazines. Alloc/Free on a warm cache is a
+//    vector push/pop — no tree walk, no search.
+//  * Slow path: the original top-down range allocator over the 32-bit DMA
+//    window, now with adjacent-free-range coalescing and range splitting so
+//    churn no longer fragments the reuse cache unboundedly.
+//
+// The substrate of the paper's type (c) "page mapped by multiple IOVA"
+// vulnerability is preserved by construction: every Alloc hands out a range
+// no other live allocation holds, so two Map calls targeting the same PFN
+// still receive two different IOVAs. A shadow table of live ranges enforces
+// this (and catches double frees) in both paths.
 
 #ifndef SPV_IOMMU_IOVA_ALLOCATOR_H_
 #define SPV_IOMMU_IOVA_ALLOCATOR_H_
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
 #include "base/types.h"
+#include "iommu/fast_path.h"
+#include "telemetry/telemetry.h"
 
 namespace spv::iommu {
 
@@ -21,23 +35,95 @@ class IovaAllocator {
  public:
   // Default window: [1 MiB, 4 GiB) like a 32-bit DMA mask with the low
   // megabyte avoided.
-  explicit IovaAllocator(uint64_t window_start = 1ull << 20,
-                         uint64_t window_end = 1ull << 32);
+  static constexpr uint64_t kDefaultWindowStart = 1ull << 20;
+  static constexpr uint64_t kDefaultWindowEnd = 1ull << 32;
 
-  // Allocates `pages` contiguous IOVA pages; returns the base IOVA.
-  Result<Iova> Alloc(uint64_t pages);
+  // Largest request (in pages) served by the magazine caches; bigger ranges
+  // always take the slow path (IOVA_RANGE_CACHE_MAX_SIZE).
+  static constexpr uint64_t kMaxCachedPages = 32;
+  static constexpr size_t kNumSizeClasses = 6;  // 1, 2, 4, 8, 16, 32 pages
 
-  // Releases a range previously returned by Alloc.
-  Status Free(Iova base, uint64_t pages);
+  struct Stats {
+    uint64_t rcache_hits = 0;       // allocs served from a magazine
+    uint64_t rcache_misses = 0;     // cacheable allocs that hit the tree
+    uint64_t depot_refills = 0;     // CPU pulled a full magazine from depot
+    uint64_t depot_spills = 0;      // CPU pushed a full magazine to depot
+    uint64_t depot_overflows = 0;   // magazine dumped back to the tree
+    uint64_t coalesces = 0;         // adjacent free-range merges
+    uint64_t range_splits = 0;      // partial reuse of a cached range
+  };
+
+  explicit IovaAllocator(uint64_t window_start = kDefaultWindowStart,
+                         uint64_t window_end = kDefaultWindowEnd,
+                         const FastPathConfig& fast_path = {});
+
+  // Allocates `pages` contiguous IOVA pages; returns the base IOVA. Cacheable
+  // sizes are rounded up to their size class (as Linux's alloc_iova_fast
+  // does), so the same request size always recycles the same class.
+  Result<Iova> Alloc(uint64_t pages, CpuId cpu = CpuId{0});
+
+  // Releases a range previously returned by Alloc; `pages` must match the
+  // Alloc request. Cacheable ranges go to `cpu`'s magazine, others back to
+  // the coalescing free tree.
+  Status Free(Iova base, uint64_t pages, CpuId cpu = CpuId{0});
 
   uint64_t allocated_pages() const { return allocated_pages_; }
+  const Stats& stats() const { return stats_; }
+  const FastPathConfig& fast_path() const { return fast_path_; }
+
+  // Number of IOVA ranges currently parked in magazines + depot.
+  uint64_t cached_ranges() const;
+
+  // Publishes rcache hit/miss/depot counters to `hub` (nullptr detaches).
+  void set_telemetry(telemetry::Hub* hub);
 
  private:
-  uint64_t window_start_;
-  uint64_t window_end_;
-  uint64_t next_top_;  // grows downward
-  std::map<uint64_t, uint64_t> free_ranges_;  // base page -> page count (reuse cache)
+  // A magazine: a bounded LIFO of range base page numbers, all of one size
+  // class.
+  using Magazine = std::vector<uint64_t>;
+  struct CpuCache {
+    Magazine loaded;
+    Magazine prev;
+  };
+  struct SizeClassCache {
+    std::vector<CpuCache> cpus;
+    std::vector<Magazine> depot;  // full magazines
+  };
+
+  // Size class for a cacheable request, or -1 when it must bypass the cache.
+  static int SizeClassFor(uint64_t pages);
+
+  // Request size after size-class rounding (identity for uncacheable sizes).
+  uint64_t EffectivePages(uint64_t pages) const;
+
+  // Slow path over the free tree / virgin space. Returns a base *page*.
+  Result<uint64_t> AllocRange(uint64_t pages);
+  void FreeRange(uint64_t base_page, uint64_t pages);
+
+  bool MagazinePop(int size_class, CpuId cpu, uint64_t* base_page);
+  void MagazinePush(int size_class, CpuId cpu, uint64_t base_page);
+
+  uint64_t window_start_;  // in pages
+  uint64_t window_end_;    // in pages
+  uint64_t next_top_;      // grows downward, in pages
+  FastPathConfig fast_path_;
+
+  std::map<uint64_t, uint64_t> free_ranges_;  // base page -> page count
+  std::vector<SizeClassCache> rcaches_;       // indexed by size class
+
+  // Live ranges (base page -> rounded page count): the invariant the type (c)
+  // substrate rests on. Consulted O(1) on every alloc/free.
+  std::unordered_map<uint64_t, uint64_t> live_;
+
   uint64_t allocated_pages_ = 0;
+  Stats stats_;
+
+  telemetry::Hub* hub_ = nullptr;
+  telemetry::Counter* c_hits_ = nullptr;
+  telemetry::Counter* c_misses_ = nullptr;
+  telemetry::Counter* c_depot_refills_ = nullptr;
+  telemetry::Counter* c_depot_spills_ = nullptr;
+  telemetry::Counter* c_coalesces_ = nullptr;
 };
 
 }  // namespace spv::iommu

@@ -56,6 +56,9 @@ Status NicDriver::FillRxRing() {
 }
 
 Status NicDriver::RefillSlot(uint32_t index) {
+  // Ring work executes on the driver's IRQ CPU: IOVA magazine traffic for
+  // this device stays CPU-local (the Linux rcache locality assumption).
+  dma_.set_current_cpu(config_.cpu);
   slab::PageFragPool* pool = skb_alloc_.frag_pool(config_.cpu);
   if (pool == nullptr) {
     return FailedPrecondition("no page_frag pool for driver cpu");
@@ -87,6 +90,7 @@ Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
   if (index >= rx_ring_.size() || !rx_ring_[index].posted) {
     return FailedPrecondition("RX completion on empty slot");
   }
+  dma_.set_current_cpu(config_.cpu);
   const uint32_t usable =
       rx_buffer_bytes() - static_cast<uint32_t>(SkbDataAlign(SharedInfoLayout::kSize));
   if (pkt_len < PacketHeader::kSize || pkt_len > usable) {
@@ -203,6 +207,7 @@ Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
 }
 
 Result<uint32_t> NicDriver::PostTx(SkBuffPtr skb) {
+  dma_.set_current_cpu(config_.cpu);
   uint32_t index = 0;
   for (; index < tx_ring_.size(); ++index) {
     if (!tx_ring_[index].busy) {
@@ -283,6 +288,7 @@ Result<uint32_t> NicDriver::PostTx(SkBuffPtr skb) {
 }
 
 Status NicDriver::UnmapTxSlot(TxSlot& slot) {
+  dma_.set_current_cpu(config_.cpu);
   SPV_RETURN_IF_ERROR(dma_.UnmapSingle(device_id_, slot.linear_iova, slot.linear_len,
                                        dma::DmaDirection::kToDevice));
   for (const TxFragMapping& frag : slot.frags) {
