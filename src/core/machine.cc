@@ -1,6 +1,9 @@
 #include "core/machine.h"
 
 #include <cassert>
+#include <set>
+#include <string>
+#include <unordered_map>
 
 namespace spv::core {
 
@@ -42,6 +45,15 @@ Machine::Machine(const MachineConfig& config)
   slab_ = std::make_unique<slab::SlabAllocator>(pm_, page_db_, *page_alloc_, layout_, &hub_);
   skb_alloc_ = std::make_unique<net::SkbAllocator>(*kmem_, *slab_);
   stack_ = std::make_unique<net::NetworkStack>(*kmem_, *slab_, *skb_alloc_, config.net);
+  // Fault hooks are wired unconditionally — an unarmed engine short-circuits
+  // at every guard — and armed only when the config carries a plan.
+  fault_.set_telemetry(&hub_);
+  if (!config.fault_plan.empty()) {
+    fault_.Arm(config.fault_plan, config.seed);
+  }
+  page_alloc_->set_fault_engine(&fault_);
+  iommu_->set_fault_engine(&fault_);
+  slab_->set_fault_engine(&fault_);
 }
 
 slab::PageFragPool& Machine::frag_pool(CpuId cpu) {
@@ -50,6 +62,7 @@ slab::PageFragPool& Machine::frag_pool(CpuId cpu) {
     frag_pools_.push_back(std::make_unique<slab::PageFragPool>(
         page_db_, *page_alloc_, layout_, new_cpu, slab::PageFragPool::kDefaultRegionBytes,
         &hub_));
+    frag_pools_.back()->set_fault_engine(&fault_);
     skb_alloc_->RegisterFragPool(new_cpu, frag_pools_.back().get());
   }
   return *frag_pools_[cpu.value];
@@ -61,7 +74,120 @@ net::NicDriver& Machine::AddNicDriver(const net::NicDriver::Config& config) {
   frag_pool(config.cpu);  // ensure the per-CPU pool exists and is registered
   drivers_.push_back(std::make_unique<net::NicDriver>(device, *dma_, *kmem_, *skb_alloc_,
                                                       clock_, config));
+  drivers_.back()->set_fault_engine(&fault_);
   return *drivers_.back();
+}
+
+Status Machine::CheckInvariants() const {
+  if (!config_.iommu.enabled) {
+    return OkStatus();  // no translation structures to audit
+  }
+
+  // (1) Every tracked DMA mapping still translates page-by-page to the
+  // physical pages behind its KVA buffer.
+  Status failure = OkStatus();
+  dma_->ForEachMapping([&](const dma::DmaMapping& mapping) {
+    if (!failure.ok()) {
+      return;
+    }
+    Result<PhysAddr> phys = layout_.DirectMapKvaToPhys(mapping.kva);
+    if (!phys.ok()) {
+      failure = Internal("invariant: tracked mapping KVA outside the direct map (site " +
+                         mapping.site + ")");
+      return;
+    }
+    const Iova base = mapping.iova.PageBase();
+    for (uint64_t i = 0; i < mapping.pages(); ++i) {
+      std::optional<iommu::PteEntry> pte =
+          iommu_->Peek(mapping.device, Iova{base.value + (i << kPageShift)});
+      if (!pte.has_value() || pte->pfn.value != phys->pfn().value + i) {
+        failure = Internal("invariant: tracked mapping does not translate (device " +
+                           std::to_string(mapping.device.value) + ", site " + mapping.site +
+                           ", page " + std::to_string(i) + ")");
+        return;
+      }
+    }
+  });
+  SPV_RETURN_IF_ERROR(failure);
+
+  // (2) Containment: every installed PTE lies inside a live IOVA allocation.
+  // A PTE outside every range is a translation whose IOVA was freed (or never
+  // allocated) — a leaked device window. One-sided on purpose: live ranges
+  // without PTEs are fine (size-class rounding over-reserves).
+  std::set<uint32_t> audited_domains;
+  for (DeviceId device : iommu_->attached_devices()) {
+    if (!audited_domains.insert(iommu_->domain_id(device)).second) {
+      continue;  // one audit per shared translation domain
+    }
+    const iommu::IoPageTable* table = iommu_->page_table(device);
+    const iommu::IovaAllocator* iova_alloc = iommu_->iova_allocator(device);
+    if (table == nullptr || iova_alloc == nullptr) {
+      continue;
+    }
+    const auto ranges = iova_alloc->live_ranges();
+    for (const auto& [iova, pte] : table->AllMappings()) {
+      const uint64_t page = iova.value >> kPageShift;
+      bool contained = false;
+      for (const auto& range : ranges) {
+        if (page >= range.base_page && page < range.base_page + range.pages) {
+          contained = true;
+          break;
+        }
+      }
+      if (!contained) {
+        return Internal("invariant: PTE at iova page " + std::to_string(page) +
+                        " (device " + std::to_string(device.value) +
+                        ") outside every live IOVA range");
+      }
+    }
+  }
+
+  // (3) Every stale IOTLB entry (cached translation with no live PTE) must
+  // be covered by a pending deferred invalidation: that is the legitimate
+  // Fig 6 window. Stale with nothing pending means an invalidation was lost.
+  std::unordered_map<uint32_t, DeviceId> domain_rep;
+  for (DeviceId device : iommu_->attached_devices()) {
+    domain_rep.emplace(iommu_->domain_id(device), device);
+  }
+  const auto pending = iommu_->pending_invalidations();
+  Status stale_failure = OkStatus();
+  iommu_->iotlb().ForEachEntry(
+      [&](DeviceId domain, Iova iova_page, const iommu::PteEntry&) {
+        if (!stale_failure.ok()) {
+          return;
+        }
+        auto rep = domain_rep.find(domain.value);
+        if (rep == domain_rep.end()) {
+          return;
+        }
+        if (iommu_->Peek(rep->second, iova_page).has_value()) {
+          return;  // a live PTE backs this cached translation
+        }
+        for (const auto& range : pending) {
+          if (iommu_->domain_id(range.device) != domain.value) {
+            continue;
+          }
+          const uint64_t begin = range.base.value;
+          const uint64_t end = begin + (range.pages << kPageShift);
+          if (iova_page.value >= begin && iova_page.value < end) {
+            return;  // awaiting the queued flush
+          }
+        }
+        stale_failure = Internal("invariant: stale IOTLB entry at iova " +
+                                 std::to_string(iova_page.value) + " (domain " +
+                                 std::to_string(domain.value) +
+                                 ") with no pending invalidation");
+      });
+  SPV_RETURN_IF_ERROR(stale_failure);
+
+  // (4) Page accounting: PageDb ownership agrees with the buddy allocator.
+  const uint64_t db_free = page_db_.CountOwned(mem::PageOwner::kFree);
+  if (db_free != page_alloc_->free_pages()) {
+    return Internal("invariant: PageDb counts " + std::to_string(db_free) +
+                    " free pages but the allocator reports " +
+                    std::to_string(page_alloc_->free_pages()));
+  }
+  return OkStatus();
 }
 
 }  // namespace spv::core

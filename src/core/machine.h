@@ -19,6 +19,7 @@
 #include "base/types.h"
 #include "dma/dma_api.h"
 #include "dma/kernel_memory.h"
+#include "fault/fault.h"
 #include "iommu/iommu.h"
 #include "mem/kernel_layout.h"
 #include "mem/page_allocator.h"
@@ -46,6 +47,10 @@ struct MachineConfig {
   // Recording is off by default; flip `telemetry.enabled` to collect counters
   // and a trace ring for the whole machine.
   telemetry::Hub::Config telemetry;
+  // Deterministic fault injection: a non-empty plan arms the machine-wide
+  // FaultEngine (seeded from `seed`) and every layer's hooks start firing.
+  // Empty (the default) means no faults and near-zero overhead.
+  fault::FaultPlan fault_plan;
 };
 
 class Machine {
@@ -83,6 +88,17 @@ class Machine {
   slab::PageFragPool& frag_pool(CpuId cpu);
   // The machine-wide event bus; every component publishes here.
   telemetry::Hub& telemetry() { return hub_; }
+  // The machine-wide fault engine (armed iff config.fault_plan is non-empty).
+  fault::FaultEngine& fault() { return fault_; }
+
+  // Cross-layer consistency audit; call at teardown (or any quiescent point).
+  // Verifies that (1) every tracked DMA mapping still translates page-by-page
+  // to its buffer's physical pages, (2) every installed PTE lies inside a
+  // live IOVA allocation (no leaked translations), (3) every stale IOTLB
+  // entry is covered by a pending deferred invalidation (the legitimate
+  // Fig 6 window, as opposed to a lost one), and (4) PageDb ownership agrees
+  // with the page allocator's free count. No-op when the IOMMU is disabled.
+  Status CheckInvariants() const;
 
   const MachineConfig& config() const { return config_; }
   DeviceId next_device_id() const { return DeviceId{next_device_id_}; }
@@ -91,6 +107,7 @@ class Machine {
   MachineConfig config_;
   SimClock clock_;
   telemetry::Hub hub_;  // before any component that publishes into it
+  fault::FaultEngine fault_;  // before any component holding a hook into it
   Xoshiro256 rng_;
   mem::PhysicalMemory pm_;
   mem::PageDb page_db_;

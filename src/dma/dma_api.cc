@@ -103,8 +103,10 @@ Status DmaApi::UnmapSingle(DeviceId device, Iova iova, uint64_t len, DmaDirectio
   if (mapping.len != len || mapping.dir != dir) {
     return InvalidArgument("dma_unmap_single with mismatched length or direction");
   }
-  ForgetMapping(key);
+  // Unmap in the IOMMU first: if that fails the tracker must still know the
+  // mapping, or the IOVA range and its PTEs leak with no record of them.
   SPV_RETURN_IF_ERROR(iommu_.UnmapRange(device, iova.PageBase(), mapping.pages()));
+  ForgetMapping(key);
   Notify(mapping, /*map=*/false);
   return OkStatus();
 }
@@ -199,6 +201,24 @@ std::vector<DmaMapping> DmaApi::MappingsForPfn(Pfn pfn) const {
     }
   }
   return out;
+}
+
+void DmaApi::ForEachMapping(const std::function<void(const DmaMapping&)>& fn) const {
+  if (use_hash_index_) {
+    // The flat table iterates in probe order; sort for a deterministic visit.
+    std::vector<DmaMapping> all;
+    index_.ForEach([&](const DmaMapping& mapping) { all.push_back(mapping); });
+    std::sort(all.begin(), all.end(), [](const DmaMapping& a, const DmaMapping& b) {
+      return std::tie(a.device.value, a.iova.value) < std::tie(b.device.value, b.iova.value);
+    });
+    for (const DmaMapping& mapping : all) {
+      fn(mapping);
+    }
+    return;
+  }
+  for (const auto& [key, mapping] : by_iova_) {
+    fn(mapping);
+  }
 }
 
 std::optional<DmaMapping> DmaApi::FindMapping(DeviceId device, Iova iova) const {

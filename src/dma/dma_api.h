@@ -22,6 +22,7 @@
 #define SPV_DMA_DMA_API_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -108,6 +109,9 @@ class DmaApi {
   // Live mappings (by any device) that cover physical page `pfn`.
   std::vector<DmaMapping> MappingsForPfn(Pfn pfn) const;
   std::optional<DmaMapping> FindMapping(DeviceId device, Iova iova) const;
+  // Visits every live mapping in ascending (device, iova) order regardless of
+  // which tracker store is active. For audits (Machine::CheckInvariants).
+  void ForEachMapping(const std::function<void(const DmaMapping&)>& fn) const;
   uint64_t live_mappings() const {
     return use_hash_index_ ? index_.size() : by_iova_.size();
   }

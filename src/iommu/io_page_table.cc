@@ -147,6 +147,41 @@ std::vector<Iova> IoPageTable::FindIovasForPfn(Pfn pfn) const {
   return out;
 }
 
+std::vector<std::pair<Iova, PteEntry>> IoPageTable::AllMappings() const {
+  std::vector<std::pair<Iova, PteEntry>> out;
+  if (!root_) {
+    return out;
+  }
+  // Depth-first over present children yields ascending IOVA order.
+  struct Frame {
+    const Node* node;
+    int level;
+    uint64_t prefix;
+  };
+  std::vector<Frame> stack{{root_.get(), kLevels - 1, 0}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.level == 0) {
+      for (uint64_t i = 0; i < kEntriesPerNode; ++i) {
+        if (frame.node->entries[i].has_value()) {
+          out.emplace_back(Iova{(frame.prefix | i) << kPageShift}, *frame.node->entries[i]);
+        }
+      }
+      continue;
+    }
+    // Push in reverse so the lowest child is processed first.
+    for (uint64_t i = kEntriesPerNode; i > 0; --i) {
+      const uint64_t index = i - 1;
+      if (frame.node->children[index]) {
+        stack.push_back(Frame{frame.node->children[index].get(), frame.level - 1,
+                              (frame.prefix | index) << kBitsPerLevel});
+      }
+    }
+  }
+  return out;
+}
+
 void IoPageTable::Collect(const Node& node, int level, uint64_t prefix, Pfn pfn,
                           std::vector<Iova>& out) const {
   if (level == 0) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "base/status.h"
@@ -74,6 +75,10 @@ class IoPageTable {
 
   // All currently mapped IOVA pages translating to `pfn` (type (c) probe).
   std::vector<Iova> FindIovasForPfn(Pfn pfn) const;
+
+  // Every (iova page, entry) pair currently mapped, in ascending IOVA order.
+  // For audits (Machine::CheckInvariants), not the translation path.
+  std::vector<std::pair<Iova, PteEntry>> AllMappings() const;
 
  private:
   struct Node {

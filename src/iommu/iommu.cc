@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fault/fault.h"
+
 namespace spv::iommu {
 
 std::string_view FlushReasonName(FlushReason reason) {
@@ -95,12 +97,19 @@ Result<Iova> Iommu::MapRange(DeviceId device, std::span<const Pfn> pfns, AccessR
     stats_.maps += pfns.size();
     return Iova{pfns[0].PhysBase()};
   }
+  if (fault_ != nullptr && fault_->armed() &&
+      fault_->ShouldInject(fault::FaultSite::kIovaAlloc)) {
+    return ResourceExhausted("injected: IOVA space exhausted");
+  }
   Result<Iova> base = state->iova_alloc.Alloc(pfns.size(), current_cpu_);
   if (!base.ok()) {
     return base.status();
   }
   for (size_t i = 0; i < pfns.size(); ++i) {
-    Status s = state->table.Map(*base + (i << kPageShift), pfns[i], rights);
+    Status s = (fault_ != nullptr && fault_->armed() &&
+                fault_->ShouldInject(fault::FaultSite::kIoPageTableMap))
+                   ? ResourceExhausted("injected: I/O page table allocation failure")
+                   : state->table.Map(*base + (i << kPageShift), pfns[i], rights);
     if (!s.ok()) {
       // Roll back partial mappings.
       for (size_t j = 0; j < i; ++j) {
@@ -146,8 +155,16 @@ Status Iommu::UnmapRange(DeviceId device, Iova base, uint64_t pages) {
     // reusable. This is the expensive-but-safe path.
     for (uint64_t i = 0; i < pages; ++i) {
       iotlb_.InvalidatePage(DeviceId{state->id}, base + (i << kPageShift));
-      clock_.Advance(kIotlbInvalidationCycles);
-      stats_.invalidation_cycles += kIotlbInvalidationCycles;
+      uint64_t cycles = kIotlbInvalidationCycles;
+      if (fault_ != nullptr && fault_->armed() &&
+          fault_->ShouldInject(fault::FaultSite::kIotlbInvalidation)) {
+        // Invalidation stall: the wait-descriptor takes far longer than the
+        // nominal cost (a latency spike, not a failure).
+        cycles += fault_->magnitude(fault::FaultSite::kIotlbInvalidation,
+                                    10 * kIotlbInvalidationCycles);
+      }
+      clock_.Advance(cycles);
+      stats_.invalidation_cycles += cycles;
       ++stats_.targeted_invalidations;
       if (hub_ != nullptr && hub_->active()) {
         telemetry::Event event;
@@ -198,8 +215,14 @@ void Iommu::FlushNow(FlushReason reason) {
   for (auto& [id, domain] : device_domain_) {
     domain->table.InvalidateWalkCache();
   }
-  clock_.Advance(kIotlbInvalidationCycles);
-  stats_.invalidation_cycles += kIotlbInvalidationCycles;
+  uint64_t flush_cycles = kIotlbInvalidationCycles;
+  if (fault_ != nullptr && fault_->armed() &&
+      fault_->ShouldInject(fault::FaultSite::kIotlbInvalidation)) {
+    flush_cycles += fault_->magnitude(fault::FaultSite::kIotlbInvalidation,
+                                      10 * kIotlbInvalidationCycles);
+  }
+  clock_.Advance(flush_cycles);
+  stats_.invalidation_cycles += flush_cycles;
   ++stats_.flushes;
   switch (reason) {
     case FlushReason::kManual:
@@ -384,6 +407,31 @@ const IovaAllocator* Iommu::iova_allocator(DeviceId device) const {
 const IoPageTable* Iommu::page_table(DeviceId device) const {
   const Domain* state = FindDevice(device);
   return state == nullptr ? nullptr : &state->table;
+}
+
+std::vector<DeviceId> Iommu::attached_devices() const {
+  std::vector<DeviceId> out;
+  out.reserve(device_domain_.size());
+  for (const auto& [id, domain] : device_domain_) {
+    out.push_back(DeviceId{id});
+  }
+  std::sort(out.begin(), out.end(),
+            [](DeviceId a, DeviceId b) { return a.value < b.value; });
+  return out;
+}
+
+uint32_t Iommu::domain_id(DeviceId device) const {
+  const Domain* state = FindDevice(device);
+  return state == nullptr ? 0 : state->id;
+}
+
+std::vector<Iommu::PendingRange> Iommu::pending_invalidations() const {
+  std::vector<PendingRange> out;
+  out.reserve(flush_queue_.size());
+  for (const PendingInvalidation& pending : flush_queue_) {
+    out.push_back(PendingRange{pending.device, pending.base, pending.pages});
+  }
+  return out;
 }
 
 }  // namespace spv::iommu

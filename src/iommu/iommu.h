@@ -33,6 +33,10 @@
 #include "iommu/iova_allocator.h"
 #include "mem/phys_memory.h"
 
+namespace spv::fault {
+class FaultEngine;
+}  // namespace spv::fault
+
 namespace spv::iommu {
 
 enum class InvalidationMode { kStrict, kDeferred };
@@ -105,6 +109,10 @@ class Iommu {
   // through `hub`; forwards to the embedded IOTLB. Pass nullptr to detach.
   void set_telemetry(telemetry::Hub* hub);
 
+  // Optional fault hook (kIovaAlloc, kIoPageTableMap, kIotlbInvalidation):
+  // nullptr detaches.
+  void set_fault_engine(fault::FaultEngine* engine) { fault_ = engine; }
+
   // Attaches a device in its own translation domain (the secure default:
   // one I/O page table per requester id, like Windows Kernel DMA Protection).
   void AttachDevice(DeviceId device);
@@ -163,6 +171,21 @@ class Iommu {
   const Iotlb& iotlb() const { return iotlb_; }
   uint64_t pending_invalidation_count() const { return flush_queue_.size(); }
 
+  // Attached devices in ascending id order, and the translation-domain id a
+  // device belongs to (0 when unattached). IOTLB entries are tagged by domain
+  // id, so audits need this indirection to relate the two.
+  std::vector<DeviceId> attached_devices() const;
+  uint32_t domain_id(DeviceId device) const;
+
+  // Snapshot of the deferred flush queue: IOVA ranges whose PTEs are gone but
+  // whose IOTLB entries may still translate (the Fig 6 window).
+  struct PendingRange {
+    DeviceId device;
+    Iova base;
+    uint64_t pages;
+  };
+  std::vector<PendingRange> pending_invalidations() const;
+
   // Fast-path introspection for benches and tests (nullptr when the device
   // is not attached).
   const IovaAllocator* iova_allocator(DeviceId device) const;
@@ -220,6 +243,7 @@ class Iommu {
   Stats stats_;
   std::vector<IommuFault> faults_;
   telemetry::Hub* hub_ = nullptr;
+  fault::FaultEngine* fault_ = nullptr;
 };
 
 }  // namespace spv::iommu

@@ -39,6 +39,16 @@ class Iotlb {
   void InvalidateAll();
 
   size_t size() const { return map_.size(); }
+
+  // Visits every cached translation as (domain id, iova page base, entry).
+  // Unordered; for audits (Machine::CheckInvariants), not the lookup path.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const auto& [key, slot] : map_) {
+      fn(DeviceId{key.device}, Iova{key.iova_page}, slot.entry);
+    }
+  }
+
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t invalidations() const { return invalidations_; }

@@ -19,6 +19,7 @@
 #ifndef SPV_IOMMU_IOVA_ALLOCATOR_H_
 #define SPV_IOMMU_IOVA_ALLOCATOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <unordered_map>
@@ -73,6 +74,26 @@ class IovaAllocator {
 
   // Number of IOVA ranges currently parked in magazines + depot.
   uint64_t cached_ranges() const;
+
+  struct LiveRange {
+    uint64_t base_page;
+    uint64_t pages;  // size-class-rounded (effective) count
+  };
+
+  // Live ranges in ascending base order, sized as the rounded counts Alloc
+  // actually reserved. Leak/containment audits (Machine::CheckInvariants)
+  // match mapped IOVA pages against these.
+  std::vector<LiveRange> live_ranges() const {
+    std::vector<LiveRange> out;
+    out.reserve(live_.size());
+    for (const auto& [base, pages] : live_) {
+      out.push_back(LiveRange{base, pages});
+    }
+    std::sort(out.begin(), out.end(), [](const LiveRange& a, const LiveRange& b) {
+      return a.base_page < b.base_page;
+    });
+    return out;
+  }
 
   // Publishes rcache hit/miss/depot counters to `hub` (nullptr detaches).
   void set_telemetry(telemetry::Hub* hub);

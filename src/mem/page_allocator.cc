@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "fault/fault.h"
+
 namespace spv::mem {
 
 PageAllocator::PageAllocator(PageDb& page_db, Pfn first_pfn, uint64_t num_pages)
@@ -27,6 +29,10 @@ PageAllocator::PageAllocator(PageDb& page_db, Pfn first_pfn, uint64_t num_pages)
 Result<Pfn> PageAllocator::AllocPages(unsigned order, PageOwner owner) {
   if (order > kMaxOrder) {
     return InvalidArgument("order exceeds kMaxOrder");
+  }
+  if (fault_ != nullptr && fault_->armed() &&
+      fault_->ShouldInject(fault::FaultSite::kPageAlloc)) {
+    return ResourceExhausted("injected: out of physical pages");
   }
   ++alloc_count_;
 

@@ -21,6 +21,10 @@
 #include "base/types.h"
 #include "mem/page_db.h"
 
+namespace spv::fault {
+class FaultEngine;
+}  // namespace spv::fault
+
 namespace spv::mem {
 
 class PageAllocator {
@@ -44,6 +48,9 @@ class PageAllocator {
 
   uint64_t free_pages() const { return free_pages_; }
   uint64_t total_pages() const { return num_pages_; }
+
+  // Optional fault hook (kPageAlloc): nullptr detaches.
+  void set_fault_engine(fault::FaultEngine* engine) { fault_ = engine; }
 
   // Statistics for benchmarks.
   uint64_t hot_cache_hits() const { return hot_cache_hits_; }
@@ -75,6 +82,8 @@ class PageAllocator {
 
   uint64_t hot_cache_hits_ = 0;
   uint64_t alloc_count_ = 0;
+
+  fault::FaultEngine* fault_ = nullptr;
 };
 
 }  // namespace spv::mem

@@ -1,6 +1,8 @@
 #include "net/nic_driver.h"
 
-#include <cassert>
+#include <algorithm>
+
+#include "fault/fault.h"
 
 namespace spv::net {
 
@@ -47,15 +49,26 @@ uint32_t NicDriver::rx_buffer_bytes() const {
 }
 
 Status NicDriver::FillRxRing() {
+  // Best-effort: one slot failing to fill must not leave the ones after it
+  // empty; the first error is still reported.
+  Status first = OkStatus();
   for (uint32_t i = 0; i < config_.rx_ring_size; ++i) {
-    if (!rx_ring_[i].posted) {
-      SPV_RETURN_IF_ERROR(RefillSlot(i));
+    if (rx_ring_[i].posted) {
+      continue;
+    }
+    Status status = RefillSlot(i);
+    if (first.ok() && !status.ok()) {
+      first = status;
     }
   }
-  return OkStatus();
+  return first;
 }
 
 Status NicDriver::RefillSlot(uint32_t index) {
+  if (fault_ != nullptr && fault_->armed() &&
+      fault_->ShouldInject(fault::FaultSite::kNicRxRefillStarve)) {
+    return ResourceExhausted("injected: rx refill starvation");
+  }
   // Ring work executes on the driver's IRQ CPU: IOVA magazine traffic for
   // this device stays CPU-local (the Linux rcache locality assumption).
   dma_.set_current_cpu(config_.cpu);
@@ -86,18 +99,134 @@ Status NicDriver::RefillSlot(uint32_t index) {
   return OkStatus();
 }
 
+void NicDriver::RefillSlotTolerant(uint32_t index) {
+  Status status = RefillSlot(index);
+  if (status.ok()) {
+    return;
+  }
+  // The ring runs one slot short; RetryRefills() will try again after the
+  // backoff window instead of failing the completion that noticed it.
+  ++rx_refill_failures_;
+  rx_needs_refill_ = true;
+  refill_backoff_until_ = clock_.now() + config_.refill_retry_backoff_cycles;
+  if (dma_.telemetry().enabled()) {
+    dma_.telemetry().counter("nic.rx_refill_failures").Add();
+  }
+}
+
+uint32_t NicDriver::RetryRefills() {
+  if (!rx_needs_refill_ || clock_.now() < refill_backoff_until_) {
+    return 0;
+  }
+  uint32_t refilled = 0;
+  bool failed = false;
+  for (uint32_t i = 0; i < rx_ring_.size(); ++i) {
+    if (rx_ring_[i].posted) {
+      continue;
+    }
+    Status status = RefillSlot(i);
+    if (!status.ok()) {
+      ++rx_refill_failures_;
+      refill_backoff_until_ = clock_.now() + config_.refill_retry_backoff_cycles;
+      if (dma_.telemetry().enabled()) {
+        dma_.telemetry().counter("nic.rx_refill_failures").Add();
+      }
+      failed = true;
+      break;
+    }
+    ++refilled;
+  }
+  if (!failed) {
+    rx_needs_refill_ = false;
+  }
+  if (refilled > 0) {
+    EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kFaultRecovered,
+                 telemetry::Severity::kInfo, device_id_, refilled, this,
+                 config_.name + "_rx_refill_retry");
+    if (dma_.telemetry().enabled()) {
+      dma_.telemetry().counter("fault.recovered.rx_refill_retry").Add();
+    }
+  }
+  return refilled;
+}
+
+Result<SkBuffPtr> NicDriver::DropRxFrame(uint32_t index, uint32_t pkt_len,
+                                         std::string_view counter) {
+  RxSlot slot = rx_ring_[index];
+  rx_ring_[index].posted = false;
+  EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kNicRxError,
+               telemetry::Severity::kWarn, device_id_, pkt_len, this,
+               config_.name + "_rx_error");
+  if (dma_.telemetry().enabled()) {
+    dma_.telemetry().counter(std::string(counter)).Add();
+  }
+  if (config_.sync_only_rx) {
+    // Page-reuse drivers keep the buffer and its (permanent) mapping: the
+    // same slot is simply reposted.
+    rx_ring_[index] = slot;
+    if (device_ != nullptr) {
+      device_->OnRxPosted(RxPostedDescriptor{index, slot.iova, rx_buffer_bytes()});
+    }
+    return SkBuffPtr{};
+  }
+  const dma::DmaDirection rx_dir =
+      config_.xdp ? dma::DmaDirection::kBidirectional : dma::DmaDirection::kFromDevice;
+  SPV_RETURN_IF_ERROR(dma_.UnmapSingle(device_id_, slot.iova, rx_buffer_bytes(), rx_dir));
+  slab::PageFragPool* pool = skb_alloc_.frag_pool(config_.cpu);
+  if (pool != nullptr) {
+    SPV_RETURN_IF_ERROR(pool->Free(slot.head));
+  }
+  RefillSlotTolerant(index);
+  return SkBuffPtr{};
+}
+
 Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
   if (index >= rx_ring_.size() || !rx_ring_[index].posted) {
     return FailedPrecondition("RX completion on empty slot");
   }
   dma_.set_current_cpu(config_.cpu);
+  RetryRefills();
+  const bool faulting = fault_ != nullptr && fault_->armed();
+  if (faulting && fault_->ShouldInject(fault::FaultSite::kNicDeviceStall)) {
+    // The device went quiet for a while before delivering this completion;
+    // everything time-based (TX watchdog, refill backoff) sees the gap.
+    clock_.Advance(fault_->magnitude(fault::FaultSite::kNicDeviceStall,
+                                     SimClock::MsToCycles(1)));
+  }
   const uint32_t usable =
       rx_buffer_bytes() - static_cast<uint32_t>(SkbDataAlign(SharedInfoLayout::kSize));
+  bool injected_bad_len = false;
+  if (faulting && fault_->ShouldInject(fault::FaultSite::kNicDescWriteback)) {
+    // Descriptor writeback corruption: the length field is device-supplied
+    // garbage, exactly what a malfunctioning NIC would post.
+    pkt_len = static_cast<uint32_t>(
+        fault_->magnitude(fault::FaultSite::kNicDescWriteback, 0xdeadbeef));
+    injected_bad_len = true;
+  } else if (faulting && fault_->ShouldInject(fault::FaultSite::kNicRxTruncate)) {
+    pkt_len = static_cast<uint32_t>(std::min<uint64_t>(
+        pkt_len, fault_->magnitude(fault::FaultSite::kNicRxTruncate, pkt_len / 2)));
+    injected_bad_len = pkt_len < PacketHeader::kSize || pkt_len > usable;
+  }
   if (pkt_len < PacketHeader::kSize || pkt_len > usable) {
+    if (injected_bad_len) {
+      // Device-originated garbage: drop with accounting and recover the slot.
+      ++rx_length_errors_;
+      return DropRxFrame(index, pkt_len, "nic.rx_length_errors");
+    }
+    // Caller misuse: reject and leave the slot posted.
     return InvalidArgument("RX packet length out of bounds");
+  }
+  if (faulting && fault_->ShouldInject(fault::FaultSite::kNicRxDrop)) {
+    ++rx_device_drops_;
+    return DropRxFrame(index, pkt_len, "nic.rx_device_drops");
   }
   RxSlot slot = rx_ring_[index];
   rx_ring_[index].posted = false;
+  if (faulting && fault_->ShouldInject(fault::FaultSite::kNicRxCorrupt)) {
+    // Payload corruption: scribble the on-wire header before the driver
+    // parses it; the stack's length/parse checks must catch it.
+    (void)kmem_.Fill(slot.head, PacketHeader::kSize, 0xFF);
+  }
 
   auto build = [&]() -> Result<SkBuffPtr> {
     Result<SkBuffPtr> skb = skb_alloc_.BuildSkb(
@@ -201,12 +330,24 @@ Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
     dma_.telemetry().counter("nic.rx_packets").Add();
   }
   // Linux refills opportunistically; we refill immediately to keep the ring
-  // full (this is what makes consecutive ring buffers page-neighbours).
-  SPV_RETURN_IF_ERROR(RefillSlot(index));
+  // full (this is what makes consecutive ring buffers page-neighbours). A
+  // failed refill must not lose the packet we already built — it arms the
+  // retry backoff instead.
+  RefillSlotTolerant(index);
   return skb;
 }
 
 Result<uint32_t> NicDriver::PostTx(SkBuffPtr skb) {
+  Result<uint32_t> index = TryPostTx(skb);
+  if (!index.ok() && skb != nullptr) {
+    // TryPostTx leaves the skb with the caller on failure; PostTx owns it, so
+    // it is released here rather than leaked.
+    (void)skb_alloc_.FreeSkb(std::move(skb), nullptr);
+  }
+  return index;
+}
+
+Result<uint32_t> NicDriver::TryPostTx(SkBuffPtr& skb) {
   dma_.set_current_cpu(config_.cpu);
   uint32_t index = 0;
   for (; index < tx_ring_.size(); ++index) {
@@ -289,18 +430,29 @@ Result<uint32_t> NicDriver::PostTx(SkBuffPtr skb) {
 
 Status NicDriver::UnmapTxSlot(TxSlot& slot) {
   dma_.set_current_cpu(config_.cpu);
-  SPV_RETURN_IF_ERROR(dma_.UnmapSingle(device_id_, slot.linear_iova, slot.linear_len,
-                                       dma::DmaDirection::kToDevice));
+  // Attempt every unmap even if one fails — an early return here would strand
+  // the remaining frag mappings with no one left holding their IOVAs.
+  Status first = dma_.UnmapSingle(device_id_, slot.linear_iova, slot.linear_len,
+                                  dma::DmaDirection::kToDevice);
   for (const TxFragMapping& frag : slot.frags) {
-    SPV_RETURN_IF_ERROR(
-        dma_.UnmapSingle(device_id_, frag.iova, frag.len, dma::DmaDirection::kToDevice));
+    Status status =
+        dma_.UnmapSingle(device_id_, frag.iova, frag.len, dma::DmaDirection::kToDevice);
+    if (first.ok() && !status.ok()) {
+      first = status;
+    }
   }
-  return OkStatus();
+  return first;
 }
 
 Result<SkBuffPtr> NicDriver::CompleteTx(uint32_t index) {
   if (index >= tx_ring_.size() || !tx_ring_[index].busy) {
     return FailedPrecondition("TX completion on empty slot");
+  }
+  if (fault_ != nullptr && fault_->armed() &&
+      fault_->ShouldInject(fault::FaultSite::kNicTxCompletionLoss)) {
+    // The completion never arrives: the slot stays busy (mappings and skb
+    // intact) until the TX watchdog flushes it (§5.4's T/O path).
+    return Unavailable("injected: TX completion lost");
   }
   TxSlot& slot = tx_ring_[index];
   SPV_RETURN_IF_ERROR(UnmapTxSlot(slot));
@@ -317,12 +469,23 @@ uint32_t NicDriver::CheckTxTimeout() {
     }
   }
   if (timed_out > 0) {
-    // Driver reset: flush every pending TX buffer.
+    // Driver reset: flush every pending TX buffer. Flushed skbs are parked on
+    // the bounded requeue list (RequeueTimedOut reposts them) — not leaked.
     for (TxSlot& slot : tx_ring_) {
-      if (slot.busy) {
-        (void)UnmapTxSlot(slot);
-        slot = TxSlot{};
+      if (!slot.busy) {
+        continue;
       }
+      (void)UnmapTxSlot(slot);
+      if (tx_requeue_.size() < tx_ring_.size()) {
+        tx_requeue_.push_back(PendingTx{std::move(slot.skb), 0});
+      } else {
+        ++tx_requeue_drops_;
+        (void)skb_alloc_.FreeSkb(std::move(slot.skb), nullptr);
+        if (dma_.telemetry().enabled()) {
+          dma_.telemetry().counter("nic.tx_dropped").Add();
+        }
+      }
+      slot = TxSlot{};
     }
     ++tx_resets_;
     EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kNicTxReset,
@@ -330,9 +493,79 @@ uint32_t NicDriver::CheckTxTimeout() {
                  config_.name + "_tx_timeout_reset");
     if (dma_.telemetry().enabled()) {
       dma_.telemetry().counter("nic.tx_resets").Add();
+      dma_.telemetry().counter("nic.ring_reset").Add();
     }
   }
   return timed_out;
+}
+
+uint32_t NicDriver::RequeueTimedOut() {
+  uint32_t reposted = 0;
+  while (!tx_requeue_.empty()) {
+    PendingTx pending = std::move(tx_requeue_.front());
+    tx_requeue_.pop_front();
+    Result<uint32_t> index = TryPostTx(pending.skb);
+    if (index.ok()) {
+      ++reposted;
+      EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kFaultRecovered,
+                   telemetry::Severity::kInfo, device_id_, *index, this,
+                   config_.name + "_tx_requeue");
+      if (dma_.telemetry().enabled()) {
+        dma_.telemetry().counter("fault.recovered.tx_requeue").Add();
+      }
+      continue;
+    }
+    ++pending.attempts;
+    if (pending.attempts >= config_.tx_requeue_max_attempts) {
+      ++tx_requeue_drops_;
+      (void)skb_alloc_.FreeSkb(std::move(pending.skb), nullptr);
+      if (dma_.telemetry().enabled()) {
+        dma_.telemetry().counter("nic.tx_requeue_dropped").Add();
+      }
+      continue;
+    }
+    // Head-of-line: put it back and stop — the ring is presumably still full.
+    tx_requeue_.push_front(std::move(pending));
+    break;
+  }
+  return reposted;
+}
+
+Status NicDriver::Shutdown() {
+  dma_.set_current_cpu(config_.cpu);
+  Status first = OkStatus();
+  auto note = [&first](const Status& status) {
+    if (first.ok() && !status.ok()) {
+      first = status;
+    }
+  };
+  const dma::DmaDirection rx_dir =
+      config_.xdp ? dma::DmaDirection::kBidirectional : dma::DmaDirection::kFromDevice;
+  slab::PageFragPool* pool = skb_alloc_.frag_pool(config_.cpu);
+  for (RxSlot& slot : rx_ring_) {
+    if (!slot.posted) {
+      continue;
+    }
+    note(dma_.UnmapSingle(device_id_, slot.iova, rx_buffer_bytes(), rx_dir));
+    if (pool != nullptr) {
+      note(pool->Free(slot.head));
+    }
+    slot = RxSlot{};
+  }
+  for (TxSlot& slot : tx_ring_) {
+    if (!slot.busy) {
+      continue;
+    }
+    note(UnmapTxSlot(slot));
+    note(skb_alloc_.FreeSkb(std::move(slot.skb), nullptr));
+    slot = TxSlot{};
+  }
+  while (!tx_requeue_.empty()) {
+    note(skb_alloc_.FreeSkb(std::move(tx_requeue_.front().skb), nullptr));
+    tx_requeue_.pop_front();
+  }
+  rx_needs_refill_ = false;
+  return first;
 }
 
 std::optional<Kva> NicDriver::RxSlotKva(uint32_t index) const {

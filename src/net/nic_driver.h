@@ -15,8 +15,10 @@
 #define SPV_NET_NIC_DRIVER_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/clock.h"
@@ -26,6 +28,10 @@
 #include "dma/kernel_memory.h"
 #include "net/nic_device_model.h"
 #include "net/skbuff.h"
+
+namespace spv::fault {
+class FaultEngine;
+}  // namespace spv::fault
 
 namespace spv::net {
 
@@ -60,6 +66,12 @@ class NicDriver {
     // persists for the life of the ring, in ANY IOMMU mode.
     bool sync_only_rx = false;
     uint64_t tx_timeout_cycles = SimClock::MsToCycles(5000);
+    // After a failed RX refill the driver waits this long before retrying
+    // (bounded backoff: a starved allocator is not hammered every completion).
+    uint64_t refill_retry_backoff_cycles = SimClock::MsToCycles(1);
+    // A watchdog-flushed TX skb is reposted at most this many times before
+    // the driver gives up and frees it.
+    uint32_t tx_requeue_max_attempts = 3;
   };
 
   static constexpr uint32_t kLroBufBytes = 64 * 1024;
@@ -71,6 +83,9 @@ class NicDriver {
   NicDriver& operator=(const NicDriver&) = delete;
 
   void AttachDevice(NicDeviceModel* device) { device_ = device; }
+
+  // Optional fault hook (the kNic* sites): nullptr detaches.
+  void set_fault_engine(fault::FaultEngine* engine) { fault_ = engine; }
 
   // Attaches an XDP program; only meaningful with config.xdp = true (the
   // driver maps RX buffers BIDIRECTIONAL for in-place rewrites).
@@ -85,8 +100,15 @@ class NicDriver {
 
   // Driver-side completion after the device wrote `pkt_len` bytes into slot
   // `index`: builds the sk_buff (per the configured ordering), refills the
-  // slot, returns the packet.
+  // slot, returns the packet. Device-originated garbage (an injected drop,
+  // truncation or descriptor-writeback fault) is dropped with accounting and
+  // returns a null skb — only caller misuse returns an error.
   Result<SkBuffPtr> CompleteRx(uint32_t index, uint32_t pkt_len);
+
+  // Retries refills for slots a failed allocation left empty, once the
+  // backoff window has passed. Returns the number of slots refilled. Called
+  // opportunistically from CompleteRx; exposed for NAPI-style polling loops.
+  uint32_t RetryRefills();
 
   // ---- TX -------------------------------------------------------------------
 
@@ -102,7 +124,19 @@ class NicDriver {
   // TX watchdog: slots pending longer than tx_timeout_cycles are flushed; the
   // count of resets is reported (a failed-to-appear completion "triggers a TX
   // T/O error that flushes all buffers and resets the driver", §5.4).
+  // Flushed skbs are unmapped and parked on a bounded requeue list rather
+  // than leaked; RequeueTimedOut() reposts them.
   uint32_t CheckTxTimeout();
+
+  // Reposts skbs the watchdog flushed. Each skb gets at most
+  // tx_requeue_max_attempts tries before it is freed. Returns the number
+  // successfully reposted.
+  uint32_t RequeueTimedOut();
+
+  // Releases everything the driver holds: unmaps and frees every posted RX
+  // buffer, flushes pending TX slots and drains the requeue list. Returns the
+  // first error encountered but keeps going (best-effort teardown).
+  Status Shutdown();
 
   // ---- Introspection -----------------------------------------------------------
 
@@ -118,6 +152,11 @@ class NicDriver {
   uint64_t rx_packets() const { return rx_packets_; }
   uint64_t tx_packets() const { return tx_packets_; }
   uint32_t tx_resets() const { return tx_resets_; }
+  uint64_t rx_length_errors() const { return rx_length_errors_; }
+  uint64_t rx_device_drops() const { return rx_device_drops_; }
+  uint64_t rx_refill_failures() const { return rx_refill_failures_; }
+  uint64_t tx_requeue_drops() const { return tx_requeue_drops_; }
+  size_t tx_requeue_depth() const { return tx_requeue_.size(); }
 
  private:
   struct RxSlot {
@@ -139,8 +178,22 @@ class NicDriver {
     uint64_t post_cycle = 0;
   };
 
+  struct PendingTx {
+    SkBuffPtr skb;
+    uint32_t attempts = 0;
+  };
+
   Status RefillSlot(uint32_t index);
+  // RefillSlot, but a failure arms the retry backoff instead of propagating:
+  // the ring runs one slot short until RetryRefills() succeeds.
+  void RefillSlotTolerant(uint32_t index);
   Status UnmapTxSlot(TxSlot& slot);
+  // PostTx body that leaves `skb` with the caller on failure (requeue path).
+  Result<uint32_t> TryPostTx(SkBuffPtr& skb);
+  // Drops a completion the device delivered broken: recovers the slot (repost
+  // or unmap+free+refill), accounts under `counter`, returns a null skb.
+  Result<SkBuffPtr> DropRxFrame(uint32_t index, uint32_t pkt_len,
+                                std::string_view counter);
 
   DeviceId device_id_;
   dma::DmaApi& dma_;
@@ -152,12 +205,20 @@ class NicDriver {
 
   std::vector<RxSlot> rx_ring_;
   std::vector<TxSlot> tx_ring_;
+  std::deque<PendingTx> tx_requeue_;  // watchdog-flushed skbs awaiting repost
   XdpProgram* xdp_program_ = nullptr;
+  fault::FaultEngine* fault_ = nullptr;
   uint64_t rx_packets_ = 0;
   uint64_t tx_packets_ = 0;
   uint64_t xdp_drops_ = 0;
   uint64_t xdp_tx_ = 0;
   uint32_t tx_resets_ = 0;
+  uint64_t rx_length_errors_ = 0;
+  uint64_t rx_device_drops_ = 0;
+  uint64_t rx_refill_failures_ = 0;
+  uint64_t tx_requeue_drops_ = 0;
+  uint64_t refill_backoff_until_ = 0;
+  bool rx_needs_refill_ = false;
 };
 
 }  // namespace spv::net

@@ -79,6 +79,18 @@ Status NetworkStack::Deliver(SkBuffPtr skb) {
     Drop(hub, skb->len, "unparseable header");
     return FreeSkb(std::move(skb));
   }
+  // A header claiming more payload than the skb holds is device-originated
+  // garbage (truncated frame, corrupt length field): reading it would walk
+  // past the buffer. GRO only grows skb->len, so a merged skb never trips it.
+  if (PacketHeader::kSize + uint64_t{skb->header.payload_len} > skb->len) {
+    ++stats_.rx_dropped;
+    ++stats_.rx_length_errors;
+    Drop(hub, skb->len, "payload_len over-claims skb length");
+    if (hub.enabled()) {
+      hub.counter("stack.rx_length_errors").Add();
+    }
+    return FreeSkb(std::move(skb));
+  }
   if (skb->header.dst_ip == config_.local_ip) {
     auto it = sockets_.find(skb->header.dst_port);
     if (it == sockets_.end()) {

@@ -40,6 +40,7 @@ class NetworkStack {
     uint64_t rx_delivered = 0;
     uint64_t rx_forwarded = 0;
     uint64_t rx_dropped = 0;
+    uint64_t rx_length_errors = 0;  // header payload_len over-claims skb->len
     uint64_t tx_sent = 0;
     uint64_t echoed = 0;
   };

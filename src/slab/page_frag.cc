@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "base/align.h"
+#include "fault/fault.h"
 
 namespace spv::slab {
 
@@ -69,6 +70,10 @@ Result<Kva> PageFragPool::Alloc(uint64_t size, uint64_t align, std::string_view 
   if (size == 0 || !IsPowerOfTwo(align)) {
     return InvalidArgument("page_frag alloc: bad size or alignment");
   }
+  if (fault_ != nullptr && fault_->armed() &&
+      fault_->ShouldInject(fault::FaultSite::kPageFragAlloc)) {
+    return ResourceExhausted("injected: page_frag pool exhausted");
+  }
 
   if (size > region_bytes_) {
     // Oversized request: dedicated region (e.g. 64 KiB HW-LRO buffers, §5.3).
@@ -129,8 +134,12 @@ Status PageFragPool::Free(Kva kva) {
   frags_.erase(it);
 
   auto rit = regions_.find(head);
-  assert(rit != regions_.end());
-  assert(rit->second.refs > 0);
+  if (rit == regions_.end()) {
+    return Internal("page_frag free: frag points at an unknown region");
+  }
+  if (rit->second.refs == 0) {
+    return Internal("page_frag free: region refcount underflow");
+  }
   --rit->second.refs;
   Notify(false, kva, size, "");
   MaybeReleaseRegion(head);
@@ -143,8 +152,11 @@ void PageFragPool::MaybeReleaseRegion(uint64_t head_pfn) {
     return;
   }
   Status s = page_alloc_.FreePages(it->second.head);
-  assert(s.ok());
-  (void)s;
+  if (!s.ok()) {
+    // Keep the region recorded rather than leaking its bookkeeping; a later
+    // release attempt (or CheckInvariants) will see the inconsistency.
+    return;
+  }
   regions_.erase(it);
 }
 

@@ -27,6 +27,10 @@
 #include "slab/observer.h"
 #include "telemetry/telemetry.h"
 
+namespace spv::fault {
+class FaultEngine;
+}  // namespace spv::fault
+
 namespace spv::slab {
 
 struct FragInfo {
@@ -75,6 +79,9 @@ class PageFragPool {
   // The bus every frag event is published to.
   telemetry::Hub& telemetry();
 
+  // Optional fault hook (kPageFragAlloc): nullptr detaches.
+  void set_fault_engine(fault::FaultEngine* engine) { fault_ = engine; }
+
  private:
   struct Region {
     Pfn head;
@@ -108,6 +115,7 @@ class PageFragPool {
   std::unique_ptr<telemetry::Hub> owned_hub_;  // fallback when none injected
   std::vector<std::unique_ptr<SlabObserverSink>> observer_sinks_;
   uint64_t regions_allocated_ = 0;
+  fault::FaultEngine* fault_ = nullptr;
 };
 
 }  // namespace spv::slab

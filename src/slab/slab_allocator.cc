@@ -1,9 +1,9 @@
 #include "slab/slab_allocator.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "base/align.h"
+#include "fault/fault.h"
 
 namespace spv::slab {
 
@@ -35,6 +35,10 @@ std::optional<uint16_t> SlabAllocator::SizeClassIndex(uint64_t size) {
 }
 
 Result<Kva> SlabAllocator::Kmalloc(uint64_t size, std::string_view site) {
+  if (fault_ != nullptr && fault_->armed() &&
+      fault_->ShouldInject(fault::FaultSite::kSlabAlloc)) {
+    return ResourceExhausted("injected: kmalloc cache exhausted");
+  }
   std::optional<uint16_t> cls = SizeClassIndex(size);
   if (!cls.has_value()) {
     return KmallocLarge(size, site);
@@ -60,6 +64,18 @@ Result<Kva> SlabAllocator::Kmalloc(uint64_t size, std::string_view site) {
 
   SlabPage& page = slab_pages_.at(cache.partial.front().value);
   const uint16_t slot = page.free_stack.back();
+  const Kva kva = SlotKva(page, slot);
+  // kzalloc semantics. Zero before carving the slot so a physical-memory
+  // failure surfaces as a clean Status with no bookkeeping to roll back.
+  auto phys = layout_.DirectMapKvaToPhys(kva);
+  if (!phys.ok()) {
+    return phys.status();
+  }
+  Status zero = pm_.Fill(*phys, cache.object_size, 0);
+  if (!zero.ok()) {
+    return zero;
+  }
+
   page.free_stack.pop_back();
   page.occupied[slot] = true;
   page.sites[slot] = std::string(site);
@@ -67,14 +83,6 @@ Result<Kva> SlabAllocator::Kmalloc(uint64_t size, std::string_view site) {
   if (page.free_stack.empty()) {
     cache.partial.pop_front();  // page is now full
   }
-
-  const Kva kva = SlotKva(page, slot);
-  // kzalloc semantics.
-  auto phys = layout_.DirectMapKvaToPhys(kva);
-  assert(phys.ok());
-  Status zero = pm_.Fill(*phys, cache.object_size, 0);
-  assert(zero.ok());
-  (void)zero;
 
   ++live_objects_;
   if (hub_ != nullptr && hub_->enabled()) {
@@ -92,11 +100,15 @@ Result<Kva> SlabAllocator::KmallocLarge(uint64_t size, std::string_view site) {
   if (!head.ok()) {
     return head.status();
   }
-  large_[head->value] = LargeAlloc{*head, size, order, std::string(site)};
   const Kva kva = layout_.PhysToDirectMapKva(PhysAddr::FromPfn(*head));
   Status zero = pm_.Fill(PhysAddr::FromPfn(*head), uint64_t{1} << (order + kPageShift), 0);
-  assert(zero.ok());
-  (void)zero;
+  if (!zero.ok()) {
+    // Zeroing failed: return the pages and surface the error instead of
+    // recording a half-initialised allocation.
+    (void)page_alloc_.FreePages(*head);
+    return zero;
+  }
+  large_[head->value] = LargeAlloc{*head, size, order, std::string(site)};
   ++live_objects_;
   Notify(/*alloc=*/true, kva, size, site);
   return kva;

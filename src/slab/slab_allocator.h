@@ -30,6 +30,10 @@
 #include "slab/observer.h"
 #include "telemetry/telemetry.h"
 
+namespace spv::fault {
+class FaultEngine;
+}  // namespace spv::fault
+
 namespace spv::slab {
 
 // Linux kmalloc size classes up to one page.
@@ -81,6 +85,9 @@ class SlabAllocator {
 
   uint64_t live_objects() const { return live_objects_; }
 
+  // Optional fault hook (kSlabAlloc): nullptr detaches.
+  void set_fault_engine(fault::FaultEngine* engine) { fault_ = engine; }
+
  private:
   struct SlabPage {
     Pfn pfn;
@@ -124,6 +131,7 @@ class SlabAllocator {
   std::unique_ptr<telemetry::Hub> owned_hub_;  // fallback when none injected
   std::vector<std::unique_ptr<SlabObserverSink>> observer_sinks_;
   uint64_t live_objects_ = 0;
+  fault::FaultEngine* fault_ = nullptr;
 };
 
 }  // namespace spv::slab

@@ -40,6 +40,9 @@ constexpr KindName kKindNames[] = {
     {EventKind::kAttackStage, "attack_stage"},
     {EventKind::kDkasanReport, "dkasan_report"},
     {EventKind::kSpadeFinding, "spade_finding"},
+    {EventKind::kFaultInjected, "fault_injected"},
+    {EventKind::kFaultRecovered, "fault_recovered"},
+    {EventKind::kNicRxError, "nic_rx_error"},
 };
 
 constexpr std::string_view kSeverityNames[] = {"trace", "info", "warn", "critical"};

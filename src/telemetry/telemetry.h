@@ -78,6 +78,10 @@ enum class EventKind : uint8_t {
   kAttackStage,
   kDkasanReport,
   kSpadeFinding,
+  // Fault injection (spv::fault) and the recovery paths it exercises.
+  kFaultInjected,   // the engine fired a fault at an instrumented site
+  kFaultRecovered,  // a consumer recovered (refill retry, TX requeue, ...)
+  kNicRxError,      // driver dropped a completion (bad length, device fault)
 };
 
 std::string_view EventKindName(EventKind kind);

@@ -71,6 +71,11 @@ class MiniCpuTest : public ::testing::Test {
       : machine_(VictimConfig(11, false, iommu::InvalidationMode::kStrict)),
         cpu_(machine_.kmem(), machine_.layout()) {}
 
+  void TearDown() override {
+    Status invariants = machine_.CheckInvariants();
+    EXPECT_TRUE(invariants.ok()) << invariants.message();
+  }
+
   core::Machine machine_;
   MiniCpu cpu_;
 };

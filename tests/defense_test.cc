@@ -35,6 +35,11 @@ class BounceFixture : public ::testing::Test {
     return config;
   }
 
+  void TearDown() override {
+    Status invariants = machine_.CheckInvariants();
+    EXPECT_TRUE(invariants.ok()) << invariants.message();
+  }
+
   core::Machine machine_;
   dma::BounceDma bounce_;
 };
@@ -144,6 +149,11 @@ class DamnFixture : public ::testing::Test {
     config.seed = 4949;
     config.iommu.mode = iommu::InvalidationMode::kDeferred;
     return config;
+  }
+
+  void TearDown() override {
+    Status invariants = machine_.CheckInvariants();
+    EXPECT_TRUE(invariants.ok()) << invariants.message();
   }
 
   core::Machine machine_;

@@ -35,6 +35,11 @@ class DkasanFixture : public ::testing::Test {
     return device;
   }
 
+  void TearDown() override {
+    Status invariants = machine_.CheckInvariants();
+    EXPECT_TRUE(invariants.ok()) << invariants.message();
+  }
+
   core::Machine machine_;
   DKasan dkasan_;
 };

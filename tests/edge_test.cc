@@ -141,6 +141,10 @@ class MachineEdgeTest : public ::testing::Test {
     config.seed = 606;
     return config;
   }
+  void TearDown() override {
+    Status invariants = machine_.CheckInvariants();
+    EXPECT_TRUE(invariants.ok()) << invariants.message();
+  }
   core::Machine machine_;
 };
 

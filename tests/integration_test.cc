@@ -176,6 +176,11 @@ class GroFlowFixture : public ::testing::Test {
     return std::move(*skb);
   }
 
+  void TearDown() override {
+    Status invariants = machine_.CheckInvariants();
+    EXPECT_TRUE(invariants.ok()) << invariants.message();
+  }
+
   core::Machine machine_;
   net::NicDriver* nic_ = nullptr;
   std::unique_ptr<TestNicDevice> device_;

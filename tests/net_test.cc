@@ -32,6 +32,13 @@ class NetFixture : public ::testing::Test {
     return config;
   }
 
+  // Every test must leave the machine internally consistent, whatever state
+  // (live rings, pending invalidations) it walks away from.
+  void TearDown() override {
+    Status invariants = machine_.CheckInvariants();
+    EXPECT_TRUE(invariants.ok()) << invariants.message();
+  }
+
   core::Machine machine_;
 };
 

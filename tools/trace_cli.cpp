@@ -159,6 +159,15 @@ std::string DescribeRow(const TraceRow& row) {
     case telemetry::EventKind::kNicTxReset:
       out << "dev " << row.device << "  " << row.len << " slots timed out";
       break;
+    case telemetry::EventKind::kNicRxError:
+      out << "dev " << row.device << "  pkt " << row.len << "B dropped";
+      break;
+    case telemetry::EventKind::kFaultInjected:
+      out << "site #" << row.aux << "  magnitude " << row.len;
+      break;
+    case telemetry::EventKind::kFaultRecovered:
+      out << "dev " << row.device << "  recovered " << row.len;
+      break;
     case telemetry::EventKind::kStackDeliver:
     case telemetry::EventKind::kStackForward:
     case telemetry::EventKind::kStackDrop:
@@ -175,7 +184,17 @@ std::string DescribeRow(const TraceRow& row) {
   return out.str();
 }
 
-int Replay(const std::string& csv, telemetry::Severity min_severity, size_t limit) {
+// --filter origin=fault: keep only rows from the fault-injection story — the
+// engine's own events plus recovery/drop accounting published on its behalf.
+bool IsFaultRow(const TraceRow& row) {
+  return row.kind == telemetry::EventKind::kFaultInjected ||
+         row.kind == telemetry::EventKind::kFaultRecovered ||
+         row.kind == telemetry::EventKind::kNicRxError ||
+         row.site.rfind("fault:", 0) == 0;
+}
+
+int Replay(const std::string& csv, telemetry::Severity min_severity, size_t limit,
+           bool fault_only) {
   std::istringstream in(csv);
   std::string line;
   if (!std::getline(in, line)) {
@@ -204,6 +223,10 @@ int Replay(const std::string& csv, telemetry::Severity min_severity, size_t limi
       ++skipped;
       continue;
     }
+    if (fault_only && !IsFaultRow(*row)) {
+      ++skipped;
+      continue;
+    }
     const uint64_t delta = have_prev ? row->cycle - prev_cycle : 0;
     prev_cycle = row->cycle;
     have_prev = true;
@@ -218,7 +241,7 @@ int Replay(const std::string& csv, telemetry::Severity min_severity, size_t limi
   }
   std::printf("\n%zu events shown", shown);
   if (skipped > 0) {
-    std::printf(", %zu below severity floor", skipped);
+    std::printf(", %zu filtered out", skipped);
   }
   std::printf("\n");
   return 0;
@@ -255,6 +278,7 @@ std::string DemoTraceCsv() {
 int main(int argc, char** argv) {
   std::string path;
   bool demo = false;
+  bool fault_only = false;
   telemetry::Severity min_severity = telemetry::Severity::kTrace;
   size_t limit = SIZE_MAX;
 
@@ -262,6 +286,14 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--filter" && i + 1 < argc) {
+      const std::string filter = argv[++i];
+      if (filter != "origin=fault") {
+        std::fprintf(stderr, "unknown filter: %s (supported: origin=fault)\n",
+                     filter.c_str());
+        return 1;
+      }
+      fault_only = true;
     } else if (arg == "--min-severity" && i + 1 < argc) {
       auto severity = telemetry::SeverityFromName(argv[++i]);
       if (!severity.has_value()) {
@@ -273,7 +305,7 @@ int main(int argc, char** argv) {
       limit = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: trace <trace.csv> [--min-severity trace|info|warn|critical] "
-                  "[--limit N]\n       trace --demo\n");
+                  "[--limit N] [--filter origin=fault]\n       trace --demo\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
@@ -299,5 +331,5 @@ int main(int argc, char** argv) {
     buffer << in.rdbuf();
     csv = buffer.str();
   }
-  return Replay(csv, min_severity, limit);
+  return Replay(csv, min_severity, limit, fault_only);
 }
