@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/machine.h"
+#include "telemetry/telemetry.h"
 
 using namespace spv;
 
@@ -73,10 +74,11 @@ BENCHMARK(BM_MapUnmap_Strict);
 BENCHMARK(BM_MapUnmap_Deferred);
 
 // The window measurement is deterministic, not timing-based: binary output.
+// Distribution stats come from a telemetry Histogram (one shared quantile
+// implementation) rather than hand-rolled aggregation.
 void BM_StaleWindow(benchmark::State& state) {
   const bool deferred = state.range(0) == 1;
-  uint64_t window_us_total = 0;
-  uint64_t runs = 0;
+  telemetry::Histogram window_us_hist;
   for (auto _ : state) {
     core::Machine machine{
         MakeConfig(deferred ? iommu::InvalidationMode::kDeferred
@@ -100,12 +102,13 @@ void BM_StaleWindow(benchmark::State& state) {
         break;  // defensive
       }
     }
-    window_us_total += window_us;
-    ++runs;
+    window_us_hist.Record(window_us);
     benchmark::DoNotOptimize(window_us);
   }
-  state.counters["stale_window_us"] =
-      runs ? static_cast<double>(window_us_total) / static_cast<double>(runs) : 0;
+  const telemetry::Histogram::Summary summary = window_us_hist.Summarize();
+  state.counters["stale_window_us"] = summary.mean;
+  state.counters["stale_window_us_p50"] = static_cast<double>(summary.p50);
+  state.counters["stale_window_us_p99"] = static_cast<double>(summary.p99);
 }
 BENCHMARK(BM_StaleWindow)->Arg(0)->Arg(1)->ArgNames({"deferred"});
 

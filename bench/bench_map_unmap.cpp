@@ -20,9 +20,16 @@
 //   sg4            dma_map_sg/dma_unmap_sg with 4 entries per call.
 //
 // Wall-clock timing, telemetry disabled (the hub allocates per event);
-// rcache hit rates come from IovaAllocator::Stats instead.
+// rcache hit rates come from IovaAllocator::Stats instead. A separate
+// *untimed* pass after each timed loop records per-op simulated-cycle costs
+// into a telemetry Histogram — those quantiles are deterministic (pure
+// SimClock arithmetic), so CI gates on them instead of wall-clock noise.
 //
-// Usage: bench_map_unmap [--quick] [--out FILE]
+// Usage: bench_map_unmap [--quick] [--out FILE] [--trace-out FILE]
+//
+// --trace-out FILE additionally runs a short tracing-enabled steady_single
+// workload and writes its Chrome trace-event JSON (Perfetto-loadable) to
+// FILE — the CI bench-smoke artifact.
 
 #include <chrono>
 #include <cstdint>
@@ -34,6 +41,8 @@
 #include <vector>
 
 #include "core/machine.h"
+#include "telemetry/telemetry.h"
+#include "trace/tracer.h"
 
 using namespace spv;
 
@@ -55,6 +64,9 @@ struct CaseResult {
   uint64_t walk_cache_hits = 0;
   uint64_t capacity_drains = 0;
   uint64_t deadline_drains = 0;
+  // Per-op simulated cycles (map+unmap pair, or one sg4 call), measured by an
+  // untimed deterministic pass — see MeasureOpCycles.
+  telemetry::Histogram::Summary op_cycles;
 };
 
 core::Machine MakeMachine(const CaseConfig& config) {
@@ -162,6 +174,38 @@ uint64_t RunWorkload(core::Machine& machine, DeviceId dev, const CaseConfig& con
   return maps;
 }
 
+// Untimed: repeats the workload's op shape recording the SimClock delta per
+// op into `hist`. Purely deterministic (IOMMU costs advance the sim clock by
+// fixed amounts), so the resulting quantiles are stable across hosts — the
+// numbers the CI baseline gate compares.
+void MeasureOpCycles(core::Machine& machine, DeviceId dev, const CaseConfig& config,
+                     WorkloadState& state, telemetry::Histogram& hist, uint64_t ops) {
+  for (uint64_t op = 0; op < ops; ++op) {
+    machine.set_current_cpu(CpuId{static_cast<uint32_t>(op % config.cpus)});
+    const uint64_t before = machine.clock().now();
+    if (config.workload == "sg4") {
+      auto iovas =
+          machine.dma().MapSg(dev, state.sg, dma::DmaDirection::kToDevice, "bench_sg");
+      if (!iovas.ok()) std::abort();
+      if (!machine.dma()
+               .UnmapSg(dev, *iovas, state.sg, dma::DmaDirection::kToDevice)
+               .ok()) {
+        std::abort();
+      }
+    } else {
+      auto iova = machine.dma().MapSingle(dev, state.buf, state.buf_len,
+                                          dma::DmaDirection::kFromDevice, "bench_loop");
+      if (!iova.ok()) std::abort();
+      if (!machine.dma()
+               .UnmapSingle(dev, *iova, state.buf_len, dma::DmaDirection::kFromDevice)
+               .ok()) {
+        std::abort();
+      }
+    }
+    hist.Record(machine.clock().now() - before);
+  }
+}
+
 CaseResult RunCase(const CaseConfig& config) {
   core::Machine machine = MakeMachine(config);
   const DeviceId dev{1};
@@ -172,6 +216,9 @@ CaseResult RunCase(const CaseConfig& config) {
   const uint64_t maps = RunWorkload(machine, dev, config, state);
   const auto end = std::chrono::steady_clock::now();
   const double seconds = std::chrono::duration<double>(end - start).count();
+
+  telemetry::Histogram op_cycles;
+  MeasureOpCycles(machine, dev, config, state, op_cycles, 2048);
 
   for (Iova iova : state.pinned) {
     (void)machine.dma().UnmapSingle(dev, iova, 2048, dma::DmaDirection::kFromDevice);
@@ -195,6 +242,7 @@ CaseResult RunCase(const CaseConfig& config) {
   }
   result.capacity_drains = machine.iommu().stats().flush_capacity_drains;
   result.deadline_drains = machine.iommu().stats().flush_deadline_drains;
+  result.op_cycles = op_cycles.Summarize();
   return result;
 }
 
@@ -208,8 +256,47 @@ std::string Json(const CaseResult& r) {
       << ", \"depot_refills\": " << r.depot_refills
       << ", \"walk_cache_hits\": " << r.walk_cache_hits
       << ", \"drain_capacity\": " << r.capacity_drains
-      << ", \"drain_deadline\": " << r.deadline_drains << "}";
+      << ", \"drain_deadline\": " << r.deadline_drains
+      << ", \"sim_cycles_per_op\": {\"p50\": " << r.op_cycles.p50
+      << ", \"p90\": " << r.op_cycles.p90 << ", \"p99\": " << r.op_cycles.p99
+      << ", \"mean\": " << r.op_cycles.mean << "}}";
   return out.str();
+}
+
+// --trace-out: a short tracing-enabled steady_single run; the tracer's
+// Chrome trace-event JSON is the CI bench-smoke artifact.
+int WriteChromeTrace(const std::string& path) {
+  core::MachineConfig mc;
+  mc.seed = 2;
+  mc.phys_pages = 32768;
+  mc.telemetry.enabled = true;
+  mc.trace.enabled = true;
+  core::Machine machine{mc};
+  const DeviceId dev{1};
+  machine.iommu().AttachDevice(dev);
+  Kva buf = *machine.slab().Kmalloc(2048, "bench_trace_buf");
+  for (uint64_t op = 0; op < 512; ++op) {
+    auto iova = machine.dma().MapSingle(dev, buf, 2048, dma::DmaDirection::kFromDevice,
+                                        "bench_trace");
+    if (!iova.ok()) std::abort();
+    if (!machine.dma()
+             .UnmapSingle(dev, *iova, 2048, dma::DmaDirection::kFromDevice)
+             .ok()) {
+      std::abort();
+    }
+    if ((op & 0x3f) == 0) {
+      machine.clock().AdvanceUs(100);
+      machine.iommu().ProcessDeferredTimer();
+    }
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << machine.tracer()->ChromeTraceJson();
+  std::cout << "wrote " << path << "\n";
+  return 0;
 }
 
 }  // namespace
@@ -217,13 +304,16 @@ std::string Json(const CaseResult& r) {
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_map_unmap.json";
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
-      std::cerr << "usage: bench_map_unmap [--quick] [--out FILE]\n";
+      std::cerr << "usage: bench_map_unmap [--quick] [--out FILE] [--trace-out FILE]\n";
       return 2;
     }
   }
@@ -283,12 +373,15 @@ int main(int argc, char** argv) {
     std::cout << "  speedup " << cell.str() << ": " << speedup << "x\n";
   }
 
-  // Acceptance: steady-state single-page hit rate on the default config.
+  // Acceptance: steady-state single-page hit rate on the default config,
+  // plus the deterministic per-op p99 the CI baseline gate watches.
   double steady_hit_rate = 0;
+  uint64_t steady_p99_cycles = 0;
   for (const CaseResult& r : results) {
     if (r.config.workload == "steady_single" && r.config.fast &&
         r.config.mode == iommu::InvalidationMode::kDeferred && r.config.cpus == 1) {
       steady_hit_rate = r.rcache_hit_rate;
+      steady_p99_cycles = r.op_cycles.p99;
     }
   }
 
@@ -298,6 +391,7 @@ int main(int argc, char** argv) {
       << "  \"headline_speedup\": " << headline << ",\n"
       << "  \"headline_cell\": \"" << headline_cell << "\",\n"
       << "  \"steady_state_rcache_hit_rate\": " << steady_hit_rate << ",\n"
+      << "  \"steady_p99_sim_cycles\": " << steady_p99_cycles << ",\n"
       << "  \"speedups\": [\n"
       << speedups.str() << "\n  ],\n  \"cases\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
@@ -306,6 +400,10 @@ int main(int argc, char** argv) {
   out << "  ]\n}\n";
   std::cout << "headline speedup: " << headline << "x (" << headline_cell << ")\n"
             << "steady-state rcache hit rate: " << steady_hit_rate * 100 << "%\n"
+            << "steady-state p99 sim cycles/op: " << steady_p99_cycles << "\n"
             << "wrote " << out_path << "\n";
+  if (!trace_out.empty()) {
+    return WriteChromeTrace(trace_out);
+  }
   return 0;
 }

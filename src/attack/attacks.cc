@@ -259,6 +259,7 @@ uint64_t RingFloodAttack::MostCommonPfn(const std::map<uint64_t, int>& histogram
 }
 
 Result<AttackReport> RingFloodAttack::Run(const AttackEnv& env, const Options& options) {
+  trace::ScopedSpan attack_span(env.machine.tracer(), "attack.ring_flood");
   AttackReport report;
   auto step = [&](std::string text) {
     EmitStage(env.machine, "ring_flood", text);
@@ -369,6 +370,7 @@ Result<AttackReport> RingFloodAttack::Run(const AttackEnv& env, const Options& o
 // ---- Poisoned TX ---------------------------------------------------------------------
 
 Result<AttackReport> PoisonedTxAttack::Run(const AttackEnv& env, const Options& options) {
+  trace::ScopedSpan attack_span(env.machine.tracer(), "attack.poisoned_tx");
   AttackReport report;
   auto step = [&](std::string text) {
     EmitStage(env.machine, "poisoned_tx", text);
@@ -520,6 +522,7 @@ Result<AttackReport> PoisonedTxAttack::Run(const AttackEnv& env, const Options& 
 // ---- Forward Thinking ------------------------------------------------------------------
 
 Result<AttackReport> ForwardThinkingAttack::Run(const AttackEnv& env, const Options& options) {
+  trace::ScopedSpan attack_span(env.machine.tracer(), "attack.forward_thinking");
   AttackReport report;
   auto step = [&](std::string text) {
     EmitStage(env.machine, "forward_thinking", text);

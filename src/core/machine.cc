@@ -24,6 +24,19 @@ Machine::Machine(const MachineConfig& config)
       layout_(MakeLayout(config, rng_)) {
   assert(config.kernel_image_pages < config.phys_pages);
   hub_.BindClock(&clock_);
+  if (config.trace.enabled) {
+    tracer_ = std::make_unique<trace::Tracer>(hub_, clock_, config.trace);
+    if (config.trace.track_windows) {
+      trace::WindowTracker::Config window_config;
+      window_config.iommu_enabled = config.iommu.enabled;
+      windows_ = std::make_unique<trace::WindowTracker>(hub_, tracer_.get(), window_config);
+      hub_.AddSink(windows_.get());
+    }
+  }
+  // Everything below advances the logical clock (allocator + subsystem
+  // bring-up); attribute it to a boot span so a traced run starts at ~100%
+  // cycle coverage instead of leaking construction time.
+  trace::ScopedSpan boot_span{tracer_.get(), "machine.boot"};
   if (config.randomize_struct_layout) {
     // Shuffle destructor_arg among the unused pointer-sized slots (8: the
     // frag_list slot, 16: hwtstamps, 32: the compile-time position). Slot 24
@@ -40,11 +53,14 @@ Machine::Machine(const MachineConfig& config)
       config.phys_pages - config.kernel_image_pages);
   iommu_ = std::make_unique<iommu::Iommu>(pm_, clock_, config.iommu);
   iommu_->set_telemetry(&hub_);
+  iommu_->set_tracer(tracer_.get());
   dma_ = std::make_unique<dma::DmaApi>(*iommu_, layout_, &hub_);
+  dma_->set_tracer(tracer_.get());
   kmem_ = std::make_unique<dma::KernelMemory>(pm_, layout_, *dma_);
   slab_ = std::make_unique<slab::SlabAllocator>(pm_, page_db_, *page_alloc_, layout_, &hub_);
   skb_alloc_ = std::make_unique<net::SkbAllocator>(*kmem_, *slab_);
   stack_ = std::make_unique<net::NetworkStack>(*kmem_, *slab_, *skb_alloc_, config.net);
+  stack_->set_tracer(tracer_.get());
   // Fault hooks are wired unconditionally — an unarmed engine short-circuits
   // at every guard — and armed only when the config carries a plan.
   fault_.set_telemetry(&hub_);
@@ -75,6 +91,7 @@ net::NicDriver& Machine::AddNicDriver(const net::NicDriver::Config& config) {
   drivers_.push_back(std::make_unique<net::NicDriver>(device, *dma_, *kmem_, *skb_alloc_,
                                                       clock_, config));
   drivers_.back()->set_fault_engine(&fault_);
+  drivers_.back()->set_tracer(tracer_.get());
   return *drivers_.back();
 }
 

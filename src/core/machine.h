@@ -31,6 +31,8 @@
 #include "slab/page_frag.h"
 #include "slab/slab_allocator.h"
 #include "telemetry/telemetry.h"
+#include "trace/tracer.h"
+#include "trace/window_tracker.h"
 
 namespace spv::core {
 
@@ -47,6 +49,10 @@ struct MachineConfig {
   // Recording is off by default; flip `telemetry.enabled` to collect counters
   // and a trace ring for the whole machine.
   telemetry::Hub::Config telemetry;
+  // Causal span tracing (spv::trace). Off by default; flip `trace.enabled`
+  // to open spans around every multi-step operation and (unless
+  // `trace.track_windows` is cleared) account vulnerability windows.
+  trace::TracerConfig trace;
   // Deterministic fault injection: a non-empty plan arms the machine-wide
   // FaultEngine (seeded from `seed`) and every layer's hooks start firing.
   // Empty (the default) means no faults and near-zero overhead.
@@ -88,6 +94,10 @@ class Machine {
   slab::PageFragPool& frag_pool(CpuId cpu);
   // The machine-wide event bus; every component publishes here.
   telemetry::Hub& telemetry() { return hub_; }
+  // Span tracer; null unless config.trace.enabled.
+  trace::Tracer* tracer() { return tracer_.get(); }
+  // Vulnerability-window accounting; null unless tracing with track_windows.
+  trace::WindowTracker* windows() { return windows_.get(); }
   // The machine-wide fault engine (armed iff config.fault_plan is non-empty).
   fault::FaultEngine& fault() { return fault_; }
 
@@ -107,6 +117,8 @@ class Machine {
   MachineConfig config_;
   SimClock clock_;
   telemetry::Hub hub_;  // before any component that publishes into it
+  std::unique_ptr<trace::Tracer> tracer_;          // null when tracing is off
+  std::unique_ptr<trace::WindowTracker> windows_;  // sink on hub_ when present
   fault::FaultEngine fault_;  // before any component holding a hook into it
   Xoshiro256 rng_;
   mem::PhysicalMemory pm_;

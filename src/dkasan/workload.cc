@@ -30,6 +30,7 @@ constexpr std::array<SitePattern, 6> kBuildSites = {{
 Result<WorkloadStats> RunBuildAndPingWorkload(core::Machine& machine, net::NicDriver& nic,
                                               device::MaliciousNic& device,
                                               const WorkloadConfig& config) {
+  trace::ScopedSpan span(machine.tracer(), "dkasan.workload.build_and_ping");
   WorkloadStats stats;
   Xoshiro256 rng{config.seed};
   std::vector<Kva> live;
@@ -109,6 +110,7 @@ Result<WorkloadStats> RunBuildAndPingWorkload(core::Machine& machine, net::NicDr
 Result<WorkloadStats> RunRouterWorkload(core::Machine& machine, net::NicDriver& nic,
                                         device::MaliciousNic& device,
                                         const WorkloadConfig& config) {
+  trace::ScopedSpan span(machine.tracer(), "dkasan.workload.router");
   if (!machine.stack().config().forwarding_enabled) {
     return FailedPrecondition("router workload needs forwarding enabled");
   }
@@ -177,6 +179,7 @@ Result<WorkloadStats> RunRouterWorkload(core::Machine& machine, net::NicDriver& 
 
 Result<WorkloadStats> RunStorageWorkload(core::Machine& machine, DeviceId storage_dev,
                                          const WorkloadConfig& config) {
+  trace::ScopedSpan span(machine.tracer(), "dkasan.workload.storage");
   WorkloadStats stats;
   Xoshiro256 rng{config.seed};
   machine.iommu().AttachDevice(storage_dev);

@@ -68,6 +68,7 @@ telemetry::Hub& DmaApi::telemetry() {
 
 Result<Iova> DmaApi::MapSingle(DeviceId device, Kva kva, uint64_t len, DmaDirection dir,
                                std::string_view site) {
+  trace::ScopedSpan span(tracer_, "dma.map_single");
   if (len == 0) {
     return InvalidArgument("dma_map_single with zero length");
   }
@@ -94,6 +95,7 @@ Result<Iova> DmaApi::MapSingle(DeviceId device, Kva kva, uint64_t len, DmaDirect
 }
 
 Status DmaApi::UnmapSingle(DeviceId device, Iova iova, uint64_t len, DmaDirection dir) {
+  trace::ScopedSpan span(tracer_, "dma.unmap_single");
   const IovaKey key{device.value, iova.PageBase().value >> kPageShift};
   const DmaMapping* found = LookupMapping(key);
   if (found == nullptr) {
@@ -148,6 +150,7 @@ Status DmaApi::SyncSingleForDevice(DeviceId device, Iova iova, uint64_t len,
 
 Result<std::vector<Iova>> DmaApi::MapSg(DeviceId device, std::span<const SgEntry> entries,
                                         DmaDirection dir, std::string_view site) {
+  trace::ScopedSpan span(tracer_, "dma.map_sg");
   std::vector<Iova> iovas;
   iovas.reserve(entries.size());
   for (const SgEntry& entry : entries) {
@@ -166,6 +169,7 @@ Result<std::vector<Iova>> DmaApi::MapSg(DeviceId device, std::span<const SgEntry
 
 Status DmaApi::UnmapSg(DeviceId device, std::span<const Iova> iovas,
                        std::span<const SgEntry> entries, DmaDirection dir) {
+  trace::ScopedSpan span(tracer_, "dma.unmap_sg");
   if (iovas.size() != entries.size()) {
     return InvalidArgument("dma_unmap_sg with mismatched list sizes");
   }

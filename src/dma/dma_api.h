@@ -38,6 +38,7 @@
 #include "iommu/iommu.h"
 #include "mem/kernel_layout.h"
 #include "telemetry/telemetry.h"
+#include "trace/tracer.h"
 
 namespace spv::dma {
 
@@ -132,6 +133,11 @@ class DmaApi {
   // The bus every dma event is published to.
   telemetry::Hub& telemetry();
 
+  // Optional causal span tracer (map/unmap lifecycle spans): nullptr
+  // detaches; a null or disabled tracer costs one branch per operation.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() { return tracer_; }
+
   const mem::KernelLayout& layout() const { return layout_; }
   iommu::Iommu& iommu() { return iommu_; }
 
@@ -160,6 +166,7 @@ class DmaApi {
   std::map<IovaKey, DmaMapping> by_iova_;   // slow path (hash_index_enabled=false)
   telemetry::Hub* hub_;
   std::unique_ptr<telemetry::Hub> owned_hub_;  // fallback when none injected
+  trace::Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<DmaObserverSink>> observer_sinks_;
 };
 

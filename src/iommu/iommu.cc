@@ -77,6 +77,7 @@ Result<Iova> Iommu::MapPage(DeviceId device, Pfn pfn, AccessRights rights) {
 }
 
 Result<Iova> Iommu::MapRange(DeviceId device, std::span<const Pfn> pfns, AccessRights rights) {
+  trace::ScopedSpan span(tracer_, "iommu.map_range");
   ProcessDeferredTimer();
   Domain* state = FindDevice(device);
   if (state == nullptr) {
@@ -130,6 +131,7 @@ Result<Iova> Iommu::MapRange(DeviceId device, std::span<const Pfn> pfns, AccessR
 Status Iommu::UnmapPage(DeviceId device, Iova iova) { return UnmapRange(device, iova, 1); }
 
 Status Iommu::UnmapRange(DeviceId device, Iova base, uint64_t pages) {
+  trace::ScopedSpan span(tracer_, "iommu.unmap_range");
   ProcessDeferredTimer();
   Domain* state = FindDevice(device);
   if (state == nullptr) {
@@ -206,6 +208,7 @@ void Iommu::FlushNow(FlushReason reason) {
   if (flush_queue_.empty()) {
     return;
   }
+  trace::ScopedSpan span(tracer_, "iommu.flush_drain");
   // One global invalidation amortizes the whole queue — this is why deferred
   // mode wins on throughput (§5.2.1).
   const uint64_t amortized = flush_queue_.size();
@@ -277,6 +280,9 @@ Status Iommu::DeviceWrite(DeviceId device, Iova iova, std::span<const uint8_t> d
 
 Status Iommu::Access(DeviceId device, Iova iova, AccessOp op, std::span<uint8_t> read_out,
                      std::span<const uint8_t> write_data) {
+  // The "use" step of map -> use -> unmap: translation cycles (IOTLB hit or
+  // page walk) accrue to this span in cycle-attribution profiles.
+  trace::ScopedSpan span(tracer_, "iommu.device_access");
   ProcessDeferredTimer();
   Domain* state = FindDevice(device);
   if (state == nullptr) {

@@ -32,6 +32,7 @@
 #include "iommu/iotlb.h"
 #include "iommu/iova_allocator.h"
 #include "mem/phys_memory.h"
+#include "trace/tracer.h"
 
 namespace spv::fault {
 class FaultEngine;
@@ -112,6 +113,10 @@ class Iommu {
   // Optional fault hook (kIovaAlloc, kIoPageTableMap, kIotlbInvalidation):
   // nullptr detaches.
   void set_fault_engine(fault::FaultEngine* engine) { fault_ = engine; }
+
+  // Optional causal span tracer (map/unmap/flush-drain spans): nullptr
+  // detaches; a null or disabled tracer costs one branch per operation.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
   // Attaches a device in its own translation domain (the secure default:
   // one I/O page table per requester id, like Windows Kernel DMA Protection).
@@ -244,6 +249,7 @@ class Iommu {
   std::vector<IommuFault> faults_;
   telemetry::Hub* hub_ = nullptr;
   fault::FaultEngine* fault_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace spv::iommu

@@ -49,6 +49,7 @@ uint32_t NicDriver::rx_buffer_bytes() const {
 }
 
 Status NicDriver::FillRxRing() {
+  trace::ScopedSpan span(tracer_, "nic.fill_rx");
   // Best-effort: one slot failing to fill must not leave the ones after it
   // empty; the first error is still reported.
   Status first = OkStatus();
@@ -181,6 +182,7 @@ Result<SkBuffPtr> NicDriver::DropRxFrame(uint32_t index, uint32_t pkt_len,
 }
 
 Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
+  trace::ScopedSpan span(tracer_, "nic.complete_rx");
   if (index >= rx_ring_.size() || !rx_ring_[index].posted) {
     return FailedPrecondition("RX completion on empty slot");
   }
@@ -338,6 +340,7 @@ Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
 }
 
 Result<uint32_t> NicDriver::PostTx(SkBuffPtr skb) {
+  trace::ScopedSpan span(tracer_, "nic.post_tx");
   Result<uint32_t> index = TryPostTx(skb);
   if (!index.ok() && skb != nullptr) {
     // TryPostTx leaves the skb with the caller on failure; PostTx owns it, so
@@ -445,6 +448,7 @@ Status NicDriver::UnmapTxSlot(TxSlot& slot) {
 }
 
 Result<SkBuffPtr> NicDriver::CompleteTx(uint32_t index) {
+  trace::ScopedSpan span(tracer_, "nic.complete_tx");
   if (index >= tx_ring_.size() || !tx_ring_[index].busy) {
     return FailedPrecondition("TX completion on empty slot");
   }
@@ -532,6 +536,7 @@ uint32_t NicDriver::RequeueTimedOut() {
 }
 
 Status NicDriver::Shutdown() {
+  trace::ScopedSpan span(tracer_, "nic.shutdown");
   dma_.set_current_cpu(config_.cpu);
   Status first = OkStatus();
   auto note = [&first](const Status& status) {

@@ -87,6 +87,9 @@ class NicDriver {
   // Optional fault hook (the kNic* sites): nullptr detaches.
   void set_fault_engine(fault::FaultEngine* engine) { fault_ = engine; }
 
+  // Optional causal span tracer (RX/TX path spans): nullptr detaches.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
   // Attaches an XDP program; only meaningful with config.xdp = true (the
   // driver maps RX buffers BIDIRECTIONAL for in-place rewrites).
   void AttachXdp(XdpProgram* program) { xdp_program_ = program; }
@@ -208,6 +211,7 @@ class NicDriver {
   std::deque<PendingTx> tx_requeue_;  // watchdog-flushed skbs awaiting repost
   XdpProgram* xdp_program_ = nullptr;
   fault::FaultEngine* fault_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
   uint64_t rx_packets_ = 0;
   uint64_t tx_packets_ = 0;
   uint64_t xdp_drops_ = 0;

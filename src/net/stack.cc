@@ -55,6 +55,7 @@ Result<Kva> NetworkStack::CreateSocket(uint16_t port, bool echo) {
 }
 
 Status NetworkStack::NapiGroReceive(SkBuffPtr skb) {
+  trace::ScopedSpan span(tracer_, "stack.rx");
   Result<SkBuffPtr> out = gro_.Receive(std::move(skb));
   if (!out.ok()) {
     return out.status();
@@ -190,6 +191,7 @@ Status NetworkStack::Echo(const SkBuff& skb) {
 }
 
 Status NetworkStack::SendPacket(const PacketHeader& header, std::span<const uint8_t> payload) {
+  trace::ScopedSpan span(tracer_, "stack.tx");
   if (egress_ == nullptr) {
     return FailedPrecondition("no egress driver");
   }
@@ -257,6 +259,7 @@ Status NetworkStack::SendPacket(const PacketHeader& header, std::span<const uint
 }
 
 Status NetworkStack::OnTxCompleted(uint32_t tx_index) {
+  trace::ScopedSpan span(tracer_, "stack.tx_complete");
   if (egress_ == nullptr) {
     return FailedPrecondition("no egress driver");
   }

@@ -53,6 +53,8 @@ class NetworkStack {
 
   void set_callback_invoker(CallbackInvoker* invoker) { invoker_ = invoker; }
   void set_egress(NicDriver* driver) { egress_ = driver; }
+  // Optional causal span tracer (per-packet RX/TX spans): nullptr detaches.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
   // Creates a kernel socket object bound to `port`. The object is kmalloc'd
   // and stores the init_net pointer at offset 8 (sk->sk_net), exactly the
@@ -102,6 +104,7 @@ class NetworkStack {
   GroEngine gro_;
   CallbackInvoker* invoker_ = nullptr;
   NicDriver* egress_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
   std::map<uint16_t, Socket> sockets_;
   Kva init_net_;
   Stats stats_;

@@ -45,6 +45,7 @@ void SpadeAnalyzer::AddFile(SourceFile file) {
 }
 
 Result<std::vector<SiteFinding>> SpadeAnalyzer::Analyze() {
+  trace::ScopedSpan span(tracer_, "spade.analyze");
   if (!finalized_) {
     SPV_RETURN_IF_ERROR(layout_db_.Finalize());
     finalized_ = true;

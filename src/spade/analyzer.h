@@ -33,6 +33,7 @@
 #include "spade/ast.h"
 #include "spade/layout_db.h"
 #include "telemetry/telemetry.h"
+#include "trace/tracer.h"
 
 namespace spv::spade {
 
@@ -109,6 +110,10 @@ class SpadeAnalyzer {
   // Analyze() and Table-2 counters during Summarize(). Pass nullptr to detach.
   void set_telemetry(telemetry::Hub* hub) { hub_ = hub; }
 
+  // Optional causal span tracer: Analyze() runs under a "spade.analyze"
+  // span so findings are causally linked to the scan. Pass nullptr to detach.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
   // Adds a parsed translation unit. Layouts from every file are pooled (the
   // kernel shares headers).
   void AddFile(SourceFile file);
@@ -175,6 +180,7 @@ class SpadeAnalyzer {
   std::vector<ApiUse> api_uses_;
   bool finalized_ = false;
   telemetry::Hub* hub_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace spv::spade

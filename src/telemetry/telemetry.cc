@@ -43,6 +43,10 @@ constexpr KindName kKindNames[] = {
     {EventKind::kFaultInjected, "fault_injected"},
     {EventKind::kFaultRecovered, "fault_recovered"},
     {EventKind::kNicRxError, "nic_rx_error"},
+    {EventKind::kSpanOpen, "span_open"},
+    {EventKind::kSpanClose, "span_close"},
+    {EventKind::kWindowOpen, "window_open"},
+    {EventKind::kWindowClose, "window_close"},
 };
 
 constexpr std::string_view kSeverityNames[] = {"trace", "info", "warn", "critical"};
@@ -114,6 +118,19 @@ uint64_t Histogram::PercentileUpperBound(double p) const {
   return max_;
 }
 
+Histogram::Summary Histogram::Summarize() const {
+  Summary s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min();
+  s.max = max_;
+  s.mean = Mean();
+  s.p50 = PercentileUpperBound(50.0);
+  s.p90 = PercentileUpperBound(90.0);
+  s.p99 = PercentileUpperBound(99.0);
+  return s;
+}
+
 std::vector<Histogram::Bucket> Histogram::NonZeroBuckets() const {
   std::vector<Bucket> out;
   for (size_t i = 0; i < buckets_.size(); ++i) {
@@ -137,9 +154,23 @@ bool TraceRing::Push(Event event) {
     return false;
   }
   event.seq = next_seq_;
-  slots_[next_seq_ % capacity_] = std::move(event);
+  Event& slot = slots_[next_seq_ % capacity_];
+  if (next_seq_ >= capacity_) {
+    // Overwriting a live record: account the loss under the severity of what
+    // is being lost, not of what is being written.
+    ++dropped_by_severity_[static_cast<size_t>(slot.severity)];
+  }
+  slot = std::move(event);
   ++next_seq_;
   return true;
+}
+
+uint64_t TraceRing::dropped() const {
+  uint64_t total = 0;
+  for (uint64_t d : dropped_by_severity_) {
+    total += d;
+  }
+  return total;
 }
 
 size_t TraceRing::size() const {
@@ -162,6 +193,7 @@ void TraceRing::Clear() {
   }
   next_seq_ = 0;
   filtered_ = 0;
+  dropped_by_severity_.fill(0);
 }
 
 // ---- Hub -----------------------------------------------------------------------
@@ -175,6 +207,9 @@ Hub::Hub(Config config) : enabled_(config.enabled), ring_(config.ring_capacity) 
 void Hub::Publish(Event event) {
   if (clock_ != nullptr && event.cycle == 0) {
     event.cycle = clock_->now();
+  }
+  if (event.span == 0) {
+    event.span = current_span_;
   }
   if (enabled_) {
     ring_.Push(event);  // Push copies seq into its slot; sinks see seq 0

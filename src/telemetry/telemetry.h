@@ -82,6 +82,14 @@ enum class EventKind : uint8_t {
   kFaultInjected,   // the engine fired a fault at an instrumented site
   kFaultRecovered,  // a consumer recovered (refill retry, TX requeue, ...)
   kNicRxError,      // driver dropped a completion (bad length, device fault)
+  // Causal span layer (spv::trace). Span events carry their own id in
+  // `span`, the parent id in `addr`, and the span name in `site`.
+  kSpanOpen,
+  kSpanClose,
+  // Vulnerability windows (trace::WindowTracker). `addr2` is the IOVA page,
+  // `aux` the open duration in cycles on close.
+  kWindowOpen,
+  kWindowClose,
 };
 
 std::string_view EventKindName(EventKind kind);
@@ -102,6 +110,9 @@ struct Event {
   uint64_t len = 0;
   uint64_t aux = 0;
   bool flag = false;
+  // Causal span id (spv::trace). 0 = no enclosing span. Stamped by the Hub
+  // from its current-span register when the emitter leaves it 0.
+  uint64_t span = 0;
   // The emitting component, for observer bridging (never exported). Lets one
   // Hub serve several DmaApis / pools without cross-talk between bridges.
   const void* origin = nullptr;
@@ -145,6 +156,21 @@ class Histogram {
   // Upper bound of the bucket containing the p-th percentile (p in [0,100]).
   uint64_t PercentileUpperBound(double p) const;
 
+  // The summary quantiles every consumer wants, derived once here instead of
+  // re-derived by hand in each bench. Quantiles are bucket upper bounds
+  // (nearest-rank over the log2 buckets), matching PercentileUpperBound.
+  struct Summary {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    double mean = 0.0;
+    uint64_t p50 = 0;
+    uint64_t p90 = 0;
+    uint64_t p99 = 0;
+  };
+  Summary Summarize() const;
+
   struct Bucket {
     uint64_t upper_bound;
     uint64_t count;
@@ -180,7 +206,13 @@ class TraceRing {
   size_t capacity() const { return capacity_; }
   size_t size() const;
   uint64_t recorded() const { return next_seq_; }
-  uint64_t dropped() const { return next_seq_ > capacity_ ? next_seq_ - capacity_ : 0; }
+  // Overwritten (lost) records, total and per overwritten-record severity.
+  // A full ring churning kTrace events must not mask the loss of a kCritical
+  // security finding, so drops are accounted by what was overwritten.
+  uint64_t dropped() const;
+  uint64_t dropped(Severity severity) const {
+    return dropped_by_severity_[static_cast<size_t>(severity)];
+  }
   uint64_t filtered() const { return filtered_; }
 
   void Clear();
@@ -190,6 +222,7 @@ class TraceRing {
   std::vector<Event> slots_;
   uint64_t next_seq_ = 0;  // count of accepted events; next slot = seq % capacity
   uint64_t filtered_ = 0;
+  std::array<uint64_t, 4> dropped_by_severity_{};
   Severity min_severity_ = Severity::kTrace;
 };
 
@@ -222,6 +255,12 @@ class Hub {
   // Records (when enabled), then fans out to every sink (always).
   void Publish(Event event);
 
+  // Current-span register (spv::trace::Tracer maintains it). Publish stamps
+  // `event.span` from it when the emitter left the field 0, so every event
+  // inside an open span is causally linked without per-site plumbing.
+  void set_current_span(uint64_t span) { current_span_ = span; }
+  uint64_t current_span() const { return current_span_; }
+
   void AddSink(EventSink* sink);
   void RemoveSink(EventSink* sink);
   size_t sink_count() const { return sinks_.size(); }
@@ -253,6 +292,7 @@ class Hub {
  private:
   bool enabled_;
   const SimClock* clock_ = nullptr;
+  uint64_t current_span_ = 0;
   TraceRing ring_;
   std::vector<EventSink*> sinks_;
   std::map<std::string, Counter, std::less<>> counters_;
@@ -263,6 +303,12 @@ class Hub {
 std::string CsvEscape(std::string_view field);
 // JSON string escaping (quotes, backslashes, control characters).
 std::string JsonEscape(std::string_view text);
+
+// Parses `Hub::ExportTraceCsv` output back into Events (the inverse of the
+// exporter; shared by tools/trace_cli and tests). Accepts both the current
+// 12-column format (with `span`) and the pre-span 11-column format. Rows
+// that do not parse are skipped; a missing/foreign header line is tolerated.
+std::vector<Event> ParseTraceCsv(std::string_view csv);
 
 }  // namespace spv::telemetry
 

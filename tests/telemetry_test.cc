@@ -118,6 +118,24 @@ TEST(TraceRingTest, ClearResetsSequenceAndFilterCount) {
   EXPECT_TRUE(ring.Snapshot().empty());
 }
 
+TEST(TraceRingTest, DropsAreAccountedPerOverwrittenSeverity) {
+  TraceRing ring{2};
+  ring.Push(MakeEvent(EventKind::kStaleIotlbHit, Severity::kCritical));
+  ring.Push(MakeEvent(EventKind::kCpuAccess, Severity::kTrace));
+  // The next two pushes overwrite the oldest slots: the critical finding
+  // first, then the trace record.
+  ring.Push(MakeEvent(EventKind::kDmaMap, Severity::kInfo));
+  EXPECT_EQ(ring.dropped(Severity::kCritical), 1u);
+  EXPECT_EQ(ring.dropped(Severity::kTrace), 0u);
+  ring.Push(MakeEvent(EventKind::kDmaMap, Severity::kInfo));
+  EXPECT_EQ(ring.dropped(Severity::kTrace), 1u);
+  EXPECT_EQ(ring.dropped(Severity::kInfo), 0u);
+  EXPECT_EQ(ring.dropped(Severity::kWarn), 0u);
+  EXPECT_EQ(ring.dropped(), 2u);  // the total is the sum of the breakdown
+  ring.Clear();
+  EXPECT_EQ(ring.dropped(Severity::kCritical), 0u);
+}
+
 // ---- Hub dispatch ---------------------------------------------------------------
 
 struct RecordingSink : EventSink {
@@ -171,6 +189,96 @@ TEST(ExportTest, JsonEscaping) {
   EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
   EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
   EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(ExportTest, HistogramJsonCarriesSummaryQuantiles) {
+  Hub::Config config;
+  config.enabled = true;
+  Hub hub{config};
+  for (int i = 0; i < 99; ++i) {
+    hub.histogram("op.cycles").Record(1);
+  }
+  hub.histogram("op.cycles").Record(1u << 20);
+  const std::string json = hub.ExportJson();
+  EXPECT_NE(json.find("\"p50\":1,"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":1,"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":1,"), std::string::npos);
+  // Summarize() and the export derive from the same PercentileUpperBound.
+  const Histogram::Summary summary = hub.histogram("op.cycles").Summarize();
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_EQ(summary.p50, 1u);
+  EXPECT_EQ(summary.p99, 1u);
+  EXPECT_DOUBLE_EQ(summary.mean, (99.0 + (1u << 20)) / 100.0);
+}
+
+TEST(ExportTest, JsonReportsDroppedCriticalFailLoud) {
+  Hub::Config config;
+  config.enabled = true;
+  config.ring_capacity = 2;
+  Hub hub{config};
+  hub.Publish(MakeEvent(EventKind::kStaleIotlbHit, Severity::kCritical));
+  hub.Publish(MakeEvent(EventKind::kDmaMap, Severity::kInfo));
+  hub.Publish(MakeEvent(EventKind::kDmaMap, Severity::kInfo));  // evicts the finding
+  const std::string json = hub.ExportJson();
+  EXPECT_NE(json.find("\"dropped_critical\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_by_severity\":[0,0,0,1]"), std::string::npos);
+}
+
+TEST(ExportTest, TraceCsvCarriesSpanColumn) {
+  Hub::Config config;
+  config.enabled = true;
+  Hub hub{config};
+  Event event = MakeEvent(EventKind::kDmaMap, Severity::kInfo);
+  event.span = 7;
+  hub.Publish(event);
+  const std::string csv = hub.ExportTraceCsv();
+  EXPECT_EQ(csv.rfind("seq,cycle,kind,severity,device,addr,addr2,len,aux,flag,span,site", 0),
+            0u);
+  const std::vector<Event> parsed = ParseTraceCsv(csv);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].span, 7u);
+}
+
+TEST(ExportTest, ParseTraceCsvRoundTripsAllFields) {
+  Hub::Config config;
+  config.enabled = true;
+  Hub hub{config};
+  Event event = MakeEvent(EventKind::kStaleIotlbHit, Severity::kCritical);
+  event.device = 3;
+  event.addr = 0x1000;
+  event.addr2 = 0x2000;
+  event.len = 64;
+  event.aux = 5;
+  event.flag = true;
+  event.span = 12;
+  event.site = "quoted, \"site\"";
+  hub.Publish(event);
+  const std::vector<Event> parsed = ParseTraceCsv(hub.ExportTraceCsv());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].kind, EventKind::kStaleIotlbHit);
+  EXPECT_EQ(parsed[0].severity, Severity::kCritical);
+  EXPECT_EQ(parsed[0].device, 3u);
+  EXPECT_EQ(parsed[0].addr, 0x1000u);
+  EXPECT_EQ(parsed[0].addr2, 0x2000u);
+  EXPECT_EQ(parsed[0].len, 64u);
+  EXPECT_EQ(parsed[0].aux, 5u);
+  EXPECT_TRUE(parsed[0].flag);
+  EXPECT_EQ(parsed[0].span, 12u);
+  EXPECT_EQ(parsed[0].site, "quoted, \"site\"");
+}
+
+TEST(ExportTest, ParseTraceCsvAcceptsLegacyElevenFieldRows) {
+  // A pre-span export: no span column. The parser defaults span to 0.
+  const std::string csv =
+      "seq,cycle,kind,severity,device,addr,addr2,len,aux,flag,site\n"
+      "0,100,dma_map,info,1,4096,8192,64,2,0,legacy_site\n"
+      "not,a,valid,row\n";
+  const std::vector<Event> parsed = ParseTraceCsv(csv);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].cycle, 100u);
+  EXPECT_EQ(parsed[0].kind, EventKind::kDmaMap);
+  EXPECT_EQ(parsed[0].span, 0u);
+  EXPECT_EQ(parsed[0].site, "legacy_site");
 }
 
 TEST(ExportTest, TraceCsvRoundTripsNames) {

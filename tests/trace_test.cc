@@ -1,0 +1,599 @@
+// Tests for spv::trace — span lifecycle, profile exporters, and
+// vulnerability-window accounting (ISSUE 4 tentpole).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/machine.h"
+#include "dkasan/dkasan.h"
+#include "spade/analyzer.h"
+#include "spade/parser.h"
+#include "telemetry/telemetry.h"
+#include "trace/profile.h"
+#include "trace/tracer.h"
+#include "trace/window_tracker.h"
+
+namespace spv::trace {
+namespace {
+
+TracerConfig EnabledConfig() {
+  TracerConfig config;
+  config.enabled = true;
+  return config;
+}
+
+// ---- Span lifecycle ---------------------------------------------------------
+
+TEST(TracerTest, NestingAndSequentialIdsWithDurations) {
+  SimClock clock;
+  telemetry::Hub hub;
+  Tracer tracer{hub, clock, EnabledConfig()};
+
+  const SpanId a = tracer.Open("rx");
+  clock.Advance(10);
+  const SpanId b = tracer.Open("rx.map");
+  EXPECT_EQ(tracer.current(), b);
+  clock.Advance(25);
+  tracer.Close(b);
+  clock.Advance(5);
+  const SpanId c = tracer.Open("rx.unmap");
+  clock.Advance(15);
+  tracer.Close(c);
+  tracer.Close(a);
+
+  EXPECT_EQ(a.value, 1u);
+  EXPECT_EQ(b.value, 2u);
+  EXPECT_EQ(c.value, 3u);
+  ASSERT_EQ(tracer.records().size(), 3u);
+  const SpanRecord& ra = tracer.records()[0];
+  const SpanRecord& rb = tracer.records()[1];
+  const SpanRecord& rc = tracer.records()[2];
+  EXPECT_EQ(ra.parent, kNoSpan);
+  EXPECT_EQ(rb.parent, a);
+  EXPECT_EQ(rc.parent, a);
+  EXPECT_TRUE(ra.closed);
+  EXPECT_EQ(ra.duration(), 55u);
+  EXPECT_EQ(rb.duration(), 25u);
+  EXPECT_EQ(rc.duration(), 15u);
+  EXPECT_EQ(tracer.current(), kNoSpan);
+  EXPECT_EQ(tracer.orphan_closes(), 0u);
+}
+
+TEST(TracerTest, ClosingAnOuterSpanImplicitlyClosesInnerOnes) {
+  SimClock clock;
+  telemetry::Hub hub;
+  Tracer tracer{hub, clock, EnabledConfig()};
+
+  const SpanId a = tracer.Open("outer");
+  tracer.Open("mid");
+  tracer.Open("leaf");
+  clock.Advance(100);
+  tracer.Close(a);  // stack self-heals: leaf and mid close first
+
+  EXPECT_EQ(tracer.current(), kNoSpan);
+  for (const SpanRecord& record : tracer.records()) {
+    EXPECT_TRUE(record.closed) << record.name;
+    EXPECT_EQ(record.close_cycle, 100u) << record.name;
+  }
+}
+
+TEST(TracerTest, OrphanClosesAreCountedNotFatal) {
+  SimClock clock;
+  telemetry::Hub hub;
+  Tracer tracer{hub, clock, EnabledConfig()};
+
+  tracer.Close(kNoSpan);  // no-op, not an orphan
+  EXPECT_EQ(tracer.orphan_closes(), 0u);
+  tracer.Close(SpanId{42});  // never opened
+  EXPECT_EQ(tracer.orphan_closes(), 1u);
+
+  const SpanId a = tracer.Open("a");
+  tracer.Close(a);
+  tracer.Close(a);  // double close
+  EXPECT_EQ(tracer.orphan_closes(), 2u);
+}
+
+TEST(TracerTest, DisabledTracerHandsOutNoSpanAndStaysSilent) {
+  SimClock clock;
+  telemetry::Hub::Config hub_config;
+  hub_config.enabled = true;
+  telemetry::Hub hub{hub_config};
+  Tracer tracer{hub, clock, TracerConfig{}};  // enabled = false
+
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.Open("ignored"), kNoSpan);
+  tracer.Close(kNoSpan);
+  EXPECT_TRUE(tracer.records().empty());
+  // No span events leaked into the ring.
+  const std::vector<telemetry::Event> events =
+      telemetry::ParseTraceCsv(hub.ExportTraceCsv());
+  for (const telemetry::Event& event : events) {
+    EXPECT_NE(event.kind, telemetry::EventKind::kSpanOpen);
+    EXPECT_NE(event.kind, telemetry::EventKind::kSpanClose);
+  }
+}
+
+TEST(TracerTest, ScopedSpanToleratesNullAndDisabledTracers) {
+  {
+    ScopedSpan span{nullptr, "null"};
+    EXPECT_EQ(span.id(), kNoSpan);
+  }
+  SimClock clock;
+  telemetry::Hub hub;
+  Tracer disabled{hub, clock, TracerConfig{}};
+  {
+    ScopedSpan span{&disabled, "disabled"};
+    EXPECT_EQ(span.id(), kNoSpan);
+  }
+  Tracer enabled{hub, clock, EnabledConfig()};
+  {
+    ScopedSpan span{&enabled, "live"};
+    EXPECT_TRUE(span.id().valid());
+    EXPECT_EQ(enabled.current(), span.id());
+  }
+  EXPECT_EQ(enabled.current(), kNoSpan);
+}
+
+TEST(TracerTest, HubStampsCurrentSpanOnEventsPublishedInsideASpan) {
+  SimClock clock;
+  telemetry::Hub::Config hub_config;
+  hub_config.enabled = true;
+  telemetry::Hub hub{hub_config};
+  hub.BindClock(&clock);
+  Tracer tracer{hub, clock, EnabledConfig()};
+
+  const SpanId span = tracer.Open("op");
+  telemetry::Event inside;
+  inside.kind = telemetry::EventKind::kDmaMap;
+  inside.severity = telemetry::Severity::kInfo;
+  hub.Publish(std::move(inside));
+  tracer.Close(span);
+  telemetry::Event outside;
+  outside.kind = telemetry::EventKind::kDmaUnmap;
+  outside.severity = telemetry::Severity::kInfo;
+  hub.Publish(std::move(outside));
+
+  const std::vector<telemetry::Event> events =
+      telemetry::ParseTraceCsv(hub.ExportTraceCsv());
+  bool saw_inside = false;
+  bool saw_outside = false;
+  for (const telemetry::Event& event : events) {
+    if (event.kind == telemetry::EventKind::kDmaMap) {
+      EXPECT_EQ(event.span, span.value);
+      saw_inside = true;
+    }
+    if (event.kind == telemetry::EventKind::kDmaUnmap) {
+      EXPECT_EQ(event.span, 0u);
+      saw_outside = true;
+    }
+  }
+  EXPECT_TRUE(saw_inside);
+  EXPECT_TRUE(saw_outside);
+}
+
+TEST(TracerTest, MaxRecordsExhaustionCountsDroppedSpans) {
+  SimClock clock;
+  telemetry::Hub hub;
+  TracerConfig config = EnabledConfig();
+  config.max_records = 2;
+  Tracer tracer{hub, clock, config};
+
+  EXPECT_TRUE(tracer.Open("a").valid());
+  EXPECT_TRUE(tracer.Open("b").valid());
+  EXPECT_EQ(tracer.Open("c"), kNoSpan);
+  EXPECT_EQ(tracer.dropped_spans(), 1u);
+}
+
+// ---- Determinism across same-seed runs --------------------------------------
+
+std::string TraceOneRun(uint64_t seed) {
+  core::MachineConfig config;
+  config.seed = seed;
+  config.iommu.mode = iommu::InvalidationMode::kDeferred;
+  config.telemetry.enabled = true;
+  config.trace.enabled = true;
+  core::Machine machine{config};
+  const DeviceId dev{1};
+  machine.iommu().AttachDevice(dev);
+  Kva buf = *machine.slab().Kmalloc(2048, "trace_det_buf");
+  std::vector<uint8_t> touch(8);
+  for (int i = 0; i < 16; ++i) {
+    auto iova = machine.dma().MapSingle(dev, buf, 2048, dma::DmaDirection::kFromDevice,
+                                        "trace_det_map");
+    EXPECT_TRUE(iova.ok());
+    (void)machine.iommu().DeviceWrite(dev, *iova, touch);
+    (void)machine.dma().UnmapSingle(dev, *iova, 2048, dma::DmaDirection::kFromDevice);
+  }
+  machine.iommu().FlushNow();
+  return machine.tracer()->ChromeTraceJson();
+}
+
+TEST(TracerTest, SpanTreeIsDeterministicAcrossSameSeedRuns) {
+  const std::string first = TraceOneRun(1234);
+  const std::string second = TraceOneRun(1234);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+// ---- Profile exporters ------------------------------------------------------
+
+TEST(ProfileTest, CollapsedStacksAttributeSelfCycles) {
+  SimClock clock;
+  telemetry::Hub hub;
+  Tracer tracer{hub, clock, EnabledConfig()};
+
+  const SpanId root = tracer.Open("root");
+  clock.Advance(60);
+  const SpanId child = tracer.Open("child");
+  clock.Advance(40);
+  tracer.Close(child);
+  tracer.Close(root);
+
+  const std::string stacks = tracer.CollapsedStacks();
+  EXPECT_NE(stacks.find("root 60"), std::string::npos) << stacks;
+  EXPECT_NE(stacks.find("root;child 40"), std::string::npos) << stacks;
+}
+
+TEST(ProfileTest, CollapsedStacksExcludeDetachedSpans) {
+  SimClock clock;
+  telemetry::Hub hub;
+  Tracer tracer{hub, clock, EnabledConfig()};
+
+  const SpanId root = tracer.Open("root");
+  const SpanId window = tracer.OpenDetached("window.stale", root);
+  clock.Advance(100);
+  tracer.Close(window);
+  tracer.Close(root);
+
+  const std::string stacks = tracer.CollapsedStacks();
+  EXPECT_EQ(stacks.find("window.stale"), std::string::npos) << stacks;
+  EXPECT_NE(stacks.find("root 100"), std::string::npos) << stacks;
+}
+
+TEST(ProfileTest, ChromeTraceJsonIsStructurallySane) {
+  SimClock clock;
+  telemetry::Hub hub;
+  Tracer tracer{hub, clock, EnabledConfig()};
+
+  const SpanId root = tracer.Open("iommu.flush");
+  const SpanId window = tracer.OpenDetached("window.stale", root);
+  clock.Advance(50);
+  tracer.Close(window);
+  tracer.Close(root);
+
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);   // stack span
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);   // async window open
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);   // async window close
+  EXPECT_NE(json.find("iommu.flush"), std::string::npos);
+  EXPECT_NE(json.find("window.stale"), std::string::npos);
+}
+
+TEST(ProfileTest, SubtreeMaskSelectsOnlyDescendants) {
+  SimClock clock;
+  telemetry::Hub hub;
+  Tracer tracer{hub, clock, EnabledConfig()};
+
+  const SpanId a = tracer.Open("a");        // id 1
+  const SpanId a1 = tracer.Open("a.1");     // id 2
+  tracer.Close(a1);
+  tracer.Close(a);
+  const SpanId b = tracer.Open("b");        // id 3
+  tracer.Close(b);
+
+  SpanForest forest;
+  forest.records = tracer.records();
+  forest.total_cycles = clock.now();
+  const std::unordered_set<uint64_t> mask = SubtreeMask(forest, a);
+  EXPECT_EQ(mask.size(), 2u);
+  EXPECT_TRUE(mask.count(a.value));
+  EXPECT_TRUE(mask.count(a1.value));
+  EXPECT_FALSE(mask.count(b.value));
+}
+
+TEST(ProfileTest, BuildSpanForestRecoversOverwrittenOpens) {
+  // A kSpanClose whose kSpanOpen was evicted from the ring: the close record
+  // carries the duration in aux, so the open cycle is recoverable.
+  std::vector<telemetry::Event> events;
+  telemetry::Event close;
+  close.kind = telemetry::EventKind::kSpanClose;
+  close.cycle = 500;
+  close.span = 7;
+  close.aux = 120;  // duration
+  close.site = "orphaned.op";
+  events.push_back(close);
+
+  const SpanForest forest = BuildSpanForest(events);
+  ASSERT_EQ(forest.records.size(), 1u);
+  const SpanRecord& record = forest.records[0];
+  EXPECT_EQ(record.id.value, 7u);
+  EXPECT_EQ(record.name, "orphaned.op");
+  EXPECT_TRUE(record.closed);
+  EXPECT_EQ(record.open_cycle, 380u);
+  EXPECT_EQ(record.close_cycle, 500u);
+}
+
+TEST(ProfileTest, Fig6StyleRunAttributesAtLeast95PercentOfCycles) {
+  core::MachineConfig config;
+  config.seed = 6;
+  config.iommu.mode = iommu::InvalidationMode::kStrict;
+  config.telemetry.enabled = true;
+  config.telemetry.ring_capacity = 1 << 14;  // keep every span event
+  config.trace.enabled = true;
+  core::Machine machine{config};
+  const DeviceId dev{1};
+  machine.iommu().AttachDevice(dev);
+  Kva buf = *machine.slab().Kmalloc(2048, "attr_buf");
+  std::vector<uint8_t> touch(8);
+  for (int i = 0; i < 50; ++i) {
+    auto iova = machine.dma().MapSingle(dev, buf, 2048, dma::DmaDirection::kFromDevice,
+                                        "attr_map");
+    ASSERT_TRUE(iova.ok());
+    (void)machine.iommu().DeviceWrite(dev, *iova, touch);
+    (void)machine.dma().UnmapSingle(dev, *iova, 2048, dma::DmaDirection::kFromDevice);
+  }
+
+  // Round-trip through the CSV exporter, as trace_cli consumes it.
+  const std::vector<telemetry::Event> events =
+      telemetry::ParseTraceCsv(machine.telemetry().ExportTraceCsv());
+  const SpanForest forest = BuildSpanForest(events);
+  EXPECT_FALSE(forest.records.empty());
+  const Attribution attribution = AttributedCycles(forest);
+  EXPECT_GT(attribution.total_cycles, 0u);
+  EXPECT_GE(attribution.fraction, 0.95)
+      << "attributed " << attribution.attributed_cycles << " of "
+      << attribution.total_cycles << " cycles";
+}
+
+// ---- Vulnerability windows --------------------------------------------------
+
+core::MachineConfig WindowConfig(iommu::InvalidationMode mode) {
+  core::MachineConfig config;
+  config.seed = 9;
+  config.iommu.mode = mode;
+  config.telemetry.enabled = true;
+  config.trace.enabled = true;
+  return config;
+}
+
+// Maps, lets the device touch the buffer (warming the IOTLB), unmaps.
+Iova OpenStaleWindow(core::Machine& machine, DeviceId dev, Kva buf) {
+  std::vector<uint8_t> touch(8);
+  auto iova = machine.dma().MapSingle(dev, buf, 2048, dma::DmaDirection::kFromDevice,
+                                      "window_map");
+  EXPECT_TRUE(iova.ok());
+  (void)machine.iommu().DeviceWrite(dev, *iova, touch);
+  (void)machine.dma().UnmapSingle(dev, *iova, 2048, dma::DmaDirection::kFromDevice);
+  return *iova;
+}
+
+TEST(WindowTest, DeferredWindowClosesOnManualFlush) {
+  core::Machine machine{WindowConfig(iommu::InvalidationMode::kDeferred)};
+  const DeviceId dev{1};
+  machine.iommu().AttachDevice(dev);
+  Kva buf = *machine.slab().Kmalloc(2048, "w_buf");
+  OpenStaleWindow(machine, dev, buf);
+  ASSERT_EQ(machine.windows()->open_stale_count(), 1u);
+
+  machine.clock().Advance(5000);
+  machine.iommu().FlushNow();
+
+  EXPECT_EQ(machine.windows()->open_stale_count(), 0u);
+  bool found = false;
+  for (const Window& window : machine.windows()->windows()) {
+    if (window.kind != WindowKind::kStaleIotlb) {
+      continue;
+    }
+    found = true;
+    EXPECT_FALSE(window.open);
+    EXPECT_EQ(window.close_reason, "flush:manual");
+    EXPECT_GE(window.duration(), 5000u);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(machine.windows()->stale_open_summary().count, 1u);
+}
+
+TEST(WindowTest, DeferredWindowClosesOnDeadlineDrain) {
+  core::Machine machine{WindowConfig(iommu::InvalidationMode::kDeferred)};
+  const DeviceId dev{1};
+  machine.iommu().AttachDevice(dev);
+  Kva buf = *machine.slab().Kmalloc(2048, "w_buf");
+  OpenStaleWindow(machine, dev, buf);
+
+  machine.clock().AdvanceUs(10001);  // past the 10 ms deferred deadline
+  machine.iommu().ProcessDeferredTimer();
+
+  EXPECT_EQ(machine.windows()->open_stale_count(), 0u);
+  bool found = false;
+  for (const Window& window : machine.windows()->windows()) {
+    if (window.kind == WindowKind::kStaleIotlb && !window.open) {
+      EXPECT_EQ(window.close_reason, "flush:deadline");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WindowTest, DeferredWindowClosesOnCapacityDrain) {
+  core::Machine machine{WindowConfig(iommu::InvalidationMode::kDeferred)};
+  const DeviceId dev{1};
+  machine.iommu().AttachDevice(dev);
+  Kva buf = *machine.slab().Kmalloc(2048, "w_buf");
+  // The flush queue holds 256 pending invalidations; the 257th unmap forces
+  // a capacity drain that closes every window opened so far.
+  for (int i = 0; i < 257; ++i) {
+    OpenStaleWindow(machine, dev, buf);
+  }
+
+  bool capacity_close = false;
+  for (const Window& window : machine.windows()->windows()) {
+    if (window.kind == WindowKind::kStaleIotlb && !window.open &&
+        window.close_reason == "flush:capacity") {
+      capacity_close = true;
+    }
+  }
+  EXPECT_TRUE(capacity_close);
+}
+
+TEST(WindowTest, StrictWindowSpansOnlyTheSynchronousInvalidation) {
+  core::Machine machine{WindowConfig(iommu::InvalidationMode::kStrict)};
+  const DeviceId dev{1};
+  machine.iommu().AttachDevice(dev);
+  Kva buf = *machine.slab().Kmalloc(2048, "w_buf");
+  OpenStaleWindow(machine, dev, buf);
+
+  EXPECT_EQ(machine.windows()->open_stale_count(), 0u);
+  bool found = false;
+  for (const Window& window : machine.windows()->windows()) {
+    if (window.kind != WindowKind::kStaleIotlb) {
+      continue;
+    }
+    found = true;
+    EXPECT_FALSE(window.open);
+    EXPECT_EQ(window.close_reason, "strict");
+    // One page at kIotlbInvalidationCycles each (the clock advance is
+    // published in the invalidate event's aux and backdated here).
+    EXPECT_EQ(window.duration(), 2000u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WindowTest, SubPageWindowOpensOnWritableMapAndClosesOnUnmap) {
+  core::Machine machine{WindowConfig(iommu::InvalidationMode::kDeferred)};
+  const DeviceId dev{1};
+  machine.iommu().AttachDevice(dev);
+  // 2048-byte buffer in a 4 KiB page: 2048 bytes of neighbouring memory are
+  // exposed to a device-writable mapping.
+  Kva buf = *machine.slab().Kmalloc(2048, "w_buf");
+  auto iova = machine.dma().MapSingle(dev, buf, 2048, dma::DmaDirection::kFromDevice,
+                                      "subpage_map");
+  ASSERT_TRUE(iova.ok());
+  EXPECT_EQ(machine.windows()->open_subpage_count(), 1u);
+
+  (void)machine.dma().UnmapSingle(dev, *iova, 2048, dma::DmaDirection::kFromDevice);
+  EXPECT_EQ(machine.windows()->open_subpage_count(), 0u);
+
+  bool found = false;
+  for (const Window& window : machine.windows()->windows()) {
+    if (window.kind != WindowKind::kSubPage) {
+      continue;
+    }
+    found = true;
+    EXPECT_FALSE(window.open);
+    EXPECT_EQ(window.close_reason, "unmap");
+    EXPECT_EQ(window.exposed_bytes, 2048u);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(machine.windows()->subpage_open_summary().count, 1u);
+}
+
+TEST(WindowTest, StaleHitsAreAttributedToTheOpenWindow) {
+  core::Machine machine{WindowConfig(iommu::InvalidationMode::kDeferred)};
+  const DeviceId dev{1};
+  machine.iommu().AttachDevice(dev);
+  Kva buf = *machine.slab().Kmalloc(2048, "w_buf");
+  const Iova iova = OpenStaleWindow(machine, dev, buf);
+
+  // The translation is dead but still cached: this write is the Fig-6 stale
+  // access, and the tracker pins it to the window it landed in.
+  std::vector<uint8_t> touch(8);
+  ASSERT_TRUE(machine.iommu().DeviceWrite(dev, iova, touch).ok());
+
+  ASSERT_EQ(machine.windows()->open_stale_count(), 1u);
+  bool found = false;
+  for (const Window& window : machine.windows()->windows()) {
+    if (window.kind == WindowKind::kStaleIotlb && window.open) {
+      EXPECT_GE(window.device_hits, 1u);
+      EXPECT_GT(window.first_hit_cycle, 0u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WindowTest, DkasanReportClosesTheWindowAndRecordsLatency) {
+  core::Machine machine{WindowConfig(iommu::InvalidationMode::kDeferred)};
+  const DeviceId dev{1};
+  machine.iommu().AttachDevice(dev);
+  dkasan::DKasan detector{machine.layout()};
+  detector.set_telemetry(&machine.telemetry());
+  detector.Attach(machine.dma());
+
+  Kva buf = *machine.slab().Kmalloc(2048, "w_buf");
+  OpenStaleWindow(machine, dev, buf);
+  ASSERT_EQ(machine.windows()->open_stale_count(), 1u);
+  machine.clock().Advance(3000);
+
+  // A CPU access to a still-mapped buffer: D-KASAN reports it, and the report
+  // (a runtime detection) ends the exploitable interval.
+  auto live = machine.dma().MapSingle(dev, buf, 2048, dma::DmaDirection::kFromDevice,
+                                      "dkasan_live_map");
+  ASSERT_TRUE(live.ok());
+  (void)machine.dma().SyncSingleForCpu(dev, *live, 2048, dma::DmaDirection::kFromDevice);
+
+  const telemetry::Histogram::Summary latency =
+      machine.windows()->dkasan_latency_summary();
+  ASSERT_GE(latency.count, 1u);
+  EXPECT_GE(latency.max, 3000u);
+  EXPECT_EQ(machine.windows()->open_stale_count(), 0u);
+  bool detected = false;
+  for (const Window& window : machine.windows()->windows()) {
+    if (window.kind == WindowKind::kStaleIotlb && window.detected) {
+      EXPECT_EQ(window.close_reason, "detected:dkasan");
+      detected = true;
+    }
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(WindowTest, SpadeFindingRecordsLatencyButLeavesTheWindowOpen) {
+  core::Machine machine{WindowConfig(iommu::InvalidationMode::kDeferred)};
+  const DeviceId dev{1};
+  machine.iommu().AttachDevice(dev);
+  Kva buf = *machine.slab().Kmalloc(2048, "w_buf");
+  OpenStaleWindow(machine, dev, buf);
+  ASSERT_EQ(machine.windows()->open_stale_count(), 1u);
+  machine.clock().Advance(5000);
+
+  // Static scan while the window is open: a finding measures how quickly the
+  // analyzer could have flagged the site, but cannot invalidate a live
+  // translation, so the window stays open.
+  spade::SpadeAnalyzer analyzer;
+  analyzer.set_telemetry(&machine.telemetry());
+  analyzer.set_tracer(machine.tracer());
+  auto file = spade::ParseSource("inline.c", R"(
+    struct my_op {
+      u8 buf[64];
+      void (*done)(struct my_op *op);
+    };
+    int f(struct dev *d, struct my_op *op) {
+      dma_addr_t a;
+      a = dma_map_single(d, &op->buf, 64, DMA_FROM_DEVICE);
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(file.ok());
+  analyzer.AddFile(std::move(*file));
+  auto findings = analyzer.Analyze();
+  ASSERT_TRUE(findings.ok());
+  ASSERT_FALSE(findings->empty());
+
+  const telemetry::Histogram::Summary latency =
+      machine.windows()->spade_latency_summary();
+  ASSERT_GE(latency.count, 1u);
+  EXPECT_GE(latency.max, 5000u);
+  EXPECT_EQ(machine.windows()->open_stale_count(), 1u);  // still open
+  for (const Window& window : machine.windows()->windows()) {
+    if (window.kind == WindowKind::kStaleIotlb) {
+      EXPECT_TRUE(window.open);
+      EXPECT_TRUE(window.detected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spv::trace

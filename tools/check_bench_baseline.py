@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""CI gate: compare a bench_map_unmap run against the committed baseline.
+
+Only *simulated-cycle* metrics are compared — they are deterministic for a
+given binary (seeded RNG, logical clock), so a drift means the code's cost
+model changed, not that the CI runner was noisy. Wall-clock fields
+(maps_per_sec etc.) are ignored.
+
+Usage:
+  check_bench_baseline.py RESULT.json [--baseline bench/BENCH_map_unmap.baseline.json]
+                          [--tolerance 0.25] [--update]
+
+Exit status: 0 when every checked metric is within tolerance, 1 otherwise.
+--update rewrites the baseline from RESULT.json instead of checking.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "bench" / "BENCH_map_unmap.baseline.json"
+
+
+def case_key(case):
+    return (case["workload"], case["mode"], case["cpus"], case["fast_path"])
+
+
+def trimmed(result):
+    return {
+        "benchmark": result["benchmark"],
+        "note": "Deterministic sim-cycle baseline for the CI bench gate. "
+        "Only simulated-cycle fields are recorded (wall-clock numbers vary by host). "
+        "Regenerate with: bench_map_unmap --quick --out full.json, then tools/check_bench_baseline.py --update.",
+        "steady_p99_sim_cycles": result["steady_p99_sim_cycles"],
+        "cases": [
+            {
+                "workload": c["workload"],
+                "mode": c["mode"],
+                "cpus": c["cpus"],
+                "fast_path": c["fast_path"],
+                "sim_cycles_per_op": c["sim_cycles_per_op"],
+            }
+            for c in result["cases"]
+        ],
+    }
+
+
+def within(new, old, tolerance):
+    if old == 0:
+        return new == 0
+    return abs(new - old) <= tolerance * old
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("result", type=Path, help="JSON written by bench_map_unmap --out")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative drift (default 0.25 = ±25%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from RESULT instead of checking")
+    args = parser.parse_args()
+
+    result = json.loads(args.result.read_text())
+
+    if args.update:
+        args.baseline.write_text(json.dumps(trimmed(result), indent=2) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())
+    failures = []
+
+    # Headline gate: steady-state p99 sim cycles per map/unmap op.
+    new_p99 = result["steady_p99_sim_cycles"]
+    old_p99 = baseline["steady_p99_sim_cycles"]
+    status = "ok" if within(new_p99, old_p99, args.tolerance) else "FAIL"
+    print(f"steady_p99_sim_cycles: {new_p99} vs baseline {old_p99} [{status}]")
+    if status == "FAIL":
+        failures.append("steady_p99_sim_cycles")
+
+    # Per-case mean sim cycles (p50/p99 are log2 bucket bounds — too coarse to
+    # drift meaningfully within tolerance, so the mean is the sensitive metric).
+    baseline_cases = {case_key(c): c for c in baseline["cases"]}
+    for case in result["cases"]:
+        key = case_key(case)
+        base = baseline_cases.get(key)
+        if base is None:
+            print(f"  {key}: new case (no baseline) [skip]")
+            continue
+        new_mean = case["sim_cycles_per_op"]["mean"]
+        old_mean = base["sim_cycles_per_op"]["mean"]
+        if not within(new_mean, old_mean, args.tolerance):
+            print(f"  {key}: mean sim cycles {new_mean} vs {old_mean} [FAIL]")
+            failures.append(str(key))
+
+    if failures:
+        print(f"\n{len(failures)} metric(s) outside ±{args.tolerance:.0%}: {failures}")
+        print("If the drift is intentional, regenerate with --update and commit.")
+        return 1
+    print(f"all sim-cycle metrics within ±{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,101 +1,45 @@
-// trace — replays a telemetry trace export as a human-readable timeline.
+// trace — replays a telemetry trace export as a timeline, a Perfetto-loadable
+// Chrome trace, or collapsed flamegraph stacks.
 //
 // Input is the CSV produced by telemetry::Hub::ExportTraceCsv() (one row per
 // trace-ring event: seq,cycle,kind,severity,device,addr,addr2,len,aux,flag,
-// site). Each event is printed with its simulated timestamp, the delta since
-// the previous event, and a kind-aware rendering of the payload fields.
+// span,site; the pre-span 11-column format is still accepted). Parsing is
+// shared with the library (telemetry::ParseTraceCsv) so the CLI and any other
+// consumer agree on the format.
 //
 // Usage:
-//   trace <trace.csv> [--min-severity trace|info|warn|critical] [--limit N]
+//   trace <trace.csv> [--format timeline|chrome|flame] [--span ID]
+//                     [--min-severity trace|info|warn|critical] [--limit N]
+//                     [--filter origin=fault]
 //   trace --demo      runs a small map/stale-access/flush workload on a
 //                     simulated machine and replays its trace (dogfooding the
 //                     same CSV path an external consumer would use).
+//
+// --format chrome  emits Chrome trace-event JSON (load in Perfetto; timebase
+//                  is sim cycles, see src/trace/profile.h).
+// --format flame   emits collapsed stacks ("a;b;c <self-cycles>") for
+//                  flamegraph.pl-style renderers.
+// --span ID        restricts any format to the subtree rooted at span ID:
+//                  the timeline keeps events stamped with a span in the
+//                  subtree, chrome/flame keep only those spans.
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <optional>
 #include <sstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/machine.h"
 #include "telemetry/telemetry.h"
+#include "trace/profile.h"
+#include "trace/tracer.h"
 
 using namespace spv;
 
 namespace {
-
-// Splits one CSV record, honouring double-quoted fields with "" escapes.
-std::vector<std::string> SplitCsvRecord(const std::string& line) {
-  std::vector<std::string> fields;
-  std::string field;
-  bool quoted = false;
-  for (size_t i = 0; i < line.size(); ++i) {
-    const char c = line[i];
-    if (quoted) {
-      if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          field += '"';
-          ++i;
-        } else {
-          quoted = false;
-        }
-      } else {
-        field += c;
-      }
-    } else if (c == '"') {
-      quoted = true;
-    } else if (c == ',') {
-      fields.push_back(std::move(field));
-      field.clear();
-    } else {
-      field += c;
-    }
-  }
-  fields.push_back(std::move(field));
-  return fields;
-}
-
-struct TraceRow {
-  uint64_t seq = 0;
-  uint64_t cycle = 0;
-  telemetry::EventKind kind = telemetry::EventKind::kDmaMap;
-  telemetry::Severity severity = telemetry::Severity::kInfo;
-  uint32_t device = 0;
-  uint64_t addr = 0;
-  uint64_t addr2 = 0;
-  uint64_t len = 0;
-  uint64_t aux = 0;
-  bool flag = false;
-  std::string site;
-};
-
-std::optional<TraceRow> ParseRow(const std::string& line) {
-  const std::vector<std::string> fields = SplitCsvRecord(line);
-  if (fields.size() != 11) {
-    return std::nullopt;
-  }
-  auto kind = telemetry::EventKindFromName(fields[2]);
-  auto severity = telemetry::SeverityFromName(fields[3]);
-  if (!kind.has_value() || !severity.has_value()) {
-    return std::nullopt;
-  }
-  TraceRow row;
-  row.seq = std::strtoull(fields[0].c_str(), nullptr, 10);
-  row.cycle = std::strtoull(fields[1].c_str(), nullptr, 10);
-  row.kind = *kind;
-  row.severity = *severity;
-  row.device = static_cast<uint32_t>(std::strtoul(fields[4].c_str(), nullptr, 10));
-  row.addr = std::strtoull(fields[5].c_str(), nullptr, 0);
-  row.addr2 = std::strtoull(fields[6].c_str(), nullptr, 0);
-  row.len = std::strtoull(fields[7].c_str(), nullptr, 10);
-  row.aux = std::strtoull(fields[8].c_str(), nullptr, 10);
-  row.flag = fields[9] == "1";
-  row.site = fields[10];
-  return row;
-}
 
 const char* SeverityMarker(telemetry::Severity severity) {
   switch (severity) {
@@ -112,68 +56,89 @@ const char* SeverityMarker(telemetry::Severity severity) {
 }
 
 // Kind-aware one-line rendering of the payload columns.
-std::string DescribeRow(const TraceRow& row) {
+std::string DescribeEvent(const telemetry::Event& event) {
   std::ostringstream out;
   char hex[32];
   auto fmt_hex = [&](uint64_t v) {
     std::snprintf(hex, sizeof(hex), "0x%llx", static_cast<unsigned long long>(v));
     return std::string(hex);
   };
-  switch (row.kind) {
+  switch (event.kind) {
     case telemetry::EventKind::kDmaMap:
     case telemetry::EventKind::kDmaUnmap:
     case telemetry::EventKind::kDmaSync:
-      out << "dev " << row.device << "  kva " << fmt_hex(row.addr) << " <-> iova "
-          << fmt_hex(row.addr2) << "  len " << row.len;
+      out << "dev " << event.device << "  kva " << fmt_hex(event.addr) << " <-> iova "
+          << fmt_hex(event.addr2) << "  len " << event.len;
       break;
     case telemetry::EventKind::kCpuAccess:
-      out << (row.flag ? "write " : "read ") << row.len << " @ kva " << fmt_hex(row.addr);
+      out << (event.flag ? "write " : "read ") << event.len << " @ kva "
+          << fmt_hex(event.addr);
       break;
     case telemetry::EventKind::kIotlbInvalidate:
-      out << "dev " << row.device << "  iova " << fmt_hex(row.addr2) << "  ("
-          << row.aux << " cycles)";
+      out << "dev " << event.device << "  iova " << fmt_hex(event.addr2) << "  ("
+          << event.aux << " cycles)";
       break;
     case telemetry::EventKind::kIommuFlush:
-      out << "retired " << row.aux << " queued unmaps";
+      out << "retired " << event.aux << " queued unmaps";
       break;
     case telemetry::EventKind::kIommuFault:
-      out << "dev " << row.device << "  iova " << fmt_hex(row.addr2)
-          << (row.flag ? "  (write)" : "  (read)");
+      out << "dev " << event.device << "  iova " << fmt_hex(event.addr2)
+          << (event.flag ? "  (write)" : "  (read)");
       break;
     case telemetry::EventKind::kStaleIotlbHit:
-      out << "dev " << row.device << "  iova " << fmt_hex(row.addr2)
-          << (row.flag ? "  WRITE through dead PTE" : "  READ through dead PTE");
+      out << "dev " << event.device << "  iova " << fmt_hex(event.addr2)
+          << (event.flag ? "  WRITE through dead PTE" : "  READ through dead PTE");
       break;
     case telemetry::EventKind::kSlabAlloc:
     case telemetry::EventKind::kSlabFree:
     case telemetry::EventKind::kFragAlloc:
     case telemetry::EventKind::kFragFree:
-      out << "kva " << fmt_hex(row.addr) << "  size " << row.len;
+      out << "kva " << fmt_hex(event.addr) << "  size " << event.len;
       break;
     case telemetry::EventKind::kNicRx:
     case telemetry::EventKind::kNicTx:
     case telemetry::EventKind::kXdpDrop:
     case telemetry::EventKind::kXdpTx:
-      out << "dev " << row.device << "  pkt " << row.len << "B";
+      out << "dev " << event.device << "  pkt " << event.len << "B";
       break;
     case telemetry::EventKind::kNicTxReset:
-      out << "dev " << row.device << "  " << row.len << " slots timed out";
+      out << "dev " << event.device << "  " << event.len << " slots timed out";
       break;
     case telemetry::EventKind::kNicRxError:
-      out << "dev " << row.device << "  pkt " << row.len << "B dropped";
+      out << "dev " << event.device << "  pkt " << event.len << "B dropped";
       break;
     case telemetry::EventKind::kFaultInjected:
-      out << "site #" << row.aux << "  magnitude " << row.len;
+      out << "site #" << event.aux << "  magnitude " << event.len;
       break;
     case telemetry::EventKind::kFaultRecovered:
-      out << "dev " << row.device << "  recovered " << row.len;
+      out << "dev " << event.device << "  recovered " << event.len;
       break;
     case telemetry::EventKind::kStackDeliver:
     case telemetry::EventKind::kStackForward:
     case telemetry::EventKind::kStackDrop:
     case telemetry::EventKind::kStackSend:
     case telemetry::EventKind::kStackEcho:
-      out << row.len << "B";
+      out << event.len << "B";
+      break;
+    case telemetry::EventKind::kSpanOpen:
+      out << "span #" << event.span;
+      if (event.addr != 0) {
+        out << " (parent #" << event.addr << ")";
+      }
+      if (event.flag) {
+        out << " detached";
+      }
+      break;
+    case telemetry::EventKind::kSpanClose:
+      out << "span #" << event.span << "  " << event.aux << " cycles";
+      break;
+    case telemetry::EventKind::kWindowOpen:
+      out << "dev " << event.device << "  iova page " << fmt_hex(event.addr2)
+          << "  exposed " << event.aux << "B";
+      break;
+    case telemetry::EventKind::kWindowClose:
+      out << "dev " << event.device << "  iova page " << fmt_hex(event.addr2)
+          << "  open " << event.aux << " cycles" << (event.flag ? "  DETECTED" : "");
       break;
     case telemetry::EventKind::kAttackStage:
     case telemetry::EventKind::kDkasanReport:
@@ -186,57 +151,47 @@ std::string DescribeRow(const TraceRow& row) {
 
 // --filter origin=fault: keep only rows from the fault-injection story — the
 // engine's own events plus recovery/drop accounting published on its behalf.
-bool IsFaultRow(const TraceRow& row) {
-  return row.kind == telemetry::EventKind::kFaultInjected ||
-         row.kind == telemetry::EventKind::kFaultRecovered ||
-         row.kind == telemetry::EventKind::kNicRxError ||
-         row.site.rfind("fault:", 0) == 0;
+bool IsFaultEvent(const telemetry::Event& event) {
+  return event.kind == telemetry::EventKind::kFaultInjected ||
+         event.kind == telemetry::EventKind::kFaultRecovered ||
+         event.kind == telemetry::EventKind::kNicRxError ||
+         event.site.rfind("fault:", 0) == 0;
 }
 
-int Replay(const std::string& csv, telemetry::Severity min_severity, size_t limit,
-           bool fault_only) {
-  std::istringstream in(csv);
-  std::string line;
-  if (!std::getline(in, line)) {
-    std::fprintf(stderr, "empty trace\n");
-    return 1;
-  }
-  // Header row is validated loosely: first column must be "seq".
-  if (line.rfind("seq,", 0) != 0) {
-    std::fprintf(stderr, "not a trace CSV (missing header)\n");
-    return 1;
-  }
+struct Options {
+  std::string format = "timeline";
+  telemetry::Severity min_severity = telemetry::Severity::kTrace;
+  size_t limit = SIZE_MAX;
+  bool fault_only = false;
+  uint64_t span_root = 0;  // 0 = no subtree filter
+};
+
+int Timeline(const std::vector<telemetry::Event>& events, const Options& opts,
+             const std::unordered_set<uint64_t>& mask) {
   size_t shown = 0;
   size_t skipped = 0;
   uint64_t prev_cycle = 0;
   bool have_prev = false;
-  while (std::getline(in, line) && shown < limit) {
-    if (line.empty()) {
-      continue;
+  for (const telemetry::Event& event : events) {
+    if (shown >= opts.limit) {
+      break;
     }
-    std::optional<TraceRow> row = ParseRow(line);
-    if (!row.has_value()) {
-      std::fprintf(stderr, "skipping malformed row: %s\n", line.c_str());
-      continue;
-    }
-    if (row->severity < min_severity) {
+    if (event.severity < opts.min_severity || (opts.fault_only && !IsFaultEvent(event)) ||
+        (!mask.empty() && mask.count(event.span) == 0)) {
       ++skipped;
       continue;
     }
-    if (fault_only && !IsFaultRow(*row)) {
-      ++skipped;
-      continue;
-    }
-    const uint64_t delta = have_prev ? row->cycle - prev_cycle : 0;
-    prev_cycle = row->cycle;
+    const uint64_t delta = have_prev ? event.cycle - prev_cycle : 0;
+    prev_cycle = event.cycle;
     have_prev = true;
-    const std::string detail = DescribeRow(*row);
+    const std::string detail = DescribeEvent(event);
     std::printf("%10llu cyc (+%-8llu) %-2s %-16s %s%s%s%s\n",
-                static_cast<unsigned long long>(row->cycle),
-                static_cast<unsigned long long>(delta), SeverityMarker(row->severity),
-                std::string(telemetry::EventKindName(row->kind)).c_str(), detail.c_str(),
-                row->site.empty() ? "" : (detail.empty() ? "" : "  "),
-                row->site.empty() ? "" : "[", row->site.empty() ? "" : (row->site + "]").c_str());
+                static_cast<unsigned long long>(event.cycle),
+                static_cast<unsigned long long>(delta), SeverityMarker(event.severity),
+                std::string(telemetry::EventKindName(event.kind)).c_str(), detail.c_str(),
+                event.site.empty() ? "" : (detail.empty() ? "" : "  "),
+                event.site.empty() ? "" : "[",
+                event.site.empty() ? "" : (event.site + "]").c_str());
     ++shown;
   }
   std::printf("\n%zu events shown", shown);
@@ -247,14 +202,65 @@ int Replay(const std::string& csv, telemetry::Severity min_severity, size_t limi
   return 0;
 }
 
+int Render(const std::string& csv, const Options& opts) {
+  if (csv.empty()) {
+    std::fprintf(stderr, "empty trace\n");
+    return 1;
+  }
+  if (csv.rfind("seq,", 0) != 0) {
+    std::fprintf(stderr, "not a trace CSV (missing header)\n");
+    return 1;
+  }
+  const std::vector<telemetry::Event> events = telemetry::ParseTraceCsv(csv);
+
+  std::unordered_set<uint64_t> mask;
+  trace::SpanForest forest;
+  const bool needs_forest = opts.span_root != 0 || opts.format != "timeline";
+  if (needs_forest) {
+    forest = trace::BuildSpanForest(events);
+  }
+  if (opts.span_root != 0) {
+    mask = trace::SubtreeMask(forest, trace::SpanId{opts.span_root});
+    if (mask.empty()) {
+      std::fprintf(stderr, "span %llu not found in trace\n",
+                   static_cast<unsigned long long>(opts.span_root));
+      return 1;
+    }
+  }
+
+  if (opts.format == "timeline") {
+    return Timeline(events, opts, mask);
+  }
+  if (opts.format == "chrome") {
+    const std::vector<trace::Instant> instants =
+        trace::CollectInstants(events, telemetry::Severity::kWarn);
+    std::fputs(trace::ChromeTraceJson(forest, instants, mask).c_str(), stdout);
+    return 0;
+  }
+  if (opts.format == "flame") {
+    const std::string stacks = trace::CollapsedStacks(forest, mask);
+    if (stacks.empty()) {
+      std::fprintf(stderr, "no spans in trace (was tracing enabled?)\n");
+      return 1;
+    }
+    std::fputs(stacks.c_str(), stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown format: %s (supported: timeline, chrome, flame)\n",
+               opts.format.c_str());
+  return 1;
+}
+
 // --demo: a small deferred-mode workload whose trace shows the Figure-6
 // window end to end: map, device DMA, unmap (deferred), stale device write
-// through the warm IOTLB entry, then the periodic flush.
+// through the warm IOTLB entry, then the periodic flush. Tracing is on, so
+// the same run demonstrates spans and vulnerability windows.
 std::string DemoTraceCsv() {
   core::MachineConfig config;
   config.seed = 42;
   config.phys_pages = 4096;
   config.telemetry.enabled = true;
+  config.trace.enabled = true;
   core::Machine machine{config};
   const DeviceId dev{1};
   machine.iommu().AttachDevice(dev);
@@ -278,14 +284,22 @@ std::string DemoTraceCsv() {
 int main(int argc, char** argv) {
   std::string path;
   bool demo = false;
-  bool fault_only = false;
-  telemetry::Severity min_severity = telemetry::Severity::kTrace;
-  size_t limit = SIZE_MAX;
+  Options opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--format" && i + 1 < argc) {
+      opts.format = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      opts.format = arg.substr(9);
+    } else if (arg == "--span" && i + 1 < argc) {
+      opts.span_root = std::strtoull(argv[++i], nullptr, 10);
+      if (opts.span_root == 0) {
+        std::fprintf(stderr, "--span wants a nonzero span id\n");
+        return 1;
+      }
     } else if (arg == "--filter" && i + 1 < argc) {
       const std::string filter = argv[++i];
       if (filter != "origin=fault") {
@@ -293,19 +307,22 @@ int main(int argc, char** argv) {
                      filter.c_str());
         return 1;
       }
-      fault_only = true;
+      opts.fault_only = true;
     } else if (arg == "--min-severity" && i + 1 < argc) {
       auto severity = telemetry::SeverityFromName(argv[++i]);
       if (!severity.has_value()) {
         std::fprintf(stderr, "unknown severity: %s\n", argv[i]);
         return 1;
       }
-      min_severity = *severity;
+      opts.min_severity = *severity;
     } else if (arg == "--limit" && i + 1 < argc) {
-      limit = std::strtoull(argv[++i], nullptr, 10);
+      opts.limit = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: trace <trace.csv> [--min-severity trace|info|warn|critical] "
-                  "[--limit N] [--filter origin=fault]\n       trace --demo\n");
+      std::printf(
+          "usage: trace <trace.csv> [--format timeline|chrome|flame] [--span ID]\n"
+          "             [--min-severity trace|info|warn|critical] [--limit N]\n"
+          "             [--filter origin=fault]\n"
+          "       trace --demo [--format ...]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
@@ -331,5 +348,5 @@ int main(int argc, char** argv) {
     buffer << in.rdbuf();
     csv = buffer.str();
   }
-  return Replay(csv, min_severity, limit, fault_only);
+  return Render(csv, opts);
 }
