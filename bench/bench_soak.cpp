@@ -1,0 +1,60 @@
+// Chaos-soak bench: fixed-seed runs across {strict,deferred} x {recovery
+// on,off}, reporting the availability the echo service kept, the recovery
+// latencies, and the leak audit. The recovery-off rows are the paper's
+// baseline world: attacks and fault storms run to completion with nobody
+// pulling the offending device off the bus.
+
+#include <cstdio>
+
+#include "soak/soak.h"
+
+using namespace spv;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string_view(argv[1]) == "--quick";
+
+  std::printf("== Chaos soak: availability under faults + attacks, with and without "
+              "spv::recovery ==\n\n");
+  std::printf("%-28s %-6s %10s %8s %9s %9s %11s %7s\n", "configuration", "ok",
+              "sim_cycles", "avail", "quaran.", "reattach", "q_lat_p99", "leaks");
+
+  struct Row {
+    const char* name;
+    bool deferred;
+    bool recovery;
+  };
+  const Row rows[] = {
+      {"deferred, recovery on ", true, true},
+      {"deferred, recovery off", true, false},
+      {"strict,   recovery on ", false, true},
+      {"strict,   recovery off", false, false},
+  };
+
+  bool all_ok = true;
+  for (const Row& row : rows) {
+    soak::SoakConfig config;
+    config.seed = 20260806;
+    config.target_cycles = quick ? 400'000 : 2'000'000;
+    config.deferred = row.deferred;
+    config.recovery_enabled = row.recovery;
+    const soak::SoakReport report = soak::RunSoak(config);
+    all_ok = all_ok && report.ok;
+    std::printf("%-28s %-6s %10llu %8.4f %9llu %9llu %11llu %7llu\n", row.name,
+                report.ok ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(report.sim_cycles), report.availability,
+                static_cast<unsigned long long>(report.quarantines),
+                static_cast<unsigned long long>(report.reattach_attempts),
+                static_cast<unsigned long long>(report.quarantine_latency_p99),
+                static_cast<unsigned long long>(report.leaked_mappings +
+                                                report.leaked_iova_entries));
+    if (!report.ok) {
+      std::printf("    failure: %s\n", report.failure.c_str());
+    }
+  }
+
+  std::printf("\nshape check: recovery-off rows still pass (nothing leaks without "
+              "supervision — quarantine is a policy, not a crutch); recovery-on rows\n"
+              "trade a bounded availability dip for fenced devices and drained flush "
+              "queues after every breach.\n");
+  return all_ok ? 0 : 1;
+}

@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kRevoked:
+      return "REVOKED";
   }
   return "UNKNOWN";
 }

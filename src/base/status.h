@@ -23,6 +23,12 @@ enum class StatusCode {
   kOutOfRange,
   kUnavailable,
   kInternal,
+  // Access was deliberately revoked by the OS (device quarantine / detach,
+  // spv::recovery). Distinct from kPermissionDenied (an IOMMU fault the
+  // device provoked) and from kUnavailable (a transient condition): kRevoked
+  // is the single authoritative answer for any DMA-API or device-side
+  // operation issued against a quarantined or detached device.
+  kRevoked,
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -69,6 +75,7 @@ inline Status Unavailable(std::string msg) {
   return Status{StatusCode::kUnavailable, std::move(msg)};
 }
 inline Status Internal(std::string msg) { return Status{StatusCode::kInternal, std::move(msg)}; }
+inline Status Revoked(std::string msg) { return Status{StatusCode::kRevoked, std::move(msg)}; }
 
 // Result<T>: either a value or a non-OK Status.
 template <typename T>

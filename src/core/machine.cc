@@ -61,6 +61,9 @@ Machine::Machine(const MachineConfig& config)
   skb_alloc_ = std::make_unique<net::SkbAllocator>(*kmem_, *slab_);
   stack_ = std::make_unique<net::NetworkStack>(*kmem_, *slab_, *skb_alloc_, config.net);
   stack_->set_tracer(tracer_.get());
+  recovery_ = std::make_unique<recovery::RecoveryManager>(*iommu_, *dma_, clock_, hub_,
+                                                          config.recovery);
+  recovery_->set_tracer(tracer_.get());
   // Fault hooks are wired unconditionally — an unarmed engine short-circuits
   // at every guard — and armed only when the config carries a plan.
   fault_.set_telemetry(&hub_);
@@ -92,6 +95,7 @@ net::NicDriver& Machine::AddNicDriver(const net::NicDriver::Config& config) {
                                                       clock_, config));
   drivers_.back()->set_fault_engine(&fault_);
   drivers_.back()->set_tracer(tracer_.get());
+  recovery_->RegisterDevice(device, drivers_.back().get());
   return *drivers_.back();
 }
 

@@ -28,6 +28,7 @@
 #include "net/nic_driver.h"
 #include "net/skbuff.h"
 #include "net/stack.h"
+#include "recovery/recovery.h"
 #include "slab/page_frag.h"
 #include "slab/slab_allocator.h"
 #include "telemetry/telemetry.h"
@@ -57,6 +58,9 @@ struct MachineConfig {
   // FaultEngine (seeded from `seed`) and every layer's hooks start firing.
   // Empty (the default) means no faults and near-zero overhead.
   fault::FaultPlan fault_plan;
+  // Device supervision (spv::recovery). Disabled by default: the paper's
+  // attacks reproduce unhindered and the health scorer never joins the bus.
+  recovery::RecoveryManager::Config recovery;
 };
 
 class Machine {
@@ -100,6 +104,8 @@ class Machine {
   trace::WindowTracker* windows() { return windows_.get(); }
   // The machine-wide fault engine (armed iff config.fault_plan is non-empty).
   fault::FaultEngine& fault() { return fault_; }
+  // Device supervision; present always, active iff config.recovery.enabled.
+  recovery::RecoveryManager& recovery() { return *recovery_; }
 
   // Cross-layer consistency audit; call at teardown (or any quiescent point).
   // Verifies that (1) every tracked DMA mapping still translates page-by-page
@@ -131,6 +137,7 @@ class Machine {
   std::unique_ptr<slab::SlabAllocator> slab_;
   std::unique_ptr<net::SkbAllocator> skb_alloc_;
   std::unique_ptr<net::NetworkStack> stack_;
+  std::unique_ptr<recovery::RecoveryManager> recovery_;
   std::vector<std::unique_ptr<slab::PageFragPool>> frag_pools_;
   std::vector<std::unique_ptr<net::NicDriver>> drivers_;
   uint32_t next_device_id_ = 1;

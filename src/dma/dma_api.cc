@@ -113,6 +113,26 @@ Status DmaApi::UnmapSingle(DeviceId device, Iova iova, uint64_t len, DmaDirectio
   return OkStatus();
 }
 
+Result<uint64_t> DmaApi::RevokeDeviceMappings(DeviceId device, std::string_view site) {
+  trace::ScopedSpan span(tracer_, "dma.revoke_device");
+  // Snapshot first: unmapping mutates the tracker under iteration otherwise.
+  std::vector<DmaMapping> victims;
+  ForEachMapping([&](const DmaMapping& mapping) {
+    if (mapping.device.value == device.value) {
+      victims.push_back(mapping);
+    }
+  });
+  uint64_t revoked = 0;
+  for (DmaMapping mapping : victims) {
+    mapping.site = std::string(site);
+    SPV_RETURN_IF_ERROR(iommu_.UnmapRange(device, mapping.iova.PageBase(), mapping.pages()));
+    ForgetMapping(IovaKey{device.value, mapping.iova.PageBase().value >> kPageShift});
+    Notify(mapping, /*map=*/false);
+    ++revoked;
+  }
+  return revoked;
+}
+
 Status DmaApi::SyncSingleForCpu(DeviceId device, Iova iova, uint64_t len, DmaDirection dir) {
   std::optional<DmaMapping> mapping = FindMapping(device, iova);
   if (!mapping.has_value() || mapping->dir != dir || mapping->len < len) {

@@ -98,6 +98,14 @@ class DmaApi {
   Status SyncSingleForCpu(DeviceId device, Iova iova, uint64_t len, DmaDirection dir);
   Status SyncSingleForDevice(DeviceId device, Iova iova, uint64_t len, DmaDirection dir);
 
+  // Quarantine support (spv::recovery): unmaps every live mapping tracked for
+  // `device` — IOMMU first (PTEs cleared, invalidations issued per the active
+  // mode), then the tracker entry, with a kDmaUnmap event per mapping tagged
+  // `site`. Returns the number of mappings revoked. Safe on a fenced device
+  // (OS-side unmaps are exempt from the fence).
+  Result<uint64_t> RevokeDeviceMappings(DeviceId device,
+                                        std::string_view site = "dma_revoke_device");
+
   // dma_map_sg / dma_unmap_sg: each entry mapped independently (we model the
   // common non-IOVA-merging path).
   Result<std::vector<Iova>> MapSg(DeviceId device, std::span<const SgEntry> entries,

@@ -35,6 +35,10 @@ void Iommu::AttachDevice(DeviceId device) {
   if (device_domain_.contains(device.value)) {
     return;
   }
+  // A fresh attach (or a supervised re-attach after detach) restores the
+  // device to good standing: the revocation memory is cleared.
+  fenced_.erase(device.value);
+  revoked_.erase(device.value);
   auto domain = std::make_shared<Domain>(config_.fast_path);
   domain->id = next_domain_id_++;
   domain->iova_alloc.set_telemetry(hub_);
@@ -61,6 +65,112 @@ bool Iommu::SameDomain(DeviceId a, DeviceId b) const {
          ia->second == ib->second;
 }
 
+Status Iommu::FenceDevice(DeviceId device) {
+  Domain* state = FindDevice(device);
+  if (state == nullptr) {
+    return NotFound("device not attached to IOMMU");
+  }
+  if (fenced_.contains(device.value)) {
+    return OkStatus();  // idempotent: already quarantined
+  }
+  trace::ScopedSpan span(tracer_, "iommu.fence_device");
+  // Order matters: first retire this device's deferred unmaps (their parked
+  // IOVAs come home, their stale IOTLB pages die), then drop every remaining
+  // cached translation for the domain so no warm entry survives the fence.
+  DrainDeviceInvalidations(device);
+  iotlb_.InvalidateDevice(DeviceId{state->id});
+  state->table.InvalidateWalkCache();
+  clock_.Advance(kIotlbInvalidationCycles);
+  stats_.invalidation_cycles += kIotlbInvalidationCycles;
+  fenced_.insert(device.value);
+  revoked_.insert(device.value);
+  ++stats_.device_fences;
+  if (hub_ != nullptr && hub_->enabled()) {
+    hub_->counter("iommu.device_fences").Add();
+  }
+  return OkStatus();
+}
+
+Status Iommu::UnfenceDevice(DeviceId device) {
+  if (FindDevice(device) == nullptr) {
+    return NotFound("device not attached to IOMMU");
+  }
+  fenced_.erase(device.value);
+  revoked_.erase(device.value);
+  return OkStatus();
+}
+
+uint64_t Iommu::DrainDeviceInvalidations(DeviceId device) {
+  Domain* state = FindDevice(device);
+  uint64_t drained = 0;
+  std::deque<PendingInvalidation> keep;
+  for (PendingInvalidation& pending : flush_queue_) {
+    if (pending.device.value != device.value) {
+      keep.push_back(pending);
+      continue;
+    }
+    ++drained;
+    stats_.drained_device_entries += 1;
+    if (state != nullptr) {
+      // Kill the stale IOTLB pages *before* the IOVAs become reusable —
+      // freeing first would let a recycled IOVA translate through the
+      // still-warm stale entry (the exact window quarantine must close).
+      for (uint64_t i = 0; i < pending.pages; ++i) {
+        iotlb_.InvalidatePage(DeviceId{state->id}, pending.base + (i << kPageShift));
+        clock_.Advance(kIotlbInvalidationCycles);
+        stats_.invalidation_cycles += kIotlbInvalidationCycles;
+        ++stats_.targeted_invalidations;
+      }
+      (void)state->iova_alloc.Free(pending.base, pending.pages, pending.cpu);
+    }
+  }
+  flush_queue_.swap(keep);
+  if (drained != 0 && hub_ != nullptr && hub_->enabled()) {
+    hub_->counter("iommu.drained_device_entries").Add(drained);
+  }
+  return drained;
+}
+
+Status Iommu::DetachDevice(DeviceId device) {
+  auto it = device_domain_.find(device.value);
+  if (it == device_domain_.end()) {
+    // Idempotent for devices we detached earlier; never-attached is an error.
+    return revoked_.contains(device.value)
+               ? OkStatus()
+               : NotFound("device not attached to IOMMU");
+  }
+  trace::ScopedSpan span(tracer_, "iommu.detach_device");
+  SPV_RETURN_IF_ERROR(FenceDevice(device));
+  // Drop the device's domain membership. A shared domain survives through the
+  // other members' shared_ptr refs — their PTEs and IOVA ranges are theirs,
+  // not ours to tear down.
+  device_domain_.erase(it);
+  fenced_.erase(device.value);   // no longer attached, nothing left to fence
+  revoked_.insert(device.value);  // but the revocation memory persists
+  ++stats_.device_detaches;
+  if (hub_ != nullptr && hub_->enabled()) {
+    hub_->counter("iommu.device_detaches").Add();
+  }
+  return OkStatus();
+}
+
+void Iommu::NoteFencedAccess(DeviceId device, Iova iova, std::string_view what) {
+  ++stats_.fenced_accesses;
+  if (hub_ != nullptr && hub_->active()) {
+    telemetry::Event event;
+    event.kind = telemetry::EventKind::kDeviceFencedAccess;
+    event.severity = telemetry::Severity::kTrace;
+    event.device = device.value;
+    event.addr2 = iova.value;
+    event.origin = this;
+    event.site = std::string(what);
+    hub_->Publish(std::move(event));
+    if (hub_->enabled()) {
+      hub_->counter("iommu.fenced_accesses").Add();
+    }
+  }
+}
+
 Iommu::Domain* Iommu::FindDevice(DeviceId device) {
   auto it = device_domain_.find(device.value);
   return it == device_domain_.end() ? nullptr : it->second.get();
@@ -81,7 +191,12 @@ Result<Iova> Iommu::MapRange(DeviceId device, std::span<const Pfn> pfns, AccessR
   ProcessDeferredTimer();
   Domain* state = FindDevice(device);
   if (state == nullptr) {
-    return InvalidArgument("device not attached to IOMMU");
+    return revoked_.contains(device.value)
+               ? Revoked("device detached: new mappings revoked")
+               : InvalidArgument("device not attached to IOMMU");
+  }
+  if (fenced_.contains(device.value)) {
+    return Revoked("device quarantined: new mappings revoked");
   }
   if (pfns.empty()) {
     return InvalidArgument("empty pfn list");
@@ -135,7 +250,11 @@ Status Iommu::UnmapRange(DeviceId device, Iova base, uint64_t pages) {
   ProcessDeferredTimer();
   Domain* state = FindDevice(device);
   if (state == nullptr) {
-    return InvalidArgument("device not attached to IOMMU");
+    // OS-side unmaps on a *fenced* device stay allowed (teardown must make
+    // progress), but once detached the translations are gone with the domain.
+    return revoked_.contains(device.value)
+               ? Revoked("device detached: mappings already revoked")
+               : InvalidArgument("device not attached to IOMMU");
   }
   if (!config_.enabled) {
     stats_.unmaps += pages;  // nothing to revoke: the device never lost access
@@ -286,7 +405,15 @@ Status Iommu::Access(DeviceId device, Iova iova, AccessOp op, std::span<uint8_t>
   ProcessDeferredTimer();
   Domain* state = FindDevice(device);
   if (state == nullptr) {
+    if (revoked_.contains(device.value)) {
+      NoteFencedAccess(device, iova, "DMA after detach");
+      return Revoked("device detached: DMA revoked");
+    }
     return InvalidArgument("device not attached to IOMMU");
+  }
+  if (fenced_.contains(device.value)) {
+    NoteFencedAccess(device, iova, "DMA while fenced");
+    return Revoked("device quarantined: DMA fenced");
   }
   ++stats_.device_accesses;
   if (hub_ != nullptr && hub_->enabled()) {

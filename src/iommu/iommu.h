@@ -21,6 +21,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "base/clock.h"
@@ -98,6 +99,11 @@ class Iommu {
     uint64_t flush_capacity_drains = 0;
     uint64_t flush_deadline_drains = 0;
     uint64_t flush_manual_drains = 0;
+    // Device quarantine (spv::recovery).
+    uint64_t device_fences = 0;            // FenceDevice transitions
+    uint64_t device_detaches = 0;          // DetachDevice completions
+    uint64_t fenced_accesses = 0;          // DMA attempts rejected by a fence
+    uint64_t drained_device_entries = 0;   // flush-queue entries drained per-device
   };
 
   Iommu(mem::PhysicalMemory& pm, SimClock& clock, Config config);
@@ -131,6 +137,38 @@ class Iommu {
   Status AttachDeviceToDomainOf(DeviceId device, DeviceId domain_owner);
 
   bool IsAttached(DeviceId device) const { return device_domain_.contains(device.value); }
+
+  // ---- Quarantine / detach (spv::recovery) ---------------------------------
+
+  // Fences `device`: its flush-queue entries are drained (parked IOVAs
+  // reclaimed, stale IOTLB pages invalidated), every cached translation for
+  // its domain is dropped (IOTLB + walk cache), and from here on device-side
+  // DMA and new OS-side maps fail with StatusCode::kRevoked — the single
+  // authoritative post-quarantine failure path. OS-side unmaps stay allowed
+  // so teardown can proceed. Idempotent; NotFound for unattached devices.
+  Status FenceDevice(DeviceId device);
+
+  // Lifts the fence (supervised re-attach). Idempotent on unfenced devices.
+  Status UnfenceDevice(DeviceId device);
+
+  bool IsFenced(DeviceId device) const { return fenced_.contains(device.value); }
+
+  // True when the device was fenced or detached and never restored: the
+  // "revocation memory" that distinguishes the unified kRevoked answer from
+  // the never-attached kInvalidArgument one.
+  bool IsRevoked(DeviceId device) const { return revoked_.contains(device.value); }
+
+  // Removes `device`'s entries from the deferred flush queue: their IOTLB
+  // pages are invalidated first, then the parked IOVAs are reclaimed — the
+  // order that prevents a recycled IOVA from translating through a still-warm
+  // stale window. Returns the number of queue entries drained.
+  uint64_t DrainDeviceInvalidations(DeviceId device);
+
+  // Permanently detaches `device`: fences it, drains its queue entries and
+  // removes it from its translation domain. Live PTEs for a shared domain are
+  // untouched (the surviving members own them). Idempotent: detaching an
+  // already-detached device is OK; never-attached is NotFound.
+  Status DetachDevice(DeviceId device);
 
   // True if the two devices translate through the same page table.
   bool SameDomain(DeviceId a, DeviceId b) const;
@@ -236,11 +274,16 @@ class Iommu {
   Result<PteEntry> TranslateForDevice(DeviceId device, Domain& domain, Iova page_iova,
                                       AccessOp op);
 
+  // Publishes a kDeviceFencedAccess event for a rejected fenced-device op.
+  void NoteFencedAccess(DeviceId device, Iova iova, std::string_view what);
+
   mem::PhysicalMemory& pm_;
   SimClock& clock_;
   Config config_;
   Iotlb iotlb_;
   std::unordered_map<uint32_t, std::shared_ptr<Domain>> device_domain_;  // device -> domain
+  std::unordered_set<uint32_t> fenced_;   // quarantined devices (still attached)
+  std::unordered_set<uint32_t> revoked_;  // fenced or detached, not yet restored
   uint32_t next_domain_id_ = 1;
   std::deque<PendingInvalidation> flush_queue_;
   uint64_t flush_deadline_ = 0;  // valid when flush_queue_ nonempty

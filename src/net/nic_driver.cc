@@ -48,14 +48,35 @@ uint32_t NicDriver::rx_buffer_bytes() const {
                                SkbDataAlign(SharedInfoLayout::kSize));
 }
 
+bool NicDriver::PollDeadlineHit(uint64_t start_cycle, std::string_view loop) {
+  if (clock_.now() - start_cycle < config_.poll_deadline_cycles) {
+    return false;
+  }
+  ++poll_deadline_hits_;
+  EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kNicPollDeadline,
+               telemetry::Severity::kWarn, device_id_, clock_.now() - start_cycle,
+               this, config_.name + "_" + std::string(loop));
+  if (dma_.telemetry().enabled()) {
+    dma_.telemetry().counter("nic.poll_deadline_exceeded").Add();
+  }
+  return true;
+}
+
 Status NicDriver::FillRxRing() {
   trace::ScopedSpan span(tracer_, "nic.fill_rx");
+  const uint64_t start = clock_.now();
   // Best-effort: one slot failing to fill must not leave the ones after it
   // empty; the first error is still reported.
   Status first = OkStatus();
   for (uint32_t i = 0; i < config_.rx_ring_size; ++i) {
     if (rx_ring_[i].posted) {
       continue;
+    }
+    if (PollDeadlineHit(start, "fill_rx")) {
+      // Out of budget: leave the rest for the retry path instead of stalling
+      // the caller on a slow map path.
+      rx_needs_refill_ = true;
+      break;
     }
     Status status = RefillSlot(i);
     if (first.ok() && !status.ok()) {
@@ -119,11 +140,16 @@ uint32_t NicDriver::RetryRefills() {
   if (!rx_needs_refill_ || clock_.now() < refill_backoff_until_) {
     return 0;
   }
+  const uint64_t start = clock_.now();
   uint32_t refilled = 0;
   bool failed = false;
   for (uint32_t i = 0; i < rx_ring_.size(); ++i) {
     if (rx_ring_[i].posted) {
       continue;
+    }
+    if (PollDeadlineHit(start, "retry_refills")) {
+      failed = true;  // budget spent: keep rx_needs_refill_ armed for later
+      break;
     }
     Status status = RefillSlot(i);
     if (!status.ok()) {
@@ -504,8 +530,12 @@ uint32_t NicDriver::CheckTxTimeout() {
 }
 
 uint32_t NicDriver::RequeueTimedOut() {
+  const uint64_t start = clock_.now();
   uint32_t reposted = 0;
   while (!tx_requeue_.empty()) {
+    if (PollDeadlineHit(start, "requeue_timed_out")) {
+      break;  // remaining skbs stay parked for the next poll
+    }
     PendingTx pending = std::move(tx_requeue_.front());
     tx_requeue_.pop_front();
     Result<uint32_t> index = TryPostTx(pending.skb);

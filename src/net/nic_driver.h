@@ -72,6 +72,11 @@ class NicDriver {
     // A watchdog-flushed TX skb is reposted at most this many times before
     // the driver gives up and frees it.
     uint32_t tx_requeue_max_attempts = 3;
+    // NAPI-style budget for the driver's polling loops (ring fill, refill
+    // retry, TX requeue): a loop that has burned this many sim cycles yields,
+    // leaving the rest for the next poll. Keeps a slow path (fault-stalled
+    // invalidations, a starved allocator) from wedging the caller.
+    uint64_t poll_deadline_cycles = SimClock::MsToCycles(2);
   };
 
   static constexpr uint32_t kLroBufBytes = 64 * 1024;
@@ -160,6 +165,7 @@ class NicDriver {
   uint64_t rx_refill_failures() const { return rx_refill_failures_; }
   uint64_t tx_requeue_drops() const { return tx_requeue_drops_; }
   size_t tx_requeue_depth() const { return tx_requeue_.size(); }
+  uint64_t poll_deadline_hits() const { return poll_deadline_hits_; }
 
  private:
   struct RxSlot {
@@ -186,6 +192,9 @@ class NicDriver {
     uint32_t attempts = 0;
   };
 
+  // True once the polling loop that started at `start_cycle` has exhausted
+  // its budget; emits kNicPollDeadline (tagged `loop`) on the transition.
+  bool PollDeadlineHit(uint64_t start_cycle, std::string_view loop);
   Status RefillSlot(uint32_t index);
   // RefillSlot, but a failure arms the retry backoff instead of propagating:
   // the ring runs one slot short until RetryRefills() succeeds.
@@ -221,6 +230,7 @@ class NicDriver {
   uint64_t rx_device_drops_ = 0;
   uint64_t rx_refill_failures_ = 0;
   uint64_t tx_requeue_drops_ = 0;
+  uint64_t poll_deadline_hits_ = 0;
   uint64_t refill_backoff_until_ = 0;
   bool rx_needs_refill_ = false;
 };

@@ -130,12 +130,29 @@ void NetworkStack::Drop(telemetry::Hub& hub, uint64_t len, std::string reason) {
   }
 }
 
+void NetworkStack::Shed(uint64_t len, std::string_view path) {
+  ++stats_.tx_shed;
+  telemetry::Hub& hub = slab_.telemetry();
+  EmitStackEvent(hub, telemetry::EventKind::kStackDrop, len, this,
+                 std::string("egress revoked: ") + std::string(path));
+  if (hub.enabled()) {
+    hub.counter("stack.tx_shed").Add();
+  }
+}
+
 Status NetworkStack::Forward(SkBuffPtr skb) {
   // ip_forward: the RX skb goes straight back out. Its shared_info — frags
   // filled by GRO, destructor_arg still device-reachable — is now mapped for
   // device READ by the egress driver.
+  const uint64_t len = skb->len;
   Result<uint32_t> index = egress_->PostTx(std::move(skb));
   if (!index.ok()) {
+    if (index.status().code() == StatusCode::kRevoked) {
+      // The egress device is quarantined: shed the packet (PostTx already
+      // freed the skb) and keep the RX path alive.
+      Shed(len, "ip_forward");
+      return OkStatus();
+    }
     return index.status();
   }
   ++stats_.rx_forwarded;
@@ -246,6 +263,10 @@ Status NetworkStack::SendPacket(const PacketHeader& header, std::span<const uint
 
   Result<uint32_t> index = egress_->PostTx(std::move(*skb));
   if (!index.ok()) {
+    if (index.status().code() == StatusCode::kRevoked) {
+      Shed(payload.size(), "sendmsg");
+      return OkStatus();
+    }
     return index.status();
   }
   ++stats_.tx_sent;

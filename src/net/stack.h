@@ -43,6 +43,10 @@ class NetworkStack {
     uint64_t rx_length_errors = 0;  // header payload_len over-claims skb->len
     uint64_t tx_sent = 0;
     uint64_t echoed = 0;
+    // TX packets dropped because the egress device was quarantined/detached
+    // (PostTx came back kRevoked). Shedding is not an error: the stack keeps
+    // serving while spv::recovery decides the device's fate.
+    uint64_t tx_shed = 0;
   };
 
   NetworkStack(dma::KernelMemory& kmem, slab::SlabAllocator& slab, SkbAllocator& skb_alloc,
@@ -96,6 +100,8 @@ class NetworkStack {
   Status Forward(SkBuffPtr skb);
   Status Echo(const SkBuff& skb);
   void Drop(telemetry::Hub& hub, uint64_t len, std::string reason);
+  // Accounts a TX packet dropped on a revoked egress device.
+  void Shed(uint64_t len, std::string_view path);
 
   dma::KernelMemory& kmem_;
   slab::SlabAllocator& slab_;

@@ -1,0 +1,83 @@
+// Per-device health scoring off the telemetry bus (spv::recovery).
+//
+// The scorer is an EventSink: every published event that implicates a device
+// (IOMMU faults, TX ring resets, D-KASAN reports, SPADE findings, stale-IOTLB
+// hits, bad completions, poll-deadline trips) adds a configurable weight to
+// that device's score. Scores decay exponentially with simulated time, so a
+// burst of faults trips the threshold while the same count spread over
+// seconds does not. Crossing the threshold records a *pending breach*; the
+// RecoveryManager consumes breaches from Poll() — never from inside OnEvent,
+// which would re-enter the Hub mid-publish.
+
+#ifndef SPV_RECOVERY_HEALTH_H_
+#define SPV_RECOVERY_HEALTH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/types.h"
+#include "telemetry/telemetry.h"
+
+namespace spv::recovery {
+
+class HealthScorer : public telemetry::EventSink {
+ public:
+  struct Config {
+    // Signal weights. Defaults are tuned so a handful of security findings
+    // (or a sustained fault storm) breach, while sporadic recoverable faults
+    // decay away.
+    double weight_iommu_fault = 1.0;
+    double weight_ring_reset = 8.0;
+    double weight_stale_iotlb_hit = 5.0;
+    double weight_dkasan_report = 25.0;
+    double weight_spade_finding = 25.0;
+    double weight_bad_completion = 2.0;   // kNicRxError
+    double weight_poll_deadline = 2.0;    // kNicPollDeadline
+    double threshold = 24.0;              // score that triggers quarantine
+    // Score half-life in simulated cycles: after this long with no new
+    // signal, half the score is gone.
+    uint64_t half_life_cycles = SimClock::MsToCycles(50);
+  };
+
+  explicit HealthScorer(Config config) : config_(config) {}
+
+  // Only registered devices are scored; everything else on the bus is noise.
+  void Track(DeviceId device);
+  void Untrack(DeviceId device);
+
+  void OnEvent(const telemetry::Event& event) override;
+
+  // Decayed score as of `now` (0 for untracked devices).
+  double ScoreAt(DeviceId device, uint64_t now) const;
+
+  // Devices whose score crossed the threshold since the last call. Each
+  // breach is reported once; Reset() re-arms a device's breach latch.
+  std::vector<DeviceId> TakeBreaches();
+
+  // Re-attach: clears the device's score and breach latch so probation
+  // starts from a clean slate.
+  void Reset(DeviceId device);
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct DeviceScore {
+    double score = 0.0;
+    uint64_t last_cycle = 0;
+    bool breached = false;  // latched until Reset()
+  };
+
+  double WeightFor(const telemetry::Event& event) const;
+  static double Decayed(double score, uint64_t from, uint64_t to,
+                        uint64_t half_life_cycles);
+
+  Config config_;
+  std::unordered_map<uint32_t, DeviceScore> scores_;
+  std::vector<DeviceId> pending_breaches_;
+};
+
+}  // namespace spv::recovery
+
+#endif  // SPV_RECOVERY_HEALTH_H_

@@ -1,0 +1,449 @@
+#include "soak/soak.h"
+
+#include <cstdio>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/attacks.h"
+#include "attack/mini_cpu.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/types.h"
+#include "core/machine.h"
+#include "device/malicious_nic.h"
+#include "fault/fault.h"
+#include "net/layouts.h"
+#include "recovery/recovery.h"
+#include "telemetry/telemetry.h"
+
+namespace spv::soak {
+
+namespace {
+
+bool g_capture_trace = false;
+std::string g_last_trace_csv;
+
+// The harness's own entropy stream, independent of the machine seed so the
+// workload schedule never perturbs in-machine draws (KASLR, fault streams).
+constexpr uint64_t kHarnessSeedSalt = 0x50414b5f534f414bull;  // "PAK_SOAK"
+
+// The driverless churn device (no NIC behind it, pure map/unmap traffic).
+constexpr uint32_t kChurnDeviceId = 900;
+
+struct JsonWriter {
+  std::string out = "{";
+  bool first = true;
+
+  void Key(const char* key) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"";
+    out += key;
+    out += "\":";
+  }
+  void Field(const char* key, uint64_t value) {
+    Key(key);
+    out += std::to_string(value);
+  }
+  void Field(const char* key, bool value) {
+    Key(key);
+    out += value ? "true" : "false";
+  }
+  void Field(const char* key, double value) {
+    Key(key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    out += buf;
+  }
+  void Field(const char* key, const std::string& value) {
+    Key(key);
+    out += "\"" + telemetry::JsonEscape(value) + "\"";
+  }
+  std::string Finish() {
+    out += "}";
+    return out;
+  }
+};
+
+fault::FaultPlan MakeSoakFaultPlan() {
+  // Low per-arm probabilities: the soak wants a steady drizzle of recoverable
+  // faults underneath the deliberate abuse storms, not a machine that cannot
+  // make forward progress.
+  fault::FaultPlan plan;
+  plan.Probability(fault::FaultSite::kSlabAlloc, 0.002)
+      .Probability(fault::FaultSite::kPageFragAlloc, 0.002)
+      .Probability(fault::FaultSite::kIovaAlloc, 0.001)
+      .Probability(fault::FaultSite::kIotlbInvalidation, 0.01)
+      .Magnitude(fault::FaultSite::kIotlbInvalidation, SimClock::UsToCycles(5))
+      .Probability(fault::FaultSite::kNicRxDrop, 0.005)
+      .Probability(fault::FaultSite::kNicRxTruncate, 0.005)
+      .Probability(fault::FaultSite::kNicDescWriteback, 0.002)
+      .Probability(fault::FaultSite::kNicRxRefillStarve, 0.01);
+  return plan;
+}
+
+struct ChurnEntry {
+  Iova iova;
+  Kva kva;
+  uint64_t len;
+};
+
+}  // namespace
+
+void SetTraceCapture(bool capture) { g_capture_trace = capture; }
+const std::string& LastTraceCsv() { return g_last_trace_csv; }
+
+SoakReport RunSoak(const SoakConfig& config) {
+  SoakReport report;
+  report.seed = config.seed;
+
+  core::MachineConfig machine_config;
+  machine_config.seed = config.seed;
+  machine_config.iommu.mode =
+      config.deferred ? iommu::InvalidationMode::kDeferred : iommu::InvalidationMode::kStrict;
+  machine_config.iommu.fast_path.rcache_enabled = config.fast_path;
+  machine_config.iommu.fast_path.hash_index_enabled = config.fast_path;
+  machine_config.iommu.fast_path.walk_cache_enabled = config.fast_path;
+  machine_config.telemetry.enabled = true;
+  machine_config.telemetry.ring_capacity = 16384;
+  machine_config.trace.enabled = true;
+  if (config.faults) {
+    machine_config.fault_plan = MakeSoakFaultPlan();
+  }
+  machine_config.recovery.enabled = config.recovery_enabled;
+  // Soak-scale supervision timings: the default 10 ms backoff is 20M cycles,
+  // which would park a quarantined device for most of a 1M-cycle run. Scaled
+  // down (not off) so one soak crosses several full lifecycle transitions.
+  machine_config.recovery.reattach_backoff_cycles = SimClock::UsToCycles(200);
+  machine_config.recovery.probation_cycles = SimClock::UsToCycles(300);
+
+  core::Machine machine{machine_config};
+  Xoshiro256 rng{config.seed ^ kHarnessSeedSalt};
+
+  // nic0: the serving NIC — egress for the echo service and, per the paper's
+  // threat model, the malicious device the compound attacks run from.
+  net::NicDriver::Config nic0_config;
+  nic0_config.name = "nic0";
+  nic0_config.rx_ring_size = 32;
+  nic0_config.rx_buf_len = 1728;
+  net::NicDriver& nic0 = machine.AddNicDriver(nic0_config);
+  device::MaliciousNic mnic0{device::DevicePort{machine.iommu(), nic0.device_id()}};
+  mnic0.set_warm_iotlb_on_post(true);
+  nic0.AttachDevice(&mnic0);
+  machine.stack().set_egress(&nic0);
+
+  // nic1: the abused NIC — its device fires wild DMA and starves completions,
+  // driving the health score through the fault-storm path.
+  net::NicDriver::Config nic1_config;
+  nic1_config.name = "nic1";
+  nic1_config.rx_ring_size = 16;
+  nic1_config.tx_timeout_cycles = SimClock::MsToCycles(2);
+  net::NicDriver& nic1 = machine.AddNicDriver(nic1_config);
+  device::MaliciousNic mnic1{device::DevicePort{machine.iommu(), nic1.device_id()}};
+  nic1.AttachDevice(&mnic1);
+
+  // A driverless device carrying pure map/unmap churn; quarantined on a fixed
+  // drill cadence to exercise the no-NIC recovery path.
+  const DeviceId churn_dev{kChurnDeviceId};
+  machine.iommu().AttachDevice(churn_dev);
+  machine.recovery().RegisterDevice(churn_dev, nullptr);
+
+  attack::MiniCpu cpu{machine.kmem(), machine.layout()};
+  machine.stack().set_callback_invoker(&cpu);
+
+  if (Result<Kva> sock = machine.stack().CreateSocket(7, true); !sock.ok()) {
+    report.failure = "soak setup failed: echo socket: " + std::string(sock.status().message());
+    return report;
+  }
+  // Ring fill may hit injected refill starvation mid-fill; that is workload,
+  // not setup failure — RetryRefills() in the epoch loop finishes the job.
+  (void)nic0.FillRxRing();
+  (void)nic1.FillRxRing();
+  attack::AttackEnv env{machine, nic0, mnic0, cpu};
+
+  std::deque<ChurnEntry> churn_ledger;
+  constexpr size_t kChurnLedgerCap = 16;
+  bool ringflood_done = false;
+  recovery::DeviceState last_state0 = recovery::DeviceState::kHealthy;
+  recovery::DeviceState last_state1 = recovery::DeviceState::kHealthy;
+
+  // Completes every TX descriptor the serving device is sitting on; the echo
+  // service's responses come back through here.
+  auto drain_nic0_tx = [&]() {
+    for (const net::TxPostedDescriptor& descriptor : mnic0.tx_posted()) {
+      (void)machine.stack().OnTxCompleted(descriptor.index);
+    }
+    mnic0.tx_posted().clear();
+  };
+
+  auto fail = [&](std::string why) {
+    report.failure = std::move(why);
+    report.ok = false;
+  };
+
+  uint64_t epoch = 0;
+  for (; epoch < config.max_epochs && machine.clock().now() < config.target_cycles; ++epoch) {
+    const bool storm = (epoch % (config.abuse_storm_epochs + config.abuse_calm_epochs)) <
+                       config.abuse_storm_epochs;
+
+    // -- Service traffic: echo round trips through nic0 -------------------------
+    (void)nic0.RetryRefills();
+    for (uint32_t p = 0; p < config.epoch_packets; ++p) {
+      ++report.echo_probes;
+      const uint64_t before = machine.stack().stats().echoed;
+      net::PacketHeader header{.src_ip = 0x0a000002,
+                               .dst_ip = machine.stack().config().local_ip,
+                               .src_port = static_cast<uint16_t>(20000 + rng.NextBelow(1000)),
+                               .dst_port = 7,
+                               .proto = net::kProtoUdp};
+      std::vector<uint8_t> payload(64 + rng.NextBelow(192),
+                                   static_cast<uint8_t>(rng.NextBelow(256)));
+      Result<uint32_t> index = mnic0.InjectRx(header, payload);
+      if (index.ok()) {
+        Result<net::SkBuffPtr> skb = nic0.CompleteRx(
+            *index, static_cast<uint32_t>(net::PacketHeader::kSize + payload.size()));
+        if (skb.ok() && *skb != nullptr) {
+          (void)machine.stack().NapiGroReceive(std::move(*skb));
+          (void)machine.stack().NapiComplete();
+        }
+      }
+      drain_nic0_tx();
+      if (machine.stack().stats().echoed > before) {
+        ++report.echo_ok;
+      }
+    }
+
+    // One locally-originated packet per epoch: exercises SendPacket and, when
+    // nic0 is quarantined, the stack's shed-don't-fail path.
+    {
+      net::PacketHeader out{.src_ip = machine.stack().config().local_ip,
+                            .dst_ip = 0x0a000063,
+                            .src_port = 4000,
+                            .dst_port = static_cast<uint16_t>(1 + rng.NextBelow(60000)),
+                            .proto = net::kProtoUdp};
+      std::vector<uint8_t> body(128, 0x5a);
+      (void)machine.stack().SendPacket(out, body);
+      drain_nic0_tx();
+    }
+
+    // -- Map/unmap churn on the driverless device -------------------------------
+    for (uint32_t c = 0; c < config.churn_maps; ++c) {
+      ++report.churn_map_ops;
+      Result<Kva> buf = machine.slab().Kmalloc(2048, "soak_churn");
+      if (!buf.ok()) {
+        ++report.churn_map_failures;
+        continue;
+      }
+      Result<Iova> iova = machine.dma().MapSingle(churn_dev, *buf, 2048,
+                                                  dma::DmaDirection::kFromDevice, "soak_churn");
+      if (!iova.ok()) {
+        ++report.churn_map_failures;
+        (void)machine.slab().Kfree(*buf);
+        continue;
+      }
+      if (churn_ledger.size() < kChurnLedgerCap && rng.NextBelow(4) == 0) {
+        // Parked: stays mapped across epochs (and across any quarantine).
+        churn_ledger.push_back(ChurnEntry{*iova, *buf, 2048});
+      } else {
+        if (!machine.dma().UnmapSingle(churn_dev, *iova, 2048, dma::DmaDirection::kFromDevice)
+                 .ok()) {
+          ++report.churn_map_failures;
+        }
+        (void)machine.slab().Kfree(*buf);
+      }
+    }
+    // Retire the oldest parked mapping. After a quarantine swept the device
+    // the unmap comes back non-OK (the mapping is already gone) — expected;
+    // the buffer is freed either way.
+    if (!churn_ledger.empty() && rng.NextBelow(2) == 0) {
+      ChurnEntry entry = churn_ledger.front();
+      churn_ledger.pop_front();
+      (void)machine.dma().UnmapSingle(churn_dev, entry.iova, entry.len,
+                                      dma::DmaDirection::kFromDevice);
+      (void)machine.slab().Kfree(entry.kva);
+    }
+
+    // -- Abuse storms on nic1's device ------------------------------------------
+    if (storm) {
+      for (int w = 0; w < 6; ++w) {
+        ++report.abuse_ops;
+        // Wild IOVA: far outside any allocator window. Fenced devices get
+        // kRevoked (counted as fenced accesses); attached ones log IOMMU
+        // faults that feed the health score.
+        const Iova wild{(1ull << 40) + (rng.NextBelow(1u << 20) << kPageShift)};
+        (void)mnic1.port().WriteU64(wild, 0xdeadbeefdeadbeefull);
+      }
+    }
+    (void)nic1.RetryRefills();
+    (void)nic1.CheckTxTimeout();
+    (void)nic1.RequeueTimedOut();
+
+    // -- Compound attacks through the serving NIC -------------------------------
+    if (config.attacks && config.attack_interval != 0 &&
+        epoch % config.attack_interval == config.attack_interval / 2) {
+      ++report.attack_runs;
+      Result<attack::AttackReport> outcome = [&]() -> Result<attack::AttackReport> {
+        if (!ringflood_done) {
+          ringflood_done = true;
+          attack::RingFloodAttack::Options options;
+          // The harness hands the attacker its profiling answer for free
+          // (ground truth instead of the multi-boot histogram): the soak
+          // grades recovery behaviour, not PFN-guessing fidelity.
+          if (std::optional<Kva> kva = nic0.RxSlotKva(0)) {
+            if (Result<PhysAddr> phys = machine.layout().DirectMapKvaToPhys(*kva); phys.ok()) {
+              options.pfn_guess = phys->pfn().value;
+            }
+          }
+          return attack::RingFloodAttack::Run(env, options);
+        }
+        return attack::PoisonedTxAttack::Run(env, attack::PoisonedTxAttack::Options{});
+      }();
+      if (outcome.ok() && outcome->success) {
+        ++report.attack_successes;
+      }
+      drain_nic0_tx();
+    }
+
+    // -- Operator drills on a fixed cadence: the driverless device (no-NIC
+    // recovery path) and the serving NIC (availability dip + the stack's
+    // shed path, which only fires while the egress device is fenced).
+    if (config.recovery_enabled && epoch % 97 == 96) {
+      (void)machine.recovery().Quarantine(churn_dev, "soak operator drill");
+    }
+    if (config.recovery_enabled && epoch % 149 == 148) {
+      (void)machine.recovery().Quarantine(nic0.device_id(), "soak operator drill");
+    }
+
+    // -- Supervision + epoch bookkeeping ----------------------------------------
+    (void)machine.recovery().Poll();
+
+    // A device entering quarantine invalidates everything its hardware
+    // queues refer to: model the device reset by dropping stale descriptors
+    // (otherwise the first post-re-attach injection DMA-writes through a
+    // revoked descriptor and instantly re-breaches).
+    const recovery::DeviceState state0 = machine.recovery().state(nic0.device_id());
+    if (state0 != last_state0 && (state0 == recovery::DeviceState::kQuarantined ||
+                                  state0 == recovery::DeviceState::kDetached)) {
+      mnic0.rx_posted().clear();
+      mnic0.tx_posted().clear();
+    }
+    last_state0 = state0;
+    const recovery::DeviceState state1 = machine.recovery().state(nic1.device_id());
+    if (state1 != last_state1 && (state1 == recovery::DeviceState::kQuarantined ||
+                                  state1 == recovery::DeviceState::kDetached)) {
+      mnic1.rx_posted().clear();
+      mnic1.tx_posted().clear();
+    }
+    last_state1 = state1;
+
+    if (config.invariant_check_interval != 0 &&
+        epoch % config.invariant_check_interval == 0) {
+      ++report.invariant_checks;
+      if (Status invariants = machine.CheckInvariants(); !invariants.ok()) {
+        fail("epoch " + std::to_string(epoch) + ": " + std::string(invariants.message()));
+        break;
+      }
+    }
+
+    // Idle time between epochs, so deferred-flush deadlines, TX watchdogs and
+    // re-attach backoffs all make progress relative to the workload.
+    machine.clock().AdvanceUs(20);
+  }
+  report.epochs = epoch;
+
+  // ---- Teardown: everything back, nothing leaked ------------------------------
+  (void)nic0.Shutdown();
+  (void)nic1.Shutdown();
+  while (!churn_ledger.empty()) {
+    ChurnEntry entry = churn_ledger.front();
+    churn_ledger.pop_front();
+    (void)machine.dma().UnmapSingle(churn_dev, entry.iova, entry.len,
+                                    dma::DmaDirection::kFromDevice);
+    (void)machine.slab().Kfree(entry.kva);
+  }
+  machine.iommu().FlushNow();
+
+  report.sim_cycles = machine.clock().now();
+  report.leaked_mappings = machine.dma().live_mappings();
+  for (DeviceId device : machine.iommu().attached_devices()) {
+    if (const iommu::IoPageTable* table = machine.iommu().page_table(device)) {
+      report.leaked_iova_entries += table->AllMappings().size();
+    }
+  }
+
+  telemetry::Hub& hub = machine.telemetry();
+  report.quarantines = machine.recovery().total_quarantines();
+  report.reattach_attempts = hub.counter_value("recovery.reattach_attempts");
+  report.permanent_detaches = machine.recovery().total_detaches();
+  report.fenced_accesses = machine.iommu().stats().fenced_accesses;
+  report.shed_packets = machine.stack().stats().tx_shed;
+  report.faults_injected = machine.fault().total_injections();
+  report.availability = report.echo_probes == 0
+                            ? 1.0
+                            : static_cast<double>(report.echo_ok) /
+                                  static_cast<double>(report.echo_probes);
+  const telemetry::Histogram::Summary latency =
+      hub.histogram("recovery.quarantine_latency_cycles").Summarize();
+  report.quarantine_latency_p50 = latency.p50;
+  report.quarantine_latency_p99 = latency.p99;
+  const telemetry::Histogram::Summary downtime =
+      hub.histogram("recovery.downtime_cycles").Summarize();
+  report.downtime_p50 = downtime.p50;
+  report.downtime_p99 = downtime.p99;
+
+  ++report.invariant_checks;
+  if (report.failure.empty()) {
+    if (Status invariants = machine.CheckInvariants(); !invariants.ok()) {
+      fail("teardown: " + std::string(invariants.message()));
+    } else if (report.leaked_mappings != 0) {
+      fail("teardown: " + std::to_string(report.leaked_mappings) + " mappings still live");
+    } else if (report.leaked_iova_entries != 0) {
+      fail("teardown: " + std::to_string(report.leaked_iova_entries) + " PTEs still installed");
+    } else {
+      report.ok = true;
+    }
+  }
+
+  g_last_trace_csv.clear();
+  if (g_capture_trace) {
+    g_last_trace_csv = hub.ExportTraceCsv();
+  }
+  return report;
+}
+
+std::string SoakReport::ToJson() const {
+  JsonWriter w;
+  w.Field("ok", ok);
+  w.Field("failure", failure);
+  w.Field("seed", seed);
+  w.Field("epochs", epochs);
+  w.Field("sim_cycles", sim_cycles);
+  w.Field("echo_probes", echo_probes);
+  w.Field("echo_ok", echo_ok);
+  w.Field("availability", availability);
+  w.Field("churn_map_ops", churn_map_ops);
+  w.Field("churn_map_failures", churn_map_failures);
+  w.Field("abuse_ops", abuse_ops);
+  w.Field("attack_runs", attack_runs);
+  w.Field("attack_successes", attack_successes);
+  w.Field("faults_injected", faults_injected);
+  w.Field("quarantines", quarantines);
+  w.Field("reattach_attempts", reattach_attempts);
+  w.Field("permanent_detaches", permanent_detaches);
+  w.Field("fenced_accesses", fenced_accesses);
+  w.Field("shed_packets", shed_packets);
+  w.Field("invariant_checks", invariant_checks);
+  w.Field("quarantine_latency_p50", quarantine_latency_p50);
+  w.Field("quarantine_latency_p99", quarantine_latency_p99);
+  w.Field("downtime_p50", downtime_p50);
+  w.Field("downtime_p99", downtime_p99);
+  w.Field("leaked_mappings", leaked_mappings);
+  w.Field("leaked_iova_entries", leaked_iova_entries);
+  return w.Finish();
+}
+
+}  // namespace spv::soak

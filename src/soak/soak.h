@@ -1,0 +1,97 @@
+// spv::soak — the deterministic chaos-soak harness.
+//
+// One seeded run composes every stressor the simulator has — map/unmap
+// churn, RX/TX echo traffic, a fault-injection plan, device abuse (wild DMA,
+// lost TX completions, watchdog resets) and the paper's compound attacks
+// (Poisoned TX, RingFlood) — over millions of simulated cycles, while
+// spv::recovery quarantines and re-attaches the offenders. Every epoch ends
+// with Machine::CheckInvariants(); the run fails loudly on the first
+// violated invariant, leaked mapping or leaked page. The report is a
+// deterministic JSON document: same seed + same config = byte-identical
+// output, so CI can diff soak results like any other artifact.
+
+#ifndef SPV_SOAK_SOAK_H_
+#define SPV_SOAK_SOAK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/clock.h"
+
+namespace spv::soak {
+
+struct SoakConfig {
+  uint64_t seed = 42;
+  // The run ends at the first epoch boundary past this many simulated cycles.
+  uint64_t target_cycles = 1'000'000;
+  uint64_t max_epochs = 200'000;  // hard stop against runaway configs
+  bool recovery_enabled = true;
+  bool deferred = true;     // IOMMU invalidation mode (false = strict)
+  bool fast_path = true;    // rcache + hash index + walk cache
+  bool faults = true;       // arm the fault-injection plan
+  bool attacks = true;      // mix Poisoned TX / RingFlood phases in
+  uint32_t epoch_packets = 4;      // echo round-trips attempted per epoch
+  uint32_t churn_maps = 8;         // map/unmap pairs per epoch
+  uint32_t attack_interval = 64;   // epochs between attack phases
+  uint32_t abuse_storm_epochs = 8;    // length of an abuse burst
+  uint32_t abuse_calm_epochs = 56;    // quiet stretch between bursts
+  // How often Machine::CheckInvariants() runs (1 = every epoch). The audit
+  // walks every mapping, so sparser checks buy longer soaks per wall-second.
+  uint32_t invariant_check_interval = 1;
+};
+
+struct SoakReport {
+  bool ok = false;
+  std::string failure;  // first invariant violation / leak, empty when ok
+
+  uint64_t seed = 0;
+  uint64_t epochs = 0;
+  uint64_t sim_cycles = 0;
+
+  // Workload volume.
+  uint64_t echo_probes = 0;
+  uint64_t echo_ok = 0;
+  uint64_t churn_map_ops = 0;
+  uint64_t churn_map_failures = 0;  // quarantine refusals + injected faults
+  uint64_t abuse_ops = 0;
+  uint64_t attack_runs = 0;
+  uint64_t attack_successes = 0;
+  uint64_t faults_injected = 0;
+
+  // Recovery outcomes.
+  uint64_t quarantines = 0;
+  uint64_t reattach_attempts = 0;
+  uint64_t permanent_detaches = 0;
+  uint64_t fenced_accesses = 0;
+  uint64_t shed_packets = 0;
+  uint64_t invariant_checks = 0;
+  // Fraction of echo probes answered: the availability the service kept
+  // while its NIC was being quarantined and restored.
+  double availability = 0.0;
+  // Quarantine latency (cycles from trigger to fully-revoked) and downtime
+  // (cycles from quarantine to re-attach), log2-bucket p50/p99 upper bounds.
+  uint64_t quarantine_latency_p50 = 0;
+  uint64_t quarantine_latency_p99 = 0;
+  uint64_t downtime_p50 = 0;
+  uint64_t downtime_p99 = 0;
+
+  // Leak audit at teardown.
+  uint64_t leaked_mappings = 0;
+  uint64_t leaked_iova_entries = 0;
+
+  // Deterministic: fixed field order, integers and fixed-precision doubles.
+  std::string ToJson() const;
+};
+
+// Runs the full soak. The Machine lives and dies inside.
+SoakReport RunSoak(const SoakConfig& config);
+
+// The machine-wide telemetry trace of the last RunSoak call, as Hub trace
+// CSV (tools/trace_cli timeline format). Captured only when `capture` was
+// set before the run.
+void SetTraceCapture(bool capture);
+const std::string& LastTraceCsv();
+
+}  // namespace spv::soak
+
+#endif  // SPV_SOAK_SOAK_H_

@@ -47,6 +47,12 @@ constexpr KindName kKindNames[] = {
     {EventKind::kSpanClose, "span_close"},
     {EventKind::kWindowOpen, "window_open"},
     {EventKind::kWindowClose, "window_close"},
+    {EventKind::kHealthBreach, "health_breach"},
+    {EventKind::kDeviceQuarantined, "device_quarantined"},
+    {EventKind::kDeviceReattached, "device_reattached"},
+    {EventKind::kDeviceDetached, "device_detached"},
+    {EventKind::kDeviceFencedAccess, "device_fenced_access"},
+    {EventKind::kNicPollDeadline, "nic_poll_deadline"},
 };
 
 constexpr std::string_view kSeverityNames[] = {"trace", "info", "warn", "critical"};

@@ -90,6 +90,14 @@ enum class EventKind : uint8_t {
   // `aux` the open duration in cycles on close.
   kWindowOpen,
   kWindowClose,
+  // Device lifecycle supervision (spv::recovery). `device` names the device;
+  // `aux` carries the health score (breach) or the re-attach attempt count.
+  kHealthBreach,        // health score crossed the quarantine threshold
+  kDeviceQuarantined,   // mappings revoked, DMA fenced, rings torn down
+  kDeviceReattached,    // supervised re-attach placed the device on probation
+  kDeviceDetached,      // retry budget exhausted; permanently detached
+  kDeviceFencedAccess,  // a fenced device attempted DMA (post-quarantine)
+  kNicPollDeadline,     // a driver polling loop hit its bounded deadline
 };
 
 std::string_view EventKindName(EventKind kind);

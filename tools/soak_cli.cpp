@@ -1,0 +1,139 @@
+// soak — run the deterministic chaos-soak harness from the command line.
+//
+// Usage:
+//   soak [--seed N] [--cycles N] [--epochs N] [--mode strict|deferred]
+//        [--no-recovery] [--no-faults] [--no-attacks] [--legacy-path]
+//        [--check-interval N] [--out report.json] [--trace-out trace.csv]
+//
+// Exit status: 0 when the run ends with clean invariants and zero leaks,
+// 1 otherwise. The JSON report goes to --out (stdout gets a summary either
+// way); --trace-out writes the machine's telemetry ring as trace CSV, the
+// same format tools/trace timeline consumes.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "soak/soak.h"
+
+namespace {
+
+uint64_t ParseU64(const char* text, const char* flag) {
+  char* end = nullptr;
+  const uint64_t value = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "soak: bad value for %s: '%s'\n", flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+bool WriteFile(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "soak: cannot open '%s' for writing\n", path.c_str());
+    return false;
+  }
+  out << body;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spv::soak::SoakConfig config;
+  std::string out_path;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "soak: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      config.seed = ParseU64(next(), "--seed");
+    } else if (arg == "--cycles") {
+      config.target_cycles = ParseU64(next(), "--cycles");
+    } else if (arg == "--epochs") {
+      config.max_epochs = ParseU64(next(), "--epochs");
+    } else if (arg == "--mode") {
+      const std::string mode = next();
+      if (mode == "strict") {
+        config.deferred = false;
+      } else if (mode == "deferred") {
+        config.deferred = true;
+      } else {
+        std::fprintf(stderr, "soak: --mode must be strict or deferred\n");
+        return 2;
+      }
+    } else if (arg == "--no-recovery") {
+      config.recovery_enabled = false;
+    } else if (arg == "--no-faults") {
+      config.faults = false;
+    } else if (arg == "--no-attacks") {
+      config.attacks = false;
+    } else if (arg == "--legacy-path") {
+      config.fast_path = false;
+    } else if (arg == "--check-interval") {
+      config.invariant_check_interval =
+          static_cast<uint32_t>(ParseU64(next(), "--check-interval"));
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--trace-out") {
+      trace_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: soak [--seed N] [--cycles N] [--epochs N] [--mode strict|deferred]\n"
+          "            [--no-recovery] [--no-faults] [--no-attacks] [--legacy-path]\n"
+          "            [--check-interval N] [--out report.json] [--trace-out trace.csv]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "soak: unknown flag '%s' (see --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  spv::soak::SetTraceCapture(!trace_path.empty());
+  const spv::soak::SoakReport report = spv::soak::RunSoak(config);
+
+  std::printf("soak: seed=%llu mode=%s recovery=%s %llu epochs, %llu sim cycles\n",
+              static_cast<unsigned long long>(report.seed),
+              config.deferred ? "deferred" : "strict",
+              config.recovery_enabled ? "on" : "off",
+              static_cast<unsigned long long>(report.epochs),
+              static_cast<unsigned long long>(report.sim_cycles));
+  std::printf("      availability %.4f (%llu/%llu probes), %llu quarantines, "
+              "%llu re-attaches, %llu detaches\n",
+              report.availability, static_cast<unsigned long long>(report.echo_ok),
+              static_cast<unsigned long long>(report.echo_probes),
+              static_cast<unsigned long long>(report.quarantines),
+              static_cast<unsigned long long>(report.reattach_attempts),
+              static_cast<unsigned long long>(report.permanent_detaches));
+  std::printf("      %llu faults injected, %llu fenced accesses, %llu shed packets, "
+              "%llu invariant checks\n",
+              static_cast<unsigned long long>(report.faults_injected),
+              static_cast<unsigned long long>(report.fenced_accesses),
+              static_cast<unsigned long long>(report.shed_packets),
+              static_cast<unsigned long long>(report.invariant_checks));
+  if (report.ok) {
+    std::printf("      PASS: invariants clean, no leaked mappings or PTEs\n");
+  } else {
+    std::printf("      FAIL: %s\n", report.failure.c_str());
+  }
+
+  bool io_ok = true;
+  if (!out_path.empty()) {
+    io_ok = WriteFile(out_path, report.ToJson() + "\n") && io_ok;
+  }
+  if (!trace_path.empty()) {
+    io_ok = WriteFile(trace_path, spv::soak::LastTraceCsv()) && io_ok;
+  }
+  return (report.ok && io_ok) ? 0 : 1;
+}
