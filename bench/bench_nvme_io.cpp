@@ -1,0 +1,201 @@
+// NVMe block-IO cost: the storage stack's submit -> fetch -> transfer ->
+// complete path, measured end to end through the DMA fast path.
+//
+// One binary runs every cell of {workload} x {strict,deferred} x {fast path
+// on,off} and emits BENCH_nvme_io.json in the same shape as
+// BENCH_map_unmap.json, so tools/check_bench_baseline.py gates it unchanged
+// (--baseline bench/BENCH_nvme_io.baseline.json).
+//
+// Workloads:
+//   read_1blk     one-block read: PRP1 only, the minimal command.
+//   write_8blk    eight-block write: PRP2 as a second page pointer.
+//   rw_chained    144-block write+read pair: 18 pages, a chained PRP list
+//                 (two 128-byte frag segments mapped and torn down per
+//                 command) — the heaviest per-command DMA churn.
+//
+// Wall-clock throughput is reported for curiosity only; CI compares the
+// *simulated-cycle* quantiles, which are deterministic (seeded RNG, logical
+// clock): a drift means the storage path's cost model changed.
+//
+// Usage: bench_nvme_io [--quick] [--out FILE]
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "device/device_port.h"
+#include "nvme/nvme_controller.h"
+#include "nvme/nvme_driver.h"
+#include "telemetry/telemetry.h"
+
+using namespace spv;
+
+namespace {
+
+struct CaseConfig {
+  std::string workload;
+  iommu::InvalidationMode mode = iommu::InvalidationMode::kDeferred;
+  uint32_t cpus = 1;  // the driver pins itself to CPU 0; kept for schema parity
+  bool fast = true;
+  uint64_t ops = 0;
+};
+
+struct CaseResult {
+  CaseConfig config;
+  double ios_per_sec = 0;
+  uint64_t prp_segments_built = 0;
+  telemetry::Histogram::Summary op_cycles;
+};
+
+// One IO round for the case's workload; aborts on any driver error (the
+// bench runs an honest controller — nothing here may fail).
+void OneOp(core::Machine& machine, nvme::NvmeDriver& driver,
+           const CaseConfig& config, Kva buf) {
+  if (config.workload == "read_1blk") {
+    if (!driver.ReadBlocks(0, 1, buf).ok()) std::abort();
+  } else if (config.workload == "write_8blk") {
+    if (!driver.WriteBlocks(8, 8, buf).ok()) std::abort();
+  } else {  // rw_chained
+    if (!driver.WriteBlocks(0, 144, buf).ok()) std::abort();
+    if (!driver.ReadBlocks(0, 144, buf).ok()) std::abort();
+  }
+  // Let the deferred deadline timer fire occasionally, like a real host.
+  machine.clock().AdvanceUs(2);
+  machine.iommu().ProcessDeferredTimer();
+}
+
+CaseResult RunCase(const CaseConfig& config) {
+  core::MachineConfig mc;
+  mc.seed = 2;
+  mc.phys_pages = 32768;
+  mc.iommu.mode = config.mode;
+  if (!config.fast) {
+    mc.iommu.fast_path.rcache_enabled = false;
+    mc.iommu.fast_path.hash_index_enabled = false;
+    mc.iommu.fast_path.walk_cache_enabled = false;
+  }
+  core::Machine machine{mc};
+  nvme::NvmeDriver& driver = machine.AddNvmeDriver({});
+  nvme::NvmeController controller{
+      device::DevicePort{machine.iommu(), driver.device_id()}};
+  driver.AttachDevice(&controller);
+  if (!driver.Init().ok()) std::abort();
+
+  const uint64_t buf_bytes =
+      config.workload == "rw_chained" ? 144 * nvme::kLbaSize : 8 * nvme::kLbaSize;
+  Kva buf = *machine.slab().Kmalloc(buf_bytes, "bench_nvme_buf");
+
+  // Warm-up: magazine caches, frag page, controller queues.
+  for (int i = 0; i < 8; ++i) {
+    OneOp(machine, driver, config, buf);
+  }
+
+  // Timed wall-clock pass.
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t op = 0; op < config.ops; ++op) {
+    OneOp(machine, driver, config, buf);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(end - start).count();
+
+  // Untimed deterministic pass: SimClock delta per IO round.
+  telemetry::Histogram op_cycles;
+  for (uint64_t op = 0; op < 256; ++op) {
+    const uint64_t before = machine.clock().now();
+    OneOp(machine, driver, config, buf);
+    op_cycles.Record(machine.clock().now() - before);
+  }
+
+  CaseResult result;
+  result.config = config;
+  result.ios_per_sec =
+      seconds > 0 ? static_cast<double>(config.ops) / seconds : 0;
+  result.prp_segments_built = driver.prp_segments_built();
+  result.op_cycles = op_cycles.Summarize();
+
+  if (!machine.slab().Kfree(buf).ok()) std::abort();
+  if (!driver.Shutdown().ok()) std::abort();
+  machine.iommu().FlushNow();
+  if (!machine.CheckInvariants().ok()) std::abort();
+  return result;
+}
+
+std::string Json(const CaseResult& r) {
+  std::ostringstream out;
+  out << "    {\"workload\": \"" << r.config.workload << "\", \"mode\": \""
+      << iommu::InvalidationModeName(r.config.mode) << "\", \"cpus\": " << r.config.cpus
+      << ", \"fast_path\": " << (r.config.fast ? "true" : "false")
+      << ", \"ops\": " << r.config.ops << ", \"ios_per_sec\": " << r.ios_per_sec
+      << ", \"prp_segments_built\": " << r.prp_segments_built
+      << ", \"sim_cycles_per_op\": {\"p50\": " << r.op_cycles.p50
+      << ", \"p90\": " << r.op_cycles.p90 << ", \"p99\": " << r.op_cycles.p99
+      << ", \"mean\": " << r.op_cycles.mean << "}}";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_nvme_io.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_nvme_io [--quick] [--out FILE]\n";
+      return 2;
+    }
+  }
+  const uint64_t light_ops = quick ? 500 : 5000;
+  const uint64_t heavy_ops = quick ? 200 : 2000;
+
+  std::vector<CaseResult> results;
+  for (const std::string workload : {"read_1blk", "write_8blk", "rw_chained"}) {
+    for (const auto mode :
+         {iommu::InvalidationMode::kStrict, iommu::InvalidationMode::kDeferred}) {
+      for (const bool fast : {true, false}) {
+        CaseConfig config;
+        config.workload = workload;
+        config.mode = mode;
+        config.fast = fast;
+        config.ops = workload == "rw_chained" ? heavy_ops : light_ops;
+        results.push_back(RunCase(config));
+        const CaseResult& r = results.back();
+        std::cout << workload << " " << iommu::InvalidationModeName(mode)
+                  << (fast ? " fast" : " slow") << ": "
+                  << static_cast<uint64_t>(r.ios_per_sec) << " ios/s, p99 "
+                  << r.op_cycles.p99 << " sim cycles\n";
+      }
+    }
+  }
+
+  // Headline for the CI gate: the minimal command on the default config.
+  uint64_t steady_p99_cycles = 0;
+  for (const CaseResult& r : results) {
+    if (r.config.workload == "read_1blk" && r.config.fast &&
+        r.config.mode == iommu::InvalidationMode::kDeferred) {
+      steady_p99_cycles = r.op_cycles.p99;
+    }
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n  \"benchmark\": \"nvme_io\",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"steady_p99_sim_cycles\": " << steady_p99_cycles << ",\n"
+      << "  \"cases\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    out << Json(results[i]) << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::cout << "steady-state p99 sim cycles/op: " << steady_p99_cycles << "\n"
+            << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -99,6 +99,18 @@ net::NicDriver& Machine::AddNicDriver(const net::NicDriver::Config& config) {
   return *drivers_.back();
 }
 
+nvme::NvmeDriver& Machine::AddNvmeDriver(const nvme::NvmeDriver::Config& config) {
+  const DeviceId device{next_device_id_++};
+  iommu_->AttachDevice(device);
+  slab::PageFragPool& pool = frag_pool(config.cpu);
+  nvme_drivers_.push_back(std::make_unique<nvme::NvmeDriver>(
+      device, *dma_, *kmem_, *slab_, &pool, clock_, config));
+  nvme_drivers_.back()->set_fault_engine(&fault_);
+  nvme_drivers_.back()->set_tracer(tracer_.get());
+  recovery_->RegisterDevice(device, nvme_drivers_.back().get());
+  return *nvme_drivers_.back();
+}
+
 Status Machine::CheckInvariants() const {
   if (!config_.iommu.enabled) {
     return OkStatus();  // no translation structures to audit

@@ -28,6 +28,7 @@
 #include "net/nic_driver.h"
 #include "net/skbuff.h"
 #include "net/stack.h"
+#include "nvme/nvme_driver.h"
 #include "recovery/recovery.h"
 #include "slab/page_frag.h"
 #include "slab/slab_allocator.h"
@@ -73,6 +74,13 @@ class Machine {
   // Adds a NIC driver instance; attaches its device to the IOMMU and creates
   // the per-CPU page_frag pool backing its RX ring (§5.2.2).
   net::NicDriver& AddNicDriver(const net::NicDriver::Config& config);
+
+  // Adds an NVMe block driver instance: attaches its device to the IOMMU,
+  // ensures the per-CPU page_frag pool its PRP-list segments carve from, and
+  // registers it with the recovery supervisor. The caller still constructs a
+  // controller model and calls AttachDevice + Init (mirroring AddNicDriver,
+  // where the device model is test-provided).
+  nvme::NvmeDriver& AddNvmeDriver(const nvme::NvmeDriver::Config& config);
 
   // Switches the CPU the simulated kernel executes on (bounded by
   // config.iommu.fast_path.num_cpus). DMA map/unmap traffic issued after
@@ -140,6 +148,7 @@ class Machine {
   std::unique_ptr<recovery::RecoveryManager> recovery_;
   std::vector<std::unique_ptr<slab::PageFragPool>> frag_pools_;
   std::vector<std::unique_ptr<net::NicDriver>> drivers_;
+  std::vector<std::unique_ptr<nvme::NvmeDriver>> nvme_drivers_;
   uint32_t next_device_id_ = 1;
 };
 

@@ -29,6 +29,12 @@ constexpr SiteName kSiteNames[] = {
     {FaultSite::kNicRxRefillStarve, "nic_rx_refill_starve"},
     {FaultSite::kNicTxCompletionLoss, "nic_tx_completion_loss"},
     {FaultSite::kNicDeviceStall, "nic_device_stall"},
+    {FaultSite::kNvmeSqFetchCorrupt, "nvme_sq_fetch_corrupt"},
+    {FaultSite::kNvmePrpWild, "nvme_prp_wild"},
+    {FaultSite::kNvmeCqPhaseFlip, "nvme_cq_phase_flip"},
+    {FaultSite::kNvmeDoorbellStorm, "nvme_doorbell_storm"},
+    {FaultSite::kNvmeCompletionDrop, "nvme_completion_drop"},
+    {FaultSite::kNvmeShortTransfer, "nvme_short_transfer"},
 };
 static_assert(std::size(kSiteNames) == kNumFaultSites);
 

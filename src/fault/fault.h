@@ -56,9 +56,19 @@ enum class FaultSite : uint8_t {
   kNicRxRefillStarve,   // RX buffer refill fails (allocator said no)
   kNicTxCompletionLoss, // TX completion never arrives; watchdog must act
   kNicDeviceStall,      // device stalls (magnitude = cycles before service)
+  // NVMe controller model, as observed by the block driver.
+  kNvmeSqFetchCorrupt,   // SQE arrives bit-flipped (magnitude = XOR mask)
+  kNvmePrpWild,          // a PRP entry dereferences wild (magnitude = offset)
+  kNvmeCqPhaseFlip,      // CQE posted with the wrong phase bit; driver misses it
+  kNvmeDoorbellStorm,    // doorbell replays already-consumed SQ entries
+  kNvmeCompletionDrop,   // command executes but its CQE never lands
+  kNvmeShortTransfer,    // data transfer stops early (magnitude = bytes moved)
 };
 
-inline constexpr size_t kNumFaultSites = 13;
+inline constexpr size_t kNumFaultSites = 19;
+// First of the kNvme* block; the NIC fault matrix sweeps [0, kFirstNvmeSite)
+// and the NVMe matrix sweeps the rest.
+inline constexpr size_t kFirstNvmeSite = static_cast<size_t>(FaultSite::kNvmeSqFetchCorrupt);
 
 std::string_view FaultSiteName(FaultSite site);
 std::optional<FaultSite> FaultSiteFromName(std::string_view name);

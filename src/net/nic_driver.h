@@ -28,6 +28,7 @@
 #include "dma/kernel_memory.h"
 #include "net/nic_device_model.h"
 #include "net/skbuff.h"
+#include "recovery/supervised.h"
 
 namespace spv::fault {
 class FaultEngine;
@@ -50,7 +51,7 @@ class XdpProgram {
   virtual XdpVerdict Run(dma::KernelMemory& kmem, Kva data, uint32_t len) = 0;
 };
 
-class NicDriver {
+class NicDriver : public recovery::SupervisedDriver {
  public:
   struct Config {
     std::string name = "nic0";
@@ -144,7 +145,10 @@ class NicDriver {
   // Releases everything the driver holds: unmaps and frees every posted RX
   // buffer, flushes pending TX slots and drains the requeue list. Returns the
   // first error encountered but keeps going (best-effort teardown).
-  Status Shutdown();
+  Status Shutdown() override;
+
+  // SupervisedDriver re-attach hook: bring the RX ring back up.
+  Status Resume() override { return FillRxRing(); }
 
   // ---- Introspection -----------------------------------------------------------
 

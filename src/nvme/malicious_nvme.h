@@ -1,0 +1,92 @@
+// MaliciousNvme: an NVMe controller whose firmware is attacker-controlled.
+//
+// The storage-side sibling of device::MaliciousNic. It executes real commands
+// like the honest controller — that is its cover — but it also:
+//
+//   * warms IOTLB translations for every queue, PRP list and data buffer it
+//     is told about, so deferred-invalidation unmaps leave it usable stale
+//     entries (the paper's Fig-6 window);
+//   * harvests the qwords co-resident with sub-page PRP-list segments —
+//     page_frag and slab co-location (attack types b and d) hands it kernel
+//     objects on the same pages the driver mapped for 128-byte lists;
+//   * mounts Poisoned Completion, the storage analogue of the paper's
+//     Poisoned TX: complete a command with a plausible CQE *before* (or
+//     without) the data transfer, steering the driver into unmapping and
+//     freeing a buffer the device can still reach, then replaying the
+//     deferred transfer through the stale translation;
+//   * forges completions with arbitrary CID/status to complete a *different*
+//     outstanding command than the one that finished.
+//
+// It can still only reach memory through its DevicePort: everything above is
+// built from translations the IOMMU actually handed out.
+
+#ifndef SPV_NVME_MALICIOUS_NVME_H_
+#define SPV_NVME_MALICIOUS_NVME_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "nvme/nvme_controller.h"
+
+namespace spv::nvme {
+
+class MaliciousNvme : public NvmeController {
+ public:
+  using NvmeController::NvmeController;
+
+  // A data phase the controller acknowledged but withheld — the live half of
+  // a Poisoned Completion.
+  struct PendingTransfer {
+    uint8_t opcode = 0;       // kOpRead / kOpWrite as submitted
+    uint64_t media_off = 0;   // byte offset into the media
+    uint64_t total = 0;       // bytes the CQE claimed were moved
+    std::vector<PrpChunk> chunks;
+  };
+
+  // Touch queue rings (and, under complete-before-transfer, data buffers) on
+  // every doorbell so their translations sit in the IOTLB.
+  void set_warm_iotlb(bool warm) { warm_iotlb_ = warm; }
+
+  // Poisoned Completion mode: IO commands complete successfully at once; the
+  // data phase is parked in pending_transfers() for later replay.
+  void set_complete_before_transfer(bool on) { complete_before_transfer_ = on; }
+
+  void OnSqDoorbell(uint16_t qid, uint16_t tail) override;
+
+  const std::deque<PendingTransfer>& pending_transfers() const { return pending_; }
+
+  // Device reset: quarantine wipes whatever data phases the firmware was
+  // holding back (their translations are gone anyway).
+  void ClearPendingTransfers() { pending_.clear(); }
+
+  // Performs the oldest withheld data phase NOW — after the driver, believing
+  // the command done, has unmapped and freed the buffer. Through a stale
+  // IOTLB entry this lands in recycled memory.
+  Status ReplayPendingTransfer();
+
+  // Writes a fully attacker-chosen CQE into `qid`'s completion ring with the
+  // correct phase and slot, indistinguishable from a real completion.
+  Status ForgePoisonedCompletion(uint16_t qid, uint16_t cid, uint8_t status,
+                                 uint32_t dw0);
+
+  // Reads back every page behind a PRP-list segment the controller has
+  // walked (whole pages: the sub-page mapping exposes the co-residents).
+  Result<std::vector<uint64_t>> HarvestPrpQwords();
+
+ protected:
+  void Execute(uint16_t qid, const Sqe& sqe, Cqe& cqe) override;
+
+ private:
+  void WarmChunks(uint8_t opcode, const std::vector<PrpChunk>& chunks);
+
+  bool warm_iotlb_ = false;
+  bool complete_before_transfer_ = false;
+  std::deque<PendingTransfer> pending_;
+};
+
+}  // namespace spv::nvme
+
+#endif  // SPV_NVME_MALICIOUS_NVME_H_

@@ -1,0 +1,185 @@
+// spv::nvme wire format: submission/completion entries, PRPs, queue geometry.
+//
+// The layouts follow the NVMe base specification closely enough that the
+// paper's storage-side attack surface is faithful: 64-byte submission queue
+// entries the controller FETCHES from host memory, 16-byte completion queue
+// entries it WRITES into host memory (phase-tagged so the driver can poll
+// without doorbell reads), and PRP data pointers where every entry past the
+// first must be page-aligned and an overflowing list chains through its last
+// in-page qword. All of that metadata lives in simulated host memory behind
+// the IOMMU — which is exactly what makes the queue and PRP structures an
+// attack surface rather than device-private state.
+
+#ifndef SPV_NVME_NVME_DEFS_H_
+#define SPV_NVME_NVME_DEFS_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "base/types.h"
+
+namespace spv::nvme {
+
+// ---- Queue entry geometry ------------------------------------------------------
+
+inline constexpr uint64_t kSqeSize = 64;  // submission queue entry bytes
+inline constexpr uint64_t kCqeSize = 16;  // completion queue entry bytes
+
+// 512-byte logical blocks: transfers cross page boundaries quickly, which is
+// what keeps the PRP walking honest.
+inline constexpr uint64_t kLbaShift = 9;
+inline constexpr uint64_t kLbaSize = 1ull << kLbaShift;
+inline constexpr uint64_t kBlocksPerPage = kPageSize >> kLbaShift;
+
+// PRP list entries per full page, and the index of the chain slot.
+inline constexpr uint64_t kPrpEntriesPerPage = kPageSize / 8;
+
+// PRP-list segments hold kPrpSegEntries qwords; when a transfer needs more
+// data pointers than one segment holds, the segment's last qword chains to
+// the next segment. Fixed capacity negotiated like MDTS, so driver and
+// controller agree without the driver owning a whole page per list — which
+// is what lets the driver carve 128-byte sub-page segments out of the
+// page_frag pool (the co-location attack surface).
+inline constexpr uint64_t kPrpSegEntries = 16;
+inline constexpr uint64_t kPrpSegBytes = kPrpSegEntries * 8;
+
+// ---- Submission queue entry offsets -------------------------------------------
+
+// CDW0: opcode (byte 0), flags (byte 1), CID (bytes 2..3).
+inline constexpr uint64_t kSqeOpcodeOff = 0;
+inline constexpr uint64_t kSqeCidOff = 2;
+// Namespace id occupies 4..7; unused (single-namespace model).
+inline constexpr uint64_t kSqePrp1Off = 24;
+inline constexpr uint64_t kSqePrp2Off = 32;
+// CDW10/11: starting LBA (IO) or queue id/size (admin queue management).
+inline constexpr uint64_t kSqeSlbaOff = 40;
+inline constexpr uint64_t kSqeCdw10Off = 40;
+inline constexpr uint64_t kSqeCdw11Off = 44;
+// CDW12 low 16 bits: 0-based number of logical blocks.
+inline constexpr uint64_t kSqeNlbOff = 48;
+
+// ---- Completion queue entry offsets -------------------------------------------
+
+// DW0: command-specific (we report transferred bytes so the driver can detect
+// injected short transfers). DW2: SQ head (15:0) | SQ id (31:16).
+// DW3: CID (15:0) | status field (31:16), status = (code << 1) | phase.
+inline constexpr uint64_t kCqeDw0Off = 0;
+inline constexpr uint64_t kCqeSqHeadOff = 8;
+inline constexpr uint64_t kCqeSqIdOff = 10;
+inline constexpr uint64_t kCqeCidOff = 12;
+inline constexpr uint64_t kCqeStatusOff = 14;
+
+// ---- Opcodes -------------------------------------------------------------------
+
+// IO command set.
+inline constexpr uint8_t kOpFlush = 0x00;
+inline constexpr uint8_t kOpWrite = 0x01;
+inline constexpr uint8_t kOpRead = 0x02;
+
+// Admin command set (the subset the driver uses for queue lifecycle).
+inline constexpr uint8_t kAdminDeleteSq = 0x00;
+inline constexpr uint8_t kAdminCreateSq = 0x01;
+inline constexpr uint8_t kAdminDeleteCq = 0x04;
+inline constexpr uint8_t kAdminCreateCq = 0x05;
+inline constexpr uint8_t kAdminIdentify = 0x06;
+
+// ---- Status codes (generic command status, SCT 0) ------------------------------
+
+inline constexpr uint8_t kScSuccess = 0x00;
+inline constexpr uint8_t kScInvalidOpcode = 0x01;
+inline constexpr uint8_t kScInvalidField = 0x02;
+inline constexpr uint8_t kScDataTransferError = 0x04;
+inline constexpr uint8_t kScInternalError = 0x06;
+inline constexpr uint8_t kScLbaOutOfRange = 0x80;
+
+// A decoded command, shared between controller and tests.
+struct Sqe {
+  uint8_t opcode = 0;
+  uint16_t cid = 0;
+  uint64_t prp1 = 0;
+  uint64_t prp2 = 0;
+  uint64_t slba = 0;      // IO: starting LBA
+  uint32_t cdw10 = 0;     // admin: qid (15:0) | qsize-1 (31:16)
+  uint32_t cdw11 = 0;     // admin CreateSq: paired CQ id (15:0)
+  uint16_t nlb = 0;       // IO: 0-based block count
+};
+
+// A decoded completion, shared between driver and tests.
+struct Cqe {
+  uint32_t dw0 = 0;       // transferred bytes
+  uint16_t sq_head = 0;
+  uint16_t sq_id = 0;
+  uint16_t cid = 0;
+  uint8_t status = 0;     // status code (phase stripped)
+  bool phase = false;
+};
+
+// Identify page layout (admin kAdminIdentify writes one page through PRP1):
+// qword 0 = capacity in logical blocks, qword 1 = lba size in bytes.
+inline constexpr uint64_t kIdentifyCapacityOff = 0;
+inline constexpr uint64_t kIdentifyLbaSizeOff = 8;
+
+// ---- Wire encode / decode ------------------------------------------------------
+//
+// SQE dwords 10..11 are a union: IO commands read them as a 64-bit starting
+// LBA, admin queue management reads them as two 32-bit fields. Encode merges
+// the views by OR (callers set one or the other), decode fills all three
+// from the same bytes.
+
+inline std::array<uint8_t, kSqeSize> EncodeSqe(const Sqe& sqe) {
+  std::array<uint8_t, kSqeSize> raw{};
+  raw[kSqeOpcodeOff] = sqe.opcode;
+  std::memcpy(raw.data() + kSqeCidOff, &sqe.cid, 2);
+  std::memcpy(raw.data() + kSqePrp1Off, &sqe.prp1, 8);
+  std::memcpy(raw.data() + kSqePrp2Off, &sqe.prp2, 8);
+  const uint64_t dw10_11 = sqe.slba | (static_cast<uint64_t>(sqe.cdw10) |
+                                       (static_cast<uint64_t>(sqe.cdw11) << 32));
+  std::memcpy(raw.data() + kSqeSlbaOff, &dw10_11, 8);
+  std::memcpy(raw.data() + kSqeNlbOff, &sqe.nlb, 2);
+  return raw;
+}
+
+inline Sqe DecodeSqe(std::span<const uint8_t> raw) {
+  Sqe sqe;
+  sqe.opcode = raw[kSqeOpcodeOff];
+  std::memcpy(&sqe.cid, raw.data() + kSqeCidOff, 2);
+  std::memcpy(&sqe.prp1, raw.data() + kSqePrp1Off, 8);
+  std::memcpy(&sqe.prp2, raw.data() + kSqePrp2Off, 8);
+  std::memcpy(&sqe.slba, raw.data() + kSqeSlbaOff, 8);
+  std::memcpy(&sqe.cdw10, raw.data() + kSqeCdw10Off, 4);
+  std::memcpy(&sqe.cdw11, raw.data() + kSqeCdw11Off, 4);
+  std::memcpy(&sqe.nlb, raw.data() + kSqeNlbOff, 2);
+  return sqe;
+}
+
+inline std::array<uint8_t, kCqeSize> EncodeCqe(const Cqe& cqe) {
+  std::array<uint8_t, kCqeSize> raw{};
+  std::memcpy(raw.data() + kCqeDw0Off, &cqe.dw0, 4);
+  std::memcpy(raw.data() + kCqeSqHeadOff, &cqe.sq_head, 2);
+  std::memcpy(raw.data() + kCqeSqIdOff, &cqe.sq_id, 2);
+  std::memcpy(raw.data() + kCqeCidOff, &cqe.cid, 2);
+  const uint16_t status_field =
+      static_cast<uint16_t>((static_cast<uint16_t>(cqe.status) << 1) |
+                            (cqe.phase ? 1 : 0));
+  std::memcpy(raw.data() + kCqeStatusOff, &status_field, 2);
+  return raw;
+}
+
+inline Cqe DecodeCqe(std::span<const uint8_t> raw) {
+  Cqe cqe;
+  std::memcpy(&cqe.dw0, raw.data() + kCqeDw0Off, 4);
+  std::memcpy(&cqe.sq_head, raw.data() + kCqeSqHeadOff, 2);
+  std::memcpy(&cqe.sq_id, raw.data() + kCqeSqIdOff, 2);
+  std::memcpy(&cqe.cid, raw.data() + kCqeCidOff, 2);
+  uint16_t status_field = 0;
+  std::memcpy(&status_field, raw.data() + kCqeStatusOff, 2);
+  cqe.phase = (status_field & 1) != 0;
+  cqe.status = static_cast<uint8_t>(status_field >> 1);
+  return cqe;
+}
+
+}  // namespace spv::nvme
+
+#endif  // SPV_NVME_NVME_DEFS_H_

@@ -1,0 +1,53 @@
+// NvmeDeviceModel: the doorbell-register boundary between driver and device.
+//
+// Mirrors net::NicDeviceModel: the driver notifies the device of register
+// writes (doorbells) and queue lifecycle; everything else the device learns,
+// it must learn by DMA through its DevicePort. Doorbell writes are MMIO in
+// real hardware — attacker-visible but not attacker-corruptible — so they are
+// plain method calls here, while SQ entries, CQ entries and PRP lists travel
+// through the IOMMU like the paper's threat model requires.
+
+#ifndef SPV_NVME_NVME_DEVICE_MODEL_H_
+#define SPV_NVME_NVME_DEVICE_MODEL_H_
+
+#include <cstdint>
+
+#include "base/types.h"
+
+namespace spv::nvme {
+
+// Queue geometry announced at creation time (admin queue: direct host call,
+// IO queues: the controller decodes its own CreateSq/CreateCq admin commands
+// and calls this on itself).
+struct QueuePair {
+  uint16_t qid = 0;
+  Iova sq_base;          // submission queue ring (device READS entries)
+  uint16_t sq_entries = 0;
+  Iova cq_base;          // completion queue ring (device WRITES entries)
+  uint16_t cq_entries = 0;
+};
+
+class NvmeDeviceModel {
+ public:
+  virtual ~NvmeDeviceModel() = default;
+
+  // The admin queue pair registers out-of-band (it bootstraps the command
+  // path real controllers configure through AQA/ASQ/ACQ registers).
+  virtual void OnAdminQueueConfigured(const QueuePair& queues) = 0;
+
+  // Host rang a submission queue tail doorbell: entries [old tail, tail) are
+  // ready to fetch.
+  virtual void OnSqDoorbell(uint16_t qid, uint16_t tail) = 0;
+
+  // Host rang a completion queue head doorbell: the driver consumed entries
+  // up to `head`, freeing CQ slots.
+  virtual void OnCqDoorbell(uint16_t qid, uint16_t head) = 0;
+
+  // Host tore the queue pair down without device cooperation (driver
+  // shutdown/reset under quarantine): the device must forget its geometry.
+  virtual void OnQueueDeleted(uint16_t qid) = 0;
+};
+
+}  // namespace spv::nvme
+
+#endif  // SPV_NVME_NVME_DEVICE_MODEL_H_

@@ -22,9 +22,13 @@ double HealthScorer::WeightFor(const telemetry::Event& event) const {
     case telemetry::EventKind::kSpadeFinding:
       return config_.weight_spade_finding;
     case telemetry::EventKind::kNicRxError:
+    case telemetry::EventKind::kNvmeCompletionError:
       return config_.weight_bad_completion;
     case telemetry::EventKind::kNicPollDeadline:
+    case telemetry::EventKind::kNvmePollDeadline:
       return config_.weight_poll_deadline;
+    case telemetry::EventKind::kNvmeQueueReset:
+      return config_.weight_ring_reset;
     default:
       return 0.0;
   }

@@ -33,8 +33,8 @@ class HealthScorer : public telemetry::EventSink {
     double weight_stale_iotlb_hit = 5.0;
     double weight_dkasan_report = 25.0;
     double weight_spade_finding = 25.0;
-    double weight_bad_completion = 2.0;   // kNicRxError
-    double weight_poll_deadline = 2.0;    // kNicPollDeadline
+    double weight_bad_completion = 2.0;   // kNicRxError / kNvmeCompletionError
+    double weight_poll_deadline = 2.0;    // kNicPollDeadline / kNvmePollDeadline
     double threshold = 24.0;              // score that triggers quarantine
     // Score half-life in simulated cycles: after this long with no new
     // signal, half the score is gone.

@@ -37,7 +37,7 @@ RecoveryManager::~RecoveryManager() {
   }
 }
 
-void RecoveryManager::RegisterDevice(DeviceId device, net::NicDriver* driver) {
+void RecoveryManager::RegisterDevice(DeviceId device, SupervisedDriver* driver) {
   Supervised& entry = devices_[device.value];
   entry.driver = driver;
   scorer_.Track(device);
@@ -125,10 +125,10 @@ void RecoveryManager::DoReattach(DeviceId device, Supervised& entry) {
   trace::ScopedSpan span(tracer_, "recovery.reattach");
   (void)iommu_.UnfenceDevice(device);
   if (entry.driver != nullptr) {
-    // Bring the RX ring back up. Failures here are not fatal: the refill
-    // retry path keeps trying, and a still-broken device re-breaches during
-    // probation anyway.
-    (void)entry.driver->FillRxRing();
+    // Bring the driver's rings/queues back up. Failures here are not fatal:
+    // drivers keep retrying internally, and a still-broken device re-breaches
+    // during probation anyway.
+    (void)entry.driver->Resume();
   }
   entry.quarantined_cycles += clock_.now() - entry.quarantine_start;
   entry.state = DeviceState::kProbation;

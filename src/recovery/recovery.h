@@ -34,8 +34,8 @@
 #include "base/types.h"
 #include "dma/dma_api.h"
 #include "iommu/iommu.h"
-#include "net/nic_driver.h"
 #include "recovery/health.h"
+#include "recovery/supervised.h"
 #include "telemetry/telemetry.h"
 #include "trace/tracer.h"
 
@@ -86,8 +86,9 @@ class RecoveryManager {
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
   // Places `device` under supervision. `driver` (may be null for driverless
-  // devices) is shut down on quarantine and refilled on re-attach.
-  void RegisterDevice(DeviceId device, net::NicDriver* driver);
+  // devices) is Shutdown() on quarantine and Resume()d on re-attach; any
+  // device class implementing SupervisedDriver (NIC, NVMe, ...) plugs in.
+  void RegisterDevice(DeviceId device, SupervisedDriver* driver);
 
   // Drives the state machine: consumes health breaches (quarantining the
   // offenders), attempts due re-attaches, and promotes devices that survived
@@ -115,7 +116,7 @@ class RecoveryManager {
 
  private:
   struct Supervised {
-    net::NicDriver* driver = nullptr;
+    SupervisedDriver* driver = nullptr;
     DeviceState state = DeviceState::kHealthy;
     uint32_t reattach_attempts = 0;
     uint64_t quarantines = 0;

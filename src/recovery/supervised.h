@@ -1,0 +1,35 @@
+// SupervisedDriver: what the RecoveryManager needs from a device driver.
+//
+// Quarantine tears a device's host-side state down (Shutdown) and supervised
+// re-attach brings it back (Resume). The first device class here was the NIC;
+// keeping the contract to these two verbs is what lets a second class (the
+// NVMe block driver) ride the same lifecycle without the manager knowing
+// either driver's shape. The header is dependency-free on purpose: drivers
+// implement it without linking spv_recovery.
+
+#ifndef SPV_RECOVERY_SUPERVISED_H_
+#define SPV_RECOVERY_SUPERVISED_H_
+
+#include "base/status.h"
+
+namespace spv::recovery {
+
+class SupervisedDriver {
+ public:
+  virtual ~SupervisedDriver() = default;
+
+  // Releases every resource the driver holds for its device — mappings,
+  // buffers, queue memory. Called with the device already fenced; must not
+  // require device cooperation and must be leak-free (best-effort teardown:
+  // report the first error, keep going).
+  virtual Status Shutdown() = 0;
+
+  // Brings the device back into service after the fence lifts (rings
+  // refilled, queues re-created). Failures are not fatal to the manager: a
+  // still-broken device re-breaches during probation.
+  virtual Status Resume() = 0;
+};
+
+}  // namespace spv::recovery
+
+#endif  // SPV_RECOVERY_SUPERVISED_H_

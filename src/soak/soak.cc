@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <deque>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,8 @@
 #include "device/malicious_nic.h"
 #include "fault/fault.h"
 #include "net/layouts.h"
+#include "nvme/malicious_nvme.h"
+#include "nvme/nvme_driver.h"
 #include "recovery/recovery.h"
 #include "telemetry/telemetry.h"
 
@@ -63,6 +66,11 @@ struct JsonWriter {
     Key(key);
     out += "\"" + telemetry::JsonEscape(value) + "\"";
   }
+  // Nested object: `json` must already be a serialized JSON value.
+  void Raw(const char* key, const std::string& json) {
+    Key(key);
+    out += json;
+  }
   std::string Finish() {
     out += "}";
     return out;
@@ -82,7 +90,11 @@ fault::FaultPlan MakeSoakFaultPlan() {
       .Probability(fault::FaultSite::kNicRxDrop, 0.005)
       .Probability(fault::FaultSite::kNicRxTruncate, 0.005)
       .Probability(fault::FaultSite::kNicDescWriteback, 0.002)
-      .Probability(fault::FaultSite::kNicRxRefillStarve, 0.01);
+      .Probability(fault::FaultSite::kNicRxRefillStarve, 0.01)
+      .Probability(fault::FaultSite::kNvmeSqFetchCorrupt, 0.002)
+      .Probability(fault::FaultSite::kNvmeCqPhaseFlip, 0.002)
+      .Probability(fault::FaultSite::kNvmeCompletionDrop, 0.002)
+      .Probability(fault::FaultSite::kNvmeShortTransfer, 0.002);
   return plan;
 }
 
@@ -152,6 +164,40 @@ SoakReport RunSoak(const SoakConfig& config) {
   machine.iommu().AttachDevice(churn_dev);
   machine.recovery().RegisterDevice(churn_dev, nullptr);
 
+  // nvme0: the storage leg — a block driver over hostile firmware. Calm
+  // epochs carry honest write/read-verify traffic; storms flip the firmware
+  // into Poisoned Completion (acknowledge first, transfer later, through
+  // whatever stale window the unmap left behind) and forged-CQE bursts that
+  // feed the health score until supervision fences the device.
+  nvme::NvmeDriver* nvme0 = nullptr;
+  std::optional<nvme::MaliciousNvme> mnvme;
+  if (config.storage) {
+    nvme::NvmeDriver::Config nvme0_config;
+    nvme0_config.name = "nvme0";
+    nvme0_config.io_queue_entries = 16;
+    // Soak-scale timings, like the supervision backoffs above: the default
+    // 5 s completion timeout is 10G cycles — several thousand soak epochs.
+    nvme0_config.completion_timeout_cycles = SimClock::UsToCycles(400);
+    nvme0_config.poll_deadline_cycles = SimClock::UsToCycles(40);
+    nvme0 = &machine.AddNvmeDriver(nvme0_config);
+    mnvme.emplace(device::DevicePort{machine.iommu(), nvme0->device_id()});
+    mnvme->set_fault_engine(&machine.fault());
+    mnvme->set_tracer(machine.tracer());
+    mnvme->set_warm_iotlb(true);
+    nvme0->AttachDevice(&*mnvme);
+    // Bring-up runs under the drizzle; a corrupted admin fetch can sink one
+    // attempt, so retry a couple of times before calling the setup broken.
+    Status storage_up = InvalidArgument("unattempted");
+    for (int attempt = 0; attempt < 3 && !storage_up.ok(); ++attempt) {
+      storage_up = nvme0->Init();
+    }
+    if (!storage_up.ok()) {
+      report.failure =
+          "soak setup failed: nvme0: " + std::string(storage_up.message());
+      return report;
+    }
+  }
+
   attack::MiniCpu cpu{machine.kmem(), machine.layout()};
   machine.stack().set_callback_invoker(&cpu);
 
@@ -170,6 +216,7 @@ SoakReport RunSoak(const SoakConfig& config) {
   bool ringflood_done = false;
   recovery::DeviceState last_state0 = recovery::DeviceState::kHealthy;
   recovery::DeviceState last_state1 = recovery::DeviceState::kHealthy;
+  recovery::DeviceState last_state_nvme = recovery::DeviceState::kHealthy;
 
   // Completes every TX descriptor the serving device is sitting on; the echo
   // service's responses come back through here.
@@ -228,6 +275,77 @@ SoakReport RunSoak(const SoakConfig& config) {
       std::vector<uint8_t> body(128, 0x5a);
       (void)machine.stack().SendPacket(out, body);
       drain_nic0_tx();
+    }
+
+    // -- Storage traffic: block write/read-verify probes through nvme0 ----------
+    if (config.storage) {
+      mnvme->set_complete_before_transfer(storm);
+      for (uint32_t p = 0; p < config.storage_probes; ++p) {
+        ++report.nvme.probes;
+        static constexpr uint16_t kProbeShapes[] = {1, 4, 8, 24};
+        const uint16_t nblocks = kProbeShapes[rng.NextBelow(4)];
+        const uint64_t bytes = static_cast<uint64_t>(nblocks) * nvme::kLbaSize;
+        const uint64_t span_blocks = mnvme->capacity_blocks() - nblocks;
+        const uint64_t slba = rng.NextBelow(static_cast<uint32_t>(span_blocks));
+        const uint8_t fill = static_cast<uint8_t>(rng.NextBelow(256));
+        Result<Kva> buf = machine.slab().Kmalloc(bytes, "soak_storage");
+        if (!buf.ok()) {
+          ++report.nvme.shed_ios;
+          continue;
+        }
+        std::vector<uint8_t> pattern(bytes, fill);
+        bool round_trip = machine.kmem().Write(*buf, pattern).ok();
+        if (round_trip && !nvme0->WriteBlocks(slba, nblocks, *buf).ok()) {
+          ++report.nvme.shed_ios;
+          round_trip = false;
+        }
+        if (round_trip) {
+          std::vector<uint8_t> zero(bytes, 0);
+          (void)machine.kmem().Write(*buf, zero);
+          if (!nvme0->ReadBlocks(slba, nblocks, *buf).ok()) {
+            ++report.nvme.shed_ios;
+            round_trip = false;
+          }
+        }
+        if (round_trip) {
+          ++report.nvme.ok;
+          // Silent-corruption audit: under Poisoned Completion both data
+          // phases were withheld, so the pattern never comes back — that is
+          // the attack observable, not a harness failure.
+          std::vector<uint8_t> got(bytes, 0);
+          if (machine.kmem().Read(*buf, got).ok() && got != pattern) {
+            ++report.nvme.verify_mismatches;
+          }
+        }
+        (void)machine.slab().Kfree(*buf);
+      }
+      // Watchdog + poll sweep, then the stale-window half of the attack: the
+      // firmware performs the data phases it acknowledged earlier, against
+      // buffers the driver has since unmapped and freed.
+      (void)nvme0->PollCompletions();
+      (void)nvme0->CheckTimeouts();
+      while (!mnvme->pending_transfers().empty()) {
+        if (mnvme->ReplayPendingTransfer().ok()) {
+          ++report.nvme.replays_landed;
+        } else {
+          ++report.nvme.replays_blocked;
+        }
+      }
+      // Forged-CQE bursts: plausible-looking completions for CIDs that were
+      // never issued. The driver rejects each one (kNvmeCompletionError),
+      // and the health score walks toward quarantine.
+      if (config.attacks && storm && epoch % 7 == 3) {
+        for (int f = 0; f < 3; ++f) {
+          const uint16_t bogus_cid =
+              static_cast<uint16_t>(0x4000 + rng.NextBelow(128));
+          if (mnvme->ForgePoisonedCompletion(nvme::kIoQid, bogus_cid,
+                                             nvme::kScSuccess, 512)
+                  .ok()) {
+            ++report.nvme.forged_completions;
+          }
+        }
+        (void)nvme0->PollCompletions();
+      }
     }
 
     // -- Map/unmap churn on the driverless device -------------------------------
@@ -317,6 +435,9 @@ SoakReport RunSoak(const SoakConfig& config) {
     if (config.recovery_enabled && epoch % 149 == 148) {
       (void)machine.recovery().Quarantine(nic0.device_id(), "soak operator drill");
     }
+    if (config.storage && config.recovery_enabled && epoch % 181 == 180) {
+      (void)machine.recovery().Quarantine(nvme0->device_id(), "soak operator drill");
+    }
 
     // -- Supervision + epoch bookkeeping ----------------------------------------
     (void)machine.recovery().Poll();
@@ -330,6 +451,9 @@ SoakReport RunSoak(const SoakConfig& config) {
                                   state0 == recovery::DeviceState::kDetached)) {
       mnic0.rx_posted().clear();
       mnic0.tx_posted().clear();
+      if (state0 == recovery::DeviceState::kQuarantined) {
+        ++report.nic.quarantines;
+      }
     }
     last_state0 = state0;
     const recovery::DeviceState state1 = machine.recovery().state(nic1.device_id());
@@ -337,8 +461,24 @@ SoakReport RunSoak(const SoakConfig& config) {
                                   state1 == recovery::DeviceState::kDetached)) {
       mnic1.rx_posted().clear();
       mnic1.tx_posted().clear();
+      if (state1 == recovery::DeviceState::kQuarantined) {
+        ++report.nic.quarantines;
+      }
     }
     last_state1 = state1;
+    if (config.storage) {
+      const recovery::DeviceState state_nvme =
+          machine.recovery().state(nvme0->device_id());
+      if (state_nvme != last_state_nvme &&
+          (state_nvme == recovery::DeviceState::kQuarantined ||
+           state_nvme == recovery::DeviceState::kDetached)) {
+        mnvme->ClearPendingTransfers();
+        if (state_nvme == recovery::DeviceState::kQuarantined) {
+          ++report.nvme.quarantines;
+        }
+      }
+      last_state_nvme = state_nvme;
+    }
 
     if (config.invariant_check_interval != 0 &&
         epoch % config.invariant_check_interval == 0) {
@@ -358,6 +498,9 @@ SoakReport RunSoak(const SoakConfig& config) {
   // ---- Teardown: everything back, nothing leaked ------------------------------
   (void)nic0.Shutdown();
   (void)nic1.Shutdown();
+  if (config.storage) {
+    (void)nvme0->Shutdown();
+  }
   while (!churn_ledger.empty()) {
     ChurnEntry entry = churn_ledger.front();
     churn_ledger.pop_front();
@@ -394,6 +537,29 @@ SoakReport RunSoak(const SoakConfig& config) {
       hub.histogram("recovery.downtime_cycles").Summarize();
   report.downtime_p50 = downtime.p50;
   report.downtime_p99 = downtime.p99;
+
+  // Per-class rollup. The NIC side mirrors the top-level echo numbers; the
+  // NVMe side pulls the driver's own accounting.
+  report.nic.probes = report.echo_probes;
+  report.nic.ok = report.echo_ok;
+  report.nic.availability = report.nic.probes == 0
+                                ? 1.0
+                                : static_cast<double>(report.nic.ok) /
+                                      static_cast<double>(report.nic.probes);
+  report.nic.shed_packets = report.shed_packets;
+  if (config.storage) {
+    report.nvme.availability = report.nvme.probes == 0
+                                   ? 1.0
+                                   : static_cast<double>(report.nvme.ok) /
+                                         static_cast<double>(report.nvme.probes);
+    report.nvme.reads_completed = nvme0->reads_completed();
+    report.nvme.writes_completed = nvme0->writes_completed();
+    report.nvme.io_errors = nvme0->io_errors();
+    report.nvme.completion_errors = nvme0->completion_errors();
+    report.nvme.queue_resets = nvme0->queue_resets();
+  } else {
+    report.nvme.availability = 1.0;
+  }
 
   ++report.invariant_checks;
   if (report.failure.empty()) {
@@ -443,6 +609,33 @@ std::string SoakReport::ToJson() const {
   w.Field("downtime_p99", downtime_p99);
   w.Field("leaked_mappings", leaked_mappings);
   w.Field("leaked_iova_entries", leaked_iova_entries);
+  {
+    JsonWriter n;
+    n.Field("probes", nic.probes);
+    n.Field("ok", nic.ok);
+    n.Field("availability", nic.availability);
+    n.Field("quarantines", nic.quarantines);
+    n.Field("shed_packets", nic.shed_packets);
+    w.Raw("nic", n.Finish());
+  }
+  {
+    JsonWriter n;
+    n.Field("probes", nvme.probes);
+    n.Field("ok", nvme.ok);
+    n.Field("availability", nvme.availability);
+    n.Field("quarantines", nvme.quarantines);
+    n.Field("shed_ios", nvme.shed_ios);
+    n.Field("reads_completed", nvme.reads_completed);
+    n.Field("writes_completed", nvme.writes_completed);
+    n.Field("io_errors", nvme.io_errors);
+    n.Field("completion_errors", nvme.completion_errors);
+    n.Field("queue_resets", nvme.queue_resets);
+    n.Field("forged_completions", nvme.forged_completions);
+    n.Field("replays_landed", nvme.replays_landed);
+    n.Field("replays_blocked", nvme.replays_blocked);
+    n.Field("verify_mismatches", nvme.verify_mismatches);
+    w.Raw("nvme", n.Finish());
+  }
   return w.Finish();
 }
 

@@ -30,6 +30,11 @@ struct SoakConfig {
   bool fast_path = true;    // rcache + hash index + walk cache
   bool faults = true;       // arm the fault-injection plan
   bool attacks = true;      // mix Poisoned TX / RingFlood phases in
+  // Storage leg: an NvmeDriver over a MaliciousNvme controller, block
+  // write/read-verify probes, Poisoned-Completion storms and withheld-
+  // transfer replays through whatever stale windows the run leaves open.
+  bool storage = true;
+  uint32_t storage_probes = 2;     // block IO round-trips attempted per epoch
   uint32_t epoch_packets = 4;      // echo round-trips attempted per epoch
   uint32_t churn_maps = 8;         // map/unmap pairs per epoch
   uint32_t attack_interval = 64;   // epochs between attack phases
@@ -78,6 +83,40 @@ struct SoakReport {
   // Leak audit at teardown.
   uint64_t leaked_mappings = 0;
   uint64_t leaked_iova_entries = 0;
+
+  // ---- Per-device-class breakdown (nic vs nvme) --------------------------------
+  //
+  // The top-level availability/quarantine numbers aggregate the whole run;
+  // these split the same accounting by device class so a regression on one
+  // side cannot hide behind the other in CI diffs.
+
+  struct NicBreakdown {
+    uint64_t probes = 0;        // echo round trips attempted
+    uint64_t ok = 0;            // echoes that came back
+    double availability = 0.0;
+    uint64_t quarantines = 0;   // healthy -> quarantined transitions observed
+    uint64_t shed_packets = 0;  // TX shed while the egress NIC was fenced
+  };
+
+  struct NvmeBreakdown {
+    uint64_t probes = 0;        // write + read-back block IO round trips
+    uint64_t ok = 0;            // round trips where both commands completed
+    double availability = 0.0;
+    uint64_t quarantines = 0;   // healthy -> quarantined transitions observed
+    uint64_t shed_ios = 0;      // block commands refused or failed cleanly
+    uint64_t reads_completed = 0;
+    uint64_t writes_completed = 0;
+    uint64_t io_errors = 0;           // commands completed with bad status
+    uint64_t completion_errors = 0;   // CQEs the driver rejected as implausible
+    uint64_t queue_resets = 0;        // watchdog flush + re-create cycles
+    uint64_t forged_completions = 0;  // CQEs the hostile firmware invented
+    uint64_t replays_landed = 0;      // withheld data phases that hit memory
+    uint64_t replays_blocked = 0;     // ... that the IOMMU fenced off
+    uint64_t verify_mismatches = 0;   // read-back data != written pattern
+  };
+
+  NicBreakdown nic;
+  NvmeBreakdown nvme;
 
   // Deterministic: fixed field order, integers and fixed-precision doubles.
   std::string ToJson() const;

@@ -53,6 +53,11 @@ constexpr KindName kKindNames[] = {
     {EventKind::kDeviceDetached, "device_detached"},
     {EventKind::kDeviceFencedAccess, "device_fenced_access"},
     {EventKind::kNicPollDeadline, "nic_poll_deadline"},
+    {EventKind::kNvmeSubmit, "nvme_submit"},
+    {EventKind::kNvmeComplete, "nvme_complete"},
+    {EventKind::kNvmeCompletionError, "nvme_completion_error"},
+    {EventKind::kNvmeQueueReset, "nvme_queue_reset"},
+    {EventKind::kNvmePollDeadline, "nvme_poll_deadline"},
 };
 
 constexpr std::string_view kSeverityNames[] = {"trace", "info", "warn", "critical"};

@@ -98,6 +98,13 @@ enum class EventKind : uint8_t {
   kDeviceDetached,      // retry budget exhausted; permanently detached
   kDeviceFencedAccess,  // a fenced device attempted DMA (post-quarantine)
   kNicPollDeadline,     // a driver polling loop hit its bounded deadline
+  // NVMe block driver / controller (spv::nvme). `aux` carries the CID on
+  // submit/complete; `len` the transfer bytes.
+  kNvmeSubmit,           // SQE written and the SQ doorbell rung
+  kNvmeComplete,         // a valid CQE matched an outstanding command
+  kNvmeCompletionError,  // CQE rejected (bad CID / phase / status / short)
+  kNvmeQueueReset,       // watchdog flushed an IO queue and re-initialized it
+  kNvmePollDeadline,     // a CQ polling loop hit its bounded deadline
 };
 
 std::string_view EventKindName(EventKind kind);

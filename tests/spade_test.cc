@@ -563,6 +563,37 @@ TEST_F(CorpusTest, NvmeFcMatchesFigure2Shape) {
   EXPECT_GT(site->spoofable_callbacks, 10u);
 }
 
+TEST_F(CorpusTest, NvmePciCleanSitesStayClean) {
+  // Dedicated kmalloc PRP lists and data buffers: both mapping sites must
+  // resolve (not "unresolved") and carry no static exposure — the residual
+  // slab co-location risk is dynamic, D-KASAN's territory, and flagging it
+  // here would be a false positive.
+  for (const char* function : {"nvme_pci_setup_prps", "nvme_pci_map_data"}) {
+    const SiteFinding* site = FindSite("clean_nvme_pci.c", function);
+    ASSERT_NE(site, nullptr) << function;
+    EXPECT_FALSE(site->unresolved) << function;
+    EXPECT_FALSE(site->exposes_struct) << function;
+    EXPECT_FALSE(site->callbacks_exposed) << function;
+    EXPECT_FALSE(site->shared_info_mapped) << function;
+    EXPECT_FALSE(site->stack_mapped) << function;
+  }
+}
+
+TEST_F(CorpusTest, NvmeTcpMixesCleanPduAndVulnerableSkbPaths) {
+  // NVMe-over-TCP: the kzalloc'd PDU path is clean, but the same file's TX
+  // leg maps skb->data — type (b), skb_shared_info rides along. The split
+  // matters: storage transports inherit networking's vulnerability classes.
+  const SiteFinding* pdu = FindSite("nvme_tcp_like.c", "nvme_tcp_alloc_pdu");
+  ASSERT_NE(pdu, nullptr);
+  EXPECT_FALSE(pdu->unresolved);
+  EXPECT_FALSE(pdu->exposes_struct);
+  EXPECT_FALSE(pdu->shared_info_mapped);
+
+  const SiteFinding* send = FindSite("nvme_tcp_like.c", "nvme_tcp_try_send");
+  ASSERT_NE(send, nullptr);
+  EXPECT_TRUE(send->shared_info_mapped);
+}
+
 TEST_F(CorpusTest, StackMappedFoundInUsbHcd) {
   const SiteFinding* site = FindSite("usb_hcd.c", "hcd_submit_control");
   ASSERT_NE(site, nullptr);

@@ -79,6 +79,8 @@ int main(int argc, char** argv) {
       config.faults = false;
     } else if (arg == "--no-attacks") {
       config.attacks = false;
+    } else if (arg == "--no-storage") {
+      config.storage = false;
     } else if (arg == "--legacy-path") {
       config.fast_path = false;
     } else if (arg == "--check-interval") {
@@ -91,8 +93,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: soak [--seed N] [--cycles N] [--epochs N] [--mode strict|deferred]\n"
-          "            [--no-recovery] [--no-faults] [--no-attacks] [--legacy-path]\n"
-          "            [--check-interval N] [--out report.json] [--trace-out trace.csv]\n");
+          "            [--no-recovery] [--no-faults] [--no-attacks] [--no-storage]\n"
+          "            [--legacy-path] [--check-interval N] [--out report.json]\n"
+          "            [--trace-out trace.csv]\n");
       return 0;
     } else {
       std::fprintf(stderr, "soak: unknown flag '%s' (see --help)\n", arg.c_str());
@@ -122,6 +125,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.fenced_accesses),
               static_cast<unsigned long long>(report.shed_packets),
               static_cast<unsigned long long>(report.invariant_checks));
+  if (config.storage) {
+    std::printf("      storage %.4f (%llu/%llu probes), %llu quarantines, "
+                "%llu forged CQEs, %llu/%llu replays landed/blocked\n",
+                report.nvme.availability,
+                static_cast<unsigned long long>(report.nvme.ok),
+                static_cast<unsigned long long>(report.nvme.probes),
+                static_cast<unsigned long long>(report.nvme.quarantines),
+                static_cast<unsigned long long>(report.nvme.forged_completions),
+                static_cast<unsigned long long>(report.nvme.replays_landed),
+                static_cast<unsigned long long>(report.nvme.replays_blocked));
+  }
   if (report.ok) {
     std::printf("      PASS: invariants clean, no leaked mappings or PTEs\n");
   } else {

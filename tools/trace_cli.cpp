@@ -10,7 +10,7 @@
 // Usage:
 //   trace <trace.csv> [--format timeline|chrome|flame] [--span ID]
 //                     [--min-severity trace|info|warn|critical] [--limit N]
-//                     [--filter origin=fault]
+//                     [--filter origin=<name>] [--list-origins]
 //   trace --demo      runs a small map/stale-access/flush workload on a
 //                     simulated machine and replays its trace (dogfooding the
 //                     same CSV path an external consumer would use).
@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <unordered_set>
@@ -145,26 +146,135 @@ std::string DescribeEvent(const telemetry::Event& event) {
     case telemetry::EventKind::kSpadeFinding:
       // The site column carries the whole story for these.
       break;
+    case telemetry::EventKind::kHealthBreach:
+      out << "dev " << event.device << "  score " << event.aux;
+      break;
+    case telemetry::EventKind::kDeviceQuarantined:
+    case telemetry::EventKind::kDeviceDetached:
+    case telemetry::EventKind::kDeviceFencedAccess:
+      out << "dev " << event.device;
+      break;
+    case telemetry::EventKind::kDeviceReattached:
+      out << "dev " << event.device << "  attempt " << event.aux;
+      break;
+    case telemetry::EventKind::kNicPollDeadline:
+    case telemetry::EventKind::kNvmePollDeadline:
+      out << "dev " << event.device << "  budget " << event.aux << " cycles";
+      break;
+    case telemetry::EventKind::kNvmeSubmit:
+    case telemetry::EventKind::kNvmeComplete:
+    case telemetry::EventKind::kNvmeCompletionError:
+      out << "dev " << event.device << "  cid " << event.aux << "  " << event.len
+          << "B";
+      break;
+    case telemetry::EventKind::kNvmeQueueReset:
+      out << "dev " << event.device << "  qid " << event.aux;
+      break;
   }
   return out.str();
 }
 
-// --filter origin=fault: keep only rows from the fault-injection story — the
-// engine's own events plus recovery/drop accounting published on its behalf.
-bool IsFaultEvent(const telemetry::Event& event) {
-  return event.kind == telemetry::EventKind::kFaultInjected ||
-         event.kind == telemetry::EventKind::kFaultRecovered ||
-         event.kind == telemetry::EventKind::kNicRxError ||
-         event.site.rfind("fault:", 0) == 0;
+// The origin an event belongs to: which subsystem's story it tells. This is
+// the vocabulary behind `--filter origin=<name>` and `--list-origins`.
+const char* EventOrigin(const telemetry::Event& event) {
+  switch (event.kind) {
+    case telemetry::EventKind::kDmaMap:
+    case telemetry::EventKind::kDmaUnmap:
+    case telemetry::EventKind::kDmaSync:
+    case telemetry::EventKind::kCpuAccess:
+      return "dma";
+    case telemetry::EventKind::kIotlbInvalidate:
+    case telemetry::EventKind::kIommuFlush:
+    case telemetry::EventKind::kIommuFault:
+    case telemetry::EventKind::kStaleIotlbHit:
+      return "iommu";
+    case telemetry::EventKind::kSlabAlloc:
+    case telemetry::EventKind::kSlabFree:
+    case telemetry::EventKind::kFragAlloc:
+    case telemetry::EventKind::kFragFree:
+      return "alloc";
+    case telemetry::EventKind::kNicRx:
+    case telemetry::EventKind::kNicTx:
+    case telemetry::EventKind::kNicTxReset:
+    case telemetry::EventKind::kXdpDrop:
+    case telemetry::EventKind::kXdpTx:
+    case telemetry::EventKind::kNicRxError:
+    case telemetry::EventKind::kNicPollDeadline:
+      return "nic";
+    case telemetry::EventKind::kStackDeliver:
+    case telemetry::EventKind::kStackForward:
+    case telemetry::EventKind::kStackDrop:
+    case telemetry::EventKind::kStackSend:
+    case telemetry::EventKind::kStackEcho:
+      return "stack";
+    case telemetry::EventKind::kAttackStage:
+      return "attack";
+    case telemetry::EventKind::kDkasanReport:
+      return "dkasan";
+    case telemetry::EventKind::kSpadeFinding:
+      return "spade";
+    case telemetry::EventKind::kFaultInjected:
+    case telemetry::EventKind::kFaultRecovered:
+      return "fault";
+    case telemetry::EventKind::kSpanOpen:
+    case telemetry::EventKind::kSpanClose:
+      return "span";
+    case telemetry::EventKind::kWindowOpen:
+    case telemetry::EventKind::kWindowClose:
+      return "window";
+    case telemetry::EventKind::kHealthBreach:
+    case telemetry::EventKind::kDeviceQuarantined:
+    case telemetry::EventKind::kDeviceReattached:
+    case telemetry::EventKind::kDeviceDetached:
+    case telemetry::EventKind::kDeviceFencedAccess:
+      return "recovery";
+    case telemetry::EventKind::kNvmeSubmit:
+    case telemetry::EventKind::kNvmeComplete:
+    case telemetry::EventKind::kNvmeCompletionError:
+    case telemetry::EventKind::kNvmeQueueReset:
+    case telemetry::EventKind::kNvmePollDeadline:
+      return "nvme";
+  }
+  return "unknown";
+}
+
+// --filter origin=<name>: keep only rows from that subsystem's story.
+// `origin=fault` keeps its historical wide net — the engine's own events plus
+// recovery/drop accounting published on its behalf (kNicRxError, fault:*
+// sites) — so existing invocations keep seeing the full injection story.
+bool MatchesOrigin(const telemetry::Event& event, const std::string& origin) {
+  if (origin == "fault") {
+    return event.kind == telemetry::EventKind::kFaultInjected ||
+           event.kind == telemetry::EventKind::kFaultRecovered ||
+           event.kind == telemetry::EventKind::kNicRxError ||
+           event.site.rfind("fault:", 0) == 0;
+  }
+  return origin == EventOrigin(event);
 }
 
 struct Options {
   std::string format = "timeline";
   telemetry::Severity min_severity = telemetry::Severity::kTrace;
   size_t limit = SIZE_MAX;
-  bool fault_only = false;
+  std::string origin;  // empty = no origin filter
+  bool list_origins = false;
   uint64_t span_root = 0;  // 0 = no subtree filter
 };
+
+// --list-origins: enumerate the origins present in the capture with event
+// counts, so `--filter origin=...` is discoverable without reading the code.
+int ListOrigins(const std::vector<telemetry::Event>& events) {
+  std::map<std::string, size_t> counts;
+  for (const telemetry::Event& event : events) {
+    ++counts[EventOrigin(event)];
+  }
+  for (const auto& [origin, count] : counts) {
+    std::printf("%-10s %zu events\n", origin.c_str(), count);
+  }
+  std::printf("\n%zu events total; replay one story with --filter origin=<name>\n",
+              events.size());
+  return 0;
+}
 
 int Timeline(const std::vector<telemetry::Event>& events, const Options& opts,
              const std::unordered_set<uint64_t>& mask) {
@@ -176,7 +286,8 @@ int Timeline(const std::vector<telemetry::Event>& events, const Options& opts,
     if (shown >= opts.limit) {
       break;
     }
-    if (event.severity < opts.min_severity || (opts.fault_only && !IsFaultEvent(event)) ||
+    if (event.severity < opts.min_severity ||
+        (!opts.origin.empty() && !MatchesOrigin(event, opts.origin)) ||
         (!mask.empty() && mask.count(event.span) == 0)) {
       ++skipped;
       continue;
@@ -212,6 +323,9 @@ int Render(const std::string& csv, const Options& opts) {
     return 1;
   }
   const std::vector<telemetry::Event> events = telemetry::ParseTraceCsv(csv);
+  if (opts.list_origins) {
+    return ListOrigins(events);
+  }
 
   std::unordered_set<uint64_t> mask;
   trace::SpanForest forest;
@@ -302,12 +416,15 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--filter" && i + 1 < argc) {
       const std::string filter = argv[++i];
-      if (filter != "origin=fault") {
-        std::fprintf(stderr, "unknown filter: %s (supported: origin=fault)\n",
+      if (filter.rfind("origin=", 0) != 0 || filter.size() == 7) {
+        std::fprintf(stderr,
+                     "unknown filter: %s (syntax: origin=<name>; see --list-origins)\n",
                      filter.c_str());
         return 1;
       }
-      opts.fault_only = true;
+      opts.origin = filter.substr(7);
+    } else if (arg == "--list-origins") {
+      opts.list_origins = true;
     } else if (arg == "--min-severity" && i + 1 < argc) {
       auto severity = telemetry::SeverityFromName(argv[++i]);
       if (!severity.has_value()) {
@@ -321,8 +438,18 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: trace <trace.csv> [--format timeline|chrome|flame] [--span ID]\n"
           "             [--min-severity trace|info|warn|critical] [--limit N]\n"
-          "             [--filter origin=fault]\n"
-          "       trace --demo [--format ...]\n");
+          "             [--filter origin=<name>] [--list-origins]\n"
+          "       trace --demo [--format ...]\n"
+          "\n"
+          "filter syntax:\n"
+          "  --filter origin=<name>  keep only events from one subsystem's story.\n"
+          "                          Origins: dma, iommu, alloc, nic, nvme, stack,\n"
+          "                          fault, recovery, span, window, attack, dkasan,\n"
+          "                          spade. origin=fault additionally keeps the\n"
+          "                          recovery/drop accounting published on the\n"
+          "                          engine's behalf (kNicRxError, fault:* sites).\n"
+          "  --list-origins          enumerate the origins present in the capture\n"
+          "                          (with event counts) instead of rendering it.\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
