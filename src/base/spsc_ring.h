@@ -1,0 +1,69 @@
+// Bounded wait-free single-producer / single-consumer ring.
+//
+// The kThreads telemetry path: each sim CPU (producer) pushes Events into its
+// own SpscRing; one drainer thread (consumer) merges all rings into the Hub's
+// sequential dispatch. Push and pop are one load + one store each with
+// acquire/release pairing on the opposing index — no locks, no CAS loops, so
+// the hot path stays wait-free. A full ring fails the push (the caller
+// accounts the drop); it never blocks and never overwrites.
+
+#ifndef SPV_BASE_SPSC_RING_H_
+#define SPV_BASE_SPSC_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace spv {
+
+template <typename T>
+class SpscRing {
+ public:
+  // `capacity` is rounded up to a power of two (index masking on the ring).
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. Returns false (and leaves `v` untouched) when full.
+  bool TryPush(T&& v) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) {
+      return false;
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == head) {
+      return false;
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producer cursor
+};
+
+}  // namespace spv
+
+#endif  // SPV_BASE_SPSC_RING_H_

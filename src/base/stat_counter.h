@@ -1,0 +1,62 @@
+// A statistics counter that is safe to bump from concurrent sim CPUs.
+//
+// Every Stats struct in the simulator (Iommu::Stats, IovaAllocator::Stats,
+// ...) is written on hot paths that kThreads mode runs from several worker
+// threads at once. StatCounter is a relaxed std::atomic<uint64_t> that still
+// reads like a plain integer at every existing call site: implicit
+// conversion on read, ++/+= on write. Relaxed ordering is sufficient —
+// counters are statistics, never synchronization — and costs one locked add,
+// which does not perturb the simulated-cycle cost model (the logical clock
+// only advances where components advance it explicitly).
+
+#ifndef SPV_BASE_STAT_COUNTER_H_
+#define SPV_BASE_STAT_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace spv {
+
+class StatCounter {
+ public:
+  StatCounter() = default;
+  StatCounter(uint64_t v) : v_(v) {}  // NOLINT(google-explicit-constructor)
+  StatCounter(const StatCounter& other) : v_(other.load()) {}
+  StatCounter& operator=(const StatCounter& other) {
+    v_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator=(uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  operator uint64_t() const { return load(); }  // NOLINT(google-explicit-constructor)
+  uint64_t load() const { return v_.load(std::memory_order_relaxed); }
+
+  StatCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t operator++(int) { return v_.fetch_add(1, std::memory_order_relaxed); }
+  StatCounter& operator--() {
+    v_.fetch_sub(1, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t operator--(int) { return v_.fetch_sub(1, std::memory_order_relaxed); }
+  StatCounter& operator+=(uint64_t n) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator-=(uint64_t n) {
+    v_.fetch_sub(n, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+}  // namespace spv
+
+#endif  // SPV_BASE_STAT_COUNTER_H_

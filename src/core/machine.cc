@@ -3,6 +3,7 @@
 #include <cassert>
 #include <set>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 namespace spv::core {
@@ -24,7 +25,9 @@ Machine::Machine(const MachineConfig& config)
       layout_(MakeLayout(config, rng_)) {
   assert(config.kernel_image_pages < config.phys_pages);
   hub_.BindClock(&clock_);
-  if (config.trace.enabled) {
+  // Span tracing keeps a single current-span register, which only makes sense
+  // with one thread of execution; kThreads runs forgo it.
+  if (config.trace.enabled && config.exec != ExecMode::kThreads) {
     tracer_ = std::make_unique<trace::Tracer>(hub_, clock_, config.trace);
     if (config.trace.track_windows) {
       trace::WindowTracker::Config window_config;
@@ -73,6 +76,53 @@ Machine::Machine(const MachineConfig& config)
   page_alloc_->set_fault_engine(&fault_);
   iommu_->set_fault_engine(&fault_);
   slab_->set_fault_engine(&fault_);
+
+  if (config.exec == ExecMode::kThreads) {
+    // Bring-up for worker threads, before any of them exists (every engage
+    // is one-way and must precede concurrency). Order: clock first so every
+    // later event stamps from per-CPU counters, then telemetry ingest, then
+    // the layers from the IOMMU outwards.
+    const uint32_t cpus = num_cpus() == 0 ? 1 : num_cpus();
+    clock_.EnablePerCpu(cpus);
+    hub_.EnableMt(cpus);
+    iommu_->EngageThreadSafety(cpus);
+    dma_->EngageLock();
+    page_alloc_->EngageLock();
+    slab_->EngageLock();
+    fault_.EngageLock();
+    // Materialize every CPU's page_frag pool now: the lazy path mutates the
+    // pool vector, which must not happen once workers run.
+    frag_pool(CpuId{cpus - 1});
+  }
+}
+
+void Machine::RunOnCpus(uint32_t cpus, const std::function<void(CpuId)>& fn) {
+  const uint32_t limit = num_cpus() == 0 ? 1 : num_cpus();
+  if (cpus == 0 || cpus > limit) {
+    cpus = limit;
+  }
+  if (config_.exec == ExecMode::kSequential) {
+    for (uint32_t c = 0; c < cpus; ++c) {
+      SetCurrentCpu(CpuId{c});
+      fn(CpuId{c});
+    }
+    SetCurrentCpu(CpuId{0});
+    return;
+  }
+  hub_.StartDrainer();
+  std::vector<std::thread> workers;
+  workers.reserve(cpus);
+  for (uint32_t c = 0; c < cpus; ++c) {
+    workers.emplace_back([c, &fn] {
+      SetCurrentCpu(CpuId{c});
+      fn(CpuId{c});
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  hub_.StopDrainer();  // final drain: all published events are recorded
+  SetCurrentCpu(CpuId{0});
 }
 
 slab::PageFragPool& Machine::frag_pool(CpuId cpu) {
@@ -93,10 +143,15 @@ net::NicDriver& Machine::AddNicDriver(const net::NicDriver::Config& config) {
   frag_pool(config.cpu);  // ensure the per-CPU pool exists and is registered
   drivers_.push_back(std::make_unique<net::NicDriver>(device, *dma_, *kmem_, *skb_alloc_,
                                                       clock_, config));
-  drivers_.back()->set_fault_engine(&fault_);
-  drivers_.back()->set_tracer(tracer_.get());
+  net::NicDriver& driver = *drivers_.back();
+  // Multi-queue: every queue's CPU needs its pool before workers run.
+  for (uint32_t q = 0; q < driver.num_queues(); ++q) {
+    frag_pool(driver.queue_cpu(q));
+  }
+  driver.set_fault_engine(&fault_);
+  driver.set_tracer(tracer_.get());
   recovery_->RegisterDevice(device, drivers_.back().get());
-  return *drivers_.back();
+  return driver;
 }
 
 nvme::NvmeDriver& Machine::AddNvmeDriver(const nvme::NvmeDriver::Config& config) {
@@ -219,6 +274,14 @@ Status Machine::CheckInvariants() const {
     return Internal("invariant: PageDb counts " + std::to_string(db_free) +
                     " free pages but the allocator reports " +
                     std::to_string(page_alloc_->free_pages()));
+  }
+
+  // (5) Cross-CPU IOMMU state: flush-shard liveness and magazine ownership.
+  SPV_RETURN_IF_ERROR(iommu_->AuditCrossCpu());
+
+  // (6) Per-queue NIC ring accounting against the DMA tracker.
+  for (const auto& driver : drivers_) {
+    SPV_RETURN_IF_ERROR(driver->AuditQueues());
   }
   return OkStatus();
 }

@@ -10,10 +10,12 @@
 #define SPV_CORE_MACHINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "base/clock.h"
+#include "base/exec.h"
 #include "base/rng.h"
 #include "base/status.h"
 #include "base/types.h"
@@ -39,6 +41,14 @@
 namespace spv::core {
 
 struct MachineConfig {
+  // How the machine executes multi-CPU work (RunOnCpus):
+  //   * kSequential (default) — one host thread, deterministic, byte-identical
+  //     to the historical single-threaded machine;
+  //   * kThreads — one host worker per sim CPU. Bring-up engages every
+  //     layer's locks, shards the IOMMU flush queue per CPU, switches the
+  //     clock to per-CPU counters and telemetry ingest to SPSC rings.
+  // The CPU count is config.iommu.fast_path.num_cpus in both modes.
+  ExecMode exec = ExecMode::kSequential;
   uint64_t phys_pages = 16384;  // 64 MiB of simulated RAM
   uint64_t kernel_image_pages = 1024;  // reserved at the bottom of RAM
   bool kaslr = true;
@@ -89,6 +99,16 @@ class Machine {
   void set_current_cpu(CpuId cpu) { dma_->set_current_cpu(cpu); }
   CpuId current_cpu() const { return iommu_->current_cpu(); }
 
+  ExecMode exec_mode() const { return config_.exec; }
+  uint32_t num_cpus() const { return config_.iommu.fast_path.num_cpus; }
+
+  // Runs `fn(cpu)` for sim CPUs [0, cpus). In kSequential mode the CPUs run
+  // one after another on the calling thread (deterministic); in kThreads mode
+  // each CPU gets its own host worker thread and the telemetry drainer runs
+  // for the duration. Either way the ambient CPU is set for each body and
+  // restored to CPU 0 afterwards. `cpus` is clamped to num_cpus().
+  void RunOnCpus(uint32_t cpus, const std::function<void(CpuId)>& fn);
+
   // ---- Component access ------------------------------------------------------
 
   SimClock& clock() { return clock_; }
@@ -121,7 +141,11 @@ class Machine {
   // live IOVA allocation (no leaked translations), (3) every stale IOTLB
   // entry is covered by a pending deferred invalidation (the legitimate
   // Fig 6 window, as opposed to a lost one), and (4) PageDb ownership agrees
-  // with the page allocator's free count. No-op when the IOMMU is disabled.
+  // with the page allocator's free count. Cross-CPU coverage: (5) the IOMMU's
+  // sharded flush queues and per-CPU magazines are internally consistent
+  // (Iommu::AuditCrossCpu), and (6) every NIC queue's posted RX / busy TX
+  // slots are backed by live DMA mappings (NicDriver::AuditQueues). No-op
+  // when the IOMMU is disabled.
   Status CheckInvariants() const;
 
   const MachineConfig& config() const { return config_; }

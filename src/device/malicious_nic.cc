@@ -32,6 +32,21 @@ Result<uint32_t> MaliciousNic::InjectRx(const net::PacketHeader& header,
   return descriptor.index;
 }
 
+Result<net::RxPostedDescriptor> MaliciousNic::InjectRxOn(uint32_t queue,
+                                                         const net::PacketHeader& header,
+                                                         std::span<const uint8_t> payload) {
+  for (auto it = rx_posted_.begin(); it != rx_posted_.end(); ++it) {
+    if (it->queue != queue) {
+      continue;
+    }
+    const net::RxPostedDescriptor descriptor = *it;
+    rx_posted_.erase(it);
+    SPV_RETURN_IF_ERROR(WriteWirePacket(descriptor.iova, header, payload));
+    return descriptor;
+  }
+  return Unavailable("no posted RX descriptors on queue");
+}
+
 Result<std::vector<uint64_t>> MaliciousNic::HarvestReadableQwords() {
   std::vector<uint64_t> harvest;
   for (const net::TxPostedDescriptor& descriptor : tx_posted_) {

@@ -63,6 +63,12 @@ class MaliciousNic : public net::NicDeviceModel {
   // posted RX descriptor. Returns the descriptor index (the "interrupt").
   Result<uint32_t> InjectRx(const net::PacketHeader& header, std::span<const uint8_t> payload);
 
+  // The same, but into the oldest descriptor posted by a specific RX queue —
+  // how a multi-queue device lands an RSS-steered flow on its chosen CPU.
+  // Returns the consumed descriptor (queue + index) for the completion call.
+  Result<net::RxPostedDescriptor> InjectRxOn(uint32_t queue, const net::PacketHeader& header,
+                                             std::span<const uint8_t> payload);
+
   // The same, but into a *specific* posted descriptor.
   Status WriteWirePacket(Iova iova, const net::PacketHeader& header,
                          std::span<const uint8_t> payload);

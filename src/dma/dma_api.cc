@@ -1,6 +1,7 @@
 #include "dma/dma_api.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace spv::dma {
 
@@ -35,6 +36,7 @@ DmaApi::DmaApi(iommu::Iommu& iommu, const mem::KernelLayout& layout, telemetry::
       hub_(hub) {}
 
 void DmaApi::TrackMapping(const IovaKey& key, const DmaMapping& mapping) {
+  std::lock_guard<MaybeMutex> guard(mu_);
   if (use_hash_index_) {
     index_.InsertOrAssign(key.device, key.iova_page, mapping);
   } else {
@@ -51,6 +53,7 @@ const DmaMapping* DmaApi::LookupMapping(const IovaKey& key) const {
 }
 
 void DmaApi::ForgetMapping(const IovaKey& key) {
+  std::lock_guard<MaybeMutex> guard(mu_);
   if (use_hash_index_) {
     index_.Erase(key.device, key.iova_page);
   } else {
@@ -97,11 +100,15 @@ Result<Iova> DmaApi::MapSingle(DeviceId device, Kva kva, uint64_t len, DmaDirect
 Status DmaApi::UnmapSingle(DeviceId device, Iova iova, uint64_t len, DmaDirection dir) {
   trace::ScopedSpan span(tracer_, "dma.unmap_single");
   const IovaKey key{device.value, iova.PageBase().value >> kPageShift};
-  const DmaMapping* found = LookupMapping(key);
-  if (found == nullptr) {
-    return FailedPrecondition("dma_unmap_single of unmapped IOVA");
+  DmaMapping mapping;
+  {
+    std::lock_guard<MaybeMutex> guard(mu_);
+    const DmaMapping* found = LookupMapping(key);
+    if (found == nullptr) {
+      return FailedPrecondition("dma_unmap_single of unmapped IOVA");
+    }
+    mapping = *found;
   }
-  const DmaMapping mapping = *found;
   if (mapping.len != len || mapping.dir != dir) {
     return InvalidArgument("dma_unmap_single with mismatched length or direction");
   }
@@ -200,6 +207,7 @@ Status DmaApi::UnmapSg(DeviceId device, std::span<const Iova> iovas,
 }
 
 std::vector<DmaMapping> DmaApi::MappingsForPfn(Pfn pfn) const {
+  std::lock_guard<MaybeMutex> guard(mu_);
   std::vector<DmaMapping> out;
   const auto collect = [&](const DmaMapping& mapping) {
     auto phys = layout_.DirectMapKvaToPhys(mapping.kva);
@@ -228,6 +236,7 @@ std::vector<DmaMapping> DmaApi::MappingsForPfn(Pfn pfn) const {
 }
 
 void DmaApi::ForEachMapping(const std::function<void(const DmaMapping&)>& fn) const {
+  std::lock_guard<MaybeMutex> guard(mu_);
   if (use_hash_index_) {
     // The flat table iterates in probe order; sort for a deterministic visit.
     std::vector<DmaMapping> all;
@@ -246,6 +255,7 @@ void DmaApi::ForEachMapping(const std::function<void(const DmaMapping&)>& fn) co
 }
 
 std::optional<DmaMapping> DmaApi::FindMapping(DeviceId device, Iova iova) const {
+  std::lock_guard<MaybeMutex> guard(mu_);
   const DmaMapping* found =
       LookupMapping(IovaKey{device.value, iova.PageBase().value >> kPageShift});
   if (found == nullptr) {

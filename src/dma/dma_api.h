@@ -25,12 +25,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "base/maybe_mutex.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "dma/mapping_index.h"
@@ -122,8 +124,14 @@ class DmaApi {
   // which tracker store is active. For audits (Machine::CheckInvariants).
   void ForEachMapping(const std::function<void(const DmaMapping&)>& fn) const;
   uint64_t live_mappings() const {
+    std::lock_guard<MaybeMutex> guard(mu_);
     return use_hash_index_ ? index_.size() : by_iova_.size();
   }
+
+  // Engages the tracker lock for ExecMode::kThreads (one-way, pre-
+  // concurrency). Only the mapping tracker needs it — the IOMMU beneath has
+  // its own engaged locks, and observer sinks dispatch on the Hub drainer.
+  void EngageLock() { mu_.Engage(); }
 
   // The CPU the simulated kernel runs map/unmap calls on; forwarded to the
   // IOMMU so IOVA magazine traffic lands in that CPU's caches.
@@ -170,6 +178,9 @@ class DmaApi {
   iommu::Iommu& iommu_;
   const mem::KernelLayout& layout_;
   bool use_hash_index_;
+  // Guards the mapping tracker (index_ / by_iova_) when engaged; map/unmap
+  // hold it only around tracker ops, never across IOMMU calls.
+  mutable MaybeMutex mu_;
   MappingIndex<DmaMapping> index_;          // fast path: open-addressed, O(1)
   std::map<IovaKey, DmaMapping> by_iova_;   // slow path (hash_index_enabled=false)
   telemetry::Hub* hub_;

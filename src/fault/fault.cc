@@ -1,5 +1,6 @@
 #include "fault/fault.h"
 
+#include <mutex>
 #include <string>
 
 #include "base/rng.h"
@@ -126,6 +127,7 @@ bool FaultEngine::ShouldInject(FaultSite site) {
   if (!armed_) {
     return false;
   }
+  std::lock_guard<MaybeMutex> guard(mu_);
   const size_t index = static_cast<size_t>(site);
   const FaultTrigger& trigger = plan_.trigger(site);
   SiteStats& stats = stats_[index];

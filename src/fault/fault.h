@@ -32,9 +32,12 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string_view>
 
+#include "base/maybe_mutex.h"
+#include "base/stat_counter.h"
 #include "telemetry/telemetry.h"
 
 namespace spv::fault {
@@ -117,8 +120,8 @@ class FaultPlan {
 class FaultEngine {
  public:
   struct SiteStats {
-    uint64_t arms = 0;        // times the site asked "should I fail?"
-    uint64_t injections = 0;  // times the answer was yes
+    StatCounter arms;        // times the site asked "should I fail?"
+    StatCounter injections;  // times the answer was yes
   };
 
   FaultEngine() = default;
@@ -143,6 +146,11 @@ class FaultEngine {
   // (nullptr detaches).
   void set_telemetry(telemetry::Hub* hub) { hub_ = hub; }
 
+  // Engages the decision lock for ExecMode::kThreads (one-way): every site
+  // draws from a shared per-site RNG stream and arm counter, so concurrent
+  // ShouldInject calls must serialize to stay a pure function of the seed.
+  void EngageLock() { mu_.Engage(); }
+
   const SiteStats& site_stats(FaultSite site) const {
     return stats_[static_cast<size_t>(site)];
   }
@@ -151,6 +159,7 @@ class FaultEngine {
  private:
   bool armed_ = false;
   FaultPlan plan_;
+  mutable MaybeMutex mu_;  // guards rng_ (and arm ordering) when engaged
   std::array<uint64_t, kNumFaultSites> rng_{};  // SplitMix64 state per site
   std::array<SiteStats, kNumFaultSites> stats_{};
   telemetry::Hub* hub_ = nullptr;

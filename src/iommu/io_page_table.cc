@@ -1,5 +1,7 @@
 #include "iommu/io_page_table.h"
 
+#include <mutex>
+
 namespace spv::iommu {
 
 void IoPageTable::set_telemetry(telemetry::Hub* hub) {
@@ -16,6 +18,7 @@ Status IoPageTable::Map(Iova iova, Pfn pfn, AccessRights rights) {
   if (rights == AccessRights::kNone) {
     return InvalidArgument("mapping with no access rights");
   }
+  std::lock_guard<MaybeMutex> guard(mu_);
   if (!root_) {
     root_ = std::make_unique<Node>();
   }
@@ -37,6 +40,7 @@ Status IoPageTable::Map(Iova iova, Pfn pfn, AccessRights rights) {
 }
 
 Result<PteEntry> IoPageTable::Unmap(Iova iova) {
+  std::lock_guard<MaybeMutex> guard(mu_);
   if (!root_) {
     return NotFound("IOVA page not mapped");
   }
@@ -85,6 +89,7 @@ const IoPageTable::Node* IoPageTable::WalkToLeaf(Iova iova, int* levels) const {
 }
 
 std::optional<PteEntry> IoPageTable::Lookup(Iova iova, int* walk_levels) const {
+  std::lock_guard<MaybeMutex> guard(mu_);
   if (walk_cache_enabled_) {
     const uint64_t region = RegionOf(iova);
     const WalkCacheEntry& slot = walk_cache_[region % kWalkCacheSlots];
@@ -119,6 +124,7 @@ std::optional<PteEntry> IoPageTable::Lookup(Iova iova, int* walk_levels) const {
 }
 
 std::optional<PteEntry> IoPageTable::PeekTranslation(Iova iova) const {
+  std::lock_guard<MaybeMutex> guard(mu_);
   int levels = 0;
   const Node* leaf = WalkToLeaf(iova, &levels);
   if (leaf == nullptr) {
@@ -131,6 +137,7 @@ void IoPageTable::InvalidateWalkCache() {
   if (!walk_cache_enabled_) {
     return;
   }
+  std::lock_guard<MaybeMutex> guard(mu_);
   for (WalkCacheEntry& slot : walk_cache_) {
     if (slot.leaf != nullptr) {
       ++walk_cache_stats_.invalidations;
@@ -140,6 +147,7 @@ void IoPageTable::InvalidateWalkCache() {
 }
 
 std::vector<Iova> IoPageTable::FindIovasForPfn(Pfn pfn) const {
+  std::lock_guard<MaybeMutex> guard(mu_);
   std::vector<Iova> out;
   if (root_) {
     Collect(*root_, kLevels - 1, 0, pfn, out);
@@ -148,6 +156,7 @@ std::vector<Iova> IoPageTable::FindIovasForPfn(Pfn pfn) const {
 }
 
 std::vector<std::pair<Iova, PteEntry>> IoPageTable::AllMappings() const {
+  std::lock_guard<MaybeMutex> guard(mu_);
   std::vector<std::pair<Iova, PteEntry>> out;
   if (!root_) {
     return out;

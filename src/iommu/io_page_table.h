@@ -10,10 +10,13 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "base/maybe_mutex.h"
+#include "base/stat_counter.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "iommu/access_rights.h"
@@ -37,9 +40,9 @@ class IoPageTable {
   static constexpr size_t kWalkCacheSlots = 64;
 
   struct WalkCacheStats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t invalidations = 0;
+    StatCounter hits;
+    StatCounter misses;
+    StatCounter invalidations;
   };
 
   explicit IoPageTable(bool walk_cache_enabled = true)
@@ -72,6 +75,11 @@ class IoPageTable {
 
   // Publishes walk-cache hit/miss counters to `hub` (nullptr detaches).
   void set_telemetry(telemetry::Hub* hub);
+
+  // Engages the internal lock for ExecMode::kThreads. Even const Lookup
+  // mutates (walk-cache fill), so every walk takes the lock once engaged;
+  // sequential mode pays a branch. One-way, pre-concurrency.
+  void EngageLock() { mu_.Engage(); }
 
   // All currently mapped IOVA pages translating to `pfn` (type (c) probe).
   std::vector<Iova> FindIovasForPfn(Pfn pfn) const;
@@ -109,7 +117,9 @@ class IoPageTable {
   };
 
   std::unique_ptr<Node> root_;
-  uint64_t mapped_pages_ = 0;
+  // Guards the radix tree and the walk cache when engaged (kThreads).
+  mutable MaybeMutex mu_;
+  StatCounter mapped_pages_;
   bool walk_cache_enabled_;
   // Leaf nodes are never destroyed while the table lives (Unmap only clears
   // entries), so a cached pointer can never dangle; invalidation models the

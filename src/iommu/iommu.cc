@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
+#include <shared_mutex>
 
 #include "fault/fault.h"
 
@@ -20,7 +22,30 @@ std::string_view FlushReasonName(FlushReason reason) {
 }
 
 Iommu::Iommu(mem::PhysicalMemory& pm, SimClock& clock, Config config)
-    : pm_(pm), clock_(clock), config_(config), iotlb_(config.iotlb_capacity) {}
+    : pm_(pm), clock_(clock), config_(config), iotlb_(config.iotlb_capacity) {
+  // Sequential mode: one shard == the legacy global flush queue.
+  flush_shards_.push_back(std::make_unique<FlushShard>());
+}
+
+void Iommu::EngageThreadSafety(uint32_t num_cpus) {
+  assert(!threaded_);
+  threaded_ = true;
+  const uint32_t shards = std::max<uint32_t>(num_cpus, 1);
+  assert(flush_shards_.size() == 1 && flush_shards_[0]->queue.empty() &&
+         "reshard before any deferred traffic");
+  flush_shards_.clear();
+  for (uint32_t i = 0; i < shards; ++i) {
+    flush_shards_.push_back(std::make_unique<FlushShard>());
+    flush_shards_.back()->mu.Engage();
+  }
+  state_mu_.Engage();
+  faults_mu_.Engage();
+  iotlb_.EngageLock();
+  for (auto& [id, domain] : device_domain_) {
+    domain->table.EngageLock();
+    domain->iova_alloc.EngageLock();
+  }
+}
 
 void Iommu::set_telemetry(telemetry::Hub* hub) {
   hub_ = hub;
@@ -32,6 +57,7 @@ void Iommu::set_telemetry(telemetry::Hub* hub) {
 }
 
 void Iommu::AttachDevice(DeviceId device) {
+  std::lock_guard<MaybeSharedMutex> lock(state_mu_);
   if (device_domain_.contains(device.value)) {
     return;
   }
@@ -43,10 +69,15 @@ void Iommu::AttachDevice(DeviceId device) {
   domain->id = next_domain_id_++;
   domain->iova_alloc.set_telemetry(hub_);
   domain->table.set_telemetry(hub_);
+  if (threaded_) {
+    domain->table.EngageLock();
+    domain->iova_alloc.EngageLock();
+  }
   device_domain_[device.value] = std::move(domain);
 }
 
 Status Iommu::AttachDeviceToDomainOf(DeviceId device, DeviceId domain_owner) {
+  std::lock_guard<MaybeSharedMutex> lock(state_mu_);
   auto owner_it = device_domain_.find(domain_owner.value);
   if (owner_it == device_domain_.end()) {
     return NotFound("domain owner not attached");
@@ -58,32 +89,64 @@ Status Iommu::AttachDeviceToDomainOf(DeviceId device, DeviceId domain_owner) {
   return OkStatus();
 }
 
+bool Iommu::IsAttached(DeviceId device) const {
+  std::shared_lock<MaybeSharedMutex> lock(state_mu_);
+  return device_domain_.contains(device.value);
+}
+
+bool Iommu::IsFenced(DeviceId device) const {
+  std::shared_lock<MaybeSharedMutex> lock(state_mu_);
+  return fenced_.contains(device.value);
+}
+
+bool Iommu::IsRevoked(DeviceId device) const {
+  std::shared_lock<MaybeSharedMutex> lock(state_mu_);
+  return revoked_.contains(device.value);
+}
+
 bool Iommu::SameDomain(DeviceId a, DeviceId b) const {
+  std::shared_lock<MaybeSharedMutex> lock(state_mu_);
   auto ia = device_domain_.find(a.value);
   auto ib = device_domain_.find(b.value);
   return ia != device_domain_.end() && ib != device_domain_.end() &&
          ia->second == ib->second;
 }
 
+Iommu::DeviceRef Iommu::Resolve(DeviceId device) const {
+  std::shared_lock<MaybeSharedMutex> lock(state_mu_);
+  DeviceRef ref;
+  auto it = device_domain_.find(device.value);
+  if (it != device_domain_.end()) {
+    ref.domain = it->second;
+  }
+  ref.fenced = fenced_.contains(device.value);
+  ref.revoked = revoked_.contains(device.value);
+  return ref;
+}
+
 Status Iommu::FenceDevice(DeviceId device) {
-  Domain* state = FindDevice(device);
-  if (state == nullptr) {
+  DeviceRef ref = Resolve(device);
+  if (ref.domain == nullptr) {
     return NotFound("device not attached to IOMMU");
   }
-  if (fenced_.contains(device.value)) {
+  if (ref.fenced) {
     return OkStatus();  // idempotent: already quarantined
   }
   trace::ScopedSpan span(tracer_, "iommu.fence_device");
-  // Order matters: first retire this device's deferred unmaps (their parked
-  // IOVAs come home, their stale IOTLB pages die), then drop every remaining
-  // cached translation for the domain so no warm entry survives the fence.
+  // Order matters: first retire this device's deferred unmaps in *every*
+  // CPU's shard (their parked IOVAs come home, their stale IOTLB pages die),
+  // then drop every remaining cached translation for the domain so no warm
+  // entry survives the fence.
   DrainDeviceInvalidations(device);
-  iotlb_.InvalidateDevice(DeviceId{state->id});
-  state->table.InvalidateWalkCache();
+  iotlb_.InvalidateDevice(DeviceId{ref.domain->id});
+  ref.domain->table.InvalidateWalkCache();
   clock_.Advance(kIotlbInvalidationCycles);
   stats_.invalidation_cycles += kIotlbInvalidationCycles;
-  fenced_.insert(device.value);
-  revoked_.insert(device.value);
+  {
+    std::lock_guard<MaybeSharedMutex> lock(state_mu_);
+    fenced_.insert(device.value);
+    revoked_.insert(device.value);
+  }
   ++stats_.device_fences;
   if (hub_ != nullptr && hub_->enabled()) {
     hub_->counter("iommu.device_fences").Add();
@@ -92,7 +155,8 @@ Status Iommu::FenceDevice(DeviceId device) {
 }
 
 Status Iommu::UnfenceDevice(DeviceId device) {
-  if (FindDevice(device) == nullptr) {
+  std::lock_guard<MaybeSharedMutex> lock(state_mu_);
+  if (!device_domain_.contains(device.value)) {
     return NotFound("device not attached to IOMMU");
   }
   fenced_.erase(device.value);
@@ -101,30 +165,37 @@ Status Iommu::UnfenceDevice(DeviceId device) {
 }
 
 uint64_t Iommu::DrainDeviceInvalidations(DeviceId device) {
-  Domain* state = FindDevice(device);
+  DeviceRef ref = Resolve(device);
+  Domain* state = ref.domain.get();
   uint64_t drained = 0;
-  std::deque<PendingInvalidation> keep;
-  for (PendingInvalidation& pending : flush_queue_) {
-    if (pending.device.value != device.value) {
-      keep.push_back(pending);
-      continue;
-    }
-    ++drained;
-    stats_.drained_device_entries += 1;
-    if (state != nullptr) {
-      // Kill the stale IOTLB pages *before* the IOVAs become reusable —
-      // freeing first would let a recycled IOVA translate through the
-      // still-warm stale entry (the exact window quarantine must close).
-      for (uint64_t i = 0; i < pending.pages; ++i) {
-        iotlb_.InvalidatePage(DeviceId{state->id}, pending.base + (i << kPageShift));
-        clock_.Advance(kIotlbInvalidationCycles);
-        stats_.invalidation_cycles += kIotlbInvalidationCycles;
-        ++stats_.targeted_invalidations;
+  for (auto& shard_ptr : flush_shards_) {
+    FlushShard& shard = *shard_ptr;
+    std::deque<PendingInvalidation> mine;
+    {
+      std::lock_guard<MaybeMutex> lock(shard.mu);
+      std::deque<PendingInvalidation> keep;
+      for (PendingInvalidation& pending : shard.queue) {
+        (pending.device.value == device.value ? mine : keep).push_back(pending);
       }
-      (void)state->iova_alloc.Free(pending.base, pending.pages, pending.cpu);
+      shard.queue.swap(keep);
+    }
+    for (const PendingInvalidation& pending : mine) {
+      ++drained;
+      stats_.drained_device_entries += 1;
+      if (state != nullptr) {
+        // Kill the stale IOTLB pages *before* the IOVAs become reusable —
+        // freeing first would let a recycled IOVA translate through the
+        // still-warm stale entry (the exact window quarantine must close).
+        for (uint64_t i = 0; i < pending.pages; ++i) {
+          iotlb_.InvalidatePage(DeviceId{state->id}, pending.base + (i << kPageShift));
+          clock_.Advance(kIotlbInvalidationCycles);
+          stats_.invalidation_cycles += kIotlbInvalidationCycles;
+          ++stats_.targeted_invalidations;
+        }
+        (void)state->iova_alloc.Free(pending.base, pending.pages, pending.cpu);
+      }
     }
   }
-  flush_queue_.swap(keep);
   if (drained != 0 && hub_ != nullptr && hub_->enabled()) {
     hub_->counter("iommu.drained_device_entries").Add(drained);
   }
@@ -132,21 +203,26 @@ uint64_t Iommu::DrainDeviceInvalidations(DeviceId device) {
 }
 
 Status Iommu::DetachDevice(DeviceId device) {
-  auto it = device_domain_.find(device.value);
-  if (it == device_domain_.end()) {
-    // Idempotent for devices we detached earlier; never-attached is an error.
-    return revoked_.contains(device.value)
-               ? OkStatus()
-               : NotFound("device not attached to IOMMU");
+  {
+    std::shared_lock<MaybeSharedMutex> lock(state_mu_);
+    if (!device_domain_.contains(device.value)) {
+      // Idempotent for devices we detached earlier; never-attached is an error.
+      return revoked_.contains(device.value)
+                 ? OkStatus()
+                 : NotFound("device not attached to IOMMU");
+    }
   }
   trace::ScopedSpan span(tracer_, "iommu.detach_device");
   SPV_RETURN_IF_ERROR(FenceDevice(device));
-  // Drop the device's domain membership. A shared domain survives through the
-  // other members' shared_ptr refs — their PTEs and IOVA ranges are theirs,
-  // not ours to tear down.
-  device_domain_.erase(it);
-  fenced_.erase(device.value);   // no longer attached, nothing left to fence
-  revoked_.insert(device.value);  // but the revocation memory persists
+  {
+    // Drop the device's domain membership. A shared domain survives through
+    // the other members' shared_ptr refs — their PTEs and IOVA ranges are
+    // theirs, not ours to tear down.
+    std::lock_guard<MaybeSharedMutex> lock(state_mu_);
+    device_domain_.erase(device.value);
+    fenced_.erase(device.value);   // no longer attached, nothing left to fence
+    revoked_.insert(device.value);  // but the revocation memory persists
+  }
   ++stats_.device_detaches;
   if (hub_ != nullptr && hub_->enabled()) {
     hub_->counter("iommu.device_detaches").Add();
@@ -171,16 +247,6 @@ void Iommu::NoteFencedAccess(DeviceId device, Iova iova, std::string_view what) 
   }
 }
 
-Iommu::Domain* Iommu::FindDevice(DeviceId device) {
-  auto it = device_domain_.find(device.value);
-  return it == device_domain_.end() ? nullptr : it->second.get();
-}
-
-const Iommu::Domain* Iommu::FindDevice(DeviceId device) const {
-  auto it = device_domain_.find(device.value);
-  return it == device_domain_.end() ? nullptr : it->second.get();
-}
-
 Result<Iova> Iommu::MapPage(DeviceId device, Pfn pfn, AccessRights rights) {
   const Pfn pfns[] = {pfn};
   return MapRange(device, pfns, rights);
@@ -189,13 +255,13 @@ Result<Iova> Iommu::MapPage(DeviceId device, Pfn pfn, AccessRights rights) {
 Result<Iova> Iommu::MapRange(DeviceId device, std::span<const Pfn> pfns, AccessRights rights) {
   trace::ScopedSpan span(tracer_, "iommu.map_range");
   ProcessDeferredTimer();
-  Domain* state = FindDevice(device);
+  DeviceRef ref = Resolve(device);
+  Domain* state = ref.domain.get();
   if (state == nullptr) {
-    return revoked_.contains(device.value)
-               ? Revoked("device detached: new mappings revoked")
-               : InvalidArgument("device not attached to IOMMU");
+    return ref.revoked ? Revoked("device detached: new mappings revoked")
+                       : InvalidArgument("device not attached to IOMMU");
   }
-  if (fenced_.contains(device.value)) {
+  if (ref.fenced) {
     return Revoked("device quarantined: new mappings revoked");
   }
   if (pfns.empty()) {
@@ -217,7 +283,7 @@ Result<Iova> Iommu::MapRange(DeviceId device, std::span<const Pfn> pfns, AccessR
       fault_->ShouldInject(fault::FaultSite::kIovaAlloc)) {
     return ResourceExhausted("injected: IOVA space exhausted");
   }
-  Result<Iova> base = state->iova_alloc.Alloc(pfns.size(), current_cpu_);
+  Result<Iova> base = state->iova_alloc.Alloc(pfns.size(), CurrentCpu());
   if (!base.ok()) {
     return base.status();
   }
@@ -231,7 +297,7 @@ Result<Iova> Iommu::MapRange(DeviceId device, std::span<const Pfn> pfns, AccessR
       for (size_t j = 0; j < i; ++j) {
         (void)state->table.Unmap(*base + (j << kPageShift));
       }
-      (void)state->iova_alloc.Free(*base, pfns.size(), current_cpu_);
+      (void)state->iova_alloc.Free(*base, pfns.size(), CurrentCpu());
       return s;
     }
   }
@@ -248,13 +314,13 @@ Status Iommu::UnmapPage(DeviceId device, Iova iova) { return UnmapRange(device, 
 Status Iommu::UnmapRange(DeviceId device, Iova base, uint64_t pages) {
   trace::ScopedSpan span(tracer_, "iommu.unmap_range");
   ProcessDeferredTimer();
-  Domain* state = FindDevice(device);
+  DeviceRef ref = Resolve(device);
+  Domain* state = ref.domain.get();
   if (state == nullptr) {
     // OS-side unmaps on a *fenced* device stay allowed (teardown must make
     // progress), but once detached the translations are gone with the domain.
-    return revoked_.contains(device.value)
-               ? Revoked("device detached: mappings already revoked")
-               : InvalidArgument("device not attached to IOMMU");
+    return ref.revoked ? Revoked("device detached: mappings already revoked")
+                       : InvalidArgument("device not attached to IOMMU");
   }
   if (!config_.enabled) {
     stats_.unmaps += pages;  // nothing to revoke: the device never lost access
@@ -304,7 +370,7 @@ Status Iommu::UnmapRange(DeviceId device, Iova base, uint64_t pages) {
         }
       }
     }
-    return state->iova_alloc.Free(base, pages, current_cpu_);
+    return state->iova_alloc.Free(base, pages, CurrentCpu());
   }
 
   // Deferred: PTE is gone but the IOTLB may still translate. The IOVA is
@@ -314,28 +380,59 @@ Status Iommu::UnmapRange(DeviceId device, Iova base, uint64_t pages) {
 }
 
 void Iommu::EnqueueInvalidation(DeviceId device, Iova base, uint64_t pages) {
-  if (flush_queue_.empty()) {
-    flush_deadline_ = clock_.now() + config_.flush_interval_cycles;
+  const size_t shard_index = ShardIndex();
+  FlushShard& shard = *flush_shards_[shard_index];
+  bool capacity_hit = false;
+  {
+    std::lock_guard<MaybeMutex> lock(shard.mu);
+    if (shard.queue.empty()) {
+      shard.deadline = clock_.now() + config_.flush_interval_cycles;
+    }
+    shard.queue.push_back(PendingInvalidation{device, base, pages, CurrentCpu()});
+    capacity_hit = shard.queue.size() >= config_.flush_queue_capacity;
   }
-  flush_queue_.push_back(PendingInvalidation{device, base, pages, current_cpu_});
-  if (flush_queue_.size() >= config_.flush_queue_capacity) {
-    FlushNow(FlushReason::kCapacity);
+  if (capacity_hit) {
+    DrainShard(shard_index, FlushReason::kCapacity);
   }
 }
 
 void Iommu::FlushNow(FlushReason reason) {
-  if (flush_queue_.empty()) {
-    return;
+  for (size_t i = 0; i < flush_shards_.size(); ++i) {
+    DrainShard(i, reason);
+  }
+}
+
+void Iommu::DrainShard(size_t shard_index, FlushReason reason) {
+  FlushShard& shard = *flush_shards_[shard_index];
+  std::deque<PendingInvalidation> batch;
+  {
+    std::lock_guard<MaybeMutex> lock(shard.mu);
+    if (shard.queue.empty()) {
+      return;
+    }
+    batch.swap(shard.queue);
+    shard.deadline = 0;
   }
   trace::ScopedSpan span(tracer_, "iommu.flush_drain");
-  // One global invalidation amortizes the whole queue — this is why deferred
+  // One global invalidation amortizes the whole batch — this is why deferred
   // mode wins on throughput (§5.2.1).
-  const uint64_t amortized = flush_queue_.size();
+  const uint64_t amortized = batch.size();
   iotlb_.InvalidateAll();
   // A global IOTLB invalidation also drops the intermediate-structure
-  // caches, so the page-table walk caches start cold.
-  for (auto& [id, domain] : device_domain_) {
-    domain->table.InvalidateWalkCache();
+  // caches, so the page-table walk caches start cold. Collect the domains
+  // under a brief shared lock, invalidate outside it.
+  {
+    std::vector<std::shared_ptr<Domain>> domains;
+    {
+      std::shared_lock<MaybeSharedMutex> lock(state_mu_);
+      domains.reserve(device_domain_.size());
+      for (auto& [id, domain] : device_domain_) {
+        domains.push_back(domain);
+      }
+    }
+    for (auto& domain : domains) {
+      domain->table.InvalidateWalkCache();
+    }
   }
   uint64_t flush_cycles = kIotlbInvalidationCycles;
   if (fault_ != nullptr && fault_->armed() &&
@@ -374,18 +471,24 @@ void Iommu::FlushNow(FlushReason reason) {
       hub_->histogram("iommu.flush_batch").Record(amortized);
     }
   }
-  for (const PendingInvalidation& pending : flush_queue_) {
-    Domain* state = FindDevice(pending.device);
-    if (state != nullptr) {
-      (void)state->iova_alloc.Free(pending.base, pending.pages, pending.cpu);
+  for (const PendingInvalidation& pending : batch) {
+    DeviceRef ref = Resolve(pending.device);
+    if (ref.domain != nullptr) {
+      (void)ref.domain->iova_alloc.Free(pending.base, pending.pages, pending.cpu);
     }
   }
-  flush_queue_.clear();
 }
 
 void Iommu::ProcessDeferredTimer() {
-  if (!flush_queue_.empty() && clock_.now() >= flush_deadline_) {
-    FlushNow(FlushReason::kDeadline);
+  const size_t shard_index = ShardIndex();
+  FlushShard& shard = *flush_shards_[shard_index];
+  bool expired = false;
+  {
+    std::lock_guard<MaybeMutex> lock(shard.mu);
+    expired = !shard.queue.empty() && clock_.now() >= shard.deadline;
+  }
+  if (expired) {
+    DrainShard(shard_index, FlushReason::kDeadline);
   }
 }
 
@@ -403,15 +506,16 @@ Status Iommu::Access(DeviceId device, Iova iova, AccessOp op, std::span<uint8_t>
   // page walk) accrue to this span in cycle-attribution profiles.
   trace::ScopedSpan span(tracer_, "iommu.device_access");
   ProcessDeferredTimer();
-  Domain* state = FindDevice(device);
+  DeviceRef ref = Resolve(device);
+  Domain* state = ref.domain.get();
   if (state == nullptr) {
-    if (revoked_.contains(device.value)) {
+    if (ref.revoked) {
       NoteFencedAccess(device, iova, "DMA after detach");
       return Revoked("device detached: DMA revoked");
     }
     return InvalidArgument("device not attached to IOMMU");
   }
-  if (fenced_.contains(device.value)) {
+  if (ref.fenced) {
     NoteFencedAccess(device, iova, "DMA while fenced");
     return Revoked("device quarantined: DMA fenced");
   }
@@ -511,38 +615,40 @@ void Iommu::Fault(DeviceId device, Iova iova, AccessOp op, std::string reason) {
   }
   // Bound the fault log; a scanning attacker can generate millions.
   constexpr size_t kMaxFaults = 4096;
+  std::lock_guard<MaybeMutex> lock(faults_mu_);
   if (faults_.size() < kMaxFaults) {
     faults_.push_back(IommuFault{device, iova, op, clock_.now(), std::move(reason)});
   }
 }
 
 std::vector<Iova> Iommu::IovasForPfn(DeviceId device, Pfn pfn) const {
-  const Domain* state = FindDevice(device);
-  if (state == nullptr) {
+  DeviceRef ref = Resolve(device);
+  if (ref.domain == nullptr) {
     return {};
   }
-  return state->table.FindIovasForPfn(pfn);
+  return ref.domain->table.FindIovasForPfn(pfn);
 }
 
 std::optional<PteEntry> Iommu::Peek(DeviceId device, Iova iova) const {
-  const Domain* state = FindDevice(device);
-  if (state == nullptr) {
+  DeviceRef ref = Resolve(device);
+  if (ref.domain == nullptr) {
     return std::nullopt;
   }
-  return state->table.PeekTranslation(iova.PageBase());
+  return ref.domain->table.PeekTranslation(iova.PageBase());
 }
 
 const IovaAllocator* Iommu::iova_allocator(DeviceId device) const {
-  const Domain* state = FindDevice(device);
-  return state == nullptr ? nullptr : &state->iova_alloc;
+  DeviceRef ref = Resolve(device);
+  return ref.domain == nullptr ? nullptr : &ref.domain->iova_alloc;
 }
 
 const IoPageTable* Iommu::page_table(DeviceId device) const {
-  const Domain* state = FindDevice(device);
-  return state == nullptr ? nullptr : &state->table;
+  DeviceRef ref = Resolve(device);
+  return ref.domain == nullptr ? nullptr : &ref.domain->table;
 }
 
 std::vector<DeviceId> Iommu::attached_devices() const {
+  std::shared_lock<MaybeSharedMutex> lock(state_mu_);
   std::vector<DeviceId> out;
   out.reserve(device_domain_.size());
   for (const auto& [id, domain] : device_domain_) {
@@ -554,17 +660,82 @@ std::vector<DeviceId> Iommu::attached_devices() const {
 }
 
 uint32_t Iommu::domain_id(DeviceId device) const {
-  const Domain* state = FindDevice(device);
-  return state == nullptr ? 0 : state->id;
+  DeviceRef ref = Resolve(device);
+  return ref.domain == nullptr ? 0 : ref.domain->id;
+}
+
+uint64_t Iommu::pending_invalidation_count() const {
+  uint64_t total = 0;
+  for (const auto& shard : flush_shards_) {
+    std::lock_guard<MaybeMutex> lock(shard->mu);
+    total += shard->queue.size();
+  }
+  return total;
+}
+
+uint64_t Iommu::pending_invalidation_count(CpuId cpu) const {
+  const FlushShard& shard =
+      *flush_shards_[flush_shards_.size() <= 1 ? 0 : cpu.value % flush_shards_.size()];
+  std::lock_guard<MaybeMutex> lock(shard.mu);
+  return shard.queue.size();
 }
 
 std::vector<Iommu::PendingRange> Iommu::pending_invalidations() const {
   std::vector<PendingRange> out;
-  out.reserve(flush_queue_.size());
-  for (const PendingInvalidation& pending : flush_queue_) {
-    out.push_back(PendingRange{pending.device, pending.base, pending.pages});
+  for (const auto& shard : flush_shards_) {
+    std::lock_guard<MaybeMutex> lock(shard->mu);
+    for (const PendingInvalidation& pending : shard->queue) {
+      out.push_back(PendingRange{pending.device, pending.base, pending.pages});
+    }
   }
   return out;
+}
+
+Status Iommu::AuditCrossCpu() const {
+  // Shard liveness: a non-empty shard must have an armed deadline (otherwise
+  // its entries can never deadline-drain), and every pending range must still
+  // be parked (live) in its domain's allocator — parked IOVAs are freed only
+  // at drain, so a pending range absent from the live set has leaked or been
+  // handed out while stale.
+  for (size_t i = 0; i < flush_shards_.size(); ++i) {
+    const FlushShard& shard = *flush_shards_[i];
+    std::lock_guard<MaybeMutex> lock(shard.mu);
+    if (!shard.queue.empty() && shard.deadline == 0) {
+      return Internal("flush shard " + std::to_string(i) +
+                           " non-empty with unarmed deadline");
+    }
+    for (const PendingInvalidation& pending : shard.queue) {
+      DeviceRef ref = Resolve(pending.device);
+      if (ref.domain == nullptr) {
+        continue;  // detached while pending: DrainDeviceInvalidations missed it
+      }
+      const uint64_t base_page = pending.base.value >> kPageShift;
+      bool parked = false;
+      for (const IovaAllocator::LiveRange& range : ref.domain->iova_alloc.live_ranges()) {
+        if (base_page >= range.base_page && base_page < range.base_page + range.pages) {
+          parked = true;
+          break;
+        }
+      }
+      if (!parked) {
+        return Internal("pending invalidation not parked in live set (shard " +
+                             std::to_string(i) + ")");
+      }
+    }
+  }
+  // Magazine ownership: per-domain audit of every CPU magazine and the depot.
+  std::vector<std::shared_ptr<Domain>> domains;
+  {
+    std::shared_lock<MaybeSharedMutex> lock(state_mu_);
+    domains.reserve(device_domain_.size());
+    for (const auto& [id, domain] : device_domain_) {
+      domains.push_back(domain);
+    }
+  }
+  for (const auto& domain : domains) {
+    SPV_RETURN_IF_ERROR(domain->iova_alloc.AuditCaches());
+  }
+  return OkStatus();
 }
 
 }  // namespace spv::iommu

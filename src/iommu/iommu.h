@@ -25,6 +25,9 @@
 #include <vector>
 
 #include "base/clock.h"
+#include "base/exec.h"
+#include "base/maybe_mutex.h"
+#include "base/stat_counter.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "iommu/access_rights.h"
@@ -87,30 +90,39 @@ class Iommu {
     FastPathConfig fast_path = {};
   };
 
+  // Relaxed-atomic counters (StatCounter) so concurrent sim CPUs can bump
+  // them in ExecMode::kThreads; they read like plain integers everywhere.
   struct Stats {
-    uint64_t maps = 0;
-    uint64_t unmaps = 0;
-    uint64_t flushes = 0;                  // global flushes (deferred mode)
-    uint64_t targeted_invalidations = 0;   // per-page (strict mode)
-    uint64_t invalidation_cycles = 0;      // total cycles spent invalidating
-    uint64_t device_accesses = 0;
-    uint64_t stale_iotlb_accesses = 0;     // accesses served with no live PTE
+    StatCounter maps;
+    StatCounter unmaps;
+    StatCounter flushes;                  // global flushes (deferred mode)
+    StatCounter targeted_invalidations;   // per-page (strict mode)
+    StatCounter invalidation_cycles;      // total cycles spent invalidating
+    StatCounter device_accesses;
+    StatCounter stale_iotlb_accesses;     // accesses served with no live PTE
     // Flush-queue drain reasons (sum == flushes).
-    uint64_t flush_capacity_drains = 0;
-    uint64_t flush_deadline_drains = 0;
-    uint64_t flush_manual_drains = 0;
+    StatCounter flush_capacity_drains;
+    StatCounter flush_deadline_drains;
+    StatCounter flush_manual_drains;
     // Device quarantine (spv::recovery).
-    uint64_t device_fences = 0;            // FenceDevice transitions
-    uint64_t device_detaches = 0;          // DetachDevice completions
-    uint64_t fenced_accesses = 0;          // DMA attempts rejected by a fence
-    uint64_t drained_device_entries = 0;   // flush-queue entries drained per-device
+    StatCounter device_fences;            // FenceDevice transitions
+    StatCounter device_detaches;          // DetachDevice completions
+    StatCounter fenced_accesses;          // DMA attempts rejected by a fence
+    StatCounter drained_device_entries;   // flush-queue entries drained per-device
   };
 
   Iommu(mem::PhysicalMemory& pm, SimClock& clock, Config config);
 
   Iommu(const Iommu&) = delete;
   Iommu& operator=(const Iommu&) = delete;
-  Iommu(Iommu&&) = default;
+
+  // Prepares for ExecMode::kThreads: shards the deferred flush queue per CPU
+  // (Linux's per-CPU iova flush queues) and engages every internal lock, here
+  // and in the IOTLB / page tables / IOVA allocators of existing domains.
+  // Must run at machine bring-up, before any worker thread issues traffic;
+  // one-way. In the default sequential mode there is exactly one shard and
+  // no lock is ever taken, preserving the legacy semantics bit-for-bit.
+  void EngageThreadSafety(uint32_t num_cpus);
 
   // Routes IOMMU/IOTLB counters and events (flushes, faults, stale hits)
   // through `hub`; forwards to the embedded IOTLB. Pass nullptr to detach.
@@ -136,7 +148,7 @@ class Iommu {
   // emulate a malicious NIC.
   Status AttachDeviceToDomainOf(DeviceId device, DeviceId domain_owner);
 
-  bool IsAttached(DeviceId device) const { return device_domain_.contains(device.value); }
+  bool IsAttached(DeviceId device) const;
 
   // ---- Quarantine / detach (spv::recovery) ---------------------------------
 
@@ -151,17 +163,19 @@ class Iommu {
   // Lifts the fence (supervised re-attach). Idempotent on unfenced devices.
   Status UnfenceDevice(DeviceId device);
 
-  bool IsFenced(DeviceId device) const { return fenced_.contains(device.value); }
+  bool IsFenced(DeviceId device) const;
 
   // True when the device was fenced or detached and never restored: the
   // "revocation memory" that distinguishes the unified kRevoked answer from
   // the never-attached kInvalidArgument one.
-  bool IsRevoked(DeviceId device) const { return revoked_.contains(device.value); }
+  bool IsRevoked(DeviceId device) const;
 
-  // Removes `device`'s entries from the deferred flush queue: their IOTLB
-  // pages are invalidated first, then the parked IOVAs are reclaimed — the
-  // order that prevents a recycled IOVA from translating through a still-warm
-  // stale window. Returns the number of queue entries drained.
+  // Removes `device`'s entries from *every* CPU's deferred flush shard: their
+  // IOTLB pages are invalidated first, then the parked IOVAs are reclaimed —
+  // the order that prevents a recycled IOVA from translating through a
+  // still-warm stale window. Quarantine relies on the every-shard sweep: a
+  // device's deferred unmaps land on whichever CPU issued them. Returns the
+  // number of queue entries drained.
   uint64_t DrainDeviceInvalidations(DeviceId device);
 
   // Permanently detaches `device`: fences it, drains its queue entries and
@@ -184,18 +198,20 @@ class Iommu {
   Status UnmapPage(DeviceId device, Iova iova);
   Status UnmapRange(DeviceId device, Iova base, uint64_t pages);
 
-  // Forces the deferred queue out now (the 10 ms timer firing, or an admin
-  // `iommu=strict`-style flush).
+  // Forces every deferred flush shard out now (the 10 ms timer firing, or an
+  // admin `iommu=strict`-style flush).
   void FlushNow(FlushReason reason = FlushReason::kManual);
 
   // The CPU the simulated kernel is currently executing on; IOVA magazine
-  // allocs/frees go to this CPU's caches. Ambient (like preemption context)
-  // rather than a parameter so device models need no plumbing.
-  void set_current_cpu(CpuId cpu) { current_cpu_ = cpu; }
-  CpuId current_cpu() const { return current_cpu_; }
+  // allocs/frees and flush-shard selection use it. Ambient (thread-local,
+  // like preemption context) rather than a parameter so device models need
+  // no plumbing — and so each kThreads worker carries its own identity.
+  void set_current_cpu(CpuId cpu) { SetCurrentCpu(cpu); }
+  CpuId current_cpu() const { return CurrentCpu(); }
 
   // Models timer processing: call after advancing the clock to let an expired
-  // deadline trigger the periodic flush.
+  // deadline trigger the periodic flush. Checks only the calling CPU's shard
+  // (each CPU services its own flush timer, as in Linux's per-CPU fq timers).
   void ProcessDeferredTimer();
 
   // ---- Device side -----------------------------------------------------------
@@ -210,9 +226,22 @@ class Iommu {
   InvalidationMode mode() const { return config_.mode; }
   const FastPathConfig& fast_path() const { return config_.fast_path; }
   const Stats& stats() const { return stats_; }
+  // Quiescent-read introspection: valid while no worker thread is running.
   const std::vector<IommuFault>& faults() const { return faults_; }
   const Iotlb& iotlb() const { return iotlb_; }
-  uint64_t pending_invalidation_count() const { return flush_queue_.size(); }
+  // Pending entries across all shards.
+  uint64_t pending_invalidation_count() const;
+  size_t flush_shard_count() const { return flush_shards_.size(); }
+  // Pending entries in one CPU's shard (cross-CPU drain tests).
+  uint64_t pending_invalidation_count(CpuId cpu) const;
+
+  // Cross-CPU invariants, checked by Machine::CheckInvariants:
+  //  * flush-shard liveness — every non-empty shard carries an armed
+  //    deadline, and every pending range is still a live (parked) IOVA range
+  //    of its domain;
+  //  * magazine ownership — no IOVA range sits both in a magazine/depot and
+  //    in the live set, and no range is cached twice.
+  Status AuditCrossCpu() const;
 
   // Attached devices in ascending id order, and the translation-domain id a
   // device belongs to (0 when unattached). IOTLB entries are tagged by domain
@@ -264,8 +293,35 @@ class Iommu {
     CpuId cpu{0};
   };
 
-  Domain* FindDevice(DeviceId device);
-  const Domain* FindDevice(DeviceId device) const;
+  // One deferred flush queue shard. Sequential mode has exactly one (the
+  // legacy global queue); kThreads mode has one per CPU, so unmap-heavy
+  // workloads never serialize on a global invalidation queue. Each shard
+  // carries its own deadline, armed when the first entry lands.
+  struct FlushShard {
+    mutable MaybeMutex mu;
+    std::deque<PendingInvalidation> queue;
+    uint64_t deadline = 0;  // valid when queue nonempty
+  };
+
+  // Snapshot of a device's attach/fence/revoke state, taken under one brief
+  // shared lock. The shared_ptr keeps the domain alive (RCU-style) even if a
+  // concurrent detach erases it from the map, so callers operate lock-free
+  // on the domain afterwards.
+  struct DeviceRef {
+    std::shared_ptr<Domain> domain;  // null when not attached
+    bool fenced = false;
+    bool revoked = false;
+  };
+  DeviceRef Resolve(DeviceId device) const;
+
+  size_t ShardIndex() const {
+    return flush_shards_.size() <= 1 ? 0 : CurrentCpu().value % flush_shards_.size();
+  }
+  // Drains one shard: one global IOTLB invalidation amortizing the batch,
+  // walk-cache drop, then the parked IOVAs return to their unmapping CPUs'
+  // magazines. The legacy FlushNow body, scoped to a shard.
+  void DrainShard(size_t shard_index, FlushReason reason);
+
   Status Access(DeviceId device, Iova iova, AccessOp op, std::span<uint8_t> read_out,
                 std::span<const uint8_t> write_data);
   void Fault(DeviceId device, Iova iova, AccessOp op, std::string reason);
@@ -281,14 +337,19 @@ class Iommu {
   SimClock& clock_;
   Config config_;
   Iotlb iotlb_;
+  // Device/fence/revoke tables, guarded by state_mu_ (reads take a brief
+  // shared lock and copy the domain shared_ptr out; never held across
+  // component calls, so the lock order is always state_mu_ -> {shard, iotlb,
+  // table, iova} with no cycles).
+  mutable MaybeSharedMutex state_mu_;
   std::unordered_map<uint32_t, std::shared_ptr<Domain>> device_domain_;  // device -> domain
   std::unordered_set<uint32_t> fenced_;   // quarantined devices (still attached)
   std::unordered_set<uint32_t> revoked_;  // fenced or detached, not yet restored
   uint32_t next_domain_id_ = 1;
-  std::deque<PendingInvalidation> flush_queue_;
-  uint64_t flush_deadline_ = 0;  // valid when flush_queue_ nonempty
-  CpuId current_cpu_{0};
+  bool threaded_ = false;
+  std::vector<std::unique_ptr<FlushShard>> flush_shards_;
   Stats stats_;
+  mutable MaybeMutex faults_mu_;
   std::vector<IommuFault> faults_;
   telemetry::Hub* hub_ = nullptr;
   fault::FaultEngine* fault_ = nullptr;

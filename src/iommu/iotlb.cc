@@ -1,5 +1,7 @@
 #include "iommu/iotlb.h"
 
+#include <mutex>
+
 namespace spv::iommu {
 
 void Iotlb::set_telemetry(telemetry::Hub* hub) {
@@ -16,6 +18,7 @@ void Iotlb::set_telemetry(telemetry::Hub* hub) {
 }
 
 std::optional<PteEntry> Iotlb::Lookup(DeviceId device, Iova iova_page) {
+  std::lock_guard<MaybeMutex> guard(mu_);
   const Key key{device.value, iova_page.PageBase().value};
   auto it = map_.find(key);
   if (it == map_.end()) {
@@ -34,6 +37,7 @@ std::optional<PteEntry> Iotlb::Lookup(DeviceId device, Iova iova_page) {
 }
 
 void Iotlb::Insert(DeviceId device, Iova iova_page, PteEntry entry) {
+  std::lock_guard<MaybeMutex> guard(mu_);
   const Key key{device.value, iova_page.PageBase().value};
   auto it = map_.find(key);
   if (it != map_.end()) {
@@ -57,6 +61,7 @@ void Iotlb::Insert(DeviceId device, Iova iova_page, PteEntry entry) {
 }
 
 void Iotlb::InvalidatePage(DeviceId device, Iova iova_page) {
+  std::lock_guard<MaybeMutex> guard(mu_);
   const Key key{device.value, iova_page.PageBase().value};
   auto it = map_.find(key);
   if (it != map_.end()) {
@@ -70,6 +75,7 @@ void Iotlb::InvalidatePage(DeviceId device, Iova iova_page) {
 }
 
 void Iotlb::InvalidateDevice(DeviceId device) {
+  std::lock_guard<MaybeMutex> guard(mu_);
   for (auto it = map_.begin(); it != map_.end();) {
     if (it->first.device == device.value) {
       lru_.erase(it->second.lru_it);
@@ -85,6 +91,7 @@ void Iotlb::InvalidateDevice(DeviceId device) {
 }
 
 void Iotlb::InvalidateAll() {
+  std::lock_guard<MaybeMutex> guard(mu_);
   map_.clear();
   lru_.clear();
   ++invalidations_;

@@ -2,6 +2,8 @@
 
 #include <bit>
 #include <cassert>
+#include <string>
+#include <unordered_set>
 
 namespace spv::iommu {
 
@@ -68,6 +70,8 @@ Result<Iova> IovaAllocator::Alloc(uint64_t pages, CpuId cpu) {
     if (hub_ != nullptr && hub_->enabled()) {
       c_hits_->Add();
     }
+    std::lock_guard<MaybeMutex> guard(mu_);
+    live_.emplace(base_page, effective);
   } else {
     if (fast_path_.rcache_enabled && size_class >= 0) {
       ++stats_.rcache_misses;
@@ -75,13 +79,14 @@ Result<Iova> IovaAllocator::Alloc(uint64_t pages, CpuId cpu) {
         c_misses_->Add();
       }
     }
+    std::lock_guard<MaybeMutex> guard(mu_);
     Result<uint64_t> range = AllocRange(effective);
     if (!range.ok()) {
       return range.status();
     }
     base_page = *range;
+    live_.emplace(base_page, effective);
   }
-  live_.emplace(base_page, effective);
   allocated_pages_ += effective;
   return Iova{base_page << kPageShift};
 }
@@ -94,28 +99,33 @@ Status IovaAllocator::Free(Iova base, uint64_t pages, CpuId cpu) {
   if (base_page < window_start_ || base_page + pages > window_end_) {
     return InvalidArgument("IOVA free outside window");
   }
-  auto it = live_.find(base_page);
-  if (it == live_.end()) {
-    return FailedPrecondition("IOVA double free");
-  }
   const uint64_t effective = EffectivePages(pages);
-  if (it->second != effective) {
-    return InvalidArgument("IOVA free with mismatched page count");
+  {
+    std::lock_guard<MaybeMutex> guard(mu_);
+    auto it = live_.find(base_page);
+    if (it == live_.end()) {
+      return FailedPrecondition("IOVA double free");
+    }
+    if (it->second != effective) {
+      return InvalidArgument("IOVA free with mismatched page count");
+    }
+    live_.erase(it);
   }
-  live_.erase(it);
-  assert(allocated_pages_ >= effective);
+  assert(allocated_pages_.load() >= effective);
   allocated_pages_ -= effective;
 
   const int size_class = SizeClassFor(pages);
   if (fast_path_.rcache_enabled && size_class >= 0) {
     MagazinePush(size_class, cpu, base_page);
   } else {
+    std::lock_guard<MaybeMutex> guard(mu_);
     FreeRange(base_page, effective);
   }
   return OkStatus();
 }
 
 uint64_t IovaAllocator::cached_ranges() const {
+  std::lock_guard<MaybeMutex> guard(mu_);
   uint64_t total = 0;
   for (const SizeClassCache& cache : rcaches_) {
     for (const CpuCache& cpu : cache.cpus) {
@@ -128,13 +138,54 @@ uint64_t IovaAllocator::cached_ranges() const {
   return total;
 }
 
+Status IovaAllocator::AuditCaches() const {
+  std::lock_guard<MaybeMutex> guard(mu_);
+  std::unordered_set<uint64_t> seen;
+  for (size_t sc = 0; sc < rcaches_.size(); ++sc) {
+    const SizeClassCache& cache = rcaches_[sc];
+    const uint64_t size = uint64_t{1} << sc;
+    auto check = [&](uint64_t base_page) -> Status {
+      if (base_page < window_start_ || base_page + size > window_end_) {
+        return Internal("cached IOVA range outside window: page " +
+                        std::to_string(base_page));
+      }
+      if (!seen.insert(base_page).second) {
+        return Internal("IOVA range cached twice: page " + std::to_string(base_page));
+      }
+      if (live_.contains(base_page)) {
+        return Internal("IOVA range both cached and live: page " +
+                        std::to_string(base_page));
+      }
+      return OkStatus();
+    };
+    for (const CpuCache& cpu : cache.cpus) {
+      for (uint64_t base_page : cpu.loaded) {
+        SPV_RETURN_IF_ERROR(check(base_page));
+      }
+      for (uint64_t base_page : cpu.prev) {
+        SPV_RETURN_IF_ERROR(check(base_page));
+      }
+    }
+    for (const Magazine& magazine : cache.depot) {
+      for (uint64_t base_page : magazine) {
+        SPV_RETURN_IF_ERROR(check(base_page));
+      }
+    }
+  }
+  return OkStatus();
+}
+
 bool IovaAllocator::MagazinePop(int size_class, CpuId cpu, uint64_t* base_page) {
   SizeClassCache& cache = rcaches_[static_cast<size_t>(size_class)];
   CpuCache& cpu_cache = cache.cpus[cpu.value % fast_path_.num_cpus];
   if (cpu_cache.loaded.empty()) {
     if (!cpu_cache.prev.empty()) {
       std::swap(cpu_cache.loaded, cpu_cache.prev);
-    } else if (!cache.depot.empty()) {
+    } else {
+      std::lock_guard<MaybeMutex> guard(mu_);
+      if (cache.depot.empty()) {
+        return false;
+      }
       // The empty loaded magazine is recycled as the next depot slot's
       // backing storage by the swap (its reserved capacity is kept).
       std::swap(cpu_cache.loaded, cache.depot.back());
@@ -143,8 +194,6 @@ bool IovaAllocator::MagazinePop(int size_class, CpuId cpu, uint64_t* base_page) 
       if (hub_ != nullptr && hub_->enabled()) {
         c_depot_refills_->Add();
       }
-    } else {
-      return false;
     }
   }
   *base_page = cpu_cache.loaded.back();
@@ -158,23 +207,26 @@ void IovaAllocator::MagazinePush(int size_class, CpuId cpu, uint64_t base_page) 
   if (cpu_cache.loaded.size() >= fast_path_.magazine_capacity) {
     if (cpu_cache.prev.size() < fast_path_.magazine_capacity) {
       std::swap(cpu_cache.loaded, cpu_cache.prev);
-    } else if (cache.depot.size() < fast_path_.depot_capacity) {
-      cache.depot.push_back(std::move(cpu_cache.loaded));
-      cpu_cache.loaded = Magazine{};
-      cpu_cache.loaded.reserve(fast_path_.magazine_capacity);
-      ++stats_.depot_spills;
-      if (hub_ != nullptr && hub_->enabled()) {
-        c_depot_spills_->Add();
-      }
     } else {
-      // Depot full: return the whole magazine to the range tree, like
-      // iova_magazine_free_pfns.
-      const uint64_t size = uint64_t{1} << size_class;
-      for (uint64_t cached : cpu_cache.loaded) {
-        FreeRange(cached, size);
+      std::lock_guard<MaybeMutex> guard(mu_);
+      if (cache.depot.size() < fast_path_.depot_capacity) {
+        cache.depot.push_back(std::move(cpu_cache.loaded));
+        cpu_cache.loaded = Magazine{};
+        cpu_cache.loaded.reserve(fast_path_.magazine_capacity);
+        ++stats_.depot_spills;
+        if (hub_ != nullptr && hub_->enabled()) {
+          c_depot_spills_->Add();
+        }
+      } else {
+        // Depot full: return the whole magazine to the range tree, like
+        // iova_magazine_free_pfns.
+        const uint64_t size = uint64_t{1} << size_class;
+        for (uint64_t cached : cpu_cache.loaded) {
+          FreeRange(cached, size);
+        }
+        cpu_cache.loaded.clear();
+        ++stats_.depot_overflows;
       }
-      cpu_cache.loaded.clear();
-      ++stats_.depot_overflows;
     }
   }
   cpu_cache.loaded.push_back(base_page);

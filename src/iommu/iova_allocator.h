@@ -22,9 +22,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "base/maybe_mutex.h"
+#include "base/stat_counter.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "iommu/fast_path.h"
@@ -45,13 +48,13 @@ class IovaAllocator {
   static constexpr size_t kNumSizeClasses = 6;  // 1, 2, 4, 8, 16, 32 pages
 
   struct Stats {
-    uint64_t rcache_hits = 0;       // allocs served from a magazine
-    uint64_t rcache_misses = 0;     // cacheable allocs that hit the tree
-    uint64_t depot_refills = 0;     // CPU pulled a full magazine from depot
-    uint64_t depot_spills = 0;      // CPU pushed a full magazine to depot
-    uint64_t depot_overflows = 0;   // magazine dumped back to the tree
-    uint64_t coalesces = 0;         // adjacent free-range merges
-    uint64_t range_splits = 0;      // partial reuse of a cached range
+    StatCounter rcache_hits;       // allocs served from a magazine
+    StatCounter rcache_misses;     // cacheable allocs that hit the tree
+    StatCounter depot_refills;     // CPU pulled a full magazine from depot
+    StatCounter depot_spills;      // CPU pushed a full magazine to depot
+    StatCounter depot_overflows;   // magazine dumped back to the tree
+    StatCounter coalesces;         // adjacent free-range merges
+    StatCounter range_splits;      // partial reuse of a cached range
   };
 
   explicit IovaAllocator(uint64_t window_start = kDefaultWindowStart,
@@ -72,8 +75,20 @@ class IovaAllocator {
   const Stats& stats() const { return stats_; }
   const FastPathConfig& fast_path() const { return fast_path_; }
 
+  // Engages the internal lock for ExecMode::kThreads. The lock covers the
+  // shared slow path (free tree, live set, depot); the per-CPU loaded/prev
+  // magazines stay owner-CPU-only and lock-free, exactly like Linux's
+  // per-CPU iova rcaches. Must precede concurrent use; one-way.
+  void EngageLock() { mu_.Engage(); }
+
   // Number of IOVA ranges currently parked in magazines + depot.
   uint64_t cached_ranges() const;
+
+  // Magazine-ownership audit (Machine::CheckInvariants, cross-CPU): every
+  // range parked in a magazine or the depot must be absent from the live set
+  // and parked exactly once, and must lie inside the window. Call at
+  // quiescence in kThreads mode (per-CPU magazines are read unlocked).
+  Status AuditCaches() const;
 
   struct LiveRange {
     uint64_t base_page;
@@ -84,6 +99,7 @@ class IovaAllocator {
   // actually reserved. Leak/containment audits (Machine::CheckInvariants)
   // match mapped IOVA pages against these.
   std::vector<LiveRange> live_ranges() const {
+    std::lock_guard<MaybeMutex> guard(mu_);
     std::vector<LiveRange> out;
     out.reserve(live_.size());
     for (const auto& [base, pages] : live_) {
@@ -118,17 +134,24 @@ class IovaAllocator {
   uint64_t EffectivePages(uint64_t pages) const;
 
   // Slow path over the free tree / virgin space. Returns a base *page*.
+  // Caller holds mu_.
   Result<uint64_t> AllocRange(uint64_t pages);
   void FreeRange(uint64_t base_page, uint64_t pages);
 
+  // Per-CPU fast path; takes mu_ internally only for the shared depot (pop
+  // refill / push spill) and the overflow dump into the free tree.
   bool MagazinePop(int size_class, CpuId cpu, uint64_t* base_page);
   void MagazinePush(int size_class, CpuId cpu, uint64_t base_page);
 
   uint64_t window_start_;  // in pages
   uint64_t window_end_;    // in pages
-  uint64_t next_top_;      // grows downward, in pages
+  uint64_t next_top_;      // grows downward, in pages; guarded by mu_
   FastPathConfig fast_path_;
 
+  // Shared state guarded by mu_ (disengaged — a branch — in sequential
+  // mode): the free tree, the live set and each size class's depot. The
+  // per-CPU loaded/prev magazines are owner-CPU-only by contract.
+  mutable MaybeMutex mu_;
   std::map<uint64_t, uint64_t> free_ranges_;  // base page -> page count
   std::vector<SizeClassCache> rcaches_;       // indexed by size class
 
@@ -136,7 +159,7 @@ class IovaAllocator {
   // substrate rests on. Consulted O(1) on every alloc/free.
   std::unordered_map<uint64_t, uint64_t> live_;
 
-  uint64_t allocated_pages_ = 0;
+  StatCounter allocated_pages_;
   Stats stats_;
 
   telemetry::Hub* hub_ = nullptr;

@@ -14,9 +14,12 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <set>
 #include <vector>
 
+#include "base/maybe_mutex.h"
+#include "base/stat_counter.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "mem/page_db.h"
@@ -52,6 +55,11 @@ class PageAllocator {
   // Optional fault hook (kPageAlloc): nullptr detaches.
   void set_fault_engine(fault::FaultEngine* engine) { fault_ = engine; }
 
+  // Engages the allocator lock for ExecMode::kThreads (one-way). Covers the
+  // buddy lists, the hot cache and the PageDb metadata writes alloc/free
+  // perform; sequential mode pays a branch.
+  void EngageLock() { mu_.Engage(); }
+
   // Statistics for benchmarks.
   uint64_t hot_cache_hits() const { return hot_cache_hits_; }
   uint64_t alloc_count() const { return alloc_count_; }
@@ -72,7 +80,9 @@ class PageAllocator {
   PageDb& page_db_;
   uint64_t first_pfn_;
   uint64_t num_pages_;
-  uint64_t free_pages_ = 0;
+  StatCounter free_pages_;
+
+  mutable MaybeMutex mu_;  // guards free_lists_ + hot_cache_ when engaged
 
   // Ordered free sets per order: deterministic lowest-address-first policy.
   std::array<std::set<FreeBlock>, kMaxOrder + 1> free_lists_;
@@ -80,8 +90,8 @@ class PageAllocator {
   // LIFO cache of recently freed order-0 pages ("hot" pages).
   std::deque<uint64_t> hot_cache_;
 
-  uint64_t hot_cache_hits_ = 0;
-  uint64_t alloc_count_ = 0;
+  StatCounter hot_cache_hits_;
+  StatCounter alloc_count_;
 
   fault::FaultEngine* fault_ = nullptr;
 };

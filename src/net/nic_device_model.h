@@ -16,12 +16,14 @@
 namespace spv::net {
 
 struct RxPostedDescriptor {
+  uint32_t queue = 0;  // which RX queue the slot belongs to
   uint32_t index = 0;
   Iova iova;          // where the device should DMA-write the packet
   uint32_t buf_len = 0;
 };
 
 struct TxPostedDescriptor {
+  uint32_t queue = 0;  // which TX queue the slot belongs to
   uint32_t index = 0;
   Iova linear_iova;
   uint32_t linear_len = 0;
@@ -40,6 +42,14 @@ class NicDeviceModel {
   // but *before* dma_unmap, on drivers with the i40e-like ordering (§5.2.2
   // path (i)). Models the race the device wins on real hardware.
   virtual void OnRxCompleting(uint32_t index) { (void)index; }
+
+  // Queue-aware variant the multi-queue driver actually calls; the default
+  // forwards to the legacy single-queue hook so existing device models see
+  // the same callbacks they always did.
+  virtual void OnRxCompleting(uint32_t queue, uint32_t index) {
+    (void)queue;
+    OnRxCompleting(index);
+  }
 };
 
 }  // namespace spv::net

@@ -35,9 +35,22 @@ NicDriver::NicDriver(DeviceId device_id, dma::DmaApi& dma, dma::KernelMemory& km
       kmem_(kmem),
       skb_alloc_(skb_alloc),
       clock_(clock),
-      config_(std::move(config)) {
-  rx_ring_.resize(config_.rx_ring_size);
-  tx_ring_.resize(config_.tx_ring_size);
+      config_(std::move(config)),
+      rss_(config_.num_queues == 0 ? 1 : config_.num_queues) {
+  queues_.resize(config_.num_queues == 0 ? 1 : config_.num_queues);
+  for (uint32_t q = 0; q < queues_.size(); ++q) {
+    Queue& queue = queues_[q];
+    if (q < config_.queue_cpus.size()) {
+      queue.cpu = config_.queue_cpus[q];
+    } else {
+      queue.cpu = CpuId{config_.cpu.value + q};
+    }
+    // Queue 0 keeps the bare device name so its telemetry sites and fault
+    // attribution are byte-identical to the historical single-queue driver.
+    queue.name = q == 0 ? config_.name : config_.name + ".q" + std::to_string(q);
+    queue.rx_ring.resize(config_.rx_ring_size);
+    queue.tx_ring.resize(config_.tx_ring_size);
+  }
 }
 
 uint32_t NicDriver::rx_buffer_bytes() const {
@@ -48,37 +61,40 @@ uint32_t NicDriver::rx_buffer_bytes() const {
                                SkbDataAlign(SharedInfoLayout::kSize));
 }
 
-bool NicDriver::PollDeadlineHit(uint64_t start_cycle, std::string_view loop) {
+bool NicDriver::PollDeadlineHit(Queue& q, uint64_t start_cycle, std::string_view loop) {
   if (clock_.now() - start_cycle < config_.poll_deadline_cycles) {
     return false;
   }
-  ++poll_deadline_hits_;
+  ++q.poll_deadline_hits;
   EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kNicPollDeadline,
                telemetry::Severity::kWarn, device_id_, clock_.now() - start_cycle,
-               this, config_.name + "_" + std::string(loop));
+               this, q.name + "_" + std::string(loop));
   if (dma_.telemetry().enabled()) {
     dma_.telemetry().counter("nic.poll_deadline_exceeded").Add();
   }
   return true;
 }
 
-Status NicDriver::FillRxRing() {
+Status NicDriver::FillRxRing(uint32_t queue) {
   trace::ScopedSpan span(tracer_, "nic.fill_rx");
+  Queue& q = queues_[queue];
+  // Each queue's NAPI context owns its own deadline: the budget starts when
+  // this queue's fill starts, not when the device-wide pass did.
   const uint64_t start = clock_.now();
   // Best-effort: one slot failing to fill must not leave the ones after it
   // empty; the first error is still reported.
   Status first = OkStatus();
   for (uint32_t i = 0; i < config_.rx_ring_size; ++i) {
-    if (rx_ring_[i].posted) {
+    if (q.rx_ring[i].posted) {
       continue;
     }
-    if (PollDeadlineHit(start, "fill_rx")) {
+    if (PollDeadlineHit(q, start, "fill_rx")) {
       // Out of budget: leave the rest for the retry path instead of stalling
       // the caller on a slow map path.
-      rx_needs_refill_ = true;
+      q.rx_needs_refill = true;
       break;
     }
-    Status status = RefillSlot(i);
+    Status status = RefillSlot(q, queue, i);
     if (first.ok() && !status.ok()) {
       first = status;
     }
@@ -86,20 +102,31 @@ Status NicDriver::FillRxRing() {
   return first;
 }
 
-Status NicDriver::RefillSlot(uint32_t index) {
+Status NicDriver::FillAllRxRings() {
+  Status first = OkStatus();
+  for (uint32_t q = 0; q < queues_.size(); ++q) {
+    Status status = FillRxRing(q);
+    if (first.ok() && !status.ok()) {
+      first = status;
+    }
+  }
+  return first;
+}
+
+Status NicDriver::RefillSlot(Queue& q, uint32_t queue, uint32_t index) {
   if (fault_ != nullptr && fault_->armed() &&
       fault_->ShouldInject(fault::FaultSite::kNicRxRefillStarve)) {
     return ResourceExhausted("injected: rx refill starvation");
   }
-  // Ring work executes on the driver's IRQ CPU: IOVA magazine traffic for
+  // Ring work executes on the queue's IRQ CPU: IOVA magazine traffic for
   // this device stays CPU-local (the Linux rcache locality assumption).
-  dma_.set_current_cpu(config_.cpu);
-  slab::PageFragPool* pool = skb_alloc_.frag_pool(config_.cpu);
+  dma_.set_current_cpu(q.cpu);
+  slab::PageFragPool* pool = skb_alloc_.frag_pool(q.cpu);
   if (pool == nullptr) {
     return FailedPrecondition("no page_frag pool for driver cpu");
   }
   Result<Kva> head =
-      pool->Alloc(rx_buffer_bytes(), kSmpCacheBytes, config_.name + "_alloc_rx_buf");
+      pool->Alloc(rx_buffer_bytes(), kSmpCacheBytes, q.name + "_alloc_rx_buf");
   if (!head.ok()) {
     return head.status();
   }
@@ -109,52 +136,58 @@ Status NicDriver::RefillSlot(uint32_t index) {
   const dma::DmaDirection rx_dir =
       config_.xdp ? dma::DmaDirection::kBidirectional : dma::DmaDirection::kFromDevice;
   Result<Iova> iova = dma_.MapSingle(device_id_, *head, rx_buffer_bytes(), rx_dir,
-                                     config_.name + "_map_rx");
+                                     q.name + "_map_rx");
   if (!iova.ok()) {
     (void)pool->Free(*head);
     return iova.status();
   }
-  rx_ring_[index] = RxSlot{true, *head, *iova};
+  q.rx_ring[index] = RxSlot{true, *head, *iova};
   if (device_ != nullptr) {
-    device_->OnRxPosted(RxPostedDescriptor{index, *iova, rx_buffer_bytes()});
+    RxPostedDescriptor descriptor;
+    descriptor.queue = queue;
+    descriptor.index = index;
+    descriptor.iova = *iova;
+    descriptor.buf_len = rx_buffer_bytes();
+    device_->OnRxPosted(descriptor);
   }
   return OkStatus();
 }
 
-void NicDriver::RefillSlotTolerant(uint32_t index) {
-  Status status = RefillSlot(index);
+void NicDriver::RefillSlotTolerant(Queue& q, uint32_t queue, uint32_t index) {
+  Status status = RefillSlot(q, queue, index);
   if (status.ok()) {
     return;
   }
   // The ring runs one slot short; RetryRefills() will try again after the
   // backoff window instead of failing the completion that noticed it.
-  ++rx_refill_failures_;
-  rx_needs_refill_ = true;
-  refill_backoff_until_ = clock_.now() + config_.refill_retry_backoff_cycles;
+  ++q.rx_refill_failures;
+  q.rx_needs_refill = true;
+  q.refill_backoff_until = clock_.now() + config_.refill_retry_backoff_cycles;
   if (dma_.telemetry().enabled()) {
     dma_.telemetry().counter("nic.rx_refill_failures").Add();
   }
 }
 
-uint32_t NicDriver::RetryRefills() {
-  if (!rx_needs_refill_ || clock_.now() < refill_backoff_until_) {
+uint32_t NicDriver::RetryRefills(uint32_t queue) {
+  Queue& q = queues_[queue];
+  if (!q.rx_needs_refill || clock_.now() < q.refill_backoff_until) {
     return 0;
   }
   const uint64_t start = clock_.now();
   uint32_t refilled = 0;
   bool failed = false;
-  for (uint32_t i = 0; i < rx_ring_.size(); ++i) {
-    if (rx_ring_[i].posted) {
+  for (uint32_t i = 0; i < q.rx_ring.size(); ++i) {
+    if (q.rx_ring[i].posted) {
       continue;
     }
-    if (PollDeadlineHit(start, "retry_refills")) {
-      failed = true;  // budget spent: keep rx_needs_refill_ armed for later
+    if (PollDeadlineHit(q, start, "retry_refills")) {
+      failed = true;  // budget spent: keep rx_needs_refill armed for later
       break;
     }
-    Status status = RefillSlot(i);
+    Status status = RefillSlot(q, queue, i);
     if (!status.ok()) {
-      ++rx_refill_failures_;
-      refill_backoff_until_ = clock_.now() + config_.refill_retry_backoff_cycles;
+      ++q.rx_refill_failures;
+      q.refill_backoff_until = clock_.now() + config_.refill_retry_backoff_cycles;
       if (dma_.telemetry().enabled()) {
         dma_.telemetry().counter("nic.rx_refill_failures").Add();
       }
@@ -164,12 +197,12 @@ uint32_t NicDriver::RetryRefills() {
     ++refilled;
   }
   if (!failed) {
-    rx_needs_refill_ = false;
+    q.rx_needs_refill = false;
   }
   if (refilled > 0) {
     EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kFaultRecovered,
                  telemetry::Severity::kInfo, device_id_, refilled, this,
-                 config_.name + "_rx_refill_retry");
+                 q.name + "_rx_refill_retry");
     if (dma_.telemetry().enabled()) {
       dma_.telemetry().counter("fault.recovered.rx_refill_retry").Add();
     }
@@ -177,43 +210,61 @@ uint32_t NicDriver::RetryRefills() {
   return refilled;
 }
 
-Result<SkBuffPtr> NicDriver::DropRxFrame(uint32_t index, uint32_t pkt_len,
+uint32_t NicDriver::RetryAllRefills() {
+  uint32_t refilled = 0;
+  for (uint32_t q = 0; q < queues_.size(); ++q) {
+    refilled += RetryRefills(q);
+  }
+  return refilled;
+}
+
+Result<SkBuffPtr> NicDriver::DropRxFrame(uint32_t queue, uint32_t index, uint32_t pkt_len,
                                          std::string_view counter) {
-  RxSlot slot = rx_ring_[index];
-  rx_ring_[index].posted = false;
+  Queue& q = queues_[queue];
+  RxSlot slot = q.rx_ring[index];
+  q.rx_ring[index].posted = false;
   EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kNicRxError,
                telemetry::Severity::kWarn, device_id_, pkt_len, this,
-               config_.name + "_rx_error");
+               q.name + "_rx_error");
   if (dma_.telemetry().enabled()) {
     dma_.telemetry().counter(std::string(counter)).Add();
   }
   if (config_.sync_only_rx) {
     // Page-reuse drivers keep the buffer and its (permanent) mapping: the
     // same slot is simply reposted.
-    rx_ring_[index] = slot;
+    q.rx_ring[index] = slot;
     if (device_ != nullptr) {
-      device_->OnRxPosted(RxPostedDescriptor{index, slot.iova, rx_buffer_bytes()});
+      RxPostedDescriptor descriptor;
+      descriptor.queue = queue;
+      descriptor.index = index;
+      descriptor.iova = slot.iova;
+      descriptor.buf_len = rx_buffer_bytes();
+      device_->OnRxPosted(descriptor);
     }
     return SkBuffPtr{};
   }
   const dma::DmaDirection rx_dir =
       config_.xdp ? dma::DmaDirection::kBidirectional : dma::DmaDirection::kFromDevice;
   SPV_RETURN_IF_ERROR(dma_.UnmapSingle(device_id_, slot.iova, rx_buffer_bytes(), rx_dir));
-  slab::PageFragPool* pool = skb_alloc_.frag_pool(config_.cpu);
+  slab::PageFragPool* pool = skb_alloc_.frag_pool(q.cpu);
   if (pool != nullptr) {
     SPV_RETURN_IF_ERROR(pool->Free(slot.head));
   }
-  RefillSlotTolerant(index);
+  RefillSlotTolerant(q, queue, index);
   return SkBuffPtr{};
 }
 
-Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
+Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t queue, uint32_t index, uint32_t pkt_len) {
   trace::ScopedSpan span(tracer_, "nic.complete_rx");
-  if (index >= rx_ring_.size() || !rx_ring_[index].posted) {
+  if (queue >= queues_.size()) {
+    return FailedPrecondition("RX completion on unknown queue");
+  }
+  Queue& q = queues_[queue];
+  if (index >= q.rx_ring.size() || !q.rx_ring[index].posted) {
     return FailedPrecondition("RX completion on empty slot");
   }
-  dma_.set_current_cpu(config_.cpu);
-  RetryRefills();
+  dma_.set_current_cpu(q.cpu);
+  RetryRefills(queue);
   const bool faulting = fault_ != nullptr && fault_->armed();
   if (faulting && fault_->ShouldInject(fault::FaultSite::kNicDeviceStall)) {
     // The device went quiet for a while before delivering this completion;
@@ -238,18 +289,18 @@ Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
   if (pkt_len < PacketHeader::kSize || pkt_len > usable) {
     if (injected_bad_len) {
       // Device-originated garbage: drop with accounting and recover the slot.
-      ++rx_length_errors_;
-      return DropRxFrame(index, pkt_len, "nic.rx_length_errors");
+      ++q.rx_length_errors;
+      return DropRxFrame(queue, index, pkt_len, "nic.rx_length_errors");
     }
     // Caller misuse: reject and leave the slot posted.
     return InvalidArgument("RX packet length out of bounds");
   }
   if (faulting && fault_->ShouldInject(fault::FaultSite::kNicRxDrop)) {
-    ++rx_device_drops_;
-    return DropRxFrame(index, pkt_len, "nic.rx_device_drops");
+    ++q.rx_device_drops;
+    return DropRxFrame(queue, index, pkt_len, "nic.rx_device_drops");
   }
-  RxSlot slot = rx_ring_[index];
-  rx_ring_[index].posted = false;
+  RxSlot slot = q.rx_ring[index];
+  q.rx_ring[index].posted = false;
   if (faulting && fault_->ShouldInject(fault::FaultSite::kNicRxCorrupt)) {
     // Payload corruption: scribble the on-wire header before the driver
     // parses it; the stack's length/parse checks must catch it.
@@ -259,7 +310,7 @@ Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
   auto build = [&]() -> Result<SkBuffPtr> {
     Result<SkBuffPtr> skb = skb_alloc_.BuildSkb(
         slot.head, rx_buffer_bytes(),
-        OwnedBuffer{slot.head, BufSource::kPageFrag, config_.cpu});
+        OwnedBuffer{slot.head, BufSource::kPageFrag, q.cpu});
     if (!skb.ok()) {
       return skb.status();
     }
@@ -283,40 +334,40 @@ Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
       SPV_RETURN_IF_ERROR(
           dma_.UnmapSingle(device_id_, slot.iova, rx_buffer_bytes(), rx_dir));
       if (verdict == XdpVerdict::kDrop) {
-        ++xdp_drops_;
+        ++q.xdp_drops;
         EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kXdpDrop,
                      telemetry::Severity::kInfo, device_id_, pkt_len, this,
-                     config_.name + "_xdp_drop");
+                     q.name + "_xdp_drop");
         if (dma_.telemetry().enabled()) {
           dma_.telemetry().counter("nic.xdp_drops").Add();
         }
-        slab::PageFragPool* pool = skb_alloc_.frag_pool(config_.cpu);
+        slab::PageFragPool* pool = skb_alloc_.frag_pool(q.cpu);
         if (pool != nullptr) {
           SPV_RETURN_IF_ERROR(pool->Free(slot.head));
         }
-        SPV_RETURN_IF_ERROR(RefillSlot(index));
+        SPV_RETURN_IF_ERROR(RefillSlot(q, queue, index));
         return SkBuffPtr{};
       }
       // XDP_TX: bounce the (possibly rewritten) packet straight back out.
       Result<SkBuffPtr> bounce = skb_alloc_.BuildSkb(
           slot.head, rx_buffer_bytes(),
-          OwnedBuffer{slot.head, BufSource::kPageFrag, config_.cpu});
+          OwnedBuffer{slot.head, BufSource::kPageFrag, q.cpu});
       if (!bounce.ok()) {
         return bounce.status();
       }
       (*bounce)->len = pkt_len;
-      Result<uint32_t> tx = PostTx(std::move(*bounce));
+      Result<uint32_t> tx = PostTx(queue, std::move(*bounce));
       if (!tx.ok()) {
         return tx.status();
       }
-      ++xdp_tx_;
+      ++q.xdp_tx;
       EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kXdpTx,
                    telemetry::Severity::kInfo, device_id_, pkt_len, this,
-                   config_.name + "_xdp_tx");
+                   q.name + "_xdp_tx");
       if (dma_.telemetry().enabled()) {
         dma_.telemetry().counter("nic.xdp_tx").Add();
       }
-      SPV_RETURN_IF_ERROR(RefillSlot(index));
+      SPV_RETURN_IF_ERROR(RefillSlot(q, queue, index));
       return SkBuffPtr{};
     }
   }
@@ -342,7 +393,7 @@ Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
     // has WRITE access. The device gets its race window, then we unmap.
     skb = build();
     if (device_ != nullptr) {
-      device_->OnRxCompleting(index);
+      device_->OnRxCompleting(queue, index);
     }
     SPV_RETURN_IF_ERROR(
         dma_.UnmapSingle(device_id_, slot.iova, rx_buffer_bytes(), rx_dir));
@@ -350,10 +401,10 @@ Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
   if (!skb.ok()) {
     return skb.status();
   }
-  ++rx_packets_;
+  ++q.rx_packets;
   EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kNicRx,
                telemetry::Severity::kInfo, device_id_, pkt_len, this,
-               config_.name + "_rx");
+               q.name + "_rx");
   if (dma_.telemetry().enabled()) {
     dma_.telemetry().counter("nic.rx_packets").Add();
   }
@@ -361,13 +412,17 @@ Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t index, uint32_t pkt_len) {
   // full (this is what makes consecutive ring buffers page-neighbours). A
   // failed refill must not lose the packet we already built — it arms the
   // retry backoff instead.
-  RefillSlotTolerant(index);
+  RefillSlotTolerant(q, queue, index);
   return skb;
 }
 
-Result<uint32_t> NicDriver::PostTx(SkBuffPtr skb) {
+Result<uint32_t> NicDriver::PostTx(uint32_t queue, SkBuffPtr skb) {
   trace::ScopedSpan span(tracer_, "nic.post_tx");
-  Result<uint32_t> index = TryPostTx(skb);
+  if (queue >= queues_.size()) {
+    (void)skb_alloc_.FreeSkb(std::move(skb), nullptr);
+    return FailedPrecondition("TX post on unknown queue");
+  }
+  Result<uint32_t> index = TryPostTx(queue, skb);
   if (!index.ok() && skb != nullptr) {
     // TryPostTx leaves the skb with the caller on failure; PostTx owns it, so
     // it is released here rather than leaked.
@@ -376,25 +431,26 @@ Result<uint32_t> NicDriver::PostTx(SkBuffPtr skb) {
   return index;
 }
 
-Result<uint32_t> NicDriver::TryPostTx(SkBuffPtr& skb) {
-  dma_.set_current_cpu(config_.cpu);
+Result<uint32_t> NicDriver::TryPostTx(uint32_t queue, SkBuffPtr& skb) {
+  Queue& q = queues_[queue];
+  dma_.set_current_cpu(q.cpu);
   uint32_t index = 0;
-  for (; index < tx_ring_.size(); ++index) {
-    if (!tx_ring_[index].busy) {
+  for (; index < q.tx_ring.size(); ++index) {
+    if (!q.tx_ring[index].busy) {
       break;
     }
   }
-  if (index == tx_ring_.size()) {
+  if (index == q.tx_ring.size()) {
     return ResourceExhausted("TX ring full");
   }
-  TxSlot& slot = tx_ring_[index];
+  TxSlot& slot = q.tx_ring[index];
   slot.busy = true;
   slot.linear_len = skb->linear_len();
   slot.post_cycle = clock_.now();
 
   Result<Iova> linear = dma_.MapSingle(device_id_, skb->data, slot.linear_len,
                                        dma::DmaDirection::kToDevice,
-                                       config_.name + "_xmit_linear");
+                                       q.name + "_xmit_linear");
   if (!linear.ok()) {
     slot = TxSlot{};
     return linear.status();
@@ -406,7 +462,7 @@ Result<uint32_t> NicDriver::TryPostTx(SkBuffPtr& skb) {
   // the TCP stack's, or an attacker's — get mapped for device READ.
   SharedInfoView shinfo{kmem_, skb->shared_info()};
   auto fail = [&](Status status) -> Result<uint32_t> {
-    (void)UnmapTxSlot(slot);
+    (void)UnmapTxSlot(q, slot);
     slot = TxSlot{};
     return status;
   };
@@ -428,7 +484,7 @@ Result<uint32_t> NicDriver::TryPostTx(SkBuffPtr& skb) {
         kmem_.layout().PhysToDirectMapKva(PhysAddr::FromPfn(*pfn, frag->page_offset));
     Result<Iova> frag_iova = dma_.MapSingle(device_id_, frag_kva, frag->size,
                                             dma::DmaDirection::kToDevice,
-                                            config_.name + "_xmit_frag");
+                                            q.name + "_xmit_frag");
     if (!frag_iova.ok()) {
       return fail(frag_iova.status());
     }
@@ -436,6 +492,7 @@ Result<uint32_t> NicDriver::TryPostTx(SkBuffPtr& skb) {
   }
 
   TxPostedDescriptor descriptor;
+  descriptor.queue = queue;
   descriptor.index = index;
   descriptor.linear_iova = slot.linear_iova;
   descriptor.linear_len = slot.linear_len;
@@ -444,10 +501,10 @@ Result<uint32_t> NicDriver::TryPostTx(SkBuffPtr& skb) {
     descriptor.frag_lens.push_back(frag.len);
   }
   slot.skb = std::move(skb);
-  ++tx_packets_;
+  ++q.tx_packets;
   EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kNicTx,
                telemetry::Severity::kInfo, device_id_, slot.linear_len, this,
-               config_.name + "_tx");
+               q.name + "_tx");
   if (dma_.telemetry().enabled()) {
     dma_.telemetry().counter("nic.tx_packets").Add();
   }
@@ -457,8 +514,8 @@ Result<uint32_t> NicDriver::TryPostTx(SkBuffPtr& skb) {
   return index;
 }
 
-Status NicDriver::UnmapTxSlot(TxSlot& slot) {
-  dma_.set_current_cpu(config_.cpu);
+Status NicDriver::UnmapTxSlot(Queue& q, TxSlot& slot) {
+  dma_.set_current_cpu(q.cpu);
   // Attempt every unmap even if one fails — an early return here would strand
   // the remaining frag mappings with no one left holding their IOVAs.
   Status first = dma_.UnmapSingle(device_id_, slot.linear_iova, slot.linear_len,
@@ -473,9 +530,13 @@ Status NicDriver::UnmapTxSlot(TxSlot& slot) {
   return first;
 }
 
-Result<SkBuffPtr> NicDriver::CompleteTx(uint32_t index) {
+Result<SkBuffPtr> NicDriver::CompleteTx(uint32_t queue, uint32_t index) {
   trace::ScopedSpan span(tracer_, "nic.complete_tx");
-  if (index >= tx_ring_.size() || !tx_ring_[index].busy) {
+  if (queue >= queues_.size()) {
+    return FailedPrecondition("TX completion on unknown queue");
+  }
+  Queue& q = queues_[queue];
+  if (index >= q.tx_ring.size() || !q.tx_ring[index].busy) {
     return FailedPrecondition("TX completion on empty slot");
   }
   if (fault_ != nullptr && fault_->armed() &&
@@ -484,32 +545,34 @@ Result<SkBuffPtr> NicDriver::CompleteTx(uint32_t index) {
     // intact) until the TX watchdog flushes it (§5.4's T/O path).
     return Unavailable("injected: TX completion lost");
   }
-  TxSlot& slot = tx_ring_[index];
-  SPV_RETURN_IF_ERROR(UnmapTxSlot(slot));
+  TxSlot& slot = q.tx_ring[index];
+  SPV_RETURN_IF_ERROR(UnmapTxSlot(q, slot));
   SkBuffPtr skb = std::move(slot.skb);
   slot = TxSlot{};
   return skb;
 }
 
-uint32_t NicDriver::CheckTxTimeout() {
+uint32_t NicDriver::CheckTxTimeout(uint32_t queue) {
+  Queue& q = queues_[queue];
   uint32_t timed_out = 0;
-  for (TxSlot& slot : tx_ring_) {
+  for (TxSlot& slot : q.tx_ring) {
     if (slot.busy && clock_.now() - slot.post_cycle > config_.tx_timeout_cycles) {
       ++timed_out;
     }
   }
   if (timed_out > 0) {
-    // Driver reset: flush every pending TX buffer. Flushed skbs are parked on
-    // the bounded requeue list (RequeueTimedOut reposts them) — not leaked.
-    for (TxSlot& slot : tx_ring_) {
+    // Queue reset: flush every pending TX buffer on THIS queue (siblings are
+    // untouched, like netif_tx_stop_queue on one txq). Flushed skbs are
+    // parked on the queue's bounded requeue list — not leaked.
+    for (TxSlot& slot : q.tx_ring) {
       if (!slot.busy) {
         continue;
       }
-      (void)UnmapTxSlot(slot);
-      if (tx_requeue_.size() < tx_ring_.size()) {
-        tx_requeue_.push_back(PendingTx{std::move(slot.skb), 0});
+      (void)UnmapTxSlot(q, slot);
+      if (q.tx_requeue.size() < q.tx_ring.size()) {
+        q.tx_requeue.push_back(PendingTx{std::move(slot.skb), 0});
       } else {
-        ++tx_requeue_drops_;
+        ++q.tx_requeue_drops;
         (void)skb_alloc_.FreeSkb(std::move(slot.skb), nullptr);
         if (dma_.telemetry().enabled()) {
           dma_.telemetry().counter("nic.tx_dropped").Add();
@@ -517,10 +580,10 @@ uint32_t NicDriver::CheckTxTimeout() {
       }
       slot = TxSlot{};
     }
-    ++tx_resets_;
+    ++q.tx_resets;
     EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kNicTxReset,
                  telemetry::Severity::kWarn, device_id_, timed_out, this,
-                 config_.name + "_tx_timeout_reset");
+                 q.name + "_tx_timeout_reset");
     if (dma_.telemetry().enabled()) {
       dma_.telemetry().counter("nic.tx_resets").Add();
       dma_.telemetry().counter("nic.ring_reset").Add();
@@ -529,21 +592,30 @@ uint32_t NicDriver::CheckTxTimeout() {
   return timed_out;
 }
 
-uint32_t NicDriver::RequeueTimedOut() {
+uint32_t NicDriver::CheckTxTimeout() {
+  uint32_t timed_out = 0;
+  for (uint32_t q = 0; q < queues_.size(); ++q) {
+    timed_out += CheckTxTimeout(q);
+  }
+  return timed_out;
+}
+
+uint32_t NicDriver::RequeueTimedOut(uint32_t queue) {
+  Queue& q = queues_[queue];
   const uint64_t start = clock_.now();
   uint32_t reposted = 0;
-  while (!tx_requeue_.empty()) {
-    if (PollDeadlineHit(start, "requeue_timed_out")) {
+  while (!q.tx_requeue.empty()) {
+    if (PollDeadlineHit(q, start, "requeue_timed_out")) {
       break;  // remaining skbs stay parked for the next poll
     }
-    PendingTx pending = std::move(tx_requeue_.front());
-    tx_requeue_.pop_front();
-    Result<uint32_t> index = TryPostTx(pending.skb);
+    PendingTx pending = std::move(q.tx_requeue.front());
+    q.tx_requeue.pop_front();
+    Result<uint32_t> index = TryPostTx(queue, pending.skb);
     if (index.ok()) {
       ++reposted;
       EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kFaultRecovered,
                    telemetry::Severity::kInfo, device_id_, *index, this,
-                   config_.name + "_tx_requeue");
+                   q.name + "_tx_requeue");
       if (dma_.telemetry().enabled()) {
         dma_.telemetry().counter("fault.recovered.tx_requeue").Add();
       }
@@ -551,7 +623,7 @@ uint32_t NicDriver::RequeueTimedOut() {
     }
     ++pending.attempts;
     if (pending.attempts >= config_.tx_requeue_max_attempts) {
-      ++tx_requeue_drops_;
+      ++q.tx_requeue_drops;
       (void)skb_alloc_.FreeSkb(std::move(pending.skb), nullptr);
       if (dma_.telemetry().enabled()) {
         dma_.telemetry().counter("nic.tx_requeue_dropped").Add();
@@ -559,15 +631,22 @@ uint32_t NicDriver::RequeueTimedOut() {
       continue;
     }
     // Head-of-line: put it back and stop — the ring is presumably still full.
-    tx_requeue_.push_front(std::move(pending));
+    q.tx_requeue.push_front(std::move(pending));
     break;
+  }
+  return reposted;
+}
+
+uint32_t NicDriver::RequeueTimedOut() {
+  uint32_t reposted = 0;
+  for (uint32_t q = 0; q < queues_.size(); ++q) {
+    reposted += RequeueTimedOut(q);
   }
   return reposted;
 }
 
 Status NicDriver::Shutdown() {
   trace::ScopedSpan span(tracer_, "nic.shutdown");
-  dma_.set_current_cpu(config_.cpu);
   Status first = OkStatus();
   auto note = [&first](const Status& status) {
     if (first.ok() && !status.ok()) {
@@ -576,55 +655,123 @@ Status NicDriver::Shutdown() {
   };
   const dma::DmaDirection rx_dir =
       config_.xdp ? dma::DmaDirection::kBidirectional : dma::DmaDirection::kFromDevice;
-  slab::PageFragPool* pool = skb_alloc_.frag_pool(config_.cpu);
-  for (RxSlot& slot : rx_ring_) {
-    if (!slot.posted) {
-      continue;
+  for (Queue& q : queues_) {
+    dma_.set_current_cpu(q.cpu);
+    slab::PageFragPool* pool = skb_alloc_.frag_pool(q.cpu);
+    for (RxSlot& slot : q.rx_ring) {
+      if (!slot.posted) {
+        continue;
+      }
+      note(dma_.UnmapSingle(device_id_, slot.iova, rx_buffer_bytes(), rx_dir));
+      if (pool != nullptr) {
+        note(pool->Free(slot.head));
+      }
+      slot = RxSlot{};
     }
-    note(dma_.UnmapSingle(device_id_, slot.iova, rx_buffer_bytes(), rx_dir));
-    if (pool != nullptr) {
-      note(pool->Free(slot.head));
+    for (TxSlot& slot : q.tx_ring) {
+      if (!slot.busy) {
+        continue;
+      }
+      note(UnmapTxSlot(q, slot));
+      note(skb_alloc_.FreeSkb(std::move(slot.skb), nullptr));
+      slot = TxSlot{};
     }
-    slot = RxSlot{};
-  }
-  for (TxSlot& slot : tx_ring_) {
-    if (!slot.busy) {
-      continue;
+    while (!q.tx_requeue.empty()) {
+      note(skb_alloc_.FreeSkb(std::move(q.tx_requeue.front().skb), nullptr));
+      q.tx_requeue.pop_front();
     }
-    note(UnmapTxSlot(slot));
-    note(skb_alloc_.FreeSkb(std::move(slot.skb), nullptr));
-    slot = TxSlot{};
+    q.rx_needs_refill = false;
   }
-  while (!tx_requeue_.empty()) {
-    note(skb_alloc_.FreeSkb(std::move(tx_requeue_.front().skb), nullptr));
-    tx_requeue_.pop_front();
-  }
-  rx_needs_refill_ = false;
   return first;
 }
 
-std::optional<Kva> NicDriver::RxSlotKva(uint32_t index) const {
-  if (index >= rx_ring_.size() || !rx_ring_[index].posted) {
+std::optional<Kva> NicDriver::RxSlotKva(uint32_t queue, uint32_t index) const {
+  if (queue >= queues_.size()) {
     return std::nullopt;
   }
-  return rx_ring_[index].head;
+  const Queue& q = queues_[queue];
+  if (index >= q.rx_ring.size() || !q.rx_ring[index].posted) {
+    return std::nullopt;
+  }
+  return q.rx_ring[index].head;
 }
 
-std::optional<Iova> NicDriver::RxSlotIova(uint32_t index) const {
-  if (index >= rx_ring_.size() || !rx_ring_[index].posted) {
+std::optional<Iova> NicDriver::RxSlotIova(uint32_t queue, uint32_t index) const {
+  if (queue >= queues_.size()) {
     return std::nullopt;
   }
-  return rx_ring_[index].iova;
+  const Queue& q = queues_[queue];
+  if (index >= q.rx_ring.size() || !q.rx_ring[index].posted) {
+    return std::nullopt;
+  }
+  return q.rx_ring[index].iova;
 }
 
 uint32_t NicDriver::pending_tx() const {
   uint32_t count = 0;
-  for (const TxSlot& slot : tx_ring_) {
+  for (uint32_t q = 0; q < queues_.size(); ++q) {
+    count += pending_tx(q);
+  }
+  return count;
+}
+
+uint32_t NicDriver::pending_tx(uint32_t queue) const {
+  uint32_t count = 0;
+  for (const TxSlot& slot : queues_[queue].tx_ring) {
     if (slot.busy) {
       ++count;
     }
   }
   return count;
+}
+
+size_t NicDriver::tx_requeue_depth() const {
+  size_t depth = 0;
+  for (const Queue& q : queues_) {
+    depth += q.tx_requeue.size();
+  }
+  return depth;
+}
+
+Status NicDriver::AuditQueues() const {
+  for (uint32_t qi = 0; qi < queues_.size(); ++qi) {
+    const Queue& q = queues_[qi];
+    for (uint32_t i = 0; i < q.rx_ring.size(); ++i) {
+      const RxSlot& slot = q.rx_ring[i];
+      if (!slot.posted) {
+        continue;
+      }
+      std::optional<dma::DmaMapping> mapping = dma_.FindMapping(device_id_, slot.iova);
+      if (!mapping.has_value()) {
+        return Internal(q.name + " rx slot " + std::to_string(i) +
+                        " posted but its IOVA has no live DMA mapping");
+      }
+      if (mapping->len != rx_buffer_bytes()) {
+        return Internal(q.name + " rx slot " + std::to_string(i) +
+                        " mapping length disagrees with the ring's buffer size");
+      }
+    }
+    for (uint32_t i = 0; i < q.tx_ring.size(); ++i) {
+      const TxSlot& slot = q.tx_ring[i];
+      if (!slot.busy) {
+        continue;
+      }
+      if (!dma_.FindMapping(device_id_, slot.linear_iova).has_value()) {
+        return Internal(q.name + " tx slot " + std::to_string(i) +
+                        " busy but its linear IOVA has no live DMA mapping");
+      }
+      for (const TxFragMapping& frag : slot.frags) {
+        if (!dma_.FindMapping(device_id_, frag.iova).has_value()) {
+          return Internal(q.name + " tx slot " + std::to_string(i) +
+                          " has an unmapped frag IOVA");
+        }
+      }
+    }
+    if (q.tx_requeue.size() > q.tx_ring.size()) {
+      return Internal(q.name + " requeue list exceeds its bound");
+    }
+  }
+  return OkStatus();
 }
 
 }  // namespace spv::net

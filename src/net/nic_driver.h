@@ -1,4 +1,4 @@
-// NIC driver model: RX/TX rings over the DMA API.
+// NIC driver model: per-queue RX/TX rings over the DMA API.
 //
 // Configurable to reproduce the driver behaviours the paper measures:
 //   * unmap_before_build=false — the prevalent i40e-like ordering that builds
@@ -10,6 +10,14 @@
 //   * hw_lro — 64 KiB RX buffers (mlx5/bnx2x style), inflating the driver's
 //     memory footprint, which is what makes RingFlood PFN-guessing easy on
 //     kernel 4.15 (§5.3).
+//
+// Multi-queue: the driver owns config.num_queues independent queue pairs,
+// each pinned to one sim CPU (like a real RSS NIC's per-CPU MSI-X vectors).
+// Every ring operation takes a queue index; the historical single-queue API
+// is preserved as a byte-identical delegation to queue 0. The device decides
+// which RX queue a flow lands on through the Toeplitz RSS hash (net/rss.h) —
+// and therefore which CPU's IOVA magazines, flush-queue shard and page_frag
+// pool the buffer travels through.
 
 #ifndef SPV_NET_NIC_DRIVER_H_
 #define SPV_NET_NIC_DRIVER_H_
@@ -22,11 +30,13 @@
 #include <vector>
 
 #include "base/clock.h"
+#include "base/stat_counter.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "dma/dma_api.h"
 #include "dma/kernel_memory.h"
 #include "net/nic_device_model.h"
+#include "net/rss.h"
 #include "net/skbuff.h"
 #include "recovery/supervised.h"
 
@@ -56,8 +66,13 @@ class NicDriver : public recovery::SupervisedDriver {
   struct Config {
     std::string name = "nic0";
     CpuId cpu{0};
-    uint32_t rx_ring_size = 64;
-    uint32_t tx_ring_size = 64;
+    // Number of RX/TX queue pairs. Queue q runs on queue_cpus[q] when
+    // provided, else on CpuId{cpu.value + q} (queue 0 always stays on `cpu`,
+    // so single-queue configs behave exactly as before).
+    uint32_t num_queues = 1;
+    std::vector<CpuId> queue_cpus;
+    uint32_t rx_ring_size = 64;   // per queue
+    uint32_t tx_ring_size = 64;   // per queue
     uint32_t rx_buf_len = 2048;   // data capacity per RX buffer
     bool unmap_before_build = true;
     bool hw_lro = false;          // allocate 64 KiB per RX entry regardless of MTU
@@ -75,8 +90,9 @@ class NicDriver : public recovery::SupervisedDriver {
     uint32_t tx_requeue_max_attempts = 3;
     // NAPI-style budget for the driver's polling loops (ring fill, refill
     // retry, TX requeue): a loop that has burned this many sim cycles yields,
-    // leaving the rest for the next poll. Keeps a slow path (fault-stalled
-    // invalidations, a starved allocator) from wedging the caller.
+    // leaving the rest for the next poll. The budget is PER QUEUE per entry —
+    // each queue's NAPI context owns its own deadline, so one wedged queue
+    // cannot starve its siblings' polls.
     uint64_t poll_deadline_cycles = SimClock::MsToCycles(2);
   };
 
@@ -99,77 +115,116 @@ class NicDriver : public recovery::SupervisedDriver {
   // Attaches an XDP program; only meaningful with config.xdp = true (the
   // driver maps RX buffers BIDIRECTIONAL for in-place rewrites).
   void AttachXdp(XdpProgram* program) { xdp_program_ = program; }
-  uint64_t xdp_drops() const { return xdp_drops_; }
-  uint64_t xdp_tx() const { return xdp_tx_; }
+  uint64_t xdp_drops() const { return SumQueues(&Queue::xdp_drops); }
+  uint64_t xdp_tx() const { return SumQueues(&Queue::xdp_tx); }
+
+  // ---- RSS ------------------------------------------------------------------
+
+  const Rss& rss() const { return rss_; }
+  // The RX queue the device's RSS hash steers this flow to.
+  uint32_t QueueForFlow(const FlowTuple& tuple) const { return rss_.QueueFor(tuple); }
 
   // ---- RX -------------------------------------------------------------------
 
   // Allocates + maps a buffer for every empty RX slot and posts descriptors.
-  Status FillRxRing();
+  // The legacy no-argument form services queue 0 only.
+  Status FillRxRing() { return FillRxRing(0); }
+  Status FillRxRing(uint32_t queue);
+  // Every queue, each with its own fresh poll budget.
+  Status FillAllRxRings();
 
   // Driver-side completion after the device wrote `pkt_len` bytes into slot
-  // `index`: builds the sk_buff (per the configured ordering), refills the
-  // slot, returns the packet. Device-originated garbage (an injected drop,
-  // truncation or descriptor-writeback fault) is dropped with accounting and
-  // returns a null skb — only caller misuse returns an error.
-  Result<SkBuffPtr> CompleteRx(uint32_t index, uint32_t pkt_len);
+  // `index` of `queue`: builds the sk_buff (per the configured ordering),
+  // refills the slot, returns the packet. Device-originated garbage (an
+  // injected drop, truncation or descriptor-writeback fault) is dropped with
+  // accounting and returns a null skb — only caller misuse returns an error.
+  Result<SkBuffPtr> CompleteRx(uint32_t index, uint32_t pkt_len) {
+    return CompleteRx(0, index, pkt_len);
+  }
+  Result<SkBuffPtr> CompleteRx(uint32_t queue, uint32_t index, uint32_t pkt_len);
 
   // Retries refills for slots a failed allocation left empty, once the
   // backoff window has passed. Returns the number of slots refilled. Called
   // opportunistically from CompleteRx; exposed for NAPI-style polling loops.
-  uint32_t RetryRefills();
+  uint32_t RetryRefills() { return RetryRefills(0); }
+  uint32_t RetryRefills(uint32_t queue);
+  uint32_t RetryAllRefills();
 
   // ---- TX -------------------------------------------------------------------
 
   // Maps the skb (linear TO_DEVICE + every frag page TO_DEVICE) and posts a
   // TX descriptor. The driver trusts the frags[] in the DEVICE-VISIBLE
   // shared_info — faithfully reproducing the Forward-Thinking hole (§5.5).
-  Result<uint32_t> PostTx(SkBuffPtr skb);
+  Result<uint32_t> PostTx(SkBuffPtr skb) { return PostTx(0, std::move(skb)); }
+  Result<uint32_t> PostTx(uint32_t queue, SkBuffPtr skb);
 
   // Device signalled completion: unmap everything and hand the skb back for
   // release.
-  Result<SkBuffPtr> CompleteTx(uint32_t index);
+  Result<SkBuffPtr> CompleteTx(uint32_t index) { return CompleteTx(0, index); }
+  Result<SkBuffPtr> CompleteTx(uint32_t queue, uint32_t index);
 
   // TX watchdog: slots pending longer than tx_timeout_cycles are flushed; the
   // count of resets is reported (a failed-to-appear completion "triggers a TX
   // T/O error that flushes all buffers and resets the driver", §5.4).
-  // Flushed skbs are unmapped and parked on a bounded requeue list rather
-  // than leaked; RequeueTimedOut() reposts them.
+  // Flushed skbs are unmapped and parked on that queue's bounded requeue list
+  // rather than leaked; RequeueTimedOut() reposts them. The no-argument form
+  // runs the watchdog over every queue.
   uint32_t CheckTxTimeout();
+  uint32_t CheckTxTimeout(uint32_t queue);
 
   // Reposts skbs the watchdog flushed. Each skb gets at most
   // tx_requeue_max_attempts tries before it is freed. Returns the number
-  // successfully reposted.
+  // successfully reposted. The no-argument form drains every queue, each
+  // with its own fresh poll budget.
   uint32_t RequeueTimedOut();
+  uint32_t RequeueTimedOut(uint32_t queue);
 
   // Releases everything the driver holds: unmaps and frees every posted RX
-  // buffer, flushes pending TX slots and drains the requeue list. Returns the
-  // first error encountered but keeps going (best-effort teardown).
+  // buffer, flushes pending TX slots and drains the requeue lists on EVERY
+  // queue. Returns the first error encountered but keeps going (best-effort
+  // teardown).
   Status Shutdown() override;
 
-  // SupervisedDriver re-attach hook: bring the RX ring back up.
-  Status Resume() override { return FillRxRing(); }
+  // SupervisedDriver re-attach hook: bring every RX ring back up.
+  Status Resume() override { return FillAllRxRings(); }
 
   // ---- Introspection -----------------------------------------------------------
 
   DeviceId device_id() const { return device_id_; }
   const Config& config() const { return config_; }
+  uint32_t num_queues() const { return static_cast<uint32_t>(queues_.size()); }
+  CpuId queue_cpu(uint32_t queue) const { return queues_[queue].cpu; }
   uint32_t rx_buffer_bytes() const;  // truesize of one RX buffer
   uint64_t rx_ring_memory_bytes() const {
     return uint64_t{config_.rx_ring_size} * rx_buffer_bytes();
   }
-  std::optional<Kva> RxSlotKva(uint32_t index) const;
-  std::optional<Iova> RxSlotIova(uint32_t index) const;
+  std::optional<Kva> RxSlotKva(uint32_t index) const { return RxSlotKva(0, index); }
+  std::optional<Kva> RxSlotKva(uint32_t queue, uint32_t index) const;
+  std::optional<Iova> RxSlotIova(uint32_t index) const { return RxSlotIova(0, index); }
+  std::optional<Iova> RxSlotIova(uint32_t queue, uint32_t index) const;
   uint32_t pending_tx() const;
-  uint64_t rx_packets() const { return rx_packets_; }
-  uint64_t tx_packets() const { return tx_packets_; }
-  uint32_t tx_resets() const { return tx_resets_; }
-  uint64_t rx_length_errors() const { return rx_length_errors_; }
-  uint64_t rx_device_drops() const { return rx_device_drops_; }
-  uint64_t rx_refill_failures() const { return rx_refill_failures_; }
-  uint64_t tx_requeue_drops() const { return tx_requeue_drops_; }
-  size_t tx_requeue_depth() const { return tx_requeue_.size(); }
-  uint64_t poll_deadline_hits() const { return poll_deadline_hits_; }
+  uint32_t pending_tx(uint32_t queue) const;
+  uint64_t rx_packets() const { return SumQueues(&Queue::rx_packets); }
+  uint64_t rx_packets(uint32_t queue) const { return queues_[queue].rx_packets; }
+  uint64_t tx_packets() const { return SumQueues(&Queue::tx_packets); }
+  uint64_t tx_packets(uint32_t queue) const { return queues_[queue].tx_packets; }
+  uint32_t tx_resets() const { return static_cast<uint32_t>(SumQueues(&Queue::tx_resets)); }
+  uint64_t rx_length_errors() const { return SumQueues(&Queue::rx_length_errors); }
+  uint64_t rx_device_drops() const { return SumQueues(&Queue::rx_device_drops); }
+  uint64_t rx_refill_failures() const { return SumQueues(&Queue::rx_refill_failures); }
+  uint64_t tx_requeue_drops() const { return SumQueues(&Queue::tx_requeue_drops); }
+  size_t tx_requeue_depth() const;
+  size_t tx_requeue_depth(uint32_t queue) const { return queues_[queue].tx_requeue.size(); }
+  uint64_t poll_deadline_hits() const { return SumQueues(&Queue::poll_deadline_hits); }
+  uint64_t poll_deadline_hits(uint32_t queue) const {
+    return queues_[queue].poll_deadline_hits;
+  }
+
+  // Cross-checks every queue's ring state against the DMA mapping tracker:
+  // posted RX slots and busy TX slots must be backed by live mappings of the
+  // right length, and requeue lists must respect their bound. Feeds
+  // Machine::CheckInvariants' cross-CPU coverage.
+  Status AuditQueues() const;
 
  private:
   struct RxSlot {
@@ -196,19 +251,58 @@ class NicDriver : public recovery::SupervisedDriver {
     uint32_t attempts = 0;
   };
 
+  // One RX/TX queue pair and everything that used to be device-global state.
+  // In kThreads mode each queue is driven only by the thread for `cpu`, so
+  // the plain fields need no lock; the counters are StatCounters because the
+  // aggregate accessors sum them from other threads.
+  struct Queue {
+    Queue() = default;
+    Queue(const Queue&) = delete;
+    Queue& operator=(const Queue&) = delete;
+    Queue(Queue&&) = default;
+    Queue& operator=(Queue&&) = default;
+
+    CpuId cpu{0};
+    std::string name;  // "nic0" for queue 0, "nic0.q1", "nic0.q2", ...
+    std::vector<RxSlot> rx_ring;
+    std::vector<TxSlot> tx_ring;
+    std::deque<PendingTx> tx_requeue;  // watchdog-flushed skbs awaiting repost
+    uint64_t refill_backoff_until = 0;
+    bool rx_needs_refill = false;
+    StatCounter rx_packets;
+    StatCounter tx_packets;
+    StatCounter xdp_drops;
+    StatCounter xdp_tx;
+    StatCounter tx_resets;
+    StatCounter rx_length_errors;
+    StatCounter rx_device_drops;
+    StatCounter rx_refill_failures;
+    StatCounter tx_requeue_drops;
+    StatCounter poll_deadline_hits;
+  };
+
+  uint64_t SumQueues(StatCounter Queue::* counter) const {
+    uint64_t total = 0;
+    for (const Queue& q : queues_) {
+      total += q.*counter;
+    }
+    return total;
+  }
+
   // True once the polling loop that started at `start_cycle` has exhausted
-  // its budget; emits kNicPollDeadline (tagged `loop`) on the transition.
-  bool PollDeadlineHit(uint64_t start_cycle, std::string_view loop);
-  Status RefillSlot(uint32_t index);
+  // this queue's budget; emits kNicPollDeadline (tagged `loop`) on the
+  // transition and charges the hit to the queue, not the device.
+  bool PollDeadlineHit(Queue& q, uint64_t start_cycle, std::string_view loop);
+  Status RefillSlot(Queue& q, uint32_t queue, uint32_t index);
   // RefillSlot, but a failure arms the retry backoff instead of propagating:
   // the ring runs one slot short until RetryRefills() succeeds.
-  void RefillSlotTolerant(uint32_t index);
-  Status UnmapTxSlot(TxSlot& slot);
+  void RefillSlotTolerant(Queue& q, uint32_t queue, uint32_t index);
+  Status UnmapTxSlot(Queue& q, TxSlot& slot);
   // PostTx body that leaves `skb` with the caller on failure (requeue path).
-  Result<uint32_t> TryPostTx(SkBuffPtr& skb);
+  Result<uint32_t> TryPostTx(uint32_t queue, SkBuffPtr& skb);
   // Drops a completion the device delivered broken: recovers the slot (repost
   // or unmap+free+refill), accounts under `counter`, returns a null skb.
-  Result<SkBuffPtr> DropRxFrame(uint32_t index, uint32_t pkt_len,
+  Result<SkBuffPtr> DropRxFrame(uint32_t queue, uint32_t index, uint32_t pkt_len,
                                 std::string_view counter);
 
   DeviceId device_id_;
@@ -217,26 +311,13 @@ class NicDriver : public recovery::SupervisedDriver {
   SkbAllocator& skb_alloc_;
   SimClock& clock_;
   Config config_;
+  Rss rss_;
   NicDeviceModel* device_ = nullptr;
 
-  std::vector<RxSlot> rx_ring_;
-  std::vector<TxSlot> tx_ring_;
-  std::deque<PendingTx> tx_requeue_;  // watchdog-flushed skbs awaiting repost
+  std::vector<Queue> queues_;
   XdpProgram* xdp_program_ = nullptr;
   fault::FaultEngine* fault_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
-  uint64_t rx_packets_ = 0;
-  uint64_t tx_packets_ = 0;
-  uint64_t xdp_drops_ = 0;
-  uint64_t xdp_tx_ = 0;
-  uint32_t tx_resets_ = 0;
-  uint64_t rx_length_errors_ = 0;
-  uint64_t rx_device_drops_ = 0;
-  uint64_t rx_refill_failures_ = 0;
-  uint64_t tx_requeue_drops_ = 0;
-  uint64_t poll_deadline_hits_ = 0;
-  uint64_t refill_backoff_until_ = 0;
-  bool rx_needs_refill_ = false;
 };
 
 }  // namespace spv::net

@@ -1,0 +1,67 @@
+#include "net/rss.h"
+
+namespace spv::net {
+
+namespace {
+
+// The verification key from the NDIS RSS specification; every real driver
+// ships it in its selftests.
+constexpr std::array<uint8_t, Rss::kKeyBytes> kDefaultKey = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+    0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+    0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+};
+
+}  // namespace
+
+Rss::Rss(uint32_t num_queues) : Rss(num_queues, kDefaultKey) {}
+
+Rss::Rss(uint32_t num_queues, const std::array<uint8_t, kKeyBytes>& key)
+    : num_queues_(num_queues == 0 ? 1 : num_queues), key_(key) {
+  for (size_t i = 0; i < kTableSize; ++i) {
+    table_[i] = static_cast<uint8_t>(i % num_queues_);
+  }
+}
+
+uint32_t Rss::Toeplitz(std::span<const uint8_t> data,
+                       const std::array<uint8_t, kKeyBytes>& key) {
+  // Classic bit-serial formulation: for every set input bit, XOR in the
+  // 32-bit window of the key starting at that bit position.
+  uint32_t hash = 0;
+  uint32_t window = (uint32_t{key[0]} << 24) | (uint32_t{key[1]} << 16) |
+                    (uint32_t{key[2]} << 8) | uint32_t{key[3]};
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      if (data[i] & (0x80u >> b)) {
+        hash ^= window;
+      }
+      window <<= 1;
+      if (i + 4 < key.size() && (key[i + 4] & (0x80u >> b))) {
+        window |= 1;
+      }
+    }
+  }
+  return hash;
+}
+
+uint32_t Rss::Hash(const FlowTuple& tuple) const {
+  // src ip | dst ip | src port | dst port, each big-endian (network order),
+  // the NDIS input layout for IPv4 + TCP.
+  std::array<uint8_t, 12> input;
+  auto put32 = [&](size_t at, uint32_t v) {
+    input[at + 0] = static_cast<uint8_t>(v >> 24);
+    input[at + 1] = static_cast<uint8_t>(v >> 16);
+    input[at + 2] = static_cast<uint8_t>(v >> 8);
+    input[at + 3] = static_cast<uint8_t>(v);
+  };
+  put32(0, tuple.src_ip);
+  put32(4, tuple.dst_ip);
+  input[8] = static_cast<uint8_t>(tuple.src_port >> 8);
+  input[9] = static_cast<uint8_t>(tuple.src_port);
+  input[10] = static_cast<uint8_t>(tuple.dst_port >> 8);
+  input[11] = static_cast<uint8_t>(tuple.dst_port);
+  return Toeplitz(input, key_);
+}
+
+}  // namespace spv::net

@@ -1,6 +1,7 @@
 #include "slab/slab_allocator.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "base/align.h"
 #include "fault/fault.h"
@@ -43,6 +44,7 @@ Result<Kva> SlabAllocator::Kmalloc(uint64_t size, std::string_view site) {
   if (!cls.has_value()) {
     return KmallocLarge(size, site);
   }
+  std::lock_guard<MaybeMutex> guard(mu_);
   Cache& cache = caches_[*cls];
 
   // Find a partial slab page (MRU first, like SLUB's per-cpu active slab).
@@ -95,6 +97,7 @@ Result<Kva> SlabAllocator::Kmalloc(uint64_t size, std::string_view site) {
 }
 
 Result<Kva> SlabAllocator::KmallocLarge(uint64_t size, std::string_view site) {
+  std::lock_guard<MaybeMutex> guard(mu_);
   const unsigned order = Log2Ceil(AlignUp(size, kPageSize) >> kPageShift);
   Result<Pfn> head = page_alloc_.AllocPages(order, mem::PageOwner::kAnon);
   if (!head.ok()) {
@@ -151,6 +154,7 @@ Status SlabAllocator::Kfree(Kva kva) {
     return InvalidArgument("kfree of non-direct-map KVA");
   }
   const Pfn pfn = phys->pfn();
+  std::lock_guard<MaybeMutex> guard(mu_);
 
   // Large allocation?
   if (auto it = large_.find(pfn.value); it != large_.end()) {
@@ -208,6 +212,7 @@ std::optional<ObjectInfo> SlabAllocator::Lookup(Kva kva) const {
     return std::nullopt;
   }
   const Pfn pfn = phys->pfn();
+  std::lock_guard<MaybeMutex> guard(mu_);
 
   if (auto it = slab_pages_.find(pfn.value); it != slab_pages_.end()) {
     const SlabPage& page = it->second;
@@ -232,6 +237,7 @@ std::optional<ObjectInfo> SlabAllocator::Lookup(Kva kva) const {
 }
 
 std::vector<ObjectInfo> SlabAllocator::ObjectsOnPage(Pfn pfn) const {
+  std::lock_guard<MaybeMutex> guard(mu_);
   std::vector<ObjectInfo> out;
   if (auto it = slab_pages_.find(pfn.value); it != slab_pages_.end()) {
     const SlabPage& page = it->second;

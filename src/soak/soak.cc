@@ -9,6 +9,7 @@
 
 #include "attack/attacks.h"
 #include "attack/mini_cpu.h"
+#include "base/exec.h"
 #include "base/rng.h"
 #include "base/status.h"
 #include "base/types.h"
@@ -34,6 +35,11 @@ constexpr uint64_t kHarnessSeedSalt = 0x50414b5f534f414bull;  // "PAK_SOAK"
 
 // The driverless churn device (no NIC behind it, pure map/unmap traffic).
 constexpr uint32_t kChurnDeviceId = 900;
+
+// Per-CPU churn devices for the multi-CPU leg: device 910+c carries CPU c's
+// parallel map/unmap stream so every CPU's IOVA magazines and flush-queue
+// shard see traffic.
+constexpr uint32_t kPerCpuChurnBase = 910;
 
 struct JsonWriter {
   std::string out = "{";
@@ -133,6 +139,13 @@ SoakReport RunSoak(const SoakConfig& config) {
   machine_config.recovery.reattach_backoff_cycles = SimClock::UsToCycles(200);
   machine_config.recovery.probation_cycles = SimClock::UsToCycles(300);
 
+  // Multi-CPU leg: fast_path.num_cpus sizes the per-CPU magazines and flush
+  // shards; exec decides whether RunOnCpus fans out to real host threads.
+  const uint32_t num_cpus = config.num_cpus == 0 ? 1 : config.num_cpus;
+  const bool multi_cpu = num_cpus > 1;
+  machine_config.iommu.fast_path.num_cpus = num_cpus;
+  machine_config.exec = config.threads ? ExecMode::kThreads : ExecMode::kSequential;
+
   core::Machine machine{machine_config};
   Xoshiro256 rng{config.seed ^ kHarnessSeedSalt};
 
@@ -142,6 +155,11 @@ SoakReport RunSoak(const SoakConfig& config) {
   nic0_config.name = "nic0";
   nic0_config.rx_ring_size = 32;
   nic0_config.rx_buf_len = 1728;
+  const uint32_t nic_queues = config.nic_queues == 0 ? 1 : config.nic_queues;
+  nic0_config.num_queues = nic_queues;
+  for (uint32_t q = 0; q < nic_queues; ++q) {
+    nic0_config.queue_cpus.push_back(CpuId{q % num_cpus});
+  }
   net::NicDriver& nic0 = machine.AddNicDriver(nic0_config);
   device::MaliciousNic mnic0{device::DevicePort{machine.iommu(), nic0.device_id()}};
   mnic0.set_warm_iotlb_on_post(true);
@@ -163,6 +181,20 @@ SoakReport RunSoak(const SoakConfig& config) {
   const DeviceId churn_dev{kChurnDeviceId};
   machine.iommu().AttachDevice(churn_dev);
   machine.recovery().RegisterDevice(churn_dev, nullptr);
+
+  // Per-CPU churn devices + per-CPU RNG streams. Each CPU draws only from its
+  // own stream, so kSequential runs are byte-deterministic and kThreads runs
+  // share nothing but the (locked) machine itself.
+  std::vector<Xoshiro256> cpu_rngs;
+  std::vector<uint64_t> cpu_churn_ops(num_cpus, 0);
+  std::vector<uint64_t> cpu_churn_failures(num_cpus, 0);
+  if (multi_cpu) {
+    for (uint32_t c = 0; c < num_cpus; ++c) {
+      machine.iommu().AttachDevice(DeviceId{kPerCpuChurnBase + c});
+      cpu_rngs.emplace_back(config.seed ^ kHarnessSeedSalt ^
+                            (0x9e3779b97f4a7c15ull * (c + 1)));
+    }
+  }
 
   // nvme0: the storage leg — a block driver over hostile firmware. Calm
   // epochs carry honest write/read-verify traffic; storms flip the firmware
@@ -207,7 +239,7 @@ SoakReport RunSoak(const SoakConfig& config) {
   }
   // Ring fill may hit injected refill starvation mid-fill; that is workload,
   // not setup failure — RetryRefills() in the epoch loop finishes the job.
-  (void)nic0.FillRxRing();
+  (void)nic0.FillAllRxRings();
   (void)nic1.FillRxRing();
   attack::AttackEnv env{machine, nic0, mnic0, cpu};
 
@@ -238,7 +270,7 @@ SoakReport RunSoak(const SoakConfig& config) {
                        config.abuse_storm_epochs;
 
     // -- Service traffic: echo round trips through nic0 -------------------------
-    (void)nic0.RetryRefills();
+    (void)nic0.RetryAllRefills();
     for (uint32_t p = 0; p < config.epoch_packets; ++p) {
       ++report.echo_probes;
       const uint64_t before = machine.stack().stats().echoed;
@@ -249,13 +281,29 @@ SoakReport RunSoak(const SoakConfig& config) {
                                .proto = net::kProtoUdp};
       std::vector<uint8_t> payload(64 + rng.NextBelow(192),
                                    static_cast<uint8_t>(rng.NextBelow(256)));
-      Result<uint32_t> index = mnic0.InjectRx(header, payload);
-      if (index.ok()) {
-        Result<net::SkBuffPtr> skb = nic0.CompleteRx(
-            *index, static_cast<uint32_t>(net::PacketHeader::kSize + payload.size()));
-        if (skb.ok() && *skb != nullptr) {
-          (void)machine.stack().NapiGroReceive(std::move(*skb));
-          (void)machine.stack().NapiComplete();
+      const uint32_t wire_len =
+          static_cast<uint32_t>(net::PacketHeader::kSize + payload.size());
+      if (nic_queues > 1) {
+        // RSS steering: the same Toeplitz hash the driver programmed decides
+        // which queue — and so which CPU's rings — this flow lands on.
+        const uint32_t queue = nic0.QueueForFlow(net::FlowTuple{
+            header.src_ip, header.dst_ip, header.src_port, header.dst_port});
+        Result<net::RxPostedDescriptor> descriptor = mnic0.InjectRxOn(queue, header, payload);
+        if (descriptor.ok()) {
+          Result<net::SkBuffPtr> skb = nic0.CompleteRx(queue, descriptor->index, wire_len);
+          if (skb.ok() && *skb != nullptr) {
+            (void)machine.stack().NapiGroReceive(std::move(*skb));
+            (void)machine.stack().NapiComplete();
+          }
+        }
+      } else {
+        Result<uint32_t> index = mnic0.InjectRx(header, payload);
+        if (index.ok()) {
+          Result<net::SkBuffPtr> skb = nic0.CompleteRx(*index, wire_len);
+          if (skb.ok() && *skb != nullptr) {
+            (void)machine.stack().NapiGroReceive(std::move(*skb));
+            (void)machine.stack().NapiComplete();
+          }
         }
       }
       drain_nic0_tx();
@@ -385,6 +433,78 @@ SoakReport RunSoak(const SoakConfig& config) {
       (void)machine.slab().Kfree(entry.kva);
     }
 
+    // -- Per-CPU churn: every CPU pushes map/unmap pairs through its own
+    // IOVA magazines and flush-queue shard. kSequential visits CPUs in order
+    // on one host thread; kThreads fans out to real workers (the TSan leg).
+    if (multi_cpu) {
+      machine.RunOnCpus(num_cpus, [&](CpuId cpu) {
+        Xoshiro256& crng = cpu_rngs[cpu.value];
+        const DeviceId dev{kPerCpuChurnBase + cpu.value};
+        for (uint32_t c = 0; c < config.per_cpu_churn_maps; ++c) {
+          ++cpu_churn_ops[cpu.value];
+          const uint64_t len = 512 + (static_cast<uint64_t>(crng.NextBelow(4)) << 9);
+          Result<Kva> buf = machine.slab().Kmalloc(len, "soak_cpu_churn");
+          if (!buf.ok()) {
+            ++cpu_churn_failures[cpu.value];
+            continue;
+          }
+          Result<Iova> iova = machine.dma().MapSingle(
+              dev, *buf, len, dma::DmaDirection::kFromDevice, "soak_cpu_churn");
+          if (!iova.ok()) {
+            ++cpu_churn_failures[cpu.value];
+            (void)machine.slab().Kfree(*buf);
+            continue;
+          }
+          if (!machine.dma().UnmapSingle(dev, *iova, len, dma::DmaDirection::kFromDevice).ok()) {
+            ++cpu_churn_failures[cpu.value];
+          }
+          (void)machine.slab().Kfree(*buf);
+        }
+      });
+    }
+
+    // -- Cross-CPU stale-IOTLB race (the Fig 6 window, sharded flush queues):
+    // CPU 0 maps, lets the device warm the translation, then deferred-unmaps
+    // — parking the invalidation in CPU 0's shard. CPU 1 then churns its own
+    // shard (which drains nothing of CPU 0's) and the device replays the
+    // translation. A hit is the breach; the IOMMU's stale-access accounting
+    // must flag it the moment it lands.
+    if (multi_cpu && epoch % 13 == 5) {
+      Result<Kva> race_buf = machine.slab().Kmalloc(2048, "soak_race");
+      if (race_buf.ok()) {
+        Result<Iova> race_iova = machine.dma().MapSingle(
+            nic0.device_id(), *race_buf, 2048, dma::DmaDirection::kFromDevice, "soak_race");
+        if (race_iova.ok()) {
+          ++report.cross_cpu_race_probes;
+          (void)mnic0.port().WriteU64(*race_iova, 0x57494e444f575f30ull);
+          (void)machine.dma().UnmapSingle(nic0.device_id(), *race_iova, 2048,
+                                          dma::DmaDirection::kFromDevice);
+          SetCurrentCpu(CpuId{1});
+          if (Result<Kva> side = machine.slab().Kmalloc(1024, "soak_race_side"); side.ok()) {
+            if (Result<Iova> side_iova =
+                    machine.dma().MapSingle(DeviceId{kPerCpuChurnBase + 1}, *side, 1024,
+                                            dma::DmaDirection::kFromDevice, "soak_race_side");
+                side_iova.ok()) {
+              (void)machine.dma().UnmapSingle(DeviceId{kPerCpuChurnBase + 1}, *side_iova, 1024,
+                                              dma::DmaDirection::kFromDevice);
+            }
+            (void)machine.slab().Kfree(*side);
+          }
+          const uint64_t stale_before = machine.iommu().stats().stale_iotlb_accesses;
+          if (mnic0.port().WriteU64(*race_iova, 0xdeadbeefdeadbeefull).ok()) {
+            ++report.cross_cpu_stale_hits;
+          } else {
+            ++report.cross_cpu_stale_blocked;
+          }
+          if (machine.iommu().stats().stale_iotlb_accesses > stale_before) {
+            ++report.cross_cpu_detected;
+          }
+          SetCurrentCpu(CpuId{0});
+        }
+        (void)machine.slab().Kfree(*race_buf);
+      }
+    }
+
     // -- Abuse storms on nic1's device ------------------------------------------
     if (storm) {
       for (int w = 0; w < 6; ++w) {
@@ -424,6 +544,33 @@ SoakReport RunSoak(const SoakConfig& config) {
         ++report.attack_successes;
       }
       drain_nic0_tx();
+    }
+
+    // -- Quarantine racing an in-flight completion on a sibling queue: a flow
+    // lands on queue 1, the fence comes down across ALL queues, and only then
+    // does the poll loop try to complete it. The completion must lose cleanly
+    // (empty slot / fenced) — it must never hand the stack a buffer whose
+    // mapping the quarantine already revoked.
+    if (multi_cpu && nic_queues > 1 && config.recovery_enabled && epoch % 61 == 33) {
+      net::PacketHeader race_header{.src_ip = 0x0a000003,
+                                    .dst_ip = machine.stack().config().local_ip,
+                                    .src_port = 31337,
+                                    .dst_port = 7,
+                                    .proto = net::kProtoUdp};
+      std::vector<uint8_t> race_body(96, 0x33);
+      Result<net::RxPostedDescriptor> descriptor = mnic0.InjectRxOn(1, race_header, race_body);
+      // Probes only count when the fence actually came down (the device may
+      // already be mid-recovery on this epoch); then every one must lose.
+      if (descriptor.ok() &&
+          machine.recovery().Quarantine(nic0.device_id(), "soak sibling race").ok()) {
+        ++report.sibling_quarantine_probes;
+        Result<net::SkBuffPtr> skb = nic0.CompleteRx(
+            1, descriptor->index,
+            static_cast<uint32_t>(net::PacketHeader::kSize + race_body.size()));
+        if (!skb.ok()) {
+          ++report.sibling_completions_fenced;
+        }
+      }
     }
 
     // -- Operator drills on a fixed cadence: the driverless device (no-NIC
@@ -561,6 +708,21 @@ SoakReport RunSoak(const SoakConfig& config) {
     report.nvme.availability = 1.0;
   }
 
+  if (multi_cpu) {
+    for (uint32_t c = 0; c < num_cpus; ++c) {
+      SoakReport::CpuBreakdown row;
+      row.cpu = c;
+      row.churn_ops = cpu_churn_ops[c];
+      row.churn_failures = cpu_churn_failures[c];
+      for (uint32_t q = 0; q < nic0.num_queues(); ++q) {
+        if (nic0.queue_cpu(q).value == c) {
+          row.rx_packets += nic0.rx_packets(q);
+        }
+      }
+      report.cpus.push_back(row);
+    }
+  }
+
   ++report.invariant_checks;
   if (report.failure.empty()) {
     if (Status invariants = machine.CheckInvariants(); !invariants.ok()) {
@@ -609,6 +771,12 @@ std::string SoakReport::ToJson() const {
   w.Field("downtime_p99", downtime_p99);
   w.Field("leaked_mappings", leaked_mappings);
   w.Field("leaked_iova_entries", leaked_iova_entries);
+  w.Field("cross_cpu_race_probes", cross_cpu_race_probes);
+  w.Field("cross_cpu_stale_hits", cross_cpu_stale_hits);
+  w.Field("cross_cpu_stale_blocked", cross_cpu_stale_blocked);
+  w.Field("cross_cpu_detected", cross_cpu_detected);
+  w.Field("sibling_quarantine_probes", sibling_quarantine_probes);
+  w.Field("sibling_completions_fenced", sibling_completions_fenced);
   {
     JsonWriter n;
     n.Field("probes", nic.probes);
@@ -635,6 +803,22 @@ std::string SoakReport::ToJson() const {
     n.Field("replays_blocked", nvme.replays_blocked);
     n.Field("verify_mismatches", nvme.verify_mismatches);
     w.Raw("nvme", n.Finish());
+  }
+  {
+    std::string arr = "[";
+    for (size_t i = 0; i < cpus.size(); ++i) {
+      if (i != 0) {
+        arr += ",";
+      }
+      JsonWriter c;
+      c.Field("cpu", cpus[i].cpu);
+      c.Field("churn_ops", cpus[i].churn_ops);
+      c.Field("churn_failures", cpus[i].churn_failures);
+      c.Field("rx_packets", cpus[i].rx_packets);
+      arr += c.Finish();
+    }
+    arr += "]";
+    w.Raw("cpus", arr);
   }
   return w.Finish();
 }

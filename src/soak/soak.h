@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "base/clock.h"
 
@@ -43,6 +44,22 @@ struct SoakConfig {
   // How often Machine::CheckInvariants() runs (1 = every epoch). The audit
   // walks every mapping, so sparser checks buy longer soaks per wall-second.
   uint32_t invariant_check_interval = 1;
+
+  // ---- Multi-CPU leg -----------------------------------------------------------
+  //
+  // num_cpus > 1 turns on the cross-CPU scenarios: a per-CPU churn phase
+  // through every CPU's IOVA magazines and flush-queue shard, RSS-steered
+  // echo flows across nic0's queues (nic_queues > 1), and the two race
+  // probes — a deferred unmap on CPU 0 raced by a stale-IOTLB replay while
+  // service sits on CPU 1's queue, and a quarantine racing an in-flight
+  // completion on a sibling queue. With threads=false everything runs on
+  // one host thread in CPU order: same seed, byte-identical JSON. With
+  // threads=true the per-CPU churn phase runs on real host worker threads
+  // (ExecMode::kThreads — the TSan soak target; not byte-deterministic).
+  uint32_t num_cpus = 1;
+  uint32_t nic_queues = 1;    // nic0 RX/TX queue pairs, one per CPU is typical
+  bool threads = false;
+  uint32_t per_cpu_churn_maps = 4;  // map/unmap pairs per CPU per epoch
 };
 
 struct SoakReport {
@@ -117,6 +134,29 @@ struct SoakReport {
 
   NicBreakdown nic;
   NvmeBreakdown nvme;
+
+  // ---- Cross-CPU leg (num_cpus > 1) --------------------------------------------
+
+  // Stale-IOTLB race: deferred unmap on CPU 0, device replay while service
+  // runs CPU 1's queue. `hits` landed through the stale entry (the Fig 6
+  // breach), `blocked` were fenced/faulted, `detected` were flagged by the
+  // IOMMU's stale-access accounting the moment they landed.
+  uint64_t cross_cpu_race_probes = 0;
+  uint64_t cross_cpu_stale_hits = 0;
+  uint64_t cross_cpu_stale_blocked = 0;
+  uint64_t cross_cpu_detected = 0;
+  // Quarantine racing an in-flight completion on a sibling queue: the
+  // completion must lose cleanly (fenced/empty-slot), never land or leak.
+  uint64_t sibling_quarantine_probes = 0;
+  uint64_t sibling_completions_fenced = 0;
+
+  struct CpuBreakdown {
+    uint64_t cpu = 0;
+    uint64_t churn_ops = 0;       // per-CPU churn phase map/unmap pairs
+    uint64_t churn_failures = 0;  // injected faults + allocator refusals
+    uint64_t rx_packets = 0;      // packets completed on this CPU's nic0 queues
+  };
+  std::vector<CpuBreakdown> cpus;  // one entry per sim CPU when num_cpus > 1
 
   // Deterministic: fixed field order, integers and fixed-precision doubles.
   std::string ToJson() const;

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "base/exec.h"
+
 namespace spv::telemetry {
 
 namespace {
@@ -99,11 +101,14 @@ std::optional<EventKind> EventKindFromName(std::string_view name) {
 // ---- Histogram -----------------------------------------------------------------
 
 void Histogram::Record(uint64_t v) {
+  while (record_lock_.test_and_set(std::memory_order_acquire)) {
+  }
   ++buckets_[static_cast<size_t>(std::bit_width(v))];
   ++count_;
   sum_ += v;
   min_ = std::min(min_, v);
   max_ = std::max(max_, v);
+  record_lock_.clear(std::memory_order_release);
 }
 
 double Histogram::Mean() const {
@@ -215,10 +220,26 @@ Hub::Hub(Config config) : enabled_(config.enabled), ring_(config.ring_capacity) 
   ring_.set_min_severity(config.min_severity);
 }
 
+Hub::~Hub() { StopDrainer(); }
+
 void Hub::Publish(Event event) {
   if (clock_ != nullptr && event.cycle == 0) {
+    // Producer-side stamp: in MT mode this reads the calling sim CPU's own
+    // clock (thread-local routing), so timestamps stay meaningful even
+    // though the drainer dispatches later.
     event.cycle = clock_->now();
   }
+  if (mt_) {
+    auto& ring = *mt_rings_[CurrentCpu().value % mt_rings_.size()];
+    if (!ring.TryPush(std::move(event))) {
+      mt_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  Dispatch(std::move(event));
+}
+
+void Hub::Dispatch(Event event) {
   if (event.span == 0) {
     event.span = current_span_;
   }
@@ -228,6 +249,58 @@ void Hub::Publish(Event event) {
   for (EventSink* sink : sinks_) {
     sink->OnEvent(event);
   }
+}
+
+void Hub::EnableMt(uint32_t num_producers) {
+  assert(!mt_ && "EnableMt is one-way and must precede worker start");
+  // Sized for bursts: a worker can publish a few events per simulated op and
+  // the drainer may lag a whole scheduling quantum on a loaded host.
+  constexpr size_t kPerProducerRing = 16384;
+  mt_rings_.clear();
+  const uint32_t producers = std::max<uint32_t>(num_producers, 1);
+  mt_rings_.reserve(producers);
+  for (uint32_t i = 0; i < producers; ++i) {
+    mt_rings_.push_back(std::make_unique<SpscRing<Event>>(kPerProducerRing));
+  }
+  registry_mu_.Engage();
+  mt_ = true;
+}
+
+size_t Hub::DrainMtRings() {
+  size_t drained = 0;
+  Event event;
+  for (auto& ring : mt_rings_) {
+    while (ring->TryPop(&event)) {
+      Dispatch(std::move(event));
+      ++drained;
+    }
+  }
+  return drained;
+}
+
+void Hub::StartDrainer() {
+  if (!mt_ || drainer_.joinable()) {
+    return;
+  }
+  drainer_stop_.store(false, std::memory_order_release);
+  drainer_ = std::thread([this] {
+    while (!drainer_stop_.load(std::memory_order_acquire)) {
+      if (DrainMtRings() == 0) {
+        std::this_thread::yield();
+      }
+    }
+  });
+}
+
+void Hub::StopDrainer() {
+  if (!drainer_.joinable()) {
+    return;
+  }
+  drainer_stop_.store(true, std::memory_order_release);
+  drainer_.join();
+  // Producers have joined before StopDrainer (RunOnCpus ordering), so this
+  // final sweep leaves every ring empty.
+  DrainMtRings();
 }
 
 void Hub::AddSink(EventSink* sink) {
@@ -240,6 +313,7 @@ void Hub::RemoveSink(EventSink* sink) {
 }
 
 Counter& Hub::counter(std::string_view name) {
+  std::lock_guard<MaybeMutex> guard(registry_mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), Counter{}).first;
@@ -248,6 +322,7 @@ Counter& Hub::counter(std::string_view name) {
 }
 
 Histogram& Hub::histogram(std::string_view name) {
+  std::lock_guard<MaybeMutex> guard(registry_mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), Histogram{}).first;
@@ -256,6 +331,7 @@ Histogram& Hub::histogram(std::string_view name) {
 }
 
 uint64_t Hub::counter_value(std::string_view name) const {
+  std::lock_guard<MaybeMutex> guard(registry_mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
 }

@@ -24,14 +24,19 @@
 #define SPV_TELEMETRY_TELEMETRY_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "base/clock.h"
+#include "base/maybe_mutex.h"
+#include "base/spsc_ring.h"
 
 namespace spv::telemetry {
 
@@ -145,14 +150,25 @@ class EventSink {
 
 // ---- Metrics -------------------------------------------------------------------
 
+// Counters are relaxed atomics so cached Counter* pointers (the idiom every
+// hot component uses) stay valid bump targets from concurrent sim CPUs in
+// ExecMode::kThreads. Relaxed is enough: counters are statistics, read only
+// at quiescence or for monotonic progress checks.
 class Counter {
  public:
-  void Add(uint64_t n = 1) { value_ += n; }
-  void Set(uint64_t v) { value_ = v; }
-  uint64_t value() const { return value_; }
+  Counter() = default;
+  Counter(const Counter& other) : value_(other.value()) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 // log2-bucketed histogram: bucket i counts samples whose bit width is i
@@ -192,12 +208,25 @@ class Histogram {
   };
   std::vector<Bucket> NonZeroBuckets() const;
 
+  Histogram() = default;
+  // Copyable for map emplacement; the spinlock is per-instance state, not data.
+  Histogram(const Histogram& other)
+      : buckets_(other.buckets_),
+        count_(other.count_),
+        sum_(other.sum_),
+        min_(other.min_),
+        max_(other.max_) {}
+
  private:
+  // Record is a multi-field update; a spinlock keeps concurrent recorders
+  // (kThreads mode) consistent at ~1 uncontended RMW of cost. Readers run at
+  // quiescence (after workers join), so the read side stays lock-free.
   std::array<uint64_t, kBuckets> buckets_{};
   uint64_t count_ = 0;
   uint64_t sum_ = 0;
   uint64_t min_ = UINT64_MAX;
   uint64_t max_ = 0;
+  std::atomic_flag record_lock_ = ATOMIC_FLAG_INIT;
 };
 
 // ---- Trace ring ----------------------------------------------------------------
@@ -253,6 +282,7 @@ class Hub {
 
   Hub();  // all-default Config
   explicit Hub(Config config);
+  ~Hub();
 
   Hub(const Hub&) = delete;
   Hub& operator=(const Hub&) = delete;
@@ -267,8 +297,33 @@ class Hub {
   // with this so a disabled Hub with no sinks costs one branch.
   bool active() const { return enabled_ || !sinks_.empty(); }
 
-  // Records (when enabled), then fans out to every sink (always).
+  // Records (when enabled), then fans out to every sink (always). In MT mode
+  // (EnableMt) the calling sim CPU instead stamps the cycle from its per-CPU
+  // clock and pushes into its own SPSC ring — wait-free — and the single
+  // drainer performs the recording/fan-out with the sequential code path.
   void Publish(Event event);
+
+  // ---- kThreads support ----------------------------------------------------------
+  // One SPSC ring per producer (sim CPU); a single drainer merges them into
+  // the ordinary dispatch path, so the trace ring and sinks stay
+  // single-writer. Full rings drop (with accounting) rather than block: the
+  // telemetry hot path must stay wait-free under contention.
+
+  // Must be called at machine bring-up, before any worker thread publishes.
+  void EnableMt(uint32_t num_producers);
+  bool mt() const { return mt_; }
+
+  // Drainer lifecycle; Machine::RunOnCpus brackets parallel sections with
+  // these. StopDrainer performs a final drain, so after it returns every
+  // published event has been recorded or accounted as dropped.
+  void StartDrainer();
+  void StopDrainer();
+  // Consumer-side merge of all producer rings; returns events dispatched.
+  // Single-consumer: only the drainer thread (or the coordinator while no
+  // drainer runs) may call this.
+  size_t DrainMtRings();
+  // Events lost to full producer rings.
+  uint64_t mt_dropped() const { return mt_dropped_.load(std::memory_order_relaxed); }
 
   // Current-span register (spv::trace::Tracer maintains it). Publish stamps
   // `event.span` from it when the emitter left the field 0, so every event
@@ -305,6 +360,10 @@ class Hub {
   std::string ExportTraceCsv() const;
 
  private:
+  // Sequential dispatch: span stamping, ring recording, sink fan-out. The
+  // direct Publish path in sequential mode; the drainer's merge path in MT.
+  void Dispatch(Event event);
+
   bool enabled_;
   const SimClock* clock_ = nullptr;
   uint64_t current_span_ = 0;
@@ -312,6 +371,15 @@ class Hub {
   std::vector<EventSink*> sinks_;
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+  // MT state. registry_mu_ guards only the *structure* of the metric maps
+  // (lazy name registration); the Counters/Histograms themselves are
+  // internally synchronized, so cached references stay lock-free.
+  bool mt_ = false;
+  mutable MaybeMutex registry_mu_;
+  std::vector<std::unique_ptr<SpscRing<Event>>> mt_rings_;
+  std::atomic<uint64_t> mt_dropped_{0};
+  std::atomic<bool> drainer_stop_{false};
+  std::thread drainer_;
 };
 
 // CSV-escapes `field` (quotes it when it contains a comma, quote or newline).

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -234,10 +235,13 @@ class IommuTest : public ::testing::Test {
 
   IommuTest() : pm_(kPages) {}
 
-  Iommu MakeIommu(InvalidationMode mode, Iommu::Config extra = {}) {
+  // Iommu is pinned in place (it owns engageable mutexes), so the fixture
+  // keeps each instance alive and hands out references.
+  Iommu& MakeIommu(InvalidationMode mode, Iommu::Config extra = {}) {
     Iommu::Config config = extra;
     config.mode = mode;
-    Iommu iommu{pm_, clock_, config};
+    iommus_.push_back(std::make_unique<Iommu>(pm_, clock_, config));
+    Iommu& iommu = *iommus_.back();
     iommu.AttachDevice(kNic);
     iommu.AttachDevice(kFirewire);
     return iommu;
@@ -247,10 +251,11 @@ class IommuTest : public ::testing::Test {
 
   mem::PhysicalMemory pm_;
   SimClock clock_;
+  std::vector<std::unique_ptr<Iommu>> iommus_;
 };
 
 TEST_F(IommuTest, MappedPageIsAccessible) {
-  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  Iommu& iommu = MakeIommu(InvalidationMode::kStrict);
   auto iova = iommu.MapPage(kNic, Pfn{10}, AccessRights::kBidirectional);
   ASSERT_TRUE(iova.ok());
   std::vector<uint8_t> data{1, 2, 3, 4};
@@ -263,7 +268,7 @@ TEST_F(IommuTest, MappedPageIsAccessible) {
 }
 
 TEST_F(IommuTest, UnmappedIovaFaults) {
-  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  Iommu& iommu = MakeIommu(InvalidationMode::kStrict);
   std::vector<uint8_t> buf(8);
   Status s = iommu.DeviceRead(kNic, Iova{0x7000}, std::span<uint8_t>(buf));
   EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
@@ -272,7 +277,7 @@ TEST_F(IommuTest, UnmappedIovaFaults) {
 }
 
 TEST_F(IommuTest, RightsEnforced) {
-  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  Iommu& iommu = MakeIommu(InvalidationMode::kStrict);
   auto ro = iommu.MapPage(kNic, Pfn{11}, AccessRights::kRead);
   auto wo = iommu.MapPage(kNic, Pfn{12}, AccessRights::kWrite);
   ASSERT_TRUE(ro.ok());
@@ -286,7 +291,7 @@ TEST_F(IommuTest, RightsEnforced) {
 
 TEST_F(IommuTest, SubPageExposure) {
   // The defining flaw: mapping a 100-byte buffer exposes the whole page.
-  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  Iommu& iommu = MakeIommu(InvalidationMode::kStrict);
   ASSERT_TRUE(pm_.WriteU64(PhysAddr::FromPfn(Pfn{13}, 3000), 0xfeedface).ok());
   auto iova = iommu.MapPage(kNic, Pfn{13}, AccessRights::kBidirectional);
   ASSERT_TRUE(iova.ok());
@@ -298,7 +303,7 @@ TEST_F(IommuTest, SubPageExposure) {
 }
 
 TEST_F(IommuTest, DevicesAreIsolated) {
-  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  Iommu& iommu = MakeIommu(InvalidationMode::kStrict);
   auto iova = iommu.MapPage(kNic, Pfn{14}, AccessRights::kBidirectional);
   ASSERT_TRUE(iova.ok());
   std::vector<uint8_t> buf(4);
@@ -306,12 +311,12 @@ TEST_F(IommuTest, DevicesAreIsolated) {
 }
 
 TEST_F(IommuTest, UnattachedDeviceRejected) {
-  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  Iommu& iommu = MakeIommu(InvalidationMode::kStrict);
   EXPECT_FALSE(iommu.MapPage(DeviceId{99}, Pfn{1}, AccessRights::kRead).ok());
 }
 
 TEST_F(IommuTest, MultiPageAccessCrossesBoundaries) {
-  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  Iommu& iommu = MakeIommu(InvalidationMode::kStrict);
   const Pfn pfns[] = {Pfn{20}, Pfn{30}};  // discontiguous physical pages
   auto iova = iommu.MapRange(kNic, pfns, AccessRights::kBidirectional);
   ASSERT_TRUE(iova.ok());
@@ -323,7 +328,7 @@ TEST_F(IommuTest, MultiPageAccessCrossesBoundaries) {
 }
 
 TEST_F(IommuTest, StrictUnmapRevokesImmediately) {
-  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  Iommu& iommu = MakeIommu(InvalidationMode::kStrict);
   auto iova = iommu.MapPage(kNic, Pfn{15}, AccessRights::kBidirectional);
   ASSERT_TRUE(iova.ok());
   std::vector<uint8_t> buf(4);
@@ -336,7 +341,7 @@ TEST_F(IommuTest, StrictUnmapRevokesImmediately) {
 TEST_F(IommuTest, DeferredUnmapLeavesStaleWindow) {
   // Figure 6: after a deferred unmap, a device with a warm IOTLB entry keeps
   // access until the periodic flush.
-  Iommu iommu = MakeIommu(InvalidationMode::kDeferred);
+  Iommu& iommu = MakeIommu(InvalidationMode::kDeferred);
   auto iova = iommu.MapPage(kNic, Pfn{16}, AccessRights::kBidirectional);
   ASSERT_TRUE(iova.ok());
   std::vector<uint8_t> buf(4, 0xaa);
@@ -358,7 +363,7 @@ TEST_F(IommuTest, DeferredUnmapLeavesStaleWindow) {
 TEST_F(IommuTest, DeferredWindowClosedForColdIotlb) {
   // No stale entry -> no window: a device that never touched the buffer
   // cannot exploit deferral.
-  Iommu iommu = MakeIommu(InvalidationMode::kDeferred);
+  Iommu& iommu = MakeIommu(InvalidationMode::kDeferred);
   auto iova = iommu.MapPage(kNic, Pfn{17}, AccessRights::kBidirectional);
   ASSERT_TRUE(iova.ok());
   ASSERT_TRUE(iommu.UnmapPage(kNic, *iova).ok());
@@ -369,7 +374,7 @@ TEST_F(IommuTest, DeferredWindowClosedForColdIotlb) {
 TEST_F(IommuTest, FlushQueueCapacityForcesFlush) {
   Iommu::Config config;
   config.flush_queue_capacity = 4;
-  Iommu iommu = MakeIommu(InvalidationMode::kDeferred, config);
+  Iommu& iommu = MakeIommu(InvalidationMode::kDeferred, config);
   std::vector<Iova> iovas;
   std::vector<uint8_t> buf(1);
   for (int i = 0; i < 4; ++i) {
@@ -394,8 +399,8 @@ TEST_F(IommuTest, FlushQueueCapacityForcesFlush) {
 }
 
 TEST_F(IommuTest, StrictCostsMoreInvalidationCyclesPerUnmap) {
-  Iommu strict = MakeIommu(InvalidationMode::kStrict);
-  Iommu deferred = MakeIommu(InvalidationMode::kDeferred);
+  Iommu& strict = MakeIommu(InvalidationMode::kStrict);
+  Iommu& deferred = MakeIommu(InvalidationMode::kDeferred);
   constexpr int kOps = 100;
   for (auto* iommu : {&strict, &deferred}) {
     for (int i = 0; i < kOps; ++i) {
@@ -414,7 +419,7 @@ TEST_F(IommuTest, StrictCostsMoreInvalidationCyclesPerUnmap) {
 TEST_F(IommuTest, DeferredIovaNotReusedBeforeFlush) {
   // The parked IOVA must not be handed to a new mapping while a stale IOTLB
   // entry could still translate it.
-  Iommu iommu = MakeIommu(InvalidationMode::kDeferred);
+  Iommu& iommu = MakeIommu(InvalidationMode::kDeferred);
   auto a = iommu.MapPage(kNic, Pfn{50}, AccessRights::kRead);
   ASSERT_TRUE(a.ok());
   std::vector<uint8_t> buf(1);
@@ -433,7 +438,7 @@ TEST_F(IommuTest, DeferredIovaNotReusedBeforeFlush) {
 TEST_F(IommuTest, TypeCAliasProbe) {
   // Two mappings of the same PFN -> two live IOVAs (type (c)); unmapping one
   // leaves the device full access through the other.
-  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  Iommu& iommu = MakeIommu(InvalidationMode::kStrict);
   auto a = iommu.MapPage(kNic, Pfn{60}, AccessRights::kWrite);
   auto b = iommu.MapPage(kNic, Pfn{60}, AccessRights::kWrite);
   ASSERT_TRUE(a.ok());
@@ -447,7 +452,7 @@ TEST_F(IommuTest, TypeCAliasProbe) {
 }
 
 TEST_F(IommuTest, PeekHasNoSideEffects) {
-  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  Iommu& iommu = MakeIommu(InvalidationMode::kStrict);
   auto iova = iommu.MapPage(kNic, Pfn{61}, AccessRights::kRead);
   ASSERT_TRUE(iova.ok());
   const uint64_t misses_before = iommu.iotlb().misses();
@@ -504,7 +509,7 @@ INSTANTIATE_TEST_SUITE_P(
 // ---- IOMMU domains: the §6 shared-page-table testbed ----------------------------
 
 TEST_F(IommuTest, SharedDomainGrantsCrossDeviceAccess) {
-  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  Iommu& iommu = MakeIommu(InvalidationMode::kStrict);
   ASSERT_TRUE(iommu.AttachDeviceToDomainOf(kFirewire, kNic).code() ==
               StatusCode::kAlreadyExists);  // kFirewire already has its own domain
   const DeviceId firewire2{7};
@@ -525,7 +530,7 @@ TEST_F(IommuTest, SharedDomainSharesStaleIotlbWindow) {
   // Deferred mode: the NIC warms the translation; after unmap, the FireWire
   // device in the same domain rides the same stale entry (domain-tagged
   // IOTLB, as on VT-d).
-  Iommu iommu = MakeIommu(InvalidationMode::kDeferred);
+  Iommu& iommu = MakeIommu(InvalidationMode::kDeferred);
   const DeviceId firewire2{7};
   ASSERT_TRUE(iommu.AttachDeviceToDomainOf(firewire2, kNic).ok());
   auto iova = iommu.MapPage(kNic, Pfn{22}, AccessRights::kBidirectional);
@@ -537,7 +542,7 @@ TEST_F(IommuTest, SharedDomainSharesStaleIotlbWindow) {
 }
 
 TEST_F(IommuTest, UnattachedDomainOwnerRejected) {
-  Iommu iommu = MakeIommu(InvalidationMode::kStrict);
+  Iommu& iommu = MakeIommu(InvalidationMode::kStrict);
   EXPECT_FALSE(iommu.AttachDeviceToDomainOf(DeviceId{50}, DeviceId{51}).ok());
 }
 

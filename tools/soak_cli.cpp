@@ -3,7 +3,13 @@
 // Usage:
 //   soak [--seed N] [--cycles N] [--epochs N] [--mode strict|deferred]
 //        [--no-recovery] [--no-faults] [--no-attacks] [--legacy-path]
+//        [--cpus N] [--queues N] [--threads]
 //        [--check-interval N] [--out report.json] [--trace-out trace.csv]
+//
+// --cpus N > 1 turns on the cross-CPU leg (per-CPU churn, RSS-steered echo
+// when --queues > 1, the stale-IOTLB and sibling-quarantine races);
+// --threads runs the per-CPU phase on real host threads (ExecMode::kThreads,
+// the TSan soak target — not byte-deterministic).
 //
 // Exit status: 0 when the run ends with clean invariants and zero leaks,
 // 1 otherwise. The JSON report goes to --out (stdout gets a summary either
@@ -83,6 +89,12 @@ int main(int argc, char** argv) {
       config.storage = false;
     } else if (arg == "--legacy-path") {
       config.fast_path = false;
+    } else if (arg == "--cpus") {
+      config.num_cpus = static_cast<uint32_t>(ParseU64(next(), "--cpus"));
+    } else if (arg == "--queues") {
+      config.nic_queues = static_cast<uint32_t>(ParseU64(next(), "--queues"));
+    } else if (arg == "--threads") {
+      config.threads = true;
     } else if (arg == "--check-interval") {
       config.invariant_check_interval =
           static_cast<uint32_t>(ParseU64(next(), "--check-interval"));
@@ -94,7 +106,8 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: soak [--seed N] [--cycles N] [--epochs N] [--mode strict|deferred]\n"
           "            [--no-recovery] [--no-faults] [--no-attacks] [--no-storage]\n"
-          "            [--legacy-path] [--check-interval N] [--out report.json]\n"
+          "            [--legacy-path] [--cpus N] [--queues N] [--threads]\n"
+          "            [--check-interval N] [--out report.json]\n"
           "            [--trace-out trace.csv]\n");
       return 0;
     } else {
@@ -135,6 +148,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.nvme.forged_completions),
                 static_cast<unsigned long long>(report.nvme.replays_landed),
                 static_cast<unsigned long long>(report.nvme.replays_blocked));
+  }
+  if (config.num_cpus > 1) {
+    std::printf("      cross-cpu: %llu race probes (%llu stale hits, %llu blocked, "
+                "%llu detected), %llu sibling probes (%llu fenced)\n",
+                static_cast<unsigned long long>(report.cross_cpu_race_probes),
+                static_cast<unsigned long long>(report.cross_cpu_stale_hits),
+                static_cast<unsigned long long>(report.cross_cpu_stale_blocked),
+                static_cast<unsigned long long>(report.cross_cpu_detected),
+                static_cast<unsigned long long>(report.sibling_quarantine_probes),
+                static_cast<unsigned long long>(report.sibling_completions_fenced));
   }
   if (report.ok) {
     std::printf("      PASS: invariants clean, no leaked mappings or PTEs\n");
