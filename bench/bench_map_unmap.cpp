@@ -25,7 +25,15 @@
 // into a telemetry Histogram — those quantiles are deterministic (pure
 // SimClock arithmetic), so CI gates on them instead of wall-clock noise.
 //
-// Usage: bench_map_unmap [--quick] [--out FILE] [--trace-out FILE]
+// Usage: bench_map_unmap [--quick] [--policy-trusted] [--out FILE]
+//        [--trace-out FILE]
+//
+// --policy-trusted arms the spv::policy trust engine and promotes the bench
+// device to kTrusted before the timed loops, so every map consults the
+// DmaRouter and takes the zero-copy path anyway. The emitted cases carry the
+// same (workload, mode, cpus, fast_path) keys as a plain run, so CI gates
+// the run against the *same* committed baseline: if routing ever costs
+// trusted devices sim cycles, the per-case means drift and the gate fails.
 //
 // --trace-out FILE additionally runs a short tracing-enabled steady_single
 // workload and writes its Chrome trace-event JSON (Perfetto-loadable) to
@@ -41,6 +49,7 @@
 #include <vector>
 
 #include "core/machine.h"
+#include "policy/policy.h"
 #include "telemetry/telemetry.h"
 #include "trace/tracer.h"
 
@@ -53,6 +62,7 @@ struct CaseConfig {
   iommu::InvalidationMode mode = iommu::InvalidationMode::kDeferred;
   uint32_t cpus = 1;
   bool fast = true;
+  bool policy_trusted = false;  // engine on, bench device promoted to kTrusted
   uint64_t ops = 0;
 };
 
@@ -80,6 +90,7 @@ core::Machine MakeMachine(const CaseConfig& config) {
     mc.iommu.fast_path.hash_index_enabled = false;
     mc.iommu.fast_path.walk_cache_enabled = false;
   }
+  mc.policy.enabled = config.policy_trusted;
   return core::Machine{mc};
 }
 
@@ -210,6 +221,16 @@ CaseResult RunCase(const CaseConfig& config) {
   core::Machine machine = MakeMachine(config);
   const DeviceId dev{1};
   machine.iommu().AttachDevice(dev);
+  if (config.policy_trusted) {
+    if (!machine.policy()
+             ->RegisterDevice(dev, policy::DeviceIdentity{"bench-dev", "bench"})
+             .ok()) {
+      std::abort();
+    }
+    while (machine.policy()->state(dev) != policy::TrustState::kTrusted) {
+      if (!machine.policy()->Promote(dev, "bench").ok()) std::abort();
+    }
+  }
   WorkloadState state = Prepare(machine, dev, config);
 
   const auto start = std::chrono::steady_clock::now();
@@ -303,19 +324,26 @@ int WriteChromeTrace(const std::string& path) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool policy_trusted = false;
   std::string out_path = "BENCH_map_unmap.json";
   std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--policy-trusted") == 0) {
+      policy_trusted = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
     } else {
-      std::cerr << "usage: bench_map_unmap [--quick] [--out FILE] [--trace-out FILE]\n";
+      std::cerr << "usage: bench_map_unmap [--quick] [--policy-trusted] [--out FILE]"
+                   " [--trace-out FILE]\n";
       return 2;
     }
+  }
+  if (policy_trusted) {
+    std::cout << "policy engine armed; bench device promoted to kTrusted\n";
   }
   // The slow-path churn workload is quadratic-ish; keep its op count lower so
   // the full matrix finishes in seconds either way.
@@ -337,6 +365,7 @@ int main(int argc, char** argv) {
           config.mode = mode;
           config.cpus = cpus;
           config.fast = fast;
+          config.policy_trusted = policy_trusted;
           config.ops = ops;
           results.push_back(RunCase(config));
           const CaseResult& r = results.back();
@@ -388,6 +417,7 @@ int main(int argc, char** argv) {
   std::ofstream out(out_path);
   out << "{\n  \"benchmark\": \"map_unmap_fast_path\",\n"
       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"policy_trusted\": " << (policy_trusted ? "true" : "false") << ",\n"
       << "  \"headline_speedup\": " << headline << ",\n"
       << "  \"headline_cell\": \"" << headline_cell << "\",\n"
       << "  \"steady_state_rcache_hit_rate\": " << steady_hit_rate << ",\n"

@@ -67,6 +67,18 @@ Machine::Machine(const MachineConfig& config)
   recovery_ = std::make_unique<recovery::RecoveryManager>(*iommu_, *dma_, clock_, hub_,
                                                           config.recovery);
   recovery_->set_tracer(tracer_.get());
+  if (config.policy.enabled) {
+    // Trust policy: the bounce pool takes its pages from the same allocator
+    // as everything else, and DmaApi consults the engine per map. Routing is
+    // exercised from the sequential workload loop; in kThreads runs only
+    // trusted (non-bounced) devices should map concurrently.
+    bounce_pool_ = std::make_unique<dma::BouncePool>(*iommu_, layout_, pm_, *page_alloc_,
+                                                     clock_, &hub_);
+    policy_ = std::make_unique<policy::PolicyEngine>(*iommu_, *bounce_pool_, clock_, hub_,
+                                                     config.policy);
+    policy_->set_recovery(recovery_.get());
+    dma_->set_policy(policy_.get(), bounce_pool_.get());
+  }
   // Fault hooks are wired unconditionally — an unarmed engine short-circuits
   // at every guard — and armed only when the config carries a plan.
   fault_.set_telemetry(&hub_);
@@ -150,7 +162,13 @@ net::NicDriver& Machine::AddNicDriver(const net::NicDriver::Config& config) {
   }
   driver.set_fault_engine(&fault_);
   driver.set_tracer(tracer_.get());
-  recovery_->RegisterDevice(device, drivers_.back().get());
+  const policy::DeviceIdentity identity{config.name, "nic"};
+  recovery_->RegisterDevice(device, drivers_.back().get(), RecoveryTuneFor(identity));
+  if (policy_ != nullptr) {
+    // Pool attach can only fail on physical-memory exhaustion at bring-up;
+    // the device then simply stays outside the policy (never bounced).
+    (void)policy_->RegisterDevice(device, identity, drivers_.back().get());
+  }
   return driver;
 }
 
@@ -162,8 +180,22 @@ nvme::NvmeDriver& Machine::AddNvmeDriver(const nvme::NvmeDriver::Config& config)
       device, *dma_, *kmem_, *slab_, &pool, clock_, config));
   nvme_drivers_.back()->set_fault_engine(&fault_);
   nvme_drivers_.back()->set_tracer(tracer_.get());
-  recovery_->RegisterDevice(device, nvme_drivers_.back().get());
+  const policy::DeviceIdentity identity{config.name, "nvme"};
+  recovery_->RegisterDevice(device, nvme_drivers_.back().get(), RecoveryTuneFor(identity));
+  if (policy_ != nullptr) {
+    (void)policy_->RegisterDevice(device, identity, nvme_drivers_.back().get());
+  }
   return *nvme_drivers_.back();
+}
+
+const recovery::RecoveryConfig* Machine::RecoveryTuneFor(
+    const policy::DeviceIdentity& identity) const {
+  if (policy_ == nullptr) {
+    return nullptr;
+  }
+  const policy::Quirk* quirk = policy_->FindQuirk(identity);
+  return quirk != nullptr && quirk->recovery_tune.has_value() ? &*quirk->recovery_tune
+                                                              : nullptr;
 }
 
 Status Machine::CheckInvariants() const {
@@ -282,6 +314,12 @@ Status Machine::CheckInvariants() const {
   // (6) Per-queue NIC ring accounting against the DMA tracker.
   for (const auto& driver : drivers_) {
     SPV_RETURN_IF_ERROR(driver->AuditQueues());
+  }
+
+  // (7) Bounce-pool accounting: slot in-use bits match active runs, runs are
+  // disjoint and contained, and the pool's static mappings still translate.
+  if (bounce_pool_ != nullptr) {
+    SPV_RETURN_IF_ERROR(bounce_pool_->Audit());
   }
   return OkStatus();
 }

@@ -31,6 +31,8 @@
 #include "net/skbuff.h"
 #include "net/stack.h"
 #include "nvme/nvme_driver.h"
+#include "dma/bounce_pool.h"
+#include "policy/policy.h"
 #include "recovery/recovery.h"
 #include "slab/page_frag.h"
 #include "slab/slab_allocator.h"
@@ -72,6 +74,11 @@ struct MachineConfig {
   // Device supervision (spv::recovery). Disabled by default: the paper's
   // attacks reproduce unhindered and the health scorer never joins the bus.
   recovery::RecoveryManager::Config recovery;
+  // Device trust policy (spv::policy). Disabled by default: no bounce pool
+  // is built, DmaApi routing stays a null check, and devices behave exactly
+  // as before the engine existed. Enabled, every Add*Driver registration
+  // consults the quirks table and untrusted devices run bounce-only.
+  policy::PolicyEngine::Config policy;
 };
 
 class Machine {
@@ -134,6 +141,9 @@ class Machine {
   fault::FaultEngine& fault() { return fault_; }
   // Device supervision; present always, active iff config.recovery.enabled.
   recovery::RecoveryManager& recovery() { return *recovery_; }
+  // Trust policy engine and its bounce pool; null unless config.policy.enabled.
+  policy::PolicyEngine* policy() { return policy_.get(); }
+  dma::BouncePool* bounce_pool() { return bounce_pool_.get(); }
 
   // Cross-layer consistency audit; call at teardown (or any quiescent point).
   // Verifies that (1) every tracked DMA mapping still translates page-by-page
@@ -144,14 +154,21 @@ class Machine {
   // with the page allocator's free count. Cross-CPU coverage: (5) the IOMMU's
   // sharded flush queues and per-CPU magazines are internally consistent
   // (Iommu::AuditCrossCpu), and (6) every NIC queue's posted RX / busy TX
-  // slots are backed by live DMA mappings (NicDriver::AuditQueues). No-op
-  // when the IOMMU is disabled.
+  // slots are backed by live DMA mappings (NicDriver::AuditQueues). With the
+  // trust policy enabled, (7) the bounce pool's slot accounting matches its
+  // active runs and its static mappings still translate (BouncePool::Audit).
+  // No-op when the IOMMU is disabled.
   Status CheckInvariants() const;
 
   const MachineConfig& config() const { return config_; }
   DeviceId next_device_id() const { return DeviceId{next_device_id_}; }
 
  private:
+  // The quirks-table recovery override for `identity`, or nullptr (machine
+  // default / policy disabled).
+  const recovery::RecoveryConfig* RecoveryTuneFor(
+      const policy::DeviceIdentity& identity) const;
+
   MachineConfig config_;
   SimClock clock_;
   telemetry::Hub hub_;  // before any component that publishes into it
@@ -170,6 +187,8 @@ class Machine {
   std::unique_ptr<net::SkbAllocator> skb_alloc_;
   std::unique_ptr<net::NetworkStack> stack_;
   std::unique_ptr<recovery::RecoveryManager> recovery_;
+  std::unique_ptr<dma::BouncePool> bounce_pool_;   // before policy_ (used by it)
+  std::unique_ptr<policy::PolicyEngine> policy_;
   std::vector<std::unique_ptr<slab::PageFragPool>> frag_pools_;
   std::vector<std::unique_ptr<net::NicDriver>> drivers_;
   std::vector<std::unique_ptr<nvme::NvmeDriver>> nvme_drivers_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <mutex>
 
+#include "dma/bounce_pool.h"
+
 namespace spv::dma {
 
 iommu::AccessRights RightsFor(DmaDirection dir) {
@@ -75,6 +77,12 @@ Result<Iova> DmaApi::MapSingle(DeviceId device, Kva kva, uint64_t len, DmaDirect
   if (len == 0) {
     return InvalidArgument("dma_map_single with zero length");
   }
+  // Trust gate: an untrusted device gets no direct mapping at all — its
+  // transfer goes through dedicated bounce pages (whole-page exposure and
+  // deferred-invalidation windows never arise on that path).
+  if (router_ != nullptr && bounce_pool_ != nullptr && router_->ShouldBounce(device)) {
+    return bounce_pool_->Map(device, kva, len, dir, site);
+  }
   Result<PhysAddr> phys = layout_.DirectMapKvaToPhys(kva);
   if (!phys.ok()) {
     return InvalidArgument("dma_map_single of non-direct-map KVA");
@@ -99,6 +107,11 @@ Result<Iova> DmaApi::MapSingle(DeviceId device, Kva kva, uint64_t len, DmaDirect
 
 Status DmaApi::UnmapSingle(DeviceId device, Iova iova, uint64_t len, DmaDirection dir) {
   trace::ScopedSpan span(tracer_, "dma.unmap_single");
+  // Pool IOVAs first: the mapping may predate a trust promotion, so the
+  // router's *current* verdict must not decide where the unmap goes.
+  if (bounce_pool_ != nullptr && bounce_pool_->Owns(device, iova)) {
+    return bounce_pool_->Unmap(device, iova, len, dir);
+  }
   const IovaKey key{device.value, iova.PageBase().value >> kPageShift};
   DmaMapping mapping;
   {
@@ -137,10 +150,18 @@ Result<uint64_t> DmaApi::RevokeDeviceMappings(DeviceId device, std::string_view 
     Notify(mapping, /*map=*/false);
     ++revoked;
   }
+  // In-flight bounces are dropped without copy-out: the device is suspect,
+  // so whatever it wrote into the dedicated pages is discarded.
+  if (bounce_pool_ != nullptr) {
+    revoked += bounce_pool_->ReleaseAll(device);
+  }
   return revoked;
 }
 
 Status DmaApi::SyncSingleForCpu(DeviceId device, Iova iova, uint64_t len, DmaDirection dir) {
+  if (bounce_pool_ != nullptr && bounce_pool_->Owns(device, iova)) {
+    return bounce_pool_->SyncForCpu(device, iova, len, dir);
+  }
   std::optional<DmaMapping> mapping = FindMapping(device, iova);
   if (!mapping.has_value() || mapping->dir != dir || mapping->len < len) {
     return FailedPrecondition("dma_sync_single_for_cpu on invalid mapping");
@@ -168,6 +189,9 @@ Status DmaApi::SyncSingleForCpu(DeviceId device, Iova iova, uint64_t len, DmaDir
 
 Status DmaApi::SyncSingleForDevice(DeviceId device, Iova iova, uint64_t len,
                                    DmaDirection dir) {
+  if (bounce_pool_ != nullptr && bounce_pool_->Owns(device, iova)) {
+    return bounce_pool_->SyncForDevice(device, iova, len, dir);
+  }
   std::optional<DmaMapping> mapping = FindMapping(device, iova);
   if (!mapping.has_value() || mapping->dir != dir || mapping->len < len) {
     return FailedPrecondition("dma_sync_single_for_device on invalid mapping");
@@ -255,13 +279,20 @@ void DmaApi::ForEachMapping(const std::function<void(const DmaMapping&)>& fn) co
 }
 
 std::optional<DmaMapping> DmaApi::FindMapping(DeviceId device, Iova iova) const {
-  std::lock_guard<MaybeMutex> guard(mu_);
-  const DmaMapping* found =
-      LookupMapping(IovaKey{device.value, iova.PageBase().value >> kPageShift});
-  if (found == nullptr) {
-    return std::nullopt;
+  {
+    std::lock_guard<MaybeMutex> guard(mu_);
+    const DmaMapping* found =
+        LookupMapping(IovaKey{device.value, iova.PageBase().value >> kPageShift});
+    if (found != nullptr) {
+      return *found;
+    }
   }
-  return *found;
+  // Bounced buffers live in the pool, not the tracker; synthesize the
+  // mapping so FindMapping-based ring audits keep working.
+  if (bounce_pool_ != nullptr && bounce_pool_->Owns(device, iova)) {
+    return bounce_pool_->Lookup(device, iova);
+  }
+  return std::nullopt;
 }
 
 void DmaApi::AddObserver(DmaObserver* observer) {

@@ -44,6 +44,9 @@
 
 namespace spv::dma {
 
+class DmaRouter;   // dma/bounce_pool.h
+class BouncePool;  // dma/bounce_pool.h
+
 // Matches enum dma_data_direction.
 enum class DmaDirection : uint8_t {
   kToDevice,       // TX: device reads -> IOMMU READ
@@ -138,6 +141,18 @@ class DmaApi {
   void set_current_cpu(CpuId cpu) { iommu_.set_current_cpu(cpu); }
   CpuId current_cpu() const { return iommu_.current_cpu(); }
 
+  // Trust-policy routing (spv::policy): with both installed, MapSingle asks
+  // `router` per map and diverts flagged devices' transfers through `pool`
+  // instead of handing out direct mappings; unmap/sync recognise pool IOVAs
+  // first, so in-flight bounces survive a mid-stream trust change. Either
+  // nullptr disables routing entirely — one branch on the hot path, no
+  // simulated-cycle cost for trusted devices.
+  void set_policy(DmaRouter* router, BouncePool* pool) {
+    router_ = router;
+    bounce_pool_ = pool;
+  }
+  BouncePool* bounce_pool() { return bounce_pool_; }
+
   // Observers are bridged onto the telemetry bus (one DmaObserverSink each);
   // the interface is unchanged for callers.
   void AddObserver(DmaObserver* observer);
@@ -186,6 +201,8 @@ class DmaApi {
   telemetry::Hub* hub_;
   std::unique_ptr<telemetry::Hub> owned_hub_;  // fallback when none injected
   trace::Tracer* tracer_ = nullptr;
+  DmaRouter* router_ = nullptr;       // trust policy's per-map verdict
+  BouncePool* bounce_pool_ = nullptr; // where untrusted transfers divert
   std::vector<std::unique_ptr<DmaObserverSink>> observer_sinks_;
 };
 

@@ -402,6 +402,20 @@ void Iommu::FlushNow(FlushReason reason) {
   }
 }
 
+Status Iommu::SetDeviceFastPath(DeviceId device, bool enabled) {
+  DeviceRef ref = Resolve(device);
+  if (ref.domain == nullptr) {
+    return NotFound("fast-path gate on unattached device");
+  }
+  ref.domain->iova_alloc.set_cache_bypass(!enabled);
+  return OkStatus();
+}
+
+bool Iommu::device_fast_path(DeviceId device) const {
+  DeviceRef ref = Resolve(device);
+  return ref.domain == nullptr || !ref.domain->iova_alloc.cache_bypass();
+}
+
 void Iommu::DrainShard(size_t shard_index, FlushReason reason) {
   FlushShard& shard = *flush_shards_[shard_index];
   std::deque<PendingInvalidation> batch;

@@ -202,6 +202,15 @@ class Iommu {
   // admin `iommu=strict`-style flush).
   void FlushNow(FlushReason reason = FlushReason::kManual);
 
+  // Trust-policy gate (spv::policy): while disabled, the device's domain
+  // allocates and frees IOVAs through the slow path only — magazine caches
+  // bypassed (IovaAllocator::set_cache_bypass), so an unearned device never
+  // rides the PR-2 rcache. Per translation domain, like the allocator
+  // itself. NotFound for unattached devices; enabled is the default.
+  Status SetDeviceFastPath(DeviceId device, bool enabled);
+  // False only while a policy has the device gated off the fast path.
+  bool device_fast_path(DeviceId device) const;
+
   // The CPU the simulated kernel is currently executing on; IOVA magazine
   // allocs/frees and flush-shard selection use it. Ambient (thread-local,
   // like preemption context) rather than a parameter so device models need

@@ -64,7 +64,7 @@ Result<Iova> IovaAllocator::Alloc(uint64_t pages, CpuId cpu) {
   const uint64_t effective = EffectivePages(pages);
   const int size_class = SizeClassFor(pages);
   uint64_t base_page = 0;
-  if (fast_path_.rcache_enabled && size_class >= 0 &&
+  if (fast_path_.rcache_enabled && !cache_bypass_ && size_class >= 0 &&
       MagazinePop(size_class, cpu, &base_page)) {
     ++stats_.rcache_hits;
     if (hub_ != nullptr && hub_->enabled()) {
@@ -73,7 +73,7 @@ Result<Iova> IovaAllocator::Alloc(uint64_t pages, CpuId cpu) {
     std::lock_guard<MaybeMutex> guard(mu_);
     live_.emplace(base_page, effective);
   } else {
-    if (fast_path_.rcache_enabled && size_class >= 0) {
+    if (fast_path_.rcache_enabled && !cache_bypass_ && size_class >= 0) {
       ++stats_.rcache_misses;
       if (hub_ != nullptr && hub_->enabled()) {
         c_misses_->Add();
@@ -115,7 +115,7 @@ Status IovaAllocator::Free(Iova base, uint64_t pages, CpuId cpu) {
   allocated_pages_ -= effective;
 
   const int size_class = SizeClassFor(pages);
-  if (fast_path_.rcache_enabled && size_class >= 0) {
+  if (fast_path_.rcache_enabled && !cache_bypass_ && size_class >= 0) {
     MagazinePush(size_class, cpu, base_page);
   } else {
     std::lock_guard<MaybeMutex> guard(mu_);

@@ -75,6 +75,15 @@ class IovaAllocator {
   const Stats& stats() const { return stats_; }
   const FastPathConfig& fast_path() const { return fast_path_; }
 
+  // Trust-policy gate (spv::policy): while bypassed, Alloc and Free skip the
+  // magazine caches and go straight to the coalescing tree — the pre-PR-2
+  // slow path, reserved for devices that have not earned kTrusted. Ranges
+  // already parked in magazines stay parked (AuditCaches still accounts
+  // them) and resume serving allocs when the bypass lifts. Size-class
+  // rounding is unaffected, so toggling mid-lifetime never desyncs Free.
+  void set_cache_bypass(bool bypass) { cache_bypass_ = bypass; }
+  bool cache_bypass() const { return cache_bypass_; }
+
   // Engages the internal lock for ExecMode::kThreads. The lock covers the
   // shared slow path (free tree, live set, depot); the per-CPU loaded/prev
   // magazines stay owner-CPU-only and lock-free, exactly like Linux's
@@ -147,6 +156,7 @@ class IovaAllocator {
   uint64_t window_end_;    // in pages
   uint64_t next_top_;      // grows downward, in pages; guarded by mu_
   FastPathConfig fast_path_;
+  bool cache_bypass_ = false;  // trust-policy slow-path gate
 
   // Shared state guarded by mu_ (disengaged — a branch — in sequential
   // mode): the free tree, the live set and each size class's depot. The

@@ -62,7 +62,7 @@ uint32_t NicDriver::rx_buffer_bytes() const {
 }
 
 bool NicDriver::PollDeadlineHit(Queue& q, uint64_t start_cycle, std::string_view loop) {
-  if (clock_.now() - start_cycle < config_.poll_deadline_cycles) {
+  if (clock_.now() - start_cycle < EffectivePollDeadline()) {
     return false;
   }
   ++q.poll_deadline_hits;
@@ -84,7 +84,9 @@ Status NicDriver::FillRxRing(uint32_t queue) {
   // Best-effort: one slot failing to fill must not leave the ones after it
   // empty; the first error is still reported.
   Status first = OkStatus();
-  for (uint32_t i = 0; i < config_.rx_ring_size; ++i) {
+  // Probation clamp: only the first `ring limit` descriptors are posted, so
+  // an untrusted-ish device exposes proportionally less memory at a time.
+  for (uint32_t i = 0; i < EffectiveRxRingLimit(); ++i) {
     if (q.rx_ring[i].posted) {
       continue;
     }
@@ -176,7 +178,7 @@ uint32_t NicDriver::RetryRefills(uint32_t queue) {
   const uint64_t start = clock_.now();
   uint32_t refilled = 0;
   bool failed = false;
-  for (uint32_t i = 0; i < q.rx_ring.size(); ++i) {
+  for (uint32_t i = 0; i < EffectiveRxRingLimit(); ++i) {
     if (q.rx_ring[i].posted) {
       continue;
     }

@@ -188,6 +188,14 @@ class NicDriver : public recovery::SupervisedDriver {
   // SupervisedDriver re-attach hook: bring every RX ring back up.
   Status Resume() override { return FillAllRxRings(); }
 
+  // Trust-probation hook (spv::policy): clamps the per-queue NAPI budget and
+  // the number of RX descriptors posted per queue. A zeroed struct restores
+  // the config defaults; limits only ever tighten, never exceed them.
+  void ApplyDmaPolicy(const recovery::DmaPolicyLimits& limits) override {
+    policy_limits_ = limits;
+  }
+  const recovery::DmaPolicyLimits& policy_limits() const { return policy_limits_; }
+
   // ---- Introspection -----------------------------------------------------------
 
   DeviceId device_id() const { return device_id_; }
@@ -289,6 +297,20 @@ class NicDriver : public recovery::SupervisedDriver {
     return total;
   }
 
+  // Config values after the trust-policy clamp (identity when no limits are
+  // in force).
+  uint64_t EffectivePollDeadline() const {
+    return policy_limits_.poll_deadline_cycles != 0 &&
+                   policy_limits_.poll_deadline_cycles < config_.poll_deadline_cycles
+               ? policy_limits_.poll_deadline_cycles
+               : config_.poll_deadline_cycles;
+  }
+  uint32_t EffectiveRxRingLimit() const {
+    return policy_limits_.ring_limit != 0 && policy_limits_.ring_limit < config_.rx_ring_size
+               ? policy_limits_.ring_limit
+               : config_.rx_ring_size;
+  }
+
   // True once the polling loop that started at `start_cycle` has exhausted
   // this queue's budget; emits kNicPollDeadline (tagged `loop`) on the
   // transition and charges the hit to the queue, not the device.
@@ -315,6 +337,7 @@ class NicDriver : public recovery::SupervisedDriver {
   NicDeviceModel* device_ = nullptr;
 
   std::vector<Queue> queues_;
+  recovery::DmaPolicyLimits policy_limits_;  // zeroed = full service
   XdpProgram* xdp_program_ = nullptr;
   fault::FaultEngine* fault_ = nullptr;
   trace::Tracer* tracer_ = nullptr;

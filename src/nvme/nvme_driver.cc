@@ -47,7 +47,7 @@ NvmeDriver::NvmeDriver(DeviceId device_id, dma::DmaApi& dma,
       config_(std::move(config)) {}
 
 bool NvmeDriver::PollDeadlineHit(uint64_t start_cycle, std::string_view loop) {
-  if (clock_.now() - start_cycle < config_.poll_deadline_cycles) {
+  if (clock_.now() - start_cycle < EffectivePollDeadline()) {
     return false;
   }
   ++poll_deadline_hits_;
@@ -340,7 +340,7 @@ Result<uint16_t> NvmeDriver::SubmitIo(uint8_t opcode, uint64_t slba,
   if (capacity_blocks_ != 0 && slba + nblocks > capacity_blocks_) {
     return InvalidArgument("transfer beyond device capacity");
   }
-  if (outstanding_.size() + 1 >= io_.sq_entries) {
+  if (outstanding_.size() >= EffectiveQueueDepth()) {
     return ResourceExhausted("io queue full");
   }
   trace::ScopedSpan span(tracer_, "nvme.submit");

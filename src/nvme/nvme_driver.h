@@ -92,6 +92,14 @@ class NvmeDriver : public recovery::SupervisedDriver {
   // SupervisedDriver re-attach hook: full re-init.
   Status Resume() override;
 
+  // Trust-probation hook (spv::policy): clamps the CQ poll budget and the
+  // number of commands outstanding at once. A zeroed struct restores the
+  // config defaults; limits only ever tighten, never exceed them.
+  void ApplyDmaPolicy(const recovery::DmaPolicyLimits& limits) override {
+    policy_limits_ = limits;
+  }
+  const recovery::DmaPolicyLimits& policy_limits() const { return policy_limits_; }
+
   // ---- Block IO ---------------------------------------------------------------
 
   // Asynchronous primitives: submit returns the CID; completions arrive via
@@ -206,6 +214,19 @@ class NvmeDriver : public recovery::SupervisedDriver {
   Status ResetIoQueue();
   bool PollDeadlineHit(uint64_t start_cycle, std::string_view loop);
   uint16_t NextCid();
+  // Config values after the trust-policy clamp (identity with no limits).
+  uint64_t EffectivePollDeadline() const {
+    return policy_limits_.poll_deadline_cycles != 0 &&
+                   policy_limits_.poll_deadline_cycles < config_.poll_deadline_cycles
+               ? policy_limits_.poll_deadline_cycles
+               : config_.poll_deadline_cycles;
+  }
+  size_t EffectiveQueueDepth() const {
+    const size_t cap = io_.sq_entries == 0 ? 0 : static_cast<size_t>(io_.sq_entries) - 1;
+    return policy_limits_.ring_limit != 0 && policy_limits_.ring_limit < cap
+               ? policy_limits_.ring_limit
+               : cap;
+  }
 
   DeviceId device_id_;
   dma::DmaApi& dma_;
@@ -217,6 +238,7 @@ class NvmeDriver : public recovery::SupervisedDriver {
   NvmeDeviceModel* device_ = nullptr;
   fault::FaultEngine* fault_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
+  recovery::DmaPolicyLimits policy_limits_;  // zeroed = full service
 
   QueueView admin_;
   QueueView io_;

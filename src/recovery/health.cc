@@ -7,28 +7,40 @@ namespace spv::recovery {
 
 void HealthScorer::Track(DeviceId device) { scores_.try_emplace(device.value); }
 
-void HealthScorer::Untrack(DeviceId device) { scores_.erase(device.value); }
+void HealthScorer::Untrack(DeviceId device) {
+  scores_.erase(device.value);
+  overrides_.erase(device.value);
+}
 
-double HealthScorer::WeightFor(const telemetry::Event& event) const {
+void HealthScorer::SetDeviceConfig(DeviceId device, const Config& config) {
+  overrides_[device.value] = config;
+}
+
+const HealthScorer::Config& HealthScorer::ConfigFor(DeviceId device) const {
+  auto it = overrides_.find(device.value);
+  return it == overrides_.end() ? config_ : it->second;
+}
+
+double HealthScorer::WeightFor(const Config& config, const telemetry::Event& event) {
   switch (event.kind) {
     case telemetry::EventKind::kIommuFault:
-      return config_.weight_iommu_fault;
+      return config.weight_iommu_fault;
     case telemetry::EventKind::kNicTxReset:
-      return config_.weight_ring_reset;
+      return config.weight_ring_reset;
     case telemetry::EventKind::kStaleIotlbHit:
-      return config_.weight_stale_iotlb_hit;
+      return config.weight_stale_iotlb_hit;
     case telemetry::EventKind::kDkasanReport:
-      return config_.weight_dkasan_report;
+      return config.weight_dkasan_report;
     case telemetry::EventKind::kSpadeFinding:
-      return config_.weight_spade_finding;
+      return config.weight_spade_finding;
     case telemetry::EventKind::kNicRxError:
     case telemetry::EventKind::kNvmeCompletionError:
-      return config_.weight_bad_completion;
+      return config.weight_bad_completion;
     case telemetry::EventKind::kNicPollDeadline:
     case telemetry::EventKind::kNvmePollDeadline:
-      return config_.weight_poll_deadline;
+      return config.weight_poll_deadline;
     case telemetry::EventKind::kNvmeQueueReset:
-      return config_.weight_ring_reset;
+      return config.weight_ring_reset;
     default:
       return 0.0;
   }
@@ -45,20 +57,21 @@ double HealthScorer::Decayed(double score, uint64_t from, uint64_t to,
 }
 
 void HealthScorer::OnEvent(const telemetry::Event& event) {
-  const double weight = WeightFor(event);
-  if (weight == 0.0) {
-    return;
-  }
   auto it = scores_.find(event.device);
   if (it == scores_.end()) {
     return;  // not a device we supervise
   }
+  const Config& config = ConfigFor(DeviceId{event.device});
+  const double weight = WeightFor(config, event);
+  if (weight == 0.0) {
+    return;
+  }
   DeviceScore& entry = it->second;
   entry.score = Decayed(entry.score, entry.last_cycle, event.cycle,
-                        config_.half_life_cycles) +
+                        config.half_life_cycles) +
                 weight;
   entry.last_cycle = std::max(entry.last_cycle, event.cycle);
-  if (!entry.breached && entry.score >= config_.threshold) {
+  if (!entry.breached && entry.score >= config.threshold) {
     entry.breached = true;
     pending_breaches_.push_back(DeviceId{event.device});
   }
@@ -70,7 +83,7 @@ double HealthScorer::ScoreAt(DeviceId device, uint64_t now) const {
     return 0.0;
   }
   return Decayed(it->second.score, it->second.last_cycle, now,
-                 config_.half_life_cycles);
+                 ConfigFor(device).half_life_cycles);
 }
 
 std::vector<DeviceId> HealthScorer::TakeBreaches() {

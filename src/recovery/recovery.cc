@@ -37,10 +37,22 @@ RecoveryManager::~RecoveryManager() {
   }
 }
 
-void RecoveryManager::RegisterDevice(DeviceId device, SupervisedDriver* driver) {
+void RecoveryManager::RegisterDevice(DeviceId device, SupervisedDriver* driver,
+                                     const RecoveryConfig* tune) {
   Supervised& entry = devices_[device.value];
   entry.driver = driver;
+  if (tune != nullptr) {
+    entry.tune = *tune;
+  }
   scorer_.Track(device);
+  if (tune != nullptr) {
+    scorer_.SetDeviceConfig(device, tune->health);
+  }
+}
+
+const RecoveryConfig& RecoveryManager::effective_config(DeviceId device) const {
+  auto it = devices_.find(device.value);
+  return it == devices_.end() ? config_ : TuneFor(it->second);
 }
 
 void RecoveryManager::Emit(telemetry::EventKind kind, telemetry::Severity severity,
@@ -94,15 +106,16 @@ Status RecoveryManager::DoQuarantine(DeviceId device, Supervised& entry,
   }
   iommu_.DrainDeviceInvalidations(device);
 
+  const RecoveryConfig& tune = TuneFor(entry);
   entry.state = DeviceState::kQuarantined;
   entry.quarantine_start = start;
   // First quarantine waits the base backoff; every re-quarantine after a
   // failed probation multiplies it (exponential backoff on a flapping device).
   entry.current_backoff =
       entry.reattach_attempts == 0
-          ? config_.reattach_backoff_cycles
+          ? tune.reattach_backoff_cycles
           : static_cast<uint64_t>(static_cast<double>(entry.current_backoff) *
-                                  config_.backoff_multiplier);
+                                  tune.backoff_multiplier);
   entry.next_reattach_cycle = clock_.now() + entry.current_backoff;
   ++entry.quarantines;
   ++total_quarantines_;
@@ -117,8 +130,9 @@ Status RecoveryManager::DoQuarantine(DeviceId device, Supervised& entry,
 }
 
 void RecoveryManager::DoReattach(DeviceId device, Supervised& entry) {
+  const RecoveryConfig& tune = TuneFor(entry);
   ++entry.reattach_attempts;
-  if (entry.reattach_attempts > config_.max_reattach_attempts) {
+  if (entry.reattach_attempts > tune.max_reattach_attempts) {
     DoDetach(device, entry, "retry budget exhausted");
     return;
   }
@@ -132,7 +146,7 @@ void RecoveryManager::DoReattach(DeviceId device, Supervised& entry) {
   }
   entry.quarantined_cycles += clock_.now() - entry.quarantine_start;
   entry.state = DeviceState::kProbation;
-  entry.probation_until = clock_.now() + config_.probation_cycles;
+  entry.probation_until = clock_.now() + tune.probation_cycles;
   // Probation starts from a clean score; the breach latch re-arms.
   scorer_.Reset(device);
   Emit(telemetry::EventKind::kDeviceReattached, telemetry::Severity::kInfo, device,

@@ -10,9 +10,22 @@
 #ifndef SPV_RECOVERY_SUPERVISED_H_
 #define SPV_RECOVERY_SUPERVISED_H_
 
+#include <cstdint>
+
 #include "base/status.h"
 
 namespace spv::recovery {
+
+// DMA-side service limits a trust policy (spv::policy) may impose on a
+// driver without knowing its shape. Zero means "driver default" for every
+// field, so ApplyDmaPolicy(DmaPolicyLimits{}) restores full service.
+struct DmaPolicyLimits {
+  // Cap on the driver's NAPI/CQ polling budget, in sim cycles.
+  uint64_t poll_deadline_cycles = 0;
+  // Cap on ring occupancy: RX descriptors posted per queue (NIC) or
+  // outstanding commands per IO queue (NVMe).
+  uint32_t ring_limit = 0;
+};
 
 class SupervisedDriver {
  public:
@@ -28,6 +41,11 @@ class SupervisedDriver {
   // refilled, queues re-created). Failures are not fatal to the manager: a
   // still-broken device re-breaches during probation.
   virtual Status Resume() = 0;
+
+  // Tightens (or restores, with a zeroed struct) the driver's service limits
+  // while its device sits on trust probation. Default: no-op, so drivers
+  // without a meaningful clamp need no code.
+  virtual void ApplyDmaPolicy(const DmaPolicyLimits& limits) { (void)limits; }
 };
 
 }  // namespace spv::recovery

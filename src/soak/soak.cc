@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include <cstring>
+
 #include "attack/attacks.h"
 #include "attack/mini_cpu.h"
 #include "base/exec.h"
@@ -14,11 +16,14 @@
 #include "base/status.h"
 #include "base/types.h"
 #include "core/machine.h"
+#include "device/device_port.h"
 #include "device/malicious_nic.h"
+#include "dma/bounce_pool.h"
 #include "fault/fault.h"
 #include "net/layouts.h"
 #include "nvme/malicious_nvme.h"
 #include "nvme/nvme_driver.h"
+#include "policy/policy.h"
 #include "recovery/recovery.h"
 #include "telemetry/telemetry.h"
 
@@ -40,6 +45,21 @@ constexpr uint32_t kChurnDeviceId = 900;
 // parallel map/unmap stream so every CPU's IOVA magazines and flush-queue
 // shard see traffic.
 constexpr uint32_t kPerCpuChurnBase = 910;
+
+// Trust-policy leg: the long-lived hostile device (keeps a bounce mapping
+// parked across epochs so every invariant sweep audits a non-empty pool) and
+// the base id for the hot-plug storms' throwaway hostiles.
+constexpr uint32_t kResidentHostileId = 1900;
+constexpr uint32_t kHotplugHostileBase = 2000;
+
+// What the hostile probes plant and hunt. The secret sentinel fills a slab
+// neighbour; seeing it through a hostile device's mapping is a type (d)
+// leak. The legit mark is the one in-bounds device write that MUST survive
+// bounce copy-out; the evil mark is sprayed across the rest of the
+// device-visible page and must never reach kernel memory.
+constexpr uint64_t kSecretSentinel = 0x534f414b'5f534543ull;  // "SOAK_SEC"
+constexpr uint64_t kLegitMark = 0x424f554e'43453a31ull;       // "BOUNCE:1"
+constexpr uint64_t kEvilMark = 0xdead5722'17e0fULL;
 
 struct JsonWriter {
   std::string out = "{";
@@ -107,7 +127,7 @@ fault::FaultPlan MakeSoakFaultPlan() {
 struct ChurnEntry {
   Iova iova;
   Kva kva;
-  uint64_t len;
+  uint64_t len = 0;
 };
 
 }  // namespace
@@ -138,6 +158,31 @@ SoakReport RunSoak(const SoakConfig& config) {
   // down (not off) so one soak crosses several full lifecycle transitions.
   machine_config.recovery.reattach_backoff_cycles = SimClock::UsToCycles(200);
   machine_config.recovery.probation_cycles = SimClock::UsToCycles(300);
+
+  // Trust-policy leg: the quirks table is the soak's authorization database.
+  // Hostile hot-plug identities are pinned kUntrusted *before* the inbox
+  // wildcards (first match wins); the resident drivers enter as kTrusted —
+  // their queue protocols assume zero-copy rings, and nic1 doubles as the
+  // demotion subject: its first quarantine knocks it back to bounce-only and
+  // every re-promotion drill must then break on the hysteresis cooldown.
+  if (config.policy) {
+    machine_config.policy.enabled = true;
+    policy::Quirk evil_nic;
+    evil_nic.match_model = "evil-nic";
+    machine_config.policy.quirks.push_back(evil_nic);
+    policy::Quirk evil_nvme;
+    evil_nvme.match_model = "evil-nvme";
+    evil_nvme.bounce_pages = 4;  // deliberately small: storms hit pool reuse
+    machine_config.policy.quirks.push_back(evil_nvme);
+    policy::Quirk inbox_nic;
+    inbox_nic.match_class = "nic";
+    inbox_nic.initial_trust = policy::TrustState::kTrusted;
+    machine_config.policy.quirks.push_back(inbox_nic);
+    policy::Quirk inbox_nvme;
+    inbox_nvme.match_class = "nvme";
+    inbox_nvme.initial_trust = policy::TrustState::kTrusted;
+    machine_config.policy.quirks.push_back(inbox_nvme);
+  }
 
   // Multi-CPU leg: fast_path.num_cpus sizes the per-CPU magazines and flush
   // shards; exec decides whether RunOnCpus fans out to real host threads.
@@ -181,6 +226,23 @@ SoakReport RunSoak(const SoakConfig& config) {
   const DeviceId churn_dev{kChurnDeviceId};
   machine.iommu().AttachDevice(churn_dev);
   machine.recovery().RegisterDevice(churn_dev, nullptr);
+
+  // Trust-policy leg: the resident hostile NIC — attached for the whole run,
+  // never authorized, one bounce mapping parked across epochs so every
+  // invariant sweep audits a pool with live traffic in it.
+  policy::PolicyEngine* engine = machine.policy();
+  const DeviceId resident_hostile{kResidentHostileId};
+  std::optional<ChurnEntry> hostile_parked;
+  if (engine != nullptr && config.hostile_hotplug) {
+    machine.iommu().AttachDevice(resident_hostile);
+    if (Status registered = engine->RegisterDevice(
+            resident_hostile, policy::DeviceIdentity{"evil-nic", "nic"});
+        !registered.ok()) {
+      report.failure = "soak setup failed: resident hostile: " +
+                       std::string(registered.message());
+      return report;
+    }
+  }
 
   // Per-CPU churn devices + per-CPU RNG streams. Each CPU draws only from its
   // own stream, so kSequential runs are byte-deterministic and kThreads runs
@@ -246,6 +308,7 @@ SoakReport RunSoak(const SoakConfig& config) {
   std::deque<ChurnEntry> churn_ledger;
   constexpr size_t kChurnLedgerCap = 16;
   bool ringflood_done = false;
+  uint64_t hostile_plugged = 0;  // monotonic: every storm device gets a fresh id
   recovery::DeviceState last_state0 = recovery::DeviceState::kHealthy;
   recovery::DeviceState last_state1 = recovery::DeviceState::kHealthy;
   recovery::DeviceState last_state_nvme = recovery::DeviceState::kHealthy;
@@ -433,6 +496,133 @@ SoakReport RunSoak(const SoakConfig& config) {
       (void)machine.slab().Kfree(entry.kva);
     }
 
+    // -- Hostile hot-plug storms (trust-policy leg) -----------------------------
+    //
+    // A burst of never-authorized devices attaches, lands on kUntrusted, and
+    // runs the paper's sub-page probes against slab-neighbour memory. Every
+    // one of their transfers is diverted through the bounce pool, so:
+    //   type (d): a page-wide read through the probe mapping sees only the
+    //             scrubbed bounce page plus the probe's own bytes — the slab
+    //             neighbour's secret sentinel must never appear;
+    //   type (a): writes sprayed across the device-visible page outside the
+    //             probe buffer land in bounce padding that copy-out discards
+    //             — the neighbour's bytes must come through unchanged, while
+    //             the one legit in-bounds write must still be delivered.
+    if (engine != nullptr && config.hostile_hotplug && config.hotplug_interval != 0 &&
+        epoch % config.hotplug_interval == config.hotplug_interval - 1) {
+      // Rotate the resident hostile's parked bounce mapping first: retire the
+      // old one (copy-out audited) and park a fresh one for coming epochs.
+      if (hostile_parked.has_value()) {
+        (void)machine.dma().UnmapSingle(resident_hostile, hostile_parked->iova,
+                                        hostile_parked->len,
+                                        dma::DmaDirection::kBidirectional);
+        (void)machine.slab().Kfree(hostile_parked->kva);
+        hostile_parked.reset();
+      }
+      if (Result<Kva> park = machine.slab().Kmalloc(1024, "soak_hostile_park");
+          park.ok()) {
+        Result<Iova> park_iova = machine.dma().MapSingle(
+            resident_hostile, *park, 1024, dma::DmaDirection::kBidirectional,
+            "soak_hostile_park");
+        if (park_iova.ok()) {
+          hostile_parked = ChurnEntry{*park_iova, *park, 1024};
+        } else {
+          (void)machine.slab().Kfree(*park);
+        }
+      }
+
+      for (uint32_t h = 0; h < config.hotplug_devices; ++h) {
+        const bool is_nvme = (hostile_plugged % 2) == 1;
+        const DeviceId dev{kHotplugHostileBase +
+                           static_cast<uint32_t>(hostile_plugged++)};
+        machine.iommu().AttachDevice(dev);
+        const policy::DeviceIdentity identity{is_nvme ? "evil-nvme" : "evil-nic",
+                                              is_nvme ? "nvme" : "nic"};
+        if (!engine->RegisterDevice(dev, identity).ok()) {
+          (void)machine.iommu().DetachDevice(dev);
+          continue;
+        }
+        ++report.policy.hotplug_attaches;
+        device::DevicePort port{machine.iommu(), dev};
+
+        // Two same-size slab objects allocated back-to-back: the secret is
+        // the probe buffer's likely page neighbour — exactly the paper's
+        // type (a)/(d) co-location setup.
+        constexpr uint64_t kProbeLen = 192;
+        Result<Kva> secret = machine.slab().Kmalloc(kProbeLen, "soak_secret");
+        Result<Kva> probe = machine.slab().Kmalloc(kProbeLen, "soak_hostile_buf");
+        if (secret.ok() && probe.ok()) {
+          std::vector<uint8_t> secret_bytes(kProbeLen);
+          for (size_t i = 0; i + 8 <= secret_bytes.size(); i += 8) {
+            std::memcpy(&secret_bytes[i], &kSecretSentinel, 8);
+          }
+          (void)machine.kmem().Write(*secret, secret_bytes);
+          std::vector<uint8_t> probe_bytes(kProbeLen, 0xa5);
+          (void)machine.kmem().Write(*probe, probe_bytes);
+
+          // ---- type (d): page-wide exfiltration read ----------------------
+          if (Result<Iova> rd = machine.dma().MapSingle(
+                  dev, *probe, kProbeLen, dma::DmaDirection::kToDevice,
+                  "soak_hostile_read_probe");
+              rd.ok()) {
+            ++report.policy.subpage_read_probes;
+            const Iova rd_page = rd->PageBase();
+            for (uint64_t off = 0; off + 8 <= kPageSize; off += 8) {
+              Result<uint64_t> word = port.ReadU64(rd_page + off);
+              if (word.ok() && *word == kSecretSentinel) {
+                ++report.policy.secret_leaks;
+                break;
+              }
+            }
+            (void)machine.dma().UnmapSingle(dev, *rd, kProbeLen,
+                                            dma::DmaDirection::kToDevice);
+          }
+
+          // ---- type (a): off-the-end neighbour write ----------------------
+          if (Result<Iova> wr = machine.dma().MapSingle(
+                  dev, *probe, kProbeLen, dma::DmaDirection::kFromDevice,
+                  "soak_hostile_write_probe");
+              wr.ok()) {
+            ++report.policy.subpage_write_probes;
+            (void)port.WriteU64(*wr, kLegitMark);
+            const Iova wr_page = wr->PageBase();
+            const uint64_t probe_off = wr->page_offset();
+            for (uint64_t off = 0; off + 8 <= kPageSize; off += 64) {
+              if (off + 8 > probe_off && off < probe_off + kProbeLen) {
+                continue;  // spray only *outside* the in-bounds window
+              }
+              (void)port.WriteU64(wr_page + off, kEvilMark);
+            }
+            (void)machine.dma().UnmapSingle(dev, *wr, kProbeLen,
+                                            dma::DmaDirection::kFromDevice);
+            std::vector<uint8_t> delivered(8, 0);
+            if (machine.kmem().Read(*probe, delivered).ok() &&
+                std::memcmp(delivered.data(), &kLegitMark, 8) == 0) {
+              ++report.policy.bounce_rx_ok;
+            }
+            std::vector<uint8_t> neighbour(kProbeLen, 0);
+            if (machine.kmem().Read(*secret, neighbour).ok() &&
+                neighbour != secret_bytes) {
+              ++report.policy.neighbour_corruptions;
+            }
+          }
+        }
+        if (probe.ok()) {
+          (void)machine.slab().Kfree(*probe);
+        }
+        if (secret.ok()) {
+          (void)machine.slab().Kfree(*secret);
+        }
+        if (engine->state(dev) == policy::TrustState::kUntrusted) {
+          ++report.policy.hostile_still_untrusted;
+        }
+        if (engine->UnregisterDevice(dev).ok() &&
+            machine.iommu().DetachDevice(dev).ok()) {
+          ++report.policy.hotplug_detaches;
+        }
+      }
+    }
+
     // -- Per-CPU churn: every CPU pushes map/unmap pairs through its own
     // IOVA magazines and flush-queue shard. kSequential visits CPUs in order
     // on one host thread; kThreads fans out to real workers (the TSan leg).
@@ -588,6 +778,19 @@ SoakReport RunSoak(const SoakConfig& config) {
 
     // -- Supervision + epoch bookkeeping ----------------------------------------
     (void)machine.recovery().Poll();
+    if (engine != nullptr) {
+      // Demotion triggers latched off the telemetry bus (quarantines, health
+      // breaches, detector findings) land here, outside any callback.
+      (void)engine->Poll();
+      // Re-promotion drill: once nic1 has been demoted, an operator keeps
+      // trying to authorize it again. Every attempt inside the hysteresis
+      // cooldown must be refused — a flapping device stays on bounce.
+      if (epoch % 11 == 7 &&
+          engine->state(nic1.device_id()) == policy::TrustState::kUntrusted) {
+        ++report.policy.promotion_attempts;
+        (void)engine->Promote(nic1.device_id(), "soak re-promotion drill");
+      }
+    }
 
     // A device entering quarantine invalidates everything its hardware
     // queues refer to: model the device reset by dropping stale descriptors
@@ -655,6 +858,44 @@ SoakReport RunSoak(const SoakConfig& config) {
                                     dma::DmaDirection::kFromDevice);
     (void)machine.slab().Kfree(entry.kva);
   }
+  if (hostile_parked.has_value()) {
+    (void)machine.dma().UnmapSingle(resident_hostile, hostile_parked->iova,
+                                    hostile_parked->len,
+                                    dma::DmaDirection::kBidirectional);
+    (void)machine.slab().Kfree(hostile_parked->kva);
+    hostile_parked.reset();
+  }
+  if (engine != nullptr) {
+    // Posture snapshot while the resident devices are still registered: this
+    // is the HSI-style exposure answer the run ends on, byte-identical for
+    // the same seed. Captured before the pools detach below.
+    report.posture_json = engine->PostureJson();
+    report.policy.demotions = engine->total_demotions();
+    report.policy.promotions_blocked = engine->total_promotions_blocked();
+    if (config.hostile_hotplug &&
+        engine->state(resident_hostile) == policy::TrustState::kUntrusted) {
+      ++report.policy.hostile_still_untrusted;
+    }
+    // Leak audit for the bounce pool: after driver shutdown and parked-entry
+    // retirement nothing may still be in flight.
+    if (machine.bounce_pool() != nullptr &&
+        machine.bounce_pool()->total_active() != 0 && report.failure.empty()) {
+      fail("teardown: " +
+           std::to_string(machine.bounce_pool()->total_active()) +
+           " bounce mappings still active");
+    }
+    // Unregister everything so the pools' static IOVA blocks come down
+    // before the PTE leak audit walks the page tables.
+    if (config.hostile_hotplug) {
+      (void)engine->UnregisterDevice(resident_hostile);
+      (void)machine.iommu().DetachDevice(resident_hostile);
+    }
+    (void)engine->UnregisterDevice(nic0.device_id());
+    (void)engine->UnregisterDevice(nic1.device_id());
+    if (config.storage) {
+      (void)engine->UnregisterDevice(nvme0->device_id());
+    }
+  }
   machine.iommu().FlushNow();
 
   report.sim_cycles = machine.clock().now();
@@ -666,6 +907,10 @@ SoakReport RunSoak(const SoakConfig& config) {
   }
 
   telemetry::Hub& hub = machine.telemetry();
+  if (engine != nullptr) {
+    report.policy.bounce_maps = hub.counter_value("bounce.maps");
+    report.policy.bounce_unmaps = hub.counter_value("bounce.unmaps");
+  }
   report.quarantines = machine.recovery().total_quarantines();
   report.reattach_attempts = hub.counter_value("recovery.reattach_attempts");
   report.permanent_detaches = machine.recovery().total_detaches();
@@ -731,6 +976,13 @@ SoakReport RunSoak(const SoakConfig& config) {
       fail("teardown: " + std::to_string(report.leaked_mappings) + " mappings still live");
     } else if (report.leaked_iova_entries != 0) {
       fail("teardown: " + std::to_string(report.leaked_iova_entries) + " PTEs still installed");
+    } else if (report.policy.secret_leaks != 0 ||
+               report.policy.neighbour_corruptions != 0) {
+      // The bounce pool's whole reason to exist: a hostile device's sub-page
+      // probe reaching real kernel memory is a hard run failure.
+      fail("policy: " + std::to_string(report.policy.secret_leaks) + " leaks, " +
+           std::to_string(report.policy.neighbour_corruptions) +
+           " neighbour corruptions from untrusted devices");
     } else {
       report.ok = true;
     }
@@ -804,6 +1056,26 @@ std::string SoakReport::ToJson() const {
     n.Field("verify_mismatches", nvme.verify_mismatches);
     w.Raw("nvme", n.Finish());
   }
+  {
+    JsonWriter p;
+    p.Field("hotplug_attaches", policy.hotplug_attaches);
+    p.Field("hotplug_detaches", policy.hotplug_detaches);
+    p.Field("subpage_read_probes", policy.subpage_read_probes);
+    p.Field("subpage_write_probes", policy.subpage_write_probes);
+    p.Field("secret_leaks", policy.secret_leaks);
+    p.Field("neighbour_corruptions", policy.neighbour_corruptions);
+    p.Field("bounce_rx_ok", policy.bounce_rx_ok);
+    p.Field("bounce_maps", policy.bounce_maps);
+    p.Field("bounce_unmaps", policy.bounce_unmaps);
+    p.Field("demotions", policy.demotions);
+    p.Field("promotion_attempts", policy.promotion_attempts);
+    p.Field("promotions_blocked", policy.promotions_blocked);
+    p.Field("hostile_still_untrusted", policy.hostile_still_untrusted);
+    w.Raw("policy", p.Finish());
+  }
+  // The engine's own HSI-style posture document, verbatim (null when the
+  // policy leg is off).
+  w.Raw("posture", posture_json.empty() ? "null" : posture_json);
   {
     std::string arr = "[";
     for (size_t i = 0; i < cpus.size(); ++i) {

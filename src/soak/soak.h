@@ -60,6 +60,25 @@ struct SoakConfig {
   uint32_t nic_queues = 1;    // nic0 RX/TX queue pairs, one per CPU is typical
   bool threads = false;
   uint32_t per_cpu_churn_maps = 4;  // map/unmap pairs per CPU per epoch
+
+  // ---- Trust-policy leg --------------------------------------------------------
+  //
+  // policy=true arms spv::policy: the resident devices (nic0/nic1/nvme0)
+  // enter through a quirks allowlist as kTrusted so their protocols keep
+  // zero-copy service, and nic1 — the abused NIC — doubles as the demotion
+  // subject: its first quarantine demotes it to bounce-only and every
+  // re-promotion drill inside the hysteresis cooldown must be refused.
+  //
+  // hostile_hotplug=true adds hot-plug storms: every hotplug_interval epochs
+  // a burst of never-authorized NICs/NVMe controllers attaches, lands on the
+  // untrusted rung, and runs the paper's sub-page probes — a page-wide read
+  // hunting a slab neighbour's secret (type (d)) and an off-the-end write at
+  // a co-located neighbour (type (a)). Both must die in the bounce pool:
+  // secret_leaks and neighbour_corruptions stay zero or the run fails.
+  bool policy = false;
+  bool hostile_hotplug = false;
+  uint32_t hotplug_interval = 17;  // epochs between hostile hot-plug storms
+  uint32_t hotplug_devices = 2;    // hostile devices plugged per storm
 };
 
 struct SoakReport {
@@ -157,6 +176,28 @@ struct SoakReport {
     uint64_t rx_packets = 0;      // packets completed on this CPU's nic0 queues
   };
   std::vector<CpuBreakdown> cpus;  // one entry per sim CPU when num_cpus > 1
+
+  // ---- Trust-policy leg (policy=true) ------------------------------------------
+
+  struct PolicyBreakdown {
+    uint64_t hotplug_attaches = 0;       // hostile devices plugged in
+    uint64_t hotplug_detaches = 0;       // ... and cleanly unplugged again
+    uint64_t subpage_read_probes = 0;    // type (d): page-wide exfil reads
+    uint64_t subpage_write_probes = 0;   // type (a): off-the-end writes
+    uint64_t secret_leaks = 0;           // sentinel seen by a device (must be 0)
+    uint64_t neighbour_corruptions = 0;  // neighbour bytes changed (must be 0)
+    uint64_t bounce_rx_ok = 0;           // legit in-bounds writes delivered
+    uint64_t bounce_maps = 0;            // transfers diverted through the pool
+    uint64_t bounce_unmaps = 0;
+    uint64_t demotions = 0;              // trust drops applied by Poll()
+    uint64_t promotion_attempts = 0;     // re-promotion drills on demoted nic1
+    uint64_t promotions_blocked = 0;     // ... refused by the cooldown
+    uint64_t hostile_still_untrusted = 0;  // hostiles on kUntrusted at unplug
+  };
+  PolicyBreakdown policy;
+  // PolicyEngine::PostureJson() at teardown — the HSI-style machine posture.
+  // Empty when the policy leg is off. Deterministic like the rest.
+  std::string posture_json;
 
   // Deterministic: fixed field order, integers and fixed-precision doubles.
   std::string ToJson() const;

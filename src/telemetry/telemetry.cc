@@ -60,6 +60,10 @@ constexpr KindName kKindNames[] = {
     {EventKind::kNvmeCompletionError, "nvme_completion_error"},
     {EventKind::kNvmeQueueReset, "nvme_queue_reset"},
     {EventKind::kNvmePollDeadline, "nvme_poll_deadline"},
+    {EventKind::kTrustPromoted, "trust_promoted"},
+    {EventKind::kTrustDemoted, "trust_demoted"},
+    {EventKind::kBounceMap, "bounce_map"},
+    {EventKind::kBounceUnmap, "bounce_unmap"},
 };
 
 constexpr std::string_view kSeverityNames[] = {"trace", "info", "warn", "critical"};

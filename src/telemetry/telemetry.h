@@ -110,6 +110,14 @@ enum class EventKind : uint8_t {
   kNvmeCompletionError,  // CQE rejected (bad CID / phase / status / short)
   kNvmeQueueReset,       // watchdog flushed an IO queue and re-initialized it
   kNvmePollDeadline,     // a CQ polling loop hit its bounded deadline
+  // Device trust policy (spv::policy). `aux` carries the new TrustState on
+  // transitions; `flag` marks a refusal (hysteresis cooldown) on promote.
+  kTrustPromoted,   // device moved up the trust ladder (or a refusal, flag=1)
+  kTrustDemoted,    // device dropped back behind bounce buffers
+  // Bounce-buffer pool (dma::BouncePool). `addr` is the original KVA, `addr2`
+  // the bounce IOVA; `aux` carries the copy cycles spent.
+  kBounceMap,
+  kBounceUnmap,
 };
 
 std::string_view EventKindName(EventKind kind);

@@ -4,12 +4,21 @@
 //   soak [--seed N] [--cycles N] [--epochs N] [--mode strict|deferred]
 //        [--no-recovery] [--no-faults] [--no-attacks] [--legacy-path]
 //        [--cpus N] [--queues N] [--threads]
+//        [--policy] [--hostile-hotplug] [--posture-out posture.json]
 //        [--check-interval N] [--out report.json] [--trace-out trace.csv]
 //
 // --cpus N > 1 turns on the cross-CPU leg (per-CPU churn, RSS-steered echo
 // when --queues > 1, the stale-IOTLB and sibling-quarantine races);
 // --threads runs the per-CPU phase on real host threads (ExecMode::kThreads,
 // the TSan soak target — not byte-deterministic).
+//
+// --policy arms the spv::policy trust engine (nic0/nic1/nvme0 allowlisted,
+// nic1 the demotion subject); --hostile-hotplug adds the never-authorized
+// hot-plug storms whose sub-page probes must die in the bounce pool;
+// --posture-out writes the engine's HSI-style posture JSON on its own.
+//
+// Unknown flags and out-of-range values exit 2 with a pointer to --help:
+// --cpus accepts 1..64, --queues 1..--cpus, and --threads needs --cpus > 1.
 //
 // Exit status: 0 when the run ends with clean invariants and zero leaks,
 // 1 otherwise. The JSON report goes to --out (stdout gets a summary either
@@ -53,6 +62,7 @@ int main(int argc, char** argv) {
   spv::soak::SoakConfig config;
   std::string out_path;
   std::string trace_path;
+  std::string posture_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -95,6 +105,12 @@ int main(int argc, char** argv) {
       config.nic_queues = static_cast<uint32_t>(ParseU64(next(), "--queues"));
     } else if (arg == "--threads") {
       config.threads = true;
+    } else if (arg == "--policy") {
+      config.policy = true;
+    } else if (arg == "--hostile-hotplug") {
+      config.hostile_hotplug = true;
+    } else if (arg == "--posture-out") {
+      posture_path = next();
     } else if (arg == "--check-interval") {
       config.invariant_check_interval =
           static_cast<uint32_t>(ParseU64(next(), "--check-interval"));
@@ -107,6 +123,7 @@ int main(int argc, char** argv) {
           "usage: soak [--seed N] [--cycles N] [--epochs N] [--mode strict|deferred]\n"
           "            [--no-recovery] [--no-faults] [--no-attacks] [--no-storage]\n"
           "            [--legacy-path] [--cpus N] [--queues N] [--threads]\n"
+          "            [--policy] [--hostile-hotplug] [--posture-out posture.json]\n"
           "            [--check-interval N] [--out report.json]\n"
           "            [--trace-out trace.csv]\n");
       return 0;
@@ -114,6 +131,33 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "soak: unknown flag '%s' (see --help)\n", arg.c_str());
       return 2;
     }
+  }
+
+  // Range validation: a typo'd --cpus 0 or --queues 9 silently degenerating
+  // into a different topology is worse than an error. Fail loudly instead.
+  constexpr uint32_t kMaxCpus = 64;
+  if (config.num_cpus == 0 || config.num_cpus > kMaxCpus) {
+    std::fprintf(stderr, "soak: --cpus must be 1..%u (got %u); see --help\n",
+                 kMaxCpus, config.num_cpus);
+    return 2;
+  }
+  if (config.nic_queues == 0 || config.nic_queues > config.num_cpus) {
+    std::fprintf(stderr,
+                 "soak: --queues must be 1..--cpus (%u) (got %u); see --help\n",
+                 config.num_cpus, config.nic_queues);
+    return 2;
+  }
+  if (config.threads && config.num_cpus < 2) {
+    std::fprintf(stderr, "soak: --threads needs --cpus > 1; see --help\n");
+    return 2;
+  }
+  if (config.hostile_hotplug && !config.policy) {
+    std::fprintf(stderr, "soak: --hostile-hotplug needs --policy; see --help\n");
+    return 2;
+  }
+  if (!posture_path.empty() && !config.policy) {
+    std::fprintf(stderr, "soak: --posture-out needs --policy; see --help\n");
+    return 2;
   }
 
   spv::soak::SetTraceCapture(!trace_path.empty());
@@ -159,6 +203,23 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.sibling_quarantine_probes),
                 static_cast<unsigned long long>(report.sibling_completions_fenced));
   }
+  if (config.policy) {
+    std::printf("      policy: %llu demotions, %llu/%llu promotions blocked, "
+                "%llu bounce maps\n",
+                static_cast<unsigned long long>(report.policy.demotions),
+                static_cast<unsigned long long>(report.policy.promotions_blocked),
+                static_cast<unsigned long long>(report.policy.promotion_attempts),
+                static_cast<unsigned long long>(report.policy.bounce_maps));
+    if (config.hostile_hotplug) {
+      std::printf("      hostile: %llu plugged, %llu sub-page probes, "
+                  "%llu leaks, %llu corruptions\n",
+                  static_cast<unsigned long long>(report.policy.hotplug_attaches),
+                  static_cast<unsigned long long>(report.policy.subpage_read_probes +
+                                                  report.policy.subpage_write_probes),
+                  static_cast<unsigned long long>(report.policy.secret_leaks),
+                  static_cast<unsigned long long>(report.policy.neighbour_corruptions));
+    }
+  }
   if (report.ok) {
     std::printf("      PASS: invariants clean, no leaked mappings or PTEs\n");
   } else {
@@ -168,6 +229,9 @@ int main(int argc, char** argv) {
   bool io_ok = true;
   if (!out_path.empty()) {
     io_ok = WriteFile(out_path, report.ToJson() + "\n") && io_ok;
+  }
+  if (!posture_path.empty()) {
+    io_ok = WriteFile(posture_path, report.posture_json + "\n") && io_ok;
   }
   if (!trace_path.empty()) {
     io_ok = WriteFile(trace_path, spv::soak::LastTraceCsv()) && io_ok;

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/machine.h"
+#include "policy/policy.h"
 #include "telemetry/telemetry.h"
 #include "trace/profile.h"
 #include "trace/tracer.h"
@@ -54,6 +55,14 @@ const char* SeverityMarker(telemetry::Severity severity) {
       return "**";
   }
   return "?";
+}
+
+// The trust rung a policy event's aux column names (spv::policy::TrustState).
+std::string TrustRungName(uint64_t aux) {
+  if (aux > static_cast<uint64_t>(policy::TrustState::kTrusted)) {
+    return "?";
+  }
+  return std::string(policy::TrustStateName(static_cast<policy::TrustState>(aux)));
 }
 
 // Kind-aware one-line rendering of the payload columns.
@@ -170,6 +179,27 @@ std::string DescribeEvent(const telemetry::Event& event) {
     case telemetry::EventKind::kNvmeQueueReset:
       out << "dev " << event.device << "  qid " << event.aux;
       break;
+    case telemetry::EventKind::kTrustPromoted:
+      // flag=1 is a promotion *refused* by the hysteresis cooldown; aux is
+      // the trust rung the device would have reached.
+      out << "dev " << event.device
+          << (event.flag ? "  REFUSED (cooldown), wanted " : "  now ")
+          << TrustRungName(event.aux);
+      break;
+    case telemetry::EventKind::kTrustDemoted:
+      out << "dev " << event.device << "  now " << TrustRungName(event.aux)
+          << " (bounce-only)";
+      break;
+    case telemetry::EventKind::kBounceMap:
+      out << "dev " << event.device << "  kva " << fmt_hex(event.addr)
+          << " -> bounce iova " << fmt_hex(event.addr2) << "  len " << event.len
+          << "  copy " << event.aux << " cyc";
+      break;
+    case telemetry::EventKind::kBounceUnmap:
+      out << "dev " << event.device << "  bounce iova " << fmt_hex(event.addr2)
+          << " -> kva " << fmt_hex(event.addr) << "  len " << event.len
+          << "  copy " << event.aux << " cyc";
+      break;
   }
   return out.str();
 }
@@ -234,6 +264,11 @@ const char* EventOrigin(const telemetry::Event& event) {
     case telemetry::EventKind::kNvmeQueueReset:
     case telemetry::EventKind::kNvmePollDeadline:
       return "nvme";
+    case telemetry::EventKind::kTrustPromoted:
+    case telemetry::EventKind::kTrustDemoted:
+    case telemetry::EventKind::kBounceMap:
+    case telemetry::EventKind::kBounceUnmap:
+      return "policy";
   }
   return "unknown";
 }
@@ -444,8 +479,8 @@ int main(int argc, char** argv) {
           "filter syntax:\n"
           "  --filter origin=<name>  keep only events from one subsystem's story.\n"
           "                          Origins: dma, iommu, alloc, nic, nvme, stack,\n"
-          "                          fault, recovery, span, window, attack, dkasan,\n"
-          "                          spade. origin=fault additionally keeps the\n"
+          "                          fault, recovery, policy, span, window, attack,\n"
+          "                          dkasan, spade. origin=fault additionally keeps the\n"
           "                          recovery/drop accounting published on the\n"
           "                          engine's behalf (kNicRxError, fault:* sites).\n"
           "  --list-origins          enumerate the origins present in the capture\n"
