@@ -38,8 +38,18 @@
 // --trace-out FILE additionally runs a short tracing-enabled steady_single
 // workload and writes its Chrome trace-event JSON (Perfetto-loadable) to
 // FILE — the CI bench-smoke artifact.
+//
+// The forensics probe runs the same deterministic op loop twice — flight
+// recorder disabled (the default every matrix cell uses) and enabled — and
+// emits "forensics_sim_cycle_drift", the absolute difference between the two
+// runs' per-op sim-cycle mean+p99. The recorder is a pure observer (it never
+// advances SimClock), so the committed baseline pins this drift at exactly 0:
+// the gate's zero-baseline rule means ANY drift fails CI, not just >25%.
+// The enabled-mode wall-clock overhead is reported alongside (not gated —
+// wall-clock varies by host).
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -284,6 +294,65 @@ std::string Json(const CaseResult& r) {
   return out.str();
 }
 
+// The forensics pure-observer probe: one steady_single-shaped run with the
+// flight recorder off, one with it on, same seed and op count. Sim-cycle
+// quantiles must match exactly (recording never touches SimClock); the
+// wall-clock ratio is the informational cost of the enabled recorder.
+struct ForensicsProbe {
+  telemetry::Histogram::Summary disabled_cycles;
+  telemetry::Histogram::Summary enabled_cycles;
+  double sim_cycle_drift = 0;      // |Δmean| + |Δp99|; baseline pins it at 0
+  double wall_overhead_pct = 0;    // enabled vs disabled wall-clock, percent
+};
+
+ForensicsProbe RunForensicsProbe(uint64_t ops) {
+  auto run = [&](bool enabled, telemetry::Histogram& hist) -> double {
+    core::MachineConfig mc;
+    mc.seed = 2;
+    mc.phys_pages = 32768;
+    mc.forensics.enabled = enabled;
+    core::Machine machine{mc};
+    const DeviceId dev{1};
+    machine.iommu().AttachDevice(dev);
+    Kva buf = *machine.slab().Kmalloc(2048, "bench_forensics_buf");
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t op = 0; op < ops; ++op) {
+      const uint64_t before = machine.clock().now();
+      auto iova = machine.dma().MapSingle(dev, buf, 2048,
+                                          dma::DmaDirection::kFromDevice,
+                                          "bench_forensics");
+      if (!iova.ok()) std::abort();
+      if (!machine.dma()
+               .UnmapSingle(dev, *iova, 2048, dma::DmaDirection::kFromDevice)
+               .ok()) {
+        std::abort();
+      }
+      hist.Record(machine.clock().now() - before);
+      if ((op & 0xfff) == 0) {
+        machine.clock().AdvanceUs(100);
+        machine.iommu().ProcessDeferredTimer();
+      }
+    }
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - start).count();
+  };
+
+  ForensicsProbe probe;
+  telemetry::Histogram disabled_hist;
+  telemetry::Histogram enabled_hist;
+  const double disabled_secs = run(false, disabled_hist);
+  const double enabled_secs = run(true, enabled_hist);
+  probe.disabled_cycles = disabled_hist.Summarize();
+  probe.enabled_cycles = enabled_hist.Summarize();
+  probe.sim_cycle_drift =
+      std::abs(probe.enabled_cycles.mean - probe.disabled_cycles.mean) +
+      std::abs(static_cast<double>(probe.enabled_cycles.p99) -
+               static_cast<double>(probe.disabled_cycles.p99));
+  probe.wall_overhead_pct =
+      disabled_secs > 0 ? (enabled_secs / disabled_secs - 1.0) * 100.0 : 0;
+  return probe;
+}
+
 // --trace-out: a short tracing-enabled steady_single run; the tracer's
 // Chrome trace-event JSON is the CI bench-smoke artifact.
 int WriteChromeTrace(const std::string& path) {
@@ -414,6 +483,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The pure-observer gate: flight recorder on vs off, same deterministic
+  // loop. The baseline commits forensics_sim_cycle_drift = 0, so any sim
+  // quantile the recorder moves fails CI exactly.
+  const ForensicsProbe forensics = RunForensicsProbe(quick ? 20000 : 100000);
+  std::cout << "forensics recorder: sim-cycle drift " << forensics.sim_cycle_drift
+            << " (p99 " << forensics.disabled_cycles.p99 << " -> "
+            << forensics.enabled_cycles.p99 << "), wall overhead "
+            << forensics.wall_overhead_pct << "%\n";
+
   std::ofstream out(out_path);
   out << "{\n  \"benchmark\": \"map_unmap_fast_path\",\n"
       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
@@ -422,6 +500,14 @@ int main(int argc, char** argv) {
       << "  \"headline_cell\": \"" << headline_cell << "\",\n"
       << "  \"steady_state_rcache_hit_rate\": " << steady_hit_rate << ",\n"
       << "  \"steady_p99_sim_cycles\": " << steady_p99_cycles << ",\n"
+      << "  \"forensics_sim_cycle_drift\": " << forensics.sim_cycle_drift << ",\n"
+      << "  \"forensics\": {\"disabled_p99_sim_cycles\": "
+      << forensics.disabled_cycles.p99
+      << ", \"disabled_mean_sim_cycles\": " << forensics.disabled_cycles.mean
+      << ", \"enabled_p99_sim_cycles\": " << forensics.enabled_cycles.p99
+      << ", \"enabled_mean_sim_cycles\": " << forensics.enabled_cycles.mean
+      << ", \"enabled_wall_overhead_pct\": " << forensics.wall_overhead_pct
+      << "},\n"
       << "  \"speedups\": [\n"
       << speedups.str() << "\n  ],\n  \"cases\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {

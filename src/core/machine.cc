@@ -59,6 +59,21 @@ Machine::Machine(const MachineConfig& config)
   iommu_->set_tracer(tracer_.get());
   dma_ = std::make_unique<dma::DmaApi>(*iommu_, layout_, &hub_);
   dma_->set_tracer(tracer_.get());
+  if (config.forensics.enabled) {
+    // The flight recorder shards one ring per sim CPU so kThreads workers
+    // never contend; it observes from inside the IOMMU/DmaApi hot paths but
+    // never advances the clock (the bench gate depends on that).
+    forensics::ForensicsConfig forensics_config = config.forensics;
+    const uint32_t cpus = config.iommu.fast_path.num_cpus;
+    forensics_config.num_cpus = cpus == 0 ? 1 : cpus;
+    recorder_ = std::make_unique<forensics::FlightRecorder>(&clock_, forensics_config);
+    iommu_->set_flight_recorder(recorder_.get());
+    dma_->set_flight_recorder(recorder_.get());
+    incidents_ = std::make_unique<forensics::IncidentEngine>(hub_, recorder_.get(),
+                                                             &clock_, forensics_config);
+    incidents_->set_window_tracker(windows_.get());
+    hub_.AddSink(incidents_.get());
+  }
   kmem_ = std::make_unique<dma::KernelMemory>(pm_, layout_, *dma_);
   slab_ = std::make_unique<slab::SlabAllocator>(pm_, page_db_, *page_alloc_, layout_, &hub_);
   skb_alloc_ = std::make_unique<net::SkbAllocator>(*kmem_, *slab_);
@@ -78,6 +93,28 @@ Machine::Machine(const MachineConfig& config)
                                                      config.policy);
     policy_->set_recovery(recovery_.get());
     dma_->set_policy(policy_.get(), bounce_pool_.get());
+  }
+  if (incidents_ != nullptr) {
+    // Forensics never links policy/recovery; their per-device state reaches
+    // incident reports through these snapshot lambdas instead.
+    recovery::RecoveryManager* recovery = recovery_.get();
+    incidents_->set_recovery_provider([recovery](uint32_t device) {
+      const auto status = recovery->device_status(DeviceId{device});
+      return std::string("{\"state\":\"") +
+             std::string(recovery::DeviceStateName(status.state)) +
+             "\",\"reattach_attempts\":" + std::to_string(status.reattach_attempts) +
+             ",\"quarantines\":" + std::to_string(status.quarantines) + "}";
+    });
+    if (policy_ != nullptr) {
+      policy::PolicyEngine* policy = policy_.get();
+      incidents_->set_trust_provider([policy](uint32_t device) {
+        const auto status = policy->device_status(DeviceId{device});
+        return std::string("{\"trust\":\"") +
+               std::string(policy::TrustStateName(status.trust)) +
+               "\",\"demotions\":" + std::to_string(status.demotions) +
+               ",\"promotions\":" + std::to_string(status.promotions) + "}";
+      });
+    }
   }
   // Fault hooks are wired unconditionally — an unarmed engine short-circuits
   // at every guard — and armed only when the config carries a plan.

@@ -22,6 +22,8 @@
 #include "dma/dma_api.h"
 #include "dma/kernel_memory.h"
 #include "fault/fault.h"
+#include "forensics/flight_recorder.h"
+#include "forensics/incident.h"
 #include "iommu/iommu.h"
 #include "mem/kernel_layout.h"
 #include "mem/page_allocator.h"
@@ -79,6 +81,11 @@ struct MachineConfig {
   // as before the engine existed. Enabled, every Add*Driver registration
   // consults the quirks table and untrusted devices run bounce-only.
   policy::PolicyEngine::Config policy;
+  // DMA flight recorder + incident engine (spv::forensics). Disabled by
+  // default: no recorder is built and every hook stays a one-branch null
+  // check. Enabled, every IOMMU-boundary transaction and DMA mapping edge is
+  // recorded, and detector firings freeze deterministic incident reports.
+  forensics::ForensicsConfig forensics;
 };
 
 class Machine {
@@ -144,6 +151,9 @@ class Machine {
   // Trust policy engine and its bounce pool; null unless config.policy.enabled.
   policy::PolicyEngine* policy() { return policy_.get(); }
   dma::BouncePool* bounce_pool() { return bounce_pool_.get(); }
+  // Flight recorder and incident engine; null unless config.forensics.enabled.
+  forensics::FlightRecorder* flight_recorder() { return recorder_.get(); }
+  forensics::IncidentEngine* incidents() { return incidents_.get(); }
 
   // Cross-layer consistency audit; call at teardown (or any quiescent point).
   // Verifies that (1) every tracked DMA mapping still translates page-by-page
@@ -189,6 +199,9 @@ class Machine {
   std::unique_ptr<recovery::RecoveryManager> recovery_;
   std::unique_ptr<dma::BouncePool> bounce_pool_;   // before policy_ (used by it)
   std::unique_ptr<policy::PolicyEngine> policy_;
+  std::unique_ptr<forensics::FlightRecorder> recorder_;
+  // After policy_/recovery_: its snapshot providers capture those engines.
+  std::unique_ptr<forensics::IncidentEngine> incidents_;
   std::vector<std::unique_ptr<slab::PageFragPool>> frag_pools_;
   std::vector<std::unique_ptr<net::NicDriver>> drivers_;
   std::vector<std::unique_ptr<nvme::NvmeDriver>> nvme_drivers_;

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "dma/bounce_pool.h"
+#include "forensics/flight_recorder.h"
 
 namespace spv::dma {
 
@@ -81,7 +82,12 @@ Result<Iova> DmaApi::MapSingle(DeviceId device, Kva kva, uint64_t len, DmaDirect
   // transfer goes through dedicated bounce pages (whole-page exposure and
   // deferred-invalidation windows never arise on that path).
   if (router_ != nullptr && bounce_pool_ != nullptr && router_->ShouldBounce(device)) {
-    return bounce_pool_->Map(device, kva, len, dir, site);
+    Result<Iova> bounced = bounce_pool_->Map(device, kva, len, dir, site);
+    if (recorder_ != nullptr && bounced.ok()) {
+      recorder_->RecordMap(device, *bounced, kva, len, static_cast<uint8_t>(dir),
+                           /*bounced=*/true, site);
+    }
+    return bounced;
   }
   Result<PhysAddr> phys = layout_.DirectMapKvaToPhys(kva);
   if (!phys.ok()) {
@@ -101,6 +107,10 @@ Result<Iova> DmaApi::MapSingle(DeviceId device, Kva kva, uint64_t len, DmaDirect
   const Iova iova = *base + kva.page_offset();
   DmaMapping mapping{device, iova, kva, len, dir, std::string(site)};
   TrackMapping(IovaKey{device.value, base->value >> kPageShift}, mapping);
+  if (recorder_ != nullptr) {
+    recorder_->RecordMap(device, iova, kva, len, static_cast<uint8_t>(dir),
+                         /*bounced=*/false, site);
+  }
   Notify(mapping, /*map=*/true);
   return iova;
 }
@@ -110,7 +120,12 @@ Status DmaApi::UnmapSingle(DeviceId device, Iova iova, uint64_t len, DmaDirectio
   // Pool IOVAs first: the mapping may predate a trust promotion, so the
   // router's *current* verdict must not decide where the unmap goes.
   if (bounce_pool_ != nullptr && bounce_pool_->Owns(device, iova)) {
-    return bounce_pool_->Unmap(device, iova, len, dir);
+    Status status = bounce_pool_->Unmap(device, iova, len, dir);
+    if (recorder_ != nullptr && status.ok()) {
+      recorder_->RecordUnmap(device, iova, len, static_cast<uint8_t>(dir),
+                             /*bounced=*/true);
+    }
+    return status;
   }
   const IovaKey key{device.value, iova.PageBase().value >> kPageShift};
   DmaMapping mapping;
@@ -129,6 +144,10 @@ Status DmaApi::UnmapSingle(DeviceId device, Iova iova, uint64_t len, DmaDirectio
   // mapping, or the IOVA range and its PTEs leak with no record of them.
   SPV_RETURN_IF_ERROR(iommu_.UnmapRange(device, iova.PageBase(), mapping.pages()));
   ForgetMapping(key);
+  if (recorder_ != nullptr) {
+    recorder_->RecordUnmap(device, iova, len, static_cast<uint8_t>(dir),
+                           /*bounced=*/false);
+  }
   Notify(mapping, /*map=*/false);
   return OkStatus();
 }
@@ -147,6 +166,10 @@ Result<uint64_t> DmaApi::RevokeDeviceMappings(DeviceId device, std::string_view 
     mapping.site = std::string(site);
     SPV_RETURN_IF_ERROR(iommu_.UnmapRange(device, mapping.iova.PageBase(), mapping.pages()));
     ForgetMapping(IovaKey{device.value, mapping.iova.PageBase().value >> kPageShift});
+    if (recorder_ != nullptr) {
+      recorder_->RecordUnmap(device, mapping.iova, mapping.len,
+                             static_cast<uint8_t>(mapping.dir), /*bounced=*/false);
+    }
     Notify(mapping, /*map=*/false);
     ++revoked;
   }

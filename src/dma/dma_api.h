@@ -42,6 +42,10 @@
 #include "telemetry/telemetry.h"
 #include "trace/tracer.h"
 
+namespace spv::forensics {
+class FlightRecorder;  // forensics/flight_recorder.h
+}
+
 namespace spv::dma {
 
 class DmaRouter;   // dma/bounce_pool.h
@@ -169,6 +173,11 @@ class DmaApi {
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
   trace::Tracer* tracer() { return tracer_; }
 
+  // DMA flight recorder (spv::forensics): records every mapping lifecycle
+  // edge (map/unmap, direct and bounced) for incident reconstruction. Pure
+  // observer — never advances the sim clock; nullptr detaches.
+  void set_flight_recorder(forensics::FlightRecorder* recorder) { recorder_ = recorder; }
+
   const mem::KernelLayout& layout() const { return layout_; }
   iommu::Iommu& iommu() { return iommu_; }
 
@@ -201,6 +210,7 @@ class DmaApi {
   telemetry::Hub* hub_;
   std::unique_ptr<telemetry::Hub> owned_hub_;  // fallback when none injected
   trace::Tracer* tracer_ = nullptr;
+  forensics::FlightRecorder* recorder_ = nullptr;
   DmaRouter* router_ = nullptr;       // trust policy's per-map verdict
   BouncePool* bounce_pool_ = nullptr; // where untrusted transfers divert
   std::vector<std::unique_ptr<DmaObserverSink>> observer_sinks_;

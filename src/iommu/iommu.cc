@@ -6,6 +6,7 @@
 #include <shared_mutex>
 
 #include "fault/fault.h"
+#include "forensics/flight_recorder.h"
 
 namespace spv::iommu {
 
@@ -370,6 +371,11 @@ Status Iommu::UnmapRange(DeviceId device, Iova base, uint64_t pages) {
         }
       }
     }
+    if (recorder_ != nullptr) {
+      // Strict flush edge: the translation died with the unmap, so the
+      // mapping's stale window is the invalidation latency itself.
+      recorder_->RecordFlush(device, base, pages);
+    }
     return state->iova_alloc.Free(base, pages, CurrentCpu());
   }
 
@@ -486,6 +492,11 @@ void Iommu::DrainShard(size_t shard_index, FlushReason reason) {
     }
   }
   for (const PendingInvalidation& pending : batch) {
+    if (recorder_ != nullptr) {
+      // Deferred flush edge: this drain is what finally closes the stale
+      // window the queued unmap opened.
+      recorder_->RecordFlush(pending.device, pending.base, pending.pages);
+    }
     DeviceRef ref = Resolve(pending.device);
     if (ref.domain != nullptr) {
       (void)ref.domain->iova_alloc.Free(pending.base, pending.pages, pending.cpu);
@@ -554,6 +565,10 @@ Status Iommu::Access(DeviceId device, Iova iova, AccessOp op, std::span<uint8_t>
       return entry.status();
     }
     const PhysAddr phys = PhysAddr::FromPfn(entry->pfn, cursor.page_offset());
+    if (recorder_ != nullptr) {
+      recorder_->RecordAccess(device, cursor, phys.value, in_page,
+                              op == AccessOp::kWrite);
+    }
     if (op == AccessOp::kRead) {
       SPV_RETURN_IF_ERROR(pm_.Read(phys, read_out.subspan(done, in_page)));
     } else {
@@ -578,6 +593,10 @@ Result<PteEntry> Iommu::TranslateForDevice(DeviceId device, Domain& state, Iova 
     }
     if (!state.table.Lookup(page_iova).has_value()) {
       ++stats_.stale_iotlb_accesses;  // translated with no live PTE
+      if (recorder_ != nullptr) {
+        recorder_->RecordStaleHit(device, page_iova,
+                                  PhysAddr::FromPfn(cached->pfn, 0).value);
+      }
       if (hub_ != nullptr && hub_->active()) {
         telemetry::Event event;
         event.kind = telemetry::EventKind::kStaleIotlbHit;
@@ -613,6 +632,9 @@ Result<PteEntry> Iommu::TranslateForDevice(DeviceId device, Domain& state, Iova 
 }
 
 void Iommu::Fault(DeviceId device, Iova iova, AccessOp op, std::string reason) {
+  if (recorder_ != nullptr) {
+    recorder_->RecordFault(device, iova, kPageSize, op == AccessOp::kWrite);
+  }
   if (hub_ != nullptr && hub_->active()) {
     telemetry::Event event;
     event.kind = telemetry::EventKind::kIommuFault;

@@ -38,6 +38,10 @@
 #include "mem/phys_memory.h"
 #include "trace/tracer.h"
 
+namespace spv::forensics {
+class FlightRecorder;
+}  // namespace spv::forensics
+
 namespace spv::fault {
 class FaultEngine;
 }  // namespace spv::fault
@@ -135,6 +139,13 @@ class Iommu {
   // Optional causal span tracer (map/unmap/flush-drain spans): nullptr
   // detaches; a null or disabled tracer costs one branch per operation.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
+  // Optional DMA flight recorder (spv::forensics): witnesses every
+  // device-side access chunk, stale-IOTLB hit, translation fault and IOTLB
+  // invalidation edge. nullptr (the default) costs one branch per site.
+  void set_flight_recorder(forensics::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
 
   // Attaches a device in its own translation domain (the secure default:
   // one I/O page table per requester id, like Windows Kernel DMA Protection).
@@ -363,6 +374,7 @@ class Iommu {
   telemetry::Hub* hub_ = nullptr;
   fault::FaultEngine* fault_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
+  forensics::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace spv::iommu

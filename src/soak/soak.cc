@@ -184,6 +184,10 @@ SoakReport RunSoak(const SoakConfig& config) {
     machine_config.policy.quirks.push_back(inbox_nvme);
   }
 
+  // Forensics leg: a pure observer, so recording changes no workload outcome
+  // and the soak JSON stays byte-identical for a given seed either way.
+  machine_config.forensics.enabled = config.forensics;
+
   // Multi-CPU leg: fast_path.num_cpus sizes the per-CPU magazines and flush
   // shards; exec decides whether RunOnCpus fans out to real host threads.
   const uint32_t num_cpus = config.num_cpus == 0 ? 1 : config.num_cpus;
@@ -896,6 +900,19 @@ SoakReport RunSoak(const SoakConfig& config) {
       (void)engine->UnregisterDevice(nvme0->device_id());
     }
   }
+  if (machine.incidents() != nullptr) {
+    // Incident capture before the final FlushNow: the flush edges it would
+    // record are teardown mechanics, not evidence, and the accounting block
+    // embedded in the report must match what the run itself produced.
+    report.incidents_opened = machine.incidents()->incident_count();
+    report.incidents_suppressed = machine.incidents()->suppressed();
+    report.incident_summary_json = machine.incidents()->SummaryJson();
+    report.incidents_json = machine.incidents()->ReportsJson();
+  }
+  if (machine.flight_recorder() != nullptr) {
+    report.flight_records = machine.flight_recorder()->total_recorded();
+    report.flight_dropped = machine.flight_recorder()->total_dropped();
+  }
   machine.iommu().FlushNow();
 
   report.sim_cycles = machine.clock().now();
@@ -1076,6 +1093,16 @@ std::string SoakReport::ToJson() const {
   // The engine's own HSI-style posture document, verbatim (null when the
   // policy leg is off).
   w.Raw("posture", posture_json.empty() ? "null" : posture_json);
+  {
+    JsonWriter f;
+    f.Field("incidents_opened", incidents_opened);
+    f.Field("incidents_suppressed", incidents_suppressed);
+    f.Field("flight_records", flight_records);
+    f.Field("flight_dropped", flight_dropped);
+    f.Raw("summary",
+          incident_summary_json.empty() ? "null" : incident_summary_json);
+    w.Raw("forensics", f.Finish());
+  }
   {
     std::string arr = "[";
     for (size_t i = 0; i < cpus.size(); ++i) {

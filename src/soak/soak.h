@@ -79,6 +79,16 @@ struct SoakConfig {
   bool hostile_hotplug = false;
   uint32_t hotplug_interval = 17;  // epochs between hostile hot-plug storms
   uint32_t hotplug_devices = 2;    // hostile devices plugged per storm
+
+  // ---- Forensics leg -----------------------------------------------------------
+  //
+  // On by default: the flight recorder is a pure observer (it never advances
+  // the sim clock), so recording changes no workload outcome and the JSON
+  // stays byte-identical for a given seed. Detector firings during the soak
+  // (D-KASAN, SPADE, stale-IOTLB hits, health breaches, quarantines, trust
+  // demotions) freeze incident reports; the report JSON embeds the rollup
+  // and soak_cli --incident-out dumps the full document.
+  bool forensics = true;
 };
 
 struct SoakReport {
@@ -198,6 +208,19 @@ struct SoakReport {
   // PolicyEngine::PostureJson() at teardown — the HSI-style machine posture.
   // Empty when the policy leg is off. Deterministic like the rest.
   std::string posture_json;
+
+  // ---- Forensics leg (forensics=true) ------------------------------------------
+
+  uint64_t incidents_opened = 0;      // reports frozen during the run
+  uint64_t incidents_suppressed = 0;  // triggers dropped by cooldown / cap
+  uint64_t flight_records = 0;        // FlightRecords accepted across rings
+  uint64_t flight_dropped = 0;        // ... overwritten before any snapshot
+  // IncidentEngine::SummaryJson() at teardown (per-trigger / per-class
+  // rollup); empty when the forensics leg is off.
+  std::string incident_summary_json;
+  // IncidentEngine::ReportsJson() at teardown — the full incident document
+  // soak_cli --incident-out writes. Empty when the forensics leg is off.
+  std::string incidents_json;
 
   // Deterministic: fixed field order, integers and fixed-precision doubles.
   std::string ToJson() const;

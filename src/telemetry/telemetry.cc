@@ -64,6 +64,8 @@ constexpr KindName kKindNames[] = {
     {EventKind::kTrustDemoted, "trust_demoted"},
     {EventKind::kBounceMap, "bounce_map"},
     {EventKind::kBounceUnmap, "bounce_unmap"},
+    {EventKind::kIncidentOpen, "incident_open"},
+    {EventKind::kIncidentReport, "incident_report"},
 };
 
 constexpr std::string_view kSeverityNames[] = {"trace", "info", "warn", "critical"};

@@ -118,6 +118,10 @@ enum class EventKind : uint8_t {
   // the bounce IOVA; `aux` carries the copy cycles spent.
   kBounceMap,
   kBounceUnmap,
+  // Incident forensics (spv::forensics). `aux` carries the inferred attack
+  // class on kIncidentReport; `site` the trigger / classification name.
+  kIncidentOpen,    // a trigger event froze the flight-recorder evidence
+  kIncidentReport,  // the incident report was sealed and classified
 };
 
 std::string_view EventKindName(EventKind kind);

@@ -1,0 +1,479 @@
+// spv::forensics — flight recorder + incident engine (ISSUE 9 satellite 3).
+//
+// Three layers of coverage:
+//   * unit — ring overflow accounting (dropped_critical parity with the
+//     telemetry trace ring) and the mapping ledger's lifecycle edges;
+//   * classifier — every paper attack class replayed against a real machine
+//     (the nvme_attack_test recipes) and labeled correctly from recorded
+//     evidence alone: (a)–(d) in strict mode via manual OpenIncident,
+//     Poisoned Completion in deferred mode via the automatic
+//     kStaleIotlbHit trigger;
+//   * system — same-seed kSequential runs freeze byte-identical reports,
+//     kThreads churn records TSan-clean, a disabled machine pays one null
+//     branch, and the soak harness embeds a deterministic forensics block.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/clock.h"
+#include "core/machine.h"
+#include "device/device_port.h"
+#include "fault/fault.h"
+#include "forensics/flight_recorder.h"
+#include "forensics/incident.h"
+#include "nvme/malicious_nvme.h"
+#include "nvme/nvme_driver.h"
+#include "soak/soak.h"
+
+namespace spv::forensics {
+namespace {
+
+core::MachineConfig BaseConfig(uint64_t seed, iommu::InvalidationMode mode) {
+  core::MachineConfig config;
+  config.seed = seed;
+  config.phys_pages = 4096;
+  config.iommu.mode = mode;
+  config.forensics.enabled = true;
+  return config;
+}
+
+struct EvilRig {
+  explicit EvilRig(core::MachineConfig mc,
+                   nvme::NvmeDriver::Config dc = nvme::NvmeDriver::Config{})
+      : machine(mc),
+        driver(machine.AddNvmeDriver(dc)),
+        controller(device::DevicePort{machine.iommu(), driver.device_id()}) {
+    controller.set_fault_engine(&machine.fault());
+    controller.set_tracer(machine.tracer());
+    driver.AttachDevice(&controller);
+  }
+
+  core::Machine machine;
+  nvme::NvmeDriver& driver;
+  nvme::MaliciousNvme controller;
+};
+
+AttackClass Classify(core::Machine& machine, DeviceId device,
+                     size_t* implicated = nullptr) {
+  FlightRecorder* recorder = machine.flight_recorder();
+  EXPECT_NE(recorder, nullptr);
+  return ClassifyEvidence(recorder->SnapshotTimeline(device),
+                          recorder->SnapshotLedger(device), implicated);
+}
+
+// ---- Unit: ring overflow accounting --------------------------------------------
+
+TEST(FlightRecorderUnit, OverflowAccountsDropsByClassOfLostRecord) {
+  ForensicsConfig config;
+  config.enabled = true;
+  config.ring_capacity = 4;
+  SimClock clock;
+  FlightRecorder recorder(&clock, config);
+  const DeviceId dev{9};
+
+  for (int i = 0; i < 4; ++i) {
+    recorder.RecordAccess(dev, Iova{0x1000u + 8u * i}, 0x5000, 8, false);
+  }
+  EXPECT_EQ(recorder.total_recorded(), 4u);
+  EXPECT_EQ(recorder.total_dropped(), 0u);
+
+  // Two faults overwrite the two oldest accesses: info-class losses.
+  recorder.RecordFault(dev, Iova{0x2000}, kPageSize, true);
+  recorder.RecordFault(dev, Iova{0x3000}, kPageSize, true);
+  EXPECT_EQ(recorder.total_dropped(), 2u);
+  EXPECT_EQ(recorder.total_dropped_critical(), 0u);
+
+  // Four more accesses overwrite the remaining accesses AND both faults:
+  // losing a fault record is a critical drop, same fail-loud parity the
+  // telemetry trace ring keeps for Severity::kCritical.
+  for (int i = 0; i < 4; ++i) {
+    recorder.RecordAccess(dev, Iova{0x4000u + 8u * i}, 0x6000, 8, true);
+  }
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  EXPECT_EQ(recorder.total_dropped(), 6u);
+  EXPECT_EQ(recorder.total_dropped_critical(), 2u);
+
+  const std::string json = recorder.AccountingJson();
+  EXPECT_NE(json.find("\"dropped_critical\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"recorded\":10"), std::string::npos) << json;
+
+  // The snapshot keeps the most recent history: all four surviving records
+  // are the newest accesses.
+  const std::vector<FlightRecord> survivors = recorder.SnapshotTimeline(dev);
+  ASSERT_EQ(survivors.size(), 4u);
+  for (const FlightRecord& r : survivors) {
+    EXPECT_EQ(r.op, RecordOp::kDeviceWrite);
+  }
+}
+
+TEST(FlightRecorderUnit, LedgerTracksFullLifecycleAndEvictsOldest) {
+  ForensicsConfig config;
+  config.enabled = true;
+  config.ledger_capacity = 2;
+  SimClock clock;
+  FlightRecorder recorder(&clock, config);
+  const DeviceId dev{3};
+
+  clock.Advance(10);
+  recorder.RecordMap(dev, Iova{0x10000}, Kva{0xffff800000001080}, 256, 1, false,
+                     "unit_map");
+  clock.Advance(5);
+  recorder.RecordAccess(dev, Iova{0x10010}, 0x5010, 16, true);
+  clock.Advance(5);
+  recorder.RecordUnmap(dev, Iova{0x10000}, 256, 1, false);
+  clock.Advance(5);
+  recorder.RecordStaleHit(dev, Iova{0x10000}, 0x5000);
+  clock.Advance(5);
+  recorder.RecordFlush(dev, Iova{0x10000}, 1);
+
+  std::vector<MappingLife> ledger = recorder.SnapshotLedger(dev);
+  ASSERT_EQ(ledger.size(), 1u);
+  EXPECT_EQ(ledger[0].generation, 1u);
+  EXPECT_EQ(ledger[0].map_cycle, 10u);
+  EXPECT_EQ(ledger[0].accesses, 1u);
+  EXPECT_EQ(ledger[0].unmap_cycle, 20u);
+  EXPECT_EQ(ledger[0].stale_hits, 1u);
+  EXPECT_EQ(ledger[0].flush_cycle, 30u);
+
+  // The access record was attributed to generation 1 while the life was live.
+  bool saw_attributed_access = false;
+  for (const FlightRecord& r : recorder.SnapshotTimeline(dev)) {
+    if (r.op == RecordOp::kDeviceWrite) {
+      EXPECT_EQ(r.generation, 1u);
+      saw_attributed_access = true;
+    }
+  }
+  EXPECT_TRUE(saw_attributed_access);
+
+  // A bounded ledger evicts its oldest life, loudly.
+  recorder.RecordMap(dev, Iova{0x20000}, Kva{0xffff800000002000}, 64, 0, false,
+                     "unit_map2");
+  recorder.RecordMap(dev, Iova{0x30000}, Kva{0xffff800000003000}, 64, 0, false,
+                     "unit_map3");
+  EXPECT_EQ(recorder.SnapshotLedger(dev).size(), 2u);
+  EXPECT_EQ(recorder.ledger_dropped(), 1u);
+}
+
+// ---- Classifier: the paper's attack classes from evidence alone ----------------
+
+// (a) sub-page off-the-end write: the controller completes without
+// transferring, keeps the translation, and rewrites the callback slot 512
+// bytes past the mapped IO buffer.
+TEST(ForensicsClassify, SubPageWildWriteIsClassA) {
+  EvilRig rig(BaseConfig(201, iommu::InvalidationMode::kStrict));
+  ASSERT_TRUE(rig.driver.Init().ok());
+  const DeviceId dev = rig.driver.device_id();
+
+  auto obj = rig.machine.slab().Kmalloc(1024, "nvme_req_with_cb");
+  ASSERT_TRUE(obj.ok());
+  rig.controller.set_complete_before_transfer(true);
+  auto cid = rig.driver.SubmitRead(0, 1, *obj);
+  ASSERT_TRUE(cid.ok());
+  ASSERT_EQ(rig.controller.pending_transfers().size(), 1u);
+  const nvme::PrpChunk chunk = rig.controller.pending_transfers().front().chunks[0];
+  ASSERT_TRUE(
+      rig.controller.port().WriteU64(Iova{chunk.iova.value + 512}, 0xdead).ok());
+
+  size_t implicated = SIZE_MAX;
+  EXPECT_EQ(Classify(rig.machine, dev, &implicated), AttackClass::kClassA);
+  const std::vector<MappingLife> ledger =
+      rig.machine.flight_recorder()->SnapshotLedger(dev);
+  ASSERT_LT(implicated, ledger.size());
+  EXPECT_NE(ledger[implicated].site.find("_map_data"), std::string::npos);
+
+  // A manual freeze (no automatic detector fires for a silent wild write)
+  // seals the same verdict into the report document.
+  IncidentEngine* incidents = rig.machine.incidents();
+  ASSERT_NE(incidents, nullptr);
+  incidents->OpenIncident(dev, "unit: wild write past mapped buffer");
+  EXPECT_EQ(incidents->incident_count(), 1u);
+  const std::string report = incidents->ReportsJson();
+  EXPECT_NE(report.find("\"inferred_class\":\"class_a\""), std::string::npos);
+  EXPECT_NE(report.find("\"trigger\":\"manual\""), std::string::npos);
+
+  EXPECT_TRUE(rig.driver.WaitFor(*cid).ok());
+  rig.controller.ClearPendingTransfers();
+  ASSERT_TRUE(rig.machine.slab().Kfree(*obj).ok());
+  EXPECT_TRUE(rig.driver.Shutdown().ok());
+}
+
+// (b) PRP-list frag harvest: the page-wide read through the PRP segment's
+// IOVA reaches the co-resident victim frag.
+TEST(ForensicsClassify, PrpSegmentHarvestIsClassB) {
+  EvilRig rig(BaseConfig(202, iommu::InvalidationMode::kStrict));
+  ASSERT_TRUE(rig.driver.Init().ok());
+  const DeviceId dev = rig.driver.device_id();
+
+  slab::PageFragPool& pool = rig.machine.frag_pool(CpuId{0});
+  auto victim = pool.Alloc(128, 8, "victim_meta");
+  ASSERT_TRUE(victim.ok());
+  auto buf = rig.machine.slab().Kmalloc(24 * nvme::kLbaSize, "io_buf");
+  ASSERT_TRUE(buf.ok());
+  auto cid = rig.driver.SubmitRead(0, 24, *buf);
+  ASSERT_TRUE(cid.ok());
+  ASSERT_TRUE(rig.controller.HarvestPrpQwords().ok());
+
+  size_t implicated = SIZE_MAX;
+  EXPECT_EQ(Classify(rig.machine, dev, &implicated), AttackClass::kClassB);
+  const std::vector<MappingLife> ledger =
+      rig.machine.flight_recorder()->SnapshotLedger(dev);
+  ASSERT_LT(implicated, ledger.size());
+  EXPECT_NE(ledger[implicated].site.find("prp"), std::string::npos);
+
+  EXPECT_TRUE(rig.driver.WaitFor(*cid).ok());
+  ASSERT_TRUE(rig.machine.slab().Kfree(*buf).ok());
+  ASSERT_TRUE(pool.Free(*victim).ok());
+  EXPECT_TRUE(rig.driver.Shutdown().ok());
+}
+
+// (c) multi-IOVA aliasing: after one PRP segment's unmap, the surviving
+// alias keeps the shared frag page readable — the recorded evidence holds
+// both lives (same KVA page, distinct IOVA pages) and the post-unmap reach.
+TEST(ForensicsClassify, SurvivingAliasReadIsClassC) {
+  EvilRig rig(BaseConfig(203, iommu::InvalidationMode::kStrict));
+  ASSERT_TRUE(rig.driver.Init().ok());
+  const DeviceId dev = rig.driver.device_id();
+
+  fault::FaultPlan plan;
+  plan.OneShot(fault::FaultSite::kNvmeCompletionDrop, 2);
+  rig.machine.fault().Arm(plan, 203);
+
+  auto buf1 = rig.machine.slab().Kmalloc(24 * nvme::kLbaSize, "io_buf1");
+  auto buf2 = rig.machine.slab().Kmalloc(24 * nvme::kLbaSize, "io_buf2");
+  ASSERT_TRUE(buf1.ok() && buf2.ok());
+  auto cid1 = rig.driver.SubmitRead(0, 24, *buf1);
+  auto cid2 = rig.driver.SubmitRead(24, 24, *buf2);
+  ASSERT_TRUE(cid1.ok() && cid2.ok());
+  ASSERT_GE(rig.controller.prp_segments_seen().size(), 2u);
+  const Iova seg2 = rig.controller.prp_segments_seen()[1];
+
+  // Completing command 1 unmaps its segment; the alias read then reaches the
+  // dead segment's bytes through command 2's still-live IOVA.
+  ASSERT_TRUE(rig.driver.WaitFor(*cid1).ok());
+  ASSERT_TRUE(rig.controller.port().ReadPageQwords(seg2).ok());
+
+  EXPECT_EQ(Classify(rig.machine, dev), AttackClass::kClassC);
+
+  rig.machine.fault().Disarm();
+  rig.machine.clock().Advance(SimClock::MsToCycles(6000));
+  EXPECT_EQ(rig.driver.CheckTimeouts(), 1u);
+  ASSERT_TRUE(rig.machine.slab().Kfree(*buf1).ok());
+  ASSERT_TRUE(rig.machine.slab().Kfree(*buf2).ok());
+  EXPECT_TRUE(rig.driver.Shutdown().ok());
+}
+
+// (d) slab co-location exfiltration: the page-wide read through the data
+// buffer's IOVA — a non-metadata mapping — rides over the victim slab slot.
+TEST(ForensicsClassify, SlabNeighbourExfilReadIsClassD) {
+  EvilRig rig(BaseConfig(204, iommu::InvalidationMode::kStrict));
+  ASSERT_TRUE(rig.driver.Init().ok());
+  const DeviceId dev = rig.driver.device_id();
+
+  auto victim = rig.machine.slab().Kmalloc(512, "victim_cred");
+  auto buf = rig.machine.slab().Kmalloc(512, "io_buf");
+  ASSERT_TRUE(victim.ok() && buf.ok());
+  ASSERT_EQ(victim->PageBase().value, buf->PageBase().value);
+
+  rig.controller.set_complete_before_transfer(true);
+  auto cid = rig.driver.SubmitWrite(0, 1, *buf);
+  ASSERT_TRUE(cid.ok());
+  ASSERT_EQ(rig.controller.pending_transfers().size(), 1u);
+  const nvme::PrpChunk chunk = rig.controller.pending_transfers().front().chunks[0];
+  ASSERT_TRUE(rig.controller.port().ReadPageQwords(chunk.iova).ok());
+
+  size_t implicated = SIZE_MAX;
+  EXPECT_EQ(Classify(rig.machine, dev, &implicated), AttackClass::kClassD);
+  const std::vector<MappingLife> ledger =
+      rig.machine.flight_recorder()->SnapshotLedger(dev);
+  ASSERT_LT(implicated, ledger.size());
+  EXPECT_NE(ledger[implicated].site.find("_map_data"), std::string::npos);
+
+  EXPECT_TRUE(rig.driver.WaitFor(*cid).ok());
+  rig.controller.ClearPendingTransfers();
+  ASSERT_TRUE(rig.machine.slab().Kfree(*buf).ok());
+  ASSERT_TRUE(rig.machine.slab().Kfree(*victim).ok());
+  EXPECT_TRUE(rig.driver.Shutdown().ok());
+}
+
+// Poisoned Completion in deferred mode: the stale replay trips the
+// kStaleIotlbHit trigger, so the incident freezes AUTOMATICALLY and the
+// stale-hit record names the class without any operator involvement.
+TEST(ForensicsClassify, PoisonedCompletionAutoFreezesIncident) {
+  core::MachineConfig mc = BaseConfig(205, iommu::InvalidationMode::kDeferred);
+  mc.telemetry.enabled = true;
+  EvilRig rig(mc);
+  ASSERT_TRUE(rig.driver.Init().ok());
+  const DeviceId dev = rig.driver.device_id();
+  rig.controller.set_warm_iotlb(true);
+
+  auto buf = rig.machine.slab().Kmalloc(512, "posted_read_buf");
+  ASSERT_TRUE(buf.ok());
+  const Kva old_buf = *buf;
+  rig.controller.set_complete_before_transfer(true);
+
+  // The forged CQE makes the driver unmap (deferred: stale window opens) and
+  // the buffer is freed + recycled before the withheld data phase lands.
+  auto moved = rig.driver.ReadBlocks(8, 1, *buf);
+  ASSERT_TRUE(moved.ok());
+  ASSERT_EQ(rig.controller.pending_transfers().size(), 1u);
+  ASSERT_TRUE(rig.machine.slab().Kfree(*buf).ok());
+  auto recycled = rig.machine.slab().Kmalloc(512, "recycled_victim");
+  ASSERT_TRUE(recycled.ok());
+  ASSERT_EQ(recycled->value, old_buf.value);
+  rig.machine.clock().AdvanceUs(5);
+
+  const uint64_t stale_before = rig.machine.iommu().stats().stale_iotlb_accesses;
+  ASSERT_TRUE(rig.controller.ReplayPendingTransfer().ok());
+  ASSERT_GE(rig.machine.iommu().stats().stale_iotlb_accesses, stale_before + 1);
+
+  EXPECT_EQ(Classify(rig.machine, dev), AttackClass::kPoisonedCompletion);
+
+  IncidentEngine* incidents = rig.machine.incidents();
+  ASSERT_NE(incidents, nullptr);
+  ASSERT_GE(incidents->incident_count(), 1u);
+  const std::string report = incidents->ReportsJson();
+  EXPECT_NE(report.find("\"trigger\":\"stale_iotlb_hit\""), std::string::npos);
+  EXPECT_NE(report.find("\"inferred_class\":\"poisoned_completion\""),
+            std::string::npos);
+  const std::string summary = incidents->SummaryJson();
+  EXPECT_NE(summary.find("\"poisoned_completion\":"), std::string::npos);
+
+  rig.controller.ClearPendingTransfers();
+  rig.machine.iommu().FlushNow();
+  ASSERT_TRUE(rig.machine.slab().Kfree(*recycled).ok());
+  EXPECT_TRUE(rig.driver.Shutdown().ok());
+}
+
+// ---- System: determinism, threads, disabled, soak ------------------------------
+
+namespace {
+std::string RunClassDScenario(uint64_t seed) {
+  EvilRig rig(BaseConfig(seed, iommu::InvalidationMode::kStrict));
+  EXPECT_TRUE(rig.driver.Init().ok());
+  const DeviceId dev = rig.driver.device_id();
+  auto victim = rig.machine.slab().Kmalloc(512, "victim_cred");
+  auto buf = rig.machine.slab().Kmalloc(512, "io_buf");
+  EXPECT_TRUE(victim.ok() && buf.ok());
+  rig.controller.set_complete_before_transfer(true);
+  auto cid = rig.driver.SubmitWrite(0, 1, *buf);
+  EXPECT_TRUE(cid.ok());
+  const nvme::PrpChunk chunk = rig.controller.pending_transfers().front().chunks[0];
+  EXPECT_TRUE(rig.controller.port().ReadPageQwords(chunk.iova).ok());
+  rig.machine.incidents()->OpenIncident(dev, "determinism probe");
+  EXPECT_TRUE(rig.driver.WaitFor(*cid).ok());
+  rig.controller.ClearPendingTransfers();
+  return rig.machine.incidents()->ReportsJson();
+}
+}  // namespace
+
+TEST(ForensicsDeterminism, SameSeedFreezesByteIdenticalReports) {
+  const std::string first = RunClassDScenario(301);
+  const std::string second = RunClassDScenario(301);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"inferred_class\":\"class_d\""), std::string::npos);
+}
+
+TEST(ForensicsThreads, ConcurrentChurnRecordsAndFreezesClean) {
+  core::MachineConfig config;
+  config.seed = 7;
+  config.exec = ExecMode::kThreads;
+  config.iommu.mode = iommu::InvalidationMode::kDeferred;
+  config.iommu.fast_path.num_cpus = 4;
+  config.forensics.enabled = true;
+  core::Machine machine{config};
+  for (uint32_t c = 0; c < 4; ++c) {
+    machine.iommu().AttachDevice(DeviceId{700 + c});
+  }
+  for (int round = 0; round < 4; ++round) {
+    machine.RunOnCpus(4, [&](CpuId cpu) {
+      const DeviceId dev{700 + cpu.value};
+      for (int i = 0; i < 16; ++i) {
+        Result<Kva> buf = machine.slab().Kmalloc(1024, "forensics_churn");
+        if (!buf.ok()) {
+          continue;
+        }
+        Result<Iova> iova = machine.dma().MapSingle(
+            dev, *buf, 1024, dma::DmaDirection::kFromDevice, "forensics_churn");
+        if (iova.ok()) {
+          // A worker-side freeze while siblings churn: snapshot vs record.
+          if (cpu.value == 0 && i == 8) {
+            machine.incidents()->OpenIncident(dev, "mid-churn freeze");
+          }
+          (void)machine.dma().UnmapSingle(dev, *iova, 1024,
+                                          dma::DmaDirection::kFromDevice);
+        }
+        (void)machine.slab().Kfree(*buf);
+      }
+    });
+    ASSERT_TRUE(machine.CheckInvariants().ok()) << "round " << round;
+  }
+  FlightRecorder* recorder = machine.flight_recorder();
+  ASSERT_NE(recorder, nullptr);
+  EXPECT_GT(recorder->total_recorded(), 0u);
+  for (uint32_t c = 0; c < 4; ++c) {
+    EXPECT_FALSE(recorder->SnapshotLedger(DeviceId{700 + c}).empty()) << c;
+  }
+  EXPECT_GE(machine.incidents()->incident_count(), 1u);
+  const std::string report = machine.incidents()->ReportsJson();
+  EXPECT_NE(report.find("\"incidents\":["), std::string::npos);
+  machine.iommu().FlushNow();
+  EXPECT_EQ(machine.dma().live_mappings(), 0u);
+}
+
+TEST(ForensicsDisabled, DefaultMachineHasNullRecorderAndEngine) {
+  core::MachineConfig config;
+  config.seed = 5;
+  config.phys_pages = 4096;
+  core::Machine machine{config};
+  EXPECT_EQ(machine.flight_recorder(), nullptr);
+  EXPECT_EQ(machine.incidents(), nullptr);
+
+  // The hooks are one null branch: mapping traffic behaves as before.
+  machine.iommu().AttachDevice(DeviceId{42});
+  auto buf = machine.slab().Kmalloc(1024, "plain");
+  ASSERT_TRUE(buf.ok());
+  auto iova = machine.dma().MapSingle(DeviceId{42}, *buf, 1024,
+                                      dma::DmaDirection::kFromDevice, "plain");
+  ASSERT_TRUE(iova.ok());
+  EXPECT_TRUE(machine.dma()
+                  .UnmapSingle(DeviceId{42}, *iova, 1024,
+                               dma::DmaDirection::kFromDevice)
+                  .ok());
+  ASSERT_TRUE(machine.slab().Kfree(*buf).ok());
+}
+
+TEST(ForensicsSoak, SoakEmbedsDeterministicForensicsBlock) {
+  soak::SoakConfig config;
+  config.seed = 11;
+  config.target_cycles = 2'000'000;
+  config.max_epochs = 60;
+  config.storage = false;  // keep the round-trip fast
+  const soak::SoakReport first = soak::RunSoak(config);
+  EXPECT_TRUE(first.ok) << first.failure;
+  EXPECT_GT(first.flight_records, 0u);
+  EXPECT_FALSE(first.incidents_json.empty());
+  EXPECT_NE(first.ToJson().find("\"forensics\""), std::string::npos);
+  EXPECT_NE(first.incidents_json.find("\"recorder\""), std::string::npos);
+
+  const soak::SoakReport second = soak::RunSoak(config);
+  EXPECT_EQ(first.ToJson(), second.ToJson());
+  EXPECT_EQ(first.incidents_json, second.incidents_json);
+
+  // Opting out must not change the workload's outcome: the recorder is a
+  // pure observer, so every non-forensics field stays identical.
+  soak::SoakConfig no_forensics = config;
+  no_forensics.forensics = false;
+  const soak::SoakReport off = soak::RunSoak(no_forensics);
+  EXPECT_TRUE(off.ok) << off.failure;
+  EXPECT_EQ(off.flight_records, 0u);
+  EXPECT_TRUE(off.incidents_json.empty());
+  EXPECT_EQ(off.sim_cycles, first.sim_cycles);
+  EXPECT_EQ(off.epochs, first.epochs);
+  EXPECT_EQ(off.echo_ok, first.echo_ok);
+}
+
+}  // namespace
+}  // namespace spv::forensics

@@ -5,6 +5,7 @@
 //        [--no-recovery] [--no-faults] [--no-attacks] [--legacy-path]
 //        [--cpus N] [--queues N] [--threads]
 //        [--policy] [--hostile-hotplug] [--posture-out posture.json]
+//        [--no-forensics] [--incident-out incidents.json]
 //        [--check-interval N] [--out report.json] [--trace-out trace.csv]
 //
 // --cpus N > 1 turns on the cross-CPU leg (per-CPU churn, RSS-steered echo
@@ -16,6 +17,11 @@
 // nic1 the demotion subject); --hostile-hotplug adds the never-authorized
 // hot-plug storms whose sub-page probes must die in the bounce pool;
 // --posture-out writes the engine's HSI-style posture JSON on its own.
+//
+// The forensics leg (flight recorder + incident engine) is on by default —
+// it is a pure observer, so the report JSON stays byte-identical either way;
+// --no-forensics turns it off, --incident-out writes the full incident
+// document (tools/incident renders it) and needs forensics enabled.
 //
 // Unknown flags and out-of-range values exit 2 with a pointer to --help:
 // --cpus accepts 1..64, --queues 1..--cpus, and --threads needs --cpus > 1.
@@ -63,6 +69,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string trace_path;
   std::string posture_path;
+  std::string incident_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -111,6 +118,10 @@ int main(int argc, char** argv) {
       config.hostile_hotplug = true;
     } else if (arg == "--posture-out") {
       posture_path = next();
+    } else if (arg == "--no-forensics") {
+      config.forensics = false;
+    } else if (arg == "--incident-out") {
+      incident_path = next();
     } else if (arg == "--check-interval") {
       config.invariant_check_interval =
           static_cast<uint32_t>(ParseU64(next(), "--check-interval"));
@@ -124,6 +135,7 @@ int main(int argc, char** argv) {
           "            [--no-recovery] [--no-faults] [--no-attacks] [--no-storage]\n"
           "            [--legacy-path] [--cpus N] [--queues N] [--threads]\n"
           "            [--policy] [--hostile-hotplug] [--posture-out posture.json]\n"
+          "            [--no-forensics] [--incident-out incidents.json]\n"
           "            [--check-interval N] [--out report.json]\n"
           "            [--trace-out trace.csv]\n");
       return 0;
@@ -157,6 +169,12 @@ int main(int argc, char** argv) {
   }
   if (!posture_path.empty() && !config.policy) {
     std::fprintf(stderr, "soak: --posture-out needs --policy; see --help\n");
+    return 2;
+  }
+  if (!incident_path.empty() && !config.forensics) {
+    std::fprintf(stderr,
+                 "soak: --incident-out needs forensics (drop --no-forensics); "
+                 "see --help\n");
     return 2;
   }
 
@@ -220,6 +238,14 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(report.policy.neighbour_corruptions));
     }
   }
+  if (config.forensics) {
+    std::printf("      forensics: %llu incidents (%llu suppressed), "
+                "%llu flight records (%llu dropped)\n",
+                static_cast<unsigned long long>(report.incidents_opened),
+                static_cast<unsigned long long>(report.incidents_suppressed),
+                static_cast<unsigned long long>(report.flight_records),
+                static_cast<unsigned long long>(report.flight_dropped));
+  }
   if (report.ok) {
     std::printf("      PASS: invariants clean, no leaked mappings or PTEs\n");
   } else {
@@ -232,6 +258,9 @@ int main(int argc, char** argv) {
   }
   if (!posture_path.empty()) {
     io_ok = WriteFile(posture_path, report.posture_json + "\n") && io_ok;
+  }
+  if (!incident_path.empty()) {
+    io_ok = WriteFile(incident_path, report.incidents_json + "\n") && io_ok;
   }
   if (!trace_path.empty()) {
     io_ok = WriteFile(trace_path, spv::soak::LastTraceCsv()) && io_ok;

@@ -200,6 +200,15 @@ std::string DescribeEvent(const telemetry::Event& event) {
           << " -> kva " << fmt_hex(event.addr) << "  len " << event.len
           << "  copy " << event.aux << " cyc";
       break;
+    case telemetry::EventKind::kIncidentOpen:
+      // site carries the trigger kind; flag=1 means operator-initiated.
+      out << "dev " << event.device << "  incident #" << event.aux
+          << (event.flag ? "  (manual)" : "");
+      break;
+    case telemetry::EventKind::kIncidentReport:
+      // site carries the inferred attack-class name.
+      out << "dev " << event.device << "  incident #" << event.aux << " classified";
+      break;
   }
   return out.str();
 }
@@ -269,6 +278,9 @@ const char* EventOrigin(const telemetry::Event& event) {
     case telemetry::EventKind::kBounceMap:
     case telemetry::EventKind::kBounceUnmap:
       return "policy";
+    case telemetry::EventKind::kIncidentOpen:
+    case telemetry::EventKind::kIncidentReport:
+      return "forensics";
   }
   return "unknown";
 }
@@ -479,8 +491,8 @@ int main(int argc, char** argv) {
           "filter syntax:\n"
           "  --filter origin=<name>  keep only events from one subsystem's story.\n"
           "                          Origins: dma, iommu, alloc, nic, nvme, stack,\n"
-          "                          fault, recovery, policy, span, window, attack,\n"
-          "                          dkasan, spade. origin=fault additionally keeps the\n"
+          "                          fault, recovery, policy, forensics, span, window,\n"
+          "                          attack, dkasan, spade. origin=fault additionally keeps the\n"
           "                          recovery/drop accounting published on the\n"
           "                          engine's behalf (kNicRxError, fault:* sites).\n"
           "  --list-origins          enumerate the origins present in the capture\n"
