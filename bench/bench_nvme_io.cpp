@@ -17,7 +17,14 @@
 // *simulated-cycle* quantiles, which are deterministic (seeded RNG, logical
 // clock): a drift means the storage path's cost model changed.
 //
-// Usage: bench_nvme_io [--quick] [--out FILE]
+// --policy-untrusted adds a degraded-mode sweep: the same workloads with the
+// trust policy enabled and the controller untrusted, so every queue lives on
+// persistent sync'd bounce rings and every payload is copied through the
+// pool. Those cases are labelled "<workload>_untrusted" and the headline
+// ratio untrusted_sync_slowdown (untrusted mean / direct deferred-fast mean
+// for read_1blk) is emitted for the baseline gate.
+//
+// Usage: bench_nvme_io [--quick] [--policy-untrusted] [--out FILE]
 
 #include <chrono>
 #include <cstdint>
@@ -43,7 +50,16 @@ struct CaseConfig {
   iommu::InvalidationMode mode = iommu::InvalidationMode::kDeferred;
   uint32_t cpus = 1;  // the driver pins itself to CPU 0; kept for schema parity
   bool fast = true;
+  // Trust policy on + controller untrusted: queues on persistent sync'd
+  // bounce rings, payloads copied through the pool every command.
+  bool untrusted = false;
   uint64_t ops = 0;
+
+  // Baseline case key: untrusted cases get their own workload label so the
+  // gate never conflates them with the direct-path cell of the same shape.
+  std::string Label() const {
+    return untrusted ? workload + "_untrusted" : workload;
+  }
 };
 
 struct CaseResult {
@@ -75,6 +91,15 @@ CaseResult RunCase(const CaseConfig& config) {
   mc.seed = 2;
   mc.phys_pages = 32768;
   mc.iommu.mode = config.mode;
+  if (config.untrusted) {
+    // No quirks: a freshly registered controller starts untrusted, so Init
+    // brings the queues up in bounce_sync mode from the first doorbell.
+    // Size the pool like a swiotlb sized for the workload: rw_chained moves
+    // 18 payload pages per command on top of the 4 persistent ring pages,
+    // which overflows the 16-page default.
+    mc.policy.enabled = true;
+    mc.policy.bounce_pages = 64;
+  }
   if (!config.fast) {
     mc.iommu.fast_path.rcache_enabled = false;
     mc.iommu.fast_path.hash_index_enabled = false;
@@ -86,6 +111,10 @@ CaseResult RunCase(const CaseConfig& config) {
       device::DevicePort{machine.iommu(), driver.device_id()}};
   driver.AttachDevice(&controller);
   if (!driver.Init().ok()) std::abort();
+  if (config.untrusted &&
+      driver.service_mode() != dma::ServiceMode::kBounceSync) {
+    std::abort();  // the whole point of the case is the sync-ring path
+  }
 
   const uint64_t buf_bytes =
       config.workload == "rw_chained" ? 144 * nvme::kLbaSize : 8 * nvme::kLbaSize;
@@ -128,7 +157,7 @@ CaseResult RunCase(const CaseConfig& config) {
 
 std::string Json(const CaseResult& r) {
   std::ostringstream out;
-  out << "    {\"workload\": \"" << r.config.workload << "\", \"mode\": \""
+  out << "    {\"workload\": \"" << r.config.Label() << "\", \"mode\": \""
       << iommu::InvalidationModeName(r.config.mode) << "\", \"cpus\": " << r.config.cpus
       << ", \"fast_path\": " << (r.config.fast ? "true" : "false")
       << ", \"ops\": " << r.config.ops << ", \"ios_per_sec\": " << r.ios_per_sec
@@ -143,14 +172,18 @@ std::string Json(const CaseResult& r) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool policy_untrusted = false;
   std::string out_path = "BENCH_nvme_io.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--policy-untrusted") == 0) {
+      policy_untrusted = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::cerr << "usage: bench_nvme_io [--quick] [--out FILE]\n";
+      std::cerr
+          << "usage: bench_nvme_io [--quick] [--policy-untrusted] [--out FILE]\n";
       return 2;
     }
   }
@@ -177,25 +210,62 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Headline for the CI gate: the minimal command on the default config.
-  uint64_t steady_p99_cycles = 0;
-  for (const CaseResult& r : results) {
-    if (r.config.workload == "read_1blk" && r.config.fast &&
-        r.config.mode == iommu::InvalidationMode::kDeferred) {
-      steady_p99_cycles = r.op_cycles.p99;
+  // Degraded-mode sweep: same workloads, untrusted controller on sync'd
+  // bounce rings. Deferred + fast path only — the bounce pool routes around
+  // the IOTLB, so the strict/slow axes measure nothing new here.
+  if (policy_untrusted) {
+    for (const std::string workload : {"read_1blk", "write_8blk", "rw_chained"}) {
+      CaseConfig config;
+      config.workload = workload;
+      config.mode = iommu::InvalidationMode::kDeferred;
+      config.untrusted = true;
+      config.ops = workload == "rw_chained" ? heavy_ops : light_ops;
+      results.push_back(RunCase(config));
+      const CaseResult& r = results.back();
+      std::cout << r.config.Label() << " deferred fast: "
+                << static_cast<uint64_t>(r.ios_per_sec) << " ios/s, p99 "
+                << r.op_cycles.p99 << " sim cycles\n";
     }
   }
+
+  // Headlines for the CI gate: the minimal command on the default config,
+  // and (with --policy-untrusted) the sync-ring slowdown ratio against it.
+  uint64_t steady_p99_cycles = 0;
+  double direct_read_mean = 0;
+  double untrusted_read_mean = 0;
+  for (const CaseResult& r : results) {
+    if (r.config.workload != "read_1blk" || !r.config.fast ||
+        r.config.mode != iommu::InvalidationMode::kDeferred) {
+      continue;
+    }
+    if (r.config.untrusted) {
+      untrusted_read_mean = r.op_cycles.mean;
+    } else {
+      steady_p99_cycles = r.op_cycles.p99;
+      direct_read_mean = r.op_cycles.mean;
+    }
+  }
+  const double untrusted_sync_slowdown =
+      direct_read_mean > 0 ? untrusted_read_mean / direct_read_mean : 0;
 
   std::ofstream out(out_path);
   out << "{\n  \"benchmark\": \"nvme_io\",\n"
       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
-      << "  \"steady_p99_sim_cycles\": " << steady_p99_cycles << ",\n"
-      << "  \"cases\": [\n";
+      << "  \"steady_p99_sim_cycles\": " << steady_p99_cycles << ",\n";
+  if (policy_untrusted) {
+    out << "  \"untrusted_sync_slowdown\": " << untrusted_sync_slowdown
+        << ",\n";
+  }
+  out << "  \"cases\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     out << Json(results[i]) << (i + 1 < results.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";
-  std::cout << "steady-state p99 sim cycles/op: " << steady_p99_cycles << "\n"
-            << "wrote " << out_path << "\n";
+  std::cout << "steady-state p99 sim cycles/op: " << steady_p99_cycles << "\n";
+  if (policy_untrusted) {
+    std::cout << "untrusted sync slowdown (read_1blk mean ratio): "
+              << untrusted_sync_slowdown << "x\n";
+  }
+  std::cout << "wrote " << out_path << "\n";
   return 0;
 }

@@ -110,6 +110,26 @@ Status BouncePool::ForEachChunk(const Active& active, Fn&& fn) const {
   return OkStatus();
 }
 
+template <typename Fn>
+Status BouncePool::ForEachChunkRange(const Active& active, uint64_t from,
+                                     uint64_t span, Fn&& fn) const {
+  // Buffer offset `off` lives in slot (first_offset + off) / page at page
+  // offset (first_offset + off) % page, where first_offset is the buffer's
+  // sub-page start inside its first slot.
+  const uint64_t first_offset = active.orig_kva.page_offset();
+  uint64_t off = from;
+  const uint64_t end = from + span;
+  while (off < end) {
+    const uint64_t abs = first_offset + off;
+    const size_t slot = active.first_slot + (abs >> kPageShift);
+    const uint64_t slot_offset = abs & (kPageSize - 1);
+    const uint64_t chunk = std::min(end - off, kPageSize - slot_offset);
+    SPV_RETURN_IF_ERROR(fn(slot, slot_offset, off, chunk));
+    off += chunk;
+  }
+  return OkStatus();
+}
+
 Status BouncePool::CopyIn(Pool& pool, const Active& active) {
   return ForEachChunk(active, [&](size_t slot, uint64_t slot_off, uint64_t buf_off,
                                   uint64_t chunk) {
@@ -126,6 +146,24 @@ Status BouncePool::CopyOut(Pool& pool, const Active& active) {
   });
 }
 
+Status BouncePool::CopyInRange(Pool& pool, const Active& active, uint64_t from,
+                               uint64_t span) {
+  return ForEachChunkRange(active, from, span,
+                           [&](size_t slot, uint64_t slot_off, uint64_t buf_off,
+                               uint64_t chunk) {
+    return Copy(SlotKva(pool, slot) + slot_off, active.orig_kva + buf_off, chunk);
+  });
+}
+
+Status BouncePool::CopyOutRange(Pool& pool, const Active& active, uint64_t from,
+                                uint64_t span) {
+  return ForEachChunkRange(active, from, span,
+                           [&](size_t slot, uint64_t slot_off, uint64_t buf_off,
+                               uint64_t chunk) {
+    return Copy(active.orig_kva + buf_off, SlotKva(pool, slot) + slot_off, chunk);
+  });
+}
+
 Status BouncePool::Scrub(Pool& pool, const Active& active) {
   // Whole pages, not just the buffer's bytes: nothing but this I/O may ever
   // be visible through the static mapping.
@@ -136,8 +174,21 @@ Status BouncePool::Scrub(Pool& pool, const Active& active) {
   return OkStatus();
 }
 
+Status BouncePool::ScrubRange(Pool& pool, const Active& active, uint64_t from,
+                              uint64_t span) {
+  // Partial re-arm: other byte ranges of the same persistent mapping may be
+  // live (other SQEs in a ring, other slots of a shared run), so only the
+  // handed-over bytes are cleared.
+  return ForEachChunkRange(active, from, span,
+                           [&](size_t slot, uint64_t slot_off, uint64_t /*buf_off*/,
+                               uint64_t chunk) {
+    return pm_.Fill(PhysAddr::FromPfn(pool.slots[slot].pfn, slot_off), chunk, 0);
+  });
+}
+
 void BouncePool::PublishEvent(telemetry::EventKind kind, DeviceId device,
-                              const Active& active, Iova iova, uint64_t cycles_spent) {
+                              const Active& active, Iova iova, uint64_t len,
+                              uint64_t cycles_spent) {
   if (hub_ == nullptr || !hub_->active()) {
     return;
   }
@@ -147,20 +198,43 @@ void BouncePool::PublishEvent(telemetry::EventKind kind, DeviceId device,
   event.device = device.value;
   event.addr = active.orig_kva.value;
   event.addr2 = iova.value;
-  event.len = active.len;
+  event.len = len;
   event.aux = cycles_spent;
   event.origin = this;
   event.site = active.site;
   hub_->Publish(std::move(event));
   if (hub_->enabled()) {
-    hub_->counter(kind == telemetry::EventKind::kBounceMap ? "bounce.maps"
-                                                           : "bounce.unmaps")
-        .Add();
+    const char* counter = "bounce.maps";
+    switch (kind) {
+      case telemetry::EventKind::kBounceUnmap:
+        counter = "bounce.unmaps";
+        break;
+      case telemetry::EventKind::kBounceSyncCpu:
+        counter = "bounce.sync_for_cpu";
+        break;
+      case telemetry::EventKind::kBounceSyncDevice:
+        counter = "bounce.sync_for_device";
+        break;
+      default:
+        break;
+    }
+    hub_->counter(counter).Add();
   }
 }
 
 Result<Iova> BouncePool::Map(DeviceId device, Kva kva, uint64_t len, DmaDirection dir,
                              std::string_view site) {
+  return MapInternal(device, kva, len, dir, site, /*persistent=*/false);
+}
+
+Result<Iova> BouncePool::MapPersistent(DeviceId device, Kva kva, uint64_t len,
+                                       DmaDirection dir, std::string_view site) {
+  return MapInternal(device, kva, len, dir, site, /*persistent=*/true);
+}
+
+Result<Iova> BouncePool::MapInternal(DeviceId device, Kva kva, uint64_t len,
+                                     DmaDirection dir, std::string_view site,
+                                     bool persistent) {
   auto pool_it = pools_.find(device.value);
   if (pool_it == pools_.end()) {
     return FailedPrecondition("device has no bounce pool");
@@ -195,7 +269,7 @@ Result<Iova> BouncePool::Map(DeviceId device, Kva kva, uint64_t len, DmaDirectio
   if (run < need) {
     return ResourceExhausted("bounce pool exhausted");
   }
-  Active active{first, need, kva, len, dir, std::string(site)};
+  Active active{first, need, kva, len, dir, std::string(site), persistent};
   SPV_RETURN_IF_ERROR(Scrub(pool, active));
   if (dir == DmaDirection::kToDevice || dir == DmaDirection::kBidirectional) {
     SPV_RETURN_IF_ERROR(CopyIn(pool, active));
@@ -207,7 +281,7 @@ Result<Iova> BouncePool::Map(DeviceId device, Kva kva, uint64_t len, DmaDirectio
   const Iova iova = slot_base + kva.page_offset();
   const uint64_t spent = kCopyCyclesPerCacheLine * (AlignUp(len, 64) / 64);
   pool.active[slot_base.value] = active;
-  PublishEvent(telemetry::EventKind::kBounceMap, device, active, iova, spent);
+  PublishEvent(telemetry::EventKind::kBounceMap, device, active, iova, len, spent);
   return iova;
 }
 
@@ -234,9 +308,27 @@ Status BouncePool::Unmap(DeviceId device, Iova iova, uint64_t len, DmaDirection 
     pool.slots[active.first_slot + i].in_use = false;
   }
   pool.active.erase(it);
-  PublishEvent(telemetry::EventKind::kBounceUnmap, device, active, iova,
+  PublishEvent(telemetry::EventKind::kBounceUnmap, device, active, iova, len,
                copy_cycles_ - before);
   return OkStatus();
+}
+
+std::map<uint64_t, BouncePool::Active>::iterator BouncePool::FindContaining(
+    Pool& pool, Iova iova, uint64_t* rel_out) {
+  // The active table is keyed by the run's first slot IOVA; the sync target
+  // may sit pages into a multi-slot run, so find the last run at or below
+  // `iova` and range-check against the buffer's device-visible bytes.
+  auto it = pool.active.upper_bound(iova.value);
+  if (it == pool.active.begin()) {
+    return pool.active.end();
+  }
+  --it;
+  const uint64_t mapped_start = it->first + it->second.orig_kva.page_offset();
+  if (iova.value < mapped_start || iova.value >= mapped_start + it->second.len) {
+    return pool.active.end();
+  }
+  *rel_out = iova.value - mapped_start;
+  return it;
 }
 
 Status BouncePool::SyncForCpu(DeviceId device, Iova iova, uint64_t len, DmaDirection dir) {
@@ -245,13 +337,26 @@ Status BouncePool::SyncForCpu(DeviceId device, Iova iova, uint64_t len, DmaDirec
     return FailedPrecondition("device has no bounce pool");
   }
   Pool& pool = pool_it->second;
-  auto it = pool.active.find(iova.PageBase().value);
-  if (it == pool.active.end() || it->second.dir != dir || it->second.len < len) {
-    return FailedPrecondition("bounce sync_for_cpu on invalid mapping");
+  uint64_t rel = 0;
+  auto it = FindContaining(pool, iova, &rel);
+  if (it == pool.active.end()) {
+    return FailedPrecondition("bounce sync_for_cpu of unknown IOVA");
   }
+  Active& active = it->second;
+  if (active.dir != dir) {
+    return InvalidArgument("bounce sync_for_cpu with mismatched direction");
+  }
+  if (len == 0 || rel + len > active.len) {
+    return InvalidArgument("bounce sync_for_cpu beyond the mapped buffer");
+  }
+  const uint64_t before = copy_cycles_;
   if (dir == DmaDirection::kFromDevice || dir == DmaDirection::kBidirectional) {
-    return CopyOut(pool, it->second);
+    SPV_RETURN_IF_ERROR(CopyOutRange(pool, active, rel, len));
   }
+  ++pool.syncs_for_cpu;
+  ++syncs_for_cpu_;
+  PublishEvent(telemetry::EventKind::kBounceSyncCpu, device, active, iova, len,
+               copy_cycles_ - before);
   return OkStatus();
 }
 
@@ -262,16 +367,35 @@ Status BouncePool::SyncForDevice(DeviceId device, Iova iova, uint64_t len,
     return FailedPrecondition("device has no bounce pool");
   }
   Pool& pool = pool_it->second;
-  auto it = pool.active.find(iova.PageBase().value);
-  if (it == pool.active.end() || it->second.dir != dir || it->second.len < len) {
-    return FailedPrecondition("bounce sync_for_device on invalid mapping");
+  uint64_t rel = 0;
+  auto it = FindContaining(pool, iova, &rel);
+  if (it == pool.active.end()) {
+    return FailedPrecondition("bounce sync_for_device of unknown IOVA");
   }
-  // Ownership returns to the device: re-arm the slots so the previous I/O's
-  // bytes are not re-exposed.
-  SPV_RETURN_IF_ERROR(Scrub(pool, it->second));
+  Active& active = it->second;
+  if (active.dir != dir) {
+    return InvalidArgument("bounce sync_for_device with mismatched direction");
+  }
+  if (len == 0 || rel + len > active.len) {
+    return InvalidArgument("bounce sync_for_device beyond the mapped buffer");
+  }
+  const uint64_t before = copy_cycles_;
+  // Ownership returns to the device: re-arm so the previous I/O's bytes are
+  // not re-exposed. A full-mapping sync scrubs the whole pages (the map-time
+  // guarantee); a partial sync touches only the handed-over range, because
+  // the rest of the mapping may still be in flight.
+  if (rel == 0 && len == active.len) {
+    SPV_RETURN_IF_ERROR(Scrub(pool, active));
+  } else {
+    SPV_RETURN_IF_ERROR(ScrubRange(pool, active, rel, len));
+  }
   if (dir == DmaDirection::kToDevice || dir == DmaDirection::kBidirectional) {
-    return CopyIn(pool, it->second);
+    SPV_RETURN_IF_ERROR(CopyInRange(pool, active, rel, len));
   }
+  ++pool.syncs_for_device;
+  ++syncs_for_device_;
+  PublishEvent(telemetry::EventKind::kBounceSyncDevice, device, active, iova, len,
+               copy_cycles_ - before);
   return OkStatus();
 }
 
@@ -291,11 +415,17 @@ std::optional<DmaMapping> BouncePool::Lookup(DeviceId device, Iova iova) const {
     return std::nullopt;
   }
   const Pool& pool = pool_it->second;
-  auto it = pool.active.find(iova.PageBase().value);
-  if (it == pool.active.end()) {
+  // Containing-run lookup, so audits may ask about any page of a multi-slot
+  // bounce, not just the first.
+  auto it = pool.active.upper_bound(iova.value);
+  if (it == pool.active.begin()) {
     return std::nullopt;
   }
+  --it;
   const Active& active = it->second;
+  if (iova.value >= it->first + active.num_slots * kPageSize) {
+    return std::nullopt;
+  }
   const Iova mapped = Iova{it->first} + active.orig_kva.page_offset();
   return DmaMapping{device, mapped, active.orig_kva, active.len, active.dir, active.site};
 }
@@ -330,6 +460,28 @@ uint64_t BouncePool::pool_pages(DeviceId device) const {
 uint64_t BouncePool::active_bounces(DeviceId device) const {
   auto it = pools_.find(device.value);
   return it == pools_.end() ? 0 : it->second.active.size();
+}
+
+uint64_t BouncePool::persistent_bounces(DeviceId device) const {
+  auto it = pools_.find(device.value);
+  if (it == pools_.end()) {
+    return 0;
+  }
+  uint64_t count = 0;
+  for (const auto& [iova, active] : it->second.active) {
+    count += active.persistent ? 1 : 0;
+  }
+  return count;
+}
+
+uint64_t BouncePool::syncs_for_cpu(DeviceId device) const {
+  auto it = pools_.find(device.value);
+  return it == pools_.end() ? 0 : it->second.syncs_for_cpu;
+}
+
+uint64_t BouncePool::syncs_for_device(DeviceId device) const {
+  auto it = pools_.find(device.value);
+  return it == pools_.end() ? 0 : it->second.syncs_for_device;
 }
 
 Status BouncePool::Audit() const {

@@ -49,6 +49,15 @@ class DmaRouter {
   // True if `device` must not receive direct mappings: DmaApi::MapSingle
   // diverts the transfer through the BouncePool instead.
   virtual bool ShouldBounce(DeviceId device) const = 0;
+
+  // The service mode queue-protocol drivers should run `device` under. The
+  // default derives it from ShouldBounce (transient bounces, the PR 8
+  // behaviour); the policy engine overrides this to hand untrusted devices
+  // the sync-ring degraded mode instead of letting their rings starve.
+  virtual ServiceMode ServiceModeFor(DeviceId device) const {
+    return ShouldBounce(device) ? ServiceMode::kBounceTransient
+                                : ServiceMode::kZeroCopy;
+  }
 };
 
 class BouncePool {
@@ -80,6 +89,20 @@ class BouncePool {
   Result<Iova> Map(DeviceId device, Kva kva, uint64_t len, DmaDirection dir,
                    std::string_view site = "bounce_map");
   Status Unmap(DeviceId device, Iova iova, uint64_t len, DmaDirection dir);
+
+  // Persistent variant: same slot carving, but the run is flagged as a
+  // long-lived ring/slot mapping the driver syncs instead of re-mapping.
+  // Released with Unmap like any other bounce.
+  Result<Iova> MapPersistent(DeviceId device, Kva kva, uint64_t len, DmaDirection dir,
+                             std::string_view site = "bounce_map_persistent");
+
+  // Partial-range syncs: `iova` may point anywhere inside a live bounce
+  // (not just its first page) and `len` covers just the bytes handed over —
+  // a single SQE, one CQE, a packet's bytes. `dir` must match the mapping.
+  // SyncForCpu copies device writes back for the range; SyncForDevice scrubs
+  // the range (whole pages when the full mapping is re-armed) and copies
+  // kernel bytes in for device-readable directions. Both publish telemetry
+  // (kBounceSyncCpu/kBounceSyncDevice + bounce.sync_* counters).
   Status SyncForCpu(DeviceId device, Iova iova, uint64_t len, DmaDirection dir);
   Status SyncForDevice(DeviceId device, Iova iova, uint64_t len, DmaDirection dir);
 
@@ -108,6 +131,11 @@ class BouncePool {
   uint64_t total_active() const;
   uint64_t pool_pages(DeviceId device) const;
   uint64_t active_bounces(DeviceId device) const;
+  uint64_t persistent_bounces(DeviceId device) const;
+  uint64_t syncs_for_cpu(DeviceId device) const;
+  uint64_t syncs_for_device(DeviceId device) const;
+  uint64_t total_syncs_for_cpu() const { return syncs_for_cpu_; }
+  uint64_t total_syncs_for_device() const { return syncs_for_device_; }
 
  private:
   struct Slot {
@@ -121,24 +149,41 @@ class BouncePool {
     uint64_t len;
     DmaDirection dir;
     std::string site;
+    bool persistent = false;
   };
   struct Pool {
     Iova base;  // slot 0's IOVA; slot i lives at base + i*kPageSize
     std::vector<Slot> slots;
     std::map<uint64_t, Active> active;  // first slot's IOVA value -> bounce
+    uint64_t syncs_for_cpu = 0;
+    uint64_t syncs_for_device = 0;
   };
 
+  Result<Iova> MapInternal(DeviceId device, Kva kva, uint64_t len, DmaDirection dir,
+                           std::string_view site, bool persistent);
   Status Copy(Kva dst, Kva src, uint64_t len);
   Kva SlotKva(const Pool& pool, size_t slot) const;
   // Walks the buffer's per-slot chunks: fn(slot_index, slot_offset,
   // buffer_offset, chunk_len).
   template <typename Fn>
   Status ForEachChunk(const Active& active, Fn&& fn) const;
+  // Same walk restricted to buffer offsets [from, from+span).
+  template <typename Fn>
+  Status ForEachChunkRange(const Active& active, uint64_t from, uint64_t span,
+                           Fn&& fn) const;
+  // Containing-run lookup for the syncs: unlike Unmap's exact first-page
+  // key, `iova` may land anywhere inside the run. Returns active.end() on
+  // miss; *rel_out is the byte offset of `iova` within the buffer.
+  std::map<uint64_t, Active>::iterator FindContaining(Pool& pool, Iova iova,
+                                                      uint64_t* rel_out);
   Status CopyIn(Pool& pool, const Active& active);
   Status CopyOut(Pool& pool, const Active& active);
+  Status CopyInRange(Pool& pool, const Active& active, uint64_t from, uint64_t span);
+  Status CopyOutRange(Pool& pool, const Active& active, uint64_t from, uint64_t span);
   Status Scrub(Pool& pool, const Active& active);
+  Status ScrubRange(Pool& pool, const Active& active, uint64_t from, uint64_t span);
   void PublishEvent(telemetry::EventKind kind, DeviceId device, const Active& active,
-                    Iova iova, uint64_t cycles_spent);
+                    Iova iova, uint64_t len, uint64_t cycles_spent);
 
   iommu::Iommu& iommu_;
   const mem::KernelLayout& layout_;
@@ -149,6 +194,8 @@ class BouncePool {
   std::map<uint32_t, Pool> pools_;
   uint64_t copies_ = 0;
   uint64_t copy_cycles_ = 0;
+  uint64_t syncs_for_cpu_ = 0;
+  uint64_t syncs_for_device_ = 0;
 };
 
 }  // namespace spv::dma

@@ -32,6 +32,18 @@ std::string DmaDirectionName(DmaDirection dir) {
   return "?";
 }
 
+std::string_view ServiceModeName(ServiceMode mode) {
+  switch (mode) {
+    case ServiceMode::kZeroCopy:
+      return "zero_copy";
+    case ServiceMode::kBounceSync:
+      return "bounce_sync";
+    case ServiceMode::kBounceTransient:
+      return "bounce_transient";
+  }
+  return "?";
+}
+
 DmaApi::DmaApi(iommu::Iommu& iommu, const mem::KernelLayout& layout, telemetry::Hub* hub)
     : iommu_(iommu),
       layout_(layout),
@@ -115,6 +127,34 @@ Result<Iova> DmaApi::MapSingle(DeviceId device, Kva kva, uint64_t len, DmaDirect
   return iova;
 }
 
+Result<Iova> DmaApi::MapPersistent(DeviceId device, Kva kva, uint64_t len,
+                                   DmaDirection dir, std::string_view site) {
+  // Bounce-routed devices get a *persistent* pool run: the driver keeps the
+  // slot across many I/Os and moves bytes with the syncs, swiotlb-style.
+  if (router_ != nullptr && bounce_pool_ != nullptr && router_->ShouldBounce(device)) {
+    trace::ScopedSpan span(tracer_, "dma.map_persistent");
+    if (len == 0) {
+      return InvalidArgument("dma_map_persistent with zero length");
+    }
+    Result<Iova> bounced = bounce_pool_->MapPersistent(device, kva, len, dir, site);
+    if (recorder_ != nullptr && bounced.ok()) {
+      recorder_->RecordMap(device, *bounced, kva, len, static_cast<uint8_t>(dir),
+                           /*bounced=*/true, site);
+    }
+    return bounced;
+  }
+  // Trusted devices: exactly the zero-copy MapSingle path (same site, same
+  // telemetry), so nothing changes for them observably.
+  return MapSingle(device, kva, len, dir, site);
+}
+
+ServiceMode DmaApi::service_mode(DeviceId device) const {
+  if (router_ == nullptr || bounce_pool_ == nullptr) {
+    return ServiceMode::kZeroCopy;
+  }
+  return router_->ServiceModeFor(device);
+}
+
 Status DmaApi::UnmapSingle(DeviceId device, Iova iova, uint64_t len, DmaDirection dir) {
   trace::ScopedSpan span(tracer_, "dma.unmap_single");
   // Pool IOVAs first: the mapping may predate a trust promotion, so the
@@ -183,7 +223,12 @@ Result<uint64_t> DmaApi::RevokeDeviceMappings(DeviceId device, std::string_view 
 
 Status DmaApi::SyncSingleForCpu(DeviceId device, Iova iova, uint64_t len, DmaDirection dir) {
   if (bounce_pool_ != nullptr && bounce_pool_->Owns(device, iova)) {
-    return bounce_pool_->SyncForCpu(device, iova, len, dir);
+    Status status = bounce_pool_->SyncForCpu(device, iova, len, dir);
+    if (recorder_ != nullptr && status.ok()) {
+      recorder_->RecordSync(device, iova, len, static_cast<uint8_t>(dir),
+                            /*for_cpu=*/true, /*bounced=*/true);
+    }
+    return status;
   }
   std::optional<DmaMapping> mapping = FindMapping(device, iova);
   if (!mapping.has_value() || mapping->dir != dir || mapping->len < len) {
@@ -213,7 +258,12 @@ Status DmaApi::SyncSingleForCpu(DeviceId device, Iova iova, uint64_t len, DmaDir
 Status DmaApi::SyncSingleForDevice(DeviceId device, Iova iova, uint64_t len,
                                    DmaDirection dir) {
   if (bounce_pool_ != nullptr && bounce_pool_->Owns(device, iova)) {
-    return bounce_pool_->SyncForDevice(device, iova, len, dir);
+    Status status = bounce_pool_->SyncForDevice(device, iova, len, dir);
+    if (recorder_ != nullptr && status.ok()) {
+      recorder_->RecordSync(device, iova, len, static_cast<uint8_t>(dir),
+                            /*for_cpu=*/false, /*bounced=*/true);
+    }
+    return status;
   }
   std::optional<DmaMapping> mapping = FindMapping(device, iova);
   if (!mapping.has_value() || mapping->dir != dir || mapping->len < len) {

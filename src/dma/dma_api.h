@@ -61,6 +61,18 @@ enum class DmaDirection : uint8_t {
 iommu::AccessRights RightsFor(DmaDirection dir);
 std::string DmaDirectionName(DmaDirection dir);
 
+// How a device's DMA is serviced, per the trust policy's verdict. The mode is
+// advisory routing for queue-protocol drivers: MapSingle's per-map bounce
+// diversion is unchanged, but drivers that keep *persistent* ring mappings
+// ask `DmaApi::service_mode()` and switch protocol accordingly.
+enum class ServiceMode : uint8_t {
+  kZeroCopy,         // direct mappings, device sees kernel pages (trusted)
+  kBounceSync,       // persistent bounce slots + explicit sync_for_cpu/device
+  kBounceTransient,  // per-transfer bounce map/unmap (PR 8 behaviour)
+};
+
+std::string_view ServiceModeName(ServiceMode mode);
+
 struct DmaMapping {
   DeviceId device;
   Iova iova;       // of the buffer start (page base + sub-page offset)
@@ -98,6 +110,20 @@ class DmaApi {
 
   // dma_unmap_single: releases the mapping created for this IOVA.
   virtual Status UnmapSingle(DeviceId device, Iova iova, uint64_t len, DmaDirection dir);
+
+  // Persistent-mapping variant for ring/slot buffers that live across many
+  // I/Os (SQ/CQ rings, RX slots). For trusted devices this is MapSingle with
+  // a different name — byte-identical zero-copy path. For bounce-routed
+  // devices it carves a *persistent* pool run the driver then hands back and
+  // forth with SyncSingleForCpu/SyncSingleForDevice (swiotlb-style), instead
+  // of the transient map/copy/unmap cycle. Released with UnmapSingle.
+  Result<Iova> MapPersistent(DeviceId device, Kva kva, uint64_t len, DmaDirection dir,
+                             std::string_view site = "dma_map_persistent");
+
+  // The trust policy's service-mode verdict for `device` (kZeroCopy when no
+  // policy is installed). Queue-protocol drivers poll this to pick their ring
+  // protocol and to notice live demotions/promotions.
+  ServiceMode service_mode(DeviceId device) const;
 
   // dma_sync_single_for_cpu / _for_device: ownership handoff without
   // unmapping. Drivers with persistent RX mappings (real i40e page reuse)

@@ -38,6 +38,10 @@ std::string_view RecordOpName(RecordOp op) {
       return "fault";
     case RecordOp::kFlush:
       return "flush";
+    case RecordOp::kSyncCpu:
+      return "sync_cpu";
+    case RecordOp::kSyncDevice:
+      return "sync_device";
   }
   return "?";
 }
@@ -237,6 +241,32 @@ void FlightRecorder::RecordFault(DeviceId device, Iova iova, uint64_t len,
   record.dir = is_write ? 1 : 0;
   record.iova = iova.value;
   record.len = len;
+  Push(lane, record);
+}
+
+void FlightRecorder::RecordSync(DeviceId device, Iova iova, uint64_t len,
+                                uint8_t dir, bool for_cpu, bool bounced) {
+  Lane& lane = LaneFor(device);
+  FlightRecord record;
+  record.device = device.value;
+  record.op = for_cpu ? RecordOp::kSyncCpu : RecordOp::kSyncDevice;
+  record.dir = dir;
+  record.bounced = bounced;
+  record.iova = iova.value;
+  record.len = len;
+  {
+    SpinGuard guard(lane.ledger_lock);
+    // Latest live life covering the sync'd range — syncs never retire a
+    // life, they just stamp which generation the handoff belonged to.
+    for (auto it = lane.ledger.rbegin(); it != lane.ledger.rend(); ++it) {
+      if (it->unmap_cycle == 0 && iova.value >= it->iova &&
+          iova.value < it->iova + it->len) {
+        record.generation = it->generation;
+        record.gpa = it->kva;
+        break;
+      }
+    }
+  }
   Push(lane, record);
 }
 

@@ -57,6 +57,8 @@ enum class RecordOp : uint8_t {
   kStaleHit,     // a translation was served from the IOTLB after its unmap
   kFault,        // translation failed: no live mapping, no cached entry
   kFlush,        // an IOTLB invalidation covered this range (strict/deferred)
+  kSyncCpu,      // bounce slot handed to the CPU (sync_for_cpu copy-out)
+  kSyncDevice,   // bounce slot re-armed for the device (scrub + copy-in)
 };
 
 std::string_view RecordOpName(RecordOp op);
@@ -133,6 +135,11 @@ class FlightRecorder {
   void RecordFault(DeviceId device, Iova iova, uint64_t len, bool is_write);
   // IOTLB invalidation covering [page_iova, page_iova + pages) landed.
   void RecordFlush(DeviceId device, Iova page_iova, uint64_t pages);
+  // Sync-mode ownership handoff on a persistent bounce (sync_for_cpu when
+  // `for_cpu`, else sync_for_device). Linked to the covering mapping life
+  // like unmap edges, so ledger cross-checks see the full sync history.
+  void RecordSync(DeviceId device, Iova iova, uint64_t len, uint8_t dir,
+                  bool for_cpu, bool bounced);
 
   // ---- Evidence snapshots (incident engine / exports) --------------------------
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dma/bounce_pool.h"
 #include "fault/fault.h"
 
 namespace spv::net {
@@ -86,7 +87,9 @@ Status NicDriver::FillRxRing(uint32_t queue) {
   Status first = OkStatus();
   // Probation clamp: only the first `ring limit` descriptors are posted, so
   // an untrusted-ish device exposes proportionally less memory at a time.
-  for (uint32_t i = 0; i < EffectiveRxRingLimit(); ++i) {
+  // (Sync mode tightens the limit further — persistent bounce slots are a
+  // scarcer resource than kernel pages.)
+  for (uint32_t i = 0; i < EffectiveRxRingLimitNow(); ++i) {
     if (q.rx_ring[i].posted) {
       continue;
     }
@@ -137,13 +140,31 @@ Status NicDriver::RefillSlot(Queue& q, uint32_t queue, uint32_t index) {
   // the whole page on top of the usual WRITE (§5.1).
   const dma::DmaDirection rx_dir =
       config_.xdp ? dma::DmaDirection::kBidirectional : dma::DmaDirection::kFromDevice;
-  Result<Iova> iova = dma_.MapSingle(device_id_, *head, rx_buffer_bytes(), rx_dir,
-                                     q.name + "_map_rx");
+  const bool want_sync =
+      dma_.service_mode(device_id_) == dma::ServiceMode::kBounceSync;
+  if (want_sync && config_.sync_ring_limit != 0 &&
+      index >= std::min(config_.sync_ring_limit, EffectiveRxRingLimit())) {
+    // Live demotion shrank the ring: slots past the sync clamp retire as
+    // their completions land instead of being re-armed. Not an error — the
+    // slot simply stays empty until a promotion grows the ring back.
+    (void)pool->Free(*head);
+    return OkStatus();
+  }
+  // Sync mode pins the buffer to one bounce slot for the ring's life;
+  // trusted devices get the byte-identical MapSingle path.
+  Result<Iova> iova =
+      want_sync ? dma_.MapPersistent(device_id_, *head, rx_buffer_bytes(),
+                                     rx_dir, q.name + "_map_rx")
+                : dma_.MapSingle(device_id_, *head, rx_buffer_bytes(), rx_dir,
+                                 q.name + "_map_rx");
   if (!iova.ok()) {
     (void)pool->Free(*head);
     return iova.status();
   }
-  q.rx_ring[index] = RxSlot{true, *head, *iova};
+  dma::BouncePool* bounce = dma_.bounce_pool();
+  const bool sync_slot =
+      want_sync && bounce != nullptr && bounce->Owns(device_id_, *iova);
+  q.rx_ring[index] = RxSlot{true, *head, *iova, sync_slot};
   if (device_ != nullptr) {
     RxPostedDescriptor descriptor;
     descriptor.queue = queue;
@@ -178,7 +199,7 @@ uint32_t NicDriver::RetryRefills(uint32_t queue) {
   const uint64_t start = clock_.now();
   uint32_t refilled = 0;
   bool failed = false;
-  for (uint32_t i = 0; i < EffectiveRxRingLimit(); ++i) {
+  for (uint32_t i = 0; i < EffectiveRxRingLimitNow(); ++i) {
     if (q.rx_ring[i].posted) {
       continue;
     }
@@ -231,7 +252,26 @@ Result<SkBuffPtr> NicDriver::DropRxFrame(uint32_t queue, uint32_t index, uint32_
   if (dma_.telemetry().enabled()) {
     dma_.telemetry().counter(std::string(counter)).Add();
   }
-  if (config_.sync_only_rx) {
+  const dma::DmaDirection rx_dir =
+      config_.xdp ? dma::DmaDirection::kBidirectional : dma::DmaDirection::kFromDevice;
+  if (slot.sync_mode &&
+      dma_.service_mode(device_id_) == dma::ServiceMode::kBounceSync) {
+    // Degraded ring: scrub the bounce slot (so the dropped frame's bytes
+    // cannot be replayed into the next completion) and re-arm it in place.
+    (void)dma_.SyncSingleForDevice(device_id_, slot.iova, rx_buffer_bytes(),
+                                   rx_dir);
+    q.rx_ring[index] = slot;
+    if (device_ != nullptr) {
+      RxPostedDescriptor descriptor;
+      descriptor.queue = queue;
+      descriptor.index = index;
+      descriptor.iova = slot.iova;
+      descriptor.buf_len = rx_buffer_bytes();
+      device_->OnRxPosted(descriptor);
+    }
+    return SkBuffPtr{};
+  }
+  if (config_.sync_only_rx && !slot.sync_mode) {
     // Page-reuse drivers keep the buffer and its (permanent) mapping: the
     // same slot is simply reposted.
     q.rx_ring[index] = slot;
@@ -245,8 +285,6 @@ Result<SkBuffPtr> NicDriver::DropRxFrame(uint32_t queue, uint32_t index, uint32_
     }
     return SkBuffPtr{};
   }
-  const dma::DmaDirection rx_dir =
-      config_.xdp ? dma::DmaDirection::kBidirectional : dma::DmaDirection::kFromDevice;
   SPV_RETURN_IF_ERROR(dma_.UnmapSingle(device_id_, slot.iova, rx_buffer_bytes(), rx_dir));
   slab::PageFragPool* pool = skb_alloc_.frag_pool(q.cpu);
   if (pool != nullptr) {
@@ -303,6 +341,21 @@ Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t queue, uint32_t index, uint32_t
   }
   RxSlot slot = q.rx_ring[index];
   q.rx_ring[index].posted = false;
+  if (slot.sync_mode) {
+    // The device's bytes live in the bounce slot: pull the frame across the
+    // sync boundary before anything (XDP, header parse) reads the kernel
+    // buffer. Only pkt_len bytes cross — the measured cost of distrust.
+    const dma::DmaDirection sync_dir = config_.xdp
+                                           ? dma::DmaDirection::kBidirectional
+                                           : dma::DmaDirection::kFromDevice;
+    Status synced =
+        dma_.SyncSingleForCpu(device_id_, slot.iova, pkt_len, sync_dir);
+    if (!synced.ok()) {
+      q.rx_ring[index] = slot;  // restore: DropRxFrame re-arms from the ring
+      ++q.rx_device_drops;
+      return DropRxFrame(queue, index, pkt_len, "nic.rx_device_drops");
+    }
+  }
   if (faulting && fault_->ShouldInject(fault::FaultSite::kNicRxCorrupt)) {
     // Payload corruption: scribble the on-wire header before the driver
     // parses it; the stack's length/parse checks must catch it.
@@ -375,7 +428,78 @@ Result<SkBuffPtr> NicDriver::CompleteRx(uint32_t queue, uint32_t index, uint32_t
   }
 
   Result<SkBuffPtr> skb = InvalidArgument("unreachable");
-  if (config_.sync_only_rx) {
+  if (slot.sync_mode &&
+      dma_.service_mode(device_id_) == dma::ServiceMode::kBounceSync) {
+    // Degraded ring (kBounceSync): the slot's bounce mapping is permanent,
+    // so the frame is copybroken into a fresh buffer, the skb built from the
+    // copy, and the same slot scrubbed + re-armed for the device. One copy
+    // per frame, zero map/unmap churn, zero queued invalidations — the
+    // untrusted device keeps serving at reduced, measured speed.
+    slab::PageFragPool* pool = skb_alloc_.frag_pool(q.cpu);
+    if (pool == nullptr) {
+      return FailedPrecondition("no page_frag pool for driver cpu");
+    }
+    auto rearm = [&]() {
+      (void)dma_.SyncSingleForDevice(device_id_, slot.iova, rx_buffer_bytes(),
+                                     rx_dir);
+      q.rx_ring[index] = slot;
+      if (device_ != nullptr) {
+        RxPostedDescriptor descriptor;
+        descriptor.queue = queue;
+        descriptor.index = index;
+        descriptor.iova = slot.iova;
+        descriptor.buf_len = rx_buffer_bytes();
+        device_->OnRxPosted(descriptor);
+      }
+    };
+    Result<Kva> copy = pool->Alloc(rx_buffer_bytes(), kSmpCacheBytes,
+                                   q.name + "_sync_copybreak");
+    if (!copy.ok()) {
+      // No memory for the copy: drop the frame but keep the ring armed.
+      rearm();
+      ++q.rx_device_drops;
+      if (dma_.telemetry().enabled()) {
+        dma_.telemetry().counter("nic.rx_device_drops").Add();
+      }
+      return SkBuffPtr{};
+    }
+    Status copied = kmem_.Copy(*copy, slot.head, pkt_len);
+    if (!copied.ok()) {
+      (void)pool->Free(*copy);
+      return copied;
+    }
+    Result<SkBuffPtr> built = skb_alloc_.BuildSkb(
+        *copy, rx_buffer_bytes(), OwnedBuffer{*copy, BufSource::kPageFrag, q.cpu});
+    if (!built.ok()) {
+      (void)pool->Free(*copy);
+      return built.status();
+    }
+    (*built)->len = pkt_len;
+    Result<PacketHeader> header = ReadPacketHeader(kmem_, (*built)->data);
+    if (header.ok()) {
+      (*built)->header = *header;
+      (*built)->header_parsed = true;
+    }
+    rearm();
+    ++q.rx_packets;
+    ++q.rx_sync_frames;
+    EmitNicEvent(dma_.telemetry(), telemetry::EventKind::kNicRx,
+                 telemetry::Severity::kInfo, device_id_, pkt_len, this,
+                 q.name + "_rx_sync");
+    if (dma_.telemetry().enabled()) {
+      dma_.telemetry().counter("nic.rx_packets").Add();
+      dma_.telemetry().counter("nic.rx_sync_frames").Add();
+    }
+    return built;
+  }
+  if (slot.sync_mode) {
+    // Promoted mid-flight: retire the persistent bounce slot through the
+    // normal unmap path (the pool routes it) and let the refill below remap
+    // the slot direct under the new trust state.
+    SPV_RETURN_IF_ERROR(
+        dma_.UnmapSingle(device_id_, slot.iova, rx_buffer_bytes(), rx_dir));
+    skb = build();
+  } else if (config_.sync_only_rx) {
     // Page-reuse drivers never unmap: ownership comes back via dma_sync, the
     // translation stays installed, and the device keeps WRITE access to the
     // skb's page forever (§9: "the whole page is accessible").

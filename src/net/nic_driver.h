@@ -81,6 +81,12 @@ class NicDriver : public recovery::SupervisedDriver {
     // instead of dma_unmap — the mapping (and the device's write access)
     // persists for the life of the ring, in ANY IOMMU mode.
     bool sync_only_rx = false;
+    // Degraded service (router says kBounceSync): at most this many RX
+    // descriptors are posted per queue, each on a persistent bounce slot.
+    // The clamp keeps an untrusted NIC's ring inside the bounce pool budget
+    // so it keeps serving instead of starving on ResourceExhausted refills.
+    // 0 = no extra clamp.
+    uint32_t sync_ring_limit = 8;
     uint64_t tx_timeout_cycles = SimClock::MsToCycles(5000);
     // After a failed RX refill the driver waits this long before retrying
     // (bounded backoff: a starved allocator is not hammered every completion).
@@ -227,6 +233,9 @@ class NicDriver : public recovery::SupervisedDriver {
   uint64_t poll_deadline_hits(uint32_t queue) const {
     return queues_[queue].poll_deadline_hits;
   }
+  // Frames delivered through the degraded sync-mode path (copybreak off a
+  // persistent bounce slot) — the soak's availability-under-distrust signal.
+  uint64_t rx_sync_frames() const { return SumQueues(&Queue::rx_sync_frames); }
 
   // Cross-checks every queue's ring state against the DMA mapping tracker:
   // posted RX slots and busy TX slots must be backed by live mappings of the
@@ -239,6 +248,10 @@ class NicDriver : public recovery::SupervisedDriver {
     bool posted = false;
     Kva head;
     Iova iova;  // of head
+    // Mapped persistently into a bounce slot (service mode kBounceSync at
+    // refill time): completions copy the frame across with sync_for_cpu and
+    // re-arm the same slot with sync_for_device instead of unmapping.
+    bool sync_mode = false;
   };
   struct TxFragMapping {
     Iova iova;
@@ -287,6 +300,7 @@ class NicDriver : public recovery::SupervisedDriver {
     StatCounter rx_refill_failures;
     StatCounter tx_requeue_drops;
     StatCounter poll_deadline_hits;
+    StatCounter rx_sync_frames;
   };
 
   uint64_t SumQueues(StatCounter Queue::* counter) const {
@@ -309,6 +323,17 @@ class NicDriver : public recovery::SupervisedDriver {
     return policy_limits_.ring_limit != 0 && policy_limits_.ring_limit < config_.rx_ring_size
                ? policy_limits_.ring_limit
                : config_.rx_ring_size;
+  }
+  // EffectiveRxRingLimit plus the sync-mode clamp: consulted per fill/refill
+  // so a live demotion shrinks the ring as completed slots retire and a
+  // promotion lets FillRxRing grow it back.
+  uint32_t EffectiveRxRingLimitNow() const {
+    uint32_t limit = EffectiveRxRingLimit();
+    if (config_.sync_ring_limit != 0 && config_.sync_ring_limit < limit &&
+        dma_.service_mode(device_id_) == dma::ServiceMode::kBounceSync) {
+      limit = config_.sync_ring_limit;
+    }
+    return limit;
   }
 
   // True once the polling loop that started at `start_cycle` has exhausted

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "dma/bounce_pool.h"
 #include "fault/fault.h"
 #include "trace/tracer.h"
 
@@ -80,6 +81,7 @@ Status NvmeDriver::Init() {
     return FailedPrecondition("driver already initialized");
   }
   trace::ScopedSpan span(tracer_, "nvme.init");
+  active_mode_ = dma_.service_mode(device_id_);
   SPV_RETURN_IF_ERROR(AllocQueue(admin_, kAdminQid, config_.admin_queue_entries,
                                  config_.admin_queue_entries));
   device_->OnAdminQueueConfigured(QueuePair{kAdminQid, admin_.sq_iova,
@@ -123,17 +125,20 @@ Status NvmeDriver::AllocQueue(QueueView& view, uint16_t qid,
     (void)slab_.Kfree(*sq);
     return cq.status();
   }
+  // Persistent maps: for trusted devices this is MapSingle verbatim; for
+  // bounced devices the ring lands in pool slots that stay put for the
+  // queue's whole life, with SQE/CQE syncs moving the bytes (sync mode).
   Result<Iova> sq_iova =
-      dma_.MapSingle(device_id_, *sq, sq_bytes, dma::DmaDirection::kToDevice,
-                     config_.name + "_map_sq");
+      dma_.MapPersistent(device_id_, *sq, sq_bytes, dma::DmaDirection::kToDevice,
+                         config_.name + "_map_sq");
   if (!sq_iova.ok()) {
     (void)slab_.Kfree(*cq);
     (void)slab_.Kfree(*sq);
     return sq_iova.status();
   }
   Result<Iova> cq_iova =
-      dma_.MapSingle(device_id_, *cq, cq_bytes, dma::DmaDirection::kFromDevice,
-                     config_.name + "_map_cq");
+      dma_.MapPersistent(device_id_, *cq, cq_bytes, dma::DmaDirection::kFromDevice,
+                         config_.name + "_map_cq");
   if (!cq_iova.ok()) {
     (void)dma_.UnmapSingle(device_id_, *sq_iova, sq_bytes,
                            dma::DmaDirection::kToDevice);
@@ -150,6 +155,9 @@ Status NvmeDriver::AllocQueue(QueueView& view, uint16_t qid,
   view.cq_kva = *cq;
   view.cq_iova = *cq_iova;
   view.cq_entries = cq_entries;
+  dma::BouncePool* pool = dma_.bounce_pool();
+  view.sq_bounced = pool != nullptr && pool->Owns(device_id_, *sq_iova);
+  view.cq_bounced = pool != nullptr && pool->Owns(device_id_, *cq_iova);
   return OkStatus();
 }
 
@@ -197,6 +205,16 @@ Status NvmeDriver::IdentifyController() {
   if (first.ok() && cqe->status != kScSuccess) {
     first = Internal("identify failed with status " +
                      std::to_string(cqe->status));
+  }
+  if (first.ok()) {
+    dma::BouncePool* pool = dma_.bounce_pool();
+    if (pool != nullptr && pool->Owns(device_id_, *iova)) {
+      // Transient bounces only copy out at unmap, but the capacity read
+      // happens while the page is still mapped — pull the device's identify
+      // bytes across the bounce boundary now.
+      first = dma_.SyncSingleForCpu(device_id_, *iova, kPageSize,
+                                    dma::DmaDirection::kFromDevice);
+    }
   }
   if (first.ok()) {
     Result<uint64_t> capacity = kmem_.ReadU64(*page + kIdentifyCapacityOff);
@@ -309,6 +327,7 @@ Result<uint64_t> NvmeDriver::WriteBlocks(uint64_t slba, uint16_t nblocks,
 }
 
 Status NvmeDriver::Flush() {
+  RefreshServiceMode();
   if (!io_.live) {
     return FailedPrecondition("io queue down");
   }
@@ -328,6 +347,15 @@ Status NvmeDriver::Flush() {
 
 Result<uint16_t> NvmeDriver::SubmitIo(uint8_t opcode, uint64_t slba,
                                       uint16_t nblocks, Kva buf) {
+  RefreshServiceMode();
+  // CID 0 = "allocate one after validation" (CID 0 is reserved anyway).
+  return SubmitIoWithCid(opcode, slba, nblocks, buf, 0, clock_.now());
+}
+
+Result<uint16_t> NvmeDriver::SubmitIoWithCid(uint8_t opcode, uint64_t slba,
+                                             uint16_t nblocks, Kva buf,
+                                             uint16_t cid,
+                                             uint64_t submit_cycle) {
   if (!io_.live) {
     return FailedPrecondition("io queue down");
   }
@@ -379,26 +407,28 @@ Result<uint16_t> NvmeDriver::SubmitIo(uint8_t opcode, uint64_t slba,
   }
   Sqe sqe;
   sqe.opcode = opcode;
-  sqe.cid = NextCid();
+  sqe.cid = cid == 0 ? NextCid() : cid;
   sqe.prp1 = prp1;
   sqe.prp2 = prp2;
   sqe.slba = slba;
   sqe.nlb = static_cast<uint16_t>(nblocks - 1);
   Status wrote = WriteSqe(io_, sqe);
   if (!wrote.ok()) {
-    IoCmd scratch{opcode, buf, len, *iova, dir, std::move(segs), 0};
+    IoCmd scratch{opcode, buf, len, *iova, dir, std::move(segs), 0,
+                  slba, nblocks};
     (void)ReleaseCmd(scratch, "sqe_write_failed");
     return wrote;
   }
   io_.sq_tail = static_cast<uint16_t>((io_.sq_tail + 1) % io_.sq_entries);
-  IoCmd cmd{opcode, buf, len, *iova, dir, std::move(segs), clock_.now()};
-  const uint16_t cid = sqe.cid;
-  outstanding_[cid] = std::move(cmd);
+  IoCmd cmd{opcode, buf, len, *iova, dir, std::move(segs), submit_cycle,
+            slba, nblocks};
+  const uint16_t use_cid = sqe.cid;
+  outstanding_[use_cid] = std::move(cmd);
   EmitNvmeEvent(dma_.telemetry(), telemetry::EventKind::kNvmeSubmit,
                 telemetry::Severity::kInfo, device_id_, len, iova->value, this,
                 config_.name + (opcode == kOpRead ? "_read" : "_write"));
   device_->OnSqDoorbell(kIoQid, io_.sq_tail);
-  return cid;
+  return use_cid;
 }
 
 Status NvmeDriver::BuildPrpChain(const std::vector<uint64_t>& page_iovas,
@@ -482,18 +512,34 @@ Status NvmeDriver::BuildPrpChain(const std::vector<uint64_t>& page_iovas,
 
 Status NvmeDriver::WriteSqe(QueueView& view, const Sqe& sqe) {
   const std::array<uint8_t, kSqeSize> raw = EncodeSqe(sqe);
-  return kmem_.Write(view.sq_kva + static_cast<uint64_t>(view.sq_tail) * kSqeSize,
-                     raw);
+  const uint64_t off = static_cast<uint64_t>(view.sq_tail) * kSqeSize;
+  SPV_RETURN_IF_ERROR(kmem_.Write(view.sq_kva + off, raw));
+  if (view.sq_bounced) {
+    // Sync-mode ring: copy the fresh SQE into its bounce slot before the
+    // doorbell so the device's fetch through the static pool mapping sees
+    // it. One 64-byte sync per command — the measured cost of distrust.
+    return dma_.SyncSingleForDevice(device_id_, view.sq_iova + off, kSqeSize,
+                                    dma::DmaDirection::kToDevice);
+  }
+  return OkStatus();
 }
 
 // ---- Completion -----------------------------------------------------------------
 
 std::optional<Cqe> NvmeDriver::TryPopCqe(QueueView& view) {
+  const uint64_t off = static_cast<uint64_t>(view.cq_head) * kCqeSize;
+  if (view.cq_bounced) {
+    // Pull the candidate CQE out of its bounce slot before the phase check.
+    // The CQ is only ever sync'd for-cpu: a for-device re-arm would scrub
+    // the ring and fabricate phase-matching zero CQEs after the first wrap.
+    if (!dma_.SyncSingleForCpu(device_id_, view.cq_iova + off, kCqeSize,
+                               dma::DmaDirection::kFromDevice)
+             .ok()) {
+      return std::nullopt;
+    }
+  }
   std::array<uint8_t, kCqeSize> raw{};
-  if (!kmem_
-           .Read(view.cq_kva + static_cast<uint64_t>(view.cq_head) * kCqeSize,
-                 raw)
-           .ok()) {
+  if (!kmem_.Read(view.cq_kva + off, raw).ok()) {
     return std::nullopt;
   }
   Cqe cqe = DecodeCqe(raw);
@@ -509,6 +555,7 @@ std::optional<Cqe> NvmeDriver::TryPopCqe(QueueView& view) {
 }
 
 uint32_t NvmeDriver::PollCompletions() {
+  RefreshServiceMode();
   if (!io_.live) {
     return 0;
   }
@@ -698,6 +745,111 @@ Status NvmeDriver::ResetIoQueue() {
     return created;
   }
   return freed;
+}
+
+// ---- Live service-mode switch ---------------------------------------------------
+//
+// A demotion (or promotion) lands while commands are in flight: the router's
+// answer to service_mode() no longer matches the rings the driver built.
+// Serving on stale routing would either keep zero-copy rings alive for a now-
+// untrusted device or strand bounce slots after a promotion, so the driver
+// re-homes: snapshot in-flight commands, controller-reset both queue pairs
+// (rings re-map under the new routing), and re-issue every command with its
+// original CID — callers blocked in WaitFor() never notice the rings moved.
+
+void NvmeDriver::RefreshServiceMode() {
+  if (in_mode_switch_ || !admin_.live || !io_.live) {
+    return;
+  }
+  const dma::ServiceMode want = dma_.service_mode(device_id_);
+  if (want == active_mode_) {
+    return;
+  }
+  (void)SwitchServiceMode(want);
+}
+
+Status NvmeDriver::SwitchServiceMode(dma::ServiceMode next) {
+  in_mode_switch_ = true;
+  trace::ScopedSpan span(tracer_, "nvme.mode_switch");
+  struct Pending {
+    uint16_t cid = 0;
+    uint8_t opcode = 0;
+    uint64_t slba = 0;
+    uint16_t nblocks = 0;
+    Kva buf;
+    uint64_t submit_cycle = 0;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(outstanding_.size());
+  for (auto& [cid, cmd] : outstanding_) {
+    pending.push_back(
+        Pending{cid, cmd.opcode, cmd.slba, cmd.nblocks, cmd.buf,
+                cmd.submit_cycle});
+    (void)ReleaseCmd(cmd, "mode_switch");
+  }
+  outstanding_.clear();
+  device_->OnQueueDeleted(kIoQid);
+  Status first = FreeQueue(io_);
+  device_->OnQueueDeleted(kAdminQid);
+  Status freed_admin = FreeQueue(admin_);
+  if (first.ok()) {
+    first = freed_admin;
+  }
+  active_mode_ = next;
+  ++mode_switches_;
+  EmitNvmeEvent(dma_.telemetry(), telemetry::EventKind::kNvmeQueueReset,
+                telemetry::Severity::kWarn, device_id_, pending.size(),
+                static_cast<uint64_t>(next), this,
+                config_.name + "_mode_switch");
+  if (dma_.telemetry().enabled()) {
+    dma_.telemetry().counter("nvme.mode_switches").Add();
+  }
+  Status up = AllocQueue(admin_, kAdminQid, config_.admin_queue_entries,
+                         config_.admin_queue_entries);
+  if (up.ok()) {
+    device_->OnAdminQueueConfigured(QueuePair{kAdminQid, admin_.sq_iova,
+                                              admin_.sq_entries, admin_.cq_iova,
+                                              admin_.cq_entries});
+    up = CreateIoQueue();
+  }
+  if (!up.ok()) {
+    // Bring-up under the new routing failed (fenced/silent device): fail the
+    // snapshot loudly and leave the queue down for Resume()/the watchdog.
+    for (const Pending& p : pending) {
+      finished_[p.cid] = Finished{kScInternalError, 0};
+      ++io_errors_;
+    }
+    in_mode_switch_ = false;
+    return first.ok() ? up : first;
+  }
+  for (const Pending& p : pending) {
+    if (p.opcode == kOpFlush) {
+      Sqe sqe;
+      sqe.opcode = kOpFlush;
+      sqe.cid = p.cid;
+      Status wrote = WriteSqe(io_, sqe);
+      if (wrote.ok()) {
+        io_.sq_tail = static_cast<uint16_t>((io_.sq_tail + 1) % io_.sq_entries);
+        IoCmd cmd;
+        cmd.opcode = kOpFlush;
+        cmd.submit_cycle = p.submit_cycle;
+        outstanding_[p.cid] = std::move(cmd);
+        device_->OnSqDoorbell(kIoQid, io_.sq_tail);
+      } else {
+        finished_[p.cid] = Finished{kScInternalError, 0};
+        ++io_errors_;
+      }
+      continue;
+    }
+    Result<uint16_t> re = SubmitIoWithCid(p.opcode, p.slba, p.nblocks, p.buf,
+                                          p.cid, p.submit_cycle);
+    if (!re.ok()) {
+      finished_[p.cid] = Finished{kScInternalError, 0};
+      ++io_errors_;
+    }
+  }
+  in_mode_switch_ = false;
+  return first;
 }
 
 Status NvmeDriver::Shutdown() {

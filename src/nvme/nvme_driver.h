@@ -141,6 +141,11 @@ class NvmeDriver : public recovery::SupervisedDriver {
   uint32_t queue_resets() const { return queue_resets_; }
   uint64_t poll_deadline_hits() const { return poll_deadline_hits_; }
   uint64_t prp_segments_built() const { return prp_segments_built_; }
+  // Degraded-service state: which queue protocol the driver is running
+  // (kBounceSync = rings on persistent sync'd bounce slots) and how many
+  // live transitions it has absorbed.
+  dma::ServiceMode service_mode() const { return active_mode_; }
+  uint32_t mode_switches() const { return mode_switches_; }
 
   // Queue geometry, for the attack tests that target ring memory.
   Kva io_sq_kva() const { return io_.sq_kva; }
@@ -163,6 +168,13 @@ class NvmeDriver : public recovery::SupervisedDriver {
     uint16_t cq_entries = 0;
     uint16_t cq_head = 0;
     bool phase = true;  // phase tag expected on the next valid CQE
+    // Sync-mode (degraded service): the rings live in persistent bounce
+    // slots; every SQE is sync'd for-device before its doorbell and every
+    // CQE sync'd for-cpu before the phase check. The CQ is *never* sync'd
+    // for-device — a mid-pass scrub would fabricate phase-matching zero
+    // CQEs after the first wrap.
+    bool sq_bounced = false;
+    bool cq_bounced = false;
   };
 
   // One mapped PRP-list segment backing an in-flight command.
@@ -180,6 +192,10 @@ class NvmeDriver : public recovery::SupervisedDriver {
     dma::DmaDirection dir = dma::DmaDirection::kToDevice;
     std::vector<PrpSeg> segs;
     uint64_t submit_cycle = 0;
+    // Enough of the original request to re-issue it across a live service-
+    // mode switch (ring teardown invalidates data_iova and the PRP chain).
+    uint64_t slba = 0;
+    uint16_t nblocks = 0;
   };
 
   struct Finished {
@@ -197,6 +213,17 @@ class NvmeDriver : public recovery::SupervisedDriver {
 
   Result<uint16_t> SubmitIo(uint8_t opcode, uint64_t slba, uint16_t nblocks,
                             Kva buf);
+  // SubmitIo body with the CID and submit cycle pinned — the resubmit path
+  // of a live service-mode switch reuses the original identity so callers
+  // blocked in WaitFor(cid) never notice the rings moved.
+  Result<uint16_t> SubmitIoWithCid(uint8_t opcode, uint64_t slba,
+                                   uint16_t nblocks, Kva buf, uint16_t cid,
+                                   uint64_t submit_cycle);
+  // Compares the router's service mode against active_mode_; on change,
+  // re-homes the rings (teardown + bring-up under the new mode) and
+  // re-issues every in-flight command with its original CID.
+  void RefreshServiceMode();
+  Status SwitchServiceMode(dma::ServiceMode next);
   // Builds the PRP chain for `page_iovas` (segments written before mapping,
   // chained back-to-front). On success sets `prp2` and appends to `segs`.
   Status BuildPrpChain(const std::vector<uint64_t>& page_iovas,
@@ -254,6 +281,9 @@ class NvmeDriver : public recovery::SupervisedDriver {
   uint32_t queue_resets_ = 0;
   uint64_t poll_deadline_hits_ = 0;
   uint64_t prp_segments_built_ = 0;
+  dma::ServiceMode active_mode_ = dma::ServiceMode::kZeroCopy;
+  uint32_t mode_switches_ = 0;
+  bool in_mode_switch_ = false;  // re-entrancy guard for RefreshServiceMode
 };
 
 }  // namespace spv::nvme

@@ -237,6 +237,23 @@ bool PolicyEngine::ShouldBounce(DeviceId device) const {
   return it != devices_.end() && it->second.trust == TrustState::kUntrusted;
 }
 
+dma::ServiceMode PolicyEngine::ServiceModeFor(DeviceId device) const {
+  if (!config_.enabled) {
+    return dma::ServiceMode::kZeroCopy;
+  }
+  auto it = devices_.find(device.value);
+  if (it == devices_.end() || it->second.trust != TrustState::kUntrusted) {
+    // Probation devices keep direct mappings (clamped service limits do the
+    // containment); only the untrusted rung is degraded.
+    return dma::ServiceMode::kZeroCopy;
+  }
+  const Device& entry = it->second;
+  if (entry.quirk != nullptr && entry.quirk->untrusted_service.has_value()) {
+    return *entry.quirk->untrusted_service;
+  }
+  return config_.untrusted_service;
+}
+
 TrustState PolicyEngine::state(DeviceId device) const {
   auto it = devices_.find(device.value);
   // Unregistered devices are outside the policy's remit; they behave as
@@ -305,6 +322,16 @@ std::string PolicyEngine::PostureJson(const std::string& indent) const {
            ",\n";
     out += i3 + "\"active_bounces\": " + std::to_string(pool_.active_bounces(device)) +
            ",\n";
+    // Degraded-service stats: which protocol the device would run under
+    // right now, and how much sync-ring traffic it has actually served.
+    out += i3 + "\"service_mode\": \"" +
+           std::string(dma::ServiceModeName(ServiceModeFor(device))) + "\",\n";
+    out += i3 + "\"persistent_bounces\": " +
+           std::to_string(pool_.persistent_bounces(device)) + ",\n";
+    out += i3 + "\"bounce_syncs_for_cpu\": " + std::to_string(pool_.syncs_for_cpu(device)) +
+           ",\n";
+    out += i3 + "\"bounce_syncs_for_device\": " +
+           std::to_string(pool_.syncs_for_device(device)) + ",\n";
     out += i3 + "\"demotions\": " + std::to_string(entry.demotions) + ",\n";
     out += i3 + "\"promotions\": " + std::to_string(entry.promotions) + ",\n";
     out += i3 + "\"promotions_blocked\": " + std::to_string(entry.promotions_blocked) +

@@ -331,10 +331,29 @@ SoakReport RunSoak(const SoakConfig& config) {
     report.ok = false;
   };
 
+  bool degraded_active = false;
+
   uint64_t epoch = 0;
   for (; epoch < config.max_epochs && machine.clock().now() < config.target_cycles; ++epoch) {
     const bool storm = (epoch % (config.abuse_storm_epochs + config.abuse_calm_epochs)) <
                        config.abuse_storm_epochs;
+
+    // -- Degraded drill: demote the SERVING devices mid-run ---------------------
+    //
+    // One third of the way through, the trust engine yanks nic0 (the echo
+    // service's NIC, mid-traffic) and nvme0 (with IO potentially in flight)
+    // down to kUntrusted. Both drivers must absorb the live service-mode
+    // switch — rings re-homed onto persistent sync'd bounce slots — and keep
+    // answering probes; every probe from here on is also counted into the
+    // degraded availability the floor assertion below grades.
+    if (engine != nullptr && config.degraded_drill && !degraded_active &&
+        machine.clock().now() >= config.target_cycles / 3) {
+      degraded_active = true;
+      (void)engine->Demote(nic0.device_id(), "soak degraded drill");
+      if (config.storage) {
+        (void)engine->Demote(nvme0->device_id(), "soak degraded drill");
+      }
+    }
 
     // -- Service traffic: echo round trips through nic0 -------------------------
     (void)nic0.RetryAllRefills();
@@ -374,8 +393,15 @@ SoakReport RunSoak(const SoakConfig& config) {
         }
       }
       drain_nic0_tx();
-      if (machine.stack().stats().echoed > before) {
+      const bool echoed = machine.stack().stats().echoed > before;
+      if (echoed) {
         ++report.echo_ok;
+      }
+      if (degraded_active) {
+        ++report.degraded_probes;
+        if (echoed) {
+          ++report.degraded_ok;
+        }
       }
     }
 
@@ -397,6 +423,9 @@ SoakReport RunSoak(const SoakConfig& config) {
       mnvme->set_complete_before_transfer(storm);
       for (uint32_t p = 0; p < config.storage_probes; ++p) {
         ++report.nvme.probes;
+        if (degraded_active) {
+          ++report.degraded_probes;
+        }
         static constexpr uint16_t kProbeShapes[] = {1, 4, 8, 24};
         const uint16_t nblocks = kProbeShapes[rng.NextBelow(4)];
         const uint64_t bytes = static_cast<uint64_t>(nblocks) * nvme::kLbaSize;
@@ -424,6 +453,9 @@ SoakReport RunSoak(const SoakConfig& config) {
         }
         if (round_trip) {
           ++report.nvme.ok;
+          if (degraded_active) {
+            ++report.degraded_ok;
+          }
           // Silent-corruption audit: under Poisoned Completion both data
           // phases were withheld, so the pattern never comes back — that is
           // the attack observable, not a harness failure.
@@ -938,6 +970,11 @@ SoakReport RunSoak(const SoakConfig& config) {
                             ? 1.0
                             : static_cast<double>(report.echo_ok) /
                                   static_cast<double>(report.echo_probes);
+  report.availability_degraded =
+      report.degraded_probes == 0
+          ? 1.0
+          : static_cast<double>(report.degraded_ok) /
+                static_cast<double>(report.degraded_probes);
   const telemetry::Histogram::Summary latency =
       hub.histogram("recovery.quarantine_latency_cycles").Summarize();
   report.quarantine_latency_p50 = latency.p50;
@@ -1000,6 +1037,17 @@ SoakReport RunSoak(const SoakConfig& config) {
       fail("policy: " + std::to_string(report.policy.secret_leaks) + " leaks, " +
            std::to_string(report.policy.neighbour_corruptions) +
            " neighbour corruptions from untrusted devices");
+    } else if (config.degraded_floor > 0.0 && report.degraded_probes != 0 &&
+               report.availability_degraded < config.degraded_floor) {
+      // The degraded drill's whole point: demoted devices must keep serving.
+      // Dropping below the floor means sync rings starved, not degraded.
+      char verdict[128];
+      std::snprintf(verdict, sizeof(verdict),
+                    "degraded availability %.6f below floor %.6f (%llu/%llu probes)",
+                    report.availability_degraded, config.degraded_floor,
+                    static_cast<unsigned long long>(report.degraded_ok),
+                    static_cast<unsigned long long>(report.degraded_probes));
+      fail(verdict);
     } else {
       report.ok = true;
     }
@@ -1022,6 +1070,9 @@ std::string SoakReport::ToJson() const {
   w.Field("echo_probes", echo_probes);
   w.Field("echo_ok", echo_ok);
   w.Field("availability", availability);
+  w.Field("degraded_probes", degraded_probes);
+  w.Field("degraded_ok", degraded_ok);
+  w.Field("availability_degraded", availability_degraded);
   w.Field("churn_map_ops", churn_map_ops);
   w.Field("churn_map_failures", churn_map_failures);
   w.Field("abuse_ops", abuse_ops);

@@ -80,6 +80,15 @@ struct SoakConfig {
   uint32_t hotplug_interval = 17;  // epochs between hostile hot-plug storms
   uint32_t hotplug_devices = 2;    // hostile devices plugged per storm
 
+  // degraded_drill=true demotes the SERVING devices (nic0 and, with storage,
+  // nvme0) a third of the way through the run: both drivers must switch to
+  // sync'd bounce rings live — commands in flight, no traffic stop — and
+  // keep answering probes at reduced speed for the rest of the soak.
+  // degraded_floor is the minimum fraction of post-demotion probes that must
+  // still succeed (0 disables the assertion); below it the run fails.
+  bool degraded_drill = false;
+  double degraded_floor = 0.0;
+
   // ---- Forensics leg -----------------------------------------------------------
   //
   // On by default: the flight recorder is a pure observer (it never advances
@@ -119,6 +128,13 @@ struct SoakReport {
   // Fraction of echo probes answered: the availability the service kept
   // while its NIC was being quarantined and restored.
   double availability = 0.0;
+  // Degraded-phase service (degraded_drill): probes issued after the drill
+  // demoted the serving devices, and the fraction answered on sync'd bounce
+  // rings. availability_degraded is 1.0 when no degraded phase ran, so the
+  // field is present (and byte-identical) in every report.
+  uint64_t degraded_probes = 0;
+  uint64_t degraded_ok = 0;
+  double availability_degraded = 1.0;
   // Quarantine latency (cycles from trigger to fully-revoked) and downtime
   // (cycles from quarantine to re-attach), log2-bucket p50/p99 upper bounds.
   uint64_t quarantine_latency_p50 = 0;

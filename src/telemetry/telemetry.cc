@@ -66,6 +66,8 @@ constexpr KindName kKindNames[] = {
     {EventKind::kBounceUnmap, "bounce_unmap"},
     {EventKind::kIncidentOpen, "incident_open"},
     {EventKind::kIncidentReport, "incident_report"},
+    {EventKind::kBounceSyncCpu, "bounce_sync_cpu"},
+    {EventKind::kBounceSyncDevice, "bounce_sync_device"},
 };
 
 constexpr std::string_view kSeverityNames[] = {"trace", "info", "warn", "critical"};

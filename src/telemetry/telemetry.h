@@ -122,6 +122,11 @@ enum class EventKind : uint8_t {
   // class on kIncidentReport; `site` the trigger / classification name.
   kIncidentOpen,    // a trigger event froze the flight-recorder evidence
   kIncidentReport,  // the incident report was sealed and classified
+  // Sync-mode bounce rings (degraded service). Same field layout as
+  // kBounceMap/kBounceUnmap: `addr` the original KVA, `addr2` the bounce
+  // IOVA, `aux` the copy cycles spent by the sync.
+  kBounceSyncCpu,     // bounce slot copied out so the CPU sees device writes
+  kBounceSyncDevice,  // bounce slot scrubbed/copied in and re-armed for DMA
 };
 
 std::string_view EventKindName(EventKind kind);

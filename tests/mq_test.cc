@@ -359,6 +359,81 @@ TEST(MqSoakTest, SequentialMultiCpuRunsAreByteIdentical) {
   EXPECT_EQ(report.ToJson(), again.ToJson());
 }
 
+// ---- Degraded-mode sync RX under kThreads (the TSan leg) -------------------------
+
+// CPU 1 serves sync-mode (bounced, copybreak) RX on its pinned queue while
+// CPU 0 pushes map/unmap churn through an unrelated direct-mapped device:
+// the bounce pool's sync edges and the clamped per-queue ring state must
+// hold up under real threads.
+TEST(MqDegradedTest, ThreadsSyncModeRxOnPinnedQueueStaysClean) {
+  core::MachineConfig config;
+  config.seed = 77;
+  config.phys_pages = 4096;
+  config.exec = ExecMode::kThreads;
+  config.iommu.fast_path.num_cpus = 2;
+  config.telemetry.enabled = true;
+  config.policy.enabled = true;
+  core::Machine machine{config};
+
+  NicDriver::Config nic_config;
+  nic_config.name = "nic0";
+  nic_config.num_queues = 2;
+  nic_config.rx_ring_size = 16;
+  nic_config.queue_cpus = {CpuId{0}, CpuId{1}};
+  NicDriver& nic = machine.AddNicDriver(nic_config);
+  device::MaliciousNic dev{device::DevicePort{machine.iommu(), nic.device_id()}};
+  nic.AttachDevice(&dev);
+  ASSERT_TRUE(nic.FillAllRxRings().ok());
+
+  // Not under trust policy: maps direct, sharing nothing with the pool.
+  const DeviceId churn_dev{4242};
+  machine.iommu().AttachDevice(churn_dev);
+
+  machine.RunOnCpus(2, [&](CpuId cpu) {
+    if (cpu.value == 1) {
+      for (int i = 0; i < 24; ++i) {
+        PacketHeader header{.src_ip = 0x0a000002,
+                            .dst_ip = 0x0a000001,
+                            .src_port = static_cast<uint16_t>(30000 + i),
+                            .dst_port = 7,
+                            .proto = kProtoUdp};
+        const std::vector<uint8_t> payload(64, static_cast<uint8_t>(i));
+        auto descriptor = dev.InjectRxOn(1, header, payload);
+        if (!descriptor.ok()) {
+          continue;
+        }
+        auto skb = nic.CompleteRx(
+            1, descriptor->index,
+            static_cast<uint32_t>(PacketHeader::kSize + payload.size()));
+        if (skb.ok() && *skb != nullptr) {
+          skb->reset();
+        }
+      }
+      return;
+    }
+    for (int i = 0; i < 64; ++i) {
+      Result<Kva> buf = machine.slab().Kmalloc(1024, "mq_degraded_churn");
+      if (!buf.ok()) {
+        continue;
+      }
+      Result<Iova> iova = machine.dma().MapSingle(
+          churn_dev, *buf, 1024, dma::DmaDirection::kFromDevice, "mq_degraded_churn");
+      if (iova.ok()) {
+        (void)machine.dma().UnmapSingle(churn_dev, *iova, 1024,
+                                        dma::DmaDirection::kFromDevice);
+      }
+      (void)machine.slab().Kfree(*buf);
+    }
+  });
+
+  EXPECT_GT(nic.rx_sync_frames(), 0u);
+  EXPECT_TRUE(machine.CheckInvariants().ok());
+  EXPECT_TRUE(nic.Shutdown().ok());
+  EXPECT_EQ(machine.dma().live_mappings(), 0u);
+  ASSERT_NE(machine.bounce_pool(), nullptr);
+  EXPECT_EQ(machine.bounce_pool()->total_active(), 0u);
+}
+
 TEST(MqSoakTest, ThreadsModeSoakStaysClean) {
   soak::SoakConfig config = MqSoakConfig(true);
   config.num_cpus = 4;

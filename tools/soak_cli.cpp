@@ -5,6 +5,7 @@
 //        [--no-recovery] [--no-faults] [--no-attacks] [--legacy-path]
 //        [--cpus N] [--queues N] [--threads]
 //        [--policy] [--hostile-hotplug] [--posture-out posture.json]
+//        [--degraded-drill] [--degraded-floor F]
 //        [--no-forensics] [--incident-out incidents.json]
 //        [--check-interval N] [--out report.json] [--trace-out trace.csv]
 //
@@ -17,6 +18,12 @@
 // nic1 the demotion subject); --hostile-hotplug adds the never-authorized
 // hot-plug storms whose sub-page probes must die in the bounce pool;
 // --posture-out writes the engine's HSI-style posture JSON on its own.
+//
+// --degraded-drill (needs --policy) demotes the serving NIC and NVMe
+// controller a third of the way through the run: both drivers must switch
+// to sync'd bounce rings live and keep answering probes. --degraded-floor F
+// (0..1, needs --degraded-drill) fails the run if post-demotion
+// availability drops below F.
 //
 // The forensics leg (flight recorder + incident engine) is on by default —
 // it is a pure observer, so the report JSON stays byte-identical either way;
@@ -116,6 +123,16 @@ int main(int argc, char** argv) {
       config.policy = true;
     } else if (arg == "--hostile-hotplug") {
       config.hostile_hotplug = true;
+    } else if (arg == "--degraded-drill") {
+      config.degraded_drill = true;
+    } else if (arg == "--degraded-floor") {
+      const char* text = next();
+      char* end = nullptr;
+      config.degraded_floor = std::strtod(text, &end);
+      if (end == text || *end != '\0') {
+        std::fprintf(stderr, "soak: bad value for --degraded-floor: '%s'\n", text);
+        return 2;
+      }
     } else if (arg == "--posture-out") {
       posture_path = next();
     } else if (arg == "--no-forensics") {
@@ -135,6 +152,7 @@ int main(int argc, char** argv) {
           "            [--no-recovery] [--no-faults] [--no-attacks] [--no-storage]\n"
           "            [--legacy-path] [--cpus N] [--queues N] [--threads]\n"
           "            [--policy] [--hostile-hotplug] [--posture-out posture.json]\n"
+          "            [--degraded-drill] [--degraded-floor F]\n"
           "            [--no-forensics] [--incident-out incidents.json]\n"
           "            [--check-interval N] [--out report.json]\n"
           "            [--trace-out trace.csv]\n");
@@ -165,6 +183,21 @@ int main(int argc, char** argv) {
   }
   if (config.hostile_hotplug && !config.policy) {
     std::fprintf(stderr, "soak: --hostile-hotplug needs --policy; see --help\n");
+    return 2;
+  }
+  if (config.degraded_drill && !config.policy) {
+    std::fprintf(stderr, "soak: --degraded-drill needs --policy; see --help\n");
+    return 2;
+  }
+  if (config.degraded_floor < 0.0 || config.degraded_floor > 1.0) {
+    std::fprintf(stderr,
+                 "soak: --degraded-floor must be 0..1 (got %g); see --help\n",
+                 config.degraded_floor);
+    return 2;
+  }
+  if (config.degraded_floor > 0.0 && !config.degraded_drill) {
+    std::fprintf(stderr,
+                 "soak: --degraded-floor needs --degraded-drill; see --help\n");
     return 2;
   }
   if (!posture_path.empty() && !config.policy) {
@@ -228,6 +261,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.policy.promotions_blocked),
                 static_cast<unsigned long long>(report.policy.promotion_attempts),
                 static_cast<unsigned long long>(report.policy.bounce_maps));
+    if (config.degraded_drill) {
+      std::printf("      degraded: %.4f availability (%llu/%llu probes) after the drill\n",
+                  report.availability_degraded,
+                  static_cast<unsigned long long>(report.degraded_ok),
+                  static_cast<unsigned long long>(report.degraded_probes));
+    }
     if (config.hostile_hotplug) {
       std::printf("      hostile: %llu plugged, %llu sub-page probes, "
                   "%llu leaks, %llu corruptions\n",

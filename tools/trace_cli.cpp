@@ -209,6 +209,16 @@ std::string DescribeEvent(const telemetry::Event& event) {
       // site carries the inferred attack-class name.
       out << "dev " << event.device << "  incident #" << event.aux << " classified";
       break;
+    case telemetry::EventKind::kBounceSyncCpu:
+      out << "dev " << event.device << "  bounce iova " << fmt_hex(event.addr2)
+          << " -> kva " << fmt_hex(event.addr) << "  len " << event.len
+          << "  copy " << event.aux << " cyc";
+      break;
+    case telemetry::EventKind::kBounceSyncDevice:
+      out << "dev " << event.device << "  kva " << fmt_hex(event.addr)
+          << " -> bounce iova " << fmt_hex(event.addr2) << "  len " << event.len
+          << "  copy " << event.aux << " cyc";
+      break;
   }
   return out.str();
 }
@@ -277,6 +287,8 @@ const char* EventOrigin(const telemetry::Event& event) {
     case telemetry::EventKind::kTrustDemoted:
     case telemetry::EventKind::kBounceMap:
     case telemetry::EventKind::kBounceUnmap:
+    case telemetry::EventKind::kBounceSyncCpu:
+    case telemetry::EventKind::kBounceSyncDevice:
       return "policy";
     case telemetry::EventKind::kIncidentOpen:
     case telemetry::EventKind::kIncidentReport:
